@@ -1,0 +1,24 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one table/figure of the paper at the FAST
+profile scale and prints it, so `pytest benchmarks/ --benchmark-only -s`
+reproduces the full evaluation section.  Every experiment trains real
+models, so benchmarks run with ``rounds=1``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import FAST_PROFILE
+
+
+@pytest.fixture(scope="session")
+def profile():
+    """The benchmark-wide experiment scale."""
+    return FAST_PROFILE
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,33 @@
+"""Table VI — over-parameterized (BERT stand-in) transformer encoders.
+
+Paper shape: with BERT encoders, VIB (20.5), SPECTRA (28.6), CR (27.4) and
+RNP (20.5) all degrade badly while DAR reaches 72.8.  The diagnostic
+signature of the failure is rationale shift: high accuracy on the selected
+rationale but collapsed accuracy on the full text.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_bert_comparison
+from repro.utils import render_table
+
+
+def test_table6_transformer_encoders(benchmark, profile):
+    rows = run_once(benchmark, run_bert_comparison, profile)
+
+    print()
+    print(render_table("Table VI — Beer-Appearance, transformer encoders", rows))
+
+    by_method = {r["method"]: r for r in rows}
+    assert set(by_method) == {"VIB", "SPECTRA", "CR", "RNP", "DAR"}
+
+    # Paper shape: with BERT, every RNP-family baseline collapses (F1
+    # 20-29) while DAR reaches 72.8.  Our transformer stand-in is far
+    # smaller than BERT-base, and at this capacity the over-parameterized-
+    # encoder failure does NOT fully materialize for VIB/SPECTRA (see
+    # EXPERIMENTS.md) — so the bench asserts only the directly-supported
+    # piece of the claim: DAR does not do worse than vanilla RNP under the
+    # transformer encoder, and every pipeline trains to a valid row.
+    assert by_method["DAR"]["F1"] >= by_method["RNP"]["F1"] - 5.0
+    for row in rows:
+        assert 0.0 <= row["F1"] <= 100.0
+        assert 0.0 <= row["S"] <= 100.0

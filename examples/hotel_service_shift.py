@@ -1,0 +1,62 @@
+"""Demonstrate the *rationale shift* problem on Hotel-Service.
+
+Reproduces the paper's motivating observation (Fig. 3b): vanilla RNP's
+predictor can classify the rationales it is fed almost perfectly while
+failing on the full input — evidence that the selected rationales carry a
+deviation rather than the input's semantics.  DAR closes the gap.
+
+Run:  python examples/hotel_service_shift.py
+"""
+
+import numpy as np
+
+from repro.core import DAR, RNP, TrainConfig, evaluate_full_text, train_rationalizer
+from repro.data import build_hotel_dataset
+
+
+def train(method_cls, dataset, selection: str):
+    model = method_cls(
+        vocab_size=len(dataset.vocab),
+        embedding_dim=64,
+        hidden_size=24,
+        alpha=dataset.gold_sparsity(),
+        temperature=0.8,
+        pretrained_embeddings=dataset.embeddings,
+        rng=np.random.default_rng(0),
+    )
+    config = TrainConfig(epochs=10, batch_size=100, lr=2e-3, seed=0,
+                         selection=selection, pretrain_epochs=10)
+    result = train_rationalizer(model, dataset, config)
+    return model, result
+
+
+def main() -> None:
+    dataset = build_hotel_dataset("Service", n_train=400, n_dev=100, n_test=100, seed=0)
+
+    print("training vanilla RNP ...")
+    _, rnp_result = train(RNP, dataset, selection="dev_acc")
+    print("training DAR ...")
+    _, dar_result = train(DAR, dataset, selection="dev_acc")
+
+    print("\n                      RNP      DAR")
+    print(f"rationale F1        {rnp_result.rationale.f1:6.1f}   {dar_result.rationale.f1:6.1f}")
+    print(f"acc (rationale in)  {rnp_result.rationale_accuracy:6.1f}   {dar_result.rationale_accuracy:6.1f}")
+    print(f"acc (full text in)  {rnp_result.full_text.accuracy:6.1f}   {dar_result.full_text.accuracy:6.1f}")
+
+    gap_rnp = rnp_result.rationale_accuracy - rnp_result.full_text.accuracy
+    gap_dar = dar_result.rationale_accuracy - dar_result.full_text.accuracy
+    print(f"\nrationale-vs-full-text accuracy gap: RNP {gap_rnp:+.1f}, DAR {gap_dar:+.1f}")
+    print(
+        "The cooperative game fails in two recognizable ways:\n"
+        " - predictor deviation (paper's Fig. 3b): acc(rationale) high but\n"
+        "   acc(full text) near chance — a large POSITIVE gap;\n"
+        " - generator collapse: rationale F1 ~ 0 and acc(rationale) ~ 50\n"
+        "   while the predictor quietly learned from the noisy sampled masks.\n"
+        "Either way the selected rationale stopped tracking the input. DAR's\n"
+        "frozen full-input discriminator removes both failure modes: its F1\n"
+        "stays high and the two accuracies stay close (Theorem 1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""The Table VIII synthetic experiment as a runnable story.
+
+We deliberately sabotage the generator before cooperative training: it is
+pretrained to encode the class label in whether it selects the *first
+token* (select iff label = 1).  A predictor can then reach perfect training
+accuracy by reading only that positional signal — a pure rationale shift
+with zero semantic content.
+
+Vanilla RNP gets trapped: the cooperative game reinforces the shortcut.
+DAR's frozen full-input discriminator refuses to reward it, because a
+first-token-only rationale is uninformative under the full-input
+distribution, so the generator is pushed back to real sentiment tokens.
+
+Run:  python examples/skewed_generator_recovery.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    DAR,
+    RNP,
+    TrainConfig,
+    skew_pretrain_generator_first_token,
+    train_rationalizer,
+)
+from repro.data import build_beer_dataset
+
+
+def run(method_cls, dataset, threshold: float, selection: str):
+    model = method_cls(
+        vocab_size=len(dataset.vocab),
+        embedding_dim=64,
+        hidden_size=24,
+        alpha=dataset.gold_sparsity(),
+        temperature=0.8,
+        pretrained_embeddings=dataset.embeddings,
+        rng=np.random.default_rng(0),
+    )
+    pre_acc = skew_pretrain_generator_first_token(
+        model, dataset, accuracy_threshold=threshold, lr=2e-3, seed=0
+    )
+    config = TrainConfig(epochs=10, batch_size=100, lr=2e-3, seed=0,
+                         selection=selection, pretrain_epochs=10)
+    result = train_rationalizer(model, dataset, config)
+    return pre_acc, result
+
+
+def main() -> None:
+    dataset = build_beer_dataset("Palate", n_train=400, n_dev=100, n_test=100, seed=0)
+    threshold = 70.0
+
+    print(f"sabotaging the generator until first-token accuracy >= {threshold} ...\n")
+
+    pre_rnp, rnp_result = run(RNP, dataset, threshold, selection="test_f1")
+    print(f"RNP  | Pre_acc={pre_rnp:5.1f}  F1={rnp_result.rationale.f1:5.1f}  "
+          f"S={rnp_result.rationale.sparsity:5.1f}")
+
+    pre_dar, dar_result = run(DAR, dataset, threshold, selection="dev_acc")
+    print(f"DAR  | Pre_acc={pre_dar:5.1f}  F1={dar_result.rationale.f1:5.1f}  "
+          f"S={dar_result.rationale.sparsity:5.1f}")
+
+    print("\nPaper shape (Table VIII, skew70): RNP F1 ~10.8, DAR F1 ~51.2 —")
+    print("the discriminative alignment recovers from the poisoned initialization.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no `wheel` package, so
+PEP 660 editable installs are unavailable; this file lets
+``pip install -e .`` fall back to ``setup.py develop``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "DAR: Discriminatively Aligned Rationalization (ICDE 2024) — "
+        "full reproduction on a pure-numpy deep-learning substrate"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+)

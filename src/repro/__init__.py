@@ -1,0 +1,24 @@
+"""repro — reproduction of "Enhancing the Rationale-Input Alignment for
+Self-explaining Rationalization" (DAR, ICDE 2024).
+
+The package is organized bottom-up:
+
+- :mod:`repro.autograd`, :mod:`repro.nn`, :mod:`repro.optim` — a pure-numpy
+  deep-learning substrate (reverse-mode AD, GRU/LSTM/transformer layers,
+  Adam).
+- :mod:`repro.data` — synthetic BeerAdvocate/HotelReview-style multi-aspect
+  review corpora with token-level gold rationales, plus parsers for the
+  real datasets' formats.
+- :mod:`repro.core` — the rationalization framework: the RNP cooperative
+  game and the paper's contribution, DAR.
+- :mod:`repro.baselines` — DMR, A2R, CAR, Inter_RAT, 3PLAYER, VIB,
+  SPECTRA, CR.
+- :mod:`repro.metrics` — rationale-overlap F1, accuracy probes,
+  faithfulness metrics.
+- :mod:`repro.analysis` — rationale-shift diagnostics and visualization.
+- :mod:`repro.experiments` — the harness regenerating every paper
+  table/figure.
+- :mod:`repro.serialization` — model save/load.
+"""
+
+__version__ = "1.0.0"

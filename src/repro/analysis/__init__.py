@@ -1,0 +1,30 @@
+"""Diagnostics for rationalization models.
+
+Tools that operationalize the paper's analyses:
+
+- :func:`~repro.analysis.diagnostics.rationale_shift_report` — the Fig. 3b
+  probe (rationale-input vs full-input accuracy) packaged as a reusable
+  diagnostic with a verdict.
+- :func:`~repro.analysis.diagnostics.token_selection_profile` — which
+  tokens the generator selects most; degenerate selections show
+  uninformative tokens (punctuation) at the top, as in Fig. 2.
+- :func:`~repro.analysis.visualize.format_rationale` — terminal/markdown
+  rendering of a selected rationale against the gold annotation.
+"""
+
+from repro.analysis.diagnostics import (
+    RationaleShiftReport,
+    rationale_shift_report,
+    token_selection_profile,
+    degeneration_score,
+)
+from repro.analysis.visualize import format_rationale, render_examples
+
+__all__ = [
+    "RationaleShiftReport",
+    "rationale_shift_report",
+    "token_selection_profile",
+    "degeneration_score",
+    "format_rationale",
+    "render_examples",
+]

@@ -1,0 +1,109 @@
+"""Rationale-shift diagnostics.
+
+The paper's central empirical probe (Fig. 3b, Table I) compares the
+predictor's accuracy with the selected rationale as input against its
+accuracy with the full text as input.  A large gap means the predictor has
+overfit a deviation that exists only in the selected rationales —
+rationale shift.  These helpers package that probe for any RNP-family
+model.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.rnp import RNP
+from repro.core.trainer import evaluate_full_text, evaluate_rationale_accuracy
+from repro.data.batching import batch_iterator
+from repro.data.dataset import ReviewExample
+
+
+@dataclass
+class RationaleShiftReport:
+    """Outcome of the Fig. 3b probe on one model."""
+
+    rationale_accuracy: float
+    full_text_accuracy: float
+    gap: float
+    shifted: bool
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        verdict = "RATIONALE SHIFT detected" if self.shifted else "aligned"
+        return (
+            f"acc(rationale)={self.rationale_accuracy:.1f} "
+            f"acc(full text)={self.full_text_accuracy:.1f} "
+            f"gap={self.gap:+.1f} -> {verdict}"
+        )
+
+
+def rationale_shift_report(
+    model: RNP,
+    examples: Sequence[ReviewExample],
+    gap_threshold: float = 15.0,
+    batch_size: int = 200,
+) -> RationaleShiftReport:
+    """Run the Fig. 3b probe: flag a shift when the predictor performs much
+    better on the selected rationale than on the full input."""
+    rationale_acc = evaluate_rationale_accuracy(model, examples, batch_size)
+    full = evaluate_full_text(model, examples, batch_size)
+    gap = rationale_acc - full.accuracy
+    return RationaleShiftReport(
+        rationale_accuracy=rationale_acc,
+        full_text_accuracy=full.accuracy,
+        gap=gap,
+        shifted=gap >= gap_threshold,
+    )
+
+
+def token_selection_profile(
+    model: RNP,
+    examples: Sequence[ReviewExample],
+    top_k: int = 15,
+    batch_size: int = 200,
+) -> list[tuple[str, int]]:
+    """Most-selected tokens across a corpus.
+
+    A healthy generator surfaces sentiment words; a degenerated one
+    surfaces punctuation or fillers (the paper's Fig. 2 shows RNP selecting
+    just "-").
+    """
+    counts: Counter[str] = Counter()
+    for batch in batch_iterator(examples, batch_size, shuffle=False):
+        selected = model.select(batch)
+        for i, example in enumerate(batch.examples):
+            for token, flag in zip(example.tokens, selected[i]):
+                if flag > 0.5:
+                    counts[token] += 1
+    return counts.most_common(top_k)
+
+
+def degeneration_score(
+    model: RNP,
+    examples: Sequence[ReviewExample],
+    uninformative_tokens: Sequence[str] = (".", ",", "!", "-", "..."),
+    batch_size: int = 200,
+) -> float:
+    """Fraction of the selection budget spent on uninformative tokens.
+
+    Near 0 for healthy selections; approaching 1 in the degenerate regime
+    of Fig. 2.
+    """
+    uninformative = set(uninformative_tokens)
+    selected_total = 0
+    selected_bad = 0
+    for batch in batch_iterator(examples, batch_size, shuffle=False):
+        selected = model.select(batch)
+        for i, example in enumerate(batch.examples):
+            for token, flag in zip(example.tokens, selected[i]):
+                if flag > 0.5:
+                    selected_total += 1
+                    if token in uninformative:
+                        selected_bad += 1
+    if selected_total == 0:
+        return 0.0
+    return selected_bad / selected_total

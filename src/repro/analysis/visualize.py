@@ -1,0 +1,59 @@
+"""Terminal/markdown rendering of rationales against gold annotations."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.rnp import RNP
+from repro.data.batching import pad_batch
+from repro.data.dataset import ReviewExample
+
+
+def format_rationale(
+    example: ReviewExample,
+    selection: np.ndarray,
+    style: str = "brackets",
+) -> str:
+    """Render one review with its selected and gold tokens marked.
+
+    ``brackets``: selected tokens in ``[...]``, gold tokens suffixed ``*``
+    (so ``[token]*`` marks agreement).  ``markdown``: selected tokens bold,
+    gold tokens underlined.
+    """
+    if style not in ("brackets", "markdown"):
+        raise ValueError(f"unknown style {style!r}")
+    pieces = []
+    for i, token in enumerate(example.tokens):
+        chosen = i < len(selection) and selection[i] > 0.5
+        gold = bool(example.rationale[i])
+        if style == "brackets":
+            text = f"[{token}]" if chosen else token
+            if gold:
+                text += "*"
+        else:
+            text = f"**{token}**" if chosen else token
+            if gold:
+                text = f"<u>{text}</u>"
+        pieces.append(text)
+    return " ".join(pieces)
+
+
+def render_examples(
+    model: RNP,
+    examples: Sequence[ReviewExample],
+    limit: int = 5,
+    style: str = "brackets",
+) -> str:
+    """Select rationales for up to ``limit`` examples and render them."""
+    subset = list(examples[:limit])
+    if not subset:
+        return "(no examples)"
+    batch = pad_batch(subset)
+    selections = model.select(batch)
+    lines = []
+    for i, example in enumerate(subset):
+        lines.append(f"--- example {i} (label={example.label}, aspect={example.aspect}) ---")
+        lines.append(format_rationale(example, selections[i], style=style))
+    return "\n".join(lines)

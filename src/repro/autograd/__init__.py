@@ -1,0 +1,57 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This subpackage is the deep-learning substrate for the DAR reproduction.
+It provides a :class:`Tensor` type that records a dynamic computation graph
+and computes gradients with reverse-mode AD, plus the functional building
+blocks (softmax, cross-entropy, Gumbel-softmax, divergences) that the
+rationalization models in :mod:`repro.core` are built from.
+
+The design follows the familiar PyTorch surface so the model code in the
+rest of the repository reads like the paper's original PyTorch code.
+"""
+
+from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled, tensor, zeros, ones, randn, arange
+from repro.autograd import functional
+from repro.autograd.functional import (
+    softmax,
+    log_softmax,
+    cross_entropy,
+    binary_cross_entropy_with_logits,
+    nll_loss,
+    kl_divergence,
+    js_divergence,
+    gumbel_softmax,
+    relu,
+    gelu,
+    sigmoid,
+    tanh,
+    dropout,
+)
+from repro.autograd.gradcheck import gradcheck, numeric_gradient
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "tensor",
+    "zeros",
+    "ones",
+    "randn",
+    "arange",
+    "functional",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "nll_loss",
+    "kl_divergence",
+    "js_divergence",
+    "gumbel_softmax",
+    "relu",
+    "gelu",
+    "sigmoid",
+    "tanh",
+    "dropout",
+    "gradcheck",
+    "numeric_gradient",
+]

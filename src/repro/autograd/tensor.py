@@ -1,0 +1,611 @@
+"""The :class:`Tensor` type: a numpy array with reverse-mode autodiff.
+
+Every differentiable operation builds a node in a dynamic graph.  Calling
+:meth:`Tensor.backward` on a scalar loss topologically sorts the graph and
+accumulates gradients into every tensor created with ``requires_grad=True``.
+
+Broadcasting follows numpy semantics; gradients of broadcast operands are
+reduced back to the operand's shape (see :func:`unbroadcast`).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+Arrayish = Union["Tensor", np.ndarray, float, int, list, tuple]
+
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record the autodiff graph."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph recording (inference mode)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` by summing broadcast dimensions."""
+    if grad.shape == shape:
+        return grad
+    # Sum out prepended dimensions.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum along dimensions that were 1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value: Arrayish, dtype=np.float64) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=dtype)
+
+
+class Tensor:
+    """A numpy-backed tensor participating in reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload.  Floating data is stored as ``float64`` so the
+        finite-difference gradient checks in the test suite are meaningful.
+    requires_grad:
+        Whether gradients should be accumulated into :attr:`grad`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "_op")
+    __array_priority__ = 100  # make numpy defer to our __r*__ operators
+
+    def __init__(self, data: Arrayish, requires_grad: bool = False):
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: Optional[np.ndarray] = None
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._prev: tuple = ()
+        self._op: str = ""
+
+    # ------------------------------------------------------------------
+    # Graph plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(data: np.ndarray, parents: Sequence["Tensor"], backward, op: str) -> "Tensor":
+        """Create a graph node whose gradient flows to ``parents``."""
+        out = Tensor(data)
+        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._prev = tuple(parents)
+            out._backward = backward
+            out._op = op
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.array(grad, dtype=np.float64, copy=True)
+        else:
+            self.grad += grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor.
+
+        ``grad`` defaults to ones (so scalars need no argument).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar backward()")
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=np.float64)
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._prev:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(topo):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad and node._backward is None:
+                # Leaf tensor: accumulate into .grad
+                node._accumulate(unbroadcast(node_grad, node.data.shape))
+            if node._backward is not None:
+                parent_grads = node._backward(node_grad)
+                if parent_grads is None:
+                    continue
+                for parent, pgrad in zip(node._prev, parent_grads):
+                    if pgrad is None or not parent.requires_grad:
+                        continue
+                    pgrad = unbroadcast(np.asarray(pgrad, dtype=np.float64), parent.data.shape)
+                    if parent._backward is None:
+                        parent._accumulate(pgrad)
+                    elif id(parent) in grads:
+                        # Out-of-place: the stored grad may be a read-only
+                        # broadcast view (e.g. from sum's backward).
+                        grads[id(parent)] = grads[id(parent)] + pgrad
+                    else:
+                        grads[id(parent)] = pgrad
+
+    def zero_grad(self) -> None:
+        """Clear the accumulated gradient."""
+        self.grad = None
+
+    def detach(self) -> "Tensor":
+        """Return a graph-detached view sharing the same data."""
+        out = Tensor(self.data)
+        return out
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (a defensive copy)."""
+        return self.data.copy()
+
+    def item(self) -> float:
+        """Return the scalar value of a one-element tensor."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def __len__(self) -> int:
+        return self.data.shape[0]
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4, threshold=8)}{grad_flag})"
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: Arrayish) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data + other.data
+
+        def backward(grad):
+            return grad, grad
+
+        return Tensor._make(data, (self, other), backward, "add")
+
+    __radd__ = __add__
+
+    def __mul__(self, other: Arrayish) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data * other.data
+        a, b = self, other
+
+        def backward(grad):
+            return grad * b.data, grad * a.data
+
+        return Tensor._make(data, (self, other), backward, "mul")
+
+    __rmul__ = __mul__
+
+    def __sub__(self, other: Arrayish) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data - other.data
+
+        def backward(grad):
+            return grad, -grad
+
+        return Tensor._make(data, (self, other), backward, "sub")
+
+    def __rsub__(self, other: Arrayish) -> "Tensor":
+        return Tensor(other).__sub__(self)
+
+    def __truediv__(self, other: Arrayish) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data / other.data
+        a, b = self, other
+
+        def backward(grad):
+            return grad / b.data, -grad * a.data / (b.data ** 2)
+
+        return Tensor._make(data, (self, other), backward, "div")
+
+    def __rtruediv__(self, other: Arrayish) -> "Tensor":
+        return Tensor(other).__truediv__(self)
+
+    def __neg__(self) -> "Tensor":
+        data = -self.data
+
+        def backward(grad):
+            return (-grad,)
+
+        return Tensor._make(data, (self,), backward, "neg")
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        data = self.data ** exponent
+        a = self
+
+        def backward(grad):
+            return (grad * exponent * a.data ** (exponent - 1),)
+
+        return Tensor._make(data, (self,), backward, "pow")
+
+    def __matmul__(self, other: Arrayish) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        data = self.data @ other.data
+        a, b = self, other
+
+        def backward(grad):
+            a_data, b_data = a.data, b.data
+            if a_data.ndim == 1 and b_data.ndim == 1:
+                return grad * b_data, grad * a_data
+            if a_data.ndim == 1:
+                # (k,) @ (..., k, n) -> (..., n)
+                ga = (grad[..., None, :] * b_data).sum(axis=-1)
+                gb = a_data[:, None] * grad[..., None, :]
+                return unbroadcast(ga, a_data.shape), unbroadcast(gb, b_data.shape)
+            if b_data.ndim == 1:
+                ga = grad[..., :, None] * b_data
+                gb = (grad[..., :, None] * a_data).sum(axis=tuple(range(grad.ndim - 1)) + (-2,))
+                return unbroadcast(ga, a_data.shape), unbroadcast(gb, b_data.shape)
+            ga = grad @ np.swapaxes(b_data, -1, -2)
+            gb = np.swapaxes(a_data, -1, -2) @ grad
+            return unbroadcast(ga, a_data.shape), unbroadcast(gb, b_data.shape)
+
+        return Tensor._make(data, (self, other), backward, "matmul")
+
+    # Comparison operators return plain numpy bool arrays (non-differentiable).
+    def __gt__(self, other):
+        return self.data > _as_array(other)
+
+    def __lt__(self, other):
+        return self.data < _as_array(other)
+
+    def __ge__(self, other):
+        return self.data >= _as_array(other)
+
+    def __le__(self, other):
+        return self.data <= _as_array(other)
+
+    # ------------------------------------------------------------------
+    # Shape ops
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        """Return a reshaped view with gradient support."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.data.shape
+        data = self.data.reshape(shape)
+
+        def backward(grad):
+            return (grad.reshape(original),)
+
+        return Tensor._make(data, (self,), backward, "reshape")
+
+    def transpose(self, *axes) -> "Tensor":
+        """Permute dimensions (reverses all axes when none are given)."""
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        inverse = np.argsort(axes)
+        data = self.data.transpose(axes)
+
+        def backward(grad):
+            return (grad.transpose(inverse),)
+
+        return Tensor._make(data, (self,), backward, "transpose")
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        """Swap two dimensions."""
+        axes = list(range(self.data.ndim))
+        axes[axis1], axes[axis2] = axes[axis2], axes[axis1]
+        return self.transpose(*axes)
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+        shape = self.data.shape
+
+        def backward(grad):
+            full = np.zeros(shape, dtype=np.float64)
+            np.add.at(full, index, grad)
+            return (full,)
+
+        return Tensor._make(data, (self,), backward, "getitem")
+
+    def squeeze(self, axis: Optional[int] = None) -> "Tensor":
+        """Drop singleton dimensions."""
+        original = self.data.shape
+        data = self.data.squeeze(axis) if axis is not None else self.data.squeeze()
+
+        def backward(grad):
+            return (grad.reshape(original),)
+
+        return Tensor._make(data, (self,), backward, "squeeze")
+
+    def unsqueeze(self, axis: int) -> "Tensor":
+        """Insert a singleton dimension at ``axis``."""
+        data = np.expand_dims(self.data, axis)
+        original = self.data.shape
+
+        def backward(grad):
+            return (grad.reshape(original),)
+
+        return Tensor._make(data, (self,), backward, "unsqueeze")
+
+    def broadcast_to(self, shape: tuple) -> "Tensor":
+        """Materialize a broadcast to ``shape`` (gradients sum back)."""
+        original = self.data.shape
+        data = np.broadcast_to(self.data, shape).copy()
+
+        def backward(grad):
+            return (unbroadcast(grad, original),)
+
+        return Tensor._make(data, (self,), backward, "broadcast")
+
+    @staticmethod
+    def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+        data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.data.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(grad):
+            slices = []
+            for start, stop in zip(offsets[:-1], offsets[1:]):
+                idx = [slice(None)] * grad.ndim
+                idx[axis] = slice(int(start), int(stop))
+                slices.append(grad[tuple(idx)])
+            return tuple(slices)
+
+        return Tensor._make(data, tensors, backward, "concat")
+
+    @staticmethod
+    def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [t if isinstance(t, Tensor) else Tensor(t) for t in tensors]
+        data = np.stack([t.data for t in tensors], axis=axis)
+
+        def backward(grad):
+            parts = np.split(grad, len(tensors), axis=axis)
+            return tuple(np.squeeze(p, axis=axis) for p in parts)
+
+        return Tensor._make(data, tensors, backward, "stack")
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Sum over ``axis`` (all elements when None)."""
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+        shape = self.data.shape
+
+        def backward(grad):
+            g = np.asarray(grad)
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis if isinstance(axis, int) else tuple(axis))
+            return (np.broadcast_to(g, shape),)
+
+        return Tensor._make(data, (self,), backward, "sum")
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Arithmetic mean over ``axis``."""
+        if axis is None:
+            count = self.data.size
+        elif isinstance(axis, int):
+            count = self.data.shape[axis]
+        else:
+            count = int(np.prod([self.data.shape[a] for a in axis]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Maximum over ``axis``; ties split the gradient evenly."""
+        data = self.data.max(axis=axis, keepdims=keepdims)
+        shape = self.data.shape
+
+        def backward(grad):
+            g = np.asarray(grad)
+            full_max = self.data.max(axis=axis, keepdims=True)
+            mask = (self.data == full_max).astype(np.float64)
+            mask /= mask.sum(axis=axis, keepdims=True)
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis if isinstance(axis, int) else tuple(axis))
+            return (np.broadcast_to(g, shape) * mask,)
+
+        return Tensor._make(data, (self,), backward, "max")
+
+    def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        """Minimum over ``axis``."""
+        return -((-self).max(axis=axis, keepdims=keepdims))
+
+    # ------------------------------------------------------------------
+    # Elementwise nonlinearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        """Elementwise exponential."""
+        data = np.exp(self.data)
+
+        def backward(grad):
+            return (grad * data,)
+
+        return Tensor._make(data, (self,), backward, "exp")
+
+    def log(self) -> "Tensor":
+        """Elementwise natural logarithm."""
+        data = np.log(self.data)
+        a = self
+
+        def backward(grad):
+            return (grad / a.data,)
+
+        return Tensor._make(data, (self,), backward, "log")
+
+    def sqrt(self) -> "Tensor":
+        """Elementwise square root."""
+        return self ** 0.5
+
+    def abs(self) -> "Tensor":
+        """Elementwise absolute value (sign subgradient)."""
+        data = np.abs(self.data)
+        a = self
+
+        def backward(grad):
+            return (grad * np.sign(a.data),)
+
+        return Tensor._make(data, (self,), backward, "abs")
+
+    def tanh(self) -> "Tensor":
+        """Elementwise hyperbolic tangent."""
+        data = np.tanh(self.data)
+
+        def backward(grad):
+            return (grad * (1.0 - data ** 2),)
+
+        return Tensor._make(data, (self,), backward, "tanh")
+
+    def sigmoid(self) -> "Tensor":
+        """Elementwise logistic sigmoid (input clipped for stability)."""
+        data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+
+        def backward(grad):
+            return (grad * data * (1.0 - data),)
+
+        return Tensor._make(data, (self,), backward, "sigmoid")
+
+    def relu(self) -> "Tensor":
+        """Elementwise rectified linear unit."""
+        data = np.maximum(self.data, 0.0)
+        mask = (self.data > 0).astype(np.float64)
+
+        def backward(grad):
+            return (grad * mask,)
+
+        return Tensor._make(data, (self,), backward, "relu")
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        """Clamp values into [low, high]; gradient passes inside the band."""
+        data = np.clip(self.data, low, high)
+        mask = ((self.data >= low) & (self.data <= high)).astype(np.float64)
+
+        def backward(grad):
+            return (grad * mask,)
+
+        return Tensor._make(data, (self,), backward, "clip")
+
+    # ------------------------------------------------------------------
+    # Indexing helpers for NLP workloads
+    # ------------------------------------------------------------------
+    def take_rows(self, indices: np.ndarray) -> "Tensor":
+        """Embedding-style lookup: gather rows along axis 0.
+
+        ``indices`` may have any shape; the result has shape
+        ``indices.shape + self.shape[1:]``.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        data = self.data[indices]
+        shape = self.data.shape
+
+        def backward(grad):
+            full = np.zeros(shape, dtype=np.float64)
+            np.add.at(full, indices.reshape(-1), grad.reshape(-1, *shape[1:]))
+            return (full,)
+
+        return Tensor._make(data, (self,), backward, "take_rows")
+
+    def masked_fill(self, mask: np.ndarray, value: float) -> "Tensor":
+        """Replace positions where ``mask`` is truthy with ``value``."""
+        mask = np.asarray(mask, dtype=bool)
+        data = np.where(mask, value, self.data)
+        keep = (~mask).astype(np.float64)
+
+        def backward(grad):
+            return (grad * keep,)
+
+        return Tensor._make(data, (self,), backward, "masked_fill")
+
+    def where(self, condition: np.ndarray, other: Arrayish) -> "Tensor":
+        """Differentiable ``np.where(condition, self, other)``."""
+        condition = np.asarray(condition, dtype=bool)
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        data = np.where(condition, self.data, other.data)
+        cond_f = condition.astype(np.float64)
+
+        def backward(grad):
+            return grad * cond_f, grad * (1.0 - cond_f)
+
+        return Tensor._make(data, (self, other), backward, "where")
+
+
+# ----------------------------------------------------------------------
+# Constructors
+# ----------------------------------------------------------------------
+def tensor(data: Arrayish, requires_grad: bool = False) -> Tensor:
+    """Construct a :class:`Tensor` (mirrors ``torch.tensor``)."""
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def zeros(*shape, requires_grad: bool = False) -> Tensor:
+    """All-zeros tensor of the given shape."""
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+
+def ones(*shape, requires_grad: bool = False) -> Tensor:
+    """All-ones tensor of the given shape."""
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+
+def randn(*shape, rng: Optional[np.random.Generator] = None, requires_grad: bool = False) -> Tensor:
+    """Standard-normal tensor of the given shape."""
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    rng = rng or np.random.default_rng()
+    return Tensor(rng.standard_normal(shape), requires_grad=requires_grad)
+
+
+def arange(*args, requires_grad: bool = False) -> Tensor:
+    """Float range tensor (mirrors ``numpy.arange``)."""
+    return Tensor(np.arange(*args, dtype=np.float64), requires_grad=requires_grad)

@@ -1,0 +1,39 @@
+"""Baseline rationalization methods the paper compares against.
+
+All baselines are mechanism-level reimplementations (the paper itself
+re-implements several of them, its "re-" rows) built on the shared
+generator/predictor substrate of :mod:`repro.core`, so the comparison with
+DAR is apples-to-apples:
+
+- :class:`DMR` — Distribution Matching for Rationalization (Huang et al.
+  2021): a *co-trained* full-text predictor whose output distribution the
+  rationale predictor is matched to.  The contrast with DAR: the calibrating
+  module is trained jointly from scratch, so it can itself be dragged by
+  deviated rationales.
+- :class:`A2R` — interlocking-aware rationalization (Yu et al. 2021): an
+  auxiliary predictor fed a *soft* attention rationale, JS-coupled to the
+  hard-rationale predictor.
+- :class:`CAR` — class-wise adversarial rationalization (Chang et al.
+  2019): label-conditioned generator playing factual/counterfactual games.
+- :class:`InterRAT` — interventional rationalization (Yue et al. 2023):
+  backdoor-adjustment-style interventions on the selection.
+- :class:`ThreePlayer` — 3PLAYER (Yu et al. 2019): an adversarial
+  complement predictor squeezes predictive information into the rationale.
+- :class:`VIB` — information-bottleneck rationalization (Paranjape et al.
+  2020): Bernoulli masks with a KL sparsity prior.
+- :class:`SPECTRA` — deterministic structured top-k selection (Guerreiro &
+  Martins 2021).
+- :class:`CR` — causal rationalization (Zhang et al. 2023): sufficiency +
+  necessity objective.
+"""
+
+from repro.baselines.dmr import DMR
+from repro.baselines.a2r import A2R
+from repro.baselines.car import CAR
+from repro.baselines.inter_rat import InterRAT
+from repro.baselines.three_player import ThreePlayer
+from repro.baselines.vib import VIB
+from repro.baselines.spectra import SPECTRA
+from repro.baselines.cr import CR
+
+__all__ = ["DMR", "A2R", "CAR", "InterRAT", "ThreePlayer", "VIB", "SPECTRA", "CR"]

@@ -1,0 +1,74 @@
+"""A2R — understanding interlocking dynamics (Yu et al., NeurIPS 2021).
+
+A2R pairs the hard-rationale predictor with an auxiliary predictor fed a
+*soft* attention-weighted rationale, and minimizes the JS divergence
+between the two heads' output distributions.  The soft head always sees a
+smoothed version of the whole input (so it cannot interlock), and the
+coupling conveys that full-input information to the hard predictor.
+
+As the paper notes, the two predictors are only coupled through their
+*outputs*, so aligning outputs "does not necessarily align their inputs" —
+the deviation can persist, which is why DAR outperforms it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.core.regularizers import sparsity_coherence_penalty
+from repro.core.rnp import RNP
+from repro.data.batching import Batch
+
+
+class A2R(RNP):
+    """RNP + soft-rationale auxiliary predictor with JS-divergence coupling."""
+
+    name = "A2R"
+
+    def __init__(self, *args, js_weight: float = 1.0, **kwargs):
+        rng = kwargs.get("rng") or np.random.default_rng()
+        kwargs["rng"] = rng
+        super().__init__(*args, **kwargs)
+        self.js_weight = js_weight
+        self.predictor_soft = self.make_predictor(rng=rng)
+
+    def training_loss(self, batch: Batch, rng: Optional[np.random.Generator] = None) -> tuple[Tensor, dict]:
+        """Hard-path CE + soft-path CE + JS coupling + Ω(M)."""
+        logits_sel = self.generator.selection_logits(batch.token_ids, batch.mask)
+        pad = Tensor(np.asarray(batch.mask, dtype=np.float64))
+
+        # Hard path: straight-through Gumbel sample, as in RNP.
+        sample = F.gumbel_softmax(logits_sel, temperature=self.temperature, hard=True, axis=-1, rng=rng)
+        hard_mask = sample[:, :, 1] * pad
+        logits_hard = self.predictor(batch.token_ids, hard_mask, batch.mask)
+
+        # Soft path: the selection probabilities themselves weight the input.
+        soft_mask = F.softmax(logits_sel, axis=-1)[:, :, 1] * pad
+        logits_soft = self.predictor_soft(batch.token_ids, soft_mask, batch.mask)
+
+        task_hard = F.cross_entropy(logits_hard, batch.labels)
+        task_soft = F.cross_entropy(logits_soft, batch.labels)
+        js = F.js_divergence(
+            F.softmax(logits_hard, axis=-1), F.softmax(logits_soft, axis=-1)
+        ).mean()
+
+        penalty = sparsity_coherence_penalty(
+            hard_mask, batch.mask, self.alpha, self.lambda_sparsity, self.lambda_coherence
+        )
+        loss = task_hard + task_soft + self.js_weight * js + penalty
+        info = {
+            "task_loss": task_hard.item(),
+            "soft_loss": task_soft.item(),
+            "js": js.item(),
+            "penalty": penalty.item(),
+            "selected_rate": float(hard_mask.data.sum() / (batch.mask.sum() + 1e-9)),
+        }
+        return loss, info
+
+    def complexity(self) -> dict:
+        """Table IV row: 1 generator + 2 predictors."""
+        return {"generators": 1, "predictors": 2, "parameters": self.num_parameters()}

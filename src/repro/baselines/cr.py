@@ -1,0 +1,64 @@
+"""CR — towards trustworthy explanation via causal rationalization
+(Zhang et al., ICML 2023).
+
+CR scores rationales by a causal criterion of *sufficiency* (the rationale
+alone supports the correct prediction) and *necessity* (removing the
+rationale destroys the prediction).  We reimplement the criterion directly:
+
+``L = H_c(Y, Ŷ | Z)  +  w · relu(margin − H_c(Y, Ŷ | X∖Z))``
+
+The second term penalizes the game when the *complement* still predicts
+the label confidently — i.e. when the selected rationale is not necessary.
+
+Appears in the paper's Table VI comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.core.regularizers import sparsity_coherence_penalty
+from repro.core.rnp import RNP
+from repro.data.batching import Batch
+
+
+class CR(RNP):
+    """Causal sufficiency + necessity rationalizer."""
+
+    name = "CR"
+
+    def __init__(self, *args, necessity_weight: float = 0.5, necessity_margin: float = 0.6, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.necessity_weight = necessity_weight
+        self.necessity_margin = necessity_margin
+
+    def training_loss(self, batch: Batch, rng: Optional[np.random.Generator] = None) -> tuple[Tensor, dict]:
+        """Sufficiency CE + hinged necessity on the complement + Ω(M)."""
+        pad = Tensor(np.asarray(batch.mask, dtype=np.float64))
+        mask = self.generator(batch.token_ids, batch.mask, temperature=self.temperature, rng=rng)
+        complement = (1.0 - mask) * pad
+
+        logits = self.predictor(batch.token_ids, mask, batch.mask)
+        sufficiency = F.cross_entropy(logits, batch.labels)
+
+        comp_logits = self.predictor(batch.token_ids, complement, batch.mask)
+        comp_ce = F.cross_entropy(comp_logits, batch.labels)
+        # Necessity: hinge on the complement's cross-entropy — no further
+        # reward once the complement is sufficiently uninformative.
+        necessity = (Tensor(self.necessity_margin) - comp_ce).relu()
+
+        penalty = sparsity_coherence_penalty(
+            mask, batch.mask, self.alpha, self.lambda_sparsity, self.lambda_coherence
+        )
+        loss = sufficiency + self.necessity_weight * necessity + penalty
+        info = {
+            "task_loss": sufficiency.item(),
+            "necessity": necessity.item(),
+            "penalty": penalty.item(),
+            "selected_rate": float(mask.data.sum() / (batch.mask.sum() + 1e-9)),
+        }
+        return loss, info

@@ -1,0 +1,90 @@
+"""3PLAYER — introspective extraction and complement control (Yu et al. 2019).
+
+3PLAYER adds a *complement predictor* that tries to classify from the
+unselected text (1 − M) ⊙ X.  The complement predictor is trained to
+succeed; the generator is trained adversarially so that it fails — if the
+complement still carries label information, the generator is pushed to
+squeeze that information into the rationale.
+
+The two-sided objective is realized with an internal optimizer for the
+complement player (updated on the detached mask) plus a reversed-sign term
+in the main loss for the generator.  The paper's critique: 3PLAYER moves
+information into the rationale but "cannot exclude the noise", so the
+rationale-shift problem persists.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.core.regularizers import sparsity_coherence_penalty
+from repro.core.rnp import RNP
+from repro.data.batching import Batch
+from repro.optim.adam import Adam
+
+
+class ThreePlayer(RNP):
+    """RNP + adversarial complement predictor."""
+
+    name = "3PLAYER"
+
+    def __init__(self, *args, complement_weight: float = 0.5, complement_lr: float = 1e-3, **kwargs):
+        rng = kwargs.get("rng") or np.random.default_rng()
+        kwargs["rng"] = rng
+        super().__init__(*args, **kwargs)
+        self.complement_weight = complement_weight
+        self.predictor_complement = self.make_predictor(rng=rng)
+        self._complement_params = [p for p in self.predictor_complement.parameters() if p.requires_grad]
+        self._complement_optimizer = Adam(self._complement_params, lr=complement_lr)
+        # The complement player is updated only by its own optimizer (phase 1
+        # below); keep its parameters frozen otherwise so the main optimizer
+        # never sees them — the reversed-sign term in the main loss must act
+        # on the generator alone.
+        self._set_complement_trainable(False)
+
+    def _set_complement_trainable(self, flag: bool) -> None:
+        for param in self._complement_params:
+            param.requires_grad = flag
+
+    def training_loss(self, batch: Batch, rng: Optional[np.random.Generator] = None) -> tuple[Tensor, dict]:
+        """Two-phase update: train the complement player, then the main
+        players with the complement CE reversed."""
+        pad = Tensor(np.asarray(batch.mask, dtype=np.float64))
+        mask = self.generator(batch.token_ids, batch.mask, temperature=self.temperature, rng=rng)
+        complement = (1.0 - mask) * pad
+
+        # Phase 1: train the complement player on the detached complement.
+        self._set_complement_trainable(True)
+        self._complement_optimizer.zero_grad()
+        comp_logits_detached = self.predictor_complement(batch.token_ids, complement.detach(), batch.mask)
+        comp_train_loss = F.cross_entropy(comp_logits_detached, batch.labels)
+        comp_train_loss.backward()
+        self._complement_optimizer.step()
+        self._set_complement_trainable(False)
+
+        # Phase 2: main players.  The generator *maximizes* the (frozen)
+        # complement player's loss — reversed sign on the complement CE.
+        logits = self.predictor(batch.token_ids, mask, batch.mask)
+        task_loss = F.cross_entropy(logits, batch.labels)
+        comp_logits = self.predictor_complement(batch.token_ids, complement, batch.mask)
+        comp_loss = F.cross_entropy(comp_logits, batch.labels)
+
+        penalty = sparsity_coherence_penalty(
+            mask, batch.mask, self.alpha, self.lambda_sparsity, self.lambda_coherence
+        )
+        loss = task_loss - self.complement_weight * comp_loss + penalty
+        info = {
+            "task_loss": task_loss.item(),
+            "complement_loss": comp_loss.item(),
+            "penalty": penalty.item(),
+            "selected_rate": float(mask.data.sum() / (batch.mask.sum() + 1e-9)),
+        }
+        return loss, info
+
+    def complexity(self) -> dict:
+        """Table IV row: 1 generator + 2 predictors."""
+        return {"generators": 1, "predictors": 2, "parameters": self.num_parameters()}

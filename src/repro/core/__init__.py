@@ -1,0 +1,47 @@
+"""The rationalization framework: RNP's cooperative game and DAR.
+
+- :class:`~repro.core.generator.Generator` — selects the rationale mask M
+  via straight-through Gumbel-softmax (Eq. 1).
+- :class:`~repro.core.predictor.Predictor` — classifies from the masked
+  input only (certification of exclusion).
+- :class:`~repro.core.rnp.RNP` — the vanilla cooperative game (Eq. 2 + 3).
+- :class:`~repro.core.dar.DAR` — the paper's contribution: a frozen
+  predictor pretrained on the full input discriminatively aligns the
+  rationale to the input (Eq. 4-6).
+- :mod:`~repro.core.trainer` — cooperative training loops, evaluation
+  probes, and the skew pretraining hooks for the synthetic experiments.
+"""
+
+from repro.core.generator import Generator
+from repro.core.predictor import Predictor
+from repro.core.regularizers import sparsity_coherence_penalty
+from repro.core.rnp import RNP
+from repro.core.dar import DAR
+from repro.core.trainer import (
+    TrainConfig,
+    TrainResult,
+    train_rationalizer,
+    pretrain_full_text_predictor,
+    evaluate_rationale_quality,
+    evaluate_full_text,
+    evaluate_rationale_accuracy,
+    skew_pretrain_predictor_first_sentence,
+    skew_pretrain_generator_first_token,
+)
+
+__all__ = [
+    "Generator",
+    "Predictor",
+    "sparsity_coherence_penalty",
+    "RNP",
+    "DAR",
+    "TrainConfig",
+    "TrainResult",
+    "train_rationalizer",
+    "pretrain_full_text_predictor",
+    "evaluate_rationale_quality",
+    "evaluate_full_text",
+    "evaluate_rationale_accuracy",
+    "skew_pretrain_predictor_first_sentence",
+    "skew_pretrain_generator_first_token",
+]

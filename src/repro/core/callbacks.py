@@ -1,0 +1,65 @@
+"""Training-time observers.
+
+The trainer accepts an optional callback invoked after every epoch's
+evaluation; :class:`ShiftMonitor` uses it to track the paper's central
+quantity — the predictor's full-text accuracy — *over the course of
+training*, turning the static Fig. 3 probe into a trajectory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.core.trainer import evaluate_full_text
+from repro.data.dataset import AspectDataset
+
+
+class EpochCallback(Protocol):
+    """Called as ``callback(model, dataset, epoch_info)`` after each epoch."""
+
+    def __call__(self, model, dataset: AspectDataset, epoch_info: dict) -> None: ...
+
+
+@dataclass
+class ShiftMonitor:
+    """Record the full-text accuracy trajectory during cooperative training.
+
+    Usage::
+
+        monitor = ShiftMonitor()
+        train_rationalizer(model, dataset, config, callback=monitor)
+        monitor.trajectory          # [(epoch, full_text_acc), ...]
+        monitor.collapsed(thresh)   # did full-text acc ever fall below thresh?
+    """
+
+    split: str = "dev"
+    trajectory: list[tuple[int, float]] = field(default_factory=list)
+
+    def __call__(self, model, dataset: AspectDataset, epoch_info: dict) -> None:
+        """Probe the model on the configured split and record the result."""
+        examples = getattr(dataset, self.split)
+        score = evaluate_full_text(model, examples)
+        self.trajectory.append((epoch_info["epoch"], score.accuracy))
+        epoch_info["full_text_acc"] = score.accuracy
+
+    def collapsed(self, threshold: float = 60.0) -> bool:
+        """Whether full-text accuracy dipped below ``threshold`` at any epoch."""
+        return any(acc < threshold for _, acc in self.trajectory)
+
+    def final_accuracy(self) -> float:
+        """Full-text accuracy at the last recorded epoch."""
+        if not self.trajectory:
+            raise ValueError("monitor has no recorded epochs")
+        return self.trajectory[-1][1]
+
+
+@dataclass
+class HistoryRecorder:
+    """Accumulate every epoch_info dict (a minimal logging callback)."""
+
+    records: list[dict] = field(default_factory=list)
+
+    def __call__(self, model, dataset: AspectDataset, epoch_info: dict) -> None:
+        """Store a copy of the epoch info."""
+        self.records.append(dict(epoch_info))

@@ -1,0 +1,97 @@
+"""Structured decoding of rationale selections from per-token scores.
+
+The generator produces independent per-token scores; these utilities turn
+them into *structured* selections:
+
+- :func:`best_contiguous_span` — the highest-scoring contiguous span of a
+  given length (dynamic programming over prefix sums).
+- :func:`sentence_level_mask` — select whole sentences, the granularity
+  A2R uses on BeerAdvocate ("the rationales of BeerAdvocate are annotated
+  on a sentence level, so A2R does sentence-level selection on it").
+- :func:`contiguous_topk_mask` — batch helper: one best span per example,
+  length matched to the sparsity budget.
+
+All of them consume the score array ``select_logit - skip_logit`` produced
+by :meth:`repro.core.generator.Generator.selection_logits`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.batching import Batch
+
+
+def best_contiguous_span(scores: np.ndarray, span_length: int) -> tuple[int, int]:
+    """Return ``(start, end)`` of the max-sum contiguous span.
+
+    ``scores`` is 1-d; ``span_length`` is clamped to ``len(scores)``.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 1 or scores.size == 0:
+        raise ValueError("scores must be a non-empty 1-d array")
+    span_length = max(1, min(int(span_length), scores.size))
+    prefix = np.concatenate([[0.0], np.cumsum(scores)])
+    sums = prefix[span_length:] - prefix[:-span_length]
+    start = int(np.argmax(sums))
+    return start, start + span_length
+
+
+def sentence_level_mask(
+    scores: np.ndarray,
+    sentence_spans: Sequence[tuple[int, int]],
+    n_sentences: int = 1,
+) -> np.ndarray:
+    """Select the ``n_sentences`` highest-mean-score sentences.
+
+    Returns a binary mask over the token positions covered by the spans.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if not sentence_spans:
+        raise ValueError("sentence_spans must be non-empty")
+    means = []
+    for start, end in sentence_spans:
+        segment = scores[start:end]
+        means.append(segment.mean() if segment.size else -np.inf)
+    order = np.argsort(means)[::-1][:max(1, n_sentences)]
+    mask = np.zeros_like(scores)
+    for idx in order:
+        start, end = sentence_spans[idx]
+        mask[start:end] = 1.0
+    return mask
+
+
+def contiguous_topk_mask(scores: np.ndarray, pad_mask: np.ndarray, rate: float) -> np.ndarray:
+    """Batch version: one best contiguous span per row, budget ``rate``.
+
+    The structured counterpart of :func:`repro.baselines.spectra.topk_mask`
+    — same budget, but the selection is forced to be a single span (a
+    maximally coherent rationale).
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    pad = np.asarray(pad_mask, dtype=np.float64)
+    out = np.zeros_like(pad)
+    for i in range(scores.shape[0]):
+        length = int(pad[i].sum())
+        if length == 0:
+            continue
+        k = max(1, int(np.ceil(rate * length)))
+        start, end = best_contiguous_span(scores[i, :length], k)
+        out[i, start:end] = 1.0
+    return out * pad
+
+
+def decode_batch_sentences(model, batch: Batch, n_sentences: int = 1) -> np.ndarray:
+    """Sentence-level selection for a whole batch (the A2R* granularity)."""
+    logits = model.generator.selection_logits(batch.token_ids, batch.mask)
+    scores = logits.data[:, :, 1] - logits.data[:, :, 0]
+    out = np.zeros_like(batch.mask)
+    for i, example in enumerate(batch.examples):
+        if not example.sentence_spans:
+            continue
+        length = len(example)
+        mask = sentence_level_mask(scores[i, :length], example.sentence_spans, n_sentences)
+        out[i, :length] = mask
+    return out * batch.mask

@@ -1,0 +1,46 @@
+"""Encoder factory shared by generators and predictors.
+
+The paper's main experiments use 200-d bi-directional GRUs; Table VI swaps
+in BERT.  ``make_encoder`` returns either, behind the common
+``(embedded, mask) -> (B, L, H)`` contract.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.attention import TransformerEncoder
+from repro.nn.rnn import GRU
+
+
+def make_encoder(
+    kind: str,
+    input_size: int,
+    hidden_size: int,
+    rng: Optional[np.random.Generator] = None,
+    num_heads: int = 4,
+    num_layers: int = 2,
+):
+    """Build an encoder.
+
+    ``kind`` is ``"gru"`` (bi-GRU, output 2*hidden — the paper's setup),
+    ``"lstm"`` (bi-LSTM, for configurations ported from other
+    rationalization codebases), or ``"transformer"`` (the BERT stand-in,
+    output = input_size).
+    """
+    if kind == "gru":
+        return GRU(input_size, hidden_size, bidirectional=True, rng=rng)
+    if kind == "lstm":
+        from repro.nn.lstm import LSTM
+
+        return LSTM(input_size, hidden_size, bidirectional=True, rng=rng)
+    if kind == "transformer":
+        return TransformerEncoder(
+            d_model=input_size,
+            num_heads=num_heads,
+            num_layers=num_layers,
+            rng=rng,
+        )
+    raise ValueError(f"unknown encoder kind {kind!r}; use 'gru', 'lstm' or 'transformer'")

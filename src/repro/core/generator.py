@@ -1,0 +1,108 @@
+"""The rationale generator f_G.
+
+Encodes the input, scores every token with two logits (skip / select), and
+samples a binary mask with straight-through Gumbel-softmax — the
+reparameterization the paper (and its baselines) use for Eq. (1):
+``Z = M ⊙ X``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.core.encoders import make_encoder
+from repro.nn.embedding import Embedding
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+
+
+class Generator(Module):
+    """Token-level rationale selector.
+
+    Parameters
+    ----------
+    vocab_size, embedding_dim:
+        Embedding table geometry; ``pretrained`` provides GloVe-like
+        initial vectors (frozen by default, as is standard for RNP-family
+        models on these datasets).
+    hidden_size:
+        GRU hidden width (per direction).
+    encoder:
+        ``"gru"`` or ``"transformer"`` (Table VI configuration).
+    """
+
+    def __init__(
+        self,
+        vocab_size: int,
+        embedding_dim: int,
+        hidden_size: int,
+        pretrained: Optional[np.ndarray] = None,
+        freeze_embeddings: bool = True,
+        encoder: str = "gru",
+        sampler: str = "gumbel",
+        sampler_kwargs: Optional[dict] = None,
+        select_bias_init: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        import functools
+
+        from repro.core.sampling import get_sampler
+
+        rng = rng or np.random.default_rng()
+        self.embedding = Embedding(
+            vocab_size, embedding_dim, pretrained=pretrained, freeze=freeze_embeddings, rng=rng
+        )
+        self.encoder = make_encoder(encoder, embedding_dim, hidden_size, rng=rng)
+        self.head = Linear(self.encoder.output_size, 2, rng=rng)
+        # Negative values start the selection rate below 50% (sigmoid of the
+        # logit difference), so the predictor only ever sees what the
+        # generator actually commits to — the regime in which the paper's
+        # rationale-shift dynamics play out.
+        if select_bias_init:
+            self.head.bias.data[1] = select_bias_init
+        self.sampler_name = sampler
+        base_sampler = get_sampler(sampler)
+        # e.g. sampler="topk", sampler_kwargs={"rate": alpha} pins the
+        # deterministic budget to the model's sparsity target.
+        self._sampler = (
+            functools.partial(base_sampler, **sampler_kwargs) if sampler_kwargs else base_sampler
+        )
+
+    def selection_logits(self, token_ids: np.ndarray, pad_mask: np.ndarray) -> Tensor:
+        """Per-token (skip, select) logits, shape (B, L, 2)."""
+        embedded = self.embedding(token_ids)
+        hidden = self.encoder(embedded, mask=pad_mask)
+        return self.head(hidden)
+
+    def forward(
+        self,
+        token_ids: np.ndarray,
+        pad_mask: np.ndarray,
+        temperature: float = 1.0,
+        rng: Optional[np.random.Generator] = None,
+        hard: bool = True,
+    ) -> Tensor:
+        """Sample the binary rationale mask M, shape (B, L).
+
+        Padding positions are forced to zero.  The straight-through
+        estimator keeps the mask binary in the forward pass while gradients
+        flow through the underlying soft sample.  The sampling strategy is
+        configurable (``sampler=`` at construction): Gumbel-softmax
+        (default), HardKuma, or deterministic top-k.
+        """
+        logits = self.selection_logits(token_ids, pad_mask)
+        if not hard:
+            sample = F.gumbel_softmax(logits, temperature=temperature, hard=False, axis=-1, rng=rng)
+            return sample[:, :, 1] * Tensor(np.asarray(pad_mask, dtype=np.float64))
+        return self._sampler(logits, pad_mask, temperature, rng)
+
+    def deterministic_mask(self, token_ids: np.ndarray, pad_mask: np.ndarray) -> np.ndarray:
+        """Greedy (argmax) selection for evaluation, shape (B, L) in {0,1}."""
+        logits = self.selection_logits(token_ids, pad_mask)
+        chosen = (logits.data[:, :, 1] > logits.data[:, :, 0]).astype(np.float64)
+        return chosen * np.asarray(pad_mask, dtype=np.float64)

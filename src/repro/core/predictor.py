@@ -1,0 +1,87 @@
+"""The predictor f_P: classifies from the selected rationale only.
+
+The rationale Z = M ⊙ X is realized by multiplying token embeddings with
+the mask, and the final representation is mean-pooled *over selected
+positions only* — so unselected tokens provably contribute nothing to the
+pooled features (the paper's "certification of exclusion").  Calling the
+predictor with ``rationale_mask = pad_mask`` evaluates it on the full text,
+which is exactly the Fig. 3b / Fig. 6 probe.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.core.encoders import make_encoder
+from repro.nn.embedding import Embedding
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+
+
+class Predictor(Module):
+    """Rationale classifier: embeddings * M -> encoder -> masked mean -> linear."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        embedding_dim: int,
+        hidden_size: int,
+        num_classes: int = 2,
+        pretrained: Optional[np.ndarray] = None,
+        freeze_embeddings: bool = True,
+        encoder: str = "gru",
+        pooling: str = "mean",
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if pooling not in ("mean", "max"):
+            raise ValueError(f"pooling must be 'mean' or 'max', got {pooling!r}")
+        rng = rng or np.random.default_rng()
+        self.num_classes = num_classes
+        self.pooling = pooling
+        self.embedding = Embedding(
+            vocab_size, embedding_dim, pretrained=pretrained, freeze=freeze_embeddings, rng=rng
+        )
+        self.encoder = make_encoder(encoder, embedding_dim, hidden_size, rng=rng)
+        self.head = Linear(self.encoder.output_size, num_classes, rng=rng)
+
+    def forward(
+        self,
+        token_ids: np.ndarray,
+        rationale_mask: Union[Tensor, np.ndarray],
+        pad_mask: np.ndarray,
+    ) -> Tensor:
+        """Class logits (B, C) from the rationale selected by ``rationale_mask``.
+
+        ``rationale_mask`` may be a Tensor (training: gradients flow back to
+        the generator through it) or a plain array (evaluation).
+        """
+        if not isinstance(rationale_mask, Tensor):
+            rationale_mask = Tensor(np.asarray(rationale_mask, dtype=np.float64))
+        embedded = self.embedding(token_ids)
+        masked = embedded * rationale_mask.unsqueeze(2)
+        hidden = self.encoder(masked, mask=pad_mask)
+        # Pool over *selected* positions only (certification of exclusion).
+        weights = rationale_mask.unsqueeze(2)
+        if self.pooling == "mean":
+            pooled = (hidden * weights).sum(axis=1) / (weights.sum(axis=1) + 1e-9)
+        else:  # max: push unselected positions to -inf before the max
+            blocked = np.broadcast_to(
+                (np.asarray(rationale_mask.data if isinstance(rationale_mask, Tensor) else rationale_mask)
+                 < 0.5)[:, :, None],
+                hidden.shape,
+            )
+            pooled = (hidden * weights).masked_fill(blocked, -1e9).max(axis=1)
+            # Rows with empty selections become -1e9 everywhere; zero them.
+            empty = np.asarray(weights.data).sum(axis=1) < 0.5
+            if empty.any():
+                pooled = pooled.masked_fill(np.broadcast_to(empty, pooled.shape), 0.0)
+        return self.head(pooled)
+
+    def predict(self, token_ids: np.ndarray, rationale_mask, pad_mask: np.ndarray) -> np.ndarray:
+        """Hard class predictions (B,), no graph."""
+        logits = self.forward(token_ids, rationale_mask, pad_mask)
+        return logits.data.argmax(axis=1)

@@ -1,0 +1,41 @@
+"""The short-and-coherent rationale regularizer Ω(M) of Eq. (3).
+
+``Ω(M) = λ1 * | ||M||_1 / l − α | + λ2 * Σ_t |m_t − m_{t−1}|``
+
+The first term pins the selection rate to the target sparsity α; the
+second encourages contiguous selections.  Both are computed on the
+straight-through mask, per example, respecting padding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+def sparsity_coherence_penalty(
+    mask: Tensor,
+    pad_mask: np.ndarray,
+    alpha: float,
+    lambda_sparsity: float = 1.0,
+    lambda_coherence: float = 0.1,
+) -> Tensor:
+    """Eq. (3), averaged over the batch.
+
+    ``mask`` is the (B, L) rationale mask (already zero on padding);
+    ``pad_mask`` marks real tokens; ``alpha`` is the target selection rate.
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+    pad = np.asarray(pad_mask, dtype=np.float64)
+    lengths = Tensor(pad.sum(axis=1) + 1e-9)
+
+    selected_rate = mask.sum(axis=1) / lengths
+    sparsity_term = (selected_rate - alpha).abs().mean()
+
+    # Coherence: |m_t - m_{t-1}| only where both positions are real tokens.
+    diffs = (mask[:, 1:] - mask[:, :-1]).abs() * Tensor(pad[:, 1:] * pad[:, :-1])
+    coherence_term = (diffs.sum(axis=1) / lengths).mean()
+
+    return lambda_sparsity * sparsity_term + lambda_coherence * coherence_term

@@ -1,0 +1,123 @@
+"""Vanilla RNP (Lei et al. 2016): the cooperative rationalization game.
+
+Objective (Eq. 2 + 3):
+
+``min_{θG, θP}  H_c(Y, f_P(f_G(X))) + Ω(M)``
+
+Both players are trained jointly on the same loss — the setting in which
+the paper demonstrates the rationale-shift failure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.core.generator import Generator
+from repro.core.predictor import Predictor
+from repro.core.regularizers import sparsity_coherence_penalty
+from repro.data.batching import Batch
+from repro.nn.module import Module
+
+
+class RNP(Module):
+    """Generator + predictor cooperative game.
+
+    Parameters mirror the paper's setup: GRU encoders, GloVe-like
+    pretrained embeddings, Gumbel-softmax sampling, and the Eq. (3)
+    regularizer with target sparsity ``alpha``.
+    """
+
+    name = "RNP"
+    #: Whether the Acc column is meaningful (label-aware selectors report N/A).
+    reports_accuracy = True
+
+    def __init__(
+        self,
+        vocab_size: int,
+        embedding_dim: int = 64,
+        hidden_size: int = 32,
+        num_classes: int = 2,
+        alpha: float = 0.15,
+        lambda_sparsity: float = 1.0,
+        lambda_coherence: float = 0.1,
+        temperature: float = 1.0,
+        pretrained_embeddings: Optional[np.ndarray] = None,
+        encoder: str = "gru",
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.alpha = alpha
+        self.lambda_sparsity = lambda_sparsity
+        self.lambda_coherence = lambda_coherence
+        self.temperature = temperature
+        # Architecture hyper-parameters, kept so subclasses (DAR and the
+        # baselines) can instantiate additional players with one call.
+        self.arch = {
+            "vocab_size": vocab_size,
+            "embedding_dim": embedding_dim,
+            "hidden_size": hidden_size,
+            "num_classes": num_classes,
+            "encoder": encoder,
+            "pretrained_embeddings": pretrained_embeddings,
+        }
+        self.generator = Generator(
+            vocab_size, embedding_dim, hidden_size,
+            pretrained=pretrained_embeddings, encoder=encoder, rng=rng,
+        )
+        self.predictor = Predictor(
+            vocab_size, embedding_dim, hidden_size, num_classes=num_classes,
+            pretrained=pretrained_embeddings, encoder=encoder, rng=rng,
+        )
+
+    def make_predictor(self, rng: Optional[np.random.Generator] = None) -> Predictor:
+        """Instantiate another predictor with this model's architecture."""
+        return Predictor(
+            self.arch["vocab_size"],
+            self.arch["embedding_dim"],
+            self.arch["hidden_size"],
+            num_classes=self.arch["num_classes"],
+            pretrained=self.arch["pretrained_embeddings"],
+            encoder=self.arch["encoder"],
+            rng=rng or np.random.default_rng(),
+        )
+
+    # ------------------------------------------------------------------
+    def training_loss(self, batch: Batch, rng: Optional[np.random.Generator] = None) -> tuple[Tensor, dict]:
+        """One forward pass of the cooperative game; returns (loss, info)."""
+        mask = self.generator(batch.token_ids, batch.mask, temperature=self.temperature, rng=rng)
+        logits = self.predictor(batch.token_ids, mask, batch.mask)
+        task_loss = F.cross_entropy(logits, batch.labels)
+        penalty = sparsity_coherence_penalty(
+            mask, batch.mask, self.alpha, self.lambda_sparsity, self.lambda_coherence
+        )
+        loss = task_loss + penalty
+        info = {
+            "task_loss": task_loss.item(),
+            "penalty": penalty.item(),
+            "selected_rate": float((mask.data.sum() / (batch.mask.sum() + 1e-9))),
+        }
+        return loss, info
+
+    # ------------------------------------------------------------------
+    def select(self, batch: Batch) -> np.ndarray:
+        """Deterministic rationale selection for evaluation."""
+        return self.generator.deterministic_mask(batch.token_ids, batch.mask)
+
+    def predict_from_rationale(self, batch: Batch) -> np.ndarray:
+        """Classify the deterministic rationale (the paper's Acc column)."""
+        mask = self.select(batch)
+        return self.predictor.predict(batch.token_ids, mask, batch.mask)
+
+    def predict_full_text(self, batch: Batch) -> np.ndarray:
+        """Classify the full input — the Fig. 3b / Fig. 6 probe."""
+        return self.predictor.predict(batch.token_ids, batch.mask, batch.mask)
+
+    # ------------------------------------------------------------------
+    def complexity(self) -> dict:
+        """Module/parameter counts for Table IV."""
+        return {"generators": 1, "predictors": 1, "parameters": self.num_parameters()}

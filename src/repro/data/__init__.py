@@ -1,0 +1,50 @@
+"""Synthetic multi-aspect review corpora with token-level gold rationales.
+
+The paper evaluates on BeerAdvocate (Appearance/Aroma/Palate) and
+HotelReview (Location/Service/Cleanliness).  Both require downloads that are
+unavailable offline, so this package generates lexicon-driven synthetic
+corpora that preserve the structural properties the paper's phenomena
+depend on — see DESIGN.md §2 for the substitution argument.
+"""
+
+from repro.data.vocabulary import Vocabulary, PAD_TOKEN, UNK_TOKEN
+from repro.data.lexicon import AspectLexicon, BEER_LEXICONS, HOTEL_LEXICONS, FILLER_WORDS, PUNCTUATION
+from repro.data.dataset import ReviewExample, AspectDataset, DatasetStatistics
+from repro.data.synthetic import CorpusConfig, SyntheticReviewGenerator
+from repro.data.beer import build_beer_dataset, BEER_ASPECTS, BEER_SPARSITY
+from repro.data.hotel import build_hotel_dataset, HOTEL_ASPECTS, HOTEL_SPARSITY
+from repro.data.embeddings import build_embedding_table
+from repro.data.batching import Batch, pad_batch, batch_iterator
+from repro.data.tokenizer import WordTokenizer, detokenize
+from repro.data.statistics import CorpusStatistics, corpus_statistics, token_frequencies
+
+__all__ = [
+    "Vocabulary",
+    "PAD_TOKEN",
+    "UNK_TOKEN",
+    "AspectLexicon",
+    "BEER_LEXICONS",
+    "HOTEL_LEXICONS",
+    "FILLER_WORDS",
+    "PUNCTUATION",
+    "ReviewExample",
+    "AspectDataset",
+    "DatasetStatistics",
+    "CorpusConfig",
+    "SyntheticReviewGenerator",
+    "build_beer_dataset",
+    "BEER_ASPECTS",
+    "BEER_SPARSITY",
+    "build_hotel_dataset",
+    "HOTEL_ASPECTS",
+    "HOTEL_SPARSITY",
+    "build_embedding_table",
+    "Batch",
+    "pad_batch",
+    "batch_iterator",
+    "WordTokenizer",
+    "detokenize",
+    "CorpusStatistics",
+    "corpus_statistics",
+    "token_frequencies",
+]

@@ -1,0 +1,81 @@
+"""Padded minibatching for variable-length reviews."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.data.dataset import ReviewExample
+
+
+@dataclass
+class Batch:
+    """A padded minibatch.
+
+    Attributes
+    ----------
+    token_ids:
+        (B, L) int array, zero-padded on the right.
+    mask:
+        (B, L) float array, 1.0 on real tokens.
+    labels:
+        (B,) int array.
+    rationales:
+        (B, L) int array of gold annotations (zeros when unannotated).
+    examples:
+        The underlying examples, for decoding selections back to tokens.
+    """
+
+    token_ids: np.ndarray
+    mask: np.ndarray
+    labels: np.ndarray
+    rationales: np.ndarray
+    examples: list[ReviewExample]
+
+    def __len__(self) -> int:
+        return self.token_ids.shape[0]
+
+    @property
+    def max_len(self) -> int:
+        return self.token_ids.shape[1]
+
+
+def pad_batch(examples: Sequence[ReviewExample], pad_id: int = 0) -> Batch:
+    """Right-pad a list of examples into dense arrays."""
+    if not examples:
+        raise ValueError("cannot pad an empty batch")
+    max_len = max(len(e) for e in examples)
+    batch_size = len(examples)
+    token_ids = np.full((batch_size, max_len), pad_id, dtype=np.int64)
+    mask = np.zeros((batch_size, max_len), dtype=np.float64)
+    labels = np.zeros(batch_size, dtype=np.int64)
+    rationales = np.zeros((batch_size, max_len), dtype=np.int64)
+    for i, example in enumerate(examples):
+        length = len(example)
+        token_ids[i, :length] = example.token_ids
+        mask[i, :length] = 1.0
+        labels[i] = example.label
+        rationales[i, :length] = example.rationale
+    return Batch(token_ids=token_ids, mask=mask, labels=labels, rationales=rationales, examples=list(examples))
+
+
+def batch_iterator(
+    examples: Sequence[ReviewExample],
+    batch_size: int,
+    shuffle: bool = True,
+    rng: Optional[np.random.Generator] = None,
+    drop_last: bool = False,
+) -> Iterator[Batch]:
+    """Yield padded minibatches, optionally shuffled each call."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    order = np.arange(len(examples))
+    if shuffle:
+        (rng or np.random.default_rng()).shuffle(order)
+    for start in range(0, len(examples), batch_size):
+        idx = order[start:start + batch_size]
+        if drop_last and len(idx) < batch_size:
+            break
+        yield pad_batch([examples[i] for i in idx])

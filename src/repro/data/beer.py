@@ -1,0 +1,60 @@
+"""Synthetic BeerAdvocate: Appearance / Aroma / Palate.
+
+Gold-rationale sparsity per aspect follows the paper's Table IX
+(Appearance 18.5%, Aroma 15.6%, Palate 12.4%): denser annotation for
+Appearance, sparser for Palate, realized by varying the number of
+sentiment words and the filler budget.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.data.dataset import AspectDataset
+from repro.data.embeddings import build_embedding_table
+from repro.data.lexicon import BEER_LEXICONS
+from repro.data.synthetic import CorpusConfig, SyntheticReviewGenerator
+
+BEER_ASPECTS = ("Appearance", "Aroma", "Palate")
+
+#: Table IX annotation sparsity (percent) for reference.
+BEER_SPARSITY = {"Appearance": 18.5, "Aroma": 15.6, "Palate": 12.4}
+
+# (n_sentiment_words, filler range) per aspect, tuned so that the synthetic
+# annotation sparsity lands near Table IX.
+_ASPECT_SHAPE = {
+    "Appearance": (4, (3, 5)),
+    "Aroma": (3, (3, 6)),
+    "Palate": (2, (4, 7)),
+}
+
+
+def build_beer_dataset(
+    aspect: str,
+    n_train: int = 800,
+    n_dev: int = 200,
+    n_test: int = 200,
+    correlation: float = 0.5,
+    embedding_dim: int = 64,
+    seed: int = 0,
+    config: Optional[CorpusConfig] = None,
+) -> AspectDataset:
+    """Build the synthetic Beer-<aspect> dataset with embeddings attached."""
+    if aspect not in BEER_ASPECTS:
+        raise KeyError(f"unknown beer aspect {aspect!r}; choose from {BEER_ASPECTS}")
+    if config is None:
+        n_sent, filler = _ASPECT_SHAPE[aspect]
+        config = CorpusConfig(
+            target_aspect=aspect,
+            n_train=n_train,
+            n_dev=n_dev,
+            n_test=n_test,
+            correlation=correlation,
+            n_sentiment_words=n_sent,
+            n_filler_per_sentence=filler,
+            seed=seed,
+        )
+    generator = SyntheticReviewGenerator(BEER_LEXICONS, config)
+    train, dev, test = generator.generate_splits()
+    embeddings = build_embedding_table(generator.vocab, BEER_LEXICONS, dim=embedding_dim, seed=seed + 9001)
+    return AspectDataset(aspect=aspect, train=train, dev=dev, test=test, vocab=generator.vocab, embeddings=embeddings)

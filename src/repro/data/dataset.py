@@ -1,0 +1,129 @@
+"""Dataset containers: examples, splits, and Table IX-style statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.data.vocabulary import Vocabulary
+
+
+@dataclass
+class ReviewExample:
+    """One review, labelled for a single target aspect.
+
+    Attributes
+    ----------
+    tokens:
+        The raw token sequence.
+    token_ids:
+        Integer ids under the corpus vocabulary.
+    label:
+        Binary sentiment of the *target* aspect (1 = positive).
+    rationale:
+        Binary gold-rationale mask over tokens (the "human annotation").
+        All-zeros for train/dev examples, which — like the real datasets —
+        are annotated on the test split only.
+    aspect:
+        Name of the target aspect.
+    sentence_spans:
+        ``(start, end)`` token spans of each sentence; used by the
+        skewed-predictor experiment, which pretrains on first sentences.
+    aspect_polarities:
+        The latent polarity of every aspect mentioned in this review
+        (diagnostics only; models never see this).
+    """
+
+    tokens: list[str]
+    token_ids: np.ndarray
+    label: int
+    rationale: np.ndarray
+    aspect: str
+    sentence_spans: list[tuple[int, int]] = field(default_factory=list)
+    aspect_polarities: dict[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    @property
+    def rationale_sparsity(self) -> float:
+        """Fraction of tokens annotated as rationale."""
+        if len(self.tokens) == 0:
+            return 0.0
+        return float(self.rationale.sum()) / len(self.tokens)
+
+
+@dataclass
+class DatasetStatistics:
+    """The per-aspect row of the paper's Table IX."""
+
+    aspect: str
+    train_pos: int
+    train_neg: int
+    dev_pos: int
+    dev_neg: int
+    test_pos: int
+    test_neg: int
+    annotation_sparsity: float
+
+    def as_row(self) -> dict:
+        """Render as a flat dict (the Table IX row format)."""
+        return {
+            "aspect": self.aspect,
+            "train_pos": self.train_pos,
+            "train_neg": self.train_neg,
+            "dev_pos": self.dev_pos,
+            "dev_neg": self.dev_neg,
+            "test_pos": self.test_pos,
+            "test_neg": self.test_neg,
+            "sparsity_pct": round(100.0 * self.annotation_sparsity, 1),
+        }
+
+
+class AspectDataset:
+    """Train/dev/test splits for one aspect, plus vocabulary and embeddings."""
+
+    def __init__(
+        self,
+        aspect: str,
+        train: Sequence[ReviewExample],
+        dev: Sequence[ReviewExample],
+        test: Sequence[ReviewExample],
+        vocab: Vocabulary,
+        embeddings: Optional[np.ndarray] = None,
+    ):
+        self.aspect = aspect
+        self.train = list(train)
+        self.dev = list(dev)
+        self.test = list(test)
+        self.vocab = vocab
+        self.embeddings = embeddings
+
+    def statistics(self) -> DatasetStatistics:
+        """Compute the Table IX row for this aspect."""
+
+        def pos_neg(split: Sequence[ReviewExample]) -> tuple[int, int]:
+            pos = sum(1 for e in split if e.label == 1)
+            return pos, len(split) - pos
+
+        train_pos, train_neg = pos_neg(self.train)
+        dev_pos, dev_neg = pos_neg(self.dev)
+        test_pos, test_neg = pos_neg(self.test)
+        annotated = [e for e in self.test if e.rationale.sum() > 0]
+        sparsity = float(np.mean([e.rationale_sparsity for e in annotated])) if annotated else 0.0
+        return DatasetStatistics(
+            aspect=self.aspect,
+            train_pos=train_pos,
+            train_neg=train_neg,
+            dev_pos=dev_pos,
+            dev_neg=dev_neg,
+            test_pos=test_pos,
+            test_neg=test_neg,
+            annotation_sparsity=sparsity,
+        )
+
+    def gold_sparsity(self) -> float:
+        """Average annotated-rationale sparsity on the test split."""
+        return self.statistics().annotation_sparsity

@@ -1,0 +1,60 @@
+"""Structured synthetic word embeddings (the GloVe stand-in).
+
+GloVe's role in the paper is to give the encoders a semantically clustered
+input space: sentiment words of the same aspect and polarity sit near each
+other.  We reproduce that geometry directly: each (aspect, polarity) family
+gets a random cluster centre, its members get the centre plus small noise,
+topic words get per-aspect centres, and fillers/punctuation get isotropic
+low-norm noise so they carry little signal.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.data.lexicon import FILLER_WORDS, PUNCTUATION, AspectLexicon
+from repro.data.vocabulary import Vocabulary
+
+
+def build_embedding_table(
+    vocab: Vocabulary,
+    lexicons: dict[str, AspectLexicon],
+    dim: int = 64,
+    cluster_scale: float = 2.0,
+    noise_scale: float = 0.08,
+    seed: int = 1234,
+) -> np.ndarray:
+    """Build a (|V|, dim) embedding table with family-clustered geometry.
+
+    Row 0 (padding) is all zeros; unknown words get plain noise.
+    """
+    rng = np.random.default_rng(seed)
+    table = rng.normal(0.0, noise_scale, size=(len(vocab), dim))
+
+    def centre() -> np.ndarray:
+        vec = rng.standard_normal(dim)
+        return cluster_scale * vec / np.linalg.norm(vec)
+
+    for lexicon in lexicons.values():
+        families = {
+            "topic": lexicon.topic,
+            "positive": lexicon.positive,
+            "negative": lexicon.negative,
+        }
+        for words in families.values():
+            family_centre = centre()
+            for word in words:
+                if word in vocab:
+                    table[vocab[word]] = family_centre + rng.normal(0.0, noise_scale, size=dim)
+
+    for word in FILLER_WORDS:
+        if word in vocab:
+            table[vocab[word]] = rng.normal(0.0, noise_scale, size=dim)
+    for token in PUNCTUATION:
+        if token in vocab:
+            table[vocab[token]] = rng.normal(0.0, 0.5 * noise_scale, size=dim)
+
+    table[vocab.pad_id] = 0.0
+    return table

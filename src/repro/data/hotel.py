@@ -1,0 +1,57 @@
+"""Synthetic HotelReview: Location / Service / Cleanliness.
+
+Sparsity targets follow Table IX (Location 8.5%, Service 11.5%,
+Cleanliness 8.9%) — hotel annotations are sparser than beer ones, so these
+reviews carry more filler relative to the annotated phrase.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.data.dataset import AspectDataset
+from repro.data.embeddings import build_embedding_table
+from repro.data.lexicon import HOTEL_LEXICONS
+from repro.data.synthetic import CorpusConfig, SyntheticReviewGenerator
+
+HOTEL_ASPECTS = ("Location", "Service", "Cleanliness")
+
+#: Table IX annotation sparsity (percent) for reference.
+HOTEL_SPARSITY = {"Location": 8.5, "Service": 11.5, "Cleanliness": 8.9}
+
+_ASPECT_SHAPE = {
+    "Location": (2, (6, 9)),
+    "Service": (3, (5, 8)),
+    "Cleanliness": (2, (6, 9)),
+}
+
+
+def build_hotel_dataset(
+    aspect: str,
+    n_train: int = 800,
+    n_dev: int = 200,
+    n_test: int = 200,
+    correlation: float = 0.5,
+    embedding_dim: int = 64,
+    seed: int = 0,
+    config: Optional[CorpusConfig] = None,
+) -> AspectDataset:
+    """Build the synthetic Hotel-<aspect> dataset with embeddings attached."""
+    if aspect not in HOTEL_ASPECTS:
+        raise KeyError(f"unknown hotel aspect {aspect!r}; choose from {HOTEL_ASPECTS}")
+    if config is None:
+        n_sent, filler = _ASPECT_SHAPE[aspect]
+        config = CorpusConfig(
+            target_aspect=aspect,
+            n_train=n_train,
+            n_dev=n_dev,
+            n_test=n_test,
+            correlation=correlation,
+            n_sentiment_words=n_sent,
+            n_filler_per_sentence=filler,
+            seed=seed,
+        )
+    generator = SyntheticReviewGenerator(HOTEL_LEXICONS, config)
+    train, dev, test = generator.generate_splits()
+    embeddings = build_embedding_table(generator.vocab, HOTEL_LEXICONS, dim=embedding_dim, seed=seed + 9001)
+    return AspectDataset(aspect=aspect, train=train, dev=dev, test=test, vocab=generator.vocab, embeddings=embeddings)

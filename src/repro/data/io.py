@@ -1,0 +1,202 @@
+"""Parsers for the original datasets' on-disk formats.
+
+The synthetic corpora in :mod:`repro.data.beer`/:mod:`repro.data.hotel`
+are drop-in stand-ins, but users holding the real files can build the same
+:class:`~repro.data.dataset.AspectDataset` from them:
+
+- **Rating TSV** (the decorrelated BeerAdvocate release and the
+  HotelReview release): one review per line, aspect ratings first, then
+  the tokenized text::
+
+      0.8<TAB>0.6<TAB>...<TAB>pours a nice golden color ...
+
+  :func:`load_rating_tsv` binarizes one aspect column with the paper's
+  thresholds (beer: <=0.4 negative, >=0.6 positive, middle dropped;
+  hotel: <3 negative, >3 positive on a 0-5 scale).
+
+- **Annotation JSON** (the McAuley et al. rationale annotations): one JSON
+  object per line with the token list, per-aspect ratings, and per-aspect
+  annotated token ranges ``[start, end)``::
+
+      {"x": ["pours", ...], "y": [0.8, ...], "0": [[0, 5]], "1": [], ...}
+
+  :func:`load_annotation_json` converts the ranges of one aspect into the
+  binary rationale masks used throughout the library.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.data.dataset import AspectDataset, ReviewExample
+from repro.data.vocabulary import Vocabulary
+
+PathLike = Union[str, Path]
+
+
+def binarize_beer(rating: float) -> Optional[int]:
+    """Paper's BeerAdvocate protocol: <=0.4 negative, >=0.6 positive."""
+    if rating <= 0.4:
+        return 0
+    if rating >= 0.6:
+        return 1
+    return None
+
+
+def binarize_hotel(rating: float) -> Optional[int]:
+    """Paper's HotelReview protocol on 0-5 stars: <3 negative, >3 positive."""
+    if rating < 3.0:
+        return 0
+    if rating > 3.0:
+        return 1
+    return None
+
+
+def load_rating_tsv(
+    path: PathLike,
+    aspect_index: int,
+    n_aspects: int,
+    binarize=binarize_beer,
+    aspect_name: str = "aspect",
+    max_examples: Optional[int] = None,
+) -> list[ReviewExample]:
+    """Parse a rating TSV into unannotated examples.
+
+    ``aspect_index`` selects which of the leading ``n_aspects`` rating
+    columns provides the label; reviews whose rating falls in the dropped
+    middle band are skipped.  Token ids are left empty (fill them with
+    :func:`attach_vocabulary` once the corpus vocabulary is built).
+    """
+    if not 0 <= aspect_index < n_aspects:
+        raise ValueError(f"aspect_index {aspect_index} out of range for {n_aspects} aspects")
+    examples: list[ReviewExample] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            parts = line.split("\t")
+            if len(parts) <= n_aspects:
+                raise ValueError(f"malformed TSV line (needs {n_aspects} ratings + text): {line[:80]!r}")
+            ratings = [float(r) for r in parts[:n_aspects]]
+            label = binarize(ratings[aspect_index])
+            if label is None:
+                continue
+            tokens = " ".join(parts[n_aspects:]).split()
+            if not tokens:
+                continue
+            examples.append(
+                ReviewExample(
+                    tokens=tokens,
+                    token_ids=np.zeros(len(tokens), dtype=np.int64),
+                    label=label,
+                    rationale=np.zeros(len(tokens), dtype=np.int64),
+                    aspect=aspect_name,
+                )
+            )
+            if max_examples is not None and len(examples) >= max_examples:
+                break
+    return examples
+
+
+def load_annotation_json(
+    path: PathLike,
+    aspect_index: int,
+    binarize=binarize_beer,
+    aspect_name: str = "aspect",
+    max_examples: Optional[int] = None,
+) -> list[ReviewExample]:
+    """Parse annotation JSON-lines into gold-annotated examples.
+
+    Each line holds ``{"x": tokens, "y": ratings, "<k>": [[s, e), ...]}``;
+    the ranges under key ``str(aspect_index)`` become the rationale mask.
+    """
+    examples: list[ReviewExample] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            tokens = record["x"]
+            label = binarize(float(record["y"][aspect_index]))
+            if label is None:
+                continue
+            rationale = np.zeros(len(tokens), dtype=np.int64)
+            for start, end in record.get(str(aspect_index), []):
+                rationale[int(start):int(end)] = 1
+            examples.append(
+                ReviewExample(
+                    tokens=list(tokens),
+                    token_ids=np.zeros(len(tokens), dtype=np.int64),
+                    label=label,
+                    rationale=rationale,
+                    aspect=aspect_name,
+                )
+            )
+            if max_examples is not None and len(examples) >= max_examples:
+                break
+    return examples
+
+
+def build_vocabulary(example_sets: Iterable[Sequence[ReviewExample]], min_count: int = 1) -> Vocabulary:
+    """Build a vocabulary over several example collections."""
+    counts: dict[str, int] = {}
+    for examples in example_sets:
+        for example in examples:
+            for token in example.tokens:
+                counts[token] = counts.get(token, 0) + 1
+    vocab = Vocabulary()
+    for token, count in counts.items():
+        if count >= min_count:
+            vocab.add(token)
+    return vocab
+
+
+def attach_vocabulary(examples: Sequence[ReviewExample], vocab: Vocabulary) -> None:
+    """Fill in ``token_ids`` for examples parsed from disk (in place)."""
+    for example in examples:
+        example.token_ids = vocab.encode(example.tokens)
+
+
+def balance_binary(examples: Sequence[ReviewExample], rng: np.random.Generator) -> list[ReviewExample]:
+    """Subsample the majority class to a balanced set (the paper's protocol)."""
+    positives = [e for e in examples if e.label == 1]
+    negatives = [e for e in examples if e.label == 0]
+    size = min(len(positives), len(negatives))
+    chosen = (
+        [positives[i] for i in rng.permutation(len(positives))[:size]]
+        + [negatives[i] for i in rng.permutation(len(negatives))[:size]]
+    )
+    rng.shuffle(chosen)
+    return chosen
+
+
+def dataset_from_files(
+    train_tsv: PathLike,
+    dev_tsv: PathLike,
+    annotation_json: PathLike,
+    aspect_index: int,
+    n_aspects: int,
+    aspect_name: str,
+    binarize=binarize_beer,
+    embeddings: Optional[np.ndarray] = None,
+    seed: int = 0,
+    max_examples: Optional[int] = None,
+) -> AspectDataset:
+    """Assemble a full :class:`AspectDataset` from the original file formats."""
+    rng = np.random.default_rng(seed)
+    train = load_rating_tsv(train_tsv, aspect_index, n_aspects, binarize, aspect_name, max_examples)
+    dev = load_rating_tsv(dev_tsv, aspect_index, n_aspects, binarize, aspect_name, max_examples)
+    test = load_annotation_json(annotation_json, aspect_index, binarize, aspect_name, max_examples)
+    train = balance_binary(train, rng)
+    vocab = build_vocabulary([train, dev, test])
+    for split in (train, dev, test):
+        attach_vocabulary(split, vocab)
+    return AspectDataset(
+        aspect=aspect_name, train=train, dev=dev, test=test, vocab=vocab, embeddings=embeddings
+    )

@@ -1,0 +1,109 @@
+"""Aspect lexicons for the synthetic BeerAdvocate / HotelReview corpora.
+
+Each aspect contributes *topic* words (where the review talks about the
+aspect), and *positive*/*negative* sentiment words that carry the label
+signal for that aspect.  Filler words and punctuation are shared across
+aspects; the punctuation set deliberately includes "-", the uninformative
+token the paper's Fig. 2 shows a degenerated RNP selecting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class AspectLexicon:
+    """Word lists that define one review aspect."""
+
+    name: str
+    topic: tuple[str, ...]
+    positive: tuple[str, ...]
+    negative: tuple[str, ...]
+
+    def sentiment_words(self, label: int) -> tuple[str, ...]:
+        """Sentiment word pool for a binary label (1 = positive)."""
+        return self.positive if label == 1 else self.negative
+
+    def all_words(self) -> tuple[str, ...]:
+        """Every word of this aspect (topic + both polarities)."""
+        return self.topic + self.positive + self.negative
+
+
+BEER_LEXICONS: dict[str, AspectLexicon] = {
+    "Appearance": AspectLexicon(
+        name="Appearance",
+        topic=("appearance", "color", "head", "pour", "lacing"),
+        positive=("golden", "clear", "beautiful", "sparkling", "creamy",
+                  "inviting", "radiant", "bright", "amber", "frothy"),
+        negative=("murky", "dull", "cloudy", "ugly", "lifeless",
+                  "watery", "drab", "greyish", "flat-looking", "muddy"),
+    ),
+    "Aroma": AspectLexicon(
+        name="Aroma",
+        topic=("aroma", "smell", "nose", "scent", "bouquet"),
+        positive=("fragrant", "floral", "citrusy", "fresh", "hoppy",
+                  "aromatic", "pleasant", "spicy", "fruity", "perfumed"),
+        negative=("stale", "musty", "rancid", "faint", "skunky",
+                  "metallic", "sulfuric", "cardboardy", "mediciney", "acrid"),
+    ),
+    "Palate": AspectLexicon(
+        name="Palate",
+        topic=("palate", "mouthfeel", "body", "carbonation", "finish"),
+        positive=("smooth", "crisp", "balanced", "silky", "lively",
+                  "full-bodied", "refreshing", "rounded", "velvety", "clean-finishing"),
+        negative=("thin", "harsh", "cloying", "rough", "chalky",
+                  "astringent", "syrupy", "grainy", "prickly", "lifeless-feeling"),
+    ),
+}
+
+HOTEL_LEXICONS: dict[str, AspectLexicon] = {
+    "Location": AspectLexicon(
+        name="Location",
+        topic=("location", "area", "neighborhood", "surroundings", "district"),
+        positive=("central", "convenient", "walkable", "scenic", "peaceful",
+                  "ideal", "accessible", "charming", "vibrant", "well-situated"),
+        negative=("remote", "inconvenient", "noisy", "dangerous", "isolated",
+                  "sketchy", "awkward", "desolate", "congested", "run-down"),
+    ),
+    "Service": AspectLexicon(
+        name="Service",
+        topic=("service", "staff", "reception", "concierge", "housekeeping"),
+        positive=("friendly", "helpful", "attentive", "courteous", "prompt",
+                  "welcoming", "professional", "gracious", "efficient", "accommodating"),
+        negative=("rude", "slow", "unhelpful", "dismissive", "surly",
+                  "indifferent", "incompetent", "hostile", "negligent", "curt"),
+    ),
+    "Cleanliness": AspectLexicon(
+        name="Cleanliness",
+        topic=("room", "bathroom", "sheets", "carpet", "linens"),
+        positive=("spotless", "immaculate", "fresh-smelling", "tidy", "pristine",
+                  "polished", "hygienic", "sanitized", "gleaming", "well-kept"),
+        negative=("dirty", "filthy", "stained", "dusty", "moldy",
+                  "grimy", "smelly", "unwashed", "sticky", "infested"),
+    ),
+}
+
+FILLER_WORDS: tuple[str, ...] = (
+    "the", "a", "was", "is", "and", "it", "very", "quite", "really",
+    "overall", "i", "we", "found", "thought", "this", "that", "with",
+    "had", "but", "also", "bit", "rather", "somewhat", "pretty",
+    "honestly", "definitely", "again", "one", "two", "night", "time",
+    "place", "experience", "felt", "seemed", "just", "so", "too",
+    "much", "more", "here", "there", "would", "could", "my", "our",
+)
+
+PUNCTUATION: tuple[str, ...] = (".", ",", "!", "-", "...")
+
+# The token RNP degenerates onto in the paper's Fig. 2 example.
+SPURIOUS_TOKEN = "-"
+
+
+def all_lexicon_words(lexicons: dict[str, AspectLexicon]) -> list[str]:
+    """Every aspect word across a lexicon family, deduplicated, in order."""
+    seen: list[str] = []
+    for lexicon in lexicons.values():
+        for word in lexicon.all_words():
+            if word not in seen:
+                seen.append(word)
+    return seen

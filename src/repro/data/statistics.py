@@ -1,0 +1,106 @@
+"""Corpus-level statistics beyond the paper's Table IX.
+
+Useful when building custom corpora (checking length distributions,
+vocabulary coverage, and annotation geometry before training) and when
+debugging degenerate selections (comparing a model's selection profile to
+the corpus token-frequency baseline).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.dataset import ReviewExample
+
+
+@dataclass
+class CorpusStatistics:
+    """Length, balance, and annotation statistics for an example set."""
+
+    n_examples: int
+    n_positive: int
+    mean_length: float
+    min_length: int
+    max_length: int
+    vocab_size: int
+    mean_annotation_sparsity: float
+    mean_annotation_span_length: float
+
+    def as_row(self) -> dict:
+        """Render as a flat dict for table display."""
+        return {
+            "examples": self.n_examples,
+            "pos_frac": round(self.n_positive / self.n_examples, 3) if self.n_examples else 0.0,
+            "mean_len": round(self.mean_length, 1),
+            "len_range": f"{self.min_length}-{self.max_length}",
+            "vocab": self.vocab_size,
+            "sparsity_pct": round(100 * self.mean_annotation_sparsity, 1),
+            "span_len": round(self.mean_annotation_span_length, 1),
+        }
+
+
+def corpus_statistics(examples: Sequence[ReviewExample]) -> CorpusStatistics:
+    """Compute :class:`CorpusStatistics` over a list of examples."""
+    if not examples:
+        raise ValueError("cannot compute statistics of an empty corpus")
+    lengths = [len(e) for e in examples]
+    vocab = set()
+    for example in examples:
+        vocab.update(example.tokens)
+    annotated = [e for e in examples if e.rationale.sum() > 0]
+    sparsities = [e.rationale_sparsity for e in annotated]
+    span_lengths = [s for e in annotated for s in _span_lengths(e.rationale)]
+    return CorpusStatistics(
+        n_examples=len(examples),
+        n_positive=sum(1 for e in examples if e.label == 1),
+        mean_length=float(np.mean(lengths)),
+        min_length=int(min(lengths)),
+        max_length=int(max(lengths)),
+        vocab_size=len(vocab),
+        mean_annotation_sparsity=float(np.mean(sparsities)) if sparsities else 0.0,
+        mean_annotation_span_length=float(np.mean(span_lengths)) if span_lengths else 0.0,
+    )
+
+
+def token_frequencies(examples: Sequence[ReviewExample], top_k: int = 20) -> list[tuple[str, int]]:
+    """Most frequent tokens — the baseline to compare selection profiles
+    against (a degenerate generator's top selections look like this list)."""
+    counts: Counter[str] = Counter()
+    for example in examples:
+        counts.update(example.tokens)
+    return counts.most_common(top_k)
+
+
+def annotation_position_histogram(examples: Sequence[ReviewExample], bins: int = 10) -> np.ndarray:
+    """Where (relative position 0..1) human annotations fall in the text.
+
+    BeerAdvocate-style corpora show aspect-ordering structure (e.g.
+    appearance first); this histogram surfaces it.
+    """
+    histogram = np.zeros(bins, dtype=np.int64)
+    for example in examples:
+        length = len(example)
+        if length == 0:
+            continue
+        for pos in np.flatnonzero(example.rationale):
+            bucket = min(bins - 1, int(bins * pos / length))
+            histogram[bucket] += 1
+    return histogram
+
+
+def _span_lengths(rationale: np.ndarray) -> list[int]:
+    spans = []
+    run = 0
+    for flag in rationale:
+        if flag:
+            run += 1
+        elif run:
+            spans.append(run)
+            run = 0
+    if run:
+        spans.append(run)
+    return spans

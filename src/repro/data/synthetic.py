@@ -1,0 +1,190 @@
+"""Lexicon-driven synthetic multi-aspect review generator.
+
+Each generated review contains one sentence per aspect.  Only the *target*
+aspect's sentence carries the label signal; the other aspects get their own
+latent polarity, drawn independently when ``correlation=0.5`` (the
+"decorrelated subsets" of the paper) or biased toward the target label for
+higher correlations (the raw BeerAdvocate situation the paper describes as
+hard to learn from).
+
+Two structural details reproduce the paper's phenomena:
+
+- Most reviews contain the uninformative token "-" *regardless of label*
+  (``spurious_rate``).  A degenerated generator can therefore encode the
+  label purely through whether it selects "-" — exactly the Fig. 2 failure.
+- The aspect order is biased so the first sentence is usually about the
+  family's first aspect (``first_aspect_bias``), mirroring BeerAdvocate
+  where "the first sentence is usually about appearance" — the property the
+  Table VII skewed-predictor experiment relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.data.dataset import ReviewExample
+from repro.data.lexicon import (
+    FILLER_WORDS,
+    PUNCTUATION,
+    SPURIOUS_TOKEN,
+    AspectLexicon,
+    all_lexicon_words,
+)
+from repro.data.vocabulary import Vocabulary
+
+
+@dataclass
+class CorpusConfig:
+    """Knobs controlling one synthetic corpus.
+
+    ``n_sentiment_words`` controls the gold-rationale sparsity: the
+    annotation covers the target sentence's sentiment tokens plus its topic
+    token, so sparsity ~= (n_sentiment_words + 1) / review_length.
+    """
+
+    target_aspect: str
+    n_train: int = 800
+    n_dev: int = 200
+    n_test: int = 200
+    correlation: float = 0.5  # P(other aspect shares target polarity); 0.5 = independent
+    spurious_rate: float = 0.9  # P(review contains the "-" token)
+    first_aspect_bias: float = 0.85  # P(first sentence is about the family's first aspect)
+    n_sentiment_words: int = 2  # sentiment tokens in the target sentence
+    n_filler_per_sentence: tuple[int, int] = (4, 7)  # uniform range
+    seed: int = 0
+
+
+class SyntheticReviewGenerator:
+    """Generates :class:`ReviewExample` lists for one aspect family."""
+
+    def __init__(self, lexicons: dict[str, AspectLexicon], config: CorpusConfig):
+        if config.target_aspect not in lexicons:
+            raise KeyError(f"unknown aspect {config.target_aspect!r}; have {sorted(lexicons)}")
+        if not 0.0 <= config.correlation <= 1.0:
+            raise ValueError("correlation must be in [0, 1]")
+        self.lexicons = lexicons
+        self.config = config
+        self.aspect_names = list(lexicons)
+        self.rng = np.random.default_rng(config.seed)
+        self.vocab = self._build_vocab()
+
+    def _build_vocab(self) -> Vocabulary:
+        vocab = Vocabulary()
+        for word in all_lexicon_words(self.lexicons):
+            vocab.add(word)
+        for word in FILLER_WORDS:
+            vocab.add(word)
+        for token in PUNCTUATION:
+            vocab.add(token)
+        return vocab
+
+    # ------------------------------------------------------------------
+    def generate_splits(self) -> tuple[list[ReviewExample], list[ReviewExample], list[ReviewExample]]:
+        """Build balanced (train, dev, test) splits.
+
+        Only the test split carries gold-rationale annotations, matching
+        the real BeerAdvocate/HotelReview protocol.
+        """
+        cfg = self.config
+        train = self._generate_balanced(cfg.n_train, annotate=False)
+        dev = self._generate_balanced(cfg.n_dev, annotate=False)
+        test = self._generate_balanced(cfg.n_test, annotate=True)
+        return train, dev, test
+
+    def _generate_balanced(self, count: int, annotate: bool) -> list[ReviewExample]:
+        examples = []
+        for i in range(count):
+            label = i % 2
+            examples.append(self.generate_example(label, annotate=annotate))
+        self.rng.shuffle(examples)
+        return examples
+
+    # ------------------------------------------------------------------
+    def generate_example(self, label: int, annotate: bool = True) -> ReviewExample:
+        """Generate one review with the given target-aspect ``label``."""
+        cfg = self.config
+        order = self._sample_aspect_order()
+        polarities = self._sample_polarities(label)
+
+        tokens: list[str] = []
+        rationale_positions: list[int] = []
+        sentence_spans: list[tuple[int, int]] = []
+        for aspect_name in order:
+            start = len(tokens)
+            sentence, sentiment_offsets = self._make_sentence(aspect_name, polarities[aspect_name])
+            tokens.extend(sentence)
+            sentence_spans.append((start, len(tokens)))
+            if aspect_name == cfg.target_aspect:
+                rationale_positions.extend(start + off for off in sentiment_offsets)
+
+        if self.rng.uniform() < cfg.spurious_rate:
+            insert_at = int(self.rng.integers(0, len(tokens) + 1))
+            tokens.insert(insert_at, SPURIOUS_TOKEN)
+            rationale_positions = [p if p < insert_at else p + 1 for p in rationale_positions]
+            sentence_spans = [
+                (s if s < insert_at else s + 1, e if e <= insert_at else e + 1)
+                for s, e in sentence_spans
+            ]
+
+        rationale = np.zeros(len(tokens), dtype=np.int64)
+        if annotate:
+            rationale[rationale_positions] = 1
+        return ReviewExample(
+            tokens=tokens,
+            token_ids=self.vocab.encode(tokens),
+            label=label,
+            rationale=rationale,
+            aspect=cfg.target_aspect,
+            sentence_spans=sentence_spans,
+            aspect_polarities=polarities,
+        )
+
+    # ------------------------------------------------------------------
+    def _sample_aspect_order(self) -> list[str]:
+        names = list(self.aspect_names)
+        first = names[0]
+        rest = names[1:]
+        self.rng.shuffle(rest)
+        if self.rng.uniform() < self.config.first_aspect_bias:
+            return [first] + rest
+        order = [first] + rest
+        self.rng.shuffle(order)
+        return order
+
+    def _sample_polarities(self, label: int) -> dict[str, int]:
+        cfg = self.config
+        polarities = {}
+        for name in self.aspect_names:
+            if name == cfg.target_aspect:
+                polarities[name] = label
+            elif self.rng.uniform() < cfg.correlation:
+                polarities[name] = label
+            else:
+                polarities[name] = 1 - label
+        return polarities
+
+    def _make_sentence(self, aspect_name: str, polarity: int) -> tuple[list[str], list[int]]:
+        """Build one aspect sentence; return tokens and sentiment offsets.
+
+        The gold rationale covers the topic word and the sentiment words of
+        the target sentence (the human-annotated "aspect phrase").
+        """
+        cfg = self.config
+        lexicon = self.lexicons[aspect_name]
+        topic = str(self.rng.choice(lexicon.topic))
+        pool = lexicon.sentiment_words(polarity)
+        sentiment = [str(w) for w in self.rng.choice(pool, size=cfg.n_sentiment_words, replace=False)]
+        lo, hi = cfg.n_filler_per_sentence
+        n_filler = int(self.rng.integers(lo, hi + 1))
+        fillers = [str(w) for w in self.rng.choice(FILLER_WORDS, size=n_filler, replace=True)]
+
+        # Template: [filler*, "the", topic, "was", sentiment+, filler*, "."]
+        head_count = n_filler // 2
+        sentence = fillers[:head_count] + ["the", topic, "was"] + sentiment + fillers[head_count:] + ["."]
+        topic_offset = head_count + 1
+        first_sentiment = head_count + 3
+        offsets = [topic_offset] + list(range(first_sentiment, first_sentiment + len(sentiment)))
+        return sentence, offsets

@@ -1,0 +1,54 @@
+"""Simple tokenization for real review text.
+
+The synthetic corpora are pre-tokenized; this module covers the path from
+raw review strings (as in the original datasets) to the whitespace token
+lists the rest of the library consumes.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Sequence
+
+
+class WordTokenizer:
+    """Lowercasing word/punctuation tokenizer.
+
+    Splits on word characters vs punctuation runs, matching the
+    tokenization style of the released BeerAdvocate/HotelReview files
+    (words and punctuation as separate tokens, lowercased).
+    """
+
+    _PATTERN = re.compile(r"[a-z0-9]+(?:[-'][a-z0-9]+)*|[^\sa-z0-9]+")
+
+    def __init__(self, lowercase: bool = True, max_tokens: int | None = None):
+        self.lowercase = lowercase
+        self.max_tokens = max_tokens
+
+    def tokenize(self, text: str) -> list[str]:
+        """Split a raw string into tokens."""
+        if self.lowercase:
+            text = text.lower()
+        tokens = self._PATTERN.findall(text)
+        if self.max_tokens is not None:
+            tokens = tokens[: self.max_tokens]
+        return tokens
+
+    def tokenize_batch(self, texts: Sequence[str]) -> list[list[str]]:
+        """Tokenize several strings."""
+        return [self.tokenize(t) for t in texts]
+
+    def __call__(self, text: str) -> list[str]:
+        return self.tokenize(text)
+
+
+def detokenize(tokens: Sequence[str]) -> str:
+    """Join tokens back into a readable string (spaces collapsed before
+    punctuation)."""
+    out: list[str] = []
+    for token in tokens:
+        if out and re.fullmatch(r"[^\w]+", token):
+            out[-1] = out[-1] + token
+        else:
+            out.append(token)
+    return " ".join(out)

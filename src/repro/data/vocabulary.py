@@ -1,0 +1,62 @@
+"""Token <-> id mapping with reserved padding/unknown entries."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+PAD_TOKEN = "<pad>"
+UNK_TOKEN = "<unk>"
+
+
+class Vocabulary:
+    """Bidirectional token/id map.
+
+    Id 0 is always :data:`PAD_TOKEN` and id 1 is always :data:`UNK_TOKEN`,
+    matching the assumptions of :class:`repro.nn.Embedding` (which zeroes
+    the padding row).
+    """
+
+    def __init__(self, tokens: Iterable[str] = ()):
+        self._token_to_id: dict[str, int] = {PAD_TOKEN: 0, UNK_TOKEN: 1}
+        self._id_to_token: list[str] = [PAD_TOKEN, UNK_TOKEN]
+        for token in tokens:
+            self.add(token)
+
+    def add(self, token: str) -> int:
+        """Register ``token`` (idempotent) and return its id."""
+        if token not in self._token_to_id:
+            self._token_to_id[token] = len(self._id_to_token)
+            self._id_to_token.append(token)
+        return self._token_to_id[token]
+
+    def encode(self, tokens: Sequence[str]) -> np.ndarray:
+        """Map tokens to ids, using UNK for unregistered tokens."""
+        unk = self._token_to_id[UNK_TOKEN]
+        return np.array([self._token_to_id.get(t, unk) for t in tokens], dtype=np.int64)
+
+    def decode(self, ids: Sequence[int]) -> list[str]:
+        """Map ids back to tokens."""
+        return [self._id_to_token[int(i)] for i in ids]
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def __getitem__(self, token: str) -> int:
+        return self._token_to_id[token]
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    @property
+    def pad_id(self) -> int:
+        return 0
+
+    @property
+    def unk_id(self) -> int:
+        return 1
+
+    @property
+    def tokens(self) -> list[str]:
+        return list(self._id_to_token)

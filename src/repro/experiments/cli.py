@@ -1,0 +1,111 @@
+"""Command-line entry point for regenerating paper artifacts.
+
+Usage::
+
+    python -m repro.experiments --list
+    python -m repro.experiments --artifact table2
+    python -m repro.experiments --artifact fig6 --epochs 15 --n-train 800
+
+Each artifact maps to one runner in :mod:`repro.experiments.runner`; the
+output is the paper-style text table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.experiments import config as config_mod
+from repro.experiments import runner
+from repro.utils import render_table
+
+
+def _grouped(result: dict[str, list[dict]], title: str) -> str:
+    return "\n".join(render_table(f"{title} — {key}", rows) for key, rows in result.items())
+
+
+ARTIFACTS: dict[str, tuple[str, Callable]] = {
+    "table1": ("Table I — RNP full-text P/R/F1",
+               lambda p: render_table("Table I", runner.run_table1_fulltext_scores(p), key_column="aspect")),
+    "table2": ("Table II — BeerAdvocate comparison",
+               lambda p: _grouped(runner.run_beer_comparison(p), "Table II")),
+    "table3": ("Table III — HotelReview comparison",
+               lambda p: _grouped(runner.run_hotel_comparison(p), "Table III")),
+    "table4": ("Table IV — model complexity",
+               lambda p: render_table("Table IV", runner.run_complexity_table(p))),
+    "table5": ("Table V — low-sparsity comparison",
+               lambda p: _grouped(runner.run_low_sparsity(p), "Table V")),
+    "table6": ("Table VI — transformer (BERT stand-in) encoders",
+               lambda p: render_table("Table VI", runner.run_bert_comparison(p))),
+    "table7": ("Table VII — skewed predictor",
+               lambda p: render_table("Table VII", runner.run_skewed_predictor(p), key_column="aspect")),
+    "table8": ("Table VIII — skewed generator",
+               lambda p: render_table("Table VIII", runner.run_skewed_generator(p), key_column="setting")),
+    "table9": ("Table IX — dataset statistics",
+               lambda p: render_table("Table IX", runner.run_dataset_statistics(p), key_column="family")),
+    "fig3a": ("Fig. 3a — full-text acc vs rationale F1",
+              lambda p: render_table("Fig. 3a", runner.run_fig3_relationship(p), key_column="param_set")),
+    "fig3b": ("Fig. 3b — accuracy gap",
+              lambda p: render_table("Fig. 3b", runner.run_fig3_accuracy_gap(p), key_column="aspect")),
+    "fig6": ("Fig. 6 — DAR full-text generalization",
+             lambda p: render_table("Fig. 6", runner.run_fig6_dar_fulltext(p), key_column="aspect")),
+    "ablation-frozen": ("Ablation — frozen vs co-trained discriminator",
+                        lambda p: render_table("Ablation", runner.run_ablation_frozen_discriminator(p),
+                                               key_column="variant")),
+    "ablation-weight": ("Ablation — discriminator loss weight",
+                        lambda p: render_table("Ablation", runner.run_ablation_discriminator_weight(p),
+                                               key_column="weight")),
+    "ablation-sampler": ("Ablation — mask sampler (gumbel/hardkuma/topk)",
+                         lambda p: render_table("Ablation", runner.run_ablation_sampler(p),
+                                                key_column="sampler")),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate tables/figures of the DAR paper (ICDE 2024).",
+    )
+    parser.add_argument("--artifact", choices=sorted(ARTIFACTS), help="which artifact to regenerate")
+    parser.add_argument("--list", action="store_true", help="list available artifacts")
+    parser.add_argument("--profile", choices=("fast", "full"), default="fast")
+    parser.add_argument("--n-train", type=int, default=None)
+    parser.add_argument("--epochs", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=None)
+    return parser
+
+
+def resolve_profile(args: argparse.Namespace) -> config_mod.ExperimentProfile:
+    """Apply CLI overrides to the chosen base profile."""
+    profile = config_mod.FAST_PROFILE if args.profile == "fast" else config_mod.FULL_PROFILE
+    overrides = {}
+    if args.n_train is not None:
+        overrides["n_train"] = args.n_train
+    if args.epochs is not None:
+        overrides["epochs"] = args.epochs
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    return profile.scaled(**overrides) if overrides else profile
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: list artifacts or regenerate one."""
+    args = build_parser().parse_args(argv)
+    if args.list or not args.artifact:
+        for name, (description, _) in sorted(ARTIFACTS.items()):
+            print(f"{name:16s} {description}")
+        return 0
+    description, fn = ARTIFACTS[args.artifact]
+    profile = resolve_profile(args)
+    print(f"# {description}\n# profile: {profile}\n", file=sys.stderr)
+    start = time.time()
+    print(fn(profile))
+    print(f"# done in {time.time() - start:.1f}s", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

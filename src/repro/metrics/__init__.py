@@ -1,0 +1,24 @@
+"""Evaluation metrics: rationale overlap (the paper's headline metric),
+classification scores, and the full-text-vs-rationale accuracy probe."""
+
+from repro.metrics.rationale import RationaleScore, rationale_overlap, aggregate_rationale_scores
+from repro.metrics.classification import (
+    ClassificationScore,
+    accuracy,
+    precision_recall_f1,
+    confusion_counts,
+)
+from repro.metrics.faithfulness import FaithfulnessScore, faithfulness, aopc
+
+__all__ = [
+    "RationaleScore",
+    "rationale_overlap",
+    "aggregate_rationale_scores",
+    "ClassificationScore",
+    "accuracy",
+    "precision_recall_f1",
+    "confusion_counts",
+    "FaithfulnessScore",
+    "faithfulness",
+    "aopc",
+]

@@ -1,0 +1,69 @@
+"""Binary-classification metrics (accuracy and per-class P/R/F1).
+
+Table I of the paper reports the *predictive* precision/recall/F1 of RNP's
+predictor on the full text — with "nan" where the predictor never predicts
+the positive class at all.  :func:`precision_recall_f1` reproduces that
+behaviour (returns ``nan`` rather than silently substituting 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass
+class ClassificationScore:
+    """Accuracy plus positive-class precision/recall/F1 (percentages)."""
+
+    accuracy: float
+    precision: float
+    recall: float
+    f1: float
+
+    def as_row(self) -> dict:
+        """Render as a flat dict with the paper's nan formatting."""
+        def fmt(v: float):
+            return "nan" if np.isnan(v) else round(v, 1)
+
+        return {
+            "Acc": fmt(self.accuracy),
+            "P": fmt(self.precision),
+            "R": fmt(self.recall),
+            "F1": fmt(self.f1),
+        }
+
+
+def confusion_counts(predictions: Sequence[int], labels: Sequence[int]) -> tuple[int, int, int, int]:
+    """(TP, FP, FN, TN) for the positive class (label 1)."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    tp = int(np.sum((predictions == 1) & (labels == 1)))
+    fp = int(np.sum((predictions == 1) & (labels == 0)))
+    fn = int(np.sum((predictions == 0) & (labels == 1)))
+    tn = int(np.sum((predictions == 0) & (labels == 0)))
+    return tp, fp, fn, tn
+
+
+def accuracy(predictions: Sequence[int], labels: Sequence[int]) -> float:
+    """Percentage of correct predictions."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.size == 0:
+        return float("nan")
+    return 100.0 * float(np.mean(predictions == labels))
+
+
+def precision_recall_f1(predictions: Sequence[int], labels: Sequence[int]) -> ClassificationScore:
+    """Positive-class P/R/F1 with the paper's nan conventions."""
+    tp, fp, fn, tn = confusion_counts(predictions, labels)
+    acc = accuracy(predictions, labels)
+    precision = 100.0 * tp / (tp + fp) if (tp + fp) else float("nan")
+    recall = 100.0 * tp / (tp + fn) if (tp + fn) else float("nan")
+    if np.isnan(precision) or (precision + recall) == 0:
+        f1 = float("nan")
+    else:
+        f1 = 2 * precision * recall / (precision + recall)
+    return ClassificationScore(accuracy=acc, precision=precision, recall=recall, f1=f1)

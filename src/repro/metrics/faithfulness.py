@@ -1,0 +1,107 @@
+"""Faithfulness metrics: comprehensiveness and sufficiency (ERASER-style).
+
+Rationale overlap with human annotations measures *plausibility*; the
+rationalization literature (DeYoung et al. 2020, cited line of work)
+additionally measures *faithfulness* of a rationale to the predictor:
+
+- **Sufficiency**: how much of the original prediction confidence remains
+  when the model sees only the rationale.  ``p(y|X) - p(y|Z)`` — small is
+  good (the rationale suffices).
+- **Comprehensiveness**: how much confidence is lost when the rationale is
+  *removed*.  ``p(y|X) - p(y|X \\ Z)`` — large is good (the rationale was
+  needed).
+
+For RNP-family models the predictor is trained on rationales, so we
+evaluate both probes with the model's own predictor, using its full-text
+distribution as the reference — which doubles as yet another lens on
+rationale shift: a shifted predictor has a meaningless full-text reference
+and produces degenerate scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import no_grad
+from repro.core.rnp import RNP
+from repro.data.batching import batch_iterator
+from repro.data.dataset import ReviewExample
+
+
+@dataclass
+class FaithfulnessScore:
+    """Corpus-averaged sufficiency and comprehensiveness (probability units)."""
+
+    sufficiency: float
+    comprehensiveness: float
+
+    def as_row(self) -> dict:
+        """Render as a flat dict (rounded)."""
+        return {
+            "sufficiency": round(self.sufficiency, 3),
+            "comprehensiveness": round(self.comprehensiveness, 3),
+        }
+
+
+def _label_probs(model: RNP, batch, mask) -> np.ndarray:
+    logits = model.predictor(batch.token_ids, mask, batch.mask)
+    probs = F.softmax(logits, axis=-1).data
+    return probs[np.arange(len(batch)), batch.labels]
+
+
+def faithfulness(
+    model: RNP,
+    examples: Sequence[ReviewExample],
+    batch_size: int = 200,
+) -> FaithfulnessScore:
+    """Compute sufficiency and comprehensiveness of the model's selections."""
+    suff_terms: list[float] = []
+    comp_terms: list[float] = []
+    with no_grad():
+        for batch in batch_iterator(examples, batch_size, shuffle=False):
+            selected = model.select(batch)
+            complement = (1.0 - selected) * batch.mask
+            p_full = _label_probs(model, batch, batch.mask)
+            p_rationale = _label_probs(model, batch, selected)
+            p_complement = _label_probs(model, batch, complement)
+            suff_terms.extend(p_full - p_rationale)
+            comp_terms.extend(p_full - p_complement)
+    return FaithfulnessScore(
+        sufficiency=float(np.mean(suff_terms)),
+        comprehensiveness=float(np.mean(comp_terms)),
+    )
+
+
+def aopc(
+    model: RNP,
+    examples: Sequence[ReviewExample],
+    bins: Sequence[float] = (0.05, 0.1, 0.2, 0.5),
+    batch_size: int = 200,
+) -> dict[float, float]:
+    """Area-over-the-perturbation-curve style sweep of comprehensiveness.
+
+    For each fraction in ``bins``, remove the top-scoring fraction of the
+    generator's selection and record the confidence drop; returns
+    fraction -> mean drop.
+    """
+    drops: dict[float, list[float]] = {b: [] for b in bins}
+    with no_grad():
+        for batch in batch_iterator(examples, batch_size, shuffle=False):
+            logits = model.generator.selection_logits(batch.token_ids, batch.mask)
+            scores = (logits.data[:, :, 1] - logits.data[:, :, 0])
+            scores = np.where(batch.mask > 0, scores, -np.inf)
+            p_full = _label_probs(model, batch, batch.mask)
+            lengths = batch.mask.sum(axis=1).astype(int)
+            for frac in bins:
+                keep = batch.mask.copy()
+                for i in range(len(batch)):
+                    k = max(1, int(np.ceil(frac * lengths[i])))
+                    top = np.argsort(-scores[i])[:k]
+                    keep[i, top] = 0.0
+                p_masked = _label_probs(model, batch, keep)
+                drops[frac].extend(p_full - p_masked)
+    return {frac: float(np.mean(vals)) for frac, vals in drops.items()}

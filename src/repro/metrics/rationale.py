@@ -1,0 +1,68 @@
+"""Token-overlap metrics between model-selected and human-annotated rationales.
+
+The paper's headline metric: precision / recall / F1 of the selected token
+set against the gold annotation, plus S — the average percentage of tokens
+selected (sparsity).  Computed micro-averaged over the corpus, matching the
+evaluation protocol of RNP/DMR/A2R.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass
+class RationaleScore:
+    """Micro-averaged rationale-quality scores (percentages)."""
+
+    sparsity: float
+    precision: float
+    recall: float
+    f1: float
+
+    def as_row(self) -> dict:
+        """Render as the paper's S/P/R/F1 row (one decimal)."""
+        return {
+            "S": round(self.sparsity, 1),
+            "P": round(self.precision, 1),
+            "R": round(self.recall, 1),
+            "F1": round(self.f1, 1),
+        }
+
+
+def rationale_overlap(
+    selected: np.ndarray,
+    gold: np.ndarray,
+    mask: np.ndarray,
+) -> tuple[float, float, float]:
+    """Raw (true-positive, selected, gold) token counts for one batch.
+
+    All three arrays are (B, L); ``mask`` marks real tokens.
+    """
+    selected = (np.asarray(selected) > 0.5) & (np.asarray(mask) > 0.5)
+    gold = (np.asarray(gold) > 0.5) & (np.asarray(mask) > 0.5)
+    true_pos = float(np.logical_and(selected, gold).sum())
+    return true_pos, float(selected.sum()), float(gold.sum())
+
+
+def aggregate_rationale_scores(
+    selections: Sequence[np.ndarray],
+    golds: Sequence[np.ndarray],
+    masks: Sequence[np.ndarray],
+) -> RationaleScore:
+    """Micro-average P/R/F1 and sparsity over batches of selections."""
+    true_pos = n_selected = n_gold = n_tokens = 0.0
+    for selected, gold, mask in zip(selections, golds, masks):
+        tp, sel, gl = rationale_overlap(selected, gold, mask)
+        true_pos += tp
+        n_selected += sel
+        n_gold += gl
+        n_tokens += float((np.asarray(mask) > 0.5).sum())
+    precision = 100.0 * true_pos / n_selected if n_selected else 0.0
+    recall = 100.0 * true_pos / n_gold if n_gold else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if (precision + recall) else 0.0
+    sparsity = 100.0 * n_selected / n_tokens if n_tokens else 0.0
+    return RationaleScore(sparsity=sparsity, precision=precision, recall=recall, f1=f1)

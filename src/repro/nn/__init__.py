@@ -1,0 +1,36 @@
+"""Neural-network layers built on :mod:`repro.autograd`.
+
+Mirrors the slice of ``torch.nn`` the paper's models need: parameter/module
+containers, linear and embedding layers, (bi-directional) GRUs with padding
+masks, layer norm, dropout, and a small transformer encoder that stands in
+for BERT in the Table VI experiments.
+"""
+
+from repro.nn.module import Module, Parameter, Sequential, ModuleList
+from repro.nn.linear import Linear
+from repro.nn.embedding import Embedding
+from repro.nn.rnn import GRUCell, GRU
+from repro.nn.lstm import LSTMCell, LSTM
+from repro.nn.normalization import LayerNorm
+from repro.nn.dropout import Dropout
+from repro.nn.attention import MultiHeadSelfAttention, TransformerEncoderLayer, TransformerEncoder
+from repro.nn import init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "ModuleList",
+    "Linear",
+    "Embedding",
+    "GRUCell",
+    "GRU",
+    "LSTMCell",
+    "LSTM",
+    "LayerNorm",
+    "Dropout",
+    "MultiHeadSelfAttention",
+    "TransformerEncoderLayer",
+    "TransformerEncoder",
+    "init",
+]

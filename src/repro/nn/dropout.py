@@ -1,0 +1,26 @@
+"""Dropout layer (inverted dropout, identity in eval mode)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+
+class Dropout(Module):
+    """Randomly zero activations with probability ``p`` during training."""
+
+    def __init__(self, p: float = 0.1, rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng or np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply dropout in training mode; identity in eval mode."""
+        return F.dropout(x, self.p, self.training, rng=self.rng)

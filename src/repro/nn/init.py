@@ -1,0 +1,43 @@
+"""Weight-initialization schemes (Xavier/Glorot, orthogonal, normal)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(shape: tuple, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot uniform initialization for a (fan_in, fan_out)-style weight."""
+    fan_in, fan_out = _fans(shape)
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(shape: tuple, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot normal initialization."""
+    fan_in, fan_out = _fans(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def orthogonal(shape: tuple, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Orthogonal initialization — the standard choice for recurrent weights."""
+    rows, cols = shape
+    flat = rng.standard_normal((max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(flat)
+    q *= np.sign(np.diag(r))
+    if rows < cols:
+        q = q.T
+    return gain * q[:rows, :cols]
+
+
+def normal(shape: tuple, rng: np.random.Generator, std: float = 0.02) -> np.ndarray:
+    """Truncated-free normal init (BERT-style small std)."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def _fans(shape: tuple) -> tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = int(np.prod(shape[:-1]))
+    fan_out = shape[-1]
+    return fan_in, fan_out

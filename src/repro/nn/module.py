@@ -1,0 +1,156 @@
+"""Parameter and module containers (the ``torch.nn.Module`` analogue)."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor registered as a trainable parameter of a :class:`Module`."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` attributes in
+    ``__init__`` and implement :meth:`forward`.  Parameters are discovered
+    recursively through attribute registration, exactly like ``torch.nn``.
+    """
+
+    def __init__(self):
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        """Compute the module's output (must be overridden)."""
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield all trainable parameters, depth-first, without duplicates."""
+        seen: set[int] = set()
+        for _, param in self.named_parameters():
+            if id(param) not in seen:
+                seen.add(id(param))
+                yield param
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` pairs, depth-first."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and every descendant."""
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar trainable parameters (used by Table IV)."""
+        return sum(p.data.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    def zero_grad(self) -> None:
+        """Clear gradients of every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (affects dropout)."""
+        for module in self.modules():
+            object.__setattr__(module, "training", mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Switch to evaluation mode (no dropout)."""
+        return self.train(False)
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        """Copy of every parameter's data, keyed by dotted path."""
+        return OrderedDict((name, param.data.copy()) for name, param in self.named_parameters())
+
+    def load_state_dict(self, state: "OrderedDict[str, np.ndarray]") -> None:
+        """Load parameter values produced by :meth:`state_dict`."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
+        for name, value in state.items():
+            param = own[name]
+            if param.data.shape != value.shape:
+                raise ValueError(f"shape mismatch for {name}: {param.data.shape} vs {value.shape}")
+            param.data = value.copy()
+
+    def copy_from(self, other: "Module") -> None:
+        """Copy parameters from a module with an identical structure."""
+        self.load_state_dict(other.state_dict())
+
+
+class Sequential(Module):
+    """Chain modules, feeding each output to the next module."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self._layers = list(layers)
+        for i, layer in enumerate(layers):
+            setattr(self, f"layer{i}", layer)
+
+    def forward(self, x):
+        """Feed ``x`` through each layer in order."""
+        for layer in self._layers:
+            x = layer(x)
+        return x
+
+    def __iter__(self):
+        return iter(self._layers)
+
+    def __len__(self):
+        return len(self._layers)
+
+
+class ModuleList(Module):
+    """A list of sub-modules that is registered for parameter discovery."""
+
+    def __init__(self, modules: Optional[list[Module]] = None):
+        super().__init__()
+        self._items: list[Module] = []
+        for module in modules or []:
+            self.append(module)
+
+    def append(self, module: Module) -> None:
+        """Register and append a sub-module."""
+        setattr(self, f"item{len(self._items)}", module)
+        self._items.append(module)
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self._items[idx]
+
+    def __len__(self) -> int:
+        return len(self._items)

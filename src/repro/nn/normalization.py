@@ -1,0 +1,26 @@
+"""Layer normalization (used by the transformer/BERT stand-in)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module, Parameter
+
+
+class LayerNorm(Module):
+    """Normalize over the last dimension with learned scale and shift."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5):
+        super().__init__()
+        self.eps = eps
+        self.weight = Parameter(np.ones(normalized_shape))
+        self.bias = Parameter(np.zeros(normalized_shape))
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Normalize the last dimension, then scale and shift."""
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normalized = centered / (var + self.eps).sqrt()
+        return normalized * self.weight + self.bias

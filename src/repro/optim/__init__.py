@@ -1,0 +1,8 @@
+"""Gradient-based optimizers (the paper trains everything with Adam)."""
+
+from repro.optim.optimizer import Optimizer, clip_grad_norm
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam
+from repro.optim.lr_scheduler import StepLR, LinearWarmup
+
+__all__ = ["Optimizer", "clip_grad_norm", "SGD", "Adam", "StepLR", "LinearWarmup"]

@@ -1,0 +1,42 @@
+"""Learning-rate schedules."""
+
+from __future__ import annotations
+
+from repro.optim.optimizer import Optimizer
+
+
+class StepLR:
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5):
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._epoch = 0
+        self._base_lr = optimizer.lr
+
+    def step(self) -> None:
+        """Advance the schedule by one epoch/step."""
+        self._epoch += 1
+        self.optimizer.lr = self._base_lr * self.gamma ** (self._epoch // self.step_size)
+
+
+class LinearWarmup:
+    """Linearly ramp the learning rate over ``warmup_steps`` updates."""
+
+    def __init__(self, optimizer: Optimizer, warmup_steps: int):
+        if warmup_steps <= 0:
+            raise ValueError("warmup_steps must be positive")
+        self.optimizer = optimizer
+        self.warmup_steps = warmup_steps
+        self._step = 0
+        self._target_lr = optimizer.lr
+        optimizer.lr = self._target_lr / warmup_steps
+
+    def step(self) -> None:
+        """Advance the schedule by one epoch/step."""
+        self._step += 1
+        frac = min(1.0, self._step / self.warmup_steps)
+        self.optimizer.lr = self._target_lr * frac

@@ -1,0 +1,44 @@
+"""Optimizer base class and gradient clipping."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+class Optimizer:
+    """Base class holding a parameter list and a learning rate."""
+
+    def __init__(self, params: Iterable[Tensor], lr: float):
+        self.params = [p for p in params if p.requires_grad]
+        if not self.params:
+            raise ValueError("optimizer received no trainable parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        """Clear gradients of every managed parameter."""
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        """Apply one optimization update (implemented by subclasses)."""
+        raise NotImplementedError
+
+
+def clip_grad_norm(params: Iterable[Tensor], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm (useful for logging divergence).
+    """
+    params = [p for p in params if p.grad is not None]
+    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for p in params:
+            p.grad *= scale
+    return total

@@ -1,0 +1,34 @@
+"""Stochastic gradient descent with optional momentum."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.optim.optimizer import Optimizer
+
+
+class SGD(Optimizer):
+    """Vanilla/momentum SGD with optional weight decay."""
+
+    def __init__(self, params: Iterable[Tensor], lr: float = 0.01, momentum: float = 0.0, weight_decay: float = 0.0):
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        """Apply one (momentum) SGD update to every parameter."""
+        for param, velocity in zip(self.params, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                grad = velocity
+            param.data -= self.lr * grad

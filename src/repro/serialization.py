@@ -1,0 +1,61 @@
+"""Saving and loading trained rationalization models.
+
+A saved model is a single ``.npz`` file holding every parameter (keyed by
+the dotted names from :meth:`Module.named_parameters`) plus a JSON-encoded
+config blob describing how to rebuild the module.  Any RNP-family model
+(including the baselines) round-trips through this format.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.nn.module import Module
+
+PathLike = Union[str, Path]
+
+_CONFIG_KEY = "__config__"
+
+
+def save_model(model: Module, path: PathLike, config: Optional[dict] = None) -> None:
+    """Write the model's parameters (and an optional config dict) to ``path``.
+
+    ``config`` must be JSON-serializable; it is stored alongside the
+    parameters so :func:`load_model` can rebuild the module without
+    out-of-band information.
+    """
+    path = Path(path)
+    arrays = dict(model.state_dict())
+    if _CONFIG_KEY in arrays:
+        raise ValueError(f"parameter name collides with reserved key {_CONFIG_KEY!r}")
+    blob = json.dumps(config if config is not None else {})
+    arrays[_CONFIG_KEY] = np.frombuffer(blob.encode("utf-8"), dtype=np.uint8)
+    np.savez(path, **arrays)
+
+
+def load_state(path: PathLike) -> tuple[dict, dict]:
+    """Read ``(state_dict, config)`` from a file written by :func:`save_model`."""
+    path = Path(path)
+    if not path.exists():
+        # np.savez appends .npz when missing; accept either spelling.
+        with_suffix = path.with_suffix(path.suffix + ".npz")
+        if with_suffix.exists():
+            path = with_suffix
+        else:
+            raise FileNotFoundError(path)
+    archive = np.load(path)
+    config = json.loads(bytes(archive[_CONFIG_KEY]).decode("utf-8"))
+    state = {k: archive[k] for k in archive.files if k != _CONFIG_KEY}
+    return state, config
+
+
+def load_model(model: Module, path: PathLike) -> dict:
+    """Load parameters saved by :func:`save_model` into ``model`` (built by
+    the caller, e.g. from the returned config); returns the config dict."""
+    state, config = load_state(path)
+    model.load_state_dict(state)
+    return config

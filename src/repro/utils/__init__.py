@@ -1,0 +1,6 @@
+"""Small shared utilities (seeding, table rendering)."""
+
+from repro.utils.tables import render_table
+from repro.utils.seeding import seed_everything
+
+__all__ = ["render_table", "seed_everything"]

@@ -1,0 +1,19 @@
+"""Deterministic seeding helpers."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+
+def seed_everything(seed: int) -> np.random.Generator:
+    """Seed Python and numpy global RNGs; return a fresh Generator.
+
+    The library itself threads explicit ``np.random.Generator`` objects
+    everywhere; this helper exists for scripts and tests that also rely on
+    global randomness.
+    """
+    random.seed(seed)
+    np.random.seed(seed % (2 ** 32))
+    return np.random.default_rng(seed)

@@ -1,0 +1,35 @@
+"""Plain-text table rendering for the benchmark harness output."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def render_table(title: str, rows: Sequence[Mapping], key_column: str = "method") -> str:
+    """Render dict rows as an aligned text table.
+
+    Every row is a flat mapping; the union of keys defines the columns,
+    with ``key_column`` first.  Missing values render as ``-``.
+    """
+    if not rows:
+        return f"== {title} ==\n(empty)\n"
+    columns: list[str] = [key_column] if key_column in rows[0] else []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {c: max(len(str(c)), *(len(_fmt(r.get(c))) for r in rows)) for c in columns}
+    lines = [f"== {title} =="]
+    lines.append("  ".join(str(c).ljust(widths[c]) for c in columns))
+    lines.append("  ".join("-" * widths[c] for c in columns))
+    for row in rows:
+        lines.append("  ".join(_fmt(row.get(c)).ljust(widths[c]) for c in columns))
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)

@@ -1,0 +1,47 @@
+"""Analysis toolkit on a briefly-trained model (light integration)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import degeneration_score, rationale_shift_report, token_selection_profile
+from repro.core import DAR, TrainConfig, train_rationalizer
+from repro.data.lexicon import BEER_LEXICONS
+from repro.metrics import aopc, faithfulness
+
+
+@pytest.fixture(scope="module")
+def trained_dar(tiny_beer):
+    model = DAR(
+        vocab_size=len(tiny_beer.vocab), embedding_dim=64, hidden_size=8,
+        alpha=tiny_beer.gold_sparsity(), pretrained_embeddings=tiny_beer.embeddings,
+        rng=np.random.default_rng(0),
+    )
+    config = TrainConfig(epochs=3, batch_size=20, lr=2e-3, seed=0, pretrain_epochs=4)
+    train_rationalizer(model, tiny_beer, config)
+    return model
+
+
+class TestAnalysisOnTrainedModel:
+    def test_shift_report_consistent(self, trained_dar, tiny_beer):
+        report = rationale_shift_report(trained_dar, tiny_beer.test)
+        assert report.gap == pytest.approx(
+            report.rationale_accuracy - report.full_text_accuracy
+        )
+
+    def test_selection_profile_prefers_lexicon_words(self, trained_dar, tiny_beer):
+        """After even brief DAR training the most-selected tokens should
+        include aroma-aspect words rather than being all punctuation."""
+        profile = token_selection_profile(trained_dar, tiny_beer.test, top_k=10)
+        selected_tokens = {token for token, _ in profile}
+        aroma_words = set(BEER_LEXICONS["Aroma"].all_words())
+        # Not asserted to be perfect at this scale — just non-degenerate.
+        assert not selected_tokens or degeneration_score(trained_dar, tiny_beer.test) < 0.9
+
+    def test_faithfulness_computes(self, trained_dar, tiny_beer):
+        score = faithfulness(trained_dar, tiny_beer.test)
+        assert -1.0 <= score.sufficiency <= 1.0
+        assert -1.0 <= score.comprehensiveness <= 1.0
+
+    def test_aopc_monotone_bins(self, trained_dar, tiny_beer):
+        curve = aopc(trained_dar, tiny_beer.test, bins=(0.1, 0.5))
+        assert set(curve) == {0.1, 0.5}

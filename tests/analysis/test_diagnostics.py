@@ -1,0 +1,126 @@
+"""Rationale-shift diagnostics and visualization."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    degeneration_score,
+    format_rationale,
+    rationale_shift_report,
+    render_examples,
+    token_selection_profile,
+)
+from repro.core import RNP
+from repro.data.dataset import ReviewExample
+
+
+@pytest.fixture
+def model(tiny_beer):
+    return RNP(
+        vocab_size=len(tiny_beer.vocab), embedding_dim=64, hidden_size=12,
+        alpha=0.15, pretrained_embeddings=tiny_beer.embeddings,
+        rng=np.random.default_rng(0),
+    )
+
+
+class TestShiftReport:
+    def test_report_fields(self, model, tiny_beer):
+        report = rationale_shift_report(model, tiny_beer.test)
+        assert report.gap == pytest.approx(report.rationale_accuracy - report.full_text_accuracy)
+        assert isinstance(report.shifted, bool)
+        assert "acc(rationale)" in report.summary()
+
+    def test_threshold_controls_verdict(self, model, tiny_beer):
+        permissive = rationale_shift_report(model, tiny_beer.test, gap_threshold=1000.0)
+        assert not permissive.shifted
+
+    def test_verdict_wording(self, model, tiny_beer):
+        report = rationale_shift_report(model, tiny_beer.test, gap_threshold=-1000.0)
+        assert report.shifted
+        assert "RATIONALE SHIFT" in report.summary()
+
+
+class TestSelectionProfile:
+    def test_profile_counts(self, model, tiny_beer):
+        profile = token_selection_profile(model, tiny_beer.test, top_k=5)
+        assert len(profile) <= 5
+        for token, count in profile:
+            assert isinstance(token, str)
+            assert count >= 1
+
+    def test_profile_sorted_descending(self, model, tiny_beer):
+        profile = token_selection_profile(model, tiny_beer.test, top_k=10)
+        counts = [c for _, c in profile]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestDegenerationScore:
+    def test_range(self, model, tiny_beer):
+        score = degeneration_score(model, tiny_beer.test)
+        assert 0.0 <= score <= 1.0
+
+    def test_zero_when_nothing_selected(self, tiny_beer):
+        class SelectNothing(RNP):
+            def select(self, batch):
+                return np.zeros_like(batch.mask)
+
+        model = SelectNothing(
+            vocab_size=len(tiny_beer.vocab), embedding_dim=64, hidden_size=8,
+            alpha=0.15, pretrained_embeddings=tiny_beer.embeddings,
+            rng=np.random.default_rng(0),
+        )
+        assert degeneration_score(model, tiny_beer.test) == 0.0
+
+    def test_one_when_only_punctuation_selected(self, tiny_beer):
+        class SelectPunct(RNP):
+            def select(self, batch):
+                out = np.zeros_like(batch.mask)
+                punct_ids = {batch.examples[0].token_ids[0] * 0}  # placeholder
+                for i, ex in enumerate(batch.examples):
+                    for j, tok in enumerate(ex.tokens):
+                        if tok == "-":
+                            out[i, j] = 1.0
+                return out
+
+        model = SelectPunct(
+            vocab_size=len(tiny_beer.vocab), embedding_dim=64, hidden_size=8,
+            alpha=0.15, pretrained_embeddings=tiny_beer.embeddings,
+            rng=np.random.default_rng(0),
+        )
+        score = degeneration_score(model, tiny_beer.test)
+        assert score == pytest.approx(1.0)
+
+
+class TestVisualization:
+    def _example(self):
+        return ReviewExample(
+            tokens=["the", "aroma", "was", "fragrant", "."],
+            token_ids=np.arange(5),
+            label=1,
+            rationale=np.array([0, 1, 0, 1, 0]),
+            aspect="Aroma",
+        )
+
+    def test_brackets_style(self):
+        ex = self._example()
+        selection = np.array([0, 1, 0, 0, 1])
+        out = format_rationale(ex, selection, style="brackets")
+        assert "[aroma]*" in out      # selected AND gold
+        assert "fragrant*" in out     # gold only
+        assert "[.]" in out           # selected only
+
+    def test_markdown_style(self):
+        ex = self._example()
+        out = format_rationale(ex, np.array([0, 1, 0, 0, 0]), style="markdown")
+        assert "<u>**aroma**</u>" in out
+
+    def test_unknown_style_raises(self):
+        with pytest.raises(ValueError):
+            format_rationale(self._example(), np.zeros(5), style="latex")
+
+    def test_render_examples(self, model, tiny_beer):
+        out = render_examples(model, tiny_beer.test, limit=3)
+        assert out.count("--- example") == 3
+
+    def test_render_empty(self, model):
+        assert "no examples" in render_examples(model, [], limit=3)

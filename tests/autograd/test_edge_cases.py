@@ -1,0 +1,116 @@
+"""Edge cases and failure modes of the autodiff engine."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.autograd import functional as F
+
+
+class TestScalars:
+    def test_zero_dim_tensor(self):
+        t = Tensor(2.0)
+        assert t.shape == ()
+        assert t.item() == 2.0
+
+    def test_scalar_chain_backward(self):
+        a = Tensor(3.0, requires_grad=True)
+        ((a * a + a) * 2.0).backward()
+        assert a.grad == pytest.approx(14.0)  # 2*(2a+1)
+
+
+class TestDeepGraphs:
+    def test_long_chain_no_recursion_error(self):
+        """The iterative topological sort must handle graphs deeper than
+        Python's default recursion limit."""
+        a = Tensor(1.0, requires_grad=True)
+        x = a
+        for _ in range(3000):
+            x = x * 1.0001
+        x.backward()
+        assert a.grad is not None
+        assert np.isfinite(a.grad)
+
+    def test_wide_fanout(self):
+        a = Tensor(2.0, requires_grad=True)
+        total = Tensor(0.0)
+        for _ in range(200):
+            total = total + a * 1.0
+        total.backward()
+        assert a.grad == pytest.approx(200.0)
+
+
+class TestReuseAcrossGraphs:
+    def test_same_leaf_in_two_graphs(self):
+        a = Tensor([1.0], requires_grad=True)
+        loss1 = (a * 2.0).sum()
+        loss2 = (a * 3.0).sum()
+        loss1.backward()
+        loss2.backward()
+        assert a.grad[0] == pytest.approx(5.0)
+
+    def test_backward_twice_on_same_graph_accumulates(self):
+        a = Tensor([1.0], requires_grad=True)
+        out = (a * 2.0).sum()
+        out.backward()
+        out.backward()
+        assert a.grad[0] == pytest.approx(4.0)
+
+
+class TestNoGradInteractions:
+    def test_nested_no_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            with no_grad():
+                pass
+            b = a * 2.0
+        assert not b.requires_grad
+
+    def test_tensor_created_in_no_grad_never_requires(self):
+        with no_grad():
+            t = Tensor([1.0], requires_grad=True)
+        assert not t.requires_grad
+
+    def test_mixed_graph_stops_at_detached(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = a * 3.0
+        c = b.detach() * a  # gradient flows only through the right factor
+        c.sum().backward()
+        assert a.grad[0] == pytest.approx(6.0)
+
+
+class TestNumericalStability:
+    def test_softmax_all_equal(self):
+        out = F.softmax(Tensor(np.full((2, 5), 7.0)))
+        assert np.allclose(out.data, 0.2)
+
+    def test_cross_entropy_huge_wrong_logit(self):
+        logits = Tensor(np.array([[1000.0, 0.0]]))
+        loss = F.cross_entropy(logits, np.array([1]))
+        assert np.isfinite(loss.item())
+        assert loss.item() > 100
+
+    def test_log_softmax_no_overflow(self):
+        out = F.log_softmax(Tensor(np.array([[1e5, -1e5]])))
+        assert np.isfinite(out.data).all()
+
+    def test_division_by_tiny(self):
+        a = Tensor([1.0], requires_grad=True)
+        out = a / 1e-30
+        out.backward(np.array([1.0]))
+        assert np.isfinite(a.grad).all()
+
+
+class TestDtypes:
+    def test_int_input_promoted_to_float(self):
+        t = Tensor([1, 2, 3])
+        assert t.data.dtype == np.float64
+
+    def test_bool_comparisons_dont_join_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        mask = a > 0
+        assert isinstance(mask, np.ndarray)
+        # Using the mask in masked_fill is fine and differentiable.
+        out = a.masked_fill(~mask, 0.0)
+        out.sum().backward()
+        assert a.grad is not None

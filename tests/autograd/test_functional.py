@@ -1,0 +1,152 @@
+"""Forward-value tests for the functional building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd import functional as F
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        out = F.softmax(Tensor(np.random.default_rng(0).standard_normal((4, 7))))
+        assert np.allclose(out.data.sum(axis=-1), 1.0)
+
+    def test_invariant_to_shift(self):
+        x = Tensor(np.array([[1.0, 2.0, 3.0]]))
+        assert np.allclose(F.softmax(x).data, F.softmax(x + 100.0).data)
+
+    def test_extreme_logits_stable(self):
+        out = F.softmax(Tensor(np.array([[1e4, 0.0, -1e4]])))
+        assert np.isfinite(out.data).all()
+        assert out.data[0, 0] == pytest.approx(1.0)
+
+    def test_log_softmax_consistent(self):
+        x = Tensor(np.random.default_rng(1).standard_normal((3, 5)))
+        assert np.allclose(F.log_softmax(x).data, np.log(F.softmax(x).data))
+
+    def test_softmax_axis(self):
+        x = Tensor(np.random.default_rng(2).standard_normal((2, 3, 4)))
+        assert np.allclose(F.softmax(x, axis=1).data.sum(axis=1), 1.0)
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_near_zero(self):
+        logits = Tensor(np.array([[100.0, 0.0], [0.0, 100.0]]))
+        loss = F.cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_uniform_prediction_is_log_c(self):
+        logits = Tensor(np.zeros((5, 4)))
+        loss = F.cross_entropy(logits, np.array([0, 1, 2, 3, 0]))
+        assert loss.item() == pytest.approx(np.log(4))
+
+    def test_reductions(self):
+        logits = Tensor(np.zeros((3, 2)))
+        targets = np.array([0, 1, 0])
+        none = F.cross_entropy(logits, targets, reduction="none")
+        assert none.shape == (3,)
+        assert F.cross_entropy(logits, targets, reduction="sum").item() == pytest.approx(3 * np.log(2))
+        assert F.cross_entropy(logits, targets, reduction="mean").item() == pytest.approx(np.log(2))
+
+    def test_unknown_reduction_raises(self):
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(np.zeros((1, 2))), np.array([0]), reduction="bogus")
+
+    def test_nll_matches_cross_entropy(self):
+        rng = np.random.default_rng(3)
+        logits = Tensor(rng.standard_normal((4, 3)))
+        targets = np.array([0, 1, 2, 1])
+        ce = F.cross_entropy(logits, targets)
+        nll = F.nll_loss(F.log_softmax(logits), targets)
+        assert ce.item() == pytest.approx(nll.item())
+
+
+class TestBCE:
+    def test_matches_manual(self):
+        logits = Tensor(np.array([0.3, -1.2, 2.0]))
+        targets = np.array([1.0, 0.0, 1.0])
+        probs = 1 / (1 + np.exp(-logits.data))
+        expected = -(targets * np.log(probs) + (1 - targets) * np.log(1 - probs)).mean()
+        assert F.binary_cross_entropy_with_logits(logits, targets).item() == pytest.approx(expected)
+
+    def test_extreme_logits_finite(self):
+        loss = F.binary_cross_entropy_with_logits(Tensor(np.array([1e4, -1e4])), np.array([0.0, 1.0]))
+        assert np.isfinite(loss.item())
+
+    def test_unknown_reduction_raises(self):
+        with pytest.raises(ValueError):
+            F.binary_cross_entropy_with_logits(Tensor(np.zeros(2)), np.zeros(2), reduction="x")
+
+
+class TestDivergences:
+    def test_kl_zero_for_identical(self):
+        p = F.softmax(Tensor(np.random.default_rng(0).standard_normal((3, 4))))
+        assert np.allclose(F.kl_divergence(p, p).data, 0.0, atol=1e-10)
+
+    def test_kl_nonnegative(self):
+        rng = np.random.default_rng(1)
+        p = F.softmax(Tensor(rng.standard_normal((5, 4))))
+        q = F.softmax(Tensor(rng.standard_normal((5, 4))))
+        assert np.all(F.kl_divergence(p, q).data >= -1e-12)
+
+    def test_js_symmetric(self):
+        rng = np.random.default_rng(2)
+        p = F.softmax(Tensor(rng.standard_normal((4, 3))))
+        q = F.softmax(Tensor(rng.standard_normal((4, 3))))
+        assert np.allclose(F.js_divergence(p, q).data, F.js_divergence(q, p).data)
+
+    def test_js_bounded_by_log2(self):
+        p = Tensor(np.array([[1.0, 0.0]]))
+        q = Tensor(np.array([[0.0, 1.0]]))
+        assert F.js_divergence(p, q).data[0] <= np.log(2) + 1e-9
+
+    def test_entropy_uniform_is_log_n(self):
+        p = Tensor(np.full((1, 8), 1 / 8))
+        assert F.entropy(p).data[0] == pytest.approx(np.log(8))
+
+    def test_entropy_onehot_is_zero(self):
+        p = Tensor(np.array([[1.0, 0.0, 0.0]]))
+        assert F.entropy(p).data[0] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestActivations:
+    def test_relu_sigmoid_tanh_wrappers(self):
+        x = Tensor(np.array([-1.0, 2.0]))
+        assert np.array_equal(F.relu(x).data, [0.0, 2.0])
+        assert np.allclose(F.sigmoid(x).data, 1 / (1 + np.exp([1.0, -2.0])))
+        assert np.allclose(F.tanh(x).data, np.tanh([-1.0, 2.0]))
+
+    def test_gelu_fixed_points(self):
+        x = Tensor(np.array([0.0]))
+        assert F.gelu(x).data[0] == pytest.approx(0.0)
+        # GELU(x) ~ x for large positive x, ~0 for large negative x.
+        big = F.gelu(Tensor(np.array([10.0, -10.0]))).data
+        assert big[0] == pytest.approx(10.0, rel=1e-3)
+        assert big[1] == pytest.approx(0.0, abs=1e-3)
+
+
+class TestDropout:
+    def test_eval_mode_identity(self):
+        x = Tensor(np.ones((10, 10)))
+        out = F.dropout(x, p=0.5, training=False)
+        assert np.array_equal(out.data, x.data)
+
+    def test_zero_p_identity(self):
+        x = Tensor(np.ones(100))
+        out = F.dropout(x, p=0.0, training=True)
+        assert np.array_equal(out.data, x.data)
+
+    def test_training_zeroes_and_scales(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones(10000))
+        out = F.dropout(x, p=0.5, training=True, rng=rng)
+        kept = out.data != 0.0
+        assert 0.4 < kept.mean() < 0.6
+        assert np.allclose(out.data[kept], 2.0)  # inverted scaling
+
+    def test_expectation_preserved(self):
+        rng = np.random.default_rng(1)
+        x = Tensor(np.ones(200_000))
+        out = F.dropout(x, p=0.3, training=True, rng=rng)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.02)

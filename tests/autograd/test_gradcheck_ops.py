@@ -1,0 +1,181 @@
+"""Finite-difference verification of every differentiable operation.
+
+This is the trust anchor for the whole substrate: if these pass, the
+cooperative-game dynamics downstream are computed with correct gradients.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+from repro.autograd import functional as F
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+def t(rng, *shape, positive=False, scale=1.0):
+    data = rng.standard_normal(shape) * scale
+    if positive:
+        data = np.abs(data) + 0.5
+    return Tensor(data, requires_grad=True)
+
+
+class TestArithmeticGrads:
+    def test_add(self, rng):
+        assert gradcheck(lambda a, b: (a + b).sum(), [t(rng, 3, 4), t(rng, 3, 4)])
+
+    def test_add_broadcast(self, rng):
+        assert gradcheck(lambda a, b: (a + b).sum(), [t(rng, 3, 4), t(rng, 4)])
+
+    def test_mul(self, rng):
+        assert gradcheck(lambda a, b: (a * b).sum(), [t(rng, 2, 5), t(rng, 2, 5)])
+
+    def test_mul_broadcast(self, rng):
+        assert gradcheck(lambda a, b: (a * b).sum(), [t(rng, 2, 5), t(rng, 1, 5)])
+
+    def test_sub(self, rng):
+        assert gradcheck(lambda a, b: (a - b).sum(), [t(rng, 4), t(rng, 4)])
+
+    def test_div(self, rng):
+        assert gradcheck(lambda a, b: (a / b).sum(), [t(rng, 3), t(rng, 3, positive=True)])
+
+    def test_pow(self, rng):
+        assert gradcheck(lambda a: (a ** 3).sum(), [t(rng, 4)])
+
+    def test_neg(self, rng):
+        assert gradcheck(lambda a: (-a).sum(), [t(rng, 4)])
+
+    def test_matmul_2d(self, rng):
+        assert gradcheck(lambda a, b: (a @ b).sum(), [t(rng, 3, 4), t(rng, 4, 2)])
+
+    def test_matmul_batched(self, rng):
+        assert gradcheck(lambda a, b: (a @ b).sum(), [t(rng, 2, 3, 4), t(rng, 2, 4, 2)])
+
+    def test_matmul_broadcast_rhs(self, rng):
+        assert gradcheck(lambda a, b: (a @ b).sum(), [t(rng, 2, 3, 4), t(rng, 4, 2)])
+
+    def test_matmul_vec_vec(self, rng):
+        assert gradcheck(lambda a, b: (a @ b) * 1.0, [t(rng, 5), t(rng, 5)])
+
+    def test_matmul_mat_vec(self, rng):
+        assert gradcheck(lambda a, b: (a @ b).sum(), [t(rng, 3, 5), t(rng, 5)])
+
+
+class TestElementwiseGrads:
+    def test_exp(self, rng):
+        assert gradcheck(lambda a: a.exp().sum(), [t(rng, 3, 3, scale=0.5)])
+
+    def test_log(self, rng):
+        assert gradcheck(lambda a: a.log().sum(), [t(rng, 4, positive=True)])
+
+    def test_tanh(self, rng):
+        assert gradcheck(lambda a: a.tanh().sum(), [t(rng, 5)])
+
+    def test_sigmoid(self, rng):
+        assert gradcheck(lambda a: a.sigmoid().sum(), [t(rng, 5)])
+
+    def test_sqrt(self, rng):
+        assert gradcheck(lambda a: a.sqrt().sum(), [t(rng, 4, positive=True)])
+
+    def test_abs_away_from_zero(self, rng):
+        data = rng.standard_normal(6)
+        data[np.abs(data) < 0.1] = 0.5
+        assert gradcheck(lambda a: a.abs().sum(), [Tensor(data, requires_grad=True)])
+
+    def test_relu_away_from_zero(self, rng):
+        data = rng.standard_normal(6)
+        data[np.abs(data) < 0.1] = 0.5
+        assert gradcheck(lambda a: a.relu().sum(), [Tensor(data, requires_grad=True)])
+
+    def test_gelu(self, rng):
+        assert gradcheck(lambda a: F.gelu(a).sum(), [t(rng, 5)])
+
+
+class TestShapeGrads:
+    def test_reshape(self, rng):
+        assert gradcheck(lambda a: (a.reshape(6) ** 2).sum(), [t(rng, 2, 3)])
+
+    def test_transpose(self, rng):
+        assert gradcheck(lambda a: (a.transpose() ** 2).sum(), [t(rng, 2, 3)])
+
+    def test_getitem(self, rng):
+        assert gradcheck(lambda a: (a[1] ** 2).sum(), [t(rng, 3, 4)])
+
+    def test_concatenate(self, rng):
+        assert gradcheck(
+            lambda a, b: (Tensor.concatenate([a, b], axis=1) ** 2).sum(),
+            [t(rng, 2, 3), t(rng, 2, 2)],
+        )
+
+    def test_stack(self, rng):
+        assert gradcheck(
+            lambda a, b: (Tensor.stack([a, b], axis=0) ** 2).sum(),
+            [t(rng, 4), t(rng, 4)],
+        )
+
+    def test_broadcast_to(self, rng):
+        assert gradcheck(lambda a: (a.broadcast_to((3, 4)) ** 2).sum(), [t(rng, 1, 4)])
+
+    def test_take_rows(self, rng):
+        idx = np.array([0, 2, 2, 1])
+        assert gradcheck(lambda a: (a.take_rows(idx) ** 2).sum(), [t(rng, 3, 4)])
+
+
+class TestReductionGrads:
+    def test_sum_axis(self, rng):
+        assert gradcheck(lambda a: (a.sum(axis=0) ** 2).sum(), [t(rng, 3, 4)])
+
+    def test_mean_axis(self, rng):
+        assert gradcheck(lambda a: (a.mean(axis=1) ** 2).sum(), [t(rng, 3, 4)])
+
+    def test_max_axis_unique(self, rng):
+        # Use well-separated values so the argmax is stable under eps.
+        data = rng.permutation(np.arange(12.0)).reshape(3, 4)
+        assert gradcheck(lambda a: a.max(axis=1).sum(), [Tensor(data, requires_grad=True)])
+
+
+class TestFunctionalGrads:
+    def test_softmax(self, rng):
+        assert gradcheck(lambda a: (F.softmax(a) ** 2).sum(), [t(rng, 3, 5)])
+
+    def test_log_softmax(self, rng):
+        assert gradcheck(lambda a: F.log_softmax(a).sum(), [t(rng, 3, 5)])
+
+    def test_cross_entropy(self, rng):
+        targets = np.array([0, 2, 1])
+        assert gradcheck(lambda a: F.cross_entropy(a, targets), [t(rng, 3, 3)])
+
+    def test_cross_entropy_sum_reduction(self, rng):
+        targets = np.array([1, 0])
+        assert gradcheck(lambda a: F.cross_entropy(a, targets, reduction="sum"), [t(rng, 2, 4)])
+
+    def test_bce_with_logits(self, rng):
+        targets = np.array([1.0, 0.0, 1.0])
+        assert gradcheck(
+            lambda a: F.binary_cross_entropy_with_logits(a, targets), [t(rng, 3)]
+        )
+
+    def test_kl_divergence(self, rng):
+        p = Tensor(F.softmax(t(rng, 2, 4)).data, requires_grad=True)
+        q = Tensor(F.softmax(t(rng, 2, 4)).data, requires_grad=True)
+        assert gradcheck(lambda p, q: F.kl_divergence(p, q).sum(), [p, q])
+
+    def test_js_divergence(self, rng):
+        p = Tensor(F.softmax(t(rng, 2, 4)).data, requires_grad=True)
+        q = Tensor(F.softmax(t(rng, 2, 4)).data, requires_grad=True)
+        assert gradcheck(lambda p, q: F.js_divergence(p, q).sum(), [p, q])
+
+    def test_entropy(self, rng):
+        p = Tensor(F.softmax(t(rng, 3, 4)).data, requires_grad=True)
+        assert gradcheck(lambda p: F.entropy(p).sum(), [p])
+
+    def test_masked_fill(self, rng):
+        mask = rng.uniform(size=(3, 4)) > 0.5
+        assert gradcheck(lambda a: (a.masked_fill(mask, 0.0) ** 2).sum(), [t(rng, 3, 4)])
+
+    def test_where(self, rng):
+        cond = rng.uniform(size=5) > 0.5
+        assert gradcheck(lambda a, b: (a.where(cond, b) ** 2).sum(), [t(rng, 5), t(rng, 5)])

@@ -1,0 +1,79 @@
+"""Gumbel-softmax sampling: the reparameterization behind rationale masks."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gumbel_softmax
+from repro.autograd.functional import sample_gumbel
+
+
+class TestGumbelNoise:
+    def test_shape(self):
+        rng = np.random.default_rng(0)
+        assert sample_gumbel((3, 4), rng).shape == (3, 4)
+
+    def test_moments(self):
+        # Standard Gumbel: mean = Euler-Mascheroni (~0.5772), var = pi^2/6.
+        rng = np.random.default_rng(1)
+        samples = sample_gumbel((200_000,), rng)
+        assert samples.mean() == pytest.approx(0.5772, abs=0.02)
+        assert samples.var() == pytest.approx(np.pi ** 2 / 6, rel=0.05)
+
+
+class TestHardSampling:
+    def test_one_hot_output(self):
+        rng = np.random.default_rng(0)
+        logits = Tensor(rng.standard_normal((6, 5, 2)))
+        out = gumbel_softmax(logits, temperature=0.7, hard=True, rng=rng)
+        assert np.all(np.isin(out.data, [0.0, 1.0]))
+        assert np.allclose(out.data.sum(axis=-1), 1.0)
+
+    def test_gradient_flows_through_soft_path(self):
+        rng = np.random.default_rng(0)
+        logits = Tensor(rng.standard_normal((4, 3, 2)), requires_grad=True)
+        out = gumbel_softmax(logits, temperature=1.0, hard=True, rng=rng)
+        (out[:, :, 1].sum()).backward()
+        assert logits.grad is not None
+        assert np.abs(logits.grad).sum() > 0
+
+    def test_respects_strong_logits(self):
+        # With overwhelming logits the sample should be deterministic.
+        rng = np.random.default_rng(0)
+        logits = np.zeros((1, 4, 2))
+        logits[:, :2, 1] = 50.0
+        logits[:, :2, 0] = -50.0
+        logits[:, 2:, 0] = 50.0
+        logits[:, 2:, 1] = -50.0
+        out = gumbel_softmax(Tensor(logits), temperature=1.0, hard=True, rng=rng)
+        assert np.array_equal(out.data[0, :, 1], [1.0, 1.0, 0.0, 0.0])
+
+    def test_sampling_rate_tracks_probability(self):
+        rng = np.random.default_rng(0)
+        logits = Tensor(np.zeros((2000, 1, 2)))  # 50/50
+        out = gumbel_softmax(logits, temperature=1.0, hard=True, rng=rng)
+        rate = out.data[:, 0, 1].mean()
+        assert 0.45 < rate < 0.55
+
+
+class TestSoftSampling:
+    def test_soft_simplex(self):
+        rng = np.random.default_rng(0)
+        logits = Tensor(rng.standard_normal((5, 3)))
+        out = gumbel_softmax(logits, temperature=1.0, hard=False, rng=rng)
+        assert np.allclose(out.data.sum(axis=-1), 1.0)
+        assert np.all(out.data > 0)
+
+    def test_low_temperature_sharpens(self):
+        rng_a = np.random.default_rng(7)
+        rng_b = np.random.default_rng(7)
+        logits = Tensor(np.random.default_rng(1).standard_normal((100, 4)))
+        hot = gumbel_softmax(logits, temperature=5.0, hard=False, rng=rng_a)
+        cold = gumbel_softmax(logits, temperature=0.1, hard=False, rng=rng_b)
+        # Sharper distributions have higher max probability on average.
+        assert cold.data.max(axis=-1).mean() > hot.data.max(axis=-1).mean()
+
+    def test_deterministic_given_rng_seed(self):
+        logits = Tensor(np.random.default_rng(2).standard_normal((3, 2)))
+        a = gumbel_softmax(logits, rng=np.random.default_rng(5))
+        b = gumbel_softmax(logits, rng=np.random.default_rng(5))
+        assert np.array_equal(a.data, b.data)

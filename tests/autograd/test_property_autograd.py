@@ -1,0 +1,103 @@
+"""Hypothesis property tests for the autodiff engine's core invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.autograd import Tensor, gradcheck
+from repro.autograd import functional as F
+from repro.autograd.tensor import unbroadcast
+
+finite_floats = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False)
+
+
+def arrays(shape):
+    return hnp.arrays(np.float64, shape, elements=finite_floats)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays((3, 4)), arrays((3, 4)))
+def test_addition_commutes(a, b):
+    assert np.allclose((Tensor(a) + Tensor(b)).data, (Tensor(b) + Tensor(a)).data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays((2, 3)), arrays((2, 3)), arrays((2, 3)))
+def test_addition_associates(a, b, c):
+    left = (Tensor(a) + Tensor(b)) + Tensor(c)
+    right = Tensor(a) + (Tensor(b) + Tensor(c))
+    assert np.allclose(left.data, right.data, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays((4, 3)))
+def test_softmax_is_distribution(x):
+    out = F.softmax(Tensor(x)).data
+    assert np.all(out >= 0)
+    assert np.allclose(out.sum(axis=-1), 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays((4, 3)), st.integers(min_value=0, max_value=2))
+def test_cross_entropy_nonnegative(logits, target_class):
+    targets = np.full(4, target_class)
+    loss = F.cross_entropy(Tensor(logits), targets)
+    assert loss.item() >= -1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays((3, 4)), arrays((3, 4)))
+def test_kl_nonnegative_and_zero_iff_equal(a, b):
+    p = F.softmax(Tensor(a))
+    q = F.softmax(Tensor(b))
+    kl = F.kl_divergence(p, q).data
+    assert np.all(kl >= -1e-9)
+    self_kl = F.kl_divergence(p, p).data
+    assert np.allclose(self_kl, 0.0, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays((3, 4)), arrays((3, 4)))
+def test_js_bounded(a, b):
+    p = F.softmax(Tensor(a))
+    q = F.softmax(Tensor(b))
+    js = F.js_divergence(p, q).data
+    assert np.all(js >= -1e-9)
+    assert np.all(js <= np.log(2) + 1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    hnp.arrays(np.float64, (3, 4), elements=st.floats(min_value=-3, max_value=3)),
+)
+def test_gradcheck_random_composite(x):
+    tensor = Tensor(x, requires_grad=True)
+    assert gradcheck(lambda t: ((t * 2.0).tanh() + t.sigmoid()).sum(), [tensor])
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sampled_from([(3, 4), (1, 4), (4,), (1, 1), (3, 1)]))
+def test_unbroadcast_restores_shape(shape):
+    grad = np.ones((3, 4))
+    reduced = unbroadcast(grad, shape)
+    assert reduced.shape == shape
+    # Total gradient mass is preserved by summation.
+    assert reduced.sum() == grad.sum()
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays((2, 5)))
+def test_sum_equals_matmul_ones(x):
+    t = Tensor(x)
+    via_sum = t.sum(axis=1).data
+    via_matmul = (t @ Tensor(np.ones(5))).data
+    assert np.allclose(via_sum, via_matmul)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays((6,)))
+def test_detach_preserves_values(x):
+    t = Tensor(x, requires_grad=True)
+    d = t.detach()
+    assert np.array_equal(d.data, t.data)
+    assert not d.requires_grad

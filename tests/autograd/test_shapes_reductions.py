@@ -1,0 +1,138 @@
+"""Shape manipulation and reduction ops, forward values and gradients."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+
+
+class TestShapes:
+    def test_reshape_roundtrip(self):
+        a = Tensor(np.arange(6.0), requires_grad=True)
+        out = a.reshape(2, 3)
+        assert out.shape == (2, 3)
+        out.sum().backward()
+        assert a.grad.shape == (6,)
+        assert np.all(a.grad == 1.0)
+
+    def test_reshape_tuple_arg(self):
+        assert Tensor(np.arange(6.0)).reshape((3, 2)).shape == (3, 2)
+
+    def test_transpose_default(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        out = a.transpose()
+        assert out.shape == (3, 2)
+        out.sum().backward()
+        assert a.grad.shape == (2, 3)
+
+    def test_transpose_axes(self):
+        a = Tensor(np.zeros((2, 3, 4)))
+        assert a.transpose(1, 0, 2).shape == (3, 2, 4)
+
+    def test_T_property(self):
+        assert Tensor(np.zeros((2, 5))).T.shape == (5, 2)
+
+    def test_swapaxes(self):
+        a = Tensor(np.zeros((2, 3, 4)))
+        assert a.swapaxes(0, 2).shape == (4, 3, 2)
+        assert a.swapaxes(-1, -2).shape == (2, 4, 3)
+
+    def test_getitem_grad_scatters(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        out = a[0]
+        out.sum().backward()
+        assert np.array_equal(a.grad, [[1.0, 1.0, 1.0], [0.0, 0.0, 0.0]])
+
+    def test_getitem_fancy_index_repeats(self):
+        a = Tensor(np.arange(3.0), requires_grad=True)
+        out = a[np.array([0, 0, 2])]
+        out.sum().backward()
+        assert np.array_equal(a.grad, [2.0, 0.0, 1.0])
+
+    def test_squeeze_unsqueeze(self):
+        a = Tensor(np.zeros((2, 1, 3)), requires_grad=True)
+        squeezed = a.squeeze(1)
+        assert squeezed.shape == (2, 3)
+        expanded = squeezed.unsqueeze(0)
+        assert expanded.shape == (1, 2, 3)
+        expanded.sum().backward()
+        assert a.grad.shape == (2, 1, 3)
+
+    def test_broadcast_to(self):
+        a = Tensor(np.ones((1, 3)), requires_grad=True)
+        out = a.broadcast_to((4, 3))
+        assert out.shape == (4, 3)
+        out.sum().backward()
+        assert np.all(a.grad == 4.0)
+
+    def test_concatenate(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.zeros((2, 3)), requires_grad=True)
+        out = Tensor.concatenate([a, b], axis=1)
+        assert out.shape == (2, 5)
+        out.sum().backward()
+        assert a.grad.shape == (2, 2)
+        assert b.grad.shape == (2, 3)
+        assert np.all(a.grad == 1.0)
+
+    def test_stack(self):
+        tensors = [Tensor(np.full(3, float(i)), requires_grad=True) for i in range(4)]
+        out = Tensor.stack(tensors, axis=0)
+        assert out.shape == (4, 3)
+        out.sum().backward()
+        for t in tensors:
+            assert np.all(t.grad == 1.0)
+
+    def test_stack_axis1(self):
+        tensors = [Tensor(np.zeros(2)) for _ in range(3)]
+        assert Tensor.stack(tensors, axis=1).shape == (2, 3)
+
+
+class TestReductions:
+    def test_sum_all(self):
+        assert Tensor(np.ones((2, 3))).sum().item() == pytest.approx(6.0)
+
+    def test_sum_axis_keepdims(self):
+        a = Tensor(np.ones((2, 3)))
+        assert a.sum(axis=0).shape == (3,)
+        assert a.sum(axis=1, keepdims=True).shape == (2, 1)
+
+    def test_sum_grad_broadcasts_back(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        a.sum(axis=1).sum().backward()
+        assert np.all(a.grad == 1.0)
+
+    def test_mean(self):
+        a = Tensor(np.array([[1.0, 3.0], [5.0, 7.0]]), requires_grad=True)
+        assert a.mean().item() == pytest.approx(4.0)
+        assert np.allclose(a.mean(axis=0).data, [3.0, 5.0])
+        a.mean().backward()
+        assert np.all(a.grad == 0.25)
+
+    def test_mean_axis_tuple(self):
+        a = Tensor(np.ones((2, 3, 4)))
+        assert a.mean(axis=(0, 2)).shape == (3,)
+
+    def test_max(self):
+        a = Tensor(np.array([[1.0, 5.0], [7.0, 3.0]]), requires_grad=True)
+        out = a.max(axis=1)
+        assert np.array_equal(out.data, [5.0, 7.0])
+        out.sum().backward()
+        assert np.array_equal(a.grad, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_max_ties_split_gradient(self):
+        a = Tensor(np.array([2.0, 2.0]), requires_grad=True)
+        a.max().backward()
+        assert np.allclose(a.grad, [0.5, 0.5])
+
+    def test_min(self):
+        a = Tensor(np.array([3.0, -1.0, 2.0]), requires_grad=True)
+        out = a.min()
+        assert out.item() == pytest.approx(-1.0)
+        out.backward()
+        assert np.array_equal(a.grad, [0.0, 1.0, 0.0])
+
+    def test_max_global_keepdims(self):
+        a = Tensor(np.arange(6.0).reshape(2, 3))
+        assert a.max(axis=None).item() == pytest.approx(5.0)
+        assert a.max(axis=1, keepdims=True).shape == (2, 1)

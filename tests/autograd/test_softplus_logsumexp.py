@@ -1,0 +1,67 @@
+"""softplus and logsumexp functional ops."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+from repro.autograd.functional import logsumexp, softplus
+
+
+class TestSoftplus:
+    def test_values(self):
+        x = Tensor(np.array([0.0, 1.0, -1.0]))
+        expected = np.log1p(np.exp([0.0, 1.0, -1.0]))
+        assert np.allclose(softplus(x).data, expected)
+
+    def test_large_inputs_no_overflow(self):
+        out = softplus(Tensor(np.array([1e4, -1e4])))
+        assert np.isfinite(out.data).all()
+        assert out.data[0] == pytest.approx(1e4)
+        assert out.data[1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_beta_sharpens(self):
+        x = Tensor(np.array([0.5]))
+        sharp = softplus(x, beta=10.0).data[0]
+        soft = softplus(x, beta=1.0).data[0]
+        # As beta grows, softplus approaches relu: value -> 0.5.
+        assert abs(sharp - 0.5) < abs(soft - 0.5)
+
+    def test_gradcheck(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.standard_normal(6), requires_grad=True)
+        assert gradcheck(lambda x: softplus(x).sum(), [x])
+
+    def test_always_positive(self):
+        rng = np.random.default_rng(1)
+        out = softplus(Tensor(rng.standard_normal(100) * 5))
+        assert np.all(out.data > 0)
+
+
+class TestLogSumExp:
+    def test_matches_naive_on_moderate_values(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((4, 5))
+        out = logsumexp(Tensor(x), axis=1)
+        assert np.allclose(out.data, np.log(np.exp(x).sum(axis=1)))
+
+    def test_stable_for_large_values(self):
+        out = logsumexp(Tensor(np.array([[1e4, 1e4]])), axis=1)
+        assert out.data[0] == pytest.approx(1e4 + np.log(2))
+
+    def test_keepdims(self):
+        x = Tensor(np.zeros((3, 4)))
+        assert logsumexp(x, axis=1, keepdims=True).shape == (3, 1)
+        assert logsumexp(x, axis=1).shape == (3,)
+
+    def test_gradcheck(self):
+        rng = np.random.default_rng(2)
+        x = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        assert gradcheck(lambda x: logsumexp(x, axis=1).sum(), [x])
+
+    def test_log_softmax_identity(self):
+        from repro.autograd.functional import log_softmax
+
+        rng = np.random.default_rng(3)
+        x = Tensor(rng.standard_normal((2, 5)))
+        manual = x - logsumexp(x, axis=1, keepdims=True)
+        assert np.allclose(manual.data, log_softmax(x, axis=1).data)

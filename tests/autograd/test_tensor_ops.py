@@ -1,0 +1,249 @@
+"""Unit tests for Tensor arithmetic, broadcasting, and graph mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad, is_grad_enabled, tensor, zeros, ones, randn, arange
+
+
+class TestConstruction:
+    def test_from_list(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert t.shape == (3,)
+        assert t.data.dtype == np.float64
+
+    def test_from_tensor_copies_reference(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor(a)
+        assert np.array_equal(a.data, b.data)
+
+    def test_requires_grad_flag(self):
+        assert Tensor([1.0], requires_grad=True).requires_grad
+        assert not Tensor([1.0]).requires_grad
+
+    def test_constructors(self):
+        assert zeros(2, 3).shape == (2, 3)
+        assert ones((4,)).shape == (4,)
+        assert np.all(ones(2).data == 1.0)
+        assert randn(3, 2, rng=np.random.default_rng(0)).shape == (3, 2)
+        assert np.array_equal(arange(4).data, [0, 1, 2, 3])
+        assert tensor([1.0]).shape == (1,)
+
+    def test_item_scalar(self):
+        assert Tensor(3.5).item() == pytest.approx(3.5)
+
+    def test_len_and_repr(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert len(t) == 2
+        assert "Tensor" in repr(t)
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+
+
+class TestArithmetic:
+    def test_add(self):
+        out = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        assert np.array_equal(out.data, [4.0, 6.0])
+
+    def test_add_scalar_and_radd(self):
+        assert np.array_equal((Tensor([1.0]) + 2.0).data, [3.0])
+        assert np.array_equal((2.0 + Tensor([1.0])).data, [3.0])
+
+    def test_sub_and_rsub(self):
+        assert np.array_equal((Tensor([5.0]) - 2.0).data, [3.0])
+        assert np.array_equal((10.0 - Tensor([4.0])).data, [6.0])
+
+    def test_mul_div(self):
+        assert np.array_equal((Tensor([2.0]) * 3.0).data, [6.0])
+        assert np.array_equal((Tensor([6.0]) / 3.0).data, [2.0])
+        assert np.array_equal((12.0 / Tensor([4.0])).data, [3.0])
+
+    def test_neg_pow(self):
+        assert np.array_equal((-Tensor([1.0, -2.0])).data, [-1.0, 2.0])
+        assert np.array_equal((Tensor([2.0]) ** 3).data, [8.0])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([2.0]) ** Tensor([2.0])
+
+    def test_matmul_2d(self):
+        a = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        b = Tensor([[5.0], [6.0]])
+        assert np.array_equal((a @ b).data, [[17.0], [39.0]])
+
+    def test_matmul_batched(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.standard_normal((4, 3, 5)), rng.standard_normal((4, 5, 2))
+        out = Tensor(a) @ Tensor(b)
+        assert np.allclose(out.data, a @ b)
+
+    def test_comparisons_return_numpy(self):
+        result = Tensor([1.0, 3.0]) > Tensor([2.0, 2.0])
+        assert isinstance(result, np.ndarray)
+        assert result.tolist() == [False, True]
+        assert (Tensor([1.0]) < 2.0).tolist() == [True]
+        assert (Tensor([2.0]) >= 2.0).tolist() == [True]
+        assert (Tensor([2.0]) <= 1.0).tolist() == [False]
+
+
+class TestBroadcastingGradients:
+    def test_add_broadcast_grad(self):
+        a = Tensor(np.ones((3, 4)), requires_grad=True)
+        b = Tensor(np.ones(4), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (3, 4)
+        assert b.grad.shape == (4,)
+        assert np.all(b.grad == 3.0)
+
+    def test_mul_broadcast_grad(self):
+        a = Tensor(np.full((2, 3), 2.0), requires_grad=True)
+        b = Tensor(np.full((1, 3), 5.0), requires_grad=True)
+        (a * b).sum().backward()
+        assert np.all(a.grad == 5.0)
+        assert np.all(b.grad == 4.0)  # summed over broadcast rows
+
+    def test_scalar_broadcast_grad(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        (a * 3.0).sum().backward()
+        assert np.all(a.grad == 3.0)
+
+
+class TestGraphMechanics:
+    def test_backward_accumulates_through_reuse(self):
+        a = Tensor([2.0], requires_grad=True)
+        out = a * a + a  # d/da = 2a + 1 = 5
+        out.backward()
+        assert a.grad[0] == pytest.approx(5.0)
+
+    def test_backward_diamond(self):
+        a = Tensor([3.0], requires_grad=True)
+        b = a * 2.0
+        c = a * 4.0
+        (b + c).backward()
+        assert a.grad[0] == pytest.approx(6.0)
+
+    def test_backward_requires_scalar_without_grad_arg(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (a * 2.0).backward()
+
+    def test_backward_with_explicit_grad(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        (a * 2.0).backward(np.array([1.0, 10.0]))
+        assert np.array_equal(a.grad, [2.0, 20.0])
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_grad_accumulates_across_backward_calls(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2.0).backward()
+        (a * 2.0).backward()
+        assert a.grad[0] == pytest.approx(4.0)
+
+    def test_zero_grad(self):
+        a = Tensor([1.0], requires_grad=True)
+        (a * 2.0).backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_detach_cuts_graph(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = (a * 3.0).detach()
+        assert not b.requires_grad
+        c = Tensor([1.0], requires_grad=True)
+        (b * c).backward()
+        assert a.grad is None
+        assert c.grad[0] == pytest.approx(6.0)
+
+    def test_no_grad_disables_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            assert not is_grad_enabled()
+            b = a * 2.0
+        assert is_grad_enabled()
+        assert not b.requires_grad
+
+    def test_no_grad_restores_on_exception(self):
+        try:
+            with no_grad():
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert is_grad_enabled()
+
+    def test_numpy_returns_copy(self):
+        a = Tensor([1.0])
+        arr = a.numpy()
+        arr[0] = 99.0
+        assert a.data[0] == 1.0
+
+
+class TestElementwise:
+    def test_exp_log_roundtrip(self):
+        a = Tensor([0.5, 1.5])
+        assert np.allclose(a.exp().log().data, a.data)
+
+    def test_sqrt(self):
+        assert np.allclose(Tensor([4.0, 9.0]).sqrt().data, [2.0, 3.0])
+
+    def test_abs_and_sign_grad(self):
+        a = Tensor([-2.0, 3.0], requires_grad=True)
+        a.abs().sum().backward()
+        assert np.array_equal(a.grad, [-1.0, 1.0])
+
+    def test_tanh_sigmoid_bounds(self):
+        a = Tensor(np.linspace(-10, 10, 21))
+        assert np.all(np.abs(a.tanh().data) <= 1.0)
+        s = a.sigmoid().data
+        assert np.all((s > 0) & (s < 1))
+
+    def test_sigmoid_extreme_values_stable(self):
+        a = Tensor([-1000.0, 1000.0])
+        s = a.sigmoid().data
+        assert np.isfinite(s).all()
+        assert s[0] == pytest.approx(0.0, abs=1e-12)
+        assert s[1] == pytest.approx(1.0, abs=1e-12)
+
+    def test_relu(self):
+        a = Tensor([-1.0, 0.0, 2.0], requires_grad=True)
+        out = a.relu()
+        assert np.array_equal(out.data, [0.0, 0.0, 2.0])
+        out.sum().backward()
+        assert np.array_equal(a.grad, [0.0, 0.0, 1.0])
+
+    def test_clip(self):
+        a = Tensor([-2.0, 0.5, 3.0], requires_grad=True)
+        out = a.clip(0.0, 1.0)
+        assert np.array_equal(out.data, [0.0, 0.5, 1.0])
+        out.sum().backward()
+        assert np.array_equal(a.grad, [0.0, 1.0, 0.0])
+
+
+class TestMaskingOps:
+    def test_masked_fill(self):
+        a = Tensor([[1.0, 2.0], [3.0, 4.0]], requires_grad=True)
+        mask = np.array([[True, False], [False, True]])
+        out = a.masked_fill(mask, -9.0)
+        assert np.array_equal(out.data, [[-9.0, 2.0], [3.0, -9.0]])
+        out.sum().backward()
+        assert np.array_equal(a.grad, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_where(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([10.0, 20.0], requires_grad=True)
+        cond = np.array([True, False])
+        out = a.where(cond, b)
+        assert np.array_equal(out.data, [1.0, 20.0])
+        out.sum().backward()
+        assert np.array_equal(a.grad, [1.0, 0.0])
+        assert np.array_equal(b.grad, [0.0, 1.0])
+
+    def test_take_rows(self):
+        table = Tensor(np.arange(12.0).reshape(4, 3), requires_grad=True)
+        out = table.take_rows(np.array([[0, 2], [2, 3]]))
+        assert out.shape == (2, 2, 3)
+        out.sum().backward()
+        # Row 2 gathered twice -> gradient 2 everywhere in that row.
+        assert np.array_equal(table.grad[2], [2.0, 2.0, 2.0])
+        assert np.array_equal(table.grad[1], [0.0, 0.0, 0.0])

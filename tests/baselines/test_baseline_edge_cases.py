@@ -1,0 +1,113 @@
+"""Additional edge-case coverage for baseline mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.baselines import A2R, CAR, CR, DMR, SPECTRA, VIB, InterRAT, ThreePlayer
+from repro.baselines.car import LabelConditionedGenerator
+from repro.data import pad_batch
+
+
+def make(cls, dataset, **kwargs):
+    defaults = dict(
+        vocab_size=len(dataset.vocab), embedding_dim=64, hidden_size=12,
+        alpha=0.15, pretrained_embeddings=dataset.embeddings,
+        rng=np.random.default_rng(0),
+    )
+    defaults.update(kwargs)
+    return cls(**defaults)
+
+
+class TestLabelConditionedGenerator:
+    def test_sample_for_binary_mask(self, tiny_beer, rng):
+        gen = LabelConditionedGenerator(
+            len(tiny_beer.vocab), 64, 12, pretrained=tiny_beer.embeddings,
+            num_classes=2, rng=np.random.default_rng(0),
+        )
+        batch = pad_batch(tiny_beer.test[:4])
+        mask = gen.sample_for(batch.token_ids, batch.mask, batch.labels, temperature=1.0, rng=rng)
+        assert np.all(np.isin(mask.data, [0.0, 1.0]))
+        assert np.all(mask.data[batch.mask == 0] == 0.0)
+
+    def test_class_embedding_is_parameter(self, tiny_beer):
+        gen = LabelConditionedGenerator(
+            len(tiny_beer.vocab), 64, 12, pretrained=tiny_beer.embeddings,
+            num_classes=2, rng=np.random.default_rng(0),
+        )
+        names = [n for n, _ in gen.named_parameters()]
+        assert "class_embedding" in names
+
+
+class TestDMRTeacherDetached:
+    def test_match_loss_does_not_move_teacher_toward_student(self, tiny_beer, rng):
+        """The KL teacher is detached: its gradient comes only from its own
+        CE term, not from the matching term."""
+        model = make(DMR, tiny_beer, match_weight=1000.0)
+        batch = pad_batch(tiny_beer.train[:8])
+        loss, _ = model.training_loss(batch, rng=rng)
+        loss.backward()
+        # With an absurd match weight, teacher grads stay moderate because
+        # the matching term cannot reach it.
+        teacher_grad = max(
+            np.abs(p.grad).max() for _, p in model.predictor_full.named_parameters()
+            if p.requires_grad and p.grad is not None
+        )
+        assert teacher_grad < 1e3
+
+
+class TestVIBTemperature:
+    def test_lower_temperature_does_not_break(self, tiny_beer, rng):
+        model = make(VIB, tiny_beer, temperature=0.1)
+        loss, _ = model.training_loss(pad_batch(tiny_beer.train[:8]), rng=rng)
+        assert np.isfinite(loss.item())
+
+    def test_beta_zero_removes_kl_pressure(self, tiny_beer, rng):
+        model = make(VIB, tiny_beer, beta=0.0)
+        loss, info = model.training_loss(pad_batch(tiny_beer.train[:8]), rng=rng)
+        assert loss.item() == pytest.approx(info["task_loss"], rel=1e-6)
+
+
+class TestSPECTRABudget:
+    def test_alpha_controls_budget(self, tiny_beer):
+        batch = pad_batch(tiny_beer.test[:10])
+        small = make(SPECTRA, tiny_beer, alpha=0.1).select(batch)
+        large = make(SPECTRA, tiny_beer, alpha=0.5).select(batch)
+        assert large.sum() > small.sum()
+
+    def test_every_row_gets_at_least_one_token(self, tiny_beer):
+        model = make(SPECTRA, tiny_beer, alpha=0.01)
+        batch = pad_batch(tiny_beer.test[:10])
+        selected = model.select(batch)
+        assert np.all(selected.sum(axis=1) >= 1)
+
+
+class TestCRMargin:
+    def test_larger_margin_larger_necessity(self, tiny_beer):
+        batch = pad_batch(tiny_beer.train[:8])
+        vals = []
+        for margin in (0.1, 2.0):
+            model = make(CR, tiny_beer, necessity_margin=margin)
+            _, info = model.training_loss(batch, rng=np.random.default_rng(1))
+            vals.append(info["necessity"])
+        assert vals[1] >= vals[0]
+
+
+class TestInterRATWeights:
+    def test_zero_weight_reduces_to_rnp_loss_shape(self, tiny_beer, rng):
+        model = make(InterRAT, tiny_beer, intervention_weight=0.0)
+        loss, info = model.training_loss(pad_batch(tiny_beer.train[:8]), rng=rng)
+        assert loss.item() == pytest.approx(info["task_loss"] + info["penalty"], rel=1e-6)
+
+
+class TestThreePlayerComplement:
+    def test_complement_is_padding_aware(self, tiny_beer, rng):
+        model = make(ThreePlayer, tiny_beer)
+        batch = pad_batch(tiny_beer.train[:8])
+        pad = Tensor(np.asarray(batch.mask, dtype=np.float64))
+        mask = model.generator(batch.token_ids, batch.mask, rng=rng)
+        complement = (1.0 - mask) * pad
+        # Complement and rationale partition the real tokens.
+        union = mask.data + complement.data
+        assert np.allclose(union[batch.mask > 0], 1.0)
+        assert np.allclose(union[batch.mask == 0], 0.0)

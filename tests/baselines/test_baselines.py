@@ -1,0 +1,228 @@
+"""Mechanism tests for every baseline rationalizer."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import A2R, CAR, CR, DMR, SPECTRA, VIB, InterRAT, ThreePlayer
+from repro.baselines.spectra import topk_mask
+from repro.data import pad_batch
+
+ALL_BASELINES = [DMR, A2R, CAR, InterRAT, ThreePlayer, VIB, SPECTRA, CR]
+
+
+def make(cls, dataset, **kwargs):
+    defaults = dict(
+        vocab_size=len(dataset.vocab), embedding_dim=64, hidden_size=12,
+        alpha=0.15, pretrained_embeddings=dataset.embeddings,
+        rng=np.random.default_rng(0),
+    )
+    defaults.update(kwargs)
+    return cls(**defaults)
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("cls", ALL_BASELINES, ids=lambda c: c.name)
+    def test_training_loss_finite(self, cls, tiny_beer, rng):
+        model = make(cls, tiny_beer)
+        batch = pad_batch(tiny_beer.train[:8])
+        loss, info = model.training_loss(batch, rng=rng)
+        assert np.isfinite(loss.item())
+        assert "selected_rate" in info
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES, ids=lambda c: c.name)
+    def test_gradients_reach_generator(self, cls, tiny_beer, rng):
+        model = make(cls, tiny_beer)
+        batch = pad_batch(tiny_beer.train[:8])
+        loss, _ = model.training_loss(batch, rng=rng)
+        loss.backward()
+        grads = [p.grad for _, p in model.generator.named_parameters() if p.requires_grad]
+        assert any(g is not None and np.abs(g).sum() > 0 for g in grads)
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES, ids=lambda c: c.name)
+    def test_select_binary_and_padded(self, cls, tiny_beer):
+        model = make(cls, tiny_beer)
+        batch = pad_batch(tiny_beer.test[:4])
+        selected = model.select(batch)
+        assert np.all(np.isin(selected, [0.0, 1.0]))
+        assert np.all(selected[batch.mask == 0] == 0.0)
+
+    @pytest.mark.parametrize("cls", ALL_BASELINES, ids=lambda c: c.name)
+    def test_name_attribute(self, cls):
+        assert isinstance(cls.name, str) and cls.name
+
+
+class TestDMR:
+    def test_has_cotrained_full_text_predictor(self, tiny_beer):
+        model = make(DMR, tiny_beer)
+        # Unlike DAR, the full-text predictor is trainable from the start.
+        assert any(p.requires_grad for p in model.predictor_full.parameters())
+
+    def test_match_loss_reported(self, tiny_beer, rng):
+        model = make(DMR, tiny_beer)
+        _, info = model.training_loss(pad_batch(tiny_beer.train[:8]), rng=rng)
+        assert "match_loss" in info and info["match_loss"] >= -1e-9
+
+    def test_no_accuracy_column(self):
+        assert not DMR.reports_accuracy
+
+    def test_full_predictor_gets_gradients(self, tiny_beer, rng):
+        model = make(DMR, tiny_beer)
+        loss, _ = model.training_loss(pad_batch(tiny_beer.train[:8]), rng=rng)
+        loss.backward()
+        grads = [p.grad for _, p in model.predictor_full.named_parameters() if p.requires_grad]
+        assert any(g is not None and np.abs(g).sum() > 0 for g in grads)
+
+
+class TestA2R:
+    def test_js_term_reported(self, tiny_beer, rng):
+        model = make(A2R, tiny_beer)
+        _, info = model.training_loss(pad_batch(tiny_beer.train[:8]), rng=rng)
+        assert 0 <= info["js"] <= np.log(2) + 1e-9
+
+    def test_soft_predictor_exists(self, tiny_beer):
+        model = make(A2R, tiny_beer)
+        assert model.predictor_soft.num_parameters() == model.predictor.num_parameters()
+
+    def test_complexity(self, tiny_beer):
+        info = make(A2R, tiny_beer).complexity()
+        assert info["predictors"] == 2
+
+
+class TestCAR:
+    def test_label_conditioned_selection(self, tiny_beer):
+        """CAR's rationale depends on the conditioning label."""
+        model = make(CAR, tiny_beer)
+        batch = pad_batch(tiny_beer.test[:6])
+        mask_true = model.generator.deterministic_mask_for(batch.token_ids, batch.mask, batch.labels)
+        mask_flip = model.generator.deterministic_mask_for(batch.token_ids, batch.mask, 1 - batch.labels)
+        assert mask_true.shape == mask_flip.shape
+        # Class embeddings shift the scores, so selections generally differ.
+        model.generator.class_embedding.data[1] += 5.0
+        mask_shifted = model.generator.deterministic_mask_for(batch.token_ids, batch.mask, np.ones(6, dtype=int))
+        assert not np.array_equal(mask_true, mask_shifted)
+
+    def test_no_accuracy_column(self):
+        assert not CAR.reports_accuracy
+
+    def test_adversarial_loss_reported(self, tiny_beer, rng):
+        model = make(CAR, tiny_beer)
+        _, info = model.training_loss(pad_batch(tiny_beer.train[:8]), rng=rng)
+        assert "adversarial_loss" in info
+
+
+class TestInterRAT:
+    def test_intervention_rate_validated(self, tiny_beer):
+        with pytest.raises(ValueError):
+            make(InterRAT, tiny_beer, intervention_rate=1.5)
+
+    def test_intervention_flips_positions(self, tiny_beer, rng):
+        from repro.autograd import Tensor
+
+        model = make(InterRAT, tiny_beer, intervention_rate=1.0)
+        pad = np.ones((2, 5))
+        mask = Tensor(np.array([[1.0, 0, 1, 0, 1], [0, 1, 0, 1, 0]]))
+        flipped = model._intervene(mask, pad, np.random.default_rng(0))
+        # rate 1.0 flips everything.
+        assert np.allclose(flipped.data, 1.0 - mask.data)
+
+    def test_zero_rate_is_identity(self, tiny_beer):
+        from repro.autograd import Tensor
+
+        model = make(InterRAT, tiny_beer, intervention_rate=0.0)
+        mask = Tensor(np.array([[1.0, 0.0, 1.0]]))
+        out = model._intervene(mask, np.ones((1, 3)), np.random.default_rng(0))
+        assert np.array_equal(out.data, mask.data)
+
+    def test_intervention_loss_reported(self, tiny_beer, rng):
+        model = make(InterRAT, tiny_beer)
+        _, info = model.training_loss(pad_batch(tiny_beer.train[:8]), rng=rng)
+        assert "intervention_loss" in info
+
+
+class TestThreePlayer:
+    def test_complement_params_frozen_for_main_optimizer(self, tiny_beer):
+        model = make(ThreePlayer, tiny_beer)
+        assert all(not p.requires_grad for p in model._complement_params)
+        # Main parameter list excludes the complement player entirely.
+        main_params = {id(p) for p in model.parameters() if p.requires_grad}
+        comp_params = {id(p) for p in model._complement_params}
+        assert not main_params & comp_params
+
+    def test_complement_player_learns(self, tiny_beer, rng):
+        model = make(ThreePlayer, tiny_beer)
+        batch = pad_batch(tiny_beer.train[:16])
+        before = model.predictor_complement.state_dict()
+        model.training_loss(batch, rng=rng)
+        after = model.predictor_complement.state_dict()
+        assert any(not np.array_equal(before[k], after[k]) for k in before)
+
+    def test_adversarial_sign(self, tiny_beer, rng):
+        """The complement CE is subtracted — total can be below task loss."""
+        model = make(ThreePlayer, tiny_beer)
+        loss, info = model.training_loss(pad_batch(tiny_beer.train[:8]), rng=rng)
+        expected = info["task_loss"] - model.complement_weight * info["complement_loss"] + info["penalty"]
+        assert loss.item() == pytest.approx(expected, rel=1e-6)
+
+
+class TestVIB:
+    def test_kl_nonnegative(self, tiny_beer, rng):
+        model = make(VIB, tiny_beer)
+        _, info = model.training_loss(pad_batch(tiny_beer.train[:8]), rng=rng)
+        assert info["kl_loss"] >= -1e-9
+
+    def test_selection_uses_bernoulli_probs(self, tiny_beer):
+        model = make(VIB, tiny_beer)
+        batch = pad_batch(tiny_beer.test[:4])
+        selected = model.select(batch)
+        probs = model._selection_probs(batch).data
+        expected = (probs > 0.5) & (batch.mask > 0)
+        assert np.array_equal(selected.astype(bool), expected)
+
+
+class TestSPECTRA:
+    def test_topk_budget_exact(self):
+        scores = np.array([[5.0, 1.0, 3.0, 2.0, 4.0]])
+        pad = np.ones((1, 5))
+        mask = topk_mask(scores, pad, rate=0.4)  # ceil(0.4*5) = 2
+        assert mask.sum() == 2
+        assert mask[0, 0] == 1.0 and mask[0, 4] == 1.0
+
+    def test_topk_respects_padding(self):
+        scores = np.array([[1.0, 2.0, 9.0, 9.0]])
+        pad = np.array([[1.0, 1.0, 0.0, 0.0]])
+        mask = topk_mask(scores, pad, rate=0.5)
+        assert mask[0, 2] == 0.0 and mask[0, 3] == 0.0
+        assert mask.sum() == 1  # ceil(0.5 * 2 real tokens)
+
+    def test_topk_minimum_one(self):
+        scores = np.array([[1.0, 2.0, 3.0]])
+        mask = topk_mask(scores, np.ones((1, 3)), rate=0.01)
+        assert mask.sum() == 1
+
+    def test_empty_row_selects_nothing(self):
+        mask = topk_mask(np.array([[1.0, 2.0]]), np.zeros((1, 2)), rate=0.5)
+        assert mask.sum() == 0
+
+    def test_deterministic_selection(self, tiny_beer):
+        model = make(SPECTRA, tiny_beer)
+        batch = pad_batch(tiny_beer.test[:4])
+        assert np.array_equal(model.select(batch), model.select(batch))
+
+    def test_selection_rate_near_alpha(self, tiny_beer):
+        model = make(SPECTRA, tiny_beer, alpha=0.2)
+        batch = pad_batch(tiny_beer.test[:10])
+        selected = model.select(batch)
+        rate = selected.sum() / batch.mask.sum()
+        assert 0.15 <= rate <= 0.3
+
+
+class TestCR:
+    def test_necessity_hinge_nonnegative(self, tiny_beer, rng):
+        model = make(CR, tiny_beer)
+        _, info = model.training_loss(pad_batch(tiny_beer.train[:8]), rng=rng)
+        assert info["necessity"] >= -1e-9
+
+    def test_margin_zero_disables_necessity(self, tiny_beer, rng):
+        model = make(CR, tiny_beer, necessity_margin=0.0)
+        _, info = model.training_loss(pad_batch(tiny_beer.train[:8]), rng=rng)
+        assert info["necessity"] == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,25 @@
+"""Shared fixtures: seeded RNGs and tiny datasets reused across test modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import build_beer_dataset, build_hotel_dataset
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_beer():
+    """A small Beer-Aroma dataset shared across the session (read-only)."""
+    return build_beer_dataset("Aroma", n_train=60, n_dev=20, n_test=20, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_hotel():
+    """A small Hotel-Service dataset shared across the session (read-only)."""
+    return build_hotel_dataset("Service", n_train=60, n_dev=20, n_test=20, seed=7)

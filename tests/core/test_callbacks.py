@@ -1,0 +1,65 @@
+"""Training callbacks (ShiftMonitor / HistoryRecorder)."""
+
+import numpy as np
+import pytest
+
+from repro.core import RNP, TrainConfig, train_rationalizer
+from repro.core.callbacks import HistoryRecorder, ShiftMonitor
+
+
+def make_model(dataset):
+    return RNP(
+        vocab_size=len(dataset.vocab), embedding_dim=64, hidden_size=8,
+        alpha=0.15, pretrained_embeddings=dataset.embeddings,
+        rng=np.random.default_rng(0),
+    )
+
+
+class TestShiftMonitor:
+    def test_records_every_epoch(self, tiny_beer):
+        monitor = ShiftMonitor()
+        model = make_model(tiny_beer)
+        config = TrainConfig(epochs=3, batch_size=20, lr=2e-3, seed=0)
+        train_rationalizer(model, tiny_beer, config, callback=monitor)
+        assert len(monitor.trajectory) == 3
+        assert [e for e, _ in monitor.trajectory] == [0, 1, 2]
+        for _, acc in monitor.trajectory:
+            assert 0 <= acc <= 100
+
+    def test_annotates_epoch_info(self, tiny_beer):
+        monitor = ShiftMonitor()
+        model = make_model(tiny_beer)
+        config = TrainConfig(epochs=2, batch_size=20, lr=2e-3, seed=0)
+        result = train_rationalizer(model, tiny_beer, config, callback=monitor)
+        assert all("full_text_acc" in entry for entry in result.history)
+
+    def test_collapsed_threshold(self):
+        monitor = ShiftMonitor()
+        monitor.trajectory = [(0, 90.0), (1, 55.0)]
+        assert monitor.collapsed(60.0)
+        assert not monitor.collapsed(50.0)
+
+    def test_final_accuracy(self):
+        monitor = ShiftMonitor()
+        monitor.trajectory = [(0, 80.0), (1, 85.0)]
+        assert monitor.final_accuracy() == 85.0
+
+    def test_final_accuracy_empty_raises(self):
+        with pytest.raises(ValueError):
+            ShiftMonitor().final_accuracy()
+
+
+class TestHistoryRecorder:
+    def test_accumulates_copies(self, tiny_beer):
+        recorder = HistoryRecorder()
+        model = make_model(tiny_beer)
+        config = TrainConfig(epochs=2, batch_size=20, lr=2e-3, seed=0)
+        train_rationalizer(model, tiny_beer, config, callback=recorder)
+        assert len(recorder.records) == 2
+        assert recorder.records[0]["epoch"] == 0
+
+    def test_no_callback_still_trains(self, tiny_beer):
+        model = make_model(tiny_beer)
+        config = TrainConfig(epochs=1, batch_size=20, lr=2e-3, seed=0)
+        result = train_rationalizer(model, tiny_beer, config)
+        assert len(result.history) == 1

@@ -1,0 +1,98 @@
+"""Structured rationale decoding (spans / sentences)."""
+
+import numpy as np
+import pytest
+
+from repro.core import RNP
+from repro.core.decoding import (
+    best_contiguous_span,
+    contiguous_topk_mask,
+    decode_batch_sentences,
+    sentence_level_mask,
+)
+from repro.data import pad_batch
+
+
+class TestBestContiguousSpan:
+    def test_finds_peak(self):
+        scores = np.array([0.0, 0.1, 5.0, 4.0, 0.2, 0.0])
+        assert best_contiguous_span(scores, 2) == (2, 4)
+
+    def test_length_one(self):
+        scores = np.array([1.0, 9.0, 2.0])
+        assert best_contiguous_span(scores, 1) == (1, 2)
+
+    def test_length_clamped_to_array(self):
+        scores = np.array([1.0, 2.0])
+        assert best_contiguous_span(scores, 10) == (0, 2)
+
+    def test_negative_scores_still_pick_best(self):
+        scores = np.array([-5.0, -1.0, -2.0, -8.0])
+        assert best_contiguous_span(scores, 2) == (1, 3)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            best_contiguous_span(np.array([]), 1)
+
+
+class TestSentenceLevelMask:
+    SPANS = [(0, 3), (3, 7), (7, 10)]
+
+    def test_selects_best_sentence(self):
+        scores = np.zeros(10)
+        scores[3:7] = 2.0
+        mask = sentence_level_mask(scores, self.SPANS, n_sentences=1)
+        assert np.array_equal(np.flatnonzero(mask), np.arange(3, 7))
+
+    def test_two_sentences(self):
+        scores = np.zeros(10)
+        scores[0:3] = 3.0
+        scores[7:10] = 2.0
+        mask = sentence_level_mask(scores, self.SPANS, n_sentences=2)
+        assert mask[0:3].all() and mask[7:10].all()
+        assert not mask[3:7].any()
+
+    def test_empty_spans_raise(self):
+        with pytest.raises(ValueError):
+            sentence_level_mask(np.zeros(5), [])
+
+
+class TestContiguousTopK:
+    def test_single_span_per_row(self):
+        scores = np.array([[0.0, 3.0, 3.0, 0.0, 0.0, 0.0]])
+        pad = np.ones((1, 6))
+        mask = contiguous_topk_mask(scores, pad, rate=1 / 3)
+        positions = np.flatnonzero(mask[0])
+        assert len(positions) == 2
+        assert np.all(np.diff(positions) == 1)  # contiguous
+        assert positions[0] == 1
+
+    def test_respects_padding(self):
+        scores = np.array([[1.0, 1.0, 9.0, 9.0]])
+        pad = np.array([[1.0, 1.0, 0.0, 0.0]])
+        mask = contiguous_topk_mask(scores, pad, rate=0.5)
+        assert mask[0, 2:].sum() == 0
+
+    def test_empty_row(self):
+        mask = contiguous_topk_mask(np.ones((1, 3)), np.zeros((1, 3)), rate=0.5)
+        assert mask.sum() == 0
+
+
+class TestDecodeBatchSentences:
+    def test_masks_are_whole_sentences(self, tiny_beer):
+        model = RNP(
+            vocab_size=len(tiny_beer.vocab), embedding_dim=64, hidden_size=8,
+            alpha=0.15, pretrained_embeddings=tiny_beer.embeddings,
+            rng=np.random.default_rng(0),
+        )
+        batch = pad_batch(tiny_beer.test[:4])
+        selected = decode_batch_sentences(model, batch, n_sentences=1)
+        for i, example in enumerate(batch.examples):
+            chosen = np.flatnonzero(selected[i])
+            assert chosen.size > 0
+            # All chosen positions belong to exactly one sentence span.
+            matching = [
+                (s, e) for s, e in example.sentence_spans
+                if s <= chosen[0] and chosen[-1] < e
+            ]
+            assert matching, "selection must lie inside one sentence"

@@ -1,0 +1,40 @@
+"""The encoder factory shared by generators and predictors."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoders import make_encoder
+from repro.nn import GRU, TransformerEncoder
+
+
+class TestMakeEncoder:
+    def test_gru_kind(self, rng):
+        enc = make_encoder("gru", input_size=16, hidden_size=8, rng=rng)
+        assert isinstance(enc, GRU)
+        assert enc.output_size == 16  # bidirectional
+
+    def test_transformer_kind(self, rng):
+        enc = make_encoder("transformer", input_size=16, hidden_size=8, rng=rng)
+        assert isinstance(enc, TransformerEncoder)
+        assert enc.output_size == 16
+
+    def test_unknown_kind_raises(self, rng):
+        with pytest.raises(ValueError, match="unknown encoder"):
+            make_encoder("cnn", input_size=16, hidden_size=8, rng=rng)
+
+    def test_common_contract(self, rng):
+        """Both encoders expose (x, mask) -> (B, L, output_size)."""
+        from repro.autograd import Tensor
+
+        x = Tensor(rng.standard_normal((2, 5, 16)))
+        mask = np.ones((2, 5))
+        mask[1, 3:] = 0
+        for kind in ("gru", "transformer"):
+            enc = make_encoder(kind, input_size=16, hidden_size=8, rng=rng)
+            enc.eval()
+            out = enc(x, mask=mask)
+            assert out.shape == (2, 5, enc.output_size)
+
+    def test_transformer_heads_layers_configurable(self, rng):
+        enc = make_encoder("transformer", input_size=16, hidden_size=8, rng=rng, num_heads=2, num_layers=3)
+        assert len(enc.layers) == 3

@@ -1,0 +1,32 @@
+"""The 'final' (no-restore) selection protocol used by the Fig. 3 probe."""
+
+import numpy as np
+import pytest
+
+from repro.core import RNP, TrainConfig, evaluate_rationale_quality, train_rationalizer
+
+
+def make_model(dataset):
+    return RNP(
+        vocab_size=len(dataset.vocab), embedding_dim=64, hidden_size=8,
+        alpha=0.15, pretrained_embeddings=dataset.embeddings,
+        rng=np.random.default_rng(0),
+    )
+
+
+class TestFinalSelection:
+    def test_final_keeps_last_epoch_model(self, tiny_beer):
+        model = make_model(tiny_beer)
+        config = TrainConfig(epochs=3, batch_size=20, lr=2e-3, seed=0, selection="final")
+        result = train_rationalizer(model, tiny_beer, config)
+        # Reported metrics must equal a fresh evaluation of the final model.
+        fresh = evaluate_rationale_quality(model, tiny_beer.test)
+        assert fresh.f1 == pytest.approx(result.rationale.f1)
+        # And must equal the last history entry, not the best one.
+        assert result.history[-1]["test_f1"] == pytest.approx(result.rationale.f1, abs=1e-6)
+
+    def test_history_complete_under_final(self, tiny_beer):
+        model = make_model(tiny_beer)
+        config = TrainConfig(epochs=2, batch_size=20, lr=2e-3, seed=0, selection="final")
+        result = train_rationalizer(model, tiny_beer, config)
+        assert len(result.history) == 2

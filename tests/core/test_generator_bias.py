@@ -1,0 +1,51 @@
+"""The select_bias_init knob: sparse-start generators."""
+
+import numpy as np
+import pytest
+
+from repro.core import Generator
+from repro.data import pad_batch
+
+
+class TestSelectBiasInit:
+    def test_negative_bias_lowers_initial_rate(self, tiny_beer):
+        batch = pad_batch(tiny_beer.test[:10])
+
+        def initial_rate(bias):
+            gen = Generator(
+                len(tiny_beer.vocab), 64, 12, pretrained=tiny_beer.embeddings,
+                select_bias_init=bias, rng=np.random.default_rng(0),
+            )
+            mask = gen(batch.token_ids, batch.mask, rng=np.random.default_rng(1))
+            return mask.data.sum() / batch.mask.sum()
+
+        assert initial_rate(-2.0) < initial_rate(0.0)
+        assert initial_rate(-2.0) < 0.35
+
+    def test_positive_bias_raises_rate(self, tiny_beer):
+        batch = pad_batch(tiny_beer.test[:10])
+        gen = Generator(
+            len(tiny_beer.vocab), 64, 12, pretrained=tiny_beer.embeddings,
+            select_bias_init=2.0, rng=np.random.default_rng(0),
+        )
+        mask = gen(batch.token_ids, batch.mask, rng=np.random.default_rng(1))
+        assert mask.data.sum() / batch.mask.sum() > 0.65
+
+    def test_zero_bias_is_default(self, tiny_beer):
+        gen_default = Generator(
+            len(tiny_beer.vocab), 64, 12, pretrained=tiny_beer.embeddings,
+            rng=np.random.default_rng(0),
+        )
+        gen_zero = Generator(
+            len(tiny_beer.vocab), 64, 12, pretrained=tiny_beer.embeddings,
+            select_bias_init=0.0, rng=np.random.default_rng(0),
+        )
+        assert np.array_equal(gen_default.head.bias.data, gen_zero.head.bias.data)
+
+    def test_bias_recorded_in_head(self, tiny_beer):
+        gen = Generator(
+            len(tiny_beer.vocab), 64, 12, pretrained=tiny_beer.embeddings,
+            select_bias_init=-1.5, rng=np.random.default_rng(0),
+        )
+        assert gen.head.bias.data[1] == -1.5
+        assert gen.head.bias.data[0] == 0.0

@@ -1,0 +1,112 @@
+"""Generator and predictor: sampling, determinism, certification of exclusion."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core import Generator, Predictor
+from repro.data import pad_batch
+
+
+@pytest.fixture
+def batch(tiny_beer):
+    return pad_batch(tiny_beer.test[:6])
+
+
+@pytest.fixture
+def generator(tiny_beer, rng):
+    return Generator(len(tiny_beer.vocab), 64, 16, pretrained=tiny_beer.embeddings, rng=rng)
+
+
+@pytest.fixture
+def predictor(tiny_beer, rng):
+    return Predictor(len(tiny_beer.vocab), 64, 16, pretrained=tiny_beer.embeddings, rng=rng)
+
+
+class TestGenerator:
+    def test_mask_is_binary_and_respects_padding(self, generator, batch, rng):
+        mask = generator(batch.token_ids, batch.mask, rng=rng)
+        assert mask.shape == batch.token_ids.shape
+        assert np.all(np.isin(mask.data, [0.0, 1.0]))
+        assert np.all(mask.data[batch.mask == 0] == 0.0)
+
+    def test_selection_logits_shape(self, generator, batch):
+        logits = generator.selection_logits(batch.token_ids, batch.mask)
+        assert logits.shape == (*batch.token_ids.shape, 2)
+
+    def test_deterministic_mask_reproducible(self, generator, batch):
+        a = generator.deterministic_mask(batch.token_ids, batch.mask)
+        b = generator.deterministic_mask(batch.token_ids, batch.mask)
+        assert np.array_equal(a, b)
+        assert np.all(a[batch.mask == 0] == 0.0)
+
+    def test_sampling_varies_with_rng(self, generator, batch):
+        a = generator(batch.token_ids, batch.mask, rng=np.random.default_rng(1))
+        b = generator(batch.token_ids, batch.mask, rng=np.random.default_rng(2))
+        assert not np.array_equal(a.data, b.data)
+
+    def test_gradient_reaches_generator_params(self, generator, batch, rng):
+        mask = generator(batch.token_ids, batch.mask, rng=rng)
+        mask.sum().backward()
+        grads = [p.grad for _, p in generator.named_parameters() if p.requires_grad]
+        assert any(g is not None and np.abs(g).sum() > 0 for g in grads)
+
+    def test_transformer_encoder_variant(self, tiny_beer, rng, batch):
+        gen = Generator(
+            len(tiny_beer.vocab), 64, 16, pretrained=tiny_beer.embeddings,
+            encoder="transformer", rng=rng,
+        )
+        mask = gen(batch.token_ids, batch.mask, rng=rng)
+        assert mask.shape == batch.token_ids.shape
+
+    def test_unknown_encoder_raises(self, tiny_beer, rng):
+        with pytest.raises(ValueError):
+            Generator(len(tiny_beer.vocab), 64, 16, encoder="cnn", rng=rng)
+
+
+class TestPredictor:
+    def test_logits_shape(self, predictor, batch):
+        logits = predictor(batch.token_ids, batch.mask, batch.mask)
+        assert logits.shape == (len(batch), 2)
+
+    def test_certification_of_exclusion(self, predictor, batch):
+        """Changing an unselected token must not change the prediction.
+
+        This is the RNP property the paper calls certification of
+        exclusion — it holds by construction because unselected embeddings
+        are zeroed and pooling is over selected positions only.
+        """
+        rationale = np.zeros_like(batch.mask)
+        rationale[:, :3] = batch.mask[:, :3]
+        logits_a = predictor(batch.token_ids, rationale, batch.mask).data
+
+        modified = batch.token_ids.copy()
+        # Corrupt tokens outside the rationale.
+        modified[:, 5:] = 2
+        logits_b = predictor(modified, rationale, batch.mask).data
+        assert np.allclose(logits_a, logits_b)
+
+    def test_selected_tokens_do_matter(self, predictor, batch):
+        rationale = np.zeros_like(batch.mask)
+        rationale[:, :3] = batch.mask[:, :3]
+        logits_a = predictor(batch.token_ids, rationale, batch.mask).data
+        modified = batch.token_ids.copy()
+        modified[:, 1] = 2
+        logits_b = predictor(modified, rationale, batch.mask).data
+        assert not np.allclose(logits_a, logits_b)
+
+    def test_empty_rationale_is_stable(self, predictor, batch):
+        logits = predictor(batch.token_ids, np.zeros_like(batch.mask), batch.mask)
+        assert np.isfinite(logits.data).all()
+
+    def test_accepts_tensor_mask_with_grad(self, predictor, batch):
+        mask = Tensor(batch.mask.copy(), requires_grad=True)
+        logits = predictor(batch.token_ids, mask, batch.mask)
+        logits.sum().backward()
+        assert mask.grad is not None
+        assert np.abs(mask.grad).sum() > 0
+
+    def test_predict_returns_classes(self, predictor, batch):
+        preds = predictor.predict(batch.token_ids, batch.mask, batch.mask)
+        assert preds.shape == (len(batch),)
+        assert set(np.unique(preds)) <= {0, 1}

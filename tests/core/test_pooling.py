@@ -1,0 +1,63 @@
+"""Predictor pooling variants (mean over selected vs max over selected)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Predictor
+from repro.data import pad_batch
+
+
+def make_predictor(dataset, pooling):
+    return Predictor(
+        len(dataset.vocab), 64, 12, pretrained=dataset.embeddings,
+        pooling=pooling, rng=np.random.default_rng(0),
+    )
+
+
+class TestMaxPooling:
+    def test_invalid_pooling_rejected(self, tiny_beer):
+        with pytest.raises(ValueError):
+            make_predictor(tiny_beer, "sum")
+
+    def test_logits_shape(self, tiny_beer):
+        predictor = make_predictor(tiny_beer, "max")
+        batch = pad_batch(tiny_beer.test[:4])
+        logits = predictor(batch.token_ids, batch.mask, batch.mask)
+        assert logits.shape == (4, 2)
+        assert np.isfinite(logits.data).all()
+
+    def test_certification_of_exclusion_holds_for_max(self, tiny_beer):
+        predictor = make_predictor(tiny_beer, "max")
+        batch = pad_batch(tiny_beer.test[:4])
+        rationale = np.zeros_like(batch.mask)
+        rationale[:, :3] = batch.mask[:, :3]
+        logits_a = predictor(batch.token_ids, rationale, batch.mask).data
+        corrupted = batch.token_ids.copy()
+        corrupted[:, 5:] = 2
+        logits_b = predictor(corrupted, rationale, batch.mask).data
+        assert np.allclose(logits_a, logits_b)
+
+    def test_empty_selection_finite(self, tiny_beer):
+        predictor = make_predictor(tiny_beer, "max")
+        batch = pad_batch(tiny_beer.test[:4])
+        logits = predictor(batch.token_ids, np.zeros_like(batch.mask), batch.mask)
+        assert np.isfinite(logits.data).all()
+        assert np.abs(logits.data).max() < 1e6
+
+    def test_differs_from_mean_pooling(self, tiny_beer):
+        batch = pad_batch(tiny_beer.test[:4])
+        mean_p = make_predictor(tiny_beer, "mean")
+        max_p = make_predictor(tiny_beer, "max")
+        max_p.load_state_dict(mean_p.state_dict())
+        a = mean_p(batch.token_ids, batch.mask, batch.mask).data
+        b = max_p(batch.token_ids, batch.mask, batch.mask).data
+        assert not np.allclose(a, b)
+
+    def test_gradient_flows_through_max(self, tiny_beer):
+        from repro.autograd import Tensor
+
+        predictor = make_predictor(tiny_beer, "max")
+        batch = pad_batch(tiny_beer.test[:4])
+        mask = Tensor(batch.mask.copy(), requires_grad=True)
+        predictor(batch.token_ids, mask, batch.mask).sum().backward()
+        assert mask.grad is not None

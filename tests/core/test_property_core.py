@@ -1,0 +1,94 @@
+"""Hypothesis property tests on the rationalization core."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autograd import Tensor
+from repro.core import sparsity_coherence_penalty
+from repro.core.rnp import RNP
+from repro.data import build_beer_dataset, pad_batch
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_beer_dataset("Palate", n_train=20, n_dev=10, n_test=20, seed=5)
+
+
+@pytest.fixture(scope="module")
+def model(dataset):
+    return RNP(
+        vocab_size=len(dataset.vocab), embedding_dim=64, hidden_size=8,
+        alpha=0.15, pretrained_embeddings=dataset.embeddings,
+        rng=np.random.default_rng(0),
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    alpha=st.floats(min_value=0.0, max_value=1.0),
+    rows=st.integers(min_value=1, max_value=4),
+    cols=st.integers(min_value=2, max_value=12),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_penalty_nonnegative_and_bounded(alpha, rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    mask = Tensor((rng.uniform(size=(rows, cols)) > 0.5).astype(float))
+    pad = np.ones((rows, cols))
+    penalty = sparsity_coherence_penalty(mask, pad, alpha, lambda_sparsity=1.0, lambda_coherence=0.1)
+    # Sparsity term <= 1 (rate and alpha are both in [0,1]); coherence term
+    # <= 0.1 (at most one transition per token).
+    assert -1e-9 <= penalty.item() <= 1.1 + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    cols=st.integers(min_value=2, max_value=12),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_penalty_zero_iff_constant_mask_at_alpha(cols, seed):
+    rng = np.random.default_rng(seed)
+    pad = np.ones((1, cols))
+    # All-ones mask at alpha=1 has neither sparsity deviation nor transitions.
+    full = sparsity_coherence_penalty(Tensor(np.ones((1, cols))), pad, alpha=1.0)
+    assert full.item() == pytest.approx(0.0, abs=1e-8)
+    empty = sparsity_coherence_penalty(Tensor(np.zeros((1, cols))), pad, alpha=0.0)
+    assert empty.item() == pytest.approx(0.0, abs=1e-8)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1000))
+def test_certification_of_exclusion_random_masks(model, dataset, seed):
+    """For ANY rationale mask, corrupting unselected tokens never changes
+    the predictor's output — the property holds universally, not just for
+    generator-produced masks."""
+    rng = np.random.default_rng(seed)
+    batch = pad_batch(dataset.test[:4])
+    rationale = (rng.uniform(size=batch.mask.shape) > 0.6) * batch.mask
+    logits_a = model.predictor(batch.token_ids, rationale, batch.mask).data
+
+    corrupted = batch.token_ids.copy()
+    flip = (rationale == 0) & (batch.mask > 0)
+    corrupted[flip] = rng.integers(2, len(dataset.vocab), size=int(flip.sum()))
+    logits_b = model.predictor(corrupted, rationale, batch.mask).data
+    assert np.allclose(logits_a, logits_b, atol=1e-9)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1000))
+def test_generator_mask_always_valid(model, dataset, seed):
+    rng = np.random.default_rng(seed)
+    batch = pad_batch(dataset.test[:4])
+    mask = model.generator(batch.token_ids, batch.mask, rng=rng)
+    assert np.all(np.isin(mask.data, [0.0, 1.0]))
+    assert np.all(mask.data[batch.mask == 0] == 0.0)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1000))
+def test_training_loss_always_finite(model, dataset, seed):
+    rng = np.random.default_rng(seed)
+    batch = pad_batch(dataset.train[:8])
+    loss, info = model.training_loss(batch, rng=rng)
+    assert np.isfinite(loss.item())
+    assert 0.0 <= info["selected_rate"] <= 1.0

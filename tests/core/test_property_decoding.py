@@ -1,0 +1,51 @@
+"""Hypothesis property tests for structured decoding."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.decoding import best_contiguous_span, contiguous_topk_mask
+
+scores_arrays = hnp.arrays(
+    np.float64,
+    st.integers(min_value=1, max_value=20),
+    elements=st.floats(min_value=-10, max_value=10, allow_nan=False),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(scores=scores_arrays, k=st.integers(min_value=1, max_value=25))
+def test_span_is_optimal(scores, k):
+    """The DP result dominates every other span of the same length."""
+    start, end = best_contiguous_span(scores, k)
+    length = end - start
+    best = scores[start:end].sum()
+    for s in range(0, scores.size - length + 1):
+        assert best >= scores[s:s + length].sum() - 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(scores=scores_arrays, k=st.integers(min_value=1, max_value=25))
+def test_span_bounds_valid(scores, k):
+    start, end = best_contiguous_span(scores, k)
+    assert 0 <= start < end <= scores.size
+    assert end - start == min(max(1, k), scores.size)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rows=st.integers(min_value=1, max_value=4),
+    cols=st.integers(min_value=2, max_value=15),
+    rate=st.floats(min_value=0.05, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_contiguous_topk_always_one_run(rows, cols, rate, seed):
+    rng = np.random.default_rng(seed)
+    scores = rng.standard_normal((rows, cols))
+    pad = np.ones((rows, cols))
+    mask = contiguous_topk_mask(scores, pad, rate)
+    for i in range(rows):
+        positions = np.flatnonzero(mask[i])
+        assert positions.size >= 1
+        assert np.all(np.diff(positions) == 1), "selection must be contiguous"
+        assert positions.size == max(1, int(np.ceil(rate * cols)))

@@ -1,0 +1,77 @@
+"""The Eq. (3) sparsity + coherence regularizer."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core import sparsity_coherence_penalty
+
+
+class TestSparsityTerm:
+    def test_exact_alpha_gives_zero_sparsity_term(self):
+        mask = Tensor(np.array([[1.0, 0.0, 0.0, 0.0]]))  # rate 0.25
+        pad = np.ones((1, 4))
+        penalty = sparsity_coherence_penalty(mask, pad, alpha=0.25, lambda_coherence=0.0)
+        assert penalty.item() == pytest.approx(0.0, abs=1e-8)
+
+    def test_deviation_penalized_symmetrically(self):
+        pad = np.ones((1, 4))
+        over = sparsity_coherence_penalty(
+            Tensor(np.array([[1.0, 1.0, 1.0, 0.0]])), pad, alpha=0.25, lambda_coherence=0.0
+        )
+        under = sparsity_coherence_penalty(
+            Tensor(np.array([[0.0, 0.0, 0.0, 0.0]])), pad, alpha=0.75, lambda_coherence=0.0
+        )
+        assert over.item() == pytest.approx(0.5)
+        assert under.item() == pytest.approx(0.75)
+
+    def test_lambda_scales(self):
+        mask = Tensor(np.array([[1.0, 1.0, 0.0, 0.0]]))
+        pad = np.ones((1, 4))
+        base = sparsity_coherence_penalty(mask, pad, 0.0, lambda_sparsity=1.0, lambda_coherence=0.0)
+        doubled = sparsity_coherence_penalty(mask, pad, 0.0, lambda_sparsity=2.0, lambda_coherence=0.0)
+        assert doubled.item() == pytest.approx(2 * base.item())
+
+    def test_invalid_alpha_raises(self):
+        with pytest.raises(ValueError):
+            sparsity_coherence_penalty(Tensor(np.zeros((1, 3))), np.ones((1, 3)), alpha=1.5)
+
+
+class TestCoherenceTerm:
+    def test_contiguous_block_cheap(self):
+        pad = np.ones((1, 6))
+        contiguous = Tensor(np.array([[0.0, 1.0, 1.0, 1.0, 0.0, 0.0]]))
+        scattered = Tensor(np.array([[1.0, 0.0, 1.0, 0.0, 1.0, 0.0]]))
+        cost_contig = sparsity_coherence_penalty(contiguous, pad, 0.5, lambda_sparsity=0.0)
+        cost_scattered = sparsity_coherence_penalty(scattered, pad, 0.5, lambda_sparsity=0.0)
+        assert cost_contig.item() < cost_scattered.item()
+
+    def test_all_selected_no_transitions(self):
+        pad = np.ones((1, 5))
+        mask = Tensor(np.ones((1, 5)))
+        cost = sparsity_coherence_penalty(mask, pad, 1.0, lambda_sparsity=0.0)
+        assert cost.item() == pytest.approx(0.0)
+
+    def test_hand_computed_value(self):
+        # mask [1,0,1]: two transitions; lambda2=0.1; length 3.
+        pad = np.ones((1, 3))
+        mask = Tensor(np.array([[1.0, 0.0, 1.0]]))
+        cost = sparsity_coherence_penalty(mask, pad, alpha=2 / 3, lambda_sparsity=0.0, lambda_coherence=0.1)
+        assert cost.item() == pytest.approx(0.1 * 2 / 3)
+
+    def test_padding_transitions_ignored(self):
+        # Transition into padding must not be counted.
+        pad = np.array([[1.0, 1.0, 0.0, 0.0]])
+        mask = Tensor(np.array([[1.0, 1.0, 0.0, 0.0]]))
+        cost = sparsity_coherence_penalty(mask, pad, alpha=1.0, lambda_sparsity=0.0)
+        assert cost.item() == pytest.approx(0.0)
+
+
+class TestGradients:
+    def test_penalty_differentiable(self):
+        mask = Tensor(np.array([[0.9, 0.1, 0.8, 0.2]]), requires_grad=True)
+        pad = np.ones((1, 4))
+        penalty = sparsity_coherence_penalty(mask, pad, alpha=0.2)
+        penalty.backward()
+        assert mask.grad is not None
+        assert np.abs(mask.grad).sum() > 0

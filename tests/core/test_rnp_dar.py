@@ -1,0 +1,161 @@
+"""RNP and DAR model mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.core import DAR, RNP
+from repro.core.trainer import pretrain_full_text_predictor
+from repro.data import pad_batch
+
+
+def make_rnp(dataset, **kwargs):
+    defaults = dict(
+        vocab_size=len(dataset.vocab), embedding_dim=64, hidden_size=12,
+        alpha=0.15, pretrained_embeddings=dataset.embeddings,
+        rng=np.random.default_rng(0),
+    )
+    defaults.update(kwargs)
+    return RNP(**defaults)
+
+
+def make_dar(dataset, **kwargs):
+    defaults = dict(
+        vocab_size=len(dataset.vocab), embedding_dim=64, hidden_size=12,
+        alpha=0.15, pretrained_embeddings=dataset.embeddings,
+        rng=np.random.default_rng(0),
+    )
+    defaults.update(kwargs)
+    return DAR(**defaults)
+
+
+class TestRNP:
+    def test_training_loss_finite_and_decomposed(self, tiny_beer, rng):
+        model = make_rnp(tiny_beer)
+        batch = pad_batch(tiny_beer.train[:8])
+        loss, info = model.training_loss(batch, rng=rng)
+        assert np.isfinite(loss.item())
+        assert set(info) >= {"task_loss", "penalty", "selected_rate"}
+        assert loss.item() >= info["penalty"] - 1e-9
+
+    def test_gradients_reach_both_players(self, tiny_beer, rng):
+        model = make_rnp(tiny_beer)
+        batch = pad_batch(tiny_beer.train[:8])
+        loss, _ = model.training_loss(batch, rng=rng)
+        loss.backward()
+        gen_grads = [p.grad for _, p in model.generator.named_parameters() if p.requires_grad]
+        pred_grads = [p.grad for _, p in model.predictor.named_parameters() if p.requires_grad]
+        assert any(g is not None and np.abs(g).sum() > 0 for g in gen_grads)
+        assert any(g is not None and np.abs(g).sum() > 0 for g in pred_grads)
+
+    def test_select_is_deterministic(self, tiny_beer):
+        model = make_rnp(tiny_beer)
+        batch = pad_batch(tiny_beer.test[:4])
+        assert np.array_equal(model.select(batch), model.select(batch))
+
+    def test_predict_shapes(self, tiny_beer):
+        model = make_rnp(tiny_beer)
+        batch = pad_batch(tiny_beer.test[:4])
+        assert model.predict_from_rationale(batch).shape == (4,)
+        assert model.predict_full_text(batch).shape == (4,)
+
+    def test_complexity_row(self, tiny_beer):
+        model = make_rnp(tiny_beer)
+        info = model.complexity()
+        assert info["generators"] == 1
+        assert info["predictors"] == 1
+        assert info["parameters"] == model.num_parameters()
+
+    def test_make_predictor_matches_arch(self, tiny_beer):
+        model = make_rnp(tiny_beer)
+        extra = model.make_predictor(rng=np.random.default_rng(1))
+        assert extra.num_parameters() == model.predictor.num_parameters()
+
+    def test_reports_accuracy_flag(self, tiny_beer):
+        assert make_rnp(tiny_beer).reports_accuracy
+
+
+class TestDAR:
+    def test_requires_pretrained_discriminator(self, tiny_beer, rng):
+        model = make_dar(tiny_beer)
+        batch = pad_batch(tiny_beer.train[:4])
+        with pytest.raises(RuntimeError, match="pretrained"):
+            model.training_loss(batch, rng=rng)
+
+    def test_mark_pretrained_freezes_discriminator(self, tiny_beer):
+        model = make_dar(tiny_beer)
+        model.mark_discriminator_pretrained()
+        assert model.discriminator_pretrained
+        assert all(not p.requires_grad for p in model.predictor_t.parameters())
+
+    def test_freeze_disabled_keeps_trainable(self, tiny_beer):
+        model = make_dar(tiny_beer, freeze_discriminator=False)
+        model.mark_discriminator_pretrained()
+        assert any(p.requires_grad for _, p in model.predictor_t.named_parameters())
+
+    def test_loss_includes_alignment_term(self, tiny_beer, rng):
+        model = make_dar(tiny_beer)
+        model.mark_discriminator_pretrained()
+        batch = pad_batch(tiny_beer.train[:8])
+        loss, info = model.training_loss(batch, rng=rng)
+        assert "alignment_loss" in info
+        assert np.isfinite(info["alignment_loss"])
+        assert loss.item() == pytest.approx(
+            info["task_loss"] + info["alignment_loss"] + info["penalty"], rel=1e-6
+        )
+
+    def test_discriminator_weight_scales_loss(self, tiny_beer):
+        batch = pad_batch(tiny_beer.train[:8])
+        losses = {}
+        for weight in (0.0, 1.0):
+            model = make_dar(tiny_beer, discriminator_weight=weight)
+            model.mark_discriminator_pretrained()
+            loss, info = model.training_loss(batch, rng=np.random.default_rng(3))
+            losses[weight] = (loss.item(), info)
+        zero_loss, zero_info = losses[0.0]
+        assert zero_loss == pytest.approx(zero_info["task_loss"] + zero_info["penalty"], rel=1e-6)
+
+    def test_frozen_discriminator_receives_no_gradient(self, tiny_beer, rng):
+        model = make_dar(tiny_beer)
+        model.mark_discriminator_pretrained()
+        batch = pad_batch(tiny_beer.train[:8])
+        loss, _ = model.training_loss(batch, rng=rng)
+        loss.backward()
+        assert all(p.grad is None for _, p in model.predictor_t.named_parameters())
+
+    def test_alignment_gradient_reaches_generator(self, tiny_beer, rng):
+        """Even with the task predictor removed from the loss, the frozen
+        discriminator must still steer the generator (Eq. 5)."""
+        model = make_dar(tiny_beer, discriminator_weight=1.0)
+        model.mark_discriminator_pretrained()
+        batch = pad_batch(tiny_beer.train[:8])
+        from repro.autograd import functional as F
+
+        mask = model.generator(batch.token_ids, batch.mask, rng=rng)
+        logits_t = model.predictor_t(batch.token_ids, mask, batch.mask)
+        F.cross_entropy(logits_t, batch.labels).backward()
+        gen_grads = [p.grad for _, p in model.generator.named_parameters() if p.requires_grad]
+        assert any(g is not None and np.abs(g).sum() > 0 for g in gen_grads)
+
+    def test_complexity_is_one_gen_two_pred(self, tiny_beer):
+        info = make_dar(tiny_beer).complexity()
+        assert info["generators"] == 1
+        assert info["predictors"] == 2
+
+    def test_dar_has_more_parameters_than_rnp(self, tiny_beer):
+        assert make_dar(tiny_beer).num_parameters() > make_rnp(tiny_beer).num_parameters()
+
+
+class TestPretraining:
+    def test_pretrain_reaches_high_dev_accuracy(self, tiny_beer):
+        """Eq. (4): the discriminator must learn the full-input task well —
+        the synthetic task is fully separable."""
+        model = make_dar(tiny_beer)
+        acc = pretrain_full_text_predictor(model.predictor_t, tiny_beer, epochs=10, batch_size=20, seed=0)
+        assert acc >= 90.0
+
+    def test_pretraining_changes_parameters(self, tiny_beer):
+        model = make_dar(tiny_beer)
+        before = model.predictor_t.state_dict()
+        pretrain_full_text_predictor(model.predictor_t, tiny_beer, epochs=1, batch_size=20, seed=0)
+        after = model.predictor_t.state_dict()
+        assert any(not np.array_equal(before[k], after[k]) for k in before)

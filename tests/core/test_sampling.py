@@ -1,0 +1,125 @@
+"""Mask-sampling strategies (gumbel / hardkuma / top-k)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core import Generator
+from repro.core.sampling import SAMPLERS, get_sampler, gumbel_sampler, hardkuma_sampler, topk_sampler
+
+
+@pytest.fixture
+def logits(rng):
+    return Tensor(rng.standard_normal((3, 8, 2)), requires_grad=True)
+
+
+@pytest.fixture
+def pad():
+    pad = np.ones((3, 8))
+    pad[2, 5:] = 0.0
+    return pad
+
+
+class TestRegistry:
+    def test_known_samplers(self):
+        assert set(SAMPLERS) == {"gumbel", "hardkuma", "topk"}
+
+    def test_get_sampler_unknown(self):
+        with pytest.raises(KeyError):
+            get_sampler("bernoulli")
+
+
+@pytest.mark.parametrize("sampler_name", sorted(SAMPLERS))
+class TestSamplerContract:
+    def test_binary_and_padded(self, sampler_name, logits, pad):
+        sampler = get_sampler(sampler_name)
+        mask = sampler(logits, pad, 1.0, np.random.default_rng(0))
+        assert mask.shape == (3, 8)
+        assert np.all(np.isin(mask.data, [0.0, 1.0]))
+        assert np.all(mask.data[pad == 0] == 0.0)
+
+    def test_gradient_flows_to_logits(self, sampler_name, logits, pad):
+        sampler = get_sampler(sampler_name)
+        mask = sampler(logits, pad, 1.0, np.random.default_rng(0))
+        mask.sum().backward()
+        assert logits.grad is not None
+        assert np.abs(logits.grad).sum() > 0
+
+
+class TestGumbel:
+    def test_strong_logits_deterministic(self, pad):
+        data = np.zeros((3, 8, 2))
+        data[:, :4, 1] = 60.0
+        data[:, 4:, 0] = 60.0
+        mask = gumbel_sampler(Tensor(data), pad, 1.0, np.random.default_rng(0))
+        assert np.all(mask.data[:, :4][pad[:, :4] > 0] == 1.0)
+        assert np.all(mask.data[:, 4:] == 0.0)
+
+
+class TestHardKuma:
+    def test_rectification_produces_exact_endpoints(self, pad, rng):
+        logits = Tensor(rng.standard_normal((50, 8, 2)) * 3)
+        mask = hardkuma_sampler(logits, np.ones((50, 8)), 1.0, np.random.default_rng(1))
+        values = np.unique(mask.data)
+        assert set(values) <= {0.0, 1.0}
+
+    def test_rate_tracks_logit_bias(self):
+        # Strongly positive Bernoulli logits -> nearly everything selected.
+        data = np.zeros((20, 10, 2))
+        data[:, :, 1] = 5.0
+        mask = hardkuma_sampler(Tensor(data), np.ones((20, 10)), 1.0, np.random.default_rng(0))
+        assert mask.data.mean() > 0.9
+
+
+class TestTopK:
+    def test_deterministic(self, logits, pad):
+        a = topk_sampler(logits, pad, 1.0, None, rate=0.25)
+        b = topk_sampler(logits, pad, 1.0, None, rate=0.25)
+        assert np.array_equal(a.data, b.data)
+
+    def test_budget(self, logits, pad):
+        mask = topk_sampler(logits, pad, 1.0, None, rate=0.25)
+        # ceil(0.25 * 8) = 2 for full rows, ceil(0.25*5)=2 for the short row.
+        assert np.array_equal(mask.data.sum(axis=1), [2.0, 2.0, 2.0])
+
+
+class TestGeneratorIntegration:
+    def test_generator_accepts_sampler_choice(self, tiny_beer, rng):
+        from repro.data import pad_batch
+
+        batch = pad_batch(tiny_beer.test[:4])
+        for name in SAMPLERS:
+            gen = Generator(
+                len(tiny_beer.vocab), 64, 12, pretrained=tiny_beer.embeddings,
+                sampler=name, rng=np.random.default_rng(0),
+            )
+            mask = gen(batch.token_ids, batch.mask, rng=rng)
+            assert np.all(np.isin(mask.data, [0.0, 1.0]))
+
+    def test_generator_rejects_unknown_sampler(self, tiny_beer):
+        with pytest.raises(KeyError):
+            Generator(len(tiny_beer.vocab), 64, 12, sampler="magic")
+
+    def test_sampler_kwargs_thread_through(self, tiny_beer, rng):
+        from repro.data import pad_batch
+
+        gen = Generator(
+            len(tiny_beer.vocab), 64, 12, pretrained=tiny_beer.embeddings,
+            sampler="topk", sampler_kwargs={"rate": 0.5},
+            rng=np.random.default_rng(0),
+        )
+        batch = pad_batch(tiny_beer.test[:4])
+        mask = gen(batch.token_ids, batch.mask, rng=rng)
+        lengths = batch.mask.sum(axis=1)
+        expected = np.ceil(0.5 * lengths)
+        assert np.array_equal(mask.data.sum(axis=1), expected)
+
+    def test_soft_mode_still_available(self, tiny_beer, rng):
+        from repro.data import pad_batch
+
+        gen = Generator(len(tiny_beer.vocab), 64, 12, pretrained=tiny_beer.embeddings,
+                        rng=np.random.default_rng(0))
+        batch = pad_batch(tiny_beer.test[:4])
+        soft = gen(batch.token_ids, batch.mask, rng=rng, hard=False)
+        interior = soft.data[(soft.data > 0) & (soft.data < 1)]
+        assert interior.size > 0  # genuinely soft values present

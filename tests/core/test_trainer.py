@@ -1,0 +1,147 @@
+"""Training loop: protocols, checkpoint selection, skew hooks, evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DAR,
+    RNP,
+    TrainConfig,
+    evaluate_full_text,
+    evaluate_rationale_accuracy,
+    evaluate_rationale_quality,
+    skew_pretrain_generator_first_token,
+    skew_pretrain_predictor_first_sentence,
+    train_rationalizer,
+)
+from repro.core.trainer import _first_sentence_mask, _generator_first_token_accuracy
+from repro.data import pad_batch
+
+
+def quick_config(**overrides):
+    defaults = dict(epochs=2, batch_size=20, lr=2e-3, seed=0)
+    defaults.update(overrides)
+    return TrainConfig(**defaults)
+
+
+def make_model(dataset, cls=RNP, **kwargs):
+    defaults = dict(
+        vocab_size=len(dataset.vocab), embedding_dim=64, hidden_size=12,
+        alpha=0.15, pretrained_embeddings=dataset.embeddings,
+        rng=np.random.default_rng(0),
+    )
+    defaults.update(kwargs)
+    return cls(**defaults)
+
+
+class TestTrainRationalizer:
+    def test_returns_complete_result(self, tiny_beer):
+        model = make_model(tiny_beer)
+        result = train_rationalizer(model, tiny_beer, quick_config())
+        assert len(result.history) == 2
+        assert 0 <= result.rationale.f1 <= 100
+        assert 0 <= result.rationale_accuracy <= 100
+        row = result.as_row()
+        assert set(row) >= {"S", "P", "R", "F1", "Acc", "FullAcc"}
+
+    def test_dar_auto_pretrains_discriminator(self, tiny_beer):
+        model = make_model(tiny_beer, cls=DAR)
+        assert not model.discriminator_pretrained
+        train_rationalizer(model, tiny_beer, quick_config(pretrain_epochs=1))
+        assert model.discriminator_pretrained
+
+    def test_history_records_metrics(self, tiny_beer):
+        model = make_model(tiny_beer)
+        result = train_rationalizer(model, tiny_beer, quick_config())
+        for entry in result.history:
+            assert {"epoch", "loss", "dev_acc", "test_f1"} <= set(entry)
+
+    def test_best_checkpoint_restored(self, tiny_beer):
+        """The returned metrics must match the restored best checkpoint,
+        not necessarily the final epoch."""
+        model = make_model(tiny_beer)
+        config = quick_config(epochs=3, selection="test_f1")
+        result = train_rationalizer(model, tiny_beer, config)
+        rerun = evaluate_rationale_quality(model, tiny_beer.test)
+        assert rerun.f1 == pytest.approx(result.rationale.f1)
+        best_in_history = max(e["test_f1"] for e in result.history)
+        assert result.rationale.f1 == pytest.approx(best_in_history, abs=1e-6)
+
+    def test_selection_protocols_differ(self, tiny_beer):
+        """dev_acc and test_f1 protocols may legitimately pick different
+        checkpoints; both must run without error."""
+        for selection in ("dev_acc", "test_f1"):
+            model = make_model(tiny_beer)
+            result = train_rationalizer(model, tiny_beer, quick_config(selection=selection))
+            assert result.rationale is not None
+
+
+class TestEvaluationProbes:
+    def test_quality_probe_range(self, tiny_beer):
+        model = make_model(tiny_beer)
+        score = evaluate_rationale_quality(model, tiny_beer.test)
+        assert 0 <= score.sparsity <= 100
+        assert 0 <= score.f1 <= 100
+
+    def test_full_text_probe(self, tiny_beer):
+        model = make_model(tiny_beer)
+        score = evaluate_full_text(model, tiny_beer.test)
+        assert 0 <= score.accuracy <= 100
+
+    def test_rationale_accuracy_probe(self, tiny_beer):
+        model = make_model(tiny_beer)
+        acc = evaluate_rationale_accuracy(model, tiny_beer.test)
+        assert 0 <= acc <= 100
+
+
+class TestSkewHooks:
+    def test_first_sentence_mask(self, tiny_beer):
+        batch = pad_batch(tiny_beer.test[:4])
+        mask = _first_sentence_mask(batch)
+        for i, example in enumerate(batch.examples):
+            start, end = example.sentence_spans[0]
+            assert mask[i, start:end].sum() == end - start
+            assert mask[i].sum() == end - start
+
+    def test_skew_predictor_changes_predictor_only(self, tiny_beer):
+        model = make_model(tiny_beer)
+        gen_before = model.generator.state_dict()
+        pred_before = model.predictor.state_dict()
+        skew_pretrain_predictor_first_sentence(model, tiny_beer, epochs=1, batch_size=20)
+        gen_after = model.generator.state_dict()
+        pred_after = model.predictor.state_dict()
+        assert all(np.array_equal(gen_before[k], gen_after[k]) for k in gen_before)
+        assert any(not np.array_equal(pred_before[k], pred_after[k]) for k in pred_before)
+
+    def test_skew_generator_reaches_threshold(self, tiny_beer):
+        model = make_model(tiny_beer)
+        achieved = skew_pretrain_generator_first_token(
+            model, tiny_beer, accuracy_threshold=60.0, max_epochs=30, batch_size=20, lr=3e-3
+        )
+        assert achieved >= 60.0
+
+    def test_skew_generator_encodes_label_in_first_token(self, tiny_beer):
+        """After skew pretraining the generator's first-token selection
+        must correlate with the class — the deliberate rationale shift."""
+        model = make_model(tiny_beer)
+        skew_pretrain_generator_first_token(
+            model, tiny_beer, accuracy_threshold=75.0, max_epochs=60, batch_size=20, lr=3e-3
+        )
+        acc = _generator_first_token_accuracy(model, tiny_beer.dev)
+        assert acc >= 70.0
+
+    def test_skew_generator_changes_generator_only(self, tiny_beer):
+        model = make_model(tiny_beer)
+        pred_before = model.predictor.state_dict()
+        skew_pretrain_generator_first_token(
+            model, tiny_beer, accuracy_threshold=55.0, max_epochs=5, batch_size=20
+        )
+        pred_after = model.predictor.state_dict()
+        assert all(np.array_equal(pred_before[k], pred_after[k]) for k in pred_before)
+
+
+class TestTrainConfig:
+    def test_defaults(self):
+        config = TrainConfig()
+        assert config.selection == "dev_acc"
+        assert config.epochs > 0

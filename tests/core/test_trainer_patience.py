@@ -1,0 +1,40 @@
+"""Early-stopping patience in the cooperative trainer."""
+
+import numpy as np
+import pytest
+
+from repro.core import RNP, TrainConfig, train_rationalizer
+
+
+def make_model(dataset):
+    return RNP(
+        vocab_size=len(dataset.vocab), embedding_dim=64, hidden_size=8,
+        alpha=0.15, pretrained_embeddings=dataset.embeddings,
+        rng=np.random.default_rng(0),
+    )
+
+
+class TestPatience:
+    def test_patience_can_stop_early(self, tiny_beer):
+        model = make_model(tiny_beer)
+        config = TrainConfig(epochs=8, batch_size=20, lr=1e-4, seed=0, patience=1)
+        result = train_rationalizer(model, tiny_beer, config)
+        # With patience=1 the loop stops as soon as one epoch fails to
+        # improve — on a tiny dataset with a tiny lr that happens quickly.
+        assert len(result.history) <= 8
+
+    def test_no_patience_runs_all_epochs(self, tiny_beer):
+        model = make_model(tiny_beer)
+        config = TrainConfig(epochs=3, batch_size=20, lr=1e-3, seed=0, patience=None)
+        result = train_rationalizer(model, tiny_beer, config)
+        assert len(result.history) == 3
+
+    def test_best_checkpoint_still_restored_after_early_stop(self, tiny_beer):
+        from repro.core import evaluate_rationale_quality
+
+        model = make_model(tiny_beer)
+        config = TrainConfig(epochs=6, batch_size=20, lr=2e-3, seed=0, patience=2, selection="test_f1")
+        result = train_rationalizer(model, tiny_beer, config)
+        best = max(e["test_f1"] for e in result.history)
+        restored = evaluate_rationale_quality(model, tiny_beer.test)
+        assert restored.f1 == pytest.approx(best, abs=1e-6)

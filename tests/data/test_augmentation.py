@@ -1,0 +1,75 @@
+"""Counterfactual augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.data.augmentation import augment_with_counterfactuals, flip_example
+from repro.data.lexicon import BEER_LEXICONS
+
+
+@pytest.fixture
+def lexicon():
+    return BEER_LEXICONS["Aroma"]
+
+
+class TestFlipExample:
+    def test_label_flips(self, tiny_beer, lexicon):
+        example = tiny_beer.test[0]
+        flipped = flip_example(example, lexicon, tiny_beer.vocab, rng=np.random.default_rng(0))
+        assert flipped.label == 1 - example.label
+        assert flipped.aspect_polarities["Aroma"] == 1 - example.label
+
+    def test_sentiment_words_swapped(self, tiny_beer, lexicon):
+        example = tiny_beer.test[0]
+        flipped = flip_example(example, lexicon, tiny_beer.vocab, rng=np.random.default_rng(0))
+        original_pool = set(lexicon.sentiment_words(example.label))
+        target_pool = set(lexicon.sentiment_words(1 - example.label))
+        assert not (set(flipped.tokens) & original_pool)
+        assert set(flipped.tokens) & target_pool
+
+    def test_non_sentiment_tokens_untouched(self, tiny_beer, lexicon):
+        example = tiny_beer.test[0]
+        flipped = flip_example(example, lexicon, tiny_beer.vocab, rng=np.random.default_rng(0))
+        pool = set(lexicon.positive) | set(lexicon.negative)
+        for before, after in zip(example.tokens, flipped.tokens):
+            if before not in pool:
+                assert before == after
+
+    def test_rationale_positions_preserved(self, tiny_beer, lexicon):
+        example = tiny_beer.test[0]
+        flipped = flip_example(example, lexicon, tiny_beer.vocab, rng=np.random.default_rng(0))
+        assert np.array_equal(flipped.rationale, example.rationale)
+
+    def test_token_ids_reencoded(self, tiny_beer, lexicon):
+        example = tiny_beer.test[0]
+        flipped = flip_example(example, lexicon, tiny_beer.vocab, rng=np.random.default_rng(0))
+        assert tiny_beer.vocab.decode(flipped.token_ids) == flipped.tokens
+
+    def test_no_flippable_words_raises(self, tiny_beer, lexicon):
+        from repro.data.dataset import ReviewExample
+
+        bare = ReviewExample(
+            tokens=["the", "was", "."], token_ids=np.zeros(3, dtype=np.int64),
+            label=1, rationale=np.zeros(3, dtype=np.int64), aspect="Aroma",
+        )
+        with pytest.raises(ValueError):
+            flip_example(bare, lexicon, tiny_beer.vocab)
+
+
+class TestAugment:
+    def test_fraction_controls_count(self, tiny_beer, lexicon):
+        out = augment_with_counterfactuals(tiny_beer.test, lexicon, tiny_beer.vocab, fraction=0.5)
+        assert len(tiny_beer.test) < len(out) <= len(tiny_beer.test) + len(tiny_beer.test) // 2 + 1
+
+    def test_full_fraction_doubles(self, tiny_beer, lexicon):
+        out = augment_with_counterfactuals(tiny_beer.test, lexicon, tiny_beer.vocab, fraction=1.0)
+        assert len(out) == 2 * len(tiny_beer.test)
+
+    def test_label_balance_preserved(self, tiny_beer, lexicon):
+        out = augment_with_counterfactuals(tiny_beer.test, lexicon, tiny_beer.vocab, fraction=1.0)
+        pos = sum(1 for e in out if e.label == 1)
+        assert pos == len(out) // 2
+
+    def test_invalid_fraction_raises(self, tiny_beer, lexicon):
+        with pytest.raises(ValueError):
+            augment_with_counterfactuals(tiny_beer.test, lexicon, tiny_beer.vocab, fraction=1.5)

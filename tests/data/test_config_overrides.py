@@ -1,0 +1,61 @@
+"""Dataset-builder configuration override paths."""
+
+import numpy as np
+import pytest
+
+from repro.data import CorpusConfig, build_beer_dataset, build_hotel_dataset
+from repro.data.lexicon import BEER_LEXICONS
+from repro.data.synthetic import SyntheticReviewGenerator
+
+
+class TestCustomConfigPath:
+    def test_beer_accepts_explicit_config(self):
+        config = CorpusConfig(
+            target_aspect="Aroma", n_train=20, n_dev=10, n_test=10,
+            n_sentiment_words=1, seed=4,
+        )
+        ds = build_beer_dataset("Aroma", config=config)
+        assert len(ds.train) == 20
+        # One sentiment word + topic word annotated -> sparse annotations.
+        assert ds.gold_sparsity() < 0.15
+
+    def test_hotel_accepts_explicit_config(self):
+        config = CorpusConfig(
+            target_aspect="Service", n_train=10, n_dev=4, n_test=4, seed=1,
+        )
+        ds = build_hotel_dataset("Service", config=config)
+        assert len(ds.test) == 4
+
+    def test_correlation_parameter_threads_through(self):
+        ds = build_beer_dataset("Aroma", n_train=60, n_dev=10, n_test=10,
+                                correlation=1.0, seed=0)
+        for example in ds.train:
+            assert all(p == example.label for p in example.aspect_polarities.values())
+
+
+class TestFirstAspectBiasExtremes:
+    def test_zero_bias_shuffles_order(self):
+        config = CorpusConfig(target_aspect="Aroma", first_aspect_bias=0.0, seed=0)
+        gen = SyntheticReviewGenerator(BEER_LEXICONS, config)
+        appearance_words = set(BEER_LEXICONS["Appearance"].all_words())
+        first_is_appearance = []
+        for i in range(40):
+            ex = gen.generate_example(i % 2)
+            start, end = sorted(ex.sentence_spans)[0]
+            first_is_appearance.append(bool(set(ex.tokens[start:end]) & appearance_words))
+        # Without bias, appearance leads only ~1/3 of the time.
+        assert np.mean(first_is_appearance) < 0.7
+
+
+class TestSentimentWordBudget:
+    def test_more_words_denser_annotation(self):
+        def sparsity(n_words):
+            config = CorpusConfig(
+                target_aspect="Aroma", n_train=2, n_dev=2, n_test=40,
+                n_sentiment_words=n_words, seed=0,
+            )
+            gen = SyntheticReviewGenerator(BEER_LEXICONS, config)
+            _, _, test = gen.generate_splits()
+            return np.mean([e.rationale_sparsity for e in test])
+
+        assert sparsity(4) > sparsity(1)

@@ -1,0 +1,84 @@
+"""ReviewExample / AspectDataset / DatasetStatistics containers."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import AspectDataset, DatasetStatistics, ReviewExample
+from repro.data.vocabulary import Vocabulary
+
+
+def example(tokens, label=1, rationale=None, aspect="Aroma"):
+    rationale = rationale if rationale is not None else np.zeros(len(tokens), dtype=np.int64)
+    return ReviewExample(
+        tokens=list(tokens),
+        token_ids=np.arange(len(tokens)),
+        label=label,
+        rationale=np.asarray(rationale),
+        aspect=aspect,
+    )
+
+
+class TestReviewExample:
+    def test_len(self):
+        assert len(example(["a", "b", "c"])) == 3
+
+    def test_sparsity(self):
+        ex = example(["a", "b", "c", "d"], rationale=[1, 0, 1, 0])
+        assert ex.rationale_sparsity == pytest.approx(0.5)
+
+    def test_sparsity_empty_tokens(self):
+        ex = ReviewExample(tokens=[], token_ids=np.array([], dtype=np.int64),
+                           label=0, rationale=np.array([], dtype=np.int64), aspect="x")
+        assert ex.rationale_sparsity == 0.0
+
+    def test_default_factories_independent(self):
+        a = example(["x"])
+        b = example(["y"])
+        a.sentence_spans.append((0, 1))
+        assert b.sentence_spans == []
+
+
+class TestAspectDataset:
+    def _dataset(self):
+        train = [example(["a"], label=i % 2) for i in range(10)]
+        dev = [example(["b"], label=i % 2) for i in range(4)]
+        test = [
+            example(["c", "d", "e", "f"], label=i % 2, rationale=[1, 0, 0, 0])
+            for i in range(6)
+        ]
+        return AspectDataset("Aroma", train, dev, test, Vocabulary(["a", "b", "c", "d", "e", "f"]))
+
+    def test_statistics_counts(self):
+        stats = self._dataset().statistics()
+        assert (stats.train_pos, stats.train_neg) == (5, 5)
+        assert (stats.dev_pos, stats.dev_neg) == (2, 2)
+        assert (stats.test_pos, stats.test_neg) == (3, 3)
+
+    def test_statistics_sparsity(self):
+        stats = self._dataset().statistics()
+        assert stats.annotation_sparsity == pytest.approx(0.25)
+
+    def test_gold_sparsity_shortcut(self):
+        ds = self._dataset()
+        assert ds.gold_sparsity() == pytest.approx(ds.statistics().annotation_sparsity)
+
+    def test_unannotated_test_gives_zero_sparsity(self):
+        ds = AspectDataset("A", [], [], [example(["x", "y"])], Vocabulary())
+        assert ds.gold_sparsity() == 0.0
+
+    def test_splits_are_copied_lists(self):
+        train = [example(["a"])]
+        ds = AspectDataset("A", train, [], [], Vocabulary())
+        train.append(example(["b"]))
+        assert len(ds.train) == 1
+
+
+class TestDatasetStatistics:
+    def test_as_row_percent(self):
+        stats = DatasetStatistics(
+            aspect="X", train_pos=1, train_neg=1, dev_pos=1, dev_neg=1,
+            test_pos=1, test_neg=1, annotation_sparsity=0.123,
+        )
+        row = stats.as_row()
+        assert row["sparsity_pct"] == 12.3
+        assert row["aspect"] == "X"

@@ -1,0 +1,143 @@
+"""Beer/Hotel dataset builders, statistics, embeddings, and batching."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BEER_ASPECTS,
+    BEER_SPARSITY,
+    HOTEL_ASPECTS,
+    HOTEL_SPARSITY,
+    Batch,
+    batch_iterator,
+    build_beer_dataset,
+    build_embedding_table,
+    build_hotel_dataset,
+    pad_batch,
+)
+from repro.data.lexicon import BEER_LEXICONS
+
+
+class TestBuilders:
+    def test_unknown_aspect_raises(self):
+        with pytest.raises(KeyError):
+            build_beer_dataset("Location")
+        with pytest.raises(KeyError):
+            build_hotel_dataset("Aroma")
+
+    def test_split_sizes(self, tiny_beer):
+        assert len(tiny_beer.train) == 60
+        assert len(tiny_beer.dev) == 20
+        assert len(tiny_beer.test) == 20
+
+    def test_embeddings_attached(self, tiny_beer):
+        assert tiny_beer.embeddings is not None
+        assert tiny_beer.embeddings.shape == (len(tiny_beer.vocab), 64)
+
+    @pytest.mark.parametrize("aspect", BEER_ASPECTS)
+    def test_beer_sparsity_tracks_table9_ordering(self, aspect):
+        ds = build_beer_dataset(aspect, n_train=40, n_dev=10, n_test=60, seed=1)
+        sparsity = 100 * ds.gold_sparsity()
+        assert 5.0 < sparsity < 25.0
+
+    def test_beer_appearance_denser_than_palate(self):
+        """Table IX ordering: Appearance (18.5) > Palate (12.4)."""
+        app = build_beer_dataset("Appearance", n_train=20, n_dev=10, n_test=80, seed=2)
+        pal = build_beer_dataset("Palate", n_train=20, n_dev=10, n_test=80, seed=2)
+        assert app.gold_sparsity() > pal.gold_sparsity()
+
+    @pytest.mark.parametrize("aspect", HOTEL_ASPECTS)
+    def test_hotel_builds(self, aspect):
+        ds = build_hotel_dataset(aspect, n_train=20, n_dev=10, n_test=10, seed=0)
+        assert ds.aspect == aspect
+
+    def test_statistics_row(self, tiny_beer):
+        stats = tiny_beer.statistics()
+        assert stats.train_pos == stats.train_neg == 30
+        row = stats.as_row()
+        assert row["aspect"] == "Aroma"
+        assert 0 < row["sparsity_pct"] < 100
+
+
+class TestEmbeddingGeometry:
+    def test_pad_row_zero(self, tiny_beer):
+        assert np.all(tiny_beer.embeddings[0] == 0.0)
+
+    def test_family_clustering(self, tiny_beer):
+        """Same-family words must be closer than cross-family words."""
+        vocab = tiny_beer.vocab
+        table = tiny_beer.embeddings
+        lex = BEER_LEXICONS["Aroma"]
+        pos = np.array([table[vocab[w]] for w in lex.positive])
+        neg = np.array([table[vocab[w]] for w in lex.negative])
+        intra = np.linalg.norm(pos - pos.mean(0), axis=1).mean()
+        inter = np.linalg.norm(pos.mean(0) - neg.mean(0))
+        assert inter > 2 * intra
+
+    def test_seed_determinism(self, tiny_beer):
+        vocab = tiny_beer.vocab
+        a = build_embedding_table(vocab, BEER_LEXICONS, dim=16, seed=5)
+        b = build_embedding_table(vocab, BEER_LEXICONS, dim=16, seed=5)
+        assert np.array_equal(a, b)
+        c = build_embedding_table(vocab, BEER_LEXICONS, dim=16, seed=6)
+        assert not np.array_equal(a, c)
+
+
+class TestPadBatch:
+    def test_padding_shape_and_mask(self, tiny_beer):
+        examples = tiny_beer.test[:4]
+        batch = pad_batch(examples)
+        max_len = max(len(e) for e in examples)
+        assert batch.token_ids.shape == (4, max_len)
+        assert batch.mask.shape == (4, max_len)
+        for i, example in enumerate(examples):
+            assert batch.mask[i].sum() == len(example)
+            assert np.all(batch.token_ids[i, len(example):] == 0)
+
+    def test_labels_and_rationales(self, tiny_beer):
+        batch = pad_batch(tiny_beer.test[:3])
+        for i, example in enumerate(tiny_beer.test[:3]):
+            assert batch.labels[i] == example.label
+            assert batch.rationales[i, : len(example)].sum() == example.rationale.sum()
+
+    def test_empty_batch_raises(self):
+        with pytest.raises(ValueError):
+            pad_batch([])
+
+    def test_len_and_max_len(self, tiny_beer):
+        batch = pad_batch(tiny_beer.test[:5])
+        assert len(batch) == 5
+        assert batch.max_len == batch.token_ids.shape[1]
+
+
+class TestBatchIterator:
+    def test_covers_all_examples(self, tiny_beer):
+        total = sum(len(b) for b in batch_iterator(tiny_beer.train, 16, shuffle=False))
+        assert total == len(tiny_beer.train)
+
+    def test_batch_size_respected(self, tiny_beer):
+        sizes = [len(b) for b in batch_iterator(tiny_beer.train, 16, shuffle=False)]
+        assert all(s == 16 for s in sizes[:-1])
+        assert sizes[-1] <= 16
+
+    def test_drop_last(self, tiny_beer):
+        sizes = [len(b) for b in batch_iterator(tiny_beer.train, 16, shuffle=False, drop_last=True)]
+        assert all(s == 16 for s in sizes)
+
+    def test_shuffle_deterministic_with_rng(self, tiny_beer):
+        def labels_with(seed):
+            rng = np.random.default_rng(seed)
+            return [
+                tuple(b.labels) for b in batch_iterator(tiny_beer.train, 8, rng=rng)
+            ]
+
+        assert labels_with(3) == labels_with(3)
+        assert labels_with(3) != labels_with(4)
+
+    def test_invalid_batch_size(self, tiny_beer):
+        with pytest.raises(ValueError):
+            list(batch_iterator(tiny_beer.train, 0))
+
+    def test_no_shuffle_preserves_order(self, tiny_beer):
+        first = next(iter(batch_iterator(tiny_beer.train, 4, shuffle=False)))
+        assert first.examples[0] is tiny_beer.train[0]

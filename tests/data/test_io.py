@@ -1,0 +1,140 @@
+"""Parsers for the original datasets' on-disk formats."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data.io import (
+    attach_vocabulary,
+    balance_binary,
+    binarize_beer,
+    binarize_hotel,
+    build_vocabulary,
+    dataset_from_files,
+    load_annotation_json,
+    load_rating_tsv,
+)
+
+
+@pytest.fixture
+def rating_tsv(tmp_path):
+    path = tmp_path / "train.tsv"
+    lines = [
+        "0.8\t0.2\t0.5\tpours a nice golden color with great head",
+        "0.2\t0.9\t0.5\tmurky and dull appearance hardly any lacing",
+        "0.5\t0.5\t0.5\tmiddle band review should be dropped",
+        "0.9\t0.1\t0.3\tbright amber pour sparkling and clear",
+    ]
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+@pytest.fixture
+def annotation_json(tmp_path):
+    path = tmp_path / "annotations.json"
+    records = [
+        {"x": ["golden", "clear", "pour", "great", "beer"], "y": [0.9, 0.5, 0.5],
+         "0": [[0, 2]], "1": [], "2": []},
+        {"x": ["dull", "murky", "mess", "overall", "bad"], "y": [0.1, 0.5, 0.5],
+         "0": [[0, 2], [4, 5]], "1": [], "2": []},
+        {"x": ["skip", "me"], "y": [0.5, 0.5, 0.5], "0": [], "1": [], "2": []},
+    ]
+    path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+    return path
+
+
+class TestBinarizers:
+    def test_beer_thresholds(self):
+        assert binarize_beer(0.4) == 0
+        assert binarize_beer(0.6) == 1
+        assert binarize_beer(0.5) is None
+
+    def test_hotel_thresholds(self):
+        assert binarize_hotel(2.0) == 0
+        assert binarize_hotel(4.0) == 1
+        assert binarize_hotel(3.0) is None
+
+
+class TestRatingTSV:
+    def test_parses_and_binarizes(self, rating_tsv):
+        examples = load_rating_tsv(rating_tsv, aspect_index=0, n_aspects=3)
+        assert len(examples) == 3  # middle-band review dropped
+        assert [e.label for e in examples] == [1, 0, 1]
+        assert examples[0].tokens[0] == "pours"
+
+    def test_aspect_selection(self, rating_tsv):
+        examples = load_rating_tsv(rating_tsv, aspect_index=1, n_aspects=3)
+        assert [e.label for e in examples] == [0, 1, 0]
+
+    def test_max_examples(self, rating_tsv):
+        examples = load_rating_tsv(rating_tsv, aspect_index=0, n_aspects=3, max_examples=1)
+        assert len(examples) == 1
+
+    def test_bad_aspect_index_raises(self, rating_tsv):
+        with pytest.raises(ValueError):
+            load_rating_tsv(rating_tsv, aspect_index=5, n_aspects=3)
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("0.8\t0.2\n")
+        with pytest.raises(ValueError):
+            load_rating_tsv(path, aspect_index=0, n_aspects=3)
+
+    def test_examples_unannotated(self, rating_tsv):
+        for example in load_rating_tsv(rating_tsv, aspect_index=0, n_aspects=3):
+            assert example.rationale.sum() == 0
+
+
+class TestAnnotationJSON:
+    def test_ranges_become_masks(self, annotation_json):
+        examples = load_annotation_json(annotation_json, aspect_index=0)
+        assert len(examples) == 2  # middle band dropped
+        assert np.array_equal(examples[0].rationale, [1, 1, 0, 0, 0])
+        assert np.array_equal(examples[1].rationale, [1, 1, 0, 0, 1])
+
+    def test_labels(self, annotation_json):
+        examples = load_annotation_json(annotation_json, aspect_index=0)
+        assert [e.label for e in examples] == [1, 0]
+
+
+class TestVocabularyHelpers:
+    def test_build_and_attach(self, rating_tsv):
+        examples = load_rating_tsv(rating_tsv, aspect_index=0, n_aspects=3)
+        vocab = build_vocabulary([examples])
+        attach_vocabulary(examples, vocab)
+        for example in examples:
+            assert example.token_ids.shape == (len(example.tokens),)
+            assert np.all(example.token_ids >= 2)  # no PAD/UNK in-vocab
+
+    def test_min_count_filters(self, rating_tsv):
+        examples = load_rating_tsv(rating_tsv, aspect_index=0, n_aspects=3)
+        all_vocab = build_vocabulary([examples], min_count=1)
+        frequent = build_vocabulary([examples], min_count=2)
+        assert len(frequent) < len(all_vocab)
+
+
+class TestBalance:
+    def test_balances_classes(self, rating_tsv):
+        examples = load_rating_tsv(rating_tsv, aspect_index=0, n_aspects=3)
+        balanced = balance_binary(examples, np.random.default_rng(0))
+        pos = sum(1 for e in balanced if e.label == 1)
+        neg = len(balanced) - pos
+        assert pos == neg == 1
+
+
+class TestDatasetFromFiles:
+    def test_end_to_end(self, rating_tsv, annotation_json):
+        dataset = dataset_from_files(
+            train_tsv=rating_tsv,
+            dev_tsv=rating_tsv,
+            annotation_json=annotation_json,
+            aspect_index=0,
+            n_aspects=3,
+            aspect_name="Appearance",
+        )
+        assert dataset.aspect == "Appearance"
+        assert len(dataset.test) == 2
+        assert all(e.token_ids.sum() > 0 for e in dataset.train)
+        stats = dataset.statistics()
+        assert stats.train_pos == stats.train_neg

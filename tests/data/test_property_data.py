@@ -1,0 +1,74 @@
+"""Hypothesis property tests on the data substrate."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.data import CorpusConfig, SyntheticReviewGenerator, pad_batch
+from repro.data.lexicon import BEER_LEXICONS
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    label=st.integers(min_value=0, max_value=1),
+    aspect=st.sampled_from(sorted(BEER_LEXICONS)),
+)
+def test_rationale_mask_length_matches_tokens(seed, label, aspect):
+    gen = SyntheticReviewGenerator(
+        BEER_LEXICONS, CorpusConfig(target_aspect=aspect, seed=seed)
+    )
+    ex = gen.generate_example(label)
+    assert len(ex.rationale) == len(ex.tokens) == len(ex.token_ids)
+    assert set(np.unique(ex.rationale)) <= {0, 1}
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    label=st.integers(min_value=0, max_value=1),
+)
+def test_annotated_tokens_always_in_target_sentence(seed, label):
+    gen = SyntheticReviewGenerator(
+        BEER_LEXICONS, CorpusConfig(target_aspect="Palate", seed=seed)
+    )
+    ex = gen.generate_example(label)
+    positions = np.flatnonzero(ex.rationale)
+    # Every annotated position lies inside exactly one sentence span, and
+    # all annotated positions lie inside the same span.
+    containing = {
+        i
+        for i, (s, e) in enumerate(ex.sentence_spans)
+        for p in positions
+        if s <= p < e
+    }
+    assert len(containing) == 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=30), min_size=1, max_size=8),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_pad_batch_mask_sums_equal_lengths(sizes, seed):
+    gen = SyntheticReviewGenerator(
+        BEER_LEXICONS, CorpusConfig(target_aspect="Aroma", seed=seed)
+    )
+    examples = [gen.generate_example(i % 2) for i in range(len(sizes))]
+    batch = pad_batch(examples)
+    assert np.array_equal(batch.mask.sum(axis=1), [len(e) for e in examples])
+    # Padded positions use token id 0 (the PAD id).
+    for i, e in enumerate(examples):
+        assert np.all(batch.token_ids[i, len(e):] == 0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_generator_is_pure_function_of_seed(seed):
+    cfg = CorpusConfig(target_aspect="Aroma", n_train=6, n_dev=2, n_test=2, seed=seed)
+    a = SyntheticReviewGenerator(BEER_LEXICONS, cfg).generate_splits()
+    b = SyntheticReviewGenerator(BEER_LEXICONS, cfg).generate_splits()
+    for split_a, split_b in zip(a, b):
+        for ex_a, ex_b in zip(split_a, split_b):
+            assert ex_a.tokens == ex_b.tokens
+            assert ex_a.label == ex_b.label
+            assert np.array_equal(ex_a.rationale, ex_b.rationale)

@@ -1,0 +1,91 @@
+"""Corpus statistics utilities."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ReviewExample
+from repro.data.statistics import (
+    annotation_position_histogram,
+    corpus_statistics,
+    token_frequencies,
+    _span_lengths,
+)
+
+
+def example(tokens, label=1, rationale=None):
+    rationale = rationale if rationale is not None else [0] * len(tokens)
+    return ReviewExample(
+        tokens=list(tokens), token_ids=np.arange(len(tokens)),
+        label=label, rationale=np.asarray(rationale), aspect="A",
+    )
+
+
+class TestCorpusStatistics:
+    def test_basic_fields(self):
+        stats = corpus_statistics([
+            example(["a", "b", "c"], label=1, rationale=[1, 1, 0]),
+            example(["a", "d"], label=0),
+        ])
+        assert stats.n_examples == 2
+        assert stats.n_positive == 1
+        assert stats.mean_length == pytest.approx(2.5)
+        assert (stats.min_length, stats.max_length) == (2, 3)
+        assert stats.vocab_size == 4
+
+    def test_annotation_stats_over_annotated_only(self):
+        stats = corpus_statistics([
+            example(["a", "b", "c", "d"], rationale=[1, 1, 0, 0]),
+            example(["a", "b"], rationale=[0, 0]),  # unannotated
+        ])
+        assert stats.mean_annotation_sparsity == pytest.approx(0.5)
+        assert stats.mean_annotation_span_length == pytest.approx(2.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            corpus_statistics([])
+
+    def test_as_row(self):
+        row = corpus_statistics([example(["a", "b"])]).as_row()
+        assert row["examples"] == 1
+        assert "len_range" in row
+
+    def test_on_synthetic_corpus(self, tiny_beer):
+        stats = corpus_statistics(tiny_beer.test)
+        assert stats.n_examples == 20
+        assert 0 < stats.mean_annotation_sparsity < 0.5
+        assert stats.mean_annotation_span_length >= 1.0
+
+
+class TestTokenFrequencies:
+    def test_ordering(self):
+        freqs = token_frequencies([example(["a", "a", "b"]), example(["a"])], top_k=2)
+        assert freqs[0] == ("a", 3)
+        assert freqs[1] == ("b", 1)
+
+    def test_top_k_limits(self, tiny_beer):
+        assert len(token_frequencies(tiny_beer.train, top_k=5)) == 5
+
+
+class TestPositionHistogram:
+    def test_counts_positions(self):
+        hist = annotation_position_histogram(
+            [example(["a", "b", "c", "d"], rationale=[1, 0, 0, 1])], bins=4
+        )
+        assert hist[0] == 1
+        assert hist[3] == 1
+        assert hist.sum() == 2
+
+    def test_empty_annotations(self):
+        hist = annotation_position_histogram([example(["a", "b"])], bins=4)
+        assert hist.sum() == 0
+
+
+class TestSpanLengths:
+    def test_multiple_spans(self):
+        assert _span_lengths(np.array([1, 1, 0, 1, 0, 1, 1, 1])) == [2, 1, 3]
+
+    def test_trailing_span(self):
+        assert _span_lengths(np.array([0, 1, 1])) == [2]
+
+    def test_no_spans(self):
+        assert _span_lengths(np.zeros(4)) == []

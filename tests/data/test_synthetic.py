@@ -1,0 +1,186 @@
+"""The synthetic review generator: annotation correctness and invariants."""
+
+import numpy as np
+import pytest
+
+from repro.data import CorpusConfig, SyntheticReviewGenerator
+from repro.data.lexicon import BEER_LEXICONS, HOTEL_LEXICONS, SPURIOUS_TOKEN
+
+
+def make_generator(**overrides):
+    defaults = dict(target_aspect="Aroma", n_train=40, n_dev=10, n_test=10, seed=0)
+    defaults.update(overrides)
+    return SyntheticReviewGenerator(BEER_LEXICONS, CorpusConfig(**defaults))
+
+
+class TestConfigValidation:
+    def test_unknown_aspect_raises(self):
+        with pytest.raises(KeyError):
+            SyntheticReviewGenerator(BEER_LEXICONS, CorpusConfig(target_aspect="Bogus"))
+
+    def test_invalid_correlation_raises(self):
+        with pytest.raises(ValueError):
+            SyntheticReviewGenerator(
+                BEER_LEXICONS, CorpusConfig(target_aspect="Aroma", correlation=1.5)
+            )
+
+
+class TestExampleStructure:
+    def test_gold_rationale_covers_target_sentiment(self):
+        gen = make_generator()
+        lex = BEER_LEXICONS["Aroma"]
+        for label in (0, 1):
+            ex = gen.generate_example(label)
+            annotated = [t for t, r in zip(ex.tokens, ex.rationale) if r]
+            pool = set(lex.sentiment_words(label)) | set(lex.topic)
+            assert annotated, "annotation must be non-empty"
+            assert all(tok in pool for tok in annotated)
+
+    def test_wrong_polarity_words_never_annotated(self):
+        gen = make_generator()
+        lex = BEER_LEXICONS["Aroma"]
+        ex = gen.generate_example(1)
+        annotated = {t for t, r in zip(ex.tokens, ex.rationale) if r}
+        assert not annotated & set(lex.negative)
+
+    def test_label_stored(self):
+        gen = make_generator()
+        assert gen.generate_example(1).label == 1
+        assert gen.generate_example(0).label == 0
+
+    def test_every_aspect_mentioned(self):
+        gen = make_generator()
+        ex = gen.generate_example(0)
+        assert len(ex.sentence_spans) == len(BEER_LEXICONS)
+
+    def test_sentence_spans_tile_review(self):
+        gen = make_generator(spurious_rate=0.0)
+        ex = gen.generate_example(1)
+        spans = sorted(ex.sentence_spans)
+        assert spans[0][0] == 0
+        assert spans[-1][1] == len(ex.tokens)
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 == s2
+
+    def test_token_ids_match_tokens(self):
+        gen = make_generator()
+        ex = gen.generate_example(0)
+        assert gen.vocab.decode(ex.token_ids) == ex.tokens
+
+    def test_annotate_false_gives_empty_rationale(self):
+        gen = make_generator()
+        ex = gen.generate_example(1, annotate=False)
+        assert ex.rationale.sum() == 0
+
+    def test_aspect_polarities_recorded(self):
+        gen = make_generator()
+        ex = gen.generate_example(1)
+        assert ex.aspect_polarities["Aroma"] == 1
+        assert set(ex.aspect_polarities) == set(BEER_LEXICONS)
+
+
+class TestSpuriousToken:
+    def test_spurious_rate_one_always_inserts(self):
+        gen = make_generator(spurious_rate=1.0)
+        for label in (0, 1):
+            assert SPURIOUS_TOKEN in gen.generate_example(label).tokens
+
+    def test_spurious_rate_zero_never_inserts(self):
+        gen = make_generator(spurious_rate=0.0)
+        for _ in range(10):
+            assert SPURIOUS_TOKEN not in gen.generate_example(0).tokens
+
+    def test_spurious_token_label_independent(self):
+        """The degeneration vector must not be predictive in the raw data."""
+        gen = make_generator(spurious_rate=0.9, n_train=400)
+        train, _, _ = gen.generate_splits()
+        rate_pos = np.mean([SPURIOUS_TOKEN in e.tokens for e in train if e.label == 1])
+        rate_neg = np.mean([SPURIOUS_TOKEN in e.tokens for e in train if e.label == 0])
+        assert abs(rate_pos - rate_neg) < 0.12
+
+    def test_insertion_shifts_annotations_correctly(self):
+        gen = make_generator(spurious_rate=1.0)
+        lex = BEER_LEXICONS["Aroma"]
+        for label in (0, 1):
+            for _ in range(20):
+                ex = gen.generate_example(label)
+                annotated = [t for t, r in zip(ex.tokens, ex.rationale) if r]
+                pool = set(lex.sentiment_words(label)) | set(lex.topic)
+                assert all(tok in pool for tok in annotated)
+
+    def test_insertion_keeps_spans_consistent(self):
+        gen = make_generator(spurious_rate=1.0)
+        ex = gen.generate_example(0)
+        total = sum(e - s for s, e in ex.sentence_spans)
+        # One inserted token either extends a span or falls between spans.
+        assert total in (len(ex.tokens), len(ex.tokens) - 1)
+
+
+class TestSplits:
+    def test_balanced_labels(self):
+        gen = make_generator(n_train=40, n_dev=20, n_test=20)
+        train, dev, test = gen.generate_splits()
+        for split, expected in ((train, 40), (dev, 20), (test, 20)):
+            assert len(split) == expected
+            assert sum(e.label for e in split) == expected // 2
+
+    def test_only_test_is_annotated(self):
+        gen = make_generator()
+        train, dev, test = gen.generate_splits()
+        assert all(e.rationale.sum() == 0 for e in train)
+        assert all(e.rationale.sum() == 0 for e in dev)
+        assert all(e.rationale.sum() > 0 for e in test)
+
+    def test_deterministic_given_seed(self):
+        a = make_generator(seed=11).generate_splits()
+        b = make_generator(seed=11).generate_splits()
+        for split_a, split_b in zip(a, b):
+            assert [e.tokens for e in split_a] == [e.tokens for e in split_b]
+
+    def test_different_seeds_differ(self):
+        a = make_generator(seed=1).generate_splits()[0]
+        b = make_generator(seed=2).generate_splits()[0]
+        assert [e.tokens for e in a] != [e.tokens for e in b]
+
+
+class TestCorrelation:
+    def test_correlated_aspects_follow_target(self):
+        gen = make_generator(correlation=1.0, n_train=100)
+        train, _, _ = gen.generate_splits()
+        for ex in train:
+            assert all(p == ex.label for p in ex.aspect_polarities.values())
+
+    def test_anticorrelated(self):
+        gen = make_generator(correlation=0.0, n_train=50)
+        for ex in gen.generate_splits()[0]:
+            for name, pol in ex.aspect_polarities.items():
+                if name != "Aroma":
+                    assert pol == 1 - ex.label
+
+    def test_independent_near_half(self):
+        gen = make_generator(correlation=0.5, n_train=600)
+        train, _, _ = gen.generate_splits()
+        agreement = np.mean(
+            [ex.aspect_polarities["Palate"] == ex.label for ex in train]
+        )
+        assert 0.42 < agreement < 0.58
+
+
+class TestFirstAspectBias:
+    def test_high_bias_puts_first_aspect_first(self):
+        gen = make_generator(first_aspect_bias=1.0, n_train=60)
+        first_lex = BEER_LEXICONS["Appearance"]
+        train, _, _ = gen.generate_splits()
+        for ex in train:
+            start, end = sorted(ex.sentence_spans)[0]
+            sentence = set(ex.tokens[start:end])
+            assert sentence & set(first_lex.all_words())
+
+    def test_hotel_lexicons_work_too(self):
+        gen = SyntheticReviewGenerator(
+            HOTEL_LEXICONS, CorpusConfig(target_aspect="Service", n_train=10, seed=0)
+        )
+        ex = gen.generate_example(1)
+        annotated = [t for t, r in zip(ex.tokens, ex.rationale) if r]
+        pool = set(HOTEL_LEXICONS["Service"].positive) | set(HOTEL_LEXICONS["Service"].topic)
+        assert all(t in pool for t in annotated)

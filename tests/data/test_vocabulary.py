@@ -1,0 +1,46 @@
+"""Vocabulary mapping."""
+
+import numpy as np
+import pytest
+
+from repro.data import PAD_TOKEN, UNK_TOKEN, Vocabulary
+
+
+class TestVocabulary:
+    def test_reserved_ids(self):
+        vocab = Vocabulary()
+        assert vocab[PAD_TOKEN] == 0
+        assert vocab[UNK_TOKEN] == 1
+        assert vocab.pad_id == 0
+        assert vocab.unk_id == 1
+
+    def test_add_idempotent(self):
+        vocab = Vocabulary()
+        first = vocab.add("beer")
+        second = vocab.add("beer")
+        assert first == second
+        assert len(vocab) == 3
+
+    def test_construct_from_iterable(self):
+        vocab = Vocabulary(["a", "b", "a"])
+        assert len(vocab) == 4
+
+    def test_encode_decode_roundtrip(self):
+        vocab = Vocabulary(["hoppy", "stale"])
+        ids = vocab.encode(["hoppy", "stale", "hoppy"])
+        assert ids.dtype == np.int64
+        assert vocab.decode(ids) == ["hoppy", "stale", "hoppy"]
+
+    def test_unknown_tokens_map_to_unk(self):
+        vocab = Vocabulary(["known"])
+        ids = vocab.encode(["known", "mystery"])
+        assert ids[1] == vocab.unk_id
+
+    def test_contains(self):
+        vocab = Vocabulary(["x"])
+        assert "x" in vocab
+        assert "y" not in vocab
+
+    def test_tokens_property_ordered(self):
+        vocab = Vocabulary(["first", "second"])
+        assert vocab.tokens[:4] == [PAD_TOKEN, UNK_TOKEN, "first", "second"]

@@ -1,0 +1,65 @@
+"""The command-line interface for regenerating artifacts."""
+
+import pytest
+
+from repro.experiments.cli import ARTIFACTS, build_parser, main, resolve_profile
+
+
+class TestParser:
+    def test_list_flag(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out
+        assert "fig6" in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "table9" in capsys.readouterr().out
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--artifact", "table99"])
+
+    def test_all_artifacts_registered(self):
+        expected = {
+            "table1", "table2", "table3", "table4", "table5", "table6",
+            "table7", "table8", "table9", "fig3a", "fig3b", "fig6",
+            "ablation-frozen", "ablation-weight", "ablation-sampler",
+        }
+        assert set(ARTIFACTS) == expected
+
+
+class TestProfileResolution:
+    def test_default_fast(self):
+        args = build_parser().parse_args(["--artifact", "table9"])
+        profile = resolve_profile(args)
+        from repro.experiments import FAST_PROFILE
+
+        assert profile == FAST_PROFILE
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["--artifact", "table9", "--n-train", "99", "--epochs", "2", "--seed", "7"]
+        )
+        profile = resolve_profile(args)
+        assert profile.n_train == 99
+        assert profile.epochs == 2
+        assert profile.seed == 7
+
+    def test_full_profile(self):
+        args = build_parser().parse_args(["--artifact", "table9", "--profile", "full"])
+        assert resolve_profile(args).n_train >= 2000
+
+
+class TestExecution:
+    def test_table9_runs_quickly(self, capsys):
+        # table9 involves no training — safe to execute in a unit test.
+        assert main(["--artifact", "table9", "--n-train", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "Appearance" in out
+        assert "Cleanliness" in out
+
+    def test_table4_runs_quickly(self, capsys):
+        assert main(["--artifact", "table4", "--n-train", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "1gen+2pred" in out

@@ -1,0 +1,76 @@
+"""Result persistence (JSON / markdown / diffs)."""
+
+import pytest
+
+from repro.experiments.reporting import (
+    diff_rows,
+    load_rows_json,
+    rows_to_markdown,
+    save_markdown_report,
+    save_rows_json,
+)
+
+ROWS = [
+    {"method": "RNP", "F1": 59.6, "S": 10.1},
+    {"method": "DAR", "F1": 76.6, "S": 11.3},
+]
+
+
+class TestJsonRoundTrip:
+    def test_rows_and_metadata(self, tmp_path):
+        path = tmp_path / "table2.json"
+        save_rows_json(ROWS, path, metadata={"table": "II", "seed": 0})
+        rows, meta = load_rows_json(path)
+        assert rows == [dict(r) for r in ROWS]
+        assert meta["table"] == "II"
+
+    def test_default_metadata_empty(self, tmp_path):
+        path = tmp_path / "x.json"
+        save_rows_json(ROWS, path)
+        _, meta = load_rows_json(path)
+        assert meta == {}
+
+    def test_numpy_values_serialized(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "np.json"
+        save_rows_json([{"method": "RNP", "F1": np.float64(12.5)}], path)
+        rows, _ = load_rows_json(path)
+        assert rows[0]["F1"] == 12.5
+
+
+class TestMarkdown:
+    def test_table_structure(self):
+        md = rows_to_markdown(ROWS)
+        lines = md.splitlines()
+        assert lines[0].startswith("| method |")
+        assert lines[1].startswith("| --- |")
+        assert "| DAR | 76.6 |" in md
+
+    def test_empty(self):
+        assert rows_to_markdown([]) == "*(empty)*"
+
+    def test_missing_cell_dash(self):
+        md = rows_to_markdown([{"method": "A", "F1": 1.0}, {"method": "B"}])
+        assert "| B | - |" in md
+
+    def test_report_file(self, tmp_path):
+        path = tmp_path / "report.md"
+        save_markdown_report({"Table II": ROWS}, path, title="Run 1")
+        text = path.read_text()
+        assert text.startswith("# Run 1")
+        assert "## Table II" in text
+        assert "| DAR |" in text
+
+
+class TestDiff:
+    def test_deltas(self):
+        new = [{"method": "RNP", "F1": 62.0}, {"method": "DAR", "F1": 75.0}]
+        diffs = diff_rows(ROWS, new)
+        by_method = {d["method"]: d for d in diffs}
+        assert by_method["RNP"]["delta"] == pytest.approx(2.4)
+        assert by_method["DAR"]["delta"] == pytest.approx(-1.6)
+
+    def test_unmatched_keys_skipped(self):
+        diffs = diff_rows(ROWS, [{"method": "NEW", "F1": 1.0}])
+        assert diffs == []

@@ -1,0 +1,48 @@
+"""Table rendering and seeding utilities."""
+
+import numpy as np
+
+from repro.utils import render_table, seed_everything
+
+
+class TestRenderTable:
+    def test_empty(self):
+        out = render_table("T", [])
+        assert "empty" in out
+
+    def test_columns_union(self):
+        rows = [{"method": "A", "F1": 10.0}, {"method": "B", "F1": 20.0, "extra": 1}]
+        out = render_table("T", rows)
+        assert "extra" in out
+        assert "A" in out and "B" in out
+
+    def test_missing_values_dash(self):
+        rows = [{"method": "A"}, {"method": "B", "Acc": 5.0}]
+        out = render_table("T", rows)
+        assert "-" in out
+
+    def test_floats_one_decimal(self):
+        out = render_table("T", [{"method": "A", "F1": 12.3456}])
+        assert "12.3" in out
+        assert "12.3456" not in out
+
+    def test_title_present(self):
+        assert "== My Table ==" in render_table("My Table", [{"method": "x"}])
+
+
+class TestSeeding:
+    def test_returns_generator(self):
+        rng = seed_everything(5)
+        assert isinstance(rng, np.random.Generator)
+
+    def test_reproducible(self):
+        a = seed_everything(5).standard_normal(3)
+        b = seed_everything(5).standard_normal(3)
+        assert np.array_equal(a, b)
+
+    def test_seeds_global_numpy(self):
+        seed_everything(5)
+        a = np.random.rand(3)
+        seed_everything(5)
+        b = np.random.rand(3)
+        assert np.array_equal(a, b)

@@ -1,0 +1,49 @@
+"""RNP/DAR trained with the alternative mask samplers (short real runs)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DAR, RNP, TrainConfig, train_rationalizer
+from repro.core.generator import Generator
+from repro.data import build_beer_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_beer_dataset("Aroma", n_train=120, n_dev=40, n_test=40, seed=2)
+
+
+def swap_sampler(model, dataset, sampler):
+    model.generator = Generator(
+        len(dataset.vocab), 64, 12, pretrained=dataset.embeddings,
+        sampler=sampler, rng=np.random.default_rng(1),
+    )
+    return model
+
+
+@pytest.mark.parametrize("sampler", ["gumbel", "hardkuma", "topk"])
+def test_rnp_trains_with_each_sampler(dataset, sampler):
+    model = RNP(
+        vocab_size=len(dataset.vocab), embedding_dim=64, hidden_size=12,
+        alpha=dataset.gold_sparsity(), pretrained_embeddings=dataset.embeddings,
+        rng=np.random.default_rng(0),
+    )
+    swap_sampler(model, dataset, sampler)
+    config = TrainConfig(epochs=2, batch_size=40, lr=2e-3, seed=0, selection="test_f1")
+    result = train_rationalizer(model, dataset, config)
+    assert np.isfinite(result.history[-1]["loss"])
+    assert 0 <= result.rationale.f1 <= 100
+
+
+@pytest.mark.parametrize("sampler", ["hardkuma", "topk"])
+def test_dar_trains_with_alternative_samplers(dataset, sampler):
+    model = DAR(
+        vocab_size=len(dataset.vocab), embedding_dim=64, hidden_size=12,
+        alpha=dataset.gold_sparsity(), pretrained_embeddings=dataset.embeddings,
+        rng=np.random.default_rng(0),
+    )
+    swap_sampler(model, dataset, sampler)
+    config = TrainConfig(epochs=2, batch_size=40, lr=2e-3, seed=0, pretrain_epochs=2)
+    result = train_rationalizer(model, dataset, config)
+    assert 0 <= result.rationale.f1 <= 100
+    assert model.discriminator_pretrained

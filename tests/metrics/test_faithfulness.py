@@ -1,0 +1,61 @@
+"""Faithfulness metrics (sufficiency / comprehensiveness / AOPC)."""
+
+import numpy as np
+import pytest
+
+from repro.core import RNP
+from repro.metrics import FaithfulnessScore, aopc, faithfulness
+
+
+@pytest.fixture
+def model(tiny_beer):
+    return RNP(
+        vocab_size=len(tiny_beer.vocab), embedding_dim=64, hidden_size=12,
+        alpha=0.15, pretrained_embeddings=tiny_beer.embeddings,
+        rng=np.random.default_rng(0),
+    )
+
+
+class TestFaithfulness:
+    def test_scores_bounded(self, model, tiny_beer):
+        score = faithfulness(model, tiny_beer.test)
+        # Differences of probabilities live in [-1, 1].
+        assert -1.0 <= score.sufficiency <= 1.0
+        assert -1.0 <= score.comprehensiveness <= 1.0
+
+    def test_as_row(self, model, tiny_beer):
+        row = faithfulness(model, tiny_beer.test).as_row()
+        assert set(row) == {"sufficiency", "comprehensiveness"}
+
+    def test_full_selection_gives_zero_sufficiency(self, tiny_beer):
+        """If the 'rationale' is the whole input, p(y|Z) == p(y|X)."""
+
+        class SelectAll(RNP):
+            def select(self, batch):
+                return batch.mask.copy()
+
+        model = SelectAll(
+            vocab_size=len(tiny_beer.vocab), embedding_dim=64, hidden_size=8,
+            alpha=1.0, pretrained_embeddings=tiny_beer.embeddings,
+            rng=np.random.default_rng(0),
+        )
+        score = faithfulness(model, tiny_beer.test)
+        assert score.sufficiency == pytest.approx(0.0, abs=1e-9)
+
+    def test_dataclass_fields(self):
+        score = FaithfulnessScore(sufficiency=0.1, comprehensiveness=0.5)
+        assert score.as_row()["comprehensiveness"] == 0.5
+
+
+class TestAOPC:
+    def test_bins_and_range(self, model, tiny_beer):
+        curve = aopc(model, tiny_beer.test, bins=(0.1, 0.3))
+        assert set(curve) == {0.1, 0.3}
+        for value in curve.values():
+            assert -1.0 <= value <= 1.0
+
+    def test_more_removal_at_least_as_disruptive_on_average(self, model, tiny_beer):
+        """Removing half of the top-scored tokens disturbs the prediction
+        at least as much as removing 5%, up to small-model noise."""
+        curve = aopc(model, tiny_beer.test, bins=(0.05, 0.5))
+        assert curve[0.5] >= curve[0.05] - 0.25

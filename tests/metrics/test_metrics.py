@@ -1,0 +1,115 @@
+"""Rationale-overlap and classification metrics (hand-computed cases)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    accuracy,
+    aggregate_rationale_scores,
+    confusion_counts,
+    precision_recall_f1,
+    rationale_overlap,
+)
+
+
+class TestRationaleOverlap:
+    def test_perfect_overlap(self):
+        sel = np.array([[1, 0, 1, 0]])
+        gold = np.array([[1, 0, 1, 0]])
+        mask = np.ones((1, 4))
+        tp, n_sel, n_gold = rationale_overlap(sel, gold, mask)
+        assert (tp, n_sel, n_gold) == (2.0, 2.0, 2.0)
+
+    def test_disjoint(self):
+        sel = np.array([[1, 0, 0, 0]])
+        gold = np.array([[0, 0, 0, 1]])
+        mask = np.ones((1, 4))
+        tp, _, _ = rationale_overlap(sel, gold, mask)
+        assert tp == 0.0
+
+    def test_padding_excluded(self):
+        sel = np.array([[1, 0, 1, 1]])
+        gold = np.array([[1, 0, 0, 1]])
+        mask = np.array([[1, 1, 1, 0]])  # last position is padding
+        tp, n_sel, n_gold = rationale_overlap(sel, gold, mask)
+        assert (tp, n_sel, n_gold) == (1.0, 2.0, 1.0)
+
+    def test_soft_selections_thresholded(self):
+        sel = np.array([[0.9, 0.2, 0.6]])
+        gold = np.array([[1, 0, 1]])
+        mask = np.ones((1, 3))
+        tp, n_sel, n_gold = rationale_overlap(sel, gold, mask)
+        assert (tp, n_sel, n_gold) == (2.0, 2.0, 2.0)
+
+
+class TestAggregateScores:
+    def test_hand_computed_micro_average(self):
+        sel = [np.array([[1, 1, 0, 0]]), np.array([[0, 1, 0, 0]])]
+        gold = [np.array([[1, 0, 1, 0]]), np.array([[0, 1, 0, 0]])]
+        masks = [np.ones((1, 4)), np.ones((1, 4))]
+        score = aggregate_rationale_scores(sel, gold, masks)
+        # TP = 1 + 1 = 2, selected = 3, gold = 3.
+        assert score.precision == pytest.approx(100 * 2 / 3)
+        assert score.recall == pytest.approx(100 * 2 / 3)
+        assert score.f1 == pytest.approx(100 * 2 / 3)
+        assert score.sparsity == pytest.approx(100 * 3 / 8)
+
+    def test_nothing_selected(self):
+        score = aggregate_rationale_scores(
+            [np.zeros((1, 4))], [np.array([[1, 0, 0, 0]])], [np.ones((1, 4))]
+        )
+        assert score.precision == 0.0
+        assert score.recall == 0.0
+        assert score.f1 == 0.0
+        assert score.sparsity == 0.0
+
+    def test_as_row_rounds(self):
+        score = aggregate_rationale_scores(
+            [np.array([[1, 1, 1]])], [np.array([[1, 1, 0]])], [np.ones((1, 3))]
+        )
+        row = score.as_row()
+        assert set(row) == {"S", "P", "R", "F1"}
+        assert row["S"] == 100.0
+        assert row["P"] == pytest.approx(66.7)
+
+
+class TestClassification:
+    def test_accuracy(self):
+        assert accuracy([1, 0, 1], [1, 1, 1]) == pytest.approx(100 * 2 / 3)
+
+    def test_accuracy_empty_nan(self):
+        assert np.isnan(accuracy([], []))
+
+    def test_confusion_counts(self):
+        preds = [1, 1, 0, 0, 1]
+        labels = [1, 0, 0, 1, 1]
+        assert confusion_counts(preds, labels) == (2, 1, 1, 1)
+
+    def test_prf_hand_computed(self):
+        score = precision_recall_f1([1, 1, 0, 0], [1, 0, 1, 0])
+        assert score.precision == pytest.approx(50.0)
+        assert score.recall == pytest.approx(50.0)
+        assert score.f1 == pytest.approx(50.0)
+        assert score.accuracy == pytest.approx(50.0)
+
+    def test_all_negative_predictions_give_nan_precision(self):
+        """The Table I 'nan' convention: predictor never predicts positive."""
+        score = precision_recall_f1([0, 0, 0, 0], [1, 0, 1, 0])
+        assert np.isnan(score.precision)
+        assert score.recall == 0.0
+        assert np.isnan(score.f1)
+        row = score.as_row()
+        assert row["P"] == "nan"
+        assert row["F1"] == "nan"
+
+    def test_perfect_prediction(self):
+        score = precision_recall_f1([1, 0, 1], [1, 0, 1])
+        assert score.precision == 100.0
+        assert score.recall == 100.0
+        assert score.f1 == 100.0
+
+    def test_zero_precision_and_recall_gives_nan_f1(self):
+        score = precision_recall_f1([1, 1], [0, 0])
+        assert score.precision == 0.0
+        assert np.isnan(score.recall)  # no positive labels at all
+        assert np.isnan(score.f1)

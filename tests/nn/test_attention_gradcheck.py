@@ -1,0 +1,39 @@
+"""Finite-difference verification of the attention stack's gradients."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+from repro.nn import MultiHeadSelfAttention, TransformerEncoderLayer
+
+
+class TestAttentionGradients:
+    def test_self_attention_input_gradient(self, rng):
+        attn = MultiHeadSelfAttention(4, 2, rng=rng)
+        x = Tensor(rng.standard_normal((1, 3, 4)), requires_grad=True)
+        assert gradcheck(lambda x: (attn(x) ** 2).sum(), [x], atol=1e-4)
+
+    def test_self_attention_masked_input_gradient(self, rng):
+        attn = MultiHeadSelfAttention(4, 2, rng=rng)
+        mask = np.array([[1.0, 1.0, 0.0]])
+        x = Tensor(rng.standard_normal((1, 3, 4)), requires_grad=True)
+        assert gradcheck(lambda x: (attn(x, mask=mask) ** 2).sum(), [x], atol=1e-4)
+
+    def test_projection_weight_gradients(self, rng):
+        attn = MultiHeadSelfAttention(4, 2, rng=rng)
+        x = Tensor(rng.standard_normal((1, 3, 4)))
+        x.requires_grad = False
+        q_weight = attn.q_proj.weight
+
+        def fn(w):
+            # gradcheck perturbs w in place; the closure reads it through
+            # the module, so re-running the forward picks up the change.
+            return (attn(Tensor(x.data)) ** 2).sum()
+
+        assert gradcheck(fn, [q_weight], atol=1e-4)
+
+    def test_encoder_layer_gradient(self, rng):
+        layer = TransformerEncoderLayer(4, 2, 8, dropout=0.0, rng=rng)
+        layer.eval()
+        x = Tensor(rng.standard_normal((1, 2, 4)), requires_grad=True)
+        assert gradcheck(lambda x: (layer(x) ** 2).sum(), [x], atol=1e-4)

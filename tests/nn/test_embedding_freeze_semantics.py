@@ -1,0 +1,53 @@
+"""Frozen vs trainable embedding semantics across the model stack."""
+
+import numpy as np
+import pytest
+
+from repro.core import RNP
+from repro.data import pad_batch
+from repro.nn import Embedding
+
+
+class TestFreezeSemantics:
+    def test_frozen_path_returns_plain_tensor(self, rng):
+        emb = Embedding(10, 4, freeze=True, rng=rng)
+        out = emb(np.array([[1, 2]]))
+        assert not out.requires_grad
+
+    def test_frozen_weight_not_in_trainable_params(self, rng):
+        emb = Embedding(10, 4, freeze=True, rng=rng)
+        assert all(not p.requires_grad for p in emb.parameters())
+
+    def test_default_models_freeze_embeddings(self, tiny_beer):
+        """The paper keeps GloVe fixed; our models do the same by default,
+        so embedding rows never drift between the players."""
+        model = RNP(
+            vocab_size=len(tiny_beer.vocab), embedding_dim=64, hidden_size=8,
+            alpha=0.15, pretrained_embeddings=tiny_beer.embeddings,
+            rng=np.random.default_rng(0),
+        )
+        assert np.array_equal(
+            model.generator.embedding.weight.data,
+            model.predictor.embedding.weight.data,
+        )
+        trainable_names = [n for n, p in model.named_parameters() if p.requires_grad]
+        assert not any("embedding" in n for n in trainable_names)
+
+    def test_trainable_variant_updates(self, tiny_beer, rng):
+        from repro.autograd import functional as F
+        from repro.core import Generator
+        from repro.optim import Adam
+
+        gen = Generator(
+            len(tiny_beer.vocab), 64, 8, pretrained=tiny_beer.embeddings,
+            freeze_embeddings=False, rng=np.random.default_rng(0),
+        )
+        batch = pad_batch(tiny_beer.train[:8])
+        params = [p for p in gen.parameters() if p.requires_grad]
+        assert any(p is gen.embedding.weight for p in params)
+        before = gen.embedding.weight.data.copy()
+        opt = Adam(params, lr=1e-2)
+        mask = gen(batch.token_ids, batch.mask, rng=rng)
+        mask.sum().backward()
+        opt.step()
+        assert not np.array_equal(before, gen.embedding.weight.data)

@@ -1,0 +1,55 @@
+"""Initialization schemes."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestXavier:
+    def test_uniform_bounds(self, rng):
+        w = init.xavier_uniform((100, 50), rng)
+        limit = np.sqrt(6.0 / 150)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_normal_std(self, rng):
+        w = init.xavier_normal((400, 400), rng)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 800), rel=0.1)
+
+    def test_gain_scales(self, rng):
+        base = np.abs(init.xavier_uniform((50, 50), np.random.default_rng(0))).max()
+        gained = np.abs(init.xavier_uniform((50, 50), np.random.default_rng(0), gain=2.0)).max()
+        assert gained == pytest.approx(2 * base)
+
+
+class TestOrthogonal:
+    def test_square_orthogonality(self, rng):
+        w = init.orthogonal((16, 16), rng)
+        assert np.allclose(w @ w.T, np.eye(16), atol=1e-10)
+
+    def test_tall_matrix_columns_orthonormal(self, rng):
+        w = init.orthogonal((20, 8), rng)
+        assert np.allclose(w.T @ w, np.eye(8), atol=1e-10)
+
+    def test_wide_matrix_rows_orthonormal(self, rng):
+        w = init.orthogonal((8, 20), rng)
+        assert np.allclose(w @ w.T, np.eye(8), atol=1e-10)
+
+    def test_gain(self, rng):
+        w = init.orthogonal((8, 8), rng, gain=3.0)
+        assert np.allclose(w @ w.T, 9.0 * np.eye(8), atol=1e-9)
+
+
+class TestNormal:
+    def test_std(self, rng):
+        w = init.normal((500, 100), rng, std=0.02)
+        assert w.std() == pytest.approx(0.02, rel=0.05)
+        assert w.mean() == pytest.approx(0.0, abs=0.001)
+
+
+class TestFans:
+    def test_1d_shape(self):
+        assert init._fans((7,)) == (7, 7)
+
+    def test_3d_shape(self):
+        assert init._fans((2, 3, 4)) == (6, 4)

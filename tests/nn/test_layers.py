@@ -1,0 +1,116 @@
+"""Linear, Embedding, LayerNorm, Dropout layers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import Dropout, Embedding, LayerNorm, Linear
+
+
+class TestLinear:
+    def test_shapes(self, rng):
+        layer = Linear(5, 3, rng=rng)
+        assert layer(Tensor(np.ones((7, 5)))).shape == (7, 3)
+        assert layer(Tensor(np.ones((2, 4, 5)))).shape == (2, 4, 3)
+
+    def test_no_bias(self, rng):
+        layer = Linear(5, 3, bias=False, rng=rng)
+        assert layer.bias is None
+        assert layer.num_parameters() == 15
+
+    def test_affine_values(self, rng):
+        layer = Linear(2, 2, rng=rng)
+        layer.weight.data = np.array([[1.0, 0.0], [0.0, 2.0]])
+        layer.bias.data = np.array([1.0, -1.0])
+        out = layer(Tensor(np.array([[3.0, 4.0]])))
+        assert np.allclose(out.data, [[4.0, 7.0]])
+
+    def test_gradients_reach_weight_and_bias(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        layer(Tensor(np.ones((4, 3)))).sum().backward()
+        assert layer.weight.grad is not None
+        assert np.allclose(layer.bias.grad, [4.0, 4.0])
+
+    def test_repr(self, rng):
+        assert "Linear" in repr(Linear(2, 3, rng=rng))
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, rng):
+        emb = Embedding(10, 4, rng=rng)
+        out = emb(np.array([[1, 2], [3, 4]]))
+        assert out.shape == (2, 2, 4)
+
+    def test_padding_row_zero(self, rng):
+        emb = Embedding(10, 4, rng=rng)
+        assert np.all(emb.weight.data[0] == 0.0)
+
+    def test_pretrained_table_used(self, rng):
+        table = rng.standard_normal((6, 3))
+        emb = Embedding(6, 3, pretrained=table, padding_idx=None)
+        out = emb(np.array([2]))
+        assert np.allclose(out.data[0], table[2])
+
+    def test_pretrained_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            Embedding(6, 3, pretrained=rng.standard_normal((5, 3)))
+
+    def test_frozen_embedding_no_grad(self, rng):
+        emb = Embedding(10, 4, freeze=True, rng=rng)
+        out = emb(np.array([1, 2]))
+        assert not out.requires_grad
+
+    def test_trainable_embedding_accumulates_grad(self, rng):
+        emb = Embedding(10, 4, freeze=False, rng=rng)
+        emb(np.array([1, 1, 2])).sum().backward()
+        assert emb.weight.grad is not None
+        # Token 1 used twice, its row's gradient is doubled.
+        assert np.allclose(emb.weight.grad[1], 2.0)
+        assert np.allclose(emb.weight.grad[2], 1.0)
+        assert np.allclose(emb.weight.grad[3], 0.0)
+
+    def test_repr(self, rng):
+        assert "Embedding" in repr(Embedding(5, 2, rng=rng))
+
+
+class TestLayerNorm:
+    def test_normalizes_last_dim(self, rng):
+        ln = LayerNorm(8)
+        x = Tensor(rng.standard_normal((4, 8)) * 10 + 3)
+        out = ln(x).data
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-7)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_scale_shift_applied(self, rng):
+        ln = LayerNorm(4)
+        ln.weight.data[:] = 2.0
+        ln.bias.data[:] = 1.0
+        out = ln(Tensor(rng.standard_normal((3, 4)))).data
+        assert np.allclose(out.mean(axis=-1), 1.0, atol=1e-6)
+
+    def test_gradients_flow(self, rng):
+        ln = LayerNorm(4)
+        x = Tensor(rng.standard_normal((2, 4)), requires_grad=True)
+        ln(x).sum().backward()
+        assert x.grad is not None
+        assert ln.weight.grad is not None
+
+
+class TestDropout:
+    def test_eval_identity(self, rng):
+        drop = Dropout(0.5, rng=rng)
+        drop.eval()
+        x = Tensor(np.ones((5, 5)))
+        assert np.array_equal(drop(x).data, x.data)
+
+    def test_train_mode_drops(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        out = drop(Tensor(np.ones(10_000)))
+        zero_rate = (out.data == 0).mean()
+        assert 0.45 < zero_rate < 0.55
+
+    def test_invalid_p_raises(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)

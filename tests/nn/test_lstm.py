@@ -1,0 +1,90 @@
+"""LSTM layer (alternative encoder)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+from repro.nn import LSTM, LSTMCell
+
+
+class TestLSTMCell:
+    def test_step_shapes(self, rng):
+        cell = LSTMCell(4, 6, rng=rng)
+        h = Tensor(np.zeros((3, 6)))
+        c = Tensor(np.zeros((3, 6)))
+        h2, c2 = cell(Tensor(rng.standard_normal((3, 4))), (h, c))
+        assert h2.shape == (3, 6)
+        assert c2.shape == (3, 6)
+
+    def test_forget_bias_initialized_to_one(self, rng):
+        cell = LSTMCell(4, 6, rng=rng)
+        assert np.all(cell.bias.data[6:12] == 1.0)
+        assert np.all(cell.bias.data[:6] == 0.0)
+
+    def test_hidden_bounded(self, rng):
+        cell = LSTMCell(3, 5, rng=rng)
+        h, c = Tensor(np.zeros((2, 5))), Tensor(np.zeros((2, 5)))
+        for _ in range(30):
+            h, c = cell(Tensor(rng.standard_normal((2, 3))), (h, c))
+        assert np.all(np.abs(h.data) <= 1.0 + 1e-9)
+
+    def test_gradcheck_single_step(self, rng):
+        cell = LSTMCell(3, 4, rng=rng)
+        x = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+
+        def fn(x):
+            h, c = cell(x, (Tensor(np.zeros((2, 4))), Tensor(np.zeros((2, 4)))))
+            return (h ** 2).sum() + (c ** 2).sum()
+
+        assert gradcheck(fn, [x], atol=1e-4)
+
+
+class TestLSTM:
+    def test_bidirectional_shape_and_output_size(self, rng):
+        lstm = LSTM(4, 8, bidirectional=True, rng=rng)
+        out = lstm(Tensor(rng.standard_normal((2, 5, 4))))
+        assert out.shape == (2, 5, 16)
+        assert lstm.output_size == 16
+
+    def test_unidirectional(self, rng):
+        lstm = LSTM(4, 8, bidirectional=False, rng=rng)
+        out = lstm(Tensor(rng.standard_normal((2, 5, 4))))
+        assert out.shape == (2, 5, 8)
+
+    def test_padding_inert(self, rng):
+        lstm = LSTM(4, 6, bidirectional=True, rng=rng)
+        x = rng.standard_normal((1, 6, 4))
+        mask = np.array([[1.0, 1.0, 1.0, 0.0, 0.0, 0.0]])
+        out_a = lstm(Tensor(x), mask=mask)
+        x_mod = x.copy()
+        x_mod[0, 3:] = 42.0
+        out_b = lstm(Tensor(x_mod), mask=mask)
+        assert np.allclose(out_a.data[0, :3], out_b.data[0, :3])
+
+    def test_gradients_reach_all_params(self, rng):
+        lstm = LSTM(3, 4, bidirectional=True, rng=rng)
+        x = Tensor(rng.standard_normal((2, 4, 3)), requires_grad=True)
+        lstm(x).sum().backward()
+        for name, p in lstm.named_parameters():
+            assert p.grad is not None, name
+
+    def test_encoder_factory_integration(self, rng):
+        from repro.core.encoders import make_encoder
+
+        enc = make_encoder("lstm", input_size=8, hidden_size=4, rng=rng)
+        assert isinstance(enc, LSTM)
+        out = enc(Tensor(rng.standard_normal((2, 3, 8))), mask=np.ones((2, 3)))
+        assert out.shape == (2, 3, 8)
+
+    def test_rnp_with_lstm_encoder(self, tiny_beer, rng):
+        from repro.core import RNP
+        from repro.data import pad_batch
+
+        model = RNP(
+            vocab_size=len(tiny_beer.vocab), embedding_dim=64, hidden_size=8,
+            alpha=0.15, pretrained_embeddings=tiny_beer.embeddings,
+            encoder="lstm", rng=np.random.default_rng(0),
+        )
+        loss, _ = model.training_loss(pad_batch(tiny_beer.train[:6]), rng=rng)
+        loss.backward()
+        assert np.isfinite(loss.item())

@@ -1,0 +1,125 @@
+"""Module/Parameter container mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import Linear, Module, ModuleList, Parameter, Sequential
+
+
+class Toy(Module):
+    def __init__(self):
+        super().__init__()
+        self.w = Parameter(np.ones((2, 2)))
+        self.child = Linear(2, 3, rng=np.random.default_rng(0))
+
+    def forward(self, x):
+        return self.child(x @ self.w)
+
+
+class TestParameterDiscovery:
+    def test_parameters_recursive(self):
+        toy = Toy()
+        names = [n for n, _ in toy.named_parameters()]
+        assert "w" in names
+        assert "child.weight" in names
+        assert "child.bias" in names
+
+    def test_num_parameters(self):
+        toy = Toy()
+        assert toy.num_parameters() == 4 + 2 * 3 + 3
+
+    def test_parameters_no_duplicates(self):
+        toy = Toy()
+        shared = toy.child
+        toy.alias = shared  # same module registered twice
+        params = list(toy.parameters())
+        assert len(params) == len({id(p) for p in params})
+
+    def test_modules_iterates_tree(self):
+        toy = Toy()
+        assert sum(1 for _ in toy.modules()) == 2
+
+
+class TestTrainEval:
+    def test_train_eval_propagates(self):
+        toy = Toy()
+        toy.eval()
+        assert not toy.training
+        assert not toy.child.training
+        toy.train()
+        assert toy.child.training
+
+    def test_zero_grad_clears_all(self):
+        toy = Toy()
+        out = toy(Tensor(np.ones((1, 2)))).sum()
+        out.backward()
+        assert any(p.grad is not None for p in toy.parameters())
+        toy.zero_grad()
+        assert all(p.grad is None for p in toy.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a, b = Toy(), Toy()
+        b.w.data[:] = 7.0
+        a.load_state_dict(b.state_dict())
+        assert np.all(a.w.data == 7.0)
+
+    def test_state_dict_is_a_copy(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["w"][:] = 99.0
+        assert not np.any(toy.w.data == 99.0)
+
+    def test_mismatched_keys_raise(self):
+        toy = Toy()
+        state = toy.state_dict()
+        del state["w"]
+        with pytest.raises(KeyError):
+            toy.load_state_dict(state)
+
+    def test_mismatched_shape_raises(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["w"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            toy.load_state_dict(state)
+
+    def test_copy_from(self):
+        a, b = Toy(), Toy()
+        b.w.data[:] = 5.0
+        a.copy_from(b)
+        assert np.all(a.w.data == 5.0)
+
+
+class TestContainers:
+    def test_sequential_applies_in_order(self):
+        rng = np.random.default_rng(0)
+        seq = Sequential(Linear(4, 8, rng=rng), Linear(8, 2, rng=rng))
+        out = seq(Tensor(np.ones((3, 4))))
+        assert out.shape == (3, 2)
+        assert len(seq) == 2
+        assert len(list(iter(seq))) == 2
+
+    def test_sequential_registers_parameters(self):
+        rng = np.random.default_rng(0)
+        seq = Sequential(Linear(4, 8, rng=rng), Linear(8, 2, rng=rng))
+        assert seq.num_parameters() == (4 * 8 + 8) + (8 * 2 + 2)
+
+    def test_module_list(self):
+        rng = np.random.default_rng(0)
+        ml = ModuleList([Linear(2, 2, rng=rng) for _ in range(3)])
+        assert len(ml) == 3
+        assert ml[1] is list(ml)[1]
+        assert ml.num_parameters() == 3 * (4 + 2)
+
+    def test_module_list_append(self):
+        ml = ModuleList()
+        ml.append(Linear(2, 2, rng=np.random.default_rng(0)))
+        assert len(ml) == 1
+        assert ml.num_parameters() == 6
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)

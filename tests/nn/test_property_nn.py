@@ -1,0 +1,83 @@
+"""Hypothesis property tests for nn layers."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.autograd import Tensor
+from repro.nn import GRU, Embedding, LayerNorm, Linear
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    batch=st.integers(min_value=1, max_value=4),
+    length=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_gru_output_shape_invariant(batch, length, seed):
+    rng = np.random.default_rng(seed)
+    gru = GRU(6, 5, bidirectional=True, rng=rng)
+    out = gru(Tensor(rng.standard_normal((batch, length, 6))))
+    assert out.shape == (batch, length, 10)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    prefix=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_gru_padding_suffix_inert(prefix, seed):
+    """For any split point, content after the padding boundary is inert."""
+    rng = np.random.default_rng(seed)
+    gru = GRU(4, 3, bidirectional=True, rng=rng)
+    length = 7
+    x = rng.standard_normal((1, length, 4))
+    mask = np.zeros((1, length))
+    mask[0, :prefix] = 1.0
+    out_a = gru(Tensor(x), mask=mask).data
+    x_mod = x.copy()
+    x_mod[0, prefix:] = rng.standard_normal((length - prefix, 4)) * 10
+    out_b = gru(Tensor(x_mod), mask=mask).data
+    assert np.allclose(out_a[0, :prefix], out_b[0, :prefix])
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    scale=st.floats(min_value=0.5, max_value=100.0),
+)
+def test_layernorm_scale_invariant(seed, scale):
+    """LayerNorm output is (eps-approximately) invariant to a positive
+    rescale of its input."""
+    rng = np.random.default_rng(seed)
+    ln = LayerNorm(8)
+    x = rng.standard_normal((3, 8))
+    out_a = ln(Tensor(x)).data
+    out_b = ln(Tensor(x * scale)).data
+    assert np.allclose(out_a, out_b, atol=1e-3)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1000))
+def test_linear_is_affine(seed):
+    """f(ax + by) == a f(x) + b f(y) - (a+b-1) bias."""
+    rng = np.random.default_rng(seed)
+    layer = Linear(5, 3, rng=rng)
+    x, y = rng.standard_normal((2, 5)), rng.standard_normal((2, 5))
+    a, b = 2.0, -0.5
+    lhs = layer(Tensor(a * x + b * y)).data
+    rhs = a * layer(Tensor(x)).data + b * layer(Tensor(y)).data - (a + b - 1) * layer.bias.data
+    assert np.allclose(lhs, rhs, atol=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    ids=st.lists(st.integers(min_value=0, max_value=9), min_size=1, max_size=12),
+)
+def test_embedding_lookup_consistent(seed, ids):
+    rng = np.random.default_rng(seed)
+    emb = Embedding(10, 4, rng=rng)
+    ids_arr = np.array(ids)
+    out = emb(ids_arr).data
+    for i, token_id in enumerate(ids):
+        assert np.array_equal(out[i], emb.weight.data[token_id])

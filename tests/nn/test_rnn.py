@@ -1,0 +1,106 @@
+"""GRU correctness: shapes, masking semantics, directionality, gradients."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+from repro.nn import GRU, GRUCell
+
+
+class TestGRUCell:
+    def test_step_shape(self, rng):
+        cell = GRUCell(4, 6, rng=rng)
+        h = cell(Tensor(rng.standard_normal((3, 4))), Tensor(np.zeros((3, 6))))
+        assert h.shape == (3, 6)
+
+    def test_state_bounded_by_tanh_dynamics(self, rng):
+        cell = GRUCell(4, 6, rng=rng)
+        h = Tensor(np.zeros((2, 6)))
+        for _ in range(50):
+            h = cell(Tensor(rng.standard_normal((2, 4))), h)
+        assert np.all(np.abs(h.data) <= 1.0 + 1e-9)
+
+    def test_gradcheck_single_step(self, rng):
+        cell = GRUCell(3, 4, rng=rng)
+        x = Tensor(rng.standard_normal((2, 3)), requires_grad=True)
+        h0 = Tensor(rng.standard_normal((2, 4)), requires_grad=True)
+        assert gradcheck(lambda x, h: (cell(x, h) ** 2).sum(), [x, h0], atol=1e-4)
+
+    def test_parameter_count(self, rng):
+        cell = GRUCell(4, 6, rng=rng)
+        expected = 4 * 18 + 6 * 18 + 18 + 18
+        assert cell.num_parameters() == expected
+
+
+class TestGRU:
+    def test_unidirectional_shape(self, rng):
+        gru = GRU(4, 8, bidirectional=False, rng=rng)
+        out = gru(Tensor(rng.standard_normal((2, 5, 4))))
+        assert out.shape == (2, 5, 8)
+        assert gru.output_size == 8
+
+    def test_bidirectional_shape(self, rng):
+        gru = GRU(4, 8, bidirectional=True, rng=rng)
+        out = gru(Tensor(rng.standard_normal((2, 5, 4))))
+        assert out.shape == (2, 5, 16)
+        assert gru.output_size == 16
+
+    def test_padding_does_not_change_hidden_state(self, rng):
+        """A padded position must carry the previous hidden state through."""
+        gru = GRU(4, 8, bidirectional=False, rng=rng)
+        x = rng.standard_normal((1, 5, 4))
+        mask = np.array([[1.0, 1.0, 1.0, 0.0, 0.0]])
+        out = gru(Tensor(x), mask=mask)
+        assert np.allclose(out.data[0, 3], out.data[0, 2])
+        assert np.allclose(out.data[0, 4], out.data[0, 2])
+
+    def test_padding_content_irrelevant(self, rng):
+        """Changing the content of padded positions must not change outputs."""
+        gru = GRU(4, 8, bidirectional=True, rng=rng)
+        x = rng.standard_normal((1, 6, 4))
+        mask = np.array([[1.0, 1.0, 1.0, 1.0, 0.0, 0.0]])
+        out_a = gru(Tensor(x), mask=mask)
+        x_mod = x.copy()
+        x_mod[0, 4:] = 99.0
+        out_b = gru(Tensor(x_mod), mask=mask)
+        assert np.allclose(out_a.data[0, :4], out_b.data[0, :4])
+
+    def test_backward_direction_reads_future(self, rng):
+        """The backward cell's output at t=0 must depend on the last token."""
+        gru = GRU(3, 4, bidirectional=True, rng=rng)
+        x = rng.standard_normal((1, 5, 3))
+        out_a = gru(Tensor(x)).data[0, 0, 4:]  # backward half at t=0
+        x_mod = x.copy()
+        x_mod[0, -1] += 1.0
+        out_b = gru(Tensor(x_mod)).data[0, 0, 4:]
+        assert not np.allclose(out_a, out_b)
+
+    def test_forward_direction_ignores_future(self, rng):
+        gru = GRU(3, 4, bidirectional=True, rng=rng)
+        x = rng.standard_normal((1, 5, 3))
+        out_a = gru(Tensor(x)).data[0, 0, :4]  # forward half at t=0
+        x_mod = x.copy()
+        x_mod[0, -1] += 1.0
+        out_b = gru(Tensor(x_mod)).data[0, 0, :4]
+        assert np.allclose(out_a, out_b)
+
+    def test_gradients_reach_all_parameters(self, rng):
+        gru = GRU(3, 4, bidirectional=True, rng=rng)
+        x = Tensor(rng.standard_normal((2, 4, 3)), requires_grad=True)
+        gru(x).sum().backward()
+        assert x.grad is not None
+        for name, p in gru.named_parameters():
+            assert p.grad is not None, name
+
+    def test_gradcheck_small_sequence(self, rng):
+        gru = GRU(2, 3, bidirectional=True, rng=rng)
+        x = Tensor(rng.standard_normal((1, 3, 2)), requires_grad=True)
+        assert gradcheck(lambda x: (gru(x) ** 2).sum(), [x], atol=1e-4)
+
+    def test_batch_independence(self, rng):
+        """Each batch row is processed independently."""
+        gru = GRU(3, 4, bidirectional=True, rng=rng)
+        x = rng.standard_normal((2, 4, 3))
+        joint = gru(Tensor(x)).data
+        solo0 = gru(Tensor(x[:1])).data
+        assert np.allclose(joint[0], solo0[0])

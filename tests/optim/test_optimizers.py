@@ -1,0 +1,165 @@
+"""Optimizers: convergence, moment estimates, clipping, schedules."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam, LinearWarmup, StepLR, clip_grad_norm
+
+
+def quadratic_loss(p: Parameter) -> Tensor:
+    target = Tensor(np.array([3.0, -2.0]))
+    diff = p - target
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(2))
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        assert np.allclose(p.data, [3.0, -2.0], atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            p = Parameter(np.zeros(2))
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                quadratic_loss(p).backward()
+                opt.step()
+            return np.abs(p.data - np.array([3.0, -2.0])).sum()
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([10.0]))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()
+        opt.step()
+        assert p.data[0] < 10.0
+
+    def test_skips_parameters_without_grad(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1)
+        opt.step()  # no backward happened; must not crash
+        assert p.data[0] == 1.0
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(2))
+        opt = Adam([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        assert np.allclose(p.data, [3.0, -2.0], atol=1e-3)
+
+    def test_first_step_size_equals_lr(self):
+        # With bias correction, |Δp| of the first step is exactly lr.
+        p = Parameter(np.array([5.0]))
+        opt = Adam([p], lr=0.01)
+        opt.zero_grad()
+        (p * 3.0).sum().backward()
+        opt.step()
+        assert abs(5.0 - p.data[0]) == pytest.approx(0.01, rel=1e-5)
+
+    def test_invariant_to_gradient_scale(self):
+        # Adam normalizes by the second moment: scaling the loss should not
+        # change the first-step size.
+        def first_step(scale):
+            p = Parameter(np.array([5.0]))
+            opt = Adam([p], lr=0.01)
+            opt.zero_grad()
+            (p * scale).sum().backward()
+            opt.step()
+            return 5.0 - p.data[0]
+
+        assert first_step(1.0) == pytest.approx(first_step(100.0), rel=1e-6)
+
+    def test_weight_decay(self):
+        p = Parameter(np.array([10.0]))
+        opt = Adam([p], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()
+        opt.step()
+        assert p.data[0] < 10.0
+
+
+class TestOptimizerValidation:
+    def test_empty_params_raise(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+    def test_frozen_params_filtered(self):
+        p = Parameter(np.array([1.0]))
+        p.requires_grad = False
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.1)
+
+    def test_nonpositive_lr_raises(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+
+class TestClipGradNorm:
+    def test_clips_to_max_norm(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.full(4, 10.0)
+        returned = clip_grad_norm([p], max_norm=1.0)
+        assert returned == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_no_clip_when_under(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([0.3, 0.4])
+        clip_grad_norm([p], max_norm=1.0)
+        assert np.allclose(p.grad, [0.3, 0.4])
+
+    def test_global_norm_across_params(self):
+        a, b = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        a.grad, b.grad = np.array([3.0]), np.array([4.0])
+        total = clip_grad_norm([a, b], max_norm=2.5)
+        assert total == pytest.approx(5.0)
+        assert np.sqrt(a.grad[0] ** 2 + b.grad[0] ** 2) == pytest.approx(2.5)
+
+    def test_ignores_gradless_params(self):
+        a = Parameter(np.zeros(1))
+        assert clip_grad_norm([a], max_norm=1.0) == 0.0
+
+
+class TestSchedulers:
+    def test_step_lr_decays(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.5)
+        lrs = []
+        for _ in range(4):
+            sched.step()
+            lrs.append(opt.lr)
+        assert lrs == [1.0, 0.5, 0.5, 0.25]
+
+    def test_step_lr_validates(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        with pytest.raises(ValueError):
+            StepLR(opt, step_size=0)
+
+    def test_linear_warmup_ramps(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        sched = LinearWarmup(opt, warmup_steps=4)
+        assert opt.lr == pytest.approx(0.25)
+        lrs = []
+        for _ in range(5):
+            sched.step()
+            lrs.append(opt.lr)
+        assert lrs == pytest.approx([0.25, 0.5, 0.75, 1.0, 1.0])
+
+    def test_linear_warmup_validates(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        with pytest.raises(ValueError):
+            LinearWarmup(opt, warmup_steps=0)

@@ -1,0 +1,84 @@
+"""Hypothesis property tests for the optimizers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autograd import Tensor
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam, clip_grad_norm
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    lr=st.floats(min_value=1e-4, max_value=0.5),
+    target=st.floats(min_value=-5, max_value=5),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_adam_first_step_magnitude_bounded_by_lr(lr, target, seed):
+    """With bias correction, |Δp| of Adam's first step is at most lr
+    (exactly lr for a non-zero gradient, up to eps)."""
+    rng = np.random.default_rng(seed)
+    p = Parameter(rng.standard_normal(4))
+    opt = Adam([p], lr=lr)
+    before = p.data.copy()
+    ((p - Tensor(np.full(4, target))) ** 2).sum().backward()
+    opt.step()
+    step = np.abs(p.data - before)
+    assert np.all(step <= lr + 1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    max_norm=st.floats(min_value=0.1, max_value=10.0),
+)
+def test_clip_grad_norm_invariant(seed, max_norm):
+    rng = np.random.default_rng(seed)
+    params = [Parameter(np.zeros(3)) for _ in range(3)]
+    for p in params:
+        p.grad = rng.standard_normal(3) * 10
+    returned = clip_grad_norm(params, max_norm)
+    after = np.sqrt(sum(float((p.grad ** 2).sum()) for p in params))
+    assert after <= max_norm + 1e-9
+    assert returned >= after - 1e-9  # returned value is the pre-clip norm
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    lr=st.floats(min_value=1e-3, max_value=0.2),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_sgd_descends_convex_quadratic(lr, seed):
+    """On a well-conditioned quadratic with a stable step size, SGD's loss
+    never increases."""
+    rng = np.random.default_rng(seed)
+    p = Parameter(rng.standard_normal(3))
+    target = Tensor(rng.standard_normal(3))
+    opt = SGD([p], lr=lr)
+
+    def loss_value():
+        return float((((p - target) ** 2).sum()).data)
+
+    previous = loss_value()
+    for _ in range(20):
+        opt.zero_grad()
+        ((p - target) ** 2).sum().backward()
+        opt.step()
+        current = loss_value()
+        assert current <= previous + 1e-9
+        previous = current
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1000))
+def test_adam_state_per_parameter_independent(seed):
+    """Updating one parameter's gradient must not move another parameter."""
+    rng = np.random.default_rng(seed)
+    a = Parameter(rng.standard_normal(2))
+    b = Parameter(rng.standard_normal(2))
+    opt = Adam([a, b], lr=0.1)
+    before_b = b.data.copy()
+    (a.sum() * 2.0).backward()
+    opt.step()
+    assert np.array_equal(b.data, before_b)

@@ -1,0 +1,76 @@
+"""Documentation invariants: every public item carries a docstring.
+
+Deliverable (e) of the reproduction requires doc comments on every public
+item; this test makes the requirement executable.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.autograd",
+    "repro.nn",
+    "repro.optim",
+    "repro.data",
+    "repro.metrics",
+    "repro.core",
+    "repro.baselines",
+    "repro.analysis",
+    "repro.experiments",
+    "repro.utils",
+    "repro.serialization",
+]
+
+
+def iter_modules():
+    seen = set()
+    for name in PACKAGES:
+        module = importlib.import_module(name)
+        yield module
+        if hasattr(module, "__path__"):
+            for info in pkgutil.iter_modules(module.__path__, prefix=name + "."):
+                if info.name.endswith("__main__"):
+                    continue  # importing __main__ executes the CLI
+                if info.name not in seen:
+                    seen.add(info.name)
+                    yield importlib.import_module(info.name)
+
+
+ALL_MODULES = list(iter_modules())
+
+
+@pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), f"{module.__name__} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+def test_public_classes_and_functions_documented(module):
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-exported from elsewhere; checked at its home
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            undocumented.append(name)
+            continue
+        if inspect.isclass(obj):
+            for meth_name, meth in vars(obj).items():
+                if meth_name.startswith("_"):
+                    continue
+                if inspect.isfunction(meth) and not (meth.__doc__ and meth.__doc__.strip()):
+                    undocumented.append(f"{name}.{meth_name}")
+    assert not undocumented, f"{module.__name__}: missing docstrings on {undocumented}"
+
+
+def test_package_version():
+    assert repro.__version__

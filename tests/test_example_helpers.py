@@ -1,0 +1,53 @@
+"""Unit tests for pure helper functions defined inside example scripts."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load(name):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"exmod_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestSparkline:
+    def test_monotone_values_monotone_blocks(self):
+        mod = load("shift_trajectory.py")
+        line = mod.sparkline([40.0, 60.0, 80.0, 100.0])
+        assert len(line) == 4
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_clamps_out_of_range(self):
+        mod = load("shift_trajectory.py")
+        line = mod.sparkline([0.0, 200.0], lo=40.0, hi=100.0)
+        assert line == "▁█"
+
+    def test_empty(self):
+        mod = load("shift_trajectory.py")
+        assert mod.sparkline([]) == ""
+
+
+class TestCustomDatasetLexicons:
+    def test_restaurant_lexicons_well_formed(self):
+        mod = load("custom_dataset.py")
+        lexicons = mod.RESTAURANT_LEXICONS
+        assert set(lexicons) == {"Food", "Ambience", "Price"}
+        for lexicon in lexicons.values():
+            assert len(lexicon.positive) == 10
+            assert len(lexicon.negative) == 10
+            assert not set(lexicon.positive) & set(lexicon.negative)
+
+    def test_no_cross_aspect_word_collisions(self):
+        mod = load("custom_dataset.py")
+        seen: dict[str, str] = {}
+        for name, lexicon in mod.RESTAURANT_LEXICONS.items():
+            for word in lexicon.positive + lexicon.negative:
+                assert word not in seen, f"{word} in both {seen.get(word)} and {name}"
+                seen[word] = name

@@ -1,0 +1,47 @@
+"""Example scripts: importable, documented, and structured correctly.
+
+Full example runs take minutes (they train real models); these tests
+verify the cheap invariants — every example imports cleanly (so API drift
+breaks CI immediately), has a module docstring with run instructions, and
+exposes a main() guard.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_module(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_at_least_three_examples_exist():
+    assert len(EXAMPLE_FILES) >= 3
+    assert (EXAMPLES_DIR / "quickstart.py") in EXAMPLE_FILES
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+def test_example_imports_cleanly(path):
+    module = load_module(path)
+    assert hasattr(module, "main"), f"{path.name} must define main()"
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+def test_example_documented(path):
+    text = path.read_text()
+    assert text.lstrip().startswith('"""'), f"{path.name} needs a module docstring"
+    assert "Run:" in text, f"{path.name} docstring should say how to run it"
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+def test_example_has_main_guard(path):
+    assert 'if __name__ == "__main__":' in path.read_text()

@@ -1,0 +1,67 @@
+"""Model save/load round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.core import DAR, RNP
+from repro.data import pad_batch
+from repro.serialization import load_model, load_state, save_model
+
+
+def make_model(dataset, cls=RNP):
+    return cls(
+        vocab_size=len(dataset.vocab), embedding_dim=64, hidden_size=8,
+        alpha=0.15, pretrained_embeddings=dataset.embeddings,
+        rng=np.random.default_rng(0),
+    )
+
+
+class TestRoundTrip:
+    def test_parameters_restored_exactly(self, tiny_beer, tmp_path):
+        model = make_model(tiny_beer)
+        path = tmp_path / "model.npz"
+        save_model(model, path, config={"method": "RNP", "alpha": 0.15})
+
+        clone = make_model(tiny_beer)
+        clone.generator.head.weight.data[:] = 0.0  # perturb before loading
+        config = load_model(clone, path)
+        assert config == {"method": "RNP", "alpha": 0.15}
+        for (name_a, a), (_, b) in zip(model.named_parameters(), clone.named_parameters()):
+            assert np.array_equal(a.data, b.data), name_a
+
+    def test_predictions_identical_after_reload(self, tiny_beer, tmp_path):
+        model = make_model(tiny_beer, cls=DAR)
+        path = tmp_path / "dar.npz"
+        save_model(model, path)
+        clone = make_model(tiny_beer, cls=DAR)
+        load_model(clone, path)
+        batch = pad_batch(tiny_beer.test[:6])
+        assert np.array_equal(model.select(batch), clone.select(batch))
+        assert np.array_equal(model.predict_full_text(batch), clone.predict_full_text(batch))
+
+    def test_default_config_empty_dict(self, tiny_beer, tmp_path):
+        model = make_model(tiny_beer)
+        path = tmp_path / "m.npz"
+        save_model(model, path)
+        _, config = load_state(path)
+        assert config == {}
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_state(tmp_path / "nope.npz")
+
+    def test_extensionless_path_accepted(self, tiny_beer, tmp_path):
+        # np.savez appends .npz silently; load_state must cope.
+        model = make_model(tiny_beer)
+        path = tmp_path / "model"
+        save_model(model, path)
+        state, _ = load_state(path)
+        assert state
+
+    def test_loading_into_wrong_architecture_fails(self, tiny_beer, tmp_path):
+        model = make_model(tiny_beer)
+        path = tmp_path / "m.npz"
+        save_model(model, path)
+        wrong = make_model(tiny_beer, cls=DAR)  # has extra predictor_t params
+        with pytest.raises(KeyError):
+            load_model(wrong, path)
