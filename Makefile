@@ -1,0 +1,21 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench artifacts list
+
+# Tier-1 verification: the full unit/integration suite.
+test:
+	$(PYTHON) -m pytest -x -q tests
+
+# Backend perf smoke: seed configuration vs the float32+fused+bucketed
+# fast path; prints the comparison table and records BENCH_backend.json.
+bench:
+	$(PYTHON) -m repro.experiments bench
+
+# List available paper artifacts.
+list:
+	$(PYTHON) -m repro.experiments --list
+
+# Regenerate every paper artifact at the fast profile.
+artifacts:
+	$(PYTHON) -m pytest benchmarks -q -s

@@ -1,0 +1,47 @@
+"""Backend perf smoke test: the fast path must stay ≥ 2× the seed config.
+
+Times LSTM forward/backward training epochs under the four backend
+configurations of :mod:`repro.experiments.bench` (float64 composed naive →
+float32 fused bucketed) and records the comparison to ``BENCH_backend.json``
+at the repository root, so every future PR can see perf regressions.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.bench import BENCH_GRID, DEFAULT_BENCH_PATH, run_backend_bench
+from repro.utils import render_table
+
+_BENCH_OUT = str(Path(__file__).resolve().parent.parent / DEFAULT_BENCH_PATH)
+
+
+@pytest.fixture(scope="module")
+def bench_rows():
+    """Run the benchmark grid once (best-of-3 epochs per config)."""
+    return run_backend_bench(out_path=_BENCH_OUT)
+
+
+class TestPerfSmoke:
+    def test_grid_covers_all_configs(self, bench_rows):
+        assert [row["config"] for row in bench_rows] == [cfg.name for cfg in BENCH_GRID]
+        assert all(row["ms_per_epoch"] > 0 for row in bench_rows)
+
+    def test_artifact_recorded(self, bench_rows):
+        assert Path(_BENCH_OUT).exists()
+
+    def test_fast_path_at_least_2x(self, bench_rows):
+        """float32 + fused + bucketed vs the seed configuration (≥ 2×)."""
+        fast = bench_rows[-1]
+        assert fast["bucketing"] and fast["fused"] and fast["dtype"] == "float32"
+        print(render_table("Backend perf smoke", bench_rows, key_column="config"))
+        assert fast["speedup_vs_seed"] >= 2.0, (
+            f"fast path only {fast['speedup_vs_seed']}x vs seed configuration"
+        )
+
+    def test_fusion_alone_helps(self, bench_rows):
+        """Fused kernels at float64 must not be slower than the seed path."""
+        fused64 = bench_rows[1]
+        assert fused64["speedup_vs_seed"] >= 1.0

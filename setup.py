@@ -9,7 +9,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     description=(
         "DAR: Discriminatively Aligned Rationalization (ICDE 2024) — "
         "full reproduction on a pure-numpy deep-learning substrate"

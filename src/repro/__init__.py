@@ -3,6 +3,10 @@ Self-explaining Rationalization" (DAR, ICDE 2024).
 
 The package is organized bottom-up:
 
+- :mod:`repro.backend` — the pluggable array-backend layer: backend
+  registry (numpy default), the global dtype policy, and fused kernels
+  (LSTM step/sequence, softmax + cross-entropy, Gumbel/binary-concrete
+  sampling).
 - :mod:`repro.autograd`, :mod:`repro.nn`, :mod:`repro.optim` — a pure-numpy
   deep-learning substrate (reverse-mode AD, GRU/LSTM/transformer layers,
   Adam).
@@ -10,15 +14,52 @@ The package is organized bottom-up:
   review corpora with token-level gold rationales, plus parsers for the
   real datasets' formats.
 - :mod:`repro.core` — the rationalization framework: the RNP cooperative
-  game and the paper's contribution, DAR.
+  game and the paper's contribution, DAR; plus the graph-free
+  :class:`~repro.core.inference.InferenceSession` evaluation fast path.
 - :mod:`repro.baselines` — DMR, A2R, CAR, Inter_RAT, 3PLAYER, VIB,
   SPECTRA, CR.
 - :mod:`repro.metrics` — rationale-overlap F1, accuracy probes,
   faithfulness metrics.
 - :mod:`repro.analysis` — rationale-shift diagnostics and visualization.
 - :mod:`repro.experiments` — the harness regenerating every paper
-  table/figure.
+  table/figure, plus the backend perf benchmark
+  (``python -m repro.experiments bench``).
 - :mod:`repro.serialization` — model save/load.
+
+Performance knobs
+-----------------
+
+All array math funnels through :mod:`repro.backend`; three orthogonal
+switches trade reference numerics for speed.  The defaults replay the
+original float64 behaviour bit-for-bit on the default GRU-encoder path;
+the (opt-in) LSTM encoder always runs its fused sequence kernel, which is
+validated equal to the composed reference to float rounding
+(``LSTM(fused=False)`` restores the literal seed loop):
+
+- **dtype policy** — ``repro.backend.set_default_dtype("float32")`` (or the
+  ``default_dtype(...)`` context manager) stores parameters, activations
+  and gradients in float32, roughly halving memory traffic.  ``float64``
+  remains the default so finite-difference gradient checks stay meaningful.
+- **fused kernels** — ``repro.backend.set_fusion(True)`` dispatches
+  softmax, cross-entropy and the mask samplers to single-node fused
+  kernels; the LSTM always uses its fused sequence kernel (one graph node
+  per direction, explicit BPTT) with ``LSTM(fused=False)`` as the composed
+  reference.
+- **length bucketing** — ``batch_iterator(..., bucketing=True)`` groups
+  similar-length examples per batch, cutting the padded timesteps
+  recurrent encoders waste; evaluation gets this automatically through
+  :class:`repro.core.InferenceSession`.
+
+The switches are threaded through :class:`repro.core.trainer.TrainConfig`
+(``dtype=``, ``fused=``, ``bucketing=``), through
+:class:`repro.experiments.ExperimentProfile`, and through the CLI
+(``python -m repro.experiments --artifact table2 --dtype float32 --fused
+--bucketing``).  ``python -m repro.experiments bench`` (or ``make bench``)
+times the fast path against the seed configuration and records
+``BENCH_backend.json``; the fast path is required to stay ≥ 2× by
+``benchmarks/test_perf_smoke.py``.  New accelerated backends plug in by
+registering the kernel names listed in :mod:`repro.backend.kernels` via
+:func:`repro.backend.register_backend`.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

@@ -4,6 +4,13 @@ Everything here takes and returns :class:`~repro.autograd.tensor.Tensor`
 objects.  The Gumbel-softmax implementation (:func:`gumbel_softmax`) with a
 straight-through estimator is the reparameterization trick the paper (and
 RNP/DMR/A2R before it) uses to sample the binary rationale mask M in Eq. (1).
+
+The hot ops (:func:`softmax`, :func:`log_softmax`, :func:`cross_entropy`,
+:func:`gumbel_softmax`) are thin wrappers: when fused-kernel dispatch is on
+(:func:`repro.backend.set_fusion`) they route to the active backend's fused
+kernels via :mod:`repro.backend.ops`; otherwise they run the composed
+reference graph below, which defines the numerics the fused kernels are
+gradchecked against.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ from typing import Optional
 import numpy as np
 
 from repro.autograd.tensor import Tensor
+from repro.backend.core import fusion_enabled
 
 
 def relu(x: Tensor) -> Tensor:
@@ -38,6 +46,10 @@ def gelu(x: Tensor) -> Tensor:
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable softmax along ``axis``."""
+    if fusion_enabled():
+        from repro.backend.ops import fused_softmax
+
+        return fused_softmax(x, axis=axis)
     shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
     exp = shifted.exp()
     return exp / exp.sum(axis=axis, keepdims=True)
@@ -45,6 +57,10 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable log-softmax along ``axis``."""
+    if fusion_enabled():
+        from repro.backend.ops import fused_log_softmax
+
+        return fused_log_softmax(x, axis=axis)
     shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
     log_norm = shifted.exp().sum(axis=axis, keepdims=True).log()
     return shifted - log_norm
@@ -70,6 +86,10 @@ def nll_loss(log_probs: Tensor, targets: np.ndarray, reduction: str = "mean") ->
 
 def cross_entropy(logits: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
     """Softmax cross-entropy: the H_c(Y, Y_hat) of the paper's Eq. (2)."""
+    if fusion_enabled() and logits.ndim == 2:
+        from repro.backend.ops import fused_softmax_cross_entropy
+
+        return fused_softmax_cross_entropy(logits, targets, reduction=reduction)
     return nll_loss(log_softmax(logits, axis=-1), targets, reduction=reduction)
 
 
@@ -128,6 +148,10 @@ def gumbel_softmax(
     standard straight-through estimator the paper uses to binarize the
     rationale mask.
     """
+    if fusion_enabled():
+        from repro.backend.ops import fused_gumbel_softmax
+
+        return fused_gumbel_softmax(logits, temperature=temperature, hard=hard, axis=axis, rng=rng)
     rng = rng or np.random.default_rng()
     noise = Tensor(sample_gumbel(logits.shape, rng))
     soft = softmax((logits + noise) / temperature, axis=axis)

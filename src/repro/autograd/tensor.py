@@ -6,6 +6,13 @@ accumulates gradients into every tensor created with ``requires_grad=True``.
 
 Broadcasting follows numpy semantics; gradients of broadcast operands are
 reduced back to the operand's shape (see :func:`unbroadcast`).
+
+Float storage follows the backend dtype policy
+(:func:`repro.backend.set_default_dtype`): ``float64`` by default so the
+finite-difference gradient checks stay meaningful, ``float32`` for the
+training/benchmark fast path.  Integer numpy arrays (token ids, class
+targets) are *preserved* rather than silently upcast to float — see
+:meth:`Tensor.__init__`.
 """
 
 from __future__ import annotations
@@ -14,6 +21,8 @@ import contextlib
 from typing import Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
+
+from repro.backend.core import get_default_dtype
 
 Arrayish = Union["Tensor", np.ndarray, float, int, list, tuple]
 
@@ -52,10 +61,37 @@ def unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
     return grad.reshape(shape)
 
 
-def _as_array(value: Arrayish, dtype=np.float64) -> np.ndarray:
+def _as_array(value: Arrayish, dtype=None) -> np.ndarray:
     if isinstance(value, Tensor):
         return value.data
-    return np.asarray(value, dtype=dtype)
+    arr = np.asarray(value)
+    if dtype is None and arr.dtype.kind in "iu":
+        # Integer-preserving path: index-like operands (token ids, class
+        # targets) keep their integer dtype instead of upcasting to float.
+        return arr
+    return np.asarray(arr, dtype=dtype or get_default_dtype())
+
+
+def _float_dtype_of(array: np.ndarray) -> np.dtype:
+    """The dtype gradients for ``array`` are stored in."""
+    dtype = array.dtype
+    return dtype if dtype.kind == "f" else get_default_dtype()
+
+
+def _harmonize(a: "Tensor", b: "Tensor") -> tuple["Tensor", "Tensor"]:
+    """Cast an integer operand to its float partner's dtype.
+
+    NumPy's NEP-50 promotion turns ``float32 ⊗ int64`` into float64, which
+    would silently knock a float32 graph off the fast path whenever an
+    integer-preserving tensor (token ids, gold rationales) enters float
+    arithmetic.  Integer tensors never require grad, so the cast is safe.
+    """
+    a_kind, b_kind = a.data.dtype.kind, b.data.dtype.kind
+    if a_kind == "f" and b_kind in "iu":
+        b = b.astype(a.data.dtype)
+    elif b_kind == "f" and a_kind in "iu":
+        a = a.astype(b.data.dtype)
+    return a, b
 
 
 class Tensor:
@@ -64,19 +100,40 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like payload.  Floating data is stored as ``float64`` so the
-        finite-difference gradient checks in the test suite are meaningful.
+        Array-like payload.  Floating data is stored in the backend's
+        default dtype (``float64`` unless changed via
+        :func:`repro.backend.set_default_dtype`, so the finite-difference
+        gradient checks in the test suite stay meaningful).  A numpy array
+        with an *integer* dtype is preserved as-is when no gradient is
+        requested — the integer-preserving path for index inputs such as
+        token ids and class targets.  Python int scalars/lists still
+        promote to float, matching numpy's historical behaviour here.
     requires_grad:
         Whether gradients should be accumulated into :attr:`grad`.
+    dtype:
+        Explicit storage dtype, bypassing the policy.
     """
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "_op")
     __array_priority__ = 100  # make numpy defer to our __r*__ operators
 
-    def __init__(self, data: Arrayish, requires_grad: bool = False):
+    def __init__(self, data: Arrayish, requires_grad: bool = False, dtype=None):
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=np.float64)
+        arr = data if isinstance(data, np.ndarray) else np.asarray(data)
+        if dtype is not None:
+            target = np.dtype(dtype)
+            if arr.dtype != target:
+                arr = arr.astype(target)
+        elif arr.dtype.kind in "iu":
+            # Gradients need float storage, and ambient Python ints have
+            # always promoted; only an explicit integer ndarray without
+            # requires_grad keeps its dtype.
+            if requires_grad or not isinstance(data, np.ndarray):
+                arr = arr.astype(get_default_dtype())
+        elif arr.dtype != get_default_dtype():
+            arr = arr.astype(get_default_dtype())
+        self.data = arr
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self.grad: Optional[np.ndarray] = None
         self._backward: Optional[Callable[[np.ndarray], None]] = None
@@ -88,8 +145,19 @@ class Tensor:
     # ------------------------------------------------------------------
     @staticmethod
     def _make(data: np.ndarray, parents: Sequence["Tensor"], backward, op: str) -> "Tensor":
-        """Create a graph node whose gradient flows to ``parents``."""
-        out = Tensor(data)
+        """Create a graph node whose gradient flows to ``parents``.
+
+        Bypasses ``__init__``'s dtype policy: op outputs keep whatever
+        dtype the computation produced (so a float32 graph stays float32
+        even if the policy changes mid-flight).
+        """
+        out = Tensor.__new__(Tensor)
+        out.data = data if isinstance(data, np.ndarray) else np.asarray(data)
+        out.requires_grad = False
+        out.grad = None
+        out._backward = None
+        out._prev = ()
+        out._op = ""
         if _GRAD_ENABLED and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._prev = tuple(parents)
@@ -99,7 +167,7 @@ class Tensor:
 
     def _accumulate(self, grad: np.ndarray) -> None:
         if self.grad is None:
-            self.grad = np.array(grad, dtype=np.float64, copy=True)
+            self.grad = np.array(grad, dtype=_float_dtype_of(self.data), copy=True)
         else:
             self.grad += grad
 
@@ -113,9 +181,9 @@ class Tensor:
         if grad is None:
             if self.data.size != 1:
                 raise RuntimeError("grad must be provided for non-scalar backward()")
-            grad = np.ones_like(self.data)
+            grad = np.ones_like(self.data, dtype=_float_dtype_of(self.data))
         else:
-            grad = np.asarray(grad, dtype=np.float64)
+            grad = np.asarray(grad, dtype=_float_dtype_of(self.data))
 
         topo: list[Tensor] = []
         visited: set[int] = set()
@@ -148,7 +216,7 @@ class Tensor:
                 for parent, pgrad in zip(node._prev, parent_grads):
                     if pgrad is None or not parent.requires_grad:
                         continue
-                    pgrad = unbroadcast(np.asarray(pgrad, dtype=np.float64), parent.data.shape)
+                    pgrad = unbroadcast(np.asarray(pgrad, dtype=_float_dtype_of(parent.data)), parent.data.shape)
                     if parent._backward is None:
                         parent._accumulate(pgrad)
                     elif id(parent) in grads:
@@ -164,8 +232,17 @@ class Tensor:
 
     def detach(self) -> "Tensor":
         """Return a graph-detached view sharing the same data."""
-        out = Tensor(self.data)
+        out = Tensor(self.data, dtype=self.data.dtype)
         return out
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    def astype(self, dtype) -> "Tensor":
+        """Return a graph-detached copy cast to ``dtype``."""
+        target = np.dtype(dtype)
+        return Tensor(self.data.astype(target), dtype=target)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -206,7 +283,8 @@ class Tensor:
     # ------------------------------------------------------------------
     def __add__(self, other: Arrayish) -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
-        data = self.data + other.data
+        a, other = _harmonize(self, other)
+        data = a.data + other.data
 
         def backward(grad):
             return grad, grad
@@ -217,8 +295,9 @@ class Tensor:
 
     def __mul__(self, other: Arrayish) -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
-        data = self.data * other.data
-        a, b = self, other
+        a, other = _harmonize(self, other)
+        data = a.data * other.data
+        b = other
 
         def backward(grad):
             return grad * b.data, grad * a.data
@@ -229,7 +308,8 @@ class Tensor:
 
     def __sub__(self, other: Arrayish) -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
-        data = self.data - other.data
+        a, other = _harmonize(self, other)
+        data = a.data - other.data
 
         def backward(grad):
             return grad, -grad
@@ -241,8 +321,9 @@ class Tensor:
 
     def __truediv__(self, other: Arrayish) -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
-        data = self.data / other.data
-        a, b = self, other
+        a, other = _harmonize(self, other)
+        data = a.data / other.data
+        b = other
 
         def backward(grad):
             return grad / b.data, -grad * a.data / (b.data ** 2)
@@ -273,8 +354,9 @@ class Tensor:
 
     def __matmul__(self, other: Arrayish) -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
-        data = self.data @ other.data
-        a, b = self, other
+        a, other = _harmonize(self, other)
+        data = a.data @ other.data
+        b = other
 
         def backward(grad):
             a_data, b_data = a.data, b.data
@@ -346,10 +428,23 @@ class Tensor:
     def __getitem__(self, index) -> "Tensor":
         data = self.data[index]
         shape = self.data.shape
+        # Integer-array indices can select the same element twice, which
+        # needs np.add.at's unbuffered accumulation; basic indices (ints,
+        # slices, bool masks) cannot, so the much faster `+=` is exact.
+        # Any sequence (list OR inner tuple — numpy treats both as advanced
+        # indices) is conservatively routed through np.add.at.
+        parts = index if isinstance(index, tuple) else (index,)
+        may_duplicate = any(
+            isinstance(p, (list, tuple)) or (isinstance(p, np.ndarray) and p.dtype != np.bool_)
+            for p in parts
+        )
 
         def backward(grad):
-            full = np.zeros(shape, dtype=np.float64)
-            np.add.at(full, index, grad)
+            full = np.zeros(shape, dtype=np.asarray(grad).dtype)
+            if may_duplicate:
+                np.add.at(full, index, grad)
+            else:
+                full[index] += grad
             return (full,)
 
         return Tensor._make(data, (self,), backward, "getitem")
@@ -446,7 +541,7 @@ class Tensor:
         def backward(grad):
             g = np.asarray(grad)
             full_max = self.data.max(axis=axis, keepdims=True)
-            mask = (self.data == full_max).astype(np.float64)
+            mask = (self.data == full_max).astype(_float_dtype_of(self.data))
             mask /= mask.sum(axis=axis, keepdims=True)
             if axis is not None and not keepdims:
                 g = np.expand_dims(g, axis=axis if isinstance(axis, int) else tuple(axis))
@@ -515,7 +610,7 @@ class Tensor:
     def relu(self) -> "Tensor":
         """Elementwise rectified linear unit."""
         data = np.maximum(self.data, 0.0)
-        mask = (self.data > 0).astype(np.float64)
+        mask = (self.data > 0).astype(_float_dtype_of(self.data))
 
         def backward(grad):
             return (grad * mask,)
@@ -525,7 +620,7 @@ class Tensor:
     def clip(self, low: float, high: float) -> "Tensor":
         """Clamp values into [low, high]; gradient passes inside the band."""
         data = np.clip(self.data, low, high)
-        mask = ((self.data >= low) & (self.data <= high)).astype(np.float64)
+        mask = ((self.data >= low) & (self.data <= high)).astype(_float_dtype_of(self.data))
 
         def backward(grad):
             return (grad * mask,)
@@ -546,7 +641,7 @@ class Tensor:
         shape = self.data.shape
 
         def backward(grad):
-            full = np.zeros(shape, dtype=np.float64)
+            full = np.zeros(shape, dtype=np.asarray(grad).dtype)
             np.add.at(full, indices.reshape(-1), grad.reshape(-1, *shape[1:]))
             return (full,)
 
@@ -556,7 +651,7 @@ class Tensor:
         """Replace positions where ``mask`` is truthy with ``value``."""
         mask = np.asarray(mask, dtype=bool)
         data = np.where(mask, value, self.data)
-        keep = (~mask).astype(np.float64)
+        keep = (~mask).astype(_float_dtype_of(self.data))
 
         def backward(grad):
             return (grad * keep,)
@@ -568,7 +663,7 @@ class Tensor:
         condition = np.asarray(condition, dtype=bool)
         other = other if isinstance(other, Tensor) else Tensor(other)
         data = np.where(condition, self.data, other.data)
-        cond_f = condition.astype(np.float64)
+        cond_f = condition.astype(_float_dtype_of(self.data))
 
         def backward(grad):
             return grad * cond_f, grad * (1.0 - cond_f)
@@ -579,33 +674,33 @@ class Tensor:
 # ----------------------------------------------------------------------
 # Constructors
 # ----------------------------------------------------------------------
-def tensor(data: Arrayish, requires_grad: bool = False) -> Tensor:
+def tensor(data: Arrayish, requires_grad: bool = False, dtype=None) -> Tensor:
     """Construct a :class:`Tensor` (mirrors ``torch.tensor``)."""
-    return Tensor(data, requires_grad=requires_grad)
+    return Tensor(data, requires_grad=requires_grad, dtype=dtype)
 
 
-def zeros(*shape, requires_grad: bool = False) -> Tensor:
-    """All-zeros tensor of the given shape."""
+def zeros(*shape, requires_grad: bool = False, dtype=None) -> Tensor:
+    """All-zeros tensor of the given shape (policy dtype unless given)."""
     if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
         shape = tuple(shape[0])
-    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+    return Tensor(np.zeros(shape, dtype=dtype or get_default_dtype()), requires_grad=requires_grad)
 
 
-def ones(*shape, requires_grad: bool = False) -> Tensor:
-    """All-ones tensor of the given shape."""
+def ones(*shape, requires_grad: bool = False, dtype=None) -> Tensor:
+    """All-ones tensor of the given shape (policy dtype unless given)."""
     if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
         shape = tuple(shape[0])
-    return Tensor(np.ones(shape), requires_grad=requires_grad)
+    return Tensor(np.ones(shape, dtype=dtype or get_default_dtype()), requires_grad=requires_grad)
 
 
-def randn(*shape, rng: Optional[np.random.Generator] = None, requires_grad: bool = False) -> Tensor:
-    """Standard-normal tensor of the given shape."""
+def randn(*shape, rng: Optional[np.random.Generator] = None, requires_grad: bool = False, dtype=None) -> Tensor:
+    """Standard-normal tensor of the given shape (policy dtype unless given)."""
     if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
         shape = tuple(shape[0])
     rng = rng or np.random.default_rng()
-    return Tensor(rng.standard_normal(shape), requires_grad=requires_grad)
+    return Tensor(rng.standard_normal(shape), requires_grad=requires_grad, dtype=dtype)
 
 
-def arange(*args, requires_grad: bool = False) -> Tensor:
+def arange(*args, requires_grad: bool = False, dtype=None) -> Tensor:
     """Float range tensor (mirrors ``numpy.arange``)."""
-    return Tensor(np.arange(*args, dtype=np.float64), requires_grad=requires_grad)
+    return Tensor(np.arange(*args, dtype=dtype or get_default_dtype()), requires_grad=requires_grad)

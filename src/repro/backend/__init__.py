@@ -1,0 +1,79 @@
+"""Pluggable array-backend layer: registry, dtype policy, fused kernels.
+
+Public surface:
+
+- Backend registry — :class:`Backend`, :class:`NumpyBackend`,
+  :func:`register_backend`, :func:`get_backend`, :func:`set_backend`,
+  :func:`use_backend`, :func:`available_backends`.  The numpy backend is
+  always registered and active by default; an accelerated drop-in only
+  needs to re-register the kernel names listed in
+  :mod:`repro.backend.kernels`.
+- dtype policy — :func:`set_default_dtype` / :func:`get_default_dtype` /
+  :func:`default_dtype` (context manager).  ``float64`` (default) is the
+  gradcheck/reference configuration; ``float32`` is the training /
+  benchmarking fast path.
+- Fusion switch — :func:`set_fusion` / :func:`fusion_enabled` /
+  :func:`fusion` (context manager) routes
+  :mod:`repro.autograd.functional` through the fused kernels.
+- Fused autograd ops (loaded lazily to avoid import cycles with
+  :mod:`repro.autograd`): :func:`fused_lstm_step`,
+  :func:`fused_lstm_sequence`, :func:`fused_softmax`,
+  :func:`fused_log_softmax`, :func:`fused_softmax_cross_entropy`,
+  :func:`fused_gumbel_softmax`, :func:`fused_binary_concrete`.
+"""
+
+from repro.backend.core import (
+    Backend,
+    NumpyBackend,
+    available_backends,
+    canonical_dtype,
+    default_dtype,
+    fusion,
+    fusion_enabled,
+    get_backend,
+    get_default_dtype,
+    register_backend,
+    set_backend,
+    set_default_dtype,
+    set_fusion,
+    use_backend,
+)
+from repro.backend import kernels  # noqa: F401  (registers the numpy kernels)
+
+_OPS_EXPORTS = (
+    "fused_lstm_step",
+    "fused_lstm_sequence",
+    "fused_softmax",
+    "fused_log_softmax",
+    "fused_softmax_cross_entropy",
+    "fused_gumbel_softmax",
+    "fused_binary_concrete",
+)
+
+__all__ = [
+    "Backend",
+    "NumpyBackend",
+    "available_backends",
+    "canonical_dtype",
+    "default_dtype",
+    "fusion",
+    "fusion_enabled",
+    "get_backend",
+    "get_default_dtype",
+    "register_backend",
+    "set_backend",
+    "set_default_dtype",
+    "set_fusion",
+    "use_backend",
+    *_OPS_EXPORTS,
+]
+
+
+def __getattr__(name: str):
+    # The fused ops import repro.autograd, which imports this package for
+    # the dtype policy — resolve them lazily to keep the import acyclic.
+    if name in _OPS_EXPORTS:
+        from repro.backend import ops
+
+        return getattr(ops, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

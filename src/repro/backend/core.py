@@ -1,0 +1,231 @@
+"""Backend registry and the global dtype/fusion policy.
+
+This module is the single choke point for "how array math is executed":
+
+- A :class:`Backend` wraps an array namespace (numpy by default) plus a
+  registry of *fused kernels* — hand-written forward/backward pairs that
+  collapse several elementary autodiff nodes into one (see
+  :mod:`repro.backend.kernels`).  New accelerated backends register
+  themselves with :func:`register_backend` and provide drop-in kernels
+  under the same names.
+- A **dtype policy**: every float tensor created while the policy is
+  ``float64`` (the default) behaves exactly like the seed implementation,
+  which keeps finite-difference gradient checks meaningful; switching to
+  ``float32`` (:func:`set_default_dtype`) halves memory traffic for
+  training and benchmarking.
+- A **fusion switch**: :func:`set_fusion` / :func:`fusion` routes the
+  thin wrappers in :mod:`repro.autograd.functional` to the fused kernels.
+  It defaults to off so the composed reference ops define the numerics;
+  the fast path (``float32`` + fusion + bucketed batching) is opt-in via
+  :class:`repro.core.trainer.TrainConfig` or the experiments CLI.
+
+Nothing in this module imports the autograd layer, so it can be imported
+from anywhere in the package without cycles.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterator, Optional
+
+import numpy as np
+
+# ----------------------------------------------------------------------
+# dtype policy
+# ----------------------------------------------------------------------
+_DTYPE_ALIASES = {
+    "float32": np.float32,
+    "float64": np.float64,
+    "fp32": np.float32,
+    "fp64": np.float64,
+    "single": np.float32,
+    "double": np.float64,
+}
+
+
+def canonical_dtype(dtype) -> np.dtype:
+    """Normalize a dtype spec (string alias, np type, np.dtype) to a float np.dtype."""
+    if isinstance(dtype, str):
+        key = dtype.lower()
+        if key not in _DTYPE_ALIASES:
+            raise ValueError(f"unknown dtype alias {dtype!r}; use one of {sorted(_DTYPE_ALIASES)}")
+        dtype = _DTYPE_ALIASES[key]
+    resolved = np.dtype(dtype)
+    if resolved.kind != "f":
+        raise ValueError(f"default dtype must be a float type, got {resolved}")
+    return resolved
+
+
+_default_dtype: np.dtype = np.dtype(np.float64)
+_fusion_enabled: bool = False
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype float tensors are created with (``float64`` unless changed)."""
+    return _default_dtype
+
+
+def set_default_dtype(dtype) -> np.dtype:
+    """Set the global float dtype policy; returns the previous dtype."""
+    global _default_dtype
+    previous = _default_dtype
+    _default_dtype = canonical_dtype(dtype)
+    return previous
+
+
+@contextlib.contextmanager
+def default_dtype(dtype) -> Iterator[np.dtype]:
+    """Context manager scoping :func:`set_default_dtype` to a block."""
+    previous = set_default_dtype(dtype)
+    try:
+        yield _default_dtype
+    finally:
+        set_default_dtype(previous)
+
+
+def fusion_enabled() -> bool:
+    """Whether functional ops dispatch to the backend's fused kernels."""
+    return _fusion_enabled
+
+
+def set_fusion(enabled: bool) -> bool:
+    """Toggle fused-kernel dispatch; returns the previous setting."""
+    global _fusion_enabled
+    previous = _fusion_enabled
+    _fusion_enabled = bool(enabled)
+    return previous
+
+
+@contextlib.contextmanager
+def fusion(enabled: bool = True) -> Iterator[bool]:
+    """Context manager scoping :func:`set_fusion` to a block."""
+    previous = set_fusion(enabled)
+    try:
+        yield _fusion_enabled
+    finally:
+        set_fusion(previous)
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+class Backend:
+    """An array-math provider: an array namespace plus named fused kernels.
+
+    Subclasses set :attr:`name` and :attr:`xp` (a numpy-compatible module)
+    and register kernels with :meth:`register_kernel`.  Consumers fetch
+    kernels by name via :meth:`kernel`, which is the dispatch point future
+    accelerated backends plug into.
+    """
+
+    name: str = "abstract"
+    #: numpy-compatible array namespace (``numpy`` for the default backend).
+    xp = None
+
+    def __init__(self) -> None:
+        self._kernels: dict[str, Callable] = {}
+
+    # -- kernel registry ------------------------------------------------
+    def register_kernel(self, name: str, fn: Optional[Callable] = None):
+        """Register ``fn`` under ``name`` (usable as a decorator)."""
+        if fn is None:
+            def decorator(f: Callable) -> Callable:
+                self._kernels[name] = f
+                return f
+            return decorator
+        self._kernels[name] = fn
+        return fn
+
+    def kernel(self, name: str) -> Callable:
+        """Fetch a registered kernel; raises ``KeyError`` with the roster."""
+        try:
+            return self._kernels[name]
+        except KeyError:
+            raise KeyError(
+                f"backend {self.name!r} has no kernel {name!r}; "
+                f"registered: {sorted(self._kernels)}"
+            ) from None
+
+    def has_kernel(self, name: str) -> bool:
+        """Whether a kernel is registered under ``name``."""
+        return name in self._kernels
+
+    def kernels(self) -> tuple[str, ...]:
+        """Names of all registered kernels."""
+        return tuple(sorted(self._kernels))
+
+    # -- array helpers --------------------------------------------------
+    def asarray(self, data, dtype=None) -> np.ndarray:
+        """Convert ``data`` to this backend's array type."""
+        return self.xp.asarray(data, dtype=dtype)
+
+    def zeros(self, shape, dtype=None) -> np.ndarray:
+        """Allocate a zero-filled array (default dtype = policy dtype)."""
+        return self.xp.zeros(shape, dtype=dtype or get_default_dtype())
+
+    def empty(self, shape, dtype=None) -> np.ndarray:
+        """Allocate an uninitialized array (default dtype = policy dtype)."""
+        return self.xp.empty(shape, dtype=dtype or get_default_dtype())
+
+    def to_numpy(self, array) -> np.ndarray:
+        """View/copy a backend array as a host numpy array."""
+        return np.asarray(array)
+
+
+class NumpyBackend(Backend):
+    """The default (and reference) backend: plain numpy on the host CPU."""
+
+    name = "numpy"
+    xp = np
+
+
+_BACKENDS: dict[str, Backend] = {}
+_active_backend: Optional[str] = None
+
+
+def register_backend(backend: Backend, activate: bool = False) -> Backend:
+    """Add a backend to the registry; optionally make it the active one."""
+    _BACKENDS[backend.name] = backend
+    global _active_backend
+    if activate or _active_backend is None:
+        _active_backend = backend.name
+    return backend
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of every registered backend."""
+    return tuple(sorted(_BACKENDS))
+
+
+def get_backend(name: Optional[str] = None) -> Backend:
+    """The active backend, or a specific one by name."""
+    key = name if name is not None else _active_backend
+    if key is None or key not in _BACKENDS:
+        raise KeyError(f"unknown backend {key!r}; registered: {sorted(_BACKENDS)}")
+    return _BACKENDS[key]
+
+
+def set_backend(name: str) -> Backend:
+    """Make ``name`` the active backend."""
+    if name not in _BACKENDS:
+        raise KeyError(f"unknown backend {name!r}; registered: {sorted(_BACKENDS)}")
+    global _active_backend
+    _active_backend = name
+    return _BACKENDS[name]
+
+
+@contextlib.contextmanager
+def use_backend(name: str) -> Iterator[Backend]:
+    """Context manager scoping :func:`set_backend` to a block."""
+    # The numpy backend is registered at import, so an active backend
+    # always exists to restore.
+    previous = _active_backend
+    backend = set_backend(name)
+    try:
+        yield backend
+    finally:
+        set_backend(previous)
+
+
+# The numpy backend always exists and is the initial active backend.
+register_backend(NumpyBackend())

@@ -1,0 +1,304 @@
+"""Fused numpy kernels registered with the default backend.
+
+Each kernel collapses a chain of elementary autodiff ops into one
+forward/backward pair operating on raw arrays.  The composed reference
+implementations live in :mod:`repro.autograd` (``Tensor`` methods and
+:mod:`repro.autograd.functional`); every kernel here is validated against
+them by gradcheck in ``tests/backend/test_fused_kernels.py``.
+
+Numerical conventions match the composed ops exactly: sigmoids clip their
+input to ``[-60, 60]`` (as :meth:`Tensor.sigmoid` does) and softmaxes are
+max-shifted, so fused and composed paths agree to float rounding.
+
+Kernels are pure array functions — no :class:`Tensor` anywhere — so an
+accelerated backend only has to re-register these names (see
+:meth:`repro.backend.core.Backend.register_kernel`) to take over every
+hot path in the package.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.core import get_backend, get_default_dtype
+
+_SIGMOID_CLIP = 60.0
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -_SIGMOID_CLIP, _SIGMOID_CLIP)))
+
+
+# ----------------------------------------------------------------------
+# Fused LSTM step
+# ----------------------------------------------------------------------
+def lstm_step_forward(gates: np.ndarray, c_prev: np.ndarray) -> tuple[np.ndarray, np.ndarray, tuple]:
+    """One LSTM step from the full gate pre-activation.
+
+    ``gates`` is (B, 4H) laid out ``[input, forget, cell, output]`` and
+    ``c_prev`` is (B, H).  Returns ``(h_new, c_new, cache)`` where the
+    cache feeds the two backward kernels.
+    """
+    hs = c_prev.shape[-1]
+    i = _sigmoid(gates[:, 0:hs])
+    f = _sigmoid(gates[:, hs:2 * hs])
+    g = np.tanh(gates[:, 2 * hs:3 * hs])
+    o = _sigmoid(gates[:, 3 * hs:])
+    c_new = f * c_prev + i * g
+    tanh_c = np.tanh(c_new)
+    h_new = o * tanh_c
+    return h_new, c_new, (i, f, g, o, c_prev, tanh_c)
+
+
+def _gate_grads(dc_new: np.ndarray, do: np.ndarray, cache: tuple) -> tuple[np.ndarray, np.ndarray]:
+    """Backprop a cell-state gradient (and output-gate gradient) to the
+    gate pre-activations and the previous cell state."""
+    i, f, g, o, c_prev, _ = cache
+    hs = i.shape[-1]
+    dgates = np.empty((dc_new.shape[0], 4 * hs), dtype=dc_new.dtype)
+    dgates[:, 0:hs] = dc_new * g * i * (1.0 - i)
+    dgates[:, hs:2 * hs] = dc_new * c_prev * f * (1.0 - f)
+    dgates[:, 2 * hs:3 * hs] = dc_new * i * (1.0 - g ** 2)
+    dgates[:, 3 * hs:] = do * o * (1.0 - o)
+    return dgates, dc_new * f
+
+
+def lstm_step_backward_h(grad_h: np.ndarray, cache: tuple) -> tuple[np.ndarray, np.ndarray]:
+    """Gradient of ``h_new`` w.r.t. ``(gates, c_prev)``."""
+    _, _, _, o, _, tanh_c = cache
+    dc_new = grad_h * o * (1.0 - tanh_c ** 2)
+    return _gate_grads(dc_new, grad_h * tanh_c, cache)
+
+
+def lstm_step_backward_c(grad_c: np.ndarray, cache: tuple) -> tuple[np.ndarray, np.ndarray]:
+    """Gradient of ``c_new`` w.r.t. ``(gates, c_prev)``."""
+    zero_do = np.zeros_like(grad_c)
+    return _gate_grads(grad_c, zero_do, cache)
+
+
+# ----------------------------------------------------------------------
+# Fused LSTM over a whole sequence (single graph node, explicit BPTT)
+# ----------------------------------------------------------------------
+def lstm_sequence_forward(
+    gates_x: np.ndarray,
+    weight_hh: np.ndarray,
+    bias: np.ndarray,
+    mask: np.ndarray | None,
+    reverse: bool,
+    need_cache: bool = True,
+) -> tuple[np.ndarray, tuple | None]:
+    """Unrolled LSTM recurrence over (B, L, 4H) input pre-activations.
+
+    ``gates_x`` is the batched input projection ``x @ W_ih`` for every
+    timestep; the recurrent term, bias, gate nonlinearities, cell update
+    and (optional) padding-mask carry are all computed here, step math
+    identical to :func:`lstm_step_forward`.  Returns the (B, L, H) hidden
+    sequence plus the cache for :func:`lstm_sequence_backward` —
+    ``need_cache=False`` (the no-grad inference path) skips the ~7
+    sequence-sized cache allocations and returns ``None`` for it.
+    """
+    batch, length, four_h = gates_x.shape
+    hs = four_h // 4
+    dtype = gates_x.dtype
+    h = np.zeros((batch, hs), dtype=dtype)
+    c = np.zeros((batch, hs), dtype=dtype)
+    if need_cache:
+        i_all = np.empty((batch, length, hs), dtype=dtype)
+        f_all = np.empty((batch, length, hs), dtype=dtype)
+        g_all = np.empty((batch, length, hs), dtype=dtype)
+        o_all = np.empty((batch, length, hs), dtype=dtype)
+        tanh_c_all = np.empty((batch, length, hs), dtype=dtype)
+        h_prev_all = np.empty((batch, length, hs), dtype=dtype)
+        c_prev_all = np.empty((batch, length, hs), dtype=dtype)
+    out = np.empty((batch, length, hs), dtype=dtype)
+    steps = range(length - 1, -1, -1) if reverse else range(length)
+    for t in steps:
+        gates = gates_x[:, t] + h @ weight_hh
+        gates += bias
+        i = _sigmoid(gates[:, 0:hs])
+        f = _sigmoid(gates[:, hs:2 * hs])
+        g = np.tanh(gates[:, 2 * hs:3 * hs])
+        o = _sigmoid(gates[:, 3 * hs:])
+        if need_cache:
+            h_prev_all[:, t] = h
+            c_prev_all[:, t] = c
+        c_tilde = f * c + i * g
+        tanh_c = np.tanh(c_tilde)
+        h_tilde = o * tanh_c
+        if mask is not None:
+            m = mask[:, t:t + 1]
+            h = h_tilde * m + h * (1.0 - m)
+            c = c_tilde * m + c * (1.0 - m)
+        else:
+            h, c = h_tilde, c_tilde
+        if need_cache:
+            i_all[:, t] = i
+            f_all[:, t] = f
+            g_all[:, t] = g
+            o_all[:, t] = o
+            tanh_c_all[:, t] = tanh_c
+        out[:, t] = h
+    if not need_cache:
+        return out, None
+    cache = (i_all, f_all, g_all, o_all, tanh_c_all, h_prev_all, c_prev_all, steps)
+    return out, cache
+
+
+def lstm_sequence_backward(
+    grad_out: np.ndarray,
+    weight_hh: np.ndarray,
+    mask: np.ndarray | None,
+    cache: tuple,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """BPTT for :func:`lstm_sequence_forward`.
+
+    Returns ``(d_gates_x, d_weight_hh, d_bias)``.  Per-step gate gradients
+    are written straight into the preallocated (B, L, 4H) result, so the
+    whole backward is O(L) in full-sequence array traffic (the composed
+    graph pays O(L²) re-summing per-step scatter outputs).
+    """
+    i_all, f_all, g_all, o_all, tanh_c_all, h_prev_all, c_prev_all, steps = cache
+    batch, length, hs = i_all.shape
+    dtype = grad_out.dtype
+    d_gates_x = np.empty((batch, length, 4 * hs), dtype=dtype)
+    d_weight_hh = np.zeros_like(weight_hh)
+    d_bias = np.zeros(4 * hs, dtype=weight_hh.dtype)
+    dh = np.zeros((batch, hs), dtype=dtype)
+    dc = np.zeros((batch, hs), dtype=dtype)
+    weight_hh_T = weight_hh.T
+    for t in reversed(list(steps)):
+        dh = dh + grad_out[:, t]
+        if mask is not None:
+            m = mask[:, t:t + 1]
+            keep = 1.0 - m
+            dh_tilde = dh * m
+            dh_carry = dh * keep
+            dc_tilde = dc * m
+            dc_carry = dc * keep
+        else:
+            dh_tilde, dh_carry = dh, 0.0
+            dc_tilde, dc_carry = dc, 0.0
+        i = i_all[:, t]
+        f = f_all[:, t]
+        g = g_all[:, t]
+        o = o_all[:, t]
+        tanh_c = tanh_c_all[:, t]
+        do = dh_tilde * tanh_c
+        dct = dh_tilde * o * (1.0 - tanh_c ** 2) + dc_tilde
+        dgates = d_gates_x[:, t]
+        dgates[:, 0:hs] = dct * g * i * (1.0 - i)
+        dgates[:, hs:2 * hs] = dct * c_prev_all[:, t] * f * (1.0 - f)
+        dgates[:, 2 * hs:3 * hs] = dct * i * (1.0 - g ** 2)
+        dgates[:, 3 * hs:] = do * o * (1.0 - o)
+        d_weight_hh += h_prev_all[:, t].T @ dgates
+        d_bias += dgates.sum(axis=0)
+        dh = dh_carry + dgates @ weight_hh_T
+        dc = dc_carry + dct * f
+    return d_gates_x, d_weight_hh, d_bias
+
+
+# ----------------------------------------------------------------------
+# Fused softmax / log-softmax / cross-entropy
+# ----------------------------------------------------------------------
+def softmax_forward(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Max-shifted softmax along ``axis``."""
+    if x.dtype.kind != "f":
+        # The composed path returns float for integer input; match it
+        # (the in-place np.exp below needs a float buffer anyway).
+        x = x.astype(get_default_dtype())
+    shifted = x - x.max(axis=axis, keepdims=True)
+    np.exp(shifted, out=shifted)
+    shifted /= shifted.sum(axis=axis, keepdims=True)
+    return shifted
+
+
+def softmax_backward(y: np.ndarray, grad: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Jacobian-vector product of softmax given its output ``y``."""
+    inner = (grad * y).sum(axis=axis, keepdims=True)
+    return y * (grad - inner)
+
+
+def log_softmax_forward(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Max-shifted log-softmax along ``axis``."""
+    if x.dtype.kind != "f":
+        x = x.astype(get_default_dtype())
+    shifted = x - x.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+
+
+def log_softmax_backward(logp: np.ndarray, grad: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Jacobian-vector product of log-softmax given its output ``logp``."""
+    return grad - np.exp(logp) * grad.sum(axis=axis, keepdims=True)
+
+
+def softmax_xent_forward(logits: np.ndarray, targets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row softmax cross-entropy for (B, C) logits and (B,) int targets.
+
+    Returns ``(losses, probs)`` — the per-example losses plus the softmax
+    probabilities cached for the backward kernel.
+    """
+    logp = log_softmax_forward(logits, axis=-1)
+    losses = -logp[np.arange(logits.shape[0]), targets]
+    return losses, np.exp(logp)
+
+
+def softmax_xent_backward(probs: np.ndarray, targets: np.ndarray, row_grad: np.ndarray) -> np.ndarray:
+    """Gradient of per-row cross-entropy: ``(probs - onehot) * row_grad``."""
+    dlogits = probs.copy()
+    dlogits[np.arange(probs.shape[0]), targets] -= 1.0
+    dlogits *= np.reshape(row_grad, (-1, 1)) if np.ndim(row_grad) else row_grad
+    return dlogits
+
+
+# ----------------------------------------------------------------------
+# Fused binary-concrete (stretched-and-rectified relaxed Bernoulli)
+# ----------------------------------------------------------------------
+def binary_concrete_forward(
+    logit: np.ndarray,
+    logistic_noise: np.ndarray,
+    temperature: float,
+    lo: float,
+    hi: float,
+) -> tuple[np.ndarray, tuple]:
+    """Straight-through binary-concrete sample from Bernoulli logits.
+
+    Computes ``clip(sigmoid((logit + noise)/T) * (hi-lo) + lo, 0, 1)`` and
+    binarizes at 0.5 (forward); the cache carries what the backward needs
+    to differentiate through the soft interior.
+    """
+    soft = _sigmoid((logit + logistic_noise) / temperature)
+    stretched = soft * (hi - lo) + lo
+    inside = (stretched >= 0.0) & (stretched <= 1.0)
+    rectified = np.clip(stretched, 0.0, 1.0)
+    hard = (rectified > 0.5).astype(logit.dtype)
+    return hard, (soft, inside, temperature, hi - lo)
+
+
+def binary_concrete_backward(grad: np.ndarray, cache: tuple) -> np.ndarray:
+    """Straight-through gradient: through clip band, stretch, and sigmoid."""
+    soft, inside, temperature, span = cache
+    return grad * inside * span * soft * (1.0 - soft) / temperature
+
+
+# ----------------------------------------------------------------------
+# Registration with the numpy backend
+# ----------------------------------------------------------------------
+_KERNELS = {
+    "lstm_step_forward": lstm_step_forward,
+    "lstm_step_backward_h": lstm_step_backward_h,
+    "lstm_step_backward_c": lstm_step_backward_c,
+    "lstm_sequence_forward": lstm_sequence_forward,
+    "lstm_sequence_backward": lstm_sequence_backward,
+    "softmax_forward": softmax_forward,
+    "softmax_backward": softmax_backward,
+    "log_softmax_forward": log_softmax_forward,
+    "log_softmax_backward": log_softmax_backward,
+    "softmax_xent_forward": softmax_xent_forward,
+    "softmax_xent_backward": softmax_xent_backward,
+    "binary_concrete_forward": binary_concrete_forward,
+    "binary_concrete_backward": binary_concrete_backward,
+}
+
+_numpy_backend = get_backend("numpy")
+for _name, _fn in _KERNELS.items():
+    _numpy_backend.register_kernel(_name, _fn)

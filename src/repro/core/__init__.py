@@ -13,6 +13,7 @@
 """
 
 from repro.core.generator import Generator
+from repro.core.inference import InferenceSession
 from repro.core.predictor import Predictor
 from repro.core.regularizers import sparsity_coherence_penalty
 from repro.core.rnp import RNP
@@ -31,6 +32,7 @@ from repro.core.trainer import (
 
 __all__ = [
     "Generator",
+    "InferenceSession",
     "Predictor",
     "sparsity_coherence_penalty",
     "RNP",

@@ -17,10 +17,12 @@ by :meth:`repro.core.generator.Generator.selection_logits`.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.autograd.tensor import no_grad
+from repro.core.inference import InferenceSession
 from repro.data.batching import Batch
 
 
@@ -84,8 +86,12 @@ def contiguous_topk_mask(scores: np.ndarray, pad_mask: np.ndarray, rate: float) 
 
 
 def decode_batch_sentences(model, batch: Batch, n_sentences: int = 1) -> np.ndarray:
-    """Sentence-level selection for a whole batch (the A2R* granularity)."""
-    logits = model.generator.selection_logits(batch.token_ids, batch.mask)
+    """Sentence-level selection for a whole batch (the A2R* granularity).
+
+    Decoding only reads scores, so the forward pass runs graph-free.
+    """
+    with no_grad():
+        logits = model.generator.selection_logits(batch.token_ids, batch.mask)
     scores = logits.data[:, :, 1] - logits.data[:, :, 0]
     out = np.zeros_like(batch.mask)
     for i, example in enumerate(batch.examples):
@@ -95,3 +101,22 @@ def decode_batch_sentences(model, batch: Batch, n_sentences: int = 1) -> np.ndar
         mask = sentence_level_mask(scores[i, :length], example.sentence_spans, n_sentences)
         out[i, :length] = mask
     return out * batch.mask
+
+
+def decode_sentences(
+    model,
+    examples: Sequence,
+    n_sentences: int = 1,
+    session: Optional[InferenceSession] = None,
+    batch_size: int = 200,
+) -> np.ndarray:
+    """Sentence-level selections for a whole split, aligned to input order.
+
+    Routed through :class:`repro.core.inference.InferenceSession` — the
+    graph-free, bucketed, buffer-reusing fast path — instead of padding
+    one giant batch.
+    """
+    session = session or InferenceSession(model, batch_size)
+    return session.map_aligned(
+        lambda batch: decode_batch_sentences(model, batch, n_sentences), examples
+    )

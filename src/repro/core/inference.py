@@ -1,0 +1,152 @@
+"""Graph-free inference fast path.
+
+Evaluation never calls ``backward()``, yet the seed code paid for full
+autodiff-graph construction on every probe.  :class:`InferenceSession`
+bundles the three ingredients of cheap evaluation behind one object:
+
+- **no-grad by default** — every batch callback runs inside
+  :func:`repro.autograd.tensor.no_grad`, so forward passes allocate no
+  graph nodes;
+- **length-bucketed batches** — examples are globally sorted by length
+  (deterministic, stable) so recurrent encoders waste almost no padded
+  timesteps;
+- **preallocated buffers** — the dense batch arrays are owned by the
+  session and reused across batches and across epochs (see
+  :func:`repro.data.batching.pad_batch`).
+
+The per-example prediction helpers return arrays aligned to the *input*
+order, so bucketing is invisible to callers.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import no_grad
+from repro.backend.core import default_dtype
+from repro.data.batching import Batch, pad_batch
+from repro.data.dataset import ReviewExample
+
+
+class InferenceSession:
+    """Reusable no-grad evaluation harness for one model.
+
+    Parameters
+    ----------
+    model:
+        Any object exposing the RNP evaluation surface (``select``,
+        ``predict_from_rationale``, ``predict_full_text``); only the
+        methods actually invoked need to exist.
+    batch_size:
+        Evaluation batch size.
+    bucketing:
+        Sort examples by length before batching (default on — evaluation
+        metrics are order-independent aggregates, so this is free speed).
+    pad_id:
+        Padding token id.
+    """
+
+    def __init__(
+        self,
+        model,
+        batch_size: int = 200,
+        bucketing: bool = True,
+        pad_id: int = 0,
+    ):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.model = model
+        self.batch_size = batch_size
+        self.bucketing = bucketing
+        self.pad_id = pad_id
+        self._buffers: dict = {}
+        # Evaluate in the model's own float dtype: a model trained with
+        # TrainConfig(dtype="float32") keeps float32 parameters after the
+        # training policy context exits, and fresh float64 activations
+        # would silently promote every probe back to float64.
+        self._dtype = None
+        params = getattr(model, "parameters", None)
+        if callable(params):
+            for p in params():
+                if p.data.dtype.kind == "f":
+                    self._dtype = p.data.dtype
+                    break
+
+    def _policy(self):
+        """Dtype-policy context matching the model (no-op if unknown)."""
+        return default_dtype(self._dtype) if self._dtype is not None else contextlib.nullcontext()
+
+    # ------------------------------------------------------------------
+    def _index_batches(self, examples: Sequence[ReviewExample]) -> Iterator[np.ndarray]:
+        """Original-order index batches, length-sorted when bucketing."""
+        n = len(examples)
+        if self.bucketing:
+            lengths = np.fromiter((len(e) for e in examples), dtype=np.int64, count=n)
+            order = np.argsort(lengths, kind="stable")
+        else:
+            order = np.arange(n)
+        for start in range(0, n, self.batch_size):
+            yield order[start:start + self.batch_size]
+
+    def _pad(self, examples: Sequence[ReviewExample], idx: np.ndarray) -> Batch:
+        return pad_batch([examples[i] for i in idx], pad_id=self.pad_id, buffers=self._buffers)
+
+    # ------------------------------------------------------------------
+    def map_batches(self, fn: Callable[[Batch], object], examples: Sequence[ReviewExample]) -> list:
+        """Apply ``fn`` to every batch under ``no_grad``; collect results.
+
+        Batch arrays are session-owned and overwritten by the next batch —
+        ``fn`` must copy anything it retains (model outputs are fresh
+        arrays and safe to keep).
+        """
+        results = []
+        with no_grad(), self._policy():
+            for idx in self._index_batches(examples):
+                results.append(fn(self._pad(examples, idx)))
+        return results
+
+    def _scatter_aligned(
+        self, fn: Callable[[Batch], np.ndarray], examples: Sequence[ReviewExample], out: np.ndarray
+    ) -> np.ndarray:
+        """Shared batch/scatter loop: batch results land at their source
+        example's row of ``out`` (1-D per-example or 2-D per-token)."""
+        with no_grad(), self._policy():
+            for idx in self._index_batches(examples):
+                rows = np.asarray(fn(self._pad(examples, idx)))
+                if out.ndim == 1:
+                    out[idx] = rows
+                else:
+                    out[idx, :rows.shape[1]] = rows
+        return out
+
+    # ------------------------------------------------------------------
+    def predict_full_text(self, examples: Sequence[ReviewExample]) -> np.ndarray:
+        """Full-input class predictions, aligned to ``examples`` order."""
+        return self._aligned(examples, lambda batch: self.model.predict_full_text(batch))
+
+    def predict_from_rationale(self, examples: Sequence[ReviewExample]) -> np.ndarray:
+        """Rationale-input class predictions, aligned to ``examples`` order."""
+        return self._aligned(examples, lambda batch: self.model.predict_from_rationale(batch))
+
+    def _aligned(self, examples: Sequence[ReviewExample], fn: Callable[[Batch], np.ndarray]) -> np.ndarray:
+        return self._scatter_aligned(fn, examples, np.zeros(len(examples), dtype=np.int64))
+
+    def map_aligned(
+        self, fn: Callable[[Batch], np.ndarray], examples: Sequence[ReviewExample]
+    ) -> np.ndarray:
+        """Apply a per-token batch function; return (N, max_len) rows aligned
+        to the *input* order (bucketing invisible to the caller).
+
+        ``fn`` must return a (batch, batch_max_len) array; rows land in the
+        output at their source example's position, zero-padded to the
+        longest example in ``examples``.
+        """
+        max_len = max((len(e) for e in examples), default=0)
+        return self._scatter_aligned(fn, examples, np.zeros((len(examples), max_len), dtype=np.float64))
+
+    def select(self, examples: Sequence[ReviewExample]) -> np.ndarray:
+        """Deterministic rationale masks (N, max_len), aligned to input order."""
+        return self.map_aligned(lambda batch: self.model.select(batch), examples)

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.autograd import functional as F
 from repro.autograd.tensor import Tensor
+from repro.backend import core as backend_core
 
 
 class MaskSampler(Protocol):
@@ -59,10 +60,19 @@ def hardkuma_sampler(
     [0, 1].  The rectification gives *exact* zeros and ones with non-zero
     probability while the interior stays differentiable; a final
     straight-through rounding binarizes the interior points.
+
+    With fused-kernel dispatch on (:func:`repro.backend.set_fusion`) the
+    whole sample collapses to one :func:`repro.backend.fused_binary_concrete`
+    node drawing the identical noise stream.
     """
     rng = rng or np.random.default_rng()
     lo, hi = -0.1, 1.1
     bern_logit = logits[:, :, 1] - logits[:, :, 0]
+    if backend_core.fusion_enabled():
+        from repro.backend.ops import fused_binary_concrete
+
+        mask = fused_binary_concrete(bern_logit, temperature=temperature, rng=rng, lo=lo, hi=hi, eps=eps)
+        return mask * Tensor(np.asarray(pad_mask, dtype=np.float64))
     noise = rng.uniform(eps, 1.0 - eps, size=bern_logit.shape)
     logistic = np.log(noise) - np.log(1.0 - noise)
     soft = ((bern_logit + Tensor(logistic)) / temperature).sigmoid()

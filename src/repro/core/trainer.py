@@ -17,6 +17,7 @@ and the two skew pretraining hooks of the synthetic experiments
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -24,6 +25,8 @@ import numpy as np
 
 from repro.autograd import functional as F
 from repro.autograd.tensor import Tensor, no_grad
+from repro.backend.core import default_dtype, fusion
+from repro.core.inference import InferenceSession
 from repro.core.predictor import Predictor
 from repro.core.rnp import RNP
 from repro.data.batching import Batch, batch_iterator, pad_batch
@@ -49,6 +52,22 @@ class TrainConfig:
     pretrain_lr: float = 1e-3
     patience: Optional[int] = None  # early stop after this many non-improving epochs
     verbose: bool = False
+    # Backend performance knobs.  The defaults reproduce the seed numerics
+    # exactly on the default GRU-encoder path; LSTM encoders always use the
+    # fused sequence kernel (equal to the composed reference to float
+    # rounding — pass LSTM(fused=False) for the literal seed loop).
+    # "float32" + fused + bucketing is the fast path (see
+    # `python -m repro.experiments bench`).
+    dtype: str = "float64"  # storage dtype for parameters and activations
+    fused: bool = False  # dispatch functional ops to fused backend kernels
+    bucketing: bool = False  # length-bucketed training batches
+
+    def backend_context(self) -> contextlib.ExitStack:
+        """Enter the dtype/fusion policy this config asks for."""
+        stack = contextlib.ExitStack()
+        stack.enter_context(default_dtype(self.dtype))
+        stack.enter_context(fusion(self.fused))
+        return stack
 
 
 @dataclass
@@ -69,48 +88,63 @@ class TrainResult:
 
 
 # ----------------------------------------------------------------------
-# Evaluation probes
+# Evaluation probes — all routed through the graph-free InferenceSession
+# (no_grad, length-bucketed batches, preallocated buffers).  Passing a
+# ``session`` reuses its buffers across probes and epochs; in that case
+# the session's own batch size applies and ``batch_size`` is ignored.
 # ----------------------------------------------------------------------
-def evaluate_rationale_quality(model: RNP, examples: Sequence[ReviewExample], batch_size: int = 200) -> RationaleScore:
+def evaluate_rationale_quality(
+    model: RNP,
+    examples: Sequence[ReviewExample],
+    batch_size: int = 200,
+    session: Optional[InferenceSession] = None,
+) -> RationaleScore:
     """Token-overlap P/R/F1 and sparsity of deterministic selections."""
-    selections, golds, masks = [], [], []
-    with no_grad():
-        for batch in batch_iterator(examples, batch_size, shuffle=False):
-            selections.append(model.select(batch))
-            golds.append(batch.rationales)
-            masks.append(batch.mask)
-    return aggregate_rationale_scores(selections, golds, masks)
+    session = session or InferenceSession(model, batch_size)
+    triples = session.map_batches(
+        lambda batch: (model.select(batch), batch.rationales.copy(), batch.mask.copy()),
+        examples,
+    )
+    return aggregate_rationale_scores(
+        [t[0] for t in triples], [t[1] for t in triples], [t[2] for t in triples]
+    )
 
 
-def evaluate_rationale_accuracy(model: RNP, examples: Sequence[ReviewExample], batch_size: int = 200) -> float:
+def evaluate_rationale_accuracy(
+    model: RNP,
+    examples: Sequence[ReviewExample],
+    batch_size: int = 200,
+    session: Optional[InferenceSession] = None,
+) -> float:
     """Predictive accuracy with the selected rationale as input (Acc column)."""
-    preds, labels = [], []
-    with no_grad():
-        for batch in batch_iterator(examples, batch_size, shuffle=False):
-            preds.extend(model.predict_from_rationale(batch))
-            labels.extend(batch.labels)
-    return accuracy(preds, labels)
+    session = session or InferenceSession(model, batch_size)
+    preds = session.predict_from_rationale(examples)
+    return accuracy(preds, [e.label for e in examples])
 
 
-def evaluate_full_text(model: RNP, examples: Sequence[ReviewExample], batch_size: int = 200) -> ClassificationScore:
+def evaluate_full_text(
+    model: RNP,
+    examples: Sequence[ReviewExample],
+    batch_size: int = 200,
+    session: Optional[InferenceSession] = None,
+) -> ClassificationScore:
     """Predictor accuracy/P/R/F1 on the *full input* (Fig. 3b, Fig. 6, Table I)."""
-    preds, labels = [], []
-    with no_grad():
-        for batch in batch_iterator(examples, batch_size, shuffle=False):
-            preds.extend(model.predict_full_text(batch))
-            labels.extend(batch.labels)
-    return precision_recall_f1(preds, labels)
+    session = session or InferenceSession(model, batch_size)
+    preds = session.predict_full_text(examples)
+    return precision_recall_f1(preds, [e.label for e in examples])
 
 
 def _evaluate_predictor_accuracy(
     predictor: Predictor, examples: Sequence[ReviewExample], batch_size: int = 200
 ) -> float:
-    preds, labels = [], []
-    with no_grad():
-        for batch in batch_iterator(examples, batch_size, shuffle=False):
-            preds.extend(predictor.predict(batch.token_ids, batch.mask, batch.mask))
-            labels.extend(batch.labels)
-    return accuracy(preds, labels)
+    session = InferenceSession(predictor, batch_size)
+    pairs = session.map_batches(
+        lambda batch: (predictor.predict(batch.token_ids, batch.mask, batch.mask), batch.labels.copy()),
+        examples,
+    )
+    return accuracy(
+        np.concatenate([p for p, _ in pairs]), np.concatenate([l for _, l in pairs])
+    )
 
 
 # ----------------------------------------------------------------------
@@ -124,13 +158,14 @@ def pretrain_full_text_predictor(
     lr: float = 1e-3,
     seed: int = 0,
     grad_clip: float = 5.0,
+    bucketing: bool = False,
 ) -> float:
     """Train a predictor on the full input (Eq. 4); returns final dev accuracy."""
     rng = np.random.default_rng(seed)
     params = [p for p in predictor.parameters() if p.requires_grad]
     optimizer = Adam(params, lr=lr)
     for _ in range(epochs):
-        for batch in batch_iterator(dataset.train, batch_size, shuffle=True, rng=rng):
+        for batch in batch_iterator(dataset.train, batch_size, shuffle=True, rng=rng, bucketing=bucketing):
             optimizer.zero_grad()
             logits = predictor(batch.token_ids, batch.mask, batch.mask)
             loss = F.cross_entropy(logits, batch.labels)
@@ -155,8 +190,29 @@ def train_rationalizer(
     discriminator has not been pretrained yet, Eq. (4) pretraining runs
     automatically first.  ``callback(model, dataset, epoch_info)`` is
     invoked after each epoch's evaluation (see :mod:`repro.core.callbacks`).
+
+    The run executes under the config's backend policy: ``dtype`` casts the
+    model and all activations (``float32`` for the fast path — note the
+    model *stays* cast after the run; :class:`InferenceSession` follows the
+    model's dtype automatically), ``fused`` dispatches functional ops to
+    fused kernels, and ``bucketing`` batches training examples by length.
+    The defaults replay the seed behaviour bit-for-bit on the default
+    GRU-encoder path; LSTM encoders always use the fused sequence kernel
+    (equal to the composed reference to float rounding — construct the
+    encoder with ``LSTM(fused=False)`` for the literal seed loop).
     """
     config = config or TrainConfig()
+    with config.backend_context():
+        model.astype(config.dtype)
+        return _train_rationalizer(model, dataset, config, callback)
+
+
+def _train_rationalizer(
+    model: RNP,
+    dataset: AspectDataset,
+    config: TrainConfig,
+    callback=None,
+) -> TrainResult:
     rng = np.random.default_rng(config.seed)
 
     if hasattr(model, "discriminator_pretrained") and not model.discriminator_pretrained:
@@ -167,6 +223,7 @@ def train_rationalizer(
             batch_size=config.batch_size,
             lr=config.pretrain_lr,
             seed=config.seed,
+            bucketing=config.bucketing,
         )
         model.mark_discriminator_pretrained()
 
@@ -182,11 +239,16 @@ def train_rationalizer(
     best_state = None
     best_epoch = 0
     history: list[dict] = []
+    # One graph-free session for every evaluation probe of the run; its
+    # padded-batch buffers are reused across dev/test and across epochs.
+    eval_session = InferenceSession(model, config.eval_batch_size)
 
     for epoch in range(config.epochs):
         model.train()
         epoch_info: dict = {"epoch": epoch, "loss": 0.0, "batches": 0}
-        for batch in batch_iterator(dataset.train, config.batch_size, shuffle=True, rng=rng):
+        for batch in batch_iterator(
+            dataset.train, config.batch_size, shuffle=True, rng=rng, bucketing=config.bucketing
+        ):
             optimizer.zero_grad()
             loss, info = model.training_loss(batch, rng=rng)
             loss.backward()
@@ -197,8 +259,8 @@ def train_rationalizer(
         epoch_info["loss"] /= max(epoch_info["batches"], 1)
 
         model.eval()
-        dev_acc = evaluate_rationale_accuracy(model, dataset.dev, config.eval_batch_size)
-        test_quality = evaluate_rationale_quality(model, dataset.test, config.eval_batch_size)
+        dev_acc = evaluate_rationale_accuracy(model, dataset.dev, session=eval_session)
+        test_quality = evaluate_rationale_quality(model, dataset.test, session=eval_session)
         epoch_info["dev_acc"] = dev_acc
         epoch_info["test_f1"] = test_quality.f1
         if callback is not None:
@@ -226,9 +288,9 @@ def train_rationalizer(
         model.load_state_dict(best_state)
 
     model.eval()
-    rationale = evaluate_rationale_quality(model, dataset.test, config.eval_batch_size)
-    rationale_acc = evaluate_rationale_accuracy(model, dataset.test, config.eval_batch_size)
-    full_text = evaluate_full_text(model, dataset.test, config.eval_batch_size)
+    rationale = evaluate_rationale_quality(model, dataset.test, session=eval_session)
+    rationale_acc = evaluate_rationale_accuracy(model, dataset.test, session=eval_session)
+    full_text = evaluate_full_text(model, dataset.test, session=eval_session)
     return TrainResult(
         rationale=rationale,
         rationale_accuracy=rationale_acc,

@@ -14,7 +14,7 @@ from repro.data.synthetic import CorpusConfig, SyntheticReviewGenerator
 from repro.data.beer import build_beer_dataset, BEER_ASPECTS, BEER_SPARSITY
 from repro.data.hotel import build_hotel_dataset, HOTEL_ASPECTS, HOTEL_SPARSITY
 from repro.data.embeddings import build_embedding_table
-from repro.data.batching import Batch, pad_batch, batch_iterator
+from repro.data.batching import Batch, pad_batch, batch_iterator, bucketed_batch_iterator
 from repro.data.tokenizer import WordTokenizer, detokenize
 from repro.data.statistics import CorpusStatistics, corpus_statistics, token_frequencies
 
@@ -42,6 +42,7 @@ __all__ = [
     "Batch",
     "pad_batch",
     "batch_iterator",
+    "bucketed_batch_iterator",
     "WordTokenizer",
     "detokenize",
     "CorpusStatistics",

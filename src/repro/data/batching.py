@@ -1,4 +1,20 @@
-"""Padded minibatching for variable-length reviews."""
+"""Padded minibatching for variable-length reviews.
+
+Two iteration strategies are provided:
+
+- :func:`batch_iterator` — the seed behaviour: shuffle, slice, pad.
+- :func:`bucketed_batch_iterator` — length-bucketed batching: examples are
+  shuffled, grouped into windows of ``bucket_factor`` batches, sorted by
+  length inside each window, and the resulting batches shuffled again.
+  Batches then contain similar-length examples, which cuts the padded
+  timesteps recurrent encoders waste on ragged batches while keeping the
+  order stochastic (seeded via ``rng``).  Every example is yielded exactly
+  once per epoch on either path.
+
+``pad_batch`` optionally reuses caller-owned buffers (see
+:class:`repro.core.inference.InferenceSession`) so steady-state evaluation
+allocates nothing.
+"""
 
 from __future__ import annotations
 
@@ -42,16 +58,44 @@ class Batch:
         return self.token_ids.shape[1]
 
 
-def pad_batch(examples: Sequence[ReviewExample], pad_id: int = 0) -> Batch:
-    """Right-pad a list of examples into dense arrays."""
+def pad_batch(
+    examples: Sequence[ReviewExample],
+    pad_id: int = 0,
+    buffers: Optional[dict] = None,
+) -> Batch:
+    """Right-pad a list of examples into dense arrays.
+
+    When ``buffers`` (a caller-owned dict) is given, the dense arrays are
+    reused across calls with the same (batch, length) geometry instead of
+    reallocated — the inference fast path.  Reused arrays are overwritten
+    by the *next* same-shaped call, so callers retaining batch arrays
+    beyond one step must copy them.
+    """
     if not examples:
         raise ValueError("cannot pad an empty batch")
     max_len = max(len(e) for e in examples)
     batch_size = len(examples)
-    token_ids = np.full((batch_size, max_len), pad_id, dtype=np.int64)
-    mask = np.zeros((batch_size, max_len), dtype=np.float64)
-    labels = np.zeros(batch_size, dtype=np.int64)
-    rationales = np.zeros((batch_size, max_len), dtype=np.int64)
+    if buffers is not None:
+        key = (batch_size, max_len)
+        cached = buffers.get(key)
+        if cached is None:
+            cached = (
+                np.empty((batch_size, max_len), dtype=np.int64),
+                np.empty((batch_size, max_len), dtype=np.float64),
+                np.empty(batch_size, dtype=np.int64),
+                np.empty((batch_size, max_len), dtype=np.int64),
+            )
+            buffers[key] = cached
+        token_ids, mask, labels, rationales = cached
+        token_ids.fill(pad_id)
+        mask.fill(0.0)
+        labels.fill(0)
+        rationales.fill(0)
+    else:
+        token_ids = np.full((batch_size, max_len), pad_id, dtype=np.int64)
+        mask = np.zeros((batch_size, max_len), dtype=np.float64)
+        labels = np.zeros(batch_size, dtype=np.int64)
+        rationales = np.zeros((batch_size, max_len), dtype=np.int64)
     for i, example in enumerate(examples):
         length = len(example)
         token_ids[i, :length] = example.token_ids
@@ -67,8 +111,22 @@ def batch_iterator(
     shuffle: bool = True,
     rng: Optional[np.random.Generator] = None,
     drop_last: bool = False,
+    bucketing: bool = False,
+    bucket_factor: int = 8,
+    pad_id: int = 0,
+    buffers: Optional[dict] = None,
 ) -> Iterator[Batch]:
-    """Yield padded minibatches, optionally shuffled each call."""
+    """Yield padded minibatches, optionally shuffled each call.
+
+    ``bucketing=True`` delegates to :func:`bucketed_batch_iterator` (same
+    coverage guarantee, less padding waste).
+    """
+    if bucketing:
+        yield from bucketed_batch_iterator(
+            examples, batch_size, shuffle=shuffle, rng=rng, drop_last=drop_last,
+            bucket_factor=bucket_factor, pad_id=pad_id, buffers=buffers,
+        )
+        return
     if batch_size <= 0:
         raise ValueError("batch_size must be positive")
     order = np.arange(len(examples))
@@ -78,4 +136,50 @@ def batch_iterator(
         idx = order[start:start + batch_size]
         if drop_last and len(idx) < batch_size:
             break
-        yield pad_batch([examples[i] for i in idx])
+        yield pad_batch([examples[i] for i in idx], pad_id=pad_id, buffers=buffers)
+
+
+def bucketed_batch_iterator(
+    examples: Sequence[ReviewExample],
+    batch_size: int,
+    shuffle: bool = True,
+    rng: Optional[np.random.Generator] = None,
+    drop_last: bool = False,
+    bucket_factor: int = 8,
+    pad_id: int = 0,
+    buffers: Optional[dict] = None,
+) -> Iterator[Batch]:
+    """Length-bucketed minibatches: similar-length examples batch together.
+
+    With ``shuffle=True`` the example order and the final batch order are
+    both drawn from ``rng`` (deterministic under a seeded generator), and
+    length-sorting only happens *within* windows of ``bucket_factor``
+    batches, so epochs stay stochastic.  With ``shuffle=False`` the sort
+    is global (maximal padding reduction for evaluation).  Every example
+    appears in exactly one batch unless ``drop_last`` trims a final short
+    batch.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    if bucket_factor <= 0:
+        raise ValueError("bucket_factor must be positive")
+    n = len(examples)
+    order = np.arange(n)
+    if shuffle:
+        rng = rng or np.random.default_rng()
+        rng.shuffle(order)
+    lengths = np.fromiter((len(examples[i]) for i in order), dtype=np.int64, count=n)
+    window = batch_size * bucket_factor if shuffle else n
+    batches: list[np.ndarray] = []
+    for start in range(0, n, max(window, 1)):
+        span = order[start:start + window]
+        span = span[np.argsort(lengths[start:start + window], kind="stable")]
+        for b_start in range(0, len(span), batch_size):
+            idx = span[b_start:b_start + batch_size]
+            if drop_last and len(idx) < batch_size:
+                continue
+            batches.append(idx)
+    if shuffle and len(batches) > 1:
+        batches = [batches[i] for i in rng.permutation(len(batches))]
+    for idx in batches:
+        yield pad_batch([examples[i] for i in idx], pad_id=pad_id, buffers=buffers)

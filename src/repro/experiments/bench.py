@@ -1,0 +1,182 @@
+"""Backend performance smoke benchmark (``python -m repro.experiments bench``).
+
+Times one epoch of LSTM classifier training (forward + backward + Adam)
+over a synthetic variable-length corpus under four backend configurations:
+
+1. ``seed``      — float64, composed per-step LSTM cell, naive batching
+                   (the repository's original configuration);
+2. ``fused``     — float64, fused LSTM step + fused functional kernels;
+3. ``fp32``      — float32 on top of fusion;
+4. ``fast``      — float32 + fusion + length-bucketed batching (the full
+                   fast path).
+
+Results (ms/epoch, speedup vs. seed) are printed as a table and recorded
+to ``BENCH_backend.json`` so perf regressions are visible in every PR —
+``benchmarks/test_perf_smoke.py`` asserts the fast path stays ≥ 2× the
+seed configuration.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.backend.core import default_dtype, fusion
+from repro.core.predictor import Predictor
+from repro.data.batching import batch_iterator
+from repro.data.dataset import ReviewExample
+from repro.optim.adam import Adam
+from repro.optim.optimizer import clip_grad_norm
+
+#: Default output artifact, written at the repository root when run via
+#: ``make bench`` / the CLI / the perf smoke test.
+DEFAULT_BENCH_PATH = "BENCH_backend.json"
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """One row of the benchmark grid."""
+
+    name: str
+    dtype: str
+    fused: bool
+    bucketing: bool
+
+
+BENCH_GRID: tuple[BenchConfig, ...] = (
+    BenchConfig("seed (float64, composed, naive)", "float64", False, False),
+    BenchConfig("float64 + fused", "float64", True, False),
+    BenchConfig("float32 + fused", "float32", True, False),
+    BenchConfig("float32 + fused + bucketed", "float32", True, True),
+)
+
+
+def make_corpus(
+    n_examples: int = 96,
+    min_len: int = 8,
+    max_len: int = 64,
+    vocab_size: int = 200,
+    seed: int = 0,
+) -> list[ReviewExample]:
+    """Synthetic variable-length classification corpus for timing."""
+    rng = np.random.default_rng(seed)
+    examples = []
+    for _ in range(n_examples):
+        length = int(rng.integers(min_len, max_len + 1))
+        token_ids = rng.integers(1, vocab_size, size=length).astype(np.int64)
+        examples.append(
+            ReviewExample(
+                tokens=["w"] * length,
+                token_ids=token_ids,
+                label=int(rng.integers(0, 2)),
+                rationale=np.zeros(length, dtype=np.int64),
+                aspect="bench",
+            )
+        )
+    return examples
+
+
+def _build_model(vocab_size: int, embedding_dim: int, hidden_size: int, fused_lstm: bool, seed: int) -> Predictor:
+    model = Predictor(
+        vocab_size,
+        embedding_dim,
+        hidden_size,
+        num_classes=2,
+        encoder="lstm",
+        freeze_embeddings=False,
+        rng=np.random.default_rng(seed),
+    )
+    model.encoder.fused = fused_lstm
+    return model
+
+
+def _time_epochs(
+    config: BenchConfig,
+    examples: list[ReviewExample],
+    vocab_size: int,
+    embedding_dim: int,
+    hidden_size: int,
+    batch_size: int,
+    repeats: int,
+    seed: int,
+) -> float:
+    """Best-of-``repeats`` wall time (seconds) for one training epoch."""
+    with default_dtype(config.dtype), fusion(config.fused):
+        model = _build_model(vocab_size, embedding_dim, hidden_size, config.fused, seed)
+        params = [p for p in model.parameters() if p.requires_grad]
+        optimizer = Adam(params, lr=1e-3)
+        best = np.inf
+        for repeat in range(repeats):
+            data_rng = np.random.default_rng(seed + repeat)
+            start = time.perf_counter()
+            for batch in batch_iterator(
+                examples, batch_size, shuffle=True, rng=data_rng, bucketing=config.bucketing
+            ):
+                optimizer.zero_grad()
+                logits = model(batch.token_ids, batch.mask, batch.mask)
+                loss = F.cross_entropy(logits, batch.labels)
+                loss.backward()
+                clip_grad_norm(params, 5.0)
+                optimizer.step()
+            best = min(best, time.perf_counter() - start)
+    return float(best)
+
+
+def run_backend_bench(
+    n_examples: int = 96,
+    min_len: int = 8,
+    max_len: int = 64,
+    vocab_size: int = 200,
+    embedding_dim: int = 48,
+    hidden_size: int = 32,
+    batch_size: int = 16,
+    # Best-of-3 everywhere (CLI, make bench, perf smoke test) so every
+    # writer of BENCH_backend.json uses the same methodology.
+    repeats: int = 3,
+    seed: int = 0,
+    out_path: Optional[str] = DEFAULT_BENCH_PATH,
+) -> list[dict]:
+    """Run the benchmark grid; return table rows and record the JSON artifact."""
+    examples = make_corpus(n_examples, min_len, max_len, vocab_size, seed)
+    rows: list[dict] = []
+    seed_time: Optional[float] = None
+    for config in BENCH_GRID:
+        elapsed = _time_epochs(
+            config, examples, vocab_size, embedding_dim, hidden_size, batch_size, repeats, seed
+        )
+        if seed_time is None:
+            seed_time = elapsed
+        rows.append(
+            {
+                "config": config.name,
+                "dtype": config.dtype,
+                "fused": config.fused,
+                "bucketing": config.bucketing,
+                "ms_per_epoch": round(elapsed * 1000.0, 2),
+                "speedup_vs_seed": round(seed_time / elapsed, 2),
+            }
+        )
+    if out_path:
+        artifact = {
+            "benchmark": "lstm_train_step",
+            "setup": {
+                "n_examples": n_examples,
+                "min_len": min_len,
+                "max_len": max_len,
+                "vocab_size": vocab_size,
+                "embedding_dim": embedding_dim,
+                "hidden_size": hidden_size,
+                "batch_size": batch_size,
+                "repeats": repeats,
+                "seed": seed,
+            },
+            "results": rows,
+        }
+        Path(out_path).write_text(json.dumps(artifact, indent=2) + "\n")
+    return rows

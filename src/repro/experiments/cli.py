@@ -5,9 +5,14 @@ Usage::
     python -m repro.experiments --list
     python -m repro.experiments --artifact table2
     python -m repro.experiments --artifact fig6 --epochs 15 --n-train 800
+    python -m repro.experiments --artifact table2 --dtype float32 --fused --bucketing
+    python -m repro.experiments bench
 
 Each artifact maps to one runner in :mod:`repro.experiments.runner`; the
-output is the paper-style text table.
+output is the paper-style text table.  ``--dtype``, ``--fused`` and
+``--bucketing`` select the backend fast path (see :mod:`repro.backend`);
+the ``bench`` command times the fast path against the seed configuration
+and records ``BENCH_backend.json``.
 """
 
 from __future__ import annotations
@@ -69,12 +74,33 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.experiments",
         description="Regenerate tables/figures of the DAR paper (ICDE 2024).",
     )
+    parser.add_argument(
+        "command", nargs="?", choices=("bench",),
+        help="subcommand: 'bench' runs the backend perf smoke benchmark over "
+             "its fixed configuration grid (only --seed and --bench-out apply)",
+    )
     parser.add_argument("--artifact", choices=sorted(ARTIFACTS), help="which artifact to regenerate")
     parser.add_argument("--list", action="store_true", help="list available artifacts")
     parser.add_argument("--profile", choices=("fast", "full"), default="fast")
     parser.add_argument("--n-train", type=int, default=None)
     parser.add_argument("--epochs", type=int, default=None)
     parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--dtype", choices=("float32", "float64"), default=None,
+        help="storage dtype for parameters/activations (float32 = fast path)",
+    )
+    parser.add_argument(
+        "--fused", action="store_true",
+        help="dispatch functional ops to the backend's fused kernels",
+    )
+    parser.add_argument(
+        "--bucketing", action="store_true",
+        help="length-bucketed training batches (less LSTM/GRU padding waste)",
+    )
+    parser.add_argument(
+        "--bench-out", default=None,
+        help="output path for the bench JSON artifact (default BENCH_backend.json)",
+    )
     return parser
 
 
@@ -88,12 +114,46 @@ def resolve_profile(args: argparse.Namespace) -> config_mod.ExperimentProfile:
         overrides["epochs"] = args.epochs
     if args.seed is not None:
         overrides["seed"] = args.seed
+    if args.dtype is not None:
+        overrides["dtype"] = args.dtype
+    if args.fused:
+        overrides["fused"] = True
+    if args.bucketing:
+        overrides["bucketing"] = True
     return profile.scaled(**overrides) if overrides else profile
 
 
+def run_bench(args: argparse.Namespace) -> int:
+    """Run the backend perf smoke benchmark and print the comparison table."""
+    from repro.experiments import bench
+
+    ignored = [
+        flag for flag, on in (
+            ("--artifact", args.artifact is not None),
+            ("--dtype", args.dtype is not None), ("--fused", args.fused),
+            ("--bucketing", args.bucketing), ("--n-train", args.n_train is not None),
+            ("--epochs", args.epochs is not None), ("--profile", args.profile != "fast"),
+        ) if on
+    ]
+    if ignored:
+        print(
+            f"# note: bench sweeps its own fixed configuration grid; ignoring {', '.join(ignored)}",
+            file=sys.stderr,
+        )
+    out_path = args.bench_out or bench.DEFAULT_BENCH_PATH
+    seed = args.seed if args.seed is not None else 0
+    start = time.time()
+    rows = bench.run_backend_bench(seed=seed, out_path=out_path)
+    print(render_table("Backend perf smoke — LSTM train step", rows, key_column="config"))
+    print(f"# recorded to {out_path} in {time.time() - start:.1f}s", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
-    """Entry point: list artifacts or regenerate one."""
+    """Entry point: list artifacts, regenerate one, or run the perf bench."""
     args = build_parser().parse_args(argv)
+    if args.command == "bench":
+        return run_bench(args)
     if args.list or not args.artifact:
         for name, (description, _) in sorted(ARTIFACTS.items()):
             print(f"{name:16s} {description}")

@@ -27,6 +27,11 @@ class ExperimentProfile:
     temperature: float = 0.8
     pretrain_epochs: int = 10
     seed: int = 0
+    # Backend performance knobs (see repro.backend): the defaults replay
+    # the seed numerics; "float32" + fused + bucketing is the fast path.
+    dtype: str = "float64"
+    fused: bool = False
+    bucketing: bool = False
 
     def scaled(self, **overrides) -> "ExperimentProfile":
         """Return a copy with the given fields replaced."""

@@ -87,6 +87,9 @@ def train_config_for(method: str, profile: ExperimentProfile, **overrides) -> Tr
         seed=profile.seed,
         selection=selection,
         pretrain_epochs=profile.pretrain_epochs,
+        dtype=profile.dtype,
+        fused=profile.fused,
+        bucketing=profile.bucketing,
     )
     defaults.update(overrides)
     return TrainConfig(**defaults)

@@ -5,6 +5,16 @@ use LSTMs; the GRU is this library's default (matching the paper), but an
 LSTM drop-in is provided for users porting configurations from other
 rationalization codebases.  Same ``(x, mask) -> (B, L, H or 2H)`` contract
 as :class:`repro.nn.rnn.GRU`.
+
+:class:`LSTM` batches the input projection of *every* timestep into one
+matmul and advances the recurrence with the backend's fused *sequence*
+kernel — one graph node per direction with an explicit BPTT backward
+(:func:`repro.backend.ops.fused_lstm_sequence`); ``fused=False`` falls
+back to the composed per-step :meth:`LSTMCell.forward`, which doubles as
+the gradcheck reference and the seed-configuration benchmark baseline.
+(The single-step kernel, :func:`repro.backend.ops.fused_lstm_step`, is
+the reference building block the sequence kernel is validated against —
+it has no production caller.)
 """
 
 from __future__ import annotations
@@ -14,6 +24,8 @@ from typing import Optional
 import numpy as np
 
 from repro.autograd.tensor import Tensor
+from repro.backend.core import get_default_dtype
+from repro.backend.ops import fused_lstm_sequence
 from repro.nn import init
 from repro.nn.module import Module, Parameter
 
@@ -58,6 +70,7 @@ class LSTM(Module):
         input_size: int,
         hidden_size: int,
         bidirectional: bool = True,
+        fused: bool = True,
         rng: Optional[np.random.Generator] = None,
     ):
         super().__init__()
@@ -65,6 +78,7 @@ class LSTM(Module):
         self.input_size = input_size
         self.hidden_size = hidden_size
         self.bidirectional = bidirectional
+        self.fused = fused
         self.cell_fw = LSTMCell(input_size, hidden_size, rng=rng)
         self.cell_bw = LSTMCell(input_size, hidden_size, rng=rng) if bidirectional else None
 
@@ -81,6 +95,24 @@ class LSTM(Module):
         return Tensor.concatenate([outputs_fw, outputs_bw], axis=2)
 
     def _run_direction(self, cell: LSTMCell, x: Tensor, mask: Optional[np.ndarray], reverse: bool) -> Tensor:
+        if self.fused:
+            return self._run_direction_fused(cell, x, mask, reverse)
+        return self._run_direction_composed(cell, x, mask, reverse)
+
+    def _run_direction_fused(self, cell: LSTMCell, x: Tensor, mask: Optional[np.ndarray], reverse: bool) -> Tensor:
+        batch, length, _ = x.shape
+        hs = cell.hidden_size
+        # One big matmul for the input projections of every timestep; the
+        # recurrence itself (recurrent matmul + bias + gate math + padding
+        # carry) is a single fused graph node per direction.
+        gates_x = x.reshape(batch * length, self.input_size) @ cell.weight_ih
+        gates_x = gates_x.reshape(batch, length, 4 * hs)
+        state_dtype = x.data.dtype if x.data.dtype.kind == "f" else get_default_dtype()
+        mask_f = np.asarray(mask, dtype=state_dtype) if mask is not None else None
+        return fused_lstm_sequence(gates_x, cell.weight_hh, cell.bias, mask_f, reverse)
+
+    def _run_direction_composed(self, cell: LSTMCell, x: Tensor, mask: Optional[np.ndarray], reverse: bool) -> Tensor:
+        """Seed-configuration path: one composed cell call per timestep."""
         batch, length, _ = x.shape
         h = Tensor(np.zeros((batch, cell.hidden_size)))
         c = Tensor(np.zeros((batch, cell.hidden_size)))
@@ -89,7 +121,7 @@ class LSTM(Module):
         for t in steps:
             h_new, c_new = cell(x[:, t, :], (h, c))
             if mask is not None:
-                m = Tensor(np.asarray(mask, dtype=np.float64)[:, t:t + 1])
+                m = Tensor(np.asarray(mask)[:, t:t + 1], dtype=h.data.dtype)
                 h = h_new * m + h * (1.0 - m)
                 c = c_new * m + c * (1.0 - m)
             else:

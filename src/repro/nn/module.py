@@ -77,6 +77,23 @@ class Module:
         for param in self.parameters():
             param.zero_grad()
 
+    def astype(self, dtype) -> "Module":
+        """Cast every float parameter to ``dtype`` in place (grads are cleared).
+
+        The dtype-policy counterpart of ``model.half()`` / ``model.float()``:
+        pair it with :func:`repro.backend.set_default_dtype` so activations
+        and parameters agree (mixed dtypes silently promote to float64 and
+        forfeit the fast path).
+        """
+        from repro.backend.core import canonical_dtype
+
+        target = canonical_dtype(dtype)
+        for _, param in self.named_parameters():
+            if param.data.dtype.kind == "f" and param.data.dtype != target:
+                param.data = param.data.astype(target)
+            param.grad = None
+        return self
+
     def train(self, mode: bool = True) -> "Module":
         """Set training mode recursively (affects dropout)."""
         for module in self.modules():

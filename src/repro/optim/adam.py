@@ -34,9 +34,15 @@ class Adam(Optimizer):
         self._step += 1
         bias1 = 1.0 - self.beta1 ** self._step
         bias2 = 1.0 - self.beta2 ** self._step
-        for param, m, v in zip(self.params, self._m, self._v):
+        for i, param in enumerate(self.params):
             if param.grad is None:
                 continue
+            if self._m[i].dtype != param.data.dtype:
+                # Keep moment buffers in the parameter's dtype so a model
+                # recast via Module.astype() stays on the fast path.
+                self._m[i] = self._m[i].astype(param.data.dtype)
+                self._v[i] = self._v[i].astype(param.data.dtype)
+            m, v = self._m[i], self._v[i]
             grad = param.grad
             if self.weight_decay:
                 grad = grad + self.weight_decay * param.data

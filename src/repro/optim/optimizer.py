@@ -33,12 +33,19 @@ class Optimizer:
 def clip_grad_norm(params: Iterable[Tensor], max_norm: float) -> float:
     """Scale gradients so their global L2 norm is at most ``max_norm``.
 
-    Returns the pre-clipping norm (useful for logging divergence).
+    Returns the pre-clipping norm (useful for logging divergence).  The
+    per-parameter squared norms are accumulated in float64 regardless of
+    the gradients' storage dtype (so the float32 fast path doesn't lose
+    the clipping decision to rounding), and the scale pass is skipped
+    entirely when the norm is already under the threshold.
     """
-    params = [p for p in params if p.grad is not None]
-    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+    grads = [p.grad for p in params if p.grad is not None]
+    # astype(copy=False) is a no-op for float64 gradients (seed numerics
+    # preserved) and upcasts float32 ones so the reduction really runs in
+    # float64.
+    total = float(np.sqrt(sum(float((g.astype(np.float64, copy=False) ** 2).sum()) for g in grads)))
     if total > max_norm and total > 0:
         scale = max_norm / total
-        for p in params:
-            p.grad *= scale
+        for g in grads:
+            g *= scale
     return total

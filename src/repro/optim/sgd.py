@@ -21,9 +21,13 @@ class SGD(Optimizer):
 
     def step(self) -> None:
         """Apply one (momentum) SGD update to every parameter."""
-        for param, velocity in zip(self.params, self._velocity):
+        for i, param in enumerate(self.params):
             if param.grad is None:
                 continue
+            if self._velocity[i].dtype != param.data.dtype:
+                # dtype-aware state: follow the parameter after Module.astype().
+                self._velocity[i] = self._velocity[i].astype(param.data.dtype)
+            velocity = self._velocity[i]
             grad = param.grad
             if self.weight_decay:
                 grad = grad + self.weight_decay * param.data

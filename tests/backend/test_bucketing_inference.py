@@ -1,0 +1,207 @@
+"""Bucketed batching coverage/determinism and the InferenceSession fast path."""
+
+import numpy as np
+import pytest
+
+from repro.core.inference import InferenceSession
+from repro.data.batching import batch_iterator, bucketed_batch_iterator, pad_batch
+from repro.data.dataset import ReviewExample
+
+
+def make_examples(n=37, seed=0, min_len=3, max_len=30):
+    rng = np.random.default_rng(seed)
+    examples = []
+    for k in range(n):
+        length = int(rng.integers(min_len, max_len + 1))
+        examples.append(
+            ReviewExample(
+                tokens=[f"w{k}"] * length,
+                # Encode the example index in the first token id so batches
+                # can be mapped back to source examples.
+                token_ids=np.concatenate([[k + 1], rng.integers(1, 50, size=length - 1)]).astype(np.int64),
+                label=k % 2,
+                rationale=np.zeros(length, dtype=np.int64),
+                aspect="t",
+            )
+        )
+    return examples
+
+
+def collect_ids(batches):
+    return sorted(int(b.token_ids[i, 0]) for b in batches for i in range(len(b)))
+
+
+class TestBucketedIterator:
+    def test_covers_all_examples_exactly_once(self):
+        examples = make_examples()
+        batches = list(bucketed_batch_iterator(examples, 8, shuffle=True, rng=np.random.default_rng(1)))
+        assert collect_ids(batches) == list(range(1, len(examples) + 1))
+
+    def test_covers_all_without_shuffle(self):
+        examples = make_examples()
+        batches = list(bucketed_batch_iterator(examples, 8, shuffle=False))
+        assert collect_ids(batches) == list(range(1, len(examples) + 1))
+
+    def test_seeded_shuffle_is_deterministic(self):
+        examples = make_examples()
+        a = list(bucketed_batch_iterator(examples, 8, shuffle=True, rng=np.random.default_rng(7)))
+        b = list(bucketed_batch_iterator(examples, 8, shuffle=True, rng=np.random.default_rng(7)))
+        c = list(bucketed_batch_iterator(examples, 8, shuffle=True, rng=np.random.default_rng(8)))
+        assert all(np.array_equal(x.token_ids, y.token_ids) for x, y in zip(a, b))
+        assert any(not np.array_equal(x.token_ids, y.token_ids) for x, y in zip(a, c))
+
+    def test_reduces_padding_vs_naive(self):
+        examples = make_examples(n=200, max_len=60)
+        rng = np.random.default_rng(0)
+        naive = sum(b.token_ids.size for b in batch_iterator(examples, 16, shuffle=True, rng=rng))
+        bucketed = sum(
+            b.token_ids.size
+            for b in bucketed_batch_iterator(examples, 16, shuffle=True, rng=np.random.default_rng(0))
+        )
+        assert bucketed < naive
+
+    def test_batches_respect_batch_size(self):
+        examples = make_examples()
+        for batch in bucketed_batch_iterator(examples, 8, shuffle=True, rng=np.random.default_rng(1)):
+            assert len(batch) <= 8
+
+    def test_drop_last(self):
+        examples = make_examples(n=37)
+        batches = list(
+            bucketed_batch_iterator(examples, 8, shuffle=True, rng=np.random.default_rng(1), drop_last=True)
+        )
+        assert all(len(b) == 8 for b in batches)
+        assert len(batches) == 4
+
+    def test_batch_iterator_bucketing_flag_delegates(self):
+        examples = make_examples()
+        via_flag = list(
+            batch_iterator(examples, 8, shuffle=True, rng=np.random.default_rng(3), bucketing=True)
+        )
+        direct = list(
+            bucketed_batch_iterator(examples, 8, shuffle=True, rng=np.random.default_rng(3))
+        )
+        assert all(np.array_equal(x.token_ids, y.token_ids) for x, y in zip(via_flag, direct))
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            list(bucketed_batch_iterator(make_examples(5), 0))
+
+
+class TestPadBatchBuffers:
+    def test_buffers_reused_for_same_geometry(self):
+        examples = make_examples(n=8, min_len=5, max_len=5)
+        buffers = {}
+        a = pad_batch(examples[:4], buffers=buffers)
+        first_ids = a.token_ids
+        b = pad_batch(examples[4:], buffers=buffers)
+        assert b.token_ids is first_ids  # same storage, new contents
+        assert collect_ids([b]) == [5, 6, 7, 8]
+
+    def test_buffer_contents_correct_after_reuse(self):
+        examples = make_examples(n=6, min_len=4, max_len=8)
+        buffers = {}
+        fresh = [pad_batch([e]) for e in examples]
+        reused = [pad_batch([e], buffers=buffers) for e in examples]
+        # Compare the *last* reused batch (earlier ones may share storage).
+        assert np.array_equal(fresh[-1].token_ids, reused[-1].token_ids)
+        assert np.array_equal(fresh[-1].mask, reused[-1].mask)
+
+
+class _CountingModel:
+    """Stub exposing the evaluation surface; records batch geometry."""
+
+    def __init__(self):
+        self.padded_cells = 0
+
+    def predict_full_text(self, batch):
+        self.padded_cells += batch.token_ids.size
+        return batch.token_ids[:, 0] % 2
+
+    def predict_from_rationale(self, batch):
+        return self.predict_full_text(batch)
+
+    def select(self, batch):
+        return batch.mask.copy()
+
+
+class TestInferenceSession:
+    def test_predictions_aligned_to_input_order(self):
+        examples = make_examples(n=23)
+        session = InferenceSession(_CountingModel(), batch_size=5)
+        preds = session.predict_full_text(examples)
+        expected = np.array([(k + 1) % 2 for k in range(len(examples))])
+        assert np.array_equal(preds, expected)
+
+    def test_bucketing_reduces_padded_cells(self):
+        examples = make_examples(n=100, max_len=60)
+        bucketed_model, naive_model = _CountingModel(), _CountingModel()
+        InferenceSession(bucketed_model, batch_size=10, bucketing=True).predict_full_text(examples)
+        InferenceSession(naive_model, batch_size=10, bucketing=False).predict_full_text(examples)
+        assert bucketed_model.padded_cells < naive_model.padded_cells
+
+    def test_select_aligned_and_padded_to_global_max(self):
+        examples = make_examples(n=9)
+        session = InferenceSession(_CountingModel(), batch_size=4)
+        masks = session.select(examples)
+        assert masks.shape == (9, max(len(e) for e in examples))
+        for k, example in enumerate(examples):
+            assert masks[k, :len(example)].sum() == len(example)
+            assert masks[k, len(example):].sum() == 0
+
+    def test_no_graph_recorded_inside_session(self):
+        from repro.autograd.tensor import is_grad_enabled
+
+        flags = []
+
+        class Probe(_CountingModel):
+            def predict_full_text(self, batch):
+                flags.append(is_grad_enabled())
+                return super().predict_full_text(batch)
+
+        InferenceSession(Probe(), batch_size=4).predict_full_text(make_examples(n=8))
+        assert flags and not any(flags)
+
+    def test_map_aligned_rows_land_at_source_positions(self):
+        examples = make_examples(n=11)
+        session = InferenceSession(_CountingModel(), batch_size=4)
+        rows = session.map_aligned(lambda b: b.token_ids.astype(float), examples)
+        for k, example in enumerate(examples):
+            assert rows[k, 0] == k + 1  # first token id encodes the index
+            assert rows[k, len(example):].sum() == 0
+
+    def test_decode_sentences_aligned(self, tiny_beer):
+        from repro.core import RNP
+        from repro.core.decoding import decode_batch_sentences, decode_sentences
+        from repro.data.batching import pad_batch
+
+        model = RNP(
+            vocab_size=len(tiny_beer.vocab), embedding_dim=64, hidden_size=8,
+            alpha=0.15, pretrained_embeddings=tiny_beer.embeddings,
+            rng=np.random.default_rng(0),
+        )
+        examples = tiny_beer.test[:9]
+        via_session = decode_sentences(model, examples, batch_size=4)
+        single = decode_batch_sentences(model, pad_batch(examples))
+        assert via_session.shape == single.shape
+        assert np.array_equal(via_session, single)
+
+    def test_evaluate_probes_match_seed_batching(self, tiny_beer):
+        """Session-routed probes agree with a plain per-example evaluation."""
+        from repro.core import RNP
+        from repro.core.trainer import evaluate_full_text, evaluate_rationale_accuracy
+
+        model = RNP(
+            vocab_size=len(tiny_beer.vocab), embedding_dim=64, hidden_size=8,
+            alpha=0.15, pretrained_embeddings=tiny_beer.embeddings,
+            rng=np.random.default_rng(0),
+        )
+        session = InferenceSession(model, batch_size=7)
+        acc_bucketed = evaluate_rationale_accuracy(model, tiny_beer.test, session=session)
+        acc_plain = evaluate_rationale_accuracy(
+            model, tiny_beer.test, session=InferenceSession(model, batch_size=200, bucketing=False)
+        )
+        assert acc_bucketed == pytest.approx(acc_plain)
+        score_a = evaluate_full_text(model, tiny_beer.test, session=session)
+        score_b = evaluate_full_text(model, tiny_beer.test)
+        assert score_a.accuracy == pytest.approx(score_b.accuracy)

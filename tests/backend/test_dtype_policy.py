@@ -1,0 +1,150 @@
+"""Dtype policy: round-trips, tensor construction, integer preservation."""
+
+import numpy as np
+import pytest
+
+from repro import backend
+from repro.autograd import Tensor, tensor, zeros, ones, randn, arange
+from repro.nn.linear import Linear
+from repro.optim.adam import Adam
+
+
+class TestPolicyRoundTrip:
+    def test_default_is_float64(self):
+        assert backend.get_default_dtype() == np.float64
+
+    def test_set_and_restore(self):
+        previous = backend.set_default_dtype("float32")
+        try:
+            assert backend.get_default_dtype() == np.float32
+        finally:
+            backend.set_default_dtype(previous)
+        assert backend.get_default_dtype() == np.float64
+
+    def test_context_manager_restores(self):
+        with backend.default_dtype("float32"):
+            assert backend.get_default_dtype() == np.float32
+            with backend.default_dtype(np.float64):
+                assert backend.get_default_dtype() == np.float64
+            assert backend.get_default_dtype() == np.float32
+        assert backend.get_default_dtype() == np.float64
+
+    def test_context_manager_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with backend.default_dtype("float32"):
+                raise RuntimeError("boom")
+        assert backend.get_default_dtype() == np.float64
+
+    def test_aliases(self):
+        assert backend.canonical_dtype("fp32") == np.float32
+        assert backend.canonical_dtype("double") == np.float64
+        assert backend.canonical_dtype(np.float32) == np.float32
+
+    def test_rejects_non_float(self):
+        with pytest.raises(ValueError):
+            backend.set_default_dtype(np.int64)
+        with pytest.raises(ValueError):
+            backend.canonical_dtype("bfloat99")
+
+
+class TestTensorConstruction:
+    def test_float_list_follows_policy(self):
+        with backend.default_dtype("float32"):
+            assert Tensor([1.0, 2.0]).data.dtype == np.float32
+        assert Tensor([1.0, 2.0]).data.dtype == np.float64
+
+    def test_constructors_follow_policy(self):
+        with backend.default_dtype("float32"):
+            assert zeros(2, 3).data.dtype == np.float32
+            assert ones(4).data.dtype == np.float32
+            assert randn(2, rng=np.random.default_rng(0)).data.dtype == np.float32
+            assert arange(5).data.dtype == np.float32
+            assert tensor([1.5]).data.dtype == np.float32
+
+    def test_explicit_dtype_overrides_policy(self):
+        assert Tensor([1.0], dtype=np.float32).data.dtype == np.float32
+        with backend.default_dtype("float32"):
+            assert Tensor([1.0], dtype=np.float64).data.dtype == np.float64
+
+    def test_ops_preserve_float32(self):
+        with backend.default_dtype("float32"):
+            x = Tensor(np.random.default_rng(0).standard_normal((3, 4)), requires_grad=True)
+            y = ((x * 2.0).tanh().sigmoid() @ Tensor(np.ones((4, 2)))).sum()
+            assert y.data.dtype == np.float32
+            y.backward()
+            assert x.grad.dtype == np.float32
+
+    def test_detach_preserves_dtype_across_policy(self):
+        x = Tensor([1.0, 2.0])  # float64
+        with backend.default_dtype("float32"):
+            assert x.detach().data.dtype == np.float64
+
+    def test_astype(self):
+        x = Tensor([1.0, 2.0])
+        assert x.astype(np.float32).data.dtype == np.float32
+        assert x.data.dtype == np.float64  # original untouched
+
+
+class TestIntegerPreservation:
+    def test_int_ndarray_preserved(self):
+        token_ids = np.array([3, 1, 4, 1, 5], dtype=np.int64)
+        t = Tensor(token_ids)
+        assert t.data.dtype == np.int64
+        assert np.array_equal(t.data, token_ids)
+
+    def test_int32_preserved(self):
+        assert Tensor(np.array([1, 2], dtype=np.int32)).data.dtype == np.int32
+
+    def test_python_ints_still_promote(self):
+        # Historical behaviour relied upon throughout the test suite.
+        assert Tensor([1, 2, 3]).data.dtype == np.float64
+
+    def test_requires_grad_upcasts_ints(self):
+        t = Tensor(np.array([1, 2], dtype=np.int64), requires_grad=True)
+        assert t.data.dtype == np.float64
+
+    def test_int_float_arithmetic_promotes(self):
+        ids = Tensor(np.array([1, 2], dtype=np.int64))
+        out = ids * Tensor([0.5, 0.5])
+        assert out.data.dtype.kind == "f"
+
+    def test_int_operand_does_not_demote_float32_path(self):
+        # NEP-50 would promote float32 ⊗ int64 to float64; the arithmetic
+        # dunders harmonize the integer operand to the float dtype instead.
+        with backend.default_dtype("float32"):
+            float_t = Tensor(np.ones((2, 2), dtype=np.float32))
+            int_t = Tensor(np.array([[1, 2], [3, 4]], dtype=np.int64))
+            for out in (float_t * int_t, int_t + float_t, float_t - int_t, int_t / float_t):
+                assert out.data.dtype == np.float32
+            assert (int_t @ float_t).data.dtype == np.float32
+
+    def test_duplicate_tuple_index_gradient_accumulates(self):
+        # An inner tuple is an advanced (duplicating) index for numpy; the
+        # getitem backward must route it through np.add.at.
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        x[:, (0, 0)].sum().backward()
+        assert np.array_equal(x.grad, np.array([[2.0, 0, 0], [2.0, 0, 0]]))
+
+
+class TestModuleAndOptimizerDtype:
+    def test_module_astype_casts_parameters(self):
+        layer = Linear(4, 3, rng=np.random.default_rng(0))
+        layer.astype("float32")
+        for _, p in layer.named_parameters():
+            assert p.data.dtype == np.float32
+        layer.astype("float64")
+        for _, p in layer.named_parameters():
+            assert p.data.dtype == np.float64
+
+    def test_optimizer_state_follows_astype(self):
+        layer = Linear(4, 3, rng=np.random.default_rng(0))
+        params = list(layer.parameters())
+        opt = Adam(params, lr=1e-3)
+        layer.astype("float32")
+        with backend.default_dtype("float32"):
+            out = layer(Tensor(np.ones((2, 4), dtype=np.float32)))
+            out.sum().backward()
+            opt.step()
+        for m, p in zip(opt._m, params):
+            assert m.dtype == np.float32
+            assert p.data.dtype == np.float32

@@ -51,6 +51,52 @@ class TestProfileResolution:
         assert resolve_profile(args).n_train >= 2000
 
 
+class TestBackendKnobs:
+    def test_defaults_are_seed_configuration(self):
+        args = build_parser().parse_args(["--artifact", "table9"])
+        profile = resolve_profile(args)
+        assert profile.dtype == "float64"
+        assert profile.fused is False
+        assert profile.bucketing is False
+
+    def test_fast_path_flags(self):
+        args = build_parser().parse_args(
+            ["--artifact", "table9", "--dtype", "float32", "--fused", "--bucketing"]
+        )
+        profile = resolve_profile(args)
+        assert profile.dtype == "float32"
+        assert profile.fused is True
+        assert profile.bucketing is True
+
+    def test_invalid_dtype_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--dtype", "float16"])
+
+    def test_bench_command_parses(self):
+        args = build_parser().parse_args(["bench", "--bench-out", "/tmp/x.json"])
+        assert args.command == "bench"
+        assert args.bench_out == "/tmp/x.json"
+
+    def test_bench_command_runs(self, tmp_path, capsys, monkeypatch):
+        from repro.experiments import bench as bench_mod
+
+        full_bench = bench_mod.run_backend_bench
+
+        def tiny_bench(seed=0, out_path=None, **_):
+            return full_bench(
+                n_examples=8, min_len=4, max_len=10, embedding_dim=8, hidden_size=4,
+                batch_size=4, repeats=1, seed=seed, out_path=out_path,
+            )
+
+        monkeypatch.setattr(bench_mod, "run_backend_bench", tiny_bench)
+        out_file = tmp_path / "BENCH_backend.json"
+        assert main(["bench", "--bench-out", str(out_file)]) == 0
+        assert out_file.exists()
+        table = capsys.readouterr().out
+        assert "speedup_vs_seed" in table
+        assert "seed (float64, composed, naive)" in table
+
+
 class TestExecution:
     def test_table9_runs_quickly(self, capsys):
         # table9 involves no training — safe to execute in a unit test.
