@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench artifacts list
+.PHONY: test bench serve serve-bench artifacts list
 
 # Tier-1 verification: the full unit/integration suite.
 test:
@@ -11,6 +11,18 @@ test:
 # fast path; prints the comparison table and records BENCH_backend.json.
 bench:
 	$(PYTHON) -m repro.experiments bench
+
+# Stand saved checkpoints up behind the HTTP JSON API (repro.serve).
+# Override MODEL_DIR/PORT, e.g.: make serve MODEL_DIR=ckpt PORT=9000
+MODEL_DIR ?= ckpt
+PORT ?= 8080
+serve:
+	$(PYTHON) -m repro.experiments serve --model-dir $(MODEL_DIR) --port $(PORT) --dtype float32 --fused
+
+# Serving load generator: micro-batched vs sequential throughput,
+# latency percentiles and cache hit rate; records BENCH_serve.json.
+serve-bench:
+	$(PYTHON) -m repro.experiments serve-bench
 
 # List available paper artifacts.
 list:

@@ -1,0 +1,53 @@
+"""Serving perf smoke: micro-batching must stay ≥ 2× sequential serving.
+
+Drives the in-process serving stack (registry -> cache -> scheduler ->
+pooled InferenceSession) with the load generator of
+:mod:`repro.serve.bench` and records the comparison to ``BENCH_serve.json``
+at the repository root, so serving regressions surface in every PR just
+like backend ones do via ``test_perf_smoke.py``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.serve.bench import DEFAULT_SERVE_BENCH_PATH, run_serve_bench
+from repro.utils import render_table
+
+_BENCH_OUT = str(Path(__file__).resolve().parent.parent / DEFAULT_SERVE_BENCH_PATH)
+
+
+@pytest.fixture(scope="module")
+def serve_rows():
+    """Run the three serving phases once (sequential / batched / cached)."""
+    return run_serve_bench(out_path=_BENCH_OUT)
+
+
+class TestServeSmoke:
+    def test_all_phases_ran(self, serve_rows):
+        assert [row["phase"] for row in serve_rows] == ["sequential", "batched", "cached"]
+        assert all(row["throughput_rps"] > 0 for row in serve_rows)
+        assert all(row["requests"] == serve_rows[0]["requests"] for row in serve_rows)
+
+    def test_artifact_recorded(self, serve_rows):
+        assert Path(_BENCH_OUT).exists()
+
+    def test_microbatching_at_least_2x_sequential(self, serve_rows):
+        """The acceptance bar: coalesced serving ≥ 2× one-at-a-time."""
+        sequential, batched = serve_rows[0], serve_rows[1]
+        print(render_table("Serve perf smoke", serve_rows, key_column="phase"))
+        assert batched["mean_batch_size"] > 1.0, "scheduler never coalesced"
+        speedup = batched["throughput_rps"] / sequential["throughput_rps"]
+        assert speedup >= 2.0, (
+            f"micro-batched serving only {speedup:.2f}x sequential "
+            f"({batched['throughput_rps']} vs {sequential['throughput_rps']} req/s)"
+        )
+
+    def test_cache_replay_hits(self, serve_rows):
+        """Replaying the stream against a warm cache must hit ~always and
+        beat the batched phase."""
+        batched, cached = serve_rows[1], serve_rows[2]
+        assert cached["hit_rate"] >= 0.99
+        assert cached["throughput_rps"] > batched["throughput_rps"]

@@ -24,7 +24,14 @@ The package is organized bottom-up:
 - :mod:`repro.experiments` — the harness regenerating every paper
   table/figure, plus the backend perf benchmark
   (``python -m repro.experiments bench``).
-- :mod:`repro.serialization` — model save/load.
+- :mod:`repro.serialization` — model save/load (versioned checkpoints
+  with dtype/backend metadata).
+- :mod:`repro.serve` — the model-serving subsystem: artifact registry,
+  dynamic micro-batching scheduler, LRU rationale cache, and a
+  stdlib-only HTTP JSON API (``python -m repro.experiments serve``;
+  ``python -m repro.experiments serve-bench`` records
+  ``BENCH_serve.json``, asserted ≥ 2× sequential by
+  ``benchmarks/test_serve_smoke.py``).
 
 Performance knobs
 -----------------

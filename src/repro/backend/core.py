@@ -12,7 +12,10 @@ This module is the single choke point for "how array math is executed":
   ``float64`` (the default) behaves exactly like the seed implementation,
   which keeps finite-difference gradient checks meaningful; switching to
   ``float32`` (:func:`set_default_dtype`) halves memory traffic for
-  training and benchmarking.
+  training and benchmarking.  The dtype and fusion policies are
+  *per-thread* (fresh threads start at the defaults), so a serving
+  worker's fast-path settings never leak into a training loop running
+  concurrently on another thread.
 - A **fusion switch**: :func:`set_fusion` / :func:`fusion` routes the
   thin wrappers in :mod:`repro.autograd.functional` to the fused kernels.
   It defaults to off so the composed reference ops define the numerics;
@@ -26,6 +29,7 @@ from anywhere in the package without cycles.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterator, Optional
 
 import numpy as np
@@ -56,20 +60,24 @@ def canonical_dtype(dtype) -> np.dtype:
     return resolved
 
 
-_default_dtype: np.dtype = np.dtype(np.float64)
-_fusion_enabled: bool = False
+# The dtype/fusion policy is *per-thread* (with process-wide defaults):
+# a serving worker toggling fusion for its batches must never perturb a
+# training loop running concurrently on another thread.  Fresh threads
+# start at the defaults below.
+_POLICY_DEFAULT_DTYPE: np.dtype = np.dtype(np.float64)
+_POLICY_DEFAULT_FUSION: bool = False
+_policy = threading.local()
 
 
 def get_default_dtype() -> np.dtype:
     """The dtype float tensors are created with (``float64`` unless changed)."""
-    return _default_dtype
+    return getattr(_policy, "dtype", _POLICY_DEFAULT_DTYPE)
 
 
 def set_default_dtype(dtype) -> np.dtype:
-    """Set the global float dtype policy; returns the previous dtype."""
-    global _default_dtype
-    previous = _default_dtype
-    _default_dtype = canonical_dtype(dtype)
+    """Set the calling thread's float dtype policy; returns the previous dtype."""
+    previous = get_default_dtype()
+    _policy.dtype = canonical_dtype(dtype)
     return previous
 
 
@@ -78,21 +86,21 @@ def default_dtype(dtype) -> Iterator[np.dtype]:
     """Context manager scoping :func:`set_default_dtype` to a block."""
     previous = set_default_dtype(dtype)
     try:
-        yield _default_dtype
+        yield get_default_dtype()
     finally:
         set_default_dtype(previous)
 
 
 def fusion_enabled() -> bool:
     """Whether functional ops dispatch to the backend's fused kernels."""
-    return _fusion_enabled
+    return getattr(_policy, "fusion", _POLICY_DEFAULT_FUSION)
 
 
 def set_fusion(enabled: bool) -> bool:
-    """Toggle fused-kernel dispatch; returns the previous setting."""
-    global _fusion_enabled
-    previous = _fusion_enabled
-    _fusion_enabled = bool(enabled)
+    """Toggle fused-kernel dispatch for the calling thread; returns the
+    previous setting."""
+    previous = fusion_enabled()
+    _policy.fusion = bool(enabled)
     return previous
 
 
@@ -101,7 +109,7 @@ def fusion(enabled: bool = True) -> Iterator[bool]:
     """Context manager scoping :func:`set_fusion` to a block."""
     previous = set_fusion(enabled)
     try:
-        yield _fusion_enabled
+        yield fusion_enabled()
     finally:
         set_fusion(previous)
 

@@ -198,6 +198,118 @@ def lstm_sequence_backward(
 
 
 # ----------------------------------------------------------------------
+# Fused GRU over a whole sequence (single graph node, explicit BPTT)
+# ----------------------------------------------------------------------
+def gru_sequence_forward(
+    gates_x: np.ndarray,
+    weight_hh: np.ndarray,
+    bias_hh: np.ndarray,
+    mask: np.ndarray | None,
+    reverse: bool,
+    need_cache: bool = True,
+) -> tuple[np.ndarray, tuple | None]:
+    """Unrolled GRU recurrence over (B, L, 3H) input pre-activations.
+
+    ``gates_x`` is the batched input projection ``x @ W_ih + b_ih`` for
+    every timestep, laid out ``[reset, update, candidate]``; the recurrent
+    projection, gate nonlinearities, convex state update and (optional)
+    padding-mask carry all run here, step math identical to
+    :meth:`repro.nn.rnn.GRUCell.step_from_gates`.  Returns the (B, L, H)
+    hidden sequence plus the cache for :func:`gru_sequence_backward` —
+    ``need_cache=False`` (the no-grad inference path) skips the ~5
+    sequence-sized cache allocations and returns ``None`` for it.
+    """
+    batch, length, three_h = gates_x.shape
+    hs = three_h // 3
+    dtype = gates_x.dtype
+    h = np.zeros((batch, hs), dtype=dtype)
+    if need_cache:
+        r_all = np.empty((batch, length, hs), dtype=dtype)
+        z_all = np.empty((batch, length, hs), dtype=dtype)
+        n_all = np.empty((batch, length, hs), dtype=dtype)
+        gh_n_all = np.empty((batch, length, hs), dtype=dtype)
+        h_prev_all = np.empty((batch, length, hs), dtype=dtype)
+    out = np.empty((batch, length, hs), dtype=dtype)
+    steps = range(length - 1, -1, -1) if reverse else range(length)
+    for t in steps:
+        gates_h = h @ weight_hh + bias_hh
+        gh_n = gates_h[:, 2 * hs:]
+        r = _sigmoid(gates_x[:, t, 0:hs] + gates_h[:, 0:hs])
+        z = _sigmoid(gates_x[:, t, hs:2 * hs] + gates_h[:, hs:2 * hs])
+        n = np.tanh(gates_x[:, t, 2 * hs:] + r * gh_n)
+        if need_cache:
+            r_all[:, t] = r
+            z_all[:, t] = z
+            n_all[:, t] = n
+            gh_n_all[:, t] = gh_n
+            h_prev_all[:, t] = h
+        h_tilde = (1.0 - z) * n + z * h
+        if mask is not None:
+            m = mask[:, t:t + 1]
+            h = h_tilde * m + h * (1.0 - m)
+        else:
+            h = h_tilde
+        out[:, t] = h
+    if not need_cache:
+        return out, None
+    cache = (r_all, z_all, n_all, gh_n_all, h_prev_all, steps)
+    return out, cache
+
+
+def gru_sequence_backward(
+    grad_out: np.ndarray,
+    weight_hh: np.ndarray,
+    mask: np.ndarray | None,
+    cache: tuple,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """BPTT for :func:`gru_sequence_forward`.
+
+    Returns ``(d_gates_x, d_weight_hh, d_bias_hh)``.  Per-step gate
+    gradients are written straight into the preallocated (B, L, 3H)
+    result, so the whole backward is O(L) in full-sequence array traffic
+    (the composed graph pays O(L²) re-summing per-step scatter outputs).
+    """
+    r_all, z_all, n_all, gh_n_all, h_prev_all, steps = cache
+    batch, length, hs = r_all.shape
+    dtype = grad_out.dtype
+    d_gates_x = np.empty((batch, length, 3 * hs), dtype=dtype)
+    d_weight_hh = np.zeros_like(weight_hh)
+    d_bias_hh = np.zeros(3 * hs, dtype=weight_hh.dtype)
+    dh = np.zeros((batch, hs), dtype=dtype)
+    weight_hh_T = weight_hh.T
+    dgates_h = np.empty((batch, 3 * hs), dtype=dtype)
+    for t in reversed(list(steps)):
+        dh = dh + grad_out[:, t]
+        if mask is not None:
+            m = mask[:, t:t + 1]
+            dh_tilde = dh * m
+            dh_carry = dh * (1.0 - m)
+        else:
+            dh_tilde, dh_carry = dh, 0.0
+        r = r_all[:, t]
+        z = z_all[:, t]
+        n = n_all[:, t]
+        gh_n = gh_n_all[:, t]
+        h_prev = h_prev_all[:, t]
+        dn = dh_tilde * (1.0 - z)
+        dz = dh_tilde * (h_prev - n)
+        da_n = dn * (1.0 - n ** 2)
+        da_r = (da_n * gh_n) * r * (1.0 - r)
+        da_z = dz * z * (1.0 - z)
+        dgx = d_gates_x[:, t]
+        dgx[:, 0:hs] = da_r
+        dgx[:, hs:2 * hs] = da_z
+        dgx[:, 2 * hs:] = da_n
+        dgates_h[:, 0:hs] = da_r
+        dgates_h[:, hs:2 * hs] = da_z
+        dgates_h[:, 2 * hs:] = da_n * r
+        d_weight_hh += h_prev.T @ dgates_h
+        d_bias_hh += dgates_h.sum(axis=0)
+        dh = dh_carry + dh_tilde * z + dgates_h @ weight_hh_T
+    return d_gates_x, d_weight_hh, d_bias_hh
+
+
+# ----------------------------------------------------------------------
 # Fused softmax / log-softmax / cross-entropy
 # ----------------------------------------------------------------------
 def softmax_forward(x: np.ndarray, axis: int = -1) -> np.ndarray:
@@ -289,6 +401,8 @@ _KERNELS = {
     "lstm_step_backward_c": lstm_step_backward_c,
     "lstm_sequence_forward": lstm_sequence_forward,
     "lstm_sequence_backward": lstm_sequence_backward,
+    "gru_sequence_forward": gru_sequence_forward,
+    "gru_sequence_backward": gru_sequence_backward,
     "softmax_forward": softmax_forward,
     "softmax_backward": softmax_backward,
     "log_softmax_forward": log_softmax_forward,

@@ -73,6 +73,41 @@ def fused_lstm_sequence(
     return Tensor._make(out, (gates_x, weight_hh, bias), backward, "lstm_sequence")
 
 
+def fused_gru_sequence(
+    gates_x: Tensor,
+    weight_hh: Tensor,
+    bias_hh: Tensor,
+    mask: Optional[np.ndarray],
+    reverse: bool = False,
+) -> Tensor:
+    """Whole GRU recurrence ``(B, L, 3H) -> (B, L, H)`` as ONE graph node.
+
+    ``gates_x`` is the batched input projection (including ``bias_ih``)
+    for every timestep; the recurrent matmuls, gate math and padding carry
+    run inside the kernel, and the backward is an explicit BPTT loop
+    (:func:`repro.backend.kernels.gru_sequence_backward`).  Step math is
+    identical to :meth:`repro.nn.rnn.GRUCell.step_from_gates`, but the
+    graph holds a single node per direction instead of O(L) nodes —
+    :class:`repro.nn.rnn.GRU` dispatches here when the fusion switch is on,
+    which is what makes the default (paper-configuration) encoder scale.
+    """
+    backend = get_backend()
+    # Mirror Tensor._make's graph condition: on the no-grad inference path
+    # the BPTT cache would be dead weight, so skip allocating it.
+    need_cache = is_grad_enabled() and (
+        gates_x.requires_grad or weight_hh.requires_grad or bias_hh.requires_grad
+    )
+    out, cache = backend.kernel("gru_sequence_forward")(
+        gates_x.data, weight_hh.data, bias_hh.data, mask, reverse, need_cache
+    )
+    sequence_backward = backend.kernel("gru_sequence_backward")
+
+    def backward(grad):
+        return sequence_backward(grad, weight_hh.data, mask, cache)
+
+    return Tensor._make(out, (gates_x, weight_hh, bias_hh), backward, "gru_sequence")
+
+
 def fused_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Softmax along ``axis`` as a single graph node."""
     backend = get_backend()

@@ -37,6 +37,7 @@ class ThreePlayer(RNP):
         kwargs["rng"] = rng
         super().__init__(*args, **kwargs)
         self.complement_weight = complement_weight
+        self.complement_lr = complement_lr
         self.predictor_complement = self.make_predictor(rng=rng)
         self._complement_params = [p for p in self.predictor_complement.parameters() if p.requires_grad]
         self._complement_optimizer = Adam(self._complement_params, lr=complement_lr)

@@ -7,12 +7,21 @@ Usage::
     python -m repro.experiments --artifact fig6 --epochs 15 --n-train 800
     python -m repro.experiments --artifact table2 --dtype float32 --fused --bucketing
     python -m repro.experiments bench
+    python -m repro.experiments serve --model-dir ckpt --port 8080 --dtype float32 --fused
+    python -m repro.experiments serve-bench
 
 Each artifact maps to one runner in :mod:`repro.experiments.runner`; the
 output is the paper-style text table.  ``--dtype``, ``--fused`` and
 ``--bucketing`` select the backend fast path (see :mod:`repro.backend`);
 the ``bench`` command times the fast path against the seed configuration
 and records ``BENCH_backend.json``.
+
+The ``serve`` command stands saved checkpoints (written by
+:func:`repro.serve.save_artifact`) up behind the HTTP JSON API of
+:mod:`repro.serve` (``POST /v1/rationalize``, ``GET /v1/models``,
+``GET /healthz``, ``GET /statz``); ``serve-bench`` runs the serving
+load-generator (micro-batched vs sequential throughput, latency
+percentiles, cache hit rate) and records ``BENCH_serve.json``.
 """
 
 from __future__ import annotations
@@ -75,9 +84,12 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate tables/figures of the DAR paper (ICDE 2024).",
     )
     parser.add_argument(
-        "command", nargs="?", choices=("bench",),
+        "command", nargs="?", choices=("bench", "serve", "serve-bench"),
         help="subcommand: 'bench' runs the backend perf smoke benchmark over "
-             "its fixed configuration grid (only --seed and --bench-out apply)",
+             "its fixed configuration grid (only --seed and --bench-out apply); "
+             "'serve' stands saved checkpoints up behind the HTTP JSON API; "
+             "'serve-bench' runs the serving load generator and records "
+             "BENCH_serve.json",
     )
     parser.add_argument("--artifact", choices=sorted(ARTIFACTS), help="which artifact to regenerate")
     parser.add_argument("--list", action="store_true", help="list available artifacts")
@@ -99,7 +111,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--bench-out", default=None,
-        help="output path for the bench JSON artifact (default BENCH_backend.json)",
+        help="output path for the bench JSON artifact (default BENCH_backend.json "
+             "for 'bench', BENCH_serve.json for 'serve-bench')",
+    )
+    serving = parser.add_argument_group("serving ('serve' subcommand)")
+    serving.add_argument(
+        "--checkpoint", action="append", default=None, metavar="PATH",
+        help="serving artifact (.npz from repro.serve.save_artifact); repeatable",
+    )
+    serving.add_argument(
+        "--model-dir", default=None,
+        help="directory to discover *.npz serving artifacts in",
+    )
+    serving.add_argument("--host", default="127.0.0.1", help="bind address")
+    serving.add_argument("--port", type=int, default=8080, help="bind port (0 = ephemeral)")
+    serving.add_argument(
+        "--max-batch-size", type=int, default=None,
+        help="micro-batching: most requests coalesced into one forward pass "
+             "(serve default 32; also applies to serve-bench)",
+    )
+    serving.add_argument(
+        "--max-wait-ms", type=float, default=None,
+        help="micro-batching: how long a wave holds for stragglers "
+             "(serve default 2.0; serve-bench default 8.0)",
+    )
+    serving.add_argument(
+        "--cache-size", type=int, default=None,
+        help="LRU rationale cache capacity, 0 disables caching (serve default 1024)",
     )
     return parser
 
@@ -149,11 +187,84 @@ def run_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_serve(args: argparse.Namespace) -> int:
+    """Stand saved checkpoints up behind the repro.serve HTTP JSON API."""
+    from repro.serve import ModelRegistry, RationaleServer, RationalizationService
+
+    registry = ModelRegistry(dtype=args.dtype)
+    try:
+        if args.model_dir:
+            registry.discover(args.model_dir)
+        for path in args.checkpoint or ():
+            registry.register_file(path)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not len(registry):
+        print(
+            "error: nothing to serve — pass --checkpoint and/or --model-dir "
+            "(artifacts are written by repro.serve.save_artifact)",
+            file=sys.stderr,
+        )
+        return 2
+    service = RationalizationService(
+        registry,
+        max_batch_size=args.max_batch_size if args.max_batch_size is not None else 32,
+        max_wait_ms=args.max_wait_ms if args.max_wait_ms is not None else 2.0,
+        cache_size=args.cache_size if args.cache_size is not None else 1024,
+        fused=args.fused,
+    )
+    server = RationaleServer(service, host=args.host, port=args.port, quiet=False)
+    print(f"# serving {', '.join(registry.names())} on {server.url}", file=sys.stderr)
+    print(
+        f"#   POST {server.url}/v1/rationalize   GET {server.url}/v1/models   "
+        f"GET {server.url}/healthz   GET {server.url}/statz",
+        file=sys.stderr,
+    )
+    server.serve_forever()
+    return 0
+
+
+def run_serve_bench_cli(args: argparse.Namespace) -> int:
+    """Run the serving load generator and print the phase comparison table."""
+    from repro.serve import bench as serve_bench
+
+    ignored = [
+        flag for flag, on in (
+            ("--cache-size", args.cache_size is not None),
+            ("--dtype", args.dtype is not None), ("--fused", args.fused),
+            ("--artifact", args.artifact is not None), ("--bucketing", args.bucketing),
+        ) if on
+    ]
+    if ignored:
+        print(
+            "# note: serve-bench drives its own serving configuration "
+            f"(float32, fused, per-phase cache); ignoring {', '.join(ignored)}",
+            file=sys.stderr,
+        )
+    overrides = {}
+    if args.max_batch_size is not None:
+        overrides["max_batch_size"] = args.max_batch_size
+    if args.max_wait_ms is not None:
+        overrides["max_wait_ms"] = args.max_wait_ms
+    out_path = args.bench_out or serve_bench.DEFAULT_SERVE_BENCH_PATH
+    seed = args.seed if args.seed is not None else 0
+    start = time.time()
+    rows = serve_bench.run_serve_bench(seed=seed, out_path=out_path, **overrides)
+    print(render_table("Serve bench — micro-batching vs sequential", rows, key_column="phase"))
+    print(f"# recorded to {out_path} in {time.time() - start:.1f}s", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
-    """Entry point: list artifacts, regenerate one, or run the perf bench."""
+    """Entry point: list artifacts, regenerate one, run a bench, or serve."""
     args = build_parser().parse_args(argv)
     if args.command == "bench":
         return run_bench(args)
+    if args.command == "serve":
+        return run_serve(args)
+    if args.command == "serve-bench":
+        return run_serve_bench_cli(args)
     if args.list or not args.artifact:
         for name, (description, _) in sorted(ARTIFACTS.items()):
             print(f"{name:16s} {description}")

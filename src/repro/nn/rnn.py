@@ -3,6 +3,13 @@
 The paper's generator and predictors are 200-d bi-directional GRUs followed
 by one linear layer.  :class:`GRU` here supports padding masks (so padded
 positions carry the hidden state through unchanged) and bidirectionality.
+
+When fused-kernel dispatch is on (:func:`repro.backend.set_fusion`) the
+recurrence runs as a single graph node per direction through the backend's
+``gru_sequence_*`` kernels (explicit BPTT backward, no per-step cache on
+the no-grad inference path); the composed per-step loop below stays the
+default and defines the reference numerics the kernel is validated
+against.
 """
 
 from __future__ import annotations
@@ -12,6 +19,7 @@ from typing import Optional
 import numpy as np
 
 from repro.autograd.tensor import Tensor
+from repro.backend.core import fusion_enabled, get_backend, get_default_dtype
 from repro.nn import init
 from repro.nn.module import Module, Parameter
 
@@ -99,6 +107,12 @@ class GRU(Module):
         # One big matmul for the input projections of every timestep.
         gates_x = x.reshape(batch * length, self.input_size) @ cell.weight_ih + cell.bias_ih
         gates_x = gates_x.reshape(batch, length, 3 * hs)
+        if fusion_enabled() and get_backend().has_kernel("gru_sequence_forward"):
+            from repro.backend.ops import fused_gru_sequence
+
+            state_dtype = x.data.dtype if x.data.dtype.kind == "f" else get_default_dtype()
+            mask_f = np.asarray(mask, dtype=state_dtype) if mask is not None else None
+            return fused_gru_sequence(gates_x, cell.weight_hh, cell.bias_hh, mask_f, reverse)
         h = Tensor(np.zeros((batch, hs)))
         steps = range(length - 1, -1, -1) if reverse else range(length)
         outputs: list[Optional[Tensor]] = [None] * length

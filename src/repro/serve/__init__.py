@@ -1,0 +1,67 @@
+"""repro.serve — stand a trained rationalizer up behind an HTTP JSON API.
+
+The subsystem behind the ROADMAP's "serve heavy traffic" north star, in
+four layers (bottom-up):
+
+- :mod:`~repro.serve.registry` — the **model artifact registry**:
+  discovers ``.npz`` checkpoints written by :func:`save_artifact`,
+  rebuilds any RNP-family model from its embedded config, and pins it to
+  a named backend + float dtype.
+- :mod:`~repro.serve.scheduler` — the **dynamic micro-batching
+  scheduler**: coalesces concurrent single-sentence requests into
+  length-bucketed batches (``max_batch_size`` / ``max_wait_ms`` knobs)
+  executed by one worker thread.
+- :mod:`~repro.serve.cache` — the **LRU rationale cache** keyed on
+  (model, token ids), with hit/miss stats; rationalization is
+  deterministic at serving time, so repeats are free.
+- :mod:`~repro.serve.http` — the **stdlib threaded HTTP JSON API**
+  (``POST /v1/rationalize``, ``GET /v1/models``, ``GET /healthz``,
+  ``GET /statz``), started via ``python -m repro.experiments serve``.
+
+:class:`Client` speaks to either transport (in-process service object or
+a socket), and :func:`~repro.serve.bench.run_serve_bench`
+(``python -m repro.experiments serve-bench`` / ``make serve-bench``)
+records ``BENCH_serve.json`` — micro-batched vs sequential throughput,
+p50/p95 latency, and cache hit rate.
+
+Quickstart (see ``examples/serve_quickstart.py`` for the full loop)::
+
+    from repro.serve import ModelRegistry, RationalizationService, RationaleServer, save_artifact
+
+    save_artifact(model, "ckpt/beer_dar.npz", vocab=dataset.vocab)
+    registry = ModelRegistry(dtype="float32")
+    registry.discover("ckpt")
+    server = RationaleServer(RationalizationService(registry), port=8080)
+    server.serve_forever()
+"""
+
+from repro.serve.cache import RationaleCache, rationale_key
+from repro.serve.client import Client, ServeClientError
+from repro.serve.http import RationaleServer
+from repro.serve.registry import (
+    ModelArtifact,
+    ModelRegistry,
+    build_model,
+    export_config,
+    model_families,
+    save_artifact,
+)
+from repro.serve.scheduler import MicroBatchScheduler
+from repro.serve.service import RationalizationService, RequestError
+
+__all__ = [
+    "Client",
+    "MicroBatchScheduler",
+    "ModelArtifact",
+    "ModelRegistry",
+    "RationaleCache",
+    "RationaleServer",
+    "RationalizationService",
+    "RequestError",
+    "ServeClientError",
+    "build_model",
+    "export_config",
+    "model_families",
+    "rationale_key",
+    "save_artifact",
+]

@@ -1,0 +1,177 @@
+"""Serving load-generator benchmark (``python -m repro.experiments serve-bench``).
+
+Measures what actually dominates online throughput for sequence models:
+request-level micro-batching and result caching, not raw kernel speed.
+Three phases over the same synthetic request stream against an in-process
+service (no socket noise, same code path the HTTP layer calls):
+
+1. **sequential** — one request at a time, batching and caching disabled:
+   the naive serving baseline.
+2. **batched** — the same requests fired from concurrent client threads
+   into the micro-batching scheduler (``max_batch_size``/``max_wait_ms``
+   as configured): measures coalesced throughput and p50/p95 latency.
+3. **cached** — the stream replayed against a warm rationale cache:
+   measures the hit-rate path.
+
+Results are printed as a table and recorded to ``BENCH_serve.json``;
+``benchmarks/test_serve_smoke.py`` asserts micro-batched throughput stays
+≥ 2× sequential so serving regressions surface in every PR.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.serve.registry import ModelRegistry, save_artifact
+from repro.serve.service import RationalizationService
+
+#: Default output artifact, written at the repository root when run via
+#: ``make serve-bench`` / the CLI / the serve smoke test.
+DEFAULT_SERVE_BENCH_PATH = "BENCH_serve.json"
+
+
+def make_request_stream(
+    n_requests: int = 192,
+    vocab_size: int = 200,
+    min_len: int = 8,
+    max_len: int = 64,
+    seed: int = 0,
+) -> list[list[int]]:
+    """Synthetic variable-length single-sentence requests."""
+    rng = np.random.default_rng(seed)
+    stream = []
+    for _ in range(n_requests):
+        length = int(rng.integers(min_len, max_len + 1))
+        stream.append([int(t) for t in rng.integers(1, vocab_size, size=length)])
+    return stream
+
+
+def _build_artifact(tmp_dir: str, vocab_size: int, seed: int) -> str:
+    """Save a small RNP checkpoint to serve (weights need not be trained —
+    serving throughput is architecture-, not accuracy-, dependent)."""
+    from repro.core import RNP
+
+    model = RNP(
+        vocab_size=vocab_size,
+        embedding_dim=48,
+        hidden_size=24,
+        rng=np.random.default_rng(seed),
+    )
+    path = str(Path(tmp_dir) / "bench_rnp.npz")
+    save_artifact(model, path)
+    return path
+
+
+def _percentiles(latencies_ms: list[float]) -> dict:
+    arr = np.asarray(latencies_ms, dtype=np.float64)
+    return {
+        "p50_ms": round(float(np.percentile(arr, 50)), 3),
+        "p95_ms": round(float(np.percentile(arr, 95)), 3),
+        "mean_ms": round(float(arr.mean()), 3),
+    }
+
+
+def _drive(service: RationalizationService, model: str, stream: list, workers: int) -> dict:
+    """Fire the whole stream (with ``workers`` concurrent clients) and time it."""
+    latencies: list[float] = []
+
+    def one(ids: list) -> float:
+        start = time.perf_counter()
+        service.rationalize(model=model, token_ids=ids)
+        return (time.perf_counter() - start) * 1000.0
+
+    start = time.perf_counter()
+    if workers <= 1:
+        latencies = [one(ids) for ids in stream]
+    else:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            latencies = list(pool.map(one, stream))
+    elapsed = time.perf_counter() - start
+    return {
+        "requests": len(stream),
+        "workers": workers,
+        "elapsed_s": round(elapsed, 4),
+        "throughput_rps": round(len(stream) / elapsed, 2),
+        **_percentiles(latencies),
+    }
+
+
+def run_serve_bench(
+    n_requests: int = 192,
+    vocab_size: int = 200,
+    min_len: int = 8,
+    max_len: int = 64,
+    max_batch_size: int = 32,
+    max_wait_ms: float = 8.0,
+    workers: int = 32,
+    fused: bool = True,
+    seed: int = 0,
+    out_path: Optional[str] = DEFAULT_SERVE_BENCH_PATH,
+) -> list[dict]:
+    """Run the three serving phases; return table rows, record the artifact."""
+    stream = make_request_stream(n_requests, vocab_size, min_len, max_len, seed)
+    rows: list[dict] = []
+    with tempfile.TemporaryDirectory() as tmp_dir:
+        checkpoint = _build_artifact(tmp_dir, vocab_size, seed)
+
+        def make_service(batching: bool, cache_size: int) -> RationalizationService:
+            registry = ModelRegistry(dtype="float32")
+            artifact = registry.register_file(checkpoint, name="bench")
+            assert artifact.family == "RNP"
+            return RationalizationService(
+                registry,
+                max_batch_size=max_batch_size if batching else 1,
+                max_wait_ms=max_wait_ms if batching else 0.0,
+                cache_size=cache_size,
+                fused=fused,
+            )
+
+        with make_service(batching=False, cache_size=0) as service:
+            sequential = _drive(service, "bench", stream, workers=1)
+        rows.append({"phase": "sequential", "cache": False, **sequential})
+
+        with make_service(batching=True, cache_size=4 * n_requests) as service:
+            batched = _drive(service, "bench", stream, workers=workers)
+            scheduler_stats = service.scheduler.stats()
+            batched["mean_batch_size"] = scheduler_stats["mean_batch_size"]
+            batched["largest_batch"] = scheduler_stats["largest_batch"]
+            rows.append({"phase": "batched", "cache": False, **batched})
+
+            before = service.cache.stats()
+            cached = _drive(service, "bench", stream, workers=workers)
+            after = service.cache.stats()
+            replay = (after["hits"] - before["hits"]) + (after["misses"] - before["misses"])
+            cached["hit_rate"] = round((after["hits"] - before["hits"]) / replay, 4) if replay else 0.0
+            rows.append({"phase": "cached", "cache": True, **cached})
+
+    speedup = round(batched["throughput_rps"] / sequential["throughput_rps"], 2)
+    for row in rows:
+        row["speedup_vs_sequential"] = round(
+            row["throughput_rps"] / sequential["throughput_rps"], 2
+        )
+    if out_path:
+        artifact = {
+            "benchmark": "serve_microbatching",
+            "setup": {
+                "n_requests": n_requests,
+                "vocab_size": vocab_size,
+                "min_len": min_len,
+                "max_len": max_len,
+                "max_batch_size": max_batch_size,
+                "max_wait_ms": max_wait_ms,
+                "workers": workers,
+                "fused": fused,
+                "seed": seed,
+            },
+            "results": rows,
+            "batched_vs_sequential_speedup": speedup,
+        }
+        Path(out_path).write_text(json.dumps(artifact, indent=2) + "\n")
+    return rows

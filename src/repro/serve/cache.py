@@ -1,0 +1,87 @@
+"""LRU rationale cache keyed on (model, token ids).
+
+Rationalization is deterministic at serving time (greedy argmax selection,
+no sampling), so identical requests always produce identical responses —
+an LRU cache in front of the scheduler turns repeated traffic into O(1)
+lookups.  The cache is thread-safe (HTTP handler threads and the
+scheduler worker touch it concurrently) and tracks hit/miss/eviction
+counts for ``GET /statz``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable, Optional, Sequence
+
+
+def rationale_key(model_name: str, token_ids: Sequence[int]) -> tuple:
+    """Canonical cache key for a (model, token-ids) request."""
+    return (model_name, tuple(int(t) for t in token_ids))
+
+
+class RationaleCache:
+    """Bounded thread-safe LRU map from request key to response dict.
+
+    ``capacity <= 0`` disables caching entirely (every ``get`` misses and
+    ``put`` is a no-op) — the configuration the serve bench uses to
+    measure raw model throughput.
+    """
+
+    def __init__(self, capacity: int = 1024):
+        self.capacity = int(capacity)
+        self._data: OrderedDict[Hashable, dict] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: Hashable) -> Optional[dict]:
+        """Look up ``key``; refreshes recency and counts the hit/miss."""
+        with self._lock:
+            entry = self._data.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._data.move_to_end(key)
+            self._hits += 1
+            return entry
+
+    def put(self, key: Hashable, value: dict) -> None:
+        """Insert (or refresh) ``key``; evicts the LRU entry when full."""
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (stats are kept)."""
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def stats(self) -> dict:
+        """Hit/miss/eviction counters plus current occupancy."""
+        with self._lock:
+            hits, misses = self._hits, self._misses
+            total = hits + misses
+            return {
+                "size": len(self._data),
+                "capacity": self.capacity,
+                "hits": hits,
+                "misses": misses,
+                "evictions": self._evictions,
+                "hit_rate": round(hits / total, 4) if total else 0.0,
+            }

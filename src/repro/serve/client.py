@@ -1,0 +1,115 @@
+"""Client for the rationalization service — in-process or over HTTP.
+
+The same four calls work against either transport:
+
+- **in-process** (``Client(service=...)``) — calls the
+  :class:`~repro.serve.service.RationalizationService` directly, still
+  going through the cache and the micro-batching scheduler.  This is the
+  load-generator / embedding-into-your-app mode.
+- **socket** (``Client(base_url="http://host:port")``) — stdlib
+  ``urllib`` against the JSON API of :mod:`repro.serve.http`.
+
+Errors surface as :class:`ServeClientError` with the HTTP-equivalent
+status code on both transports.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Optional, Sequence
+
+from repro.serve.service import RationalizationService, RequestError
+
+
+class ServeClientError(RuntimeError):
+    """A request the service rejected (carries the HTTP status code)."""
+
+    def __init__(self, message: str, status: int = 500):
+        super().__init__(message)
+        self.status = status
+
+
+class Client:
+    """Uniform client over the in-process and socket transports.
+
+    Exactly one of ``service`` / ``base_url`` must be given.
+    """
+
+    def __init__(
+        self,
+        service: Optional[RationalizationService] = None,
+        base_url: Optional[str] = None,
+        timeout_s: float = 60.0,
+    ):
+        if (service is None) == (base_url is None):
+            raise ValueError("provide exactly one of 'service' or 'base_url'")
+        self._service = service
+        self._base_url = base_url.rstrip("/") if base_url else None
+        self.timeout_s = float(timeout_s)
+
+    # ------------------------------------------------------------------
+    def rationalize(
+        self,
+        model: Optional[str] = None,
+        token_ids: Optional[Sequence[int]] = None,
+        tokens: Optional[Sequence[str]] = None,
+    ) -> dict:
+        """``POST /v1/rationalize``: label + rationale for one sentence."""
+        if self._service is not None:
+            try:
+                return self._service.rationalize(model=model, token_ids=token_ids, tokens=tokens)
+            except RequestError as exc:
+                raise ServeClientError(str(exc), status=exc.status) from exc
+        body = {"model": model}
+        if token_ids is not None:
+            # Unwrap numpy scalars to JSON-native values without coercing:
+            # a float id must reach the server as a float so it is rejected
+            # rather than silently truncated to a different token.
+            body["token_ids"] = [t.item() if hasattr(t, "item") else t for t in token_ids]
+        if tokens is not None:
+            body["tokens"] = list(tokens)
+        return self._post("/v1/rationalize", body)
+
+    def models(self) -> list[dict]:
+        """``GET /v1/models``: one metadata row per loaded artifact."""
+        if self._service is not None:
+            return self._service.registry.describe()
+        return self._get("/v1/models")["models"]
+
+    def health(self) -> dict:
+        """``GET /healthz``."""
+        if self._service is not None:
+            return self._service.health()
+        return self._get("/healthz")
+
+    def stats(self) -> dict:
+        """``GET /statz``: cache, scheduler and latency statistics."""
+        if self._service is not None:
+            return self._service.stats()
+        return self._get("/statz")
+
+    # ------------------------------------------------------------------
+    def _request(self, request: urllib.request.Request) -> dict:
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode("utf-8")).get("error", str(exc))
+            except Exception:
+                detail = str(exc)
+            raise ServeClientError(detail, status=exc.code) from exc
+        except urllib.error.URLError as exc:
+            raise ServeClientError(f"cannot reach {self._base_url}: {exc.reason}", status=503) from exc
+
+    def _get(self, path: str) -> dict:
+        return self._request(urllib.request.Request(self._base_url + path))
+
+    def _post(self, path: str, body: dict) -> dict:
+        data = json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            self._base_url + path, data=data, headers={"Content-Type": "application/json"}
+        )
+        return self._request(request)

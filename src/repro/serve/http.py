@@ -1,0 +1,176 @@
+"""Stdlib-only threaded HTTP JSON API over the rationalization service.
+
+Endpoints::
+
+    POST /v1/rationalize   {"model": "...", "token_ids": [...]} or {"tokens": [...]}
+    GET  /v1/models        loaded artifacts and their metadata
+    GET  /healthz          liveness + loaded model names
+    GET  /statz            cache / scheduler / latency statistics
+
+The server is a :class:`http.server.ThreadingHTTPServer` — one thread per
+connection, which is exactly the concurrency shape the micro-batching
+scheduler coalesces: N handler threads block on their futures while the
+scheduler worker runs one batched forward pass.  No third-party
+dependencies; ``python -m repro.experiments serve`` is the CLI entry.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.serve.service import RationalizationService, RequestError
+
+_MAX_BODY_BYTES = 1 << 20  # 1 MiB: single sentences, not documents
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP requests to the attached service (one instance per request)."""
+
+    # Set by make_server(); class attribute so the stdlib can instantiate us.
+    service: RationalizationService = None
+    quiet: bool = True
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 (stdlib signature)
+        """Suppress per-request stderr logging unless ``quiet`` is off."""
+        if not self.quiet:
+            super().log_message(format, *args)
+
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise RequestError("request body required")
+        if length > _MAX_BODY_BYTES:
+            # The body stays unread; drop the connection after replying so
+            # a keep-alive client cannot desync on the leftover bytes.
+            self.close_connection = True
+            raise RequestError(f"request body too large (> {_MAX_BODY_BYTES} bytes)", status=413)
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise RequestError(f"invalid JSON body: {exc}")
+        if not isinstance(payload, dict):
+            raise RequestError("request body must be a JSON object")
+        return payload
+
+    # -- routes ---------------------------------------------------------
+    def do_GET(self) -> None:
+        """Dispatch the three read-only endpoints."""
+        try:
+            if self.path == "/healthz":
+                self._send_json(self.service.health())
+            elif self.path == "/statz":
+                self._send_json(self.service.stats())
+            elif self.path == "/v1/models":
+                self._send_json({"models": self.service.registry.describe()})
+            else:
+                self._send_json({"error": f"no route {self.path!r}"}, status=404)
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_json({"error": str(exc)}, status=500)
+
+    def do_POST(self) -> None:
+        """Dispatch ``POST /v1/rationalize``."""
+        if self.path != "/v1/rationalize":
+            # The body stays unread: close afterwards so a keep-alive
+            # client cannot desync on the leftover bytes.
+            self.close_connection = True
+            self._send_json({"error": f"no route {self.path!r}"}, status=404)
+            return
+        try:
+            payload = self._read_json()
+            response = self.service.rationalize(
+                model=payload.get("model"),
+                token_ids=payload.get("token_ids"),
+                tokens=payload.get("tokens"),
+            )
+            self._send_json(response)
+        except RequestError as exc:
+            self._send_json({"error": str(exc)}, status=exc.status)
+        except Exception as exc:
+            self._send_json({"error": str(exc)}, status=500)
+
+
+class RationaleServer:
+    """The HTTP server wrapping a :class:`RationalizationService`.
+
+    ``port=0`` binds an ephemeral port (the ``port`` attribute reports the
+    real one) — the configuration the tests and the quickstart example
+    use.  :meth:`start` serves from a daemon thread;
+    :meth:`serve_forever` blocks (the CLI path).
+    """
+
+    def __init__(
+        self,
+        service: RationalizationService,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        quiet: bool = True,
+    ):
+        self.service = service
+        handler = type("BoundHandler", (_Handler,), {"service": service, "quiet": quiet})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        """Bound host address."""
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """Bound port (resolved when constructed with ``port=0``)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should target."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "RationaleServer":
+        """Serve in a background daemon thread; returns self."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever, name="repro-serve-http", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted (CLI mode)."""
+        try:
+            self._httpd.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.shutdown()
+
+    def shutdown(self) -> None:
+        """Stop the HTTP loop and the batching scheduler (idempotent)."""
+        if self._thread is not None:
+            # httpd.shutdown() only returns once serve_forever() exits, so
+            # it must target a loop running on another thread.
+            self._httpd.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+        self.service.close()
+
+    def __enter__(self) -> "RationaleServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -1,0 +1,253 @@
+"""Model artifact registry: discover, rebuild and pin trained checkpoints.
+
+A *serving artifact* is a ``.npz`` checkpoint written by
+:func:`repro.serve.registry.save_artifact` (a thin wrapper over
+:func:`repro.serialization.save_model` that embeds the standard config
+schema).  The registry side rebuilds any RNP-family model — vanilla RNP,
+DAR, and every baseline — from that embedded config alone, loads its
+parameters, and pins it to a named backend and float dtype so the serving
+path never silently promotes activations off the fast path.
+
+Config schema (JSON, embedded in the checkpoint)::
+
+    {
+      "family": "DAR",                  # key into MODEL_FAMILIES
+      "arch":  {"vocab_size": ..., "embedding_dim": ..., "hidden_size": ...,
+                "num_classes": ..., "encoder": "gru"},
+      "hyper": {"alpha": ..., "temperature": ..., ...},   # family-specific
+      "vocab": ["token", ...]           # optional, non-reserved tokens
+    }
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.backend.core import canonical_dtype, default_dtype, get_backend, use_backend
+from repro.data.vocabulary import Vocabulary
+from repro.serialization import PathLike, load_checkpoint, save_model, validate_state
+from repro.core.inference import InferenceSession
+
+
+def model_families() -> dict:
+    """Name -> class map of every servable model family (lazy imports)."""
+    from repro.baselines import A2R, CAR, CR, DMR, SPECTRA, VIB, InterRAT, ThreePlayer
+    from repro.core import DAR, RNP
+
+    return {
+        cls.name: cls
+        for cls in (RNP, DAR, DMR, A2R, CAR, InterRAT, ThreePlayer, VIB, SPECTRA, CR)
+    }
+
+
+#: Family-specific constructor keywords captured by :func:`export_config`
+#: (read off the trained instance) and replayed by :func:`build_model`.
+_FAMILY_HYPER: dict[str, tuple[str, ...]] = {
+    "RNP": (),
+    "DAR": ("discriminator_weight", "freeze_discriminator"),
+    "DMR": ("match_weight",),
+    "A2R": ("js_weight",),
+    "CAR": ("adversarial_weight",),
+    "Inter_RAT": ("intervention_rate", "intervention_weight"),
+    "3PLAYER": ("complement_weight", "complement_lr"),
+    "VIB": ("beta",),
+    "SPECTRA": (),
+    "CR": ("necessity_weight", "necessity_margin"),
+}
+
+#: Constructor keywords shared by the whole RNP family.
+_COMMON_HYPER = ("alpha", "lambda_sparsity", "lambda_coherence", "temperature")
+
+
+def export_config(model, vocab: Optional[Vocabulary] = None) -> dict:
+    """Derive the rebuildable config dict from a trained RNP-family model."""
+    family = getattr(model, "name", type(model).__name__)
+    if family not in _FAMILY_HYPER:
+        raise ValueError(
+            f"unknown model family {family!r}; servable families: {sorted(_FAMILY_HYPER)}"
+        )
+    arch = {k: v for k, v in model.arch.items() if k != "pretrained_embeddings"}
+    hyper = {k: getattr(model, k) for k in _COMMON_HYPER + _FAMILY_HYPER[family]}
+    config = {"family": family, "arch": arch, "hyper": hyper}
+    if vocab is not None:
+        # Reserved <pad>/<unk> entries are re-created by Vocabulary().
+        config["vocab"] = vocab.tokens[2:]
+    return config
+
+
+def build_model(config: dict, rng: Optional[np.random.Generator] = None):
+    """Rebuild an RNP-family model from an :func:`export_config` dict.
+
+    The returned model has freshly initialized parameters — callers load
+    the checkpoint state over them.
+    """
+    family = config.get("family")
+    families = model_families()
+    if family not in families:
+        raise ValueError(f"unknown model family {family!r}; known: {sorted(families)}")
+    kwargs = dict(config.get("arch", {}))
+    kwargs.update(config.get("hyper", {}))
+    return families[family](rng=rng or np.random.default_rng(0), **kwargs)
+
+
+def save_artifact(model, path: PathLike, vocab: Optional[Vocabulary] = None) -> dict:
+    """Save ``model`` as a serving artifact; returns the embedded config.
+
+    Wraps :func:`repro.serialization.save_model` with the registry's
+    config schema, so the checkpoint is self-describing: the serving side
+    rebuilds the model (and, when ``vocab`` is given, the tokenizer) with
+    no out-of-band information.
+    """
+    config = export_config(model, vocab=vocab)
+    save_model(model, path, config=config)
+    return config
+
+
+@dataclass
+class ModelArtifact:
+    """One loaded, servable model pinned to a backend and dtype."""
+
+    name: str
+    path: str
+    family: str
+    config: dict
+    meta: dict
+    model: object
+    backend: str
+    dtype: str
+    vocab: Optional[Vocabulary] = None
+    #: Pooled inference session (lazily built, buffers reused across
+    #: batches); only the scheduler's single worker thread touches it.
+    session: Optional[InferenceSession] = None
+
+    def describe(self) -> dict:
+        """The ``GET /v1/models`` row for this artifact."""
+        return {
+            "name": self.name,
+            "family": self.family,
+            "path": self.path,
+            "backend": self.backend,
+            "dtype": self.dtype,
+            "parameters": int(self.model.num_parameters()),
+            "vocab_size": int(self.config.get("arch", {}).get("vocab_size", 0)),
+            "has_vocab": self.vocab is not None,
+            "format_version": int(self.meta.get("format_version", 0)),
+        }
+
+
+class ModelRegistry:
+    """Loads serving artifacts and hands them out by name.
+
+    Parameters
+    ----------
+    backend:
+        Named backend (see :func:`repro.backend.register_backend`) every
+        artifact's forward passes run on.
+    dtype:
+        Serving float dtype (``"float32"`` or ``"float64"``).  Parameters
+        are cast at load time; ``None`` keeps each checkpoint's own dtype
+        (recorded in its metadata).
+    """
+
+    def __init__(self, backend: Optional[str] = None, dtype: Optional[str] = None):
+        self.backend = backend or get_backend().name
+        self.dtype = str(canonical_dtype(dtype)) if dtype is not None else None
+        self._artifacts: dict[str, ModelArtifact] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def register_file(self, path: PathLike, name: Optional[str] = None) -> ModelArtifact:
+        """Load one checkpoint: rebuild, validate, pin, and register it."""
+        path = Path(path)
+        state, config, meta = load_checkpoint(path)
+        if "family" not in config:
+            raise ValueError(
+                f"{path} has no serving config; save it with repro.serve.save_artifact"
+            )
+        target_dtype = np.dtype(self.dtype or meta.get("dtype", "float64"))
+        with use_backend(self.backend), default_dtype(target_dtype):
+            model = build_model(config)
+        validate_state(model, state, meta, source=str(path))
+        model.load_state_dict(state)
+        # Pin parameters to the serving dtype: a float64 checkpoint served
+        # at float32 must not promote activations back to float64.
+        for param in model.parameters():
+            if param.data.dtype.kind == "f" and param.data.dtype != target_dtype:
+                param.data = param.data.astype(target_dtype)
+            param.requires_grad = False
+        vocab = Vocabulary(config["vocab"]) if config.get("vocab") else None
+        artifact = ModelArtifact(
+            name=name or path.stem,
+            path=str(path),
+            family=config["family"],
+            config=config,
+            meta=meta,
+            model=model,
+            backend=self.backend,
+            dtype=str(target_dtype),
+            vocab=vocab,
+        )
+        with self._lock:
+            if artifact.name in self._artifacts:
+                raise ValueError(
+                    f"a model named {artifact.name!r} is already registered "
+                    f"(from {self._artifacts[artifact.name].path}); pass an "
+                    "explicit name= to register both"
+                )
+            self._artifacts[artifact.name] = artifact
+        return artifact
+
+    def discover(self, directory: PathLike) -> list[ModelArtifact]:
+        """Register every ``*.npz`` serving artifact under ``directory``.
+
+        Files that are not loadable serving artifacts (plain data archives,
+        checkpoints saved without a serving config, duplicate names) are
+        skipped with a :class:`UserWarning` rather than aborting the whole
+        directory — one stray file must not take the server down.
+        """
+        directory = Path(directory)
+        if not directory.is_dir():
+            raise FileNotFoundError(f"model directory {directory} does not exist")
+        loaded = []
+        for path in sorted(directory.glob("*.npz")):
+            try:
+                loaded.append(self.register_file(path))
+            except ValueError as exc:
+                warnings.warn(f"skipping {path}: {exc}", stacklevel=2)
+        return loaded
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> ModelArtifact:
+        """Fetch an artifact by name; ``KeyError`` lists what is loaded."""
+        with self._lock:
+            try:
+                return self._artifacts[name]
+            except KeyError:
+                raise KeyError(
+                    f"no model {name!r} loaded; available: {sorted(self._artifacts)}"
+                ) from None
+
+    def names(self) -> list[str]:
+        """Names of every loaded artifact."""
+        with self._lock:
+            return sorted(self._artifacts)
+
+    def describe(self) -> list[dict]:
+        """``GET /v1/models`` payload: one row per artifact."""
+        with self._lock:
+            artifacts = list(self._artifacts.values())
+        return [a.describe() for a in sorted(artifacts, key=lambda a: a.name)]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._artifacts)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._artifacts

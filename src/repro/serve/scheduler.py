@@ -1,0 +1,212 @@
+"""Dynamic micro-batching scheduler for concurrent rationalize requests.
+
+Single-request inference on a recurrent model wastes almost all of its
+time in per-timestep Python/numpy overhead at batch size 1; serving
+throughput is dominated by how many concurrent requests can share one
+forward pass.  :class:`MicroBatchScheduler` implements the standard
+dynamic-batching loop used by production model servers:
+
+1. requests land on a queue and immediately return a future;
+2. a single worker thread takes the first request, then keeps draining
+   the queue until either ``max_batch_size`` requests are in hand or
+   ``max_wait_ms`` has elapsed since the wave opened;
+3. the wave is partitioned by model and by length bucket (so a 10-token
+   sentence never pads out to a 300-token neighbour), each group is
+   executed as one batch, and every future is resolved.
+
+The scheduler is model-agnostic: it coalesces ``(key, payload)`` pairs
+and delegates each group to the ``execute_batch`` callable it was built
+with (the serving layer passes one that runs a pooled
+:class:`repro.core.InferenceSession`).  A single worker thread executes
+all batches, so model state, session buffers and the fusion switch are
+never touched concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from queue import Empty, Queue
+from typing import Callable, Hashable, Sequence
+
+
+@dataclass
+class _PendingRequest:
+    """One queued request: routing key, payload, and the caller's future."""
+
+    key: Hashable
+    payload: object
+    future: Future = field(default_factory=Future)
+    enqueued_at: float = field(default_factory=time.perf_counter)
+
+
+_SHUTDOWN = object()
+
+
+class MicroBatchScheduler:
+    """Coalesce concurrent single-item requests into micro-batches.
+
+    Parameters
+    ----------
+    execute_batch:
+        ``(key, payloads) -> results`` — runs one batch for one routing
+        key (e.g. a model name) and returns one result per payload, in
+        order.  Called only from the scheduler's worker thread.
+    max_batch_size:
+        Upper bound on coalesced batch size (per wave, per group).
+    max_wait_ms:
+        How long a wave stays open for stragglers after its first
+        request.  Lower = lower p50 latency, higher = bigger batches.
+    bucket_width:
+        Length-bucket granularity: payloads with ``len()`` in the same
+        ``bucket_width``-sized band batch together.  ``0`` disables
+        bucketing (one group per key).
+    """
+
+    def __init__(
+        self,
+        execute_batch: Callable[[Hashable, Sequence], Sequence],
+        max_batch_size: int = 32,
+        max_wait_ms: float = 2.0,
+        bucket_width: int = 16,
+    ):
+        if max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        self.execute_batch = execute_batch
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_ms = float(max_wait_ms)
+        self.bucket_width = int(bucket_width)
+        self._queue: Queue = Queue()
+        self._stats_lock = threading.Lock()
+        self._requests = 0
+        self._batches = 0
+        self._waves = 0
+        self._batched_items = 0
+        self._max_batch_seen = 0
+        self._closed = False
+        self._worker = threading.Thread(
+            target=self._run, name="repro-serve-scheduler", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    def submit(self, key: Hashable, payload) -> Future:
+        """Enqueue one request; the returned future resolves to its result."""
+        request = _PendingRequest(key, payload)
+        # The closed check and the put share one lock with close(), so a
+        # request can never land behind the shutdown sentinel (where the
+        # worker would no longer resolve its future).
+        with self._stats_lock:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            self._requests += 1
+            self._queue.put(request)
+        return request.future
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop the worker after the queue drains (idempotent)."""
+        with self._stats_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._queue.put(_SHUTDOWN)
+        self._worker.join(timeout=timeout)
+
+    def __enter__(self) -> "MicroBatchScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _collect_wave(self, first: _PendingRequest) -> tuple[list, bool]:
+        """Gather up to ``max_batch_size`` requests within ``max_wait_ms``."""
+        wave = [first]
+        shutdown = False
+        deadline = time.perf_counter() + self.max_wait_ms / 1000.0
+        while len(wave) < self.max_batch_size:
+            remaining = deadline - time.perf_counter()
+            try:
+                if remaining > 0:
+                    item = self._queue.get(timeout=remaining)
+                else:
+                    item = self._queue.get_nowait()
+            except Empty:
+                break
+            if item is _SHUTDOWN:
+                shutdown = True
+                break
+            wave.append(item)
+        return wave, shutdown
+
+    def _bucket(self, request: _PendingRequest) -> Hashable:
+        if self.bucket_width <= 0:
+            return request.key
+        try:
+            length = len(request.payload)
+        except TypeError:
+            length = 0
+        return (request.key, length // self.bucket_width)
+
+    def _run_wave(self, wave: list) -> None:
+        groups: dict[Hashable, list[_PendingRequest]] = {}
+        for request in wave:
+            groups.setdefault(self._bucket(request), []).append(request)
+        with self._stats_lock:
+            self._waves += 1
+        for group in groups.values():
+            # Sort by length inside the bucket so padding stays minimal
+            # even at bucket boundaries; stable, so FIFO ties hold.
+            try:
+                group.sort(key=lambda r: len(r.payload))
+            except TypeError:
+                pass
+            payloads = [r.payload for r in group]
+            try:
+                results = self.execute_batch(group[0].key, payloads)
+                if len(results) != len(payloads):
+                    raise RuntimeError(
+                        f"execute_batch returned {len(results)} results "
+                        f"for {len(payloads)} payloads"
+                    )
+            except BaseException as exc:  # resolve futures, never kill the worker
+                for request in group:
+                    request.future.set_exception(exc)
+                continue
+            with self._stats_lock:
+                self._batches += 1
+                self._batched_items += len(group)
+                self._max_batch_seen = max(self._max_batch_seen, len(group))
+            for request, result in zip(group, results):
+                request.future.set_result(result)
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            wave, shutdown = self._collect_wave(item)
+            self._run_wave(wave)
+            if shutdown:
+                return
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Coalescing counters for ``GET /statz`` and the serve bench."""
+        with self._stats_lock:
+            batches = self._batches
+            return {
+                "requests": self._requests,
+                "waves": self._waves,
+                "batches": batches,
+                "max_batch_size": self.max_batch_size,
+                "max_wait_ms": self.max_wait_ms,
+                "bucket_width": self.bucket_width,
+                "largest_batch": self._max_batch_seen,
+                "mean_batch_size": round(self._batched_items / batches, 3) if batches else 0.0,
+                "queued": self._queue.qsize(),
+            }

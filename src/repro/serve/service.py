@@ -1,0 +1,264 @@
+"""The serving core: request validation, caching, batching, inference.
+
+:class:`RationalizationService` is the transport-independent heart of
+``repro.serve`` — the HTTP layer (:mod:`repro.serve.http`) and the
+in-process :class:`repro.serve.Client` both call it directly.  One
+request is one sentence (token ids, or raw tokens when the checkpoint
+embeds its vocabulary); the service
+
+1. resolves the model artifact in the :class:`~repro.serve.registry.ModelRegistry`,
+2. answers from the :class:`~repro.serve.cache.RationaleCache` when the
+   exact (model, token-ids) pair has been served before,
+3. otherwise submits to the :class:`~repro.serve.scheduler.MicroBatchScheduler`,
+   which coalesces concurrent requests into length-bucketed batches and
+   executes them on the scheduler thread through a pooled, graph-free
+   :class:`repro.core.InferenceSession` (one per artifact, buffers reused
+   across batches).
+
+Responses are plain JSON-serializable dicts: predicted label, the binary
+rationale mask, and the selected tokens when the vocabulary is known.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.backend.core import fusion
+from repro.core.inference import InferenceSession
+from repro.data.batching import Batch
+from repro.data.dataset import ReviewExample
+from repro.serve.cache import RationaleCache, rationale_key
+from repro.serve.registry import ModelArtifact, ModelRegistry
+from repro.serve.scheduler import MicroBatchScheduler
+
+
+class RequestError(ValueError):
+    """A malformed or unservable request (maps to HTTP 400/404)."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+class RationalizationService:
+    """Ties the registry, cache and scheduler into one request path.
+
+    Parameters
+    ----------
+    registry:
+        Loaded model artifacts.
+    max_batch_size, max_wait_ms, bucket_width:
+        Scheduler knobs (see :class:`MicroBatchScheduler`).
+    cache_size:
+        LRU capacity; ``0`` disables the rationale cache.
+    fused:
+        Dispatch encoder/softmax math to the backend's fused kernels
+        while executing batches (the ``--fused`` serving flag).
+    request_timeout_s:
+        How long a caller waits for its future before giving up.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        max_batch_size: int = 32,
+        max_wait_ms: float = 2.0,
+        bucket_width: int = 16,
+        cache_size: int = 1024,
+        fused: bool = False,
+        request_timeout_s: float = 60.0,
+    ):
+        self.registry = registry
+        self.cache = RationaleCache(cache_size)
+        self.fused = bool(fused)
+        self.request_timeout_s = float(request_timeout_s)
+        self.scheduler = MicroBatchScheduler(
+            self._execute_batch,
+            max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms,
+            bucket_width=bucket_width,
+        )
+        self._started_at = time.time()
+        self._latency_lock = threading.Lock()
+        self._latencies_ms: deque[float] = deque(maxlen=2048)
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def rationalize(
+        self,
+        model: str,
+        token_ids: Optional[Sequence[int]] = None,
+        tokens: Optional[Sequence[str]] = None,
+    ) -> dict:
+        """Serve one sentence: returns label + rationale mask (+ tokens).
+
+        Exactly one of ``token_ids`` / ``tokens`` must be given; ``tokens``
+        requires the checkpoint to embed its vocabulary.
+        """
+        start = time.perf_counter()
+        artifact = self._resolve(model)
+        ids, token_strings = self._encode(artifact, token_ids, tokens)
+        key = rationale_key(artifact.name, ids)
+        cached = self.cache.get(key)
+        if cached is not None:
+            response = dict(cached)
+            response["cached"] = True
+        else:
+            future = self.scheduler.submit(artifact.name, ids)
+            result = future.result(timeout=self.request_timeout_s)
+            response = dict(result)
+            response["cached"] = False
+            self.cache.put(key, result)
+        # The dict copy above is shallow: detach the mutable mask list so a
+        # caller editing its response can never corrupt the cached entry.
+        response["rationale"] = list(response["rationale"])
+        if token_strings is None and artifact.vocab is not None:
+            token_strings = artifact.vocab.decode(ids)
+        if token_strings is not None:
+            response["tokens"] = list(token_strings)
+            response["selected_tokens"] = [
+                t for t, m in zip(token_strings, response["rationale"]) if m
+            ]
+        latency_ms = (time.perf_counter() - start) * 1000.0
+        response["latency_ms"] = round(latency_ms, 3)
+        with self._latency_lock:
+            self._latencies_ms.append(latency_ms)
+        return response
+
+    def _resolve(self, model: Optional[str]) -> ModelArtifact:
+        names = self.registry.names()
+        if model is None:
+            if len(names) == 1:
+                model = names[0]
+            else:
+                raise RequestError(f"request must name a model; available: {names}")
+        if not isinstance(model, str):
+            raise RequestError(f"'model' must be a string, got {type(model).__name__}")
+        try:
+            return self.registry.get(model)
+        except KeyError:
+            raise RequestError(f"no model {model!r} loaded; available: {names}", status=404)
+
+    def _encode(self, artifact: ModelArtifact, token_ids, tokens) -> tuple[np.ndarray, Optional[list]]:
+        if (token_ids is None) == (tokens is None):
+            raise RequestError("provide exactly one of 'token_ids' or 'tokens'")
+        if tokens is not None:
+            if artifact.vocab is None:
+                raise RequestError(
+                    f"model {artifact.name!r} was saved without a vocabulary; "
+                    "send 'token_ids' instead of 'tokens'"
+                )
+            if not (isinstance(tokens, (list, tuple)) and tokens
+                    and all(isinstance(t, str) for t in tokens)):
+                raise RequestError("'tokens' must be a non-empty list of strings")
+            return artifact.vocab.encode(list(tokens)), list(tokens)
+        try:
+            ids_list = list(token_ids)
+        except TypeError:
+            raise RequestError("'token_ids' must be a non-empty flat list of integers")
+        if not ids_list or not all(
+            isinstance(t, (int, np.integer)) and not isinstance(t, bool) for t in ids_list
+        ):
+            # Reject rather than coerce: float ids would silently truncate
+            # to different tokens and answer a confidently wrong rationale.
+            raise RequestError("'token_ids' must be a non-empty flat list of integers")
+        ids = np.asarray(ids_list, dtype=np.int64)
+        vocab_size = int(artifact.config.get("arch", {}).get("vocab_size", 0))
+        if vocab_size and (ids.min() < 0 or ids.max() >= vocab_size):
+            raise RequestError(
+                f"token ids must be in [0, {vocab_size}); got range "
+                f"[{int(ids.min())}, {int(ids.max())}]"
+            )
+        return ids, None
+
+    # ------------------------------------------------------------------
+    # Batch execution (scheduler worker thread only)
+    # ------------------------------------------------------------------
+    def _session(self, artifact: ModelArtifact) -> InferenceSession:
+        if artifact.session is None:
+            # Bucketing happens at the scheduler level (groups arrive
+            # pre-sorted), so the pooled session keeps input order and
+            # just supplies the no-grad/dtype-policy/buffer-reuse path.
+            artifact.session = InferenceSession(
+                artifact.model, batch_size=self.scheduler.max_batch_size, bucketing=False
+            )
+        return artifact.session
+
+    def _execute_batch(self, model_name: str, id_lists: Sequence[np.ndarray]) -> list[dict]:
+        artifact = self.registry.get(model_name)
+        examples = [
+            ReviewExample(
+                tokens=[""] * len(ids),
+                token_ids=np.asarray(ids, dtype=np.int64),
+                label=0,
+                rationale=np.zeros(len(ids), dtype=np.int64),
+                aspect="serve",
+            )
+            for ids in id_lists
+        ]
+        session = self._session(artifact)
+        model = artifact.model
+
+        def run(batch: Batch) -> list[dict]:
+            mask = np.asarray(model.select(batch))
+            labels = model.predictor.predict(batch.token_ids, mask, batch.mask)
+            return [
+                {
+                    "model": artifact.name,
+                    "label": int(labels[i]),
+                    "rationale": [int(v) for v in mask[i, : len(batch.examples[i])] > 0.5],
+                    "n_selected": int((mask[i] > 0.5).sum()),
+                    "n_tokens": len(batch.examples[i]),
+                }
+                for i in range(len(batch.examples))
+            ]
+
+        with fusion(self.fused):
+            per_batch = session.map_batches(run, examples)
+        return [result for batch_results in per_batch for result in batch_results]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """``GET /healthz`` payload."""
+        return {
+            "status": "ok",
+            "models": self.registry.names(),
+            "uptime_s": round(time.time() - self._started_at, 1),
+        }
+
+    def stats(self) -> dict:
+        """``GET /statz`` payload: cache, scheduler and latency stats."""
+        with self._latency_lock:
+            latencies = np.asarray(self._latencies_ms, dtype=np.float64)
+        latency = {"count": int(latencies.size)}
+        if latencies.size:
+            latency.update(
+                p50_ms=round(float(np.percentile(latencies, 50)), 3),
+                p95_ms=round(float(np.percentile(latencies, 95)), 3),
+                mean_ms=round(float(latencies.mean()), 3),
+            )
+        return {
+            "uptime_s": round(time.time() - self._started_at, 1),
+            "cache": self.cache.stats(),
+            "scheduler": self.scheduler.stats(),
+            "latency": latency,
+            "fused": self.fused,
+        }
+
+    def close(self) -> None:
+        """Shut the scheduler down (idempotent)."""
+        self.scheduler.close()
+
+    def __enter__(self) -> "RationalizationService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -148,3 +148,61 @@ class TestModuleAndOptimizerDtype:
         for m, p in zip(opt._m, params):
             assert m.dtype == np.float32
             assert p.data.dtype == np.float32
+
+
+class TestPolicyIsPerThread:
+    """The dtype/fusion policy must not leak across threads (a serving
+    worker's fast-path settings cannot perturb a concurrent trainer)."""
+
+    def test_worker_thread_policy_does_not_leak_to_main(self):
+        import threading
+
+        results = {}
+
+        def worker():
+            with backend.default_dtype("float32"), backend.fusion(True):
+                results["worker_dtype"] = backend.get_default_dtype()
+                results["worker_fusion"] = backend.fusion_enabled()
+                results["main_was_perturbed"] = barrier_check()
+
+        def barrier_check():
+            # While the worker holds float32+fused, the main thread's view
+            # is probed via a fresh thread (which starts at the defaults).
+            probe = {}
+
+            def probing():
+                probe["dtype"] = backend.get_default_dtype()
+                probe["fusion"] = backend.fusion_enabled()
+
+            t = threading.Thread(target=probing)
+            t.start()
+            t.join()
+            return probe
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        assert results["worker_dtype"] == np.float32
+        assert results["worker_fusion"] is True
+        assert results["main_was_perturbed"]["dtype"] == np.float64
+        assert results["main_was_perturbed"]["fusion"] is False
+        # and the main thread itself was never touched
+        assert backend.get_default_dtype() == np.float64
+        assert backend.fusion_enabled() is False
+
+    def test_fresh_threads_start_at_defaults_even_mid_context(self):
+        import threading
+
+        seen = {}
+        with backend.default_dtype("float32"), backend.fusion(True):
+
+            def child():
+                seen["dtype"] = backend.get_default_dtype()
+                seen["fusion"] = backend.fusion_enabled()
+
+            t = threading.Thread(target=child)
+            t.start()
+            t.join()
+            assert backend.get_default_dtype() == np.float32  # this thread
+        assert seen["dtype"] == np.float64  # child thread saw defaults
+        assert seen["fusion"] is False

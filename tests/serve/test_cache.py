@@ -1,0 +1,92 @@
+"""LRU rationale cache: eviction order, stats, keys, thread safety."""
+
+import threading
+
+from repro.serve.cache import RationaleCache, rationale_key
+
+
+class TestKey:
+    def test_key_is_hashable_and_order_sensitive(self):
+        assert rationale_key("m", [1, 2, 3]) == ("m", (1, 2, 3))
+        assert rationale_key("m", [1, 2, 3]) != rationale_key("m", [3, 2, 1])
+        assert rationale_key("a", [1]) != rationale_key("b", [1])
+
+    def test_key_accepts_numpy_ints(self):
+        import numpy as np
+
+        assert rationale_key("m", np.array([1, 2])) == ("m", (1, 2))
+
+
+class TestLRU:
+    def test_get_put_roundtrip(self):
+        cache = RationaleCache(4)
+        assert cache.get("k") is None
+        cache.put("k", {"v": 1})
+        assert cache.get("k") == {"v": 1}
+
+    def test_eviction_is_lru_not_fifo(self):
+        cache = RationaleCache(2)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})
+        cache.get("a")  # refresh a, so b is now least-recently-used
+        cache.put("c", {"v": 3})
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.stats()["evictions"] == 1
+
+    def test_put_refreshes_recency(self):
+        cache = RationaleCache(2)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})
+        cache.put("a", {"v": 10})  # re-put refreshes, b becomes LRU
+        cache.put("c", {"v": 3})
+        assert cache.get("a") == {"v": 10}
+        assert cache.get("b") is None
+
+    def test_capacity_zero_disables_cache(self):
+        cache = RationaleCache(0)
+        cache.put("a", {"v": 1})
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_stats_hit_rate(self):
+        cache = RationaleCache(4)
+        cache.put("a", {"v": 1})
+        cache.get("a")
+        cache.get("a")
+        cache.get("missing")
+        stats = cache.stats()
+        assert stats["hits"] == 2 and stats["misses"] == 1
+        assert stats["hit_rate"] == round(2 / 3, 4)
+        assert stats["size"] == 1 and stats["capacity"] == 4
+
+    def test_clear_keeps_stats(self):
+        cache = RationaleCache(4)
+        cache.put("a", {"v": 1})
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["hits"] == 1
+
+    def test_concurrent_mixed_access_is_safe(self):
+        cache = RationaleCache(32)
+        errors = []
+
+        def worker(worker_id: int):
+            try:
+                for i in range(200):
+                    key = (worker_id % 4, i % 40)
+                    if cache.get(key) is None:
+                        cache.put(key, {"v": i})
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(w,)) for w in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 32
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == 8 * 200

@@ -1,0 +1,143 @@
+"""Artifact registry: save/discover/rebuild round-trips, pinning, errors."""
+
+import numpy as np
+import pytest
+
+from repro.core import DAR, RNP
+from repro.data import pad_batch
+from repro.serve.registry import (
+    ModelRegistry,
+    build_model,
+    export_config,
+    model_families,
+    save_artifact,
+)
+
+
+def make_model(dataset, cls=RNP, **kwargs):
+    return cls(
+        vocab_size=len(dataset.vocab), embedding_dim=64, hidden_size=8,
+        alpha=0.2, pretrained_embeddings=dataset.embeddings,
+        rng=np.random.default_rng(0), **kwargs,
+    )
+
+
+class TestConfigRoundTrip:
+    def test_export_config_is_json_clean(self, tiny_beer):
+        import json
+
+        config = export_config(make_model(tiny_beer, cls=DAR), vocab=tiny_beer.vocab)
+        assert config["family"] == "DAR"
+        assert config["arch"]["vocab_size"] == len(tiny_beer.vocab)
+        assert "pretrained_embeddings" not in config["arch"]
+        json.dumps(config)  # must not contain arrays
+
+    def test_build_model_unknown_family(self):
+        with pytest.raises(ValueError, match="unknown model family"):
+            build_model({"family": "GPT-7"})
+
+    def test_model_families_cover_every_baseline(self):
+        families = model_families()
+        assert set(families) == {
+            "RNP", "DAR", "DMR", "A2R", "CAR", "Inter_RAT", "3PLAYER",
+            "VIB", "SPECTRA", "CR",
+        }
+
+
+class TestRegistry:
+    def test_register_file_rebuilds_identical_model(self, tiny_beer, tmp_path):
+        model = make_model(tiny_beer, cls=DAR)
+        path = tmp_path / "dar.npz"
+        save_artifact(model, path, vocab=tiny_beer.vocab)
+
+        registry = ModelRegistry()
+        artifact = registry.register_file(path)
+        assert artifact.family == "DAR"
+        assert artifact.vocab is not None and len(artifact.vocab) == len(tiny_beer.vocab)
+        batch = pad_batch(tiny_beer.test[:4])
+        np.testing.assert_array_equal(model.select(batch), artifact.model.select(batch))
+        np.testing.assert_array_equal(
+            model.predict_full_text(batch), artifact.model.predict_full_text(batch)
+        )
+
+    def test_dtype_pinning_casts_parameters(self, tiny_beer, tmp_path):
+        model = make_model(tiny_beer)
+        path = tmp_path / "rnp.npz"
+        save_artifact(model, path)
+        registry = ModelRegistry(dtype="float32")
+        artifact = registry.register_file(path)
+        assert artifact.dtype == "float32"
+        for param in artifact.model.parameters():
+            if param.data.dtype.kind == "f":
+                assert param.data.dtype == np.float32
+            assert not param.requires_grad
+
+    def test_discover_loads_every_artifact(self, tiny_beer, tmp_path):
+        save_artifact(make_model(tiny_beer), tmp_path / "a.npz")
+        save_artifact(make_model(tiny_beer, cls=DAR), tmp_path / "b.npz")
+        registry = ModelRegistry()
+        loaded = registry.discover(tmp_path)
+        assert sorted(a.name for a in loaded) == ["a", "b"]
+        assert registry.names() == ["a", "b"]
+        assert len(registry) == 2
+        rows = registry.describe()
+        assert [r["name"] for r in rows] == ["a", "b"]
+        assert all("parameters" in r and r["format_version"] >= 1 for r in rows)
+
+    def test_discover_skips_stray_files_with_warning(self, tiny_beer, tmp_path):
+        save_artifact(make_model(tiny_beer), tmp_path / "good.npz")
+        np.savez(tmp_path / "stray.npz", values=np.arange(3))  # not a checkpoint
+        from repro.serialization import save_model
+
+        save_model(make_model(tiny_beer), tmp_path / "no_config.npz")  # no serving config
+        registry = ModelRegistry()
+        with pytest.warns(UserWarning, match="skipping"):
+            loaded = registry.discover(tmp_path)
+        assert [a.name for a in loaded] == ["good"]
+        assert registry.names() == ["good"]
+
+    def test_discover_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ModelRegistry().discover(tmp_path / "nope")
+
+    def test_get_unknown_model_lists_available(self, tiny_beer, tmp_path):
+        save_artifact(make_model(tiny_beer), tmp_path / "only.npz")
+        registry = ModelRegistry()
+        registry.discover(tmp_path)
+        with pytest.raises(KeyError, match="available: \\['only'\\]"):
+            registry.get("other")
+
+    def test_checkpoint_without_config_rejected(self, tiny_beer, tmp_path):
+        from repro.serialization import save_model
+
+        model = make_model(tiny_beer)
+        path = tmp_path / "raw.npz"
+        save_model(model, path)  # no serving config
+        with pytest.raises(ValueError, match="no serving config"):
+            ModelRegistry().register_file(path)
+
+    def test_duplicate_name_rejected_not_overwritten(self, tiny_beer, tmp_path):
+        (tmp_path / "a").mkdir()
+        (tmp_path / "b").mkdir()
+        save_artifact(make_model(tiny_beer), tmp_path / "a" / "model.npz")
+        save_artifact(make_model(tiny_beer, cls=DAR), tmp_path / "b" / "model.npz")
+        registry = ModelRegistry()
+        registry.register_file(tmp_path / "a" / "model.npz")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register_file(tmp_path / "b" / "model.npz")
+        # an explicit name disambiguates
+        registry.register_file(tmp_path / "b" / "model.npz", name="model-b")
+        assert registry.names() == ["model", "model-b"]
+
+    def test_non_artifact_npz_gives_clear_error(self, tmp_path):
+        path = tmp_path / "data.npz"
+        np.savez(path, values=np.arange(4))  # plain data, not a checkpoint
+        with pytest.raises(ValueError, match="not a repro checkpoint"):
+            ModelRegistry().register_file(path)
+
+    def test_explicit_name_overrides_stem(self, tiny_beer, tmp_path):
+        save_artifact(make_model(tiny_beer), tmp_path / "file.npz")
+        registry = ModelRegistry()
+        artifact = registry.register_file(tmp_path / "file.npz", name="prod")
+        assert artifact.name == "prod"
+        assert "prod" in registry

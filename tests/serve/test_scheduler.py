@@ -1,0 +1,149 @@
+"""Micro-batching scheduler: coalescing, bucketing, errors, stats."""
+
+import threading
+import time
+from concurrent.futures import wait
+
+import pytest
+
+from repro.serve.scheduler import MicroBatchScheduler
+
+
+class RecordingExecutor:
+    """Fake batch executor that records every (key, payloads) call."""
+
+    def __init__(self, delay_s: float = 0.0):
+        self.calls = []
+        self.delay_s = delay_s
+        self._lock = threading.Lock()
+
+    def __call__(self, key, payloads):
+        with self._lock:
+            self.calls.append((key, list(payloads)))
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        return [(key, tuple(p)) for p in payloads]
+
+
+class TestBasics:
+    def test_single_request_roundtrip(self):
+        executor = RecordingExecutor()
+        with MicroBatchScheduler(executor, max_batch_size=4, max_wait_ms=1.0) as sched:
+            result = sched.submit("m", [1, 2, 3]).result(timeout=5)
+        assert result == ("m", (1, 2, 3))
+        assert executor.calls == [("m", [[1, 2, 3]])]
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            MicroBatchScheduler(lambda k, p: p, max_batch_size=0)
+        with pytest.raises(ValueError):
+            MicroBatchScheduler(lambda k, p: p, max_wait_ms=-1)
+
+    def test_submit_after_close_raises(self):
+        sched = MicroBatchScheduler(lambda k, p: list(p))
+        sched.close()
+        with pytest.raises(RuntimeError):
+            sched.submit("m", [1])
+
+    def test_executor_error_propagates_to_futures_only(self):
+        def boom(key, payloads):
+            raise RuntimeError("kernel exploded")
+
+        with MicroBatchScheduler(boom, max_wait_ms=1.0) as sched:
+            future = sched.submit("m", [1])
+            with pytest.raises(RuntimeError, match="kernel exploded"):
+                future.result(timeout=5)
+            # the worker survives a failed batch and serves the next one
+            future2 = sched.submit("m", [2])
+            with pytest.raises(RuntimeError):
+                future2.result(timeout=5)
+
+    def test_result_count_mismatch_is_an_error(self):
+        with MicroBatchScheduler(lambda k, p: [], max_wait_ms=1.0) as sched:
+            with pytest.raises(RuntimeError, match="returned 0 results"):
+                sched.submit("m", [1]).result(timeout=5)
+
+
+class TestCoalescing:
+    def test_concurrent_requests_coalesce_into_fewer_batches(self):
+        executor = RecordingExecutor(delay_s=0.01)
+        n = 24
+        with MicroBatchScheduler(
+            executor, max_batch_size=32, max_wait_ms=60.0, bucket_width=0
+        ) as sched:
+            barrier = threading.Barrier(n)
+            futures = [None] * n
+
+            def client(i):
+                barrier.wait()
+                futures[i] = sched.submit("m", [i] * 3)
+
+            threads = [threading.Thread(target=client, args=(i,)) for i in range(n)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            wait([f for f in futures], timeout=10)
+        batch_sizes = [len(p) for _, p in executor.calls]
+        assert sum(batch_sizes) == n
+        assert len(executor.calls) < n, "no coalescing happened"
+        assert max(batch_sizes) > 1
+        stats = sched.stats()
+        assert stats["requests"] == n
+        assert stats["largest_batch"] == max(batch_sizes)
+        assert stats["mean_batch_size"] > 1.0
+
+    def test_max_batch_size_respected(self):
+        executor = RecordingExecutor(delay_s=0.005)
+        with MicroBatchScheduler(
+            executor, max_batch_size=4, max_wait_ms=50.0, bucket_width=0
+        ) as sched:
+            futures = [sched.submit("m", [i]) for i in range(16)]
+            wait(futures, timeout=10)
+        assert all(len(p) <= 4 for _, p in executor.calls)
+        assert sum(len(p) for _, p in executor.calls) == 16
+
+    def test_results_align_with_payloads(self):
+        executor = RecordingExecutor(delay_s=0.005)
+        with MicroBatchScheduler(executor, max_batch_size=8, max_wait_ms=30.0) as sched:
+            futures = {i: sched.submit("m", [i, i]) for i in range(12)}
+            for i, future in futures.items():
+                assert future.result(timeout=10) == ("m", (i, i))
+
+
+class TestBucketing:
+    def test_different_models_never_share_a_batch(self):
+        executor = RecordingExecutor(delay_s=0.005)
+        with MicroBatchScheduler(
+            executor, max_batch_size=16, max_wait_ms=50.0, bucket_width=0
+        ) as sched:
+            futures = [sched.submit(f"model{i % 2}", [i]) for i in range(10)]
+            wait(futures, timeout=10)
+        for key, payloads in executor.calls:
+            assert len({key}) == 1
+        keys = {key for key, _ in executor.calls}
+        assert keys == {"model0", "model1"}
+
+    def test_length_buckets_partition_waves(self):
+        executor = RecordingExecutor(delay_s=0.005)
+        with MicroBatchScheduler(
+            executor, max_batch_size=32, max_wait_ms=60.0, bucket_width=8
+        ) as sched:
+            short = [sched.submit("m", list(range(4))) for _ in range(4)]
+            long = [sched.submit("m", list(range(20))) for _ in range(4)]
+            wait(short + long, timeout=10)
+        for _, payloads in executor.calls:
+            lengths = {len(p) // 8 for p in payloads}
+            assert len(lengths) == 1, f"mixed buckets in one batch: {payloads}"
+
+    def test_batches_sorted_by_length_within_bucket(self):
+        executor = RecordingExecutor(delay_s=0.01)
+        with MicroBatchScheduler(
+            executor, max_batch_size=16, max_wait_ms=60.0, bucket_width=0
+        ) as sched:
+            futures = [sched.submit("m", [0] * n) for n in (7, 3, 5, 1)]
+            wait(futures, timeout=10)
+        multi = [p for _, p in executor.calls if len(p) > 1]
+        for payloads in multi:
+            lengths = [len(p) for p in payloads]
+            assert lengths == sorted(lengths)

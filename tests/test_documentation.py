@@ -25,6 +25,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.utils",
     "repro.serialization",
+    "repro.serve",
 ]
 
 

@@ -1,11 +1,19 @@
-"""Model save/load round-trips."""
+"""Model save/load round-trips, metadata, and clear mismatch errors."""
+
+import json
 
 import numpy as np
 import pytest
 
 from repro.core import DAR, RNP
 from repro.data import pad_batch
-from repro.serialization import load_model, load_state, save_model
+from repro.serialization import (
+    FORMAT_VERSION,
+    load_checkpoint,
+    load_model,
+    load_state,
+    save_model,
+)
 
 
 def make_model(dataset, cls=RNP):
@@ -65,3 +73,112 @@ class TestRoundTrip:
         wrong = make_model(tiny_beer, cls=DAR)  # has extra predictor_t params
         with pytest.raises(KeyError):
             load_model(wrong, path)
+
+
+class TestMetadata:
+    def test_checkpoint_embeds_metadata(self, tiny_beer, tmp_path):
+        model = make_model(tiny_beer)
+        path = tmp_path / "m.npz"
+        save_model(model, path)
+        _, _, meta = load_checkpoint(path)
+        assert meta["format_version"] == FORMAT_VERSION
+        assert meta["dtype"] == "float64"
+        assert meta["backend"] == "numpy"
+        assert meta["repro_version"]
+
+    def test_metadata_records_float32_params(self, tiny_beer, tmp_path):
+        from repro.backend.core import default_dtype
+
+        with default_dtype("float32"):
+            model = RNP(vocab_size=len(tiny_beer.vocab), embedding_dim=16,
+                        hidden_size=4, rng=np.random.default_rng(0))
+        path = tmp_path / "m32.npz"
+        save_model(model, path)
+        _, _, meta = load_checkpoint(path)
+        assert meta["dtype"] == "float32"
+
+    def test_pre_metadata_checkpoints_still_load(self, tiny_beer, tmp_path):
+        # Simulate a format-0 file: parameters + config blob, no __meta__.
+        model = make_model(tiny_beer)
+        arrays = dict(model.state_dict())
+        arrays["__config__"] = np.frombuffer(json.dumps({"legacy": True}).encode(), dtype=np.uint8)
+        path = tmp_path / "legacy.npz"
+        np.savez(path, **arrays)
+        _, config, meta = load_checkpoint(path)
+        assert config == {"legacy": True}
+        assert meta == {"format_version": 0}
+        clone = make_model(tiny_beer)
+        assert load_model(clone, path) == {"legacy": True}
+
+    def test_future_format_version_rejected(self, tiny_beer, tmp_path):
+        model = make_model(tiny_beer)
+        arrays = dict(model.state_dict())
+        arrays["__config__"] = np.frombuffer(b"{}", dtype=np.uint8)
+        meta = {"format_version": FORMAT_VERSION + 1}
+        arrays["__meta__"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+        path = tmp_path / "future.npz"
+        np.savez(path, **arrays)
+        with pytest.raises(ValueError, match="format version"):
+            load_model(make_model(tiny_beer), path)
+
+
+class TestClearErrors:
+    def test_shape_mismatch_names_parameters(self, tiny_beer, tmp_path):
+        model = make_model(tiny_beer)
+        path = tmp_path / "m.npz"
+        save_model(model, path)
+        smaller = RNP(
+            vocab_size=len(tiny_beer.vocab), embedding_dim=64, hidden_size=4,
+            pretrained_embeddings=tiny_beer.embeddings, rng=np.random.default_rng(0),
+        )
+        with pytest.raises(ValueError, match="shape mismatch") as err:
+            load_model(smaller, path)
+        # the error names at least one offending parameter with both shapes
+        assert "generator" in str(err.value) or "predictor" in str(err.value)
+        assert "checkpoint" in str(err.value)
+
+    def test_reserved_key_collision_rejected(self, tmp_path):
+        from repro.nn.module import Module, Parameter
+
+        class Bad(Module):
+            """Module whose parameter name collides with a reserved key."""
+
+            def __init__(self):
+                super().__init__()
+                setattr(self, "__meta__", Parameter(np.zeros(2)))
+
+        with pytest.raises(ValueError, match="reserved key"):
+            save_model(Bad(), tmp_path / "bad.npz")
+
+
+class TestEveryFamilyRoundTrips:
+    @pytest.fixture(scope="class")
+    def family_names(self):
+        from repro.serve.registry import model_families
+
+        return sorted(model_families())
+
+    @pytest.mark.parametrize("family", [
+        "RNP", "DAR", "DMR", "A2R", "CAR", "Inter_RAT", "3PLAYER", "VIB",
+        "SPECTRA", "CR",
+    ])
+    def test_round_trip_via_exported_config(self, family, tiny_beer, tmp_path, family_names):
+        """Every baseline family: save -> rebuild from config -> identical."""
+        from repro.serve.registry import build_model, model_families, save_artifact
+
+        assert family in family_names
+        cls = model_families()[family]
+        model = cls(
+            vocab_size=len(tiny_beer.vocab), embedding_dim=64, hidden_size=8,
+            alpha=0.2, pretrained_embeddings=tiny_beer.embeddings,
+            rng=np.random.default_rng(1),
+        )
+        path = tmp_path / f"{family}.npz"
+        config = save_artifact(model, path)
+        clone = build_model(config)
+        load_model(clone, path)
+        batch = pad_batch(tiny_beer.test[:4])
+        np.testing.assert_array_equal(model.select(batch), clone.select(batch))
+        np.testing.assert_array_equal(
+            model.predict_full_text(batch), clone.predict_full_text(batch)
+        )
