@@ -1,16 +1,23 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench serve serve-bench artifacts list
+.PHONY: test bench bench-compare serve serve-bench artifacts list
 
 # Tier-1 verification: the full unit/integration suite.
 test:
 	$(PYTHON) -m pytest -x -q tests
 
 # Backend perf smoke: seed configuration vs the float32+fused+bucketed
-# fast path; prints the comparison table and records BENCH_backend.json.
+# fast path; prints the comparison table (plus the fast path's per-kernel
+# timing breakdown) and records BENCH_backend.json.
 bench:
 	$(PYTHON) -m repro.experiments bench
+
+# Perf regression gate: re-run the bench grid and fail if any config's
+# ms_per_epoch regressed >20% against the committed BENCH_backend.json
+# (the committed artifact is left untouched).
+bench-compare:
+	$(PYTHON) -m repro.experiments bench --compare-to BENCH_backend.json
 
 # Stand saved checkpoints up behind the HTTP JSON API (repro.serve).
 # Override MODEL_DIR/PORT, e.g.: make serve MODEL_DIR=ckpt PORT=9000

@@ -15,8 +15,18 @@ from repro.experiments import FAST_PROFILE
 
 @pytest.fixture(scope="session")
 def profile():
-    """The benchmark-wide experiment scale."""
-    return FAST_PROFILE
+    """The benchmark-wide experiment scale.
+
+    The paper-shape tables replay the paper's *fixed protocol*: batch
+    composition is part of the seeded experimental setup, so these runs pin
+    ``bucketing=False`` (the seed composition) even though training defaults
+    to length-bucketed batches everywhere else.  At this synthetic scale the
+    qualitative table shapes are seed-sensitive;
+    ``tests/integration/test_bucketing_equivalence.py`` separately proves
+    the bucketed default is training-equivalent per baseline family, and
+    ``benchmarks/test_perf_smoke.py`` exercises the bucketed fast path.
+    """
+    return FAST_PROFILE.scaled(bucketing=False)
 
 
 def run_once(benchmark, fn, *args, **kwargs):

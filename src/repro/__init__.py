@@ -52,21 +52,27 @@ validated equal to the composed reference to float rounding
   kernels; the LSTM always uses its fused sequence kernel (one graph node
   per direction, explicit BPTT) with ``LSTM(fused=False)`` as the composed
   reference.
-- **length bucketing** — ``batch_iterator(..., bucketing=True)`` groups
-  similar-length examples per batch, cutting the padded timesteps
-  recurrent encoders waste; evaluation gets this automatically through
-  :class:`repro.core.InferenceSession`.
+- **length bucketing** — on by default for training and evaluation:
+  ``batch_iterator`` groups similar-length examples per batch, cutting the
+  padded timesteps recurrent encoders waste (``bucketing=False`` /
+  ``--no-bucketing`` replays the seed batch composition); evaluation gets
+  it automatically through :class:`repro.core.InferenceSession`.
+- **tape backward + buffer pool** — ``Tensor.backward`` runs an iterative
+  compiled tape whose gradient accumulators come from a per-thread
+  :class:`repro.backend.BufferPool`, recycled across steps (the same pool
+  backs the padded-batch buffers).
 
 The switches are threaded through :class:`repro.core.trainer.TrainConfig`
 (``dtype=``, ``fused=``, ``bucketing=``), through
 :class:`repro.experiments.ExperimentProfile`, and through the CLI
-(``python -m repro.experiments --artifact table2 --dtype float32 --fused
---bucketing``).  ``python -m repro.experiments bench`` (or ``make bench``)
+(``python -m repro.experiments --artifact table2 --dtype float32
+--fused``).  ``python -m repro.experiments bench`` (or ``make bench``)
 times the fast path against the seed configuration and records
-``BENCH_backend.json``; the fast path is required to stay ≥ 2× by
-``benchmarks/test_perf_smoke.py``.  New accelerated backends plug in by
-registering the kernel names listed in :mod:`repro.backend.kernels` via
-:func:`repro.backend.register_backend`.
+``BENCH_backend.json`` with a per-kernel timing breakdown; the fast path
+is required to stay ≥ 3× by ``benchmarks/test_perf_smoke.py``, and
+``make bench-compare`` gates ms_per_epoch regressions at 20%.  New
+accelerated backends plug in by registering the kernel names listed in
+:mod:`repro.backend.kernels` via :func:`repro.backend.register_backend`.
 """
 
 __version__ = "1.1.0"

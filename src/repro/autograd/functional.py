@@ -181,9 +181,17 @@ def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
 
 
 def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
-    """Inverted dropout: identity at eval time."""
+    """Inverted dropout: identity at eval time.
+
+    Fused dispatch builds one graph node; the composed path draws the same
+    noise stream, so seeded runs mask identically on either path.
+    """
     if not training or p <= 0.0:
         return x
     rng = rng or np.random.default_rng()
+    if fusion_enabled():
+        from repro.backend.ops import fused_dropout
+
+        return fused_dropout(x, p, rng)
     keep = (rng.uniform(size=x.shape) >= p).astype(np.float64) / (1.0 - p)
     return x * Tensor(keep)

@@ -114,7 +114,10 @@ class Tensor:
         Explicit storage dtype, bypassing the policy.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "_op")
+    __slots__ = (
+        "data", "grad", "requires_grad", "_backward", "_prev", "_op",
+        "_seen", "_tgrad", "_towned",
+    )
     __array_priority__ = 100  # make numpy defer to our __r*__ operators
 
     def __init__(self, data: Arrayish, requires_grad: bool = False, dtype=None):
@@ -139,6 +142,10 @@ class Tensor:
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._prev: tuple = ()
         self._op: str = ""
+        # Tape-backward scratch state (see Tensor.backward).
+        self._seen: Optional[object] = None
+        self._tgrad: Optional[np.ndarray] = None
+        self._towned: bool = False
 
     # ------------------------------------------------------------------
     # Graph plumbing
@@ -158,6 +165,9 @@ class Tensor:
         out._backward = None
         out._prev = ()
         out._op = ""
+        out._seen = None
+        out._tgrad = None
+        out._towned = False
         if _GRAD_ENABLED and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._prev = tuple(parents)
@@ -172,9 +182,20 @@ class Tensor:
             self.grad += grad
 
     def backward(self, grad: Optional[np.ndarray] = None) -> None:
-        """Backpropagate from this tensor.
+        """Backpropagate from this tensor via a compiled tape.
 
         ``grad`` defaults to ones (so scalars need no argument).
+
+        The graph is flattened once into an iterative, ordered tape:
+        visitation is marked with a per-call token on the node itself (no
+        set churn) and incoming gradients live in per-node slots instead of
+        an ``id()``-keyed dict.  Interior gradients that accumulate more
+        than one contribution are summed in place into pre-sized buffers
+        drawn from the calling thread's :class:`repro.backend.pool.BufferPool`
+        and returned to it when the tape finishes — steady-state training
+        steps re-run the whole backward without allocating accumulator
+        arrays.  Single-contribution gradients are passed through by
+        reference (zero-copy), matching the previous semantics.
         """
         if not self.requires_grad:
             raise RuntimeError("backward() called on a tensor that does not require grad")
@@ -185,46 +206,76 @@ class Tensor:
         else:
             grad = np.asarray(grad, dtype=_float_dtype_of(self.data))
 
-        topo: list[Tensor] = []
-        visited: set[int] = set()
+        from repro.backend.pool import get_pool
+
+        pool = get_pool()
+        token = object()  # fresh per call: marks nodes as visited
+        tape: list[Tensor] = []
         stack: list[tuple[Tensor, bool]] = [(self, False)]
         while stack:
             node, processed = stack.pop()
             if processed:
-                topo.append(node)
+                tape.append(node)
                 continue
-            if id(node) in visited:
+            if node._seen is token:
                 continue
-            visited.add(id(node))
+            node._seen = token  # visited at *pop* time — a node re-reached
+            # while still on the stack must be re-pushed deeper, or a shared
+            # ancestor (diamond) would complete before all its consumers.
             stack.append((node, True))
             for parent in node._prev:
-                if id(parent) not in visited:
+                if parent._seen is not token:
                     stack.append((parent, False))
 
-        grads: dict[int, np.ndarray] = {id(self): grad}
-        for node in reversed(topo):
-            node_grad = grads.pop(id(node), None)
-            if node_grad is None:
-                continue
-            if node.requires_grad and node._backward is None:
-                # Leaf tensor: accumulate into .grad
-                node._accumulate(unbroadcast(node_grad, node.data.shape))
-            if node._backward is not None:
-                parent_grads = node._backward(node_grad)
-                if parent_grads is None:
+        self._tgrad = grad
+        owned: list[np.ndarray] = []  # pool buffers to release when done
+        try:
+            for node in reversed(tape):
+                node_grad = node._tgrad
+                if node_grad is None:
                     continue
-                for parent, pgrad in zip(node._prev, parent_grads):
-                    if pgrad is None or not parent.requires_grad:
+                # Drop the slot as soon as the gradient is consumed so
+                # single-consumer (borrowed) arrays free at the live
+                # frontier, like the old dict.pop did — only pooled
+                # accumulators stay pinned (they go back to the pool).
+                node._tgrad = None
+                if node.requires_grad and node._backward is None:
+                    # Leaf tensor: accumulate into .grad
+                    node._accumulate(unbroadcast(node_grad, node.data.shape))
+                if node._backward is not None:
+                    parent_grads = node._backward(node_grad)
+                    if parent_grads is None:
                         continue
-                    pgrad = unbroadcast(np.asarray(pgrad, dtype=_float_dtype_of(parent.data)), parent.data.shape)
-                    if parent._backward is None:
-                        parent._accumulate(pgrad)
-                    elif id(parent) in grads:
-                        # Out-of-place: the stored grad may be a read-only
-                        # broadcast view (e.g. from sum's backward).
-                        grads[id(parent)] = grads[id(parent)] + pgrad
-                    else:
-                        grads[id(parent)] = pgrad
+                    for parent, pgrad in zip(node._prev, parent_grads):
+                        if pgrad is None or not parent.requires_grad:
+                            continue
+                        pgrad = unbroadcast(
+                            np.asarray(pgrad, dtype=_float_dtype_of(parent.data)), parent.data.shape
+                        )
+                        if parent._backward is None:
+                            parent._accumulate(pgrad)
+                        elif parent._tgrad is None:
+                            # First contribution: borrow by reference (may be
+                            # a read-only view — never written in place).
+                            parent._tgrad = pgrad
+                        elif parent._towned:
+                            # Accumulator is a pool buffer we own: in-place.
+                            np.add(parent._tgrad, pgrad, out=parent._tgrad)
+                        else:
+                            # Second contribution: promote to a pooled,
+                            # pre-sized accumulator and sum into it.
+                            buf = pool.acquire(parent.data.shape, parent._tgrad.dtype)
+                            np.add(parent._tgrad, pgrad, out=buf)
+                            parent._tgrad = buf
+                            parent._towned = True
+                            owned.append(buf)
+        finally:
+            for node in tape:
+                node._tgrad = None
+                node._towned = False
+            # All tape processing is complete, so no live view can still
+            # reference these accumulators — recycle them for the next step.
+            pool.release_all(owned)
 
     def zero_grad(self) -> None:
         """Clear the accumulated gradient."""

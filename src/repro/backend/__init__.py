@@ -15,11 +15,19 @@ Public surface:
 - Fusion switch — :func:`set_fusion` / :func:`fusion_enabled` /
   :func:`fusion` (context manager) routes
   :mod:`repro.autograd.functional` through the fused kernels.
+- Per-kernel timing — :func:`kernel_timing` / :func:`set_kernel_timing` /
+  :func:`kernel_timings` / :func:`reset_kernel_timings` account wall time
+  per dispatched kernel (the bench breakdown and ``GET /statz``).
+- Buffer pool — :class:`BufferPool`, :func:`get_pool`, :func:`pool_stats`,
+  :func:`reset_pool_stats` (per-thread array recycling for the tape
+  backward and padded-batch buffers).
 - Fused autograd ops (loaded lazily to avoid import cycles with
   :mod:`repro.autograd`): :func:`fused_lstm_step`,
   :func:`fused_lstm_sequence`, :func:`fused_softmax`,
   :func:`fused_log_softmax`, :func:`fused_softmax_cross_entropy`,
-  :func:`fused_gumbel_softmax`, :func:`fused_binary_concrete`.
+  :func:`fused_gumbel_softmax`, :func:`fused_binary_concrete`,
+  :func:`fused_attention`, :func:`fused_embedding_gather`,
+  :func:`fused_dropout`.
 """
 
 from repro.backend.core import (
@@ -32,12 +40,18 @@ from repro.backend.core import (
     fusion_enabled,
     get_backend,
     get_default_dtype,
+    kernel_timing,
+    kernel_timing_enabled,
+    kernel_timings,
     register_backend,
+    reset_kernel_timings,
     set_backend,
     set_default_dtype,
     set_fusion,
+    set_kernel_timing,
     use_backend,
 )
+from repro.backend.pool import BufferPool, get_pool, pool_stats, reset_pool_stats
 from repro.backend import kernels  # noqa: F401  (registers the numpy kernels)
 
 _OPS_EXPORTS = (
@@ -48,10 +62,14 @@ _OPS_EXPORTS = (
     "fused_softmax_cross_entropy",
     "fused_gumbel_softmax",
     "fused_binary_concrete",
+    "fused_attention",
+    "fused_embedding_gather",
+    "fused_dropout",
 )
 
 __all__ = [
     "Backend",
+    "BufferPool",
     "NumpyBackend",
     "available_backends",
     "canonical_dtype",
@@ -60,10 +78,18 @@ __all__ = [
     "fusion_enabled",
     "get_backend",
     "get_default_dtype",
+    "get_pool",
+    "kernel_timing",
+    "kernel_timing_enabled",
+    "kernel_timings",
+    "pool_stats",
     "register_backend",
+    "reset_kernel_timings",
+    "reset_pool_stats",
     "set_backend",
     "set_default_dtype",
     "set_fusion",
+    "set_kernel_timing",
     "use_backend",
     *_OPS_EXPORTS,
 ]

@@ -19,8 +19,12 @@ This module is the single choke point for "how array math is executed":
 - A **fusion switch**: :func:`set_fusion` / :func:`fusion` routes the
   thin wrappers in :mod:`repro.autograd.functional` to the fused kernels.
   It defaults to off so the composed reference ops define the numerics;
-  the fast path (``float32`` + fusion + bucketed batching) is opt-in via
-  :class:`repro.core.trainer.TrainConfig` or the experiments CLI.
+  ``float32`` + fusion is opt-in via
+  :class:`repro.core.trainer.TrainConfig` or the experiments CLI (bucketed
+  batching — which changes batch composition, never math — defaults on).
+- **Per-kernel timing**: :func:`kernel_timing` wraps kernel dispatch with
+  wall-clock accounting (:func:`kernel_timings`) for the bench breakdown
+  and serving's ``GET /statz``; off by default with zero overhead.
 
 Nothing in this module imports the autograd layer, so it can be imported
 from anywhere in the package without cycles.
@@ -30,6 +34,7 @@ from __future__ import annotations
 
 import contextlib
 import threading
+import time
 from typing import Callable, Iterator, Optional
 
 import numpy as np
@@ -115,6 +120,70 @@ def fusion(enabled: bool = True) -> Iterator[bool]:
 
 
 # ----------------------------------------------------------------------
+# Per-kernel timing
+# ----------------------------------------------------------------------
+# Opt-in wall-clock accounting of every fused-kernel dispatch: the *enable*
+# flag is per-thread (like the dtype/fusion policy — a profiled serving
+# worker never slows a concurrent trainer down), while the accumulated
+# counters are process-wide behind a lock so `GET /statz` and the bench
+# breakdown can read another thread's numbers.  Off by default: `kernel()`
+# returns the raw callable with zero added overhead.
+_TIMING_LOCK = threading.Lock()
+_KERNEL_TIMINGS: dict[str, list] = {}  # name -> [calls, total_seconds]
+
+
+def kernel_timing_enabled() -> bool:
+    """Whether kernel dispatch on this thread records per-kernel wall time."""
+    return getattr(_policy, "kernel_timing", False)
+
+
+def set_kernel_timing(enabled: bool) -> bool:
+    """Toggle per-kernel timing for the calling thread; returns the previous
+    setting.  Kernels fetched while enabled stay instrumented for their
+    lifetime (backward closures capture the instrumented callable)."""
+    previous = kernel_timing_enabled()
+    _policy.kernel_timing = bool(enabled)
+    return previous
+
+
+@contextlib.contextmanager
+def kernel_timing(enabled: bool = True) -> Iterator[bool]:
+    """Context manager scoping :func:`set_kernel_timing` to a block."""
+    previous = set_kernel_timing(enabled)
+    try:
+        yield kernel_timing_enabled()
+    finally:
+        set_kernel_timing(previous)
+
+
+def kernel_timings() -> dict[str, dict]:
+    """Snapshot of accumulated per-kernel counters, busiest kernel first."""
+    with _TIMING_LOCK:
+        items = [(name, entry[0], entry[1]) for name, entry in _KERNEL_TIMINGS.items()]
+    items.sort(key=lambda item: item[2], reverse=True)
+    return {
+        name: {"calls": calls, "total_ms": round(total * 1000.0, 3)}
+        for name, calls, total in items
+    }
+
+
+def reset_kernel_timings() -> None:
+    """Zero the per-kernel counters (start of a bench phase)."""
+    with _TIMING_LOCK:
+        _KERNEL_TIMINGS.clear()
+
+
+def _record_kernel_time(name: str, elapsed: float) -> None:
+    with _TIMING_LOCK:
+        entry = _KERNEL_TIMINGS.get(name)
+        if entry is None:
+            _KERNEL_TIMINGS[name] = [1, elapsed]
+        else:
+            entry[0] += 1
+            entry[1] += elapsed
+
+
+# ----------------------------------------------------------------------
 # Backends
 # ----------------------------------------------------------------------
 class Backend:
@@ -145,14 +214,30 @@ class Backend:
         return fn
 
     def kernel(self, name: str) -> Callable:
-        """Fetch a registered kernel; raises ``KeyError`` with the roster."""
+        """Fetch a registered kernel; raises ``KeyError`` with the roster.
+
+        With :func:`kernel_timing` enabled on the calling thread, the
+        returned callable is wrapped to account its wall time under
+        ``name`` (see :func:`kernel_timings`).
+        """
         try:
-            return self._kernels[name]
+            fn = self._kernels[name]
         except KeyError:
             raise KeyError(
                 f"backend {self.name!r} has no kernel {name!r}; "
                 f"registered: {sorted(self._kernels)}"
             ) from None
+        if not kernel_timing_enabled():
+            return fn
+
+        def timed(*args, **kwargs):
+            start = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                _record_kernel_time(name, time.perf_counter() - start)
+
+        return timed
 
     def has_kernel(self, name: str) -> bool:
         """Whether a kernel is registered under ``name``."""

@@ -26,7 +26,11 @@ _SIGMOID_CLIP = 60.0
 
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
-    return 1.0 / (1.0 + np.exp(-np.clip(x, -_SIGMOID_CLIP, _SIGMOID_CLIP)))
+    # Out-of-place convenience wrapper over the single authoritative
+    # implementation below: the first clamp allocates the fresh result.
+    out = np.maximum(x, -_SIGMOID_CLIP)
+    _sigmoid_inplace(out)
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -79,6 +83,20 @@ def lstm_step_backward_c(grad_c: np.ndarray, cache: tuple) -> tuple[np.ndarray, 
 # ----------------------------------------------------------------------
 # Fused LSTM over a whole sequence (single graph node, explicit BPTT)
 # ----------------------------------------------------------------------
+def _sigmoid_inplace(x: np.ndarray) -> None:
+    """``x <- sigmoid(clip(x))`` with no temporaries (same math as _sigmoid).
+
+    Calls the clamp ufuncs directly — ``np.clip``'s dispatch wrapper costs
+    more than the arithmetic at recurrent-step sizes.
+    """
+    np.maximum(x, -_SIGMOID_CLIP, out=x)
+    np.minimum(x, _SIGMOID_CLIP, out=x)
+    np.negative(x, out=x)
+    np.exp(x, out=x)
+    x += 1.0
+    np.reciprocal(x, out=x)
+
+
 def lstm_sequence_forward(
     gates_x: np.ndarray,
     weight_hh: np.ndarray,
@@ -92,9 +110,12 @@ def lstm_sequence_forward(
     ``gates_x`` is the batched input projection ``x @ W_ih`` for every
     timestep; the recurrent term, bias, gate nonlinearities, cell update
     and (optional) padding-mask carry are all computed here, step math
-    identical to :func:`lstm_step_forward`.  Returns the (B, L, H) hidden
+    identical to :func:`lstm_step_forward`.  The step loop runs entirely in
+    preallocated buffers (in-place ufuncs, ``out=`` matmuls, ``np.copyto``
+    masking — exact for the 0/1 padding masks), so the per-timestep cost is
+    kernel work, not allocator churn.  Returns the (B, L, H) hidden
     sequence plus the cache for :func:`lstm_sequence_backward` —
-    ``need_cache=False`` (the no-grad inference path) skips the ~7
+    ``need_cache=False`` (the no-grad inference path) skips the
     sequence-sized cache allocations and returns ``None`` for it.
     """
     batch, length, four_h = gates_x.shape
@@ -102,46 +123,80 @@ def lstm_sequence_forward(
     dtype = gates_x.dtype
     h = np.zeros((batch, hs), dtype=dtype)
     c = np.zeros((batch, hs), dtype=dtype)
+    # Fold the bias into the batched input projection once (vectorized over
+    # the whole sequence) instead of re-adding it every step.
+    gx = gates_x + bias
     if need_cache:
-        i_all = np.empty((batch, length, hs), dtype=dtype)
-        f_all = np.empty((batch, length, hs), dtype=dtype)
-        g_all = np.empty((batch, length, hs), dtype=dtype)
-        o_all = np.empty((batch, length, hs), dtype=dtype)
+        # Post-nonlinearity gate activations [i, f, g, o] per step, stored
+        # contiguously so the backward reads them as views; post-carry cell
+        # states, from which the backward reconstructs c_prev by a shift
+        # (h_prev likewise comes from shifting `out` — no per-step copies).
+        acts_all = np.empty((batch, length, four_h), dtype=dtype)
         tanh_c_all = np.empty((batch, length, hs), dtype=dtype)
-        h_prev_all = np.empty((batch, length, hs), dtype=dtype)
-        c_prev_all = np.empty((batch, length, hs), dtype=dtype)
+        c_all = np.empty((batch, length, hs), dtype=dtype)
     out = np.empty((batch, length, hs), dtype=dtype)
+    gates = np.empty((batch, four_h), dtype=dtype)
+    c_new = np.empty((batch, hs), dtype=dtype)
+    h_new = np.empty((batch, hs), dtype=dtype)
+    g_preact = np.empty((batch, hs), dtype=dtype)
+    scratch = np.empty((batch, hs), dtype=dtype)
+    mask_bool = None if mask is None else (mask != 0.0)
     steps = range(length - 1, -1, -1) if reverse else range(length)
     for t in steps:
-        gates = gates_x[:, t] + h @ weight_hh
-        gates += bias
-        i = _sigmoid(gates[:, 0:hs])
-        f = _sigmoid(gates[:, hs:2 * hs])
-        g = np.tanh(gates[:, 2 * hs:3 * hs])
-        o = _sigmoid(gates[:, 3 * hs:])
+        np.matmul(h, weight_hh, out=gates)
+        gates += gx[:, t]
+        # One sigmoid sweep over all four blocks, with the cell candidate's
+        # pre-activation saved and re-written as tanh afterwards.
+        g = gates[:, 2 * hs:3 * hs]
+        g_preact[...] = g
+        _sigmoid_inplace(gates)
+        np.tanh(g_preact, out=g)
+        i = gates[:, 0:hs]
+        f = gates[:, hs:2 * hs]
+        o = gates[:, 3 * hs:]
+        np.multiply(f, c, out=c_new)
+        np.multiply(i, g, out=scratch)
+        c_new += scratch
         if need_cache:
-            h_prev_all[:, t] = h
-            c_prev_all[:, t] = c
-        c_tilde = f * c + i * g
-        tanh_c = np.tanh(c_tilde)
-        h_tilde = o * tanh_c
-        if mask is not None:
-            m = mask[:, t:t + 1]
-            h = h_tilde * m + h * (1.0 - m)
-            c = c_tilde * m + c * (1.0 - m)
+            acts_all[:, t] = gates
+            tanh_c = tanh_c_all[:, t]
         else:
-            h, c = h_tilde, c_tilde
+            tanh_c = scratch
+        np.tanh(c_new, out=tanh_c)                 # tanh(c')
+        np.multiply(o, tanh_c, out=h_new)
+        if mask_bool is not None:
+            m = mask_bool[:, t:t + 1]
+            # 0/1 carry: h' = h_tilde*m + h*(1-m) selects exactly.
+            np.copyto(h, h_new, where=m)
+            np.copyto(c, c_new, where=m)
+        else:
+            h[...] = h_new
+            c[...] = c_new
         if need_cache:
-            i_all[:, t] = i
-            f_all[:, t] = f
-            g_all[:, t] = g
-            o_all[:, t] = o
-            tanh_c_all[:, t] = tanh_c
+            c_all[:, t] = c
         out[:, t] = h
     if not need_cache:
         return out, None
-    cache = (i_all, f_all, g_all, o_all, tanh_c_all, h_prev_all, c_prev_all, steps)
+    cache = (acts_all, tanh_c_all, c_all, out, steps, reverse)
     return out, cache
+
+
+def _shifted_prev(seq: np.ndarray, reverse: bool) -> np.ndarray:
+    """Per-step "previous state" view of a recurrent state history.
+
+    ``seq[:, t]`` holds the post-carry state *after* step ``t``; the state
+    *entering* step ``t`` is the previous step's entry in iteration order
+    (zeros at the initial step).  One vectorized copy replaces a per-step
+    cache write in the forward loop.
+    """
+    prev = np.empty_like(seq)
+    if reverse:
+        prev[:, -1] = 0.0
+        prev[:, :-1] = seq[:, 1:]
+    else:
+        prev[:, 0] = 0.0
+        prev[:, 1:] = seq[:, :-1]
+    return prev
 
 
 def lstm_sequence_backward(
@@ -153,47 +208,87 @@ def lstm_sequence_backward(
     """BPTT for :func:`lstm_sequence_forward`.
 
     Returns ``(d_gates_x, d_weight_hh, d_bias)``.  Per-step gate gradients
-    are written straight into the preallocated (B, L, 4H) result, so the
-    whole backward is O(L) in full-sequence array traffic (the composed
-    graph pays O(L²) re-summing per-step scatter outputs).
+    are written straight into the preallocated (B, L, 4H) result and every
+    step temporary lives in a reused buffer, so the whole backward is O(L)
+    in full-sequence array traffic with no per-step allocations (the
+    composed graph pays O(L²) re-summing per-step scatter outputs).
     """
-    i_all, f_all, g_all, o_all, tanh_c_all, h_prev_all, c_prev_all, steps = cache
-    batch, length, hs = i_all.shape
+    acts_all, tanh_c_all, c_all, out, steps, reverse = cache
+    batch, length, hs = tanh_c_all.shape
     dtype = grad_out.dtype
+    # Reconstruct the per-step previous states from the recorded histories
+    # (one vectorized shift each — the forward loop writes no prev caches).
+    h_prev_all = _shifted_prev(out, reverse)
+    c_prev_all = _shifted_prev(c_all, reverse)
     d_gates_x = np.empty((batch, length, 4 * hs), dtype=dtype)
-    d_weight_hh = np.zeros_like(weight_hh)
-    d_bias = np.zeros(4 * hs, dtype=weight_hh.dtype)
     dh = np.zeros((batch, hs), dtype=dtype)
     dc = np.zeros((batch, hs), dtype=dtype)
-    weight_hh_T = weight_hh.T
+    weight_hh_T = np.ascontiguousarray(weight_hh.T)
+
+    # Everything that does not depend on the recurrent (dh, dc) carry is
+    # precomputed vectorized over the whole sequence; the step loop below
+    # is left with the irreducible recurrence only.
+    acts4 = acts_all.reshape(batch, length, 4, hs)
+    i = acts4[:, :, 0]
+    f = acts4[:, :, 1]
+    g = acts4[:, :, 2]
+    o = acts4[:, :, 3]
+    # d(c')/d(gate pre-activations), per gate block [i, f, g]:
+    #   i: g*i*(1-i)   f: c_prev*f*(1-f)   g: i*(1-g^2)
+    dct_factor = np.empty((batch, length, 3, hs), dtype=dtype)
+    np.subtract(1.0, i, out=dct_factor[:, :, 0])
+    dct_factor[:, :, 0] *= i
+    dct_factor[:, :, 0] *= g
+    np.subtract(1.0, f, out=dct_factor[:, :, 1])
+    dct_factor[:, :, 1] *= f
+    dct_factor[:, :, 1] *= c_prev_all
+    np.multiply(g, g, out=dct_factor[:, :, 2])
+    np.subtract(1.0, dct_factor[:, :, 2], out=dct_factor[:, :, 2])
+    dct_factor[:, :, 2] *= i
+    # d(h')/d(output gate pre-activation): tanh_c*o*(1-o)
+    do_factor = np.subtract(1.0, o)
+    do_factor *= o
+    do_factor *= tanh_c_all
+    # d(h')/d(c'): o*(1-tanh_c^2)
+    dtanh = np.multiply(tanh_c_all, tanh_c_all)
+    np.subtract(1.0, dtanh, out=dtanh)
+    dtanh *= o
+
+    dgates4 = d_gates_x.reshape(batch, length, 4, hs)
+    mask_col = None if mask is None else mask[:, :, None]
+    dh_tilde = np.empty((batch, hs), dtype=dtype)
+    dc_tilde = np.empty((batch, hs), dtype=dtype)
+    dct = np.empty((batch, hs), dtype=dtype)
+    dh_next = np.empty((batch, hs), dtype=dtype)
     for t in reversed(list(steps)):
-        dh = dh + grad_out[:, t]
-        if mask is not None:
-            m = mask[:, t:t + 1]
-            keep = 1.0 - m
-            dh_tilde = dh * m
-            dh_carry = dh * keep
-            dc_tilde = dc * m
-            dc_carry = dc * keep
+        dh += grad_out[:, t]
+        if mask_col is not None:
+            m = mask_col[:, t]
+            np.multiply(dh, m, out=dh_tilde)
+            np.multiply(dc, m, out=dc_tilde)
+            dh -= dh_tilde   # dh_carry = dh * (1 - m), exact for 0/1 masks
+            dc -= dc_tilde
         else:
-            dh_tilde, dh_carry = dh, 0.0
-            dc_tilde, dc_carry = dc, 0.0
-        i = i_all[:, t]
-        f = f_all[:, t]
-        g = g_all[:, t]
-        o = o_all[:, t]
-        tanh_c = tanh_c_all[:, t]
-        do = dh_tilde * tanh_c
-        dct = dh_tilde * o * (1.0 - tanh_c ** 2) + dc_tilde
-        dgates = d_gates_x[:, t]
-        dgates[:, 0:hs] = dct * g * i * (1.0 - i)
-        dgates[:, hs:2 * hs] = dct * c_prev_all[:, t] * f * (1.0 - f)
-        dgates[:, 2 * hs:3 * hs] = dct * i * (1.0 - g ** 2)
-        dgates[:, 3 * hs:] = do * o * (1.0 - o)
-        d_weight_hh += h_prev_all[:, t].T @ dgates
-        d_bias += dgates.sum(axis=0)
-        dh = dh_carry + dgates @ weight_hh_T
-        dc = dc_carry + dct * f
+            dh_tilde[...] = dh
+            dc_tilde[...] = dc
+            dh[...] = 0.0
+            dc[...] = 0.0
+        # dct = dh_tilde * o * (1 - tanh_c^2) + dc_tilde
+        np.multiply(dh_tilde, dtanh[:, t], out=dct)
+        dct += dc_tilde
+        # All three c'-path gate blocks in one broadcasted multiply.
+        np.multiply(dct_factor[:, t], dct[:, None, :], out=dgates4[:, t, :3])
+        np.multiply(do_factor[:, t], dh_tilde, out=dgates4[:, t, 3])
+        np.matmul(d_gates_x[:, t], weight_hh_T, out=dh_next)
+        dh += dh_next        # dh = dh_carry + dgates @ W_hh^T
+        np.multiply(dct, f[:, t], out=dct)
+        dc += dct            # dc = dc_carry + dct * f
+    # The weight/bias reductions have no recurrent dependency: one big GEMM
+    # and one big sum over the (B*L)-flattened sequence after the loop.
+    d_weight_hh = np.matmul(
+        h_prev_all.reshape(-1, hs).T, d_gates_x.reshape(-1, 4 * hs)
+    ).astype(weight_hh.dtype, copy=False)
+    d_bias = d_gates_x.sum(axis=(0, 1), dtype=weight_hh.dtype)
     return d_gates_x, d_weight_hh, d_bias
 
 
@@ -223,36 +318,57 @@ def gru_sequence_forward(
     hs = three_h // 3
     dtype = gates_x.dtype
     h = np.zeros((batch, hs), dtype=dtype)
+    # Fold the recurrent bias of the reset/update blocks into the batched
+    # input projection once (their pre-activations are plain sums); the
+    # candidate block's bias must stay on the recurrent side because it is
+    # scaled by the reset gate.
+    gx = gates_x.copy()
+    gx[:, :, :2 * hs] += bias_hh[:2 * hs]
+    bias_n = bias_hh[2 * hs:]
     if need_cache:
-        r_all = np.empty((batch, length, hs), dtype=dtype)
-        z_all = np.empty((batch, length, hs), dtype=dtype)
+        # Post-nonlinearity reset/update activations stored contiguously,
+        # candidate and its recurrent pre-activation separately; h_prev is
+        # reconstructed in the backward by shifting `out`.
+        rz_all = np.empty((batch, length, 2 * hs), dtype=dtype)
         n_all = np.empty((batch, length, hs), dtype=dtype)
         gh_n_all = np.empty((batch, length, hs), dtype=dtype)
-        h_prev_all = np.empty((batch, length, hs), dtype=dtype)
     out = np.empty((batch, length, hs), dtype=dtype)
+    gates_h = np.empty((batch, three_h), dtype=dtype)
+    n_buf = np.empty((batch, hs), dtype=dtype)
+    h_tilde = np.empty((batch, hs), dtype=dtype)
+    scratch = np.empty((batch, hs), dtype=dtype)
+    mask_bool = None if mask is None else (mask != 0.0)
     steps = range(length - 1, -1, -1) if reverse else range(length)
     for t in steps:
-        gates_h = h @ weight_hh + bias_hh
+        np.matmul(h, weight_hh, out=gates_h)
         gh_n = gates_h[:, 2 * hs:]
-        r = _sigmoid(gates_x[:, t, 0:hs] + gates_h[:, 0:hs])
-        z = _sigmoid(gates_x[:, t, hs:2 * hs] + gates_h[:, hs:2 * hs])
-        n = np.tanh(gates_x[:, t, 2 * hs:] + r * gh_n)
+        gh_n += bias_n
+        rz = gates_h[:, :2 * hs]
+        rz += gx[:, t, :2 * hs]
+        _sigmoid_inplace(rz)
+        r = gates_h[:, 0:hs]
+        z = gates_h[:, hs:2 * hs]
+        np.multiply(r, gh_n, out=n_buf)
+        n_buf += gx[:, t, 2 * hs:]
+        np.tanh(n_buf, out=n_buf)
         if need_cache:
-            r_all[:, t] = r
-            z_all[:, t] = z
-            n_all[:, t] = n
+            rz_all[:, t] = rz
+            n_all[:, t] = n_buf
             gh_n_all[:, t] = gh_n
-            h_prev_all[:, t] = h
-        h_tilde = (1.0 - z) * n + z * h
-        if mask is not None:
-            m = mask[:, t:t + 1]
-            h = h_tilde * m + h * (1.0 - m)
+        # h_tilde = (1 - z) * n + z * h
+        np.subtract(1.0, z, out=h_tilde)
+        h_tilde *= n_buf
+        np.multiply(z, h, out=scratch)
+        h_tilde += scratch
+        if mask_bool is not None:
+            # 0/1 carry: h' = h_tilde*m + h*(1-m) selects exactly.
+            np.copyto(h, h_tilde, where=mask_bool[:, t:t + 1])
         else:
-            h = h_tilde
+            h[...] = h_tilde
         out[:, t] = h
     if not need_cache:
         return out, None
-    cache = (r_all, z_all, n_all, gh_n_all, h_prev_all, steps)
+    cache = (rz_all, n_all, gh_n_all, out, steps, reverse)
     return out, cache
 
 
@@ -269,43 +385,65 @@ def gru_sequence_backward(
     result, so the whole backward is O(L) in full-sequence array traffic
     (the composed graph pays O(L²) re-summing per-step scatter outputs).
     """
-    r_all, z_all, n_all, gh_n_all, h_prev_all, steps = cache
-    batch, length, hs = r_all.shape
+    rz_all, n_all, gh_n_all, out, steps, reverse = cache
+    batch, length, hs = n_all.shape
     dtype = grad_out.dtype
+    h_prev_all = _shifted_prev(out, reverse)
+    r = rz_all[:, :, 0:hs]
+    z = rz_all[:, :, hs:2 * hs]
+
+    # Everything that does not depend on the recurrent dh carry is
+    # precomputed vectorized over the whole sequence:
+    #   da_n = dh_tilde * f_n       f_n = (1-z)*(1-n^2)
+    #   da_r = da_n * f_r           f_r = gh_n*r*(1-r)
+    #   da_z = dh_tilde * f_z       f_z = (h_prev-n)*z*(1-z)
+    f_n = np.multiply(n_all, n_all)
+    np.subtract(1.0, f_n, out=f_n)
+    scratch_seq = np.subtract(1.0, z)
+    f_n *= scratch_seq
+    f_r = np.subtract(1.0, r)
+    f_r *= r
+    f_r *= gh_n_all
+    f_z = np.subtract(h_prev_all, n_all)
+    np.subtract(1.0, z, out=scratch_seq)
+    scratch_seq *= z
+    f_z *= scratch_seq
+
     d_gates_x = np.empty((batch, length, 3 * hs), dtype=dtype)
-    d_weight_hh = np.zeros_like(weight_hh)
-    d_bias_hh = np.zeros(3 * hs, dtype=weight_hh.dtype)
+    dgates_h_all = np.empty((batch, length, 3 * hs), dtype=dtype)
     dh = np.zeros((batch, hs), dtype=dtype)
-    weight_hh_T = weight_hh.T
-    dgates_h = np.empty((batch, 3 * hs), dtype=dtype)
+    weight_hh_T = np.ascontiguousarray(weight_hh.T)
+    dh_tilde = np.empty((batch, hs), dtype=dtype)
+    da_n = np.empty((batch, hs), dtype=dtype)
+    dh_next = np.empty((batch, hs), dtype=dtype)
     for t in reversed(list(steps)):
-        dh = dh + grad_out[:, t]
+        dh += grad_out[:, t]
         if mask is not None:
             m = mask[:, t:t + 1]
-            dh_tilde = dh * m
-            dh_carry = dh * (1.0 - m)
+            np.multiply(dh, m, out=dh_tilde)
+            dh -= dh_tilde   # dh_carry = dh * (1 - m), exact for 0/1 masks
         else:
-            dh_tilde, dh_carry = dh, 0.0
-        r = r_all[:, t]
-        z = z_all[:, t]
-        n = n_all[:, t]
-        gh_n = gh_n_all[:, t]
-        h_prev = h_prev_all[:, t]
-        dn = dh_tilde * (1.0 - z)
-        dz = dh_tilde * (h_prev - n)
-        da_n = dn * (1.0 - n ** 2)
-        da_r = (da_n * gh_n) * r * (1.0 - r)
-        da_z = dz * z * (1.0 - z)
-        dgx = d_gates_x[:, t]
-        dgx[:, 0:hs] = da_r
-        dgx[:, hs:2 * hs] = da_z
-        dgx[:, 2 * hs:] = da_n
-        dgates_h[:, 0:hs] = da_r
-        dgates_h[:, hs:2 * hs] = da_z
-        dgates_h[:, 2 * hs:] = da_n * r
-        d_weight_hh += h_prev.T @ dgates_h
-        d_bias_hh += dgates_h.sum(axis=0)
-        dh = dh_carry + dh_tilde * z + dgates_h @ weight_hh_T
+            dh_tilde[...] = dh
+            dh[...] = 0.0
+        dgh = dgates_h_all[:, t]
+        np.multiply(dh_tilde, f_n[:, t], out=da_n)
+        np.multiply(da_n, f_r[:, t], out=dgh[:, 0:hs])          # da_r
+        np.multiply(dh_tilde, f_z[:, t], out=dgh[:, hs:2 * hs])  # da_z
+        np.multiply(da_n, r[:, t], out=dgh[:, 2 * hs:])
+        d_gates_x[:, t, 2 * hs:] = da_n
+        # dh = dh_carry + dh_tilde * z + dgates_h @ W_hh^T
+        np.multiply(dh_tilde, z[:, t], out=dh_next)
+        dh += dh_next
+        np.matmul(dgh, weight_hh_T, out=dh_next)
+        dh += dh_next
+    # The reset/update input-gradient blocks equal the recurrent ones, and
+    # the weight/bias reductions have no recurrent dependency: one big copy,
+    # one big GEMM, one big sum after the loop.
+    d_gates_x[:, :, :2 * hs] = dgates_h_all[:, :, :2 * hs]
+    d_weight_hh = np.matmul(
+        h_prev_all.reshape(-1, hs).T, dgates_h_all.reshape(-1, 3 * hs)
+    ).astype(weight_hh.dtype, copy=False)
+    d_bias_hh = dgates_h_all.sum(axis=(0, 1), dtype=weight_hh.dtype)
     return d_gates_x, d_weight_hh, d_bias_hh
 
 
@@ -363,6 +501,113 @@ def softmax_xent_backward(probs: np.ndarray, targets: np.ndarray, row_grad: np.n
 
 
 # ----------------------------------------------------------------------
+# Fused scaled-dot-product attention (scores + mask + softmax + context)
+# ----------------------------------------------------------------------
+def attention_forward(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    key_mask: np.ndarray | None,
+    scale: float,
+) -> tuple[np.ndarray, tuple]:
+    """Scaled dot-product attention over (B, H, L, dh) heads in one pass.
+
+    ``key_mask`` is the (B, L) padding mask (1 = real token); masked key
+    positions receive a ``-1e9`` score before the max-shifted softmax,
+    numerics identical to the composed ``masked_fill`` + ``softmax`` chain.
+    Returns ``(context, cache)`` where the cache feeds
+    :func:`attention_backward`.
+    """
+    scores = q @ np.swapaxes(k, -1, -2)
+    scores *= scale
+    if key_mask is not None:
+        blocked = (np.asarray(key_mask) == 0.0)[:, None, None, :]
+        scores = np.where(blocked, scores.dtype.type(-1e9), scores)
+    attn = softmax_forward(scores, axis=-1)
+    context = attn @ v
+    return context, (attn, q, k, v, scale)
+
+
+def attention_backward(grad: np.ndarray, cache: tuple) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gradient of fused attention w.r.t. ``(q, k, v)``.
+
+    Masked key positions carry exactly zero attention weight (their scores
+    underflow the shifted softmax), so the softmax JVP already routes no
+    gradient through them — matching the composed ``masked_fill`` backward.
+    """
+    attn, q, k, v, scale = cache
+    attn_t = np.swapaxes(attn, -1, -2)
+    dv = attn_t @ grad
+    dattn = grad @ np.swapaxes(v, -1, -2)
+    dscores = softmax_backward(attn, dattn, axis=-1)
+    dscores *= scale
+    dq = dscores @ k
+    dk = np.swapaxes(dscores, -1, -2) @ q
+    return dq, dk, dv
+
+
+# ----------------------------------------------------------------------
+# Fused embedding gather with scatter-add gradient accumulation
+# ----------------------------------------------------------------------
+try:  # pragma: no cover - exercised indirectly via embedding_gather_backward
+    from scipy import sparse as _sparse
+except ImportError:  # scipy is a declared dependency, but stay importable
+    _sparse = None
+
+
+def embedding_gather_forward(table: np.ndarray, token_ids: np.ndarray) -> np.ndarray:
+    """Row gather ``table[token_ids]`` — shape ``token_ids.shape + (D,)``."""
+    return table[token_ids]
+
+
+def embedding_gather_backward(
+    grad: np.ndarray, token_ids: np.ndarray, table_shape: tuple
+) -> np.ndarray:
+    """Scatter-add ``grad`` rows back onto a zero table of ``table_shape``.
+
+    Duplicate token ids accumulate.  Uses a sparse one-hot matmul (CSR,
+    C-speed) instead of ``np.add.at``, whose unbuffered Python-level
+    fancy-index loop dominates the embedding backward at training batch
+    sizes; falls back to ``np.add.at`` when scipy is unavailable.
+    """
+    rows, dim = int(np.prod(token_ids.shape)), table_shape[-1]
+    flat_ids = np.asarray(token_ids, dtype=np.int64).reshape(-1)
+    flat_grad = np.ascontiguousarray(grad.reshape(rows, dim))
+    if _sparse is None:
+        full = np.zeros(table_shape, dtype=grad.dtype)
+        np.add.at(full, flat_ids, flat_grad)
+        return full
+    onehot = _sparse.csr_matrix(
+        (np.ones(rows, dtype=grad.dtype), flat_ids, np.arange(rows + 1)),
+        shape=(rows, table_shape[0]),
+    )
+    return np.asarray(onehot.T @ flat_grad)
+
+
+# ----------------------------------------------------------------------
+# Fused inverted dropout
+# ----------------------------------------------------------------------
+def dropout_forward(
+    x: np.ndarray, p: float, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Inverted dropout: zero with probability ``p``, scale by ``1/(1-p)``.
+
+    Draws the same uniform stream as the composed implementation
+    (:func:`repro.autograd.functional.dropout`), so seeded runs mask the
+    same positions on either path.  Returns ``(out, keep)`` where ``keep``
+    is the pre-scaled mask the backward multiplies by.
+    """
+    keep = (rng.uniform(size=x.shape) >= p).astype(x.dtype)
+    keep *= x.dtype.type(1.0 / (1.0 - p))
+    return x * keep, keep
+
+
+def dropout_backward(grad: np.ndarray, keep: np.ndarray) -> np.ndarray:
+    """Gradient of inverted dropout: pass-through on kept positions."""
+    return grad * keep
+
+
+# ----------------------------------------------------------------------
 # Fused binary-concrete (stretched-and-rectified relaxed Bernoulli)
 # ----------------------------------------------------------------------
 def binary_concrete_forward(
@@ -411,6 +656,12 @@ _KERNELS = {
     "softmax_xent_backward": softmax_xent_backward,
     "binary_concrete_forward": binary_concrete_forward,
     "binary_concrete_backward": binary_concrete_backward,
+    "attention_forward": attention_forward,
+    "attention_backward": attention_backward,
+    "embedding_gather_forward": embedding_gather_forward,
+    "embedding_gather_backward": embedding_gather_backward,
+    "dropout_forward": dropout_forward,
+    "dropout_backward": dropout_backward,
 }
 
 _numpy_backend = get_backend("numpy")

@@ -195,6 +195,59 @@ def fused_gumbel_softmax(
     return Tensor._make(hard_np, (logits,), backward, "fused_gumbel_st")
 
 
+def fused_attention(
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    key_mask: Optional[np.ndarray],
+    scale: float,
+) -> Tensor:
+    """Scaled dot-product attention ``(B,H,L,dh)³ -> (B,H,L,dh)`` as ONE node.
+
+    Scores, padding mask, max-shifted softmax and the context matmul all
+    run inside the backend kernel; the composed chain builds ~6 graph
+    nodes (two of them (B,H,L,L)-sized intermediates with their own
+    backward closures).  :class:`repro.nn.attention.MultiHeadSelfAttention`
+    dispatches here when the fusion switch is on.
+    """
+    backend = get_backend()
+    context, cache = backend.kernel("attention_forward")(
+        q.data, k.data, v.data, key_mask, scale
+    )
+    attention_backward = backend.kernel("attention_backward")
+    return Tensor._make(
+        context, (q, k, v), lambda grad: attention_backward(grad, cache), "fused_attention"
+    )
+
+
+def fused_embedding_gather(table: Tensor, token_ids: np.ndarray) -> Tensor:
+    """Embedding lookup ``table[token_ids]`` as one backend-dispatched node.
+
+    The backward is the registered scatter-add kernel
+    (:func:`repro.backend.kernels.embedding_gather_backward`), which
+    accumulates duplicate-token gradients at C speed instead of
+    ``np.add.at``'s unbuffered fancy-index loop.
+    """
+    backend = get_backend()
+    token_ids = np.asarray(token_ids, dtype=np.int64)
+    out = backend.kernel("embedding_gather_forward")(table.data, token_ids)
+    gather_backward = backend.kernel("embedding_gather_backward")
+    table_shape = table.data.shape
+
+    def backward(grad):
+        return (gather_backward(grad, token_ids, table_shape),)
+
+    return Tensor._make(out, (table,), backward, "fused_embedding_gather")
+
+
+def fused_dropout(x: Tensor, p: float, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout as one node (same noise stream as the composed op)."""
+    backend = get_backend()
+    out, keep = backend.kernel("dropout_forward")(x.data, p, rng)
+    dropout_backward = backend.kernel("dropout_backward")
+    return Tensor._make(out, (x,), lambda grad: (dropout_backward(grad, keep),), "fused_dropout")
+
+
 def fused_binary_concrete(
     logit: Tensor,
     temperature: float = 1.0,

@@ -1,0 +1,199 @@
+"""Per-thread array buffer pool for the training/serving hot loops.
+
+Training rebuilds the autodiff graph every step, but the *shapes* flowing
+through it are stable from step to step — so the gradient buffers the tape
+backward accumulates into (:meth:`repro.autograd.tensor.Tensor.backward`)
+and the padded-batch arrays the serving path fills
+(:func:`repro.data.batching.pad_batch`) can be recycled instead of
+reallocated.  :class:`BufferPool` is a free-list keyed by ``(shape, dtype)``:
+``acquire`` pops a previously released array (a *hit*) or allocates a fresh
+one (a *miss*), ``release`` returns arrays for the next step.
+
+Pools are **per-thread** (like the dtype/fusion policy in
+:mod:`repro.backend.core`): a serving worker and a trainer running
+concurrently never hand each other buffers, so pooled arrays can never
+alias across threads.  Every pool registers itself in a process-wide table
+so :func:`pool_stats` can aggregate hit/miss counters for ``GET /statz``
+and the benchmark breakdown.
+
+Buffers handed out by ``acquire`` are *uninitialized* (like ``np.empty``);
+callers overwrite them before reading.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import Iterable, Optional
+
+import numpy as np
+
+#: Per-(shape, dtype) byte budget for retained free buffers.  A composed
+#: training step can release hundreds of small same-shaped gradient
+#: accumulators per backward, so the cap is a byte budget, not a count:
+#: tiny buffers pool deeply (steady-state hit rates near 100%) while a
+#: handful of sequence-sized gradients already exhaust their key's budget.
+DEFAULT_MAX_BYTES_PER_KEY = 4 << 20  # 4 MiB
+#: Hard count cap per key, bounding bookkeeping for sub-KB buffers.
+DEFAULT_MAX_PER_KEY = 512
+#: Pool-wide retained-byte ceiling.  Variable-length training creates one
+#: key per distinct batch geometry, so per-key budgets alone would let a
+#: long run accrete unbounded sequence-sized buffers; this bounds the
+#: whole pool's resident footprint regardless of key diversity.
+DEFAULT_MAX_TOTAL_BYTES = 64 << 20  # 64 MiB
+
+
+class BufferPool:
+    """A free-list of numpy arrays keyed by ``(shape, dtype)``.
+
+    Single-threaded by design — use :func:`get_pool` for the calling
+    thread's pool rather than sharing one instance across threads.
+    """
+
+    __slots__ = (
+        "max_per_key", "max_bytes_per_key", "max_total_bytes", "_free",
+        "_retained_bytes", "hits", "misses", "released", "dropped",
+        "__weakref__",
+    )
+
+    def __init__(
+        self,
+        max_per_key: int = DEFAULT_MAX_PER_KEY,
+        max_bytes_per_key: int = DEFAULT_MAX_BYTES_PER_KEY,
+        max_total_bytes: int = DEFAULT_MAX_TOTAL_BYTES,
+    ):
+        self.max_per_key = int(max_per_key)
+        self.max_bytes_per_key = int(max_bytes_per_key)
+        self.max_total_bytes = int(max_total_bytes)
+        self._free: dict[tuple, list[np.ndarray]] = {}
+        self._retained_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.released = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    def acquire(self, shape, dtype) -> np.ndarray:
+        """Pop a free ``(shape, dtype)`` buffer, or allocate one (uninitialized)."""
+        key = (shape if isinstance(shape, tuple) else tuple(shape), np.dtype(dtype))
+        stack = self._free.get(key)
+        if stack:
+            self.hits += 1
+            array = stack.pop()
+            self._retained_bytes -= array.nbytes
+            return array
+        self.misses += 1
+        return np.empty(key[0], dtype=key[1])
+
+    def release(self, array: np.ndarray) -> None:
+        """Return a buffer for reuse (silently dropped past the budgets).
+
+        Only release arrays that own their memory and that no live code can
+        still observe — the next ``acquire`` of the same geometry will
+        overwrite them.
+        """
+        key = (array.shape, array.dtype)
+        stack = self._free.setdefault(key, [])
+        retained = len(stack)
+        # Retain at least one buffer per key (the largest buffers —
+        # sequence-sized gradients — are exactly the ones worth recycling)
+        # as long as the pool-wide byte ceiling holds.
+        if (
+            retained < self.max_per_key
+            and (retained == 0 or (retained + 1) * array.nbytes <= self.max_bytes_per_key)
+            and self._retained_bytes + array.nbytes <= self.max_total_bytes
+        ):
+            stack.append(array)
+            self._retained_bytes += array.nbytes
+            self.released += 1
+        else:
+            self.dropped += 1
+
+    def release_all(self, arrays: Iterable[np.ndarray]) -> None:
+        """Release every array in ``arrays``."""
+        for array in arrays:
+            self.release(array)
+
+    def clear(self) -> None:
+        """Drop all retained buffers (counters are kept)."""
+        self._free.clear()
+        self._retained_bytes = 0
+
+    # ------------------------------------------------------------------
+    def retained(self) -> int:
+        """Number of free buffers currently held."""
+        return sum(len(stack) for stack in self._free.values())
+
+    def retained_bytes(self) -> int:
+        """Total bytes of free buffers currently held."""
+        return self._retained_bytes
+
+    def stats(self) -> dict:
+        """Counters for observability (``GET /statz``, bench breakdown)."""
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hits / total, 4) if total else 0.0,
+            "released": self.released,
+            "dropped": self.dropped,
+            "retained": self.retained(),
+            "retained_bytes": self.retained_bytes(),
+        }
+
+
+# ----------------------------------------------------------------------
+# Per-thread pools with a process-wide stats view
+# ----------------------------------------------------------------------
+_local = threading.local()
+_pools_lock = threading.Lock()
+#: Weak references to every live per-thread pool, for cross-thread stats
+#: aggregation.  Weak, so a dying thread's pool (kept alive only by its
+#: threading.local slot) is collected together with its retained buffers
+#: instead of being pinned for the life of the process.
+_all_pools: list["weakref.ref[BufferPool]"] = []
+
+
+def _live_pools() -> list[BufferPool]:
+    """Dereference the registry, pruning entries for dead threads."""
+    with _pools_lock:
+        pools = []
+        live_refs = []
+        for ref in _all_pools:
+            pool = ref()
+            if pool is not None:
+                pools.append(pool)
+                live_refs.append(ref)
+        _all_pools[:] = live_refs
+    return pools
+
+
+def get_pool() -> BufferPool:
+    """The calling thread's buffer pool (created on first use)."""
+    pool: Optional[BufferPool] = getattr(_local, "pool", None)
+    if pool is None:
+        pool = BufferPool()
+        _local.pool = pool
+        with _pools_lock:
+            _all_pools.append(weakref.ref(pool))
+    return pool
+
+
+def pool_stats() -> dict:
+    """Aggregate hit/miss counters across every live thread's pool."""
+    pools = _live_pools()
+    agg = {"pools": len(pools), "hits": 0, "misses": 0, "released": 0,
+           "dropped": 0, "retained": 0, "retained_bytes": 0}
+    for pool in pools:
+        stats = pool.stats()
+        for key in ("hits", "misses", "released", "dropped", "retained", "retained_bytes"):
+            agg[key] += stats[key]
+    total = agg["hits"] + agg["misses"]
+    agg["hit_rate"] = round(agg["hits"] / total, 4) if total else 0.0
+    return agg
+
+
+def reset_pool_stats() -> None:
+    """Zero every pool's counters (buffers are kept) — for benchmarking."""
+    for pool in _live_pools():
+        pool.hits = pool.misses = pool.released = pool.dropped = 0

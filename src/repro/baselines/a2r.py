@@ -22,6 +22,7 @@ from repro.autograd.tensor import Tensor
 from repro.core.regularizers import sparsity_coherence_penalty
 from repro.core.rnp import RNP
 from repro.data.batching import Batch
+from repro.backend.core import get_default_dtype
 
 
 class A2R(RNP):
@@ -39,7 +40,7 @@ class A2R(RNP):
     def training_loss(self, batch: Batch, rng: Optional[np.random.Generator] = None) -> tuple[Tensor, dict]:
         """Hard-path CE + soft-path CE + JS coupling + Ω(M)."""
         logits_sel = self.generator.selection_logits(batch.token_ids, batch.mask)
-        pad = Tensor(np.asarray(batch.mask, dtype=np.float64))
+        pad = Tensor(np.asarray(batch.mask, dtype=get_default_dtype()))
 
         # Hard path: straight-through Gumbel sample, as in RNP.
         sample = F.gumbel_softmax(logits_sel, temperature=self.temperature, hard=True, axis=-1, rng=rng)

@@ -26,6 +26,7 @@ from repro.core.regularizers import sparsity_coherence_penalty
 from repro.core.rnp import RNP
 from repro.data.batching import Batch
 from repro.nn.module import Parameter
+from repro.backend.core import get_default_dtype
 
 
 class LabelConditionedGenerator(Generator):
@@ -56,13 +57,13 @@ class LabelConditionedGenerator(Generator):
         """Sample a hard mask conditioned on ``labels``."""
         logits = self.selection_logits_for(token_ids, pad_mask, labels)
         sample = F.gumbel_softmax(logits, temperature=temperature, hard=True, axis=-1, rng=rng)
-        return sample[:, :, 1] * Tensor(np.asarray(pad_mask, dtype=np.float64))
+        return sample[:, :, 1] * Tensor(np.asarray(pad_mask, dtype=get_default_dtype()))
 
     def deterministic_mask_for(self, token_ids: np.ndarray, pad_mask: np.ndarray, labels: np.ndarray) -> np.ndarray:
         """Greedy label-conditioned selection for evaluation."""
         logits = self.selection_logits_for(token_ids, pad_mask, labels)
-        chosen = (logits.data[:, :, 1] > logits.data[:, :, 0]).astype(np.float64)
-        return chosen * np.asarray(pad_mask, dtype=np.float64)
+        chosen = (logits.data[:, :, 1] > logits.data[:, :, 0]).astype(logits.data.dtype)
+        return chosen * np.asarray(pad_mask, dtype=get_default_dtype())
 
 
 class CAR(RNP):

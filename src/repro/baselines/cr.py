@@ -24,6 +24,7 @@ from repro.autograd.tensor import Tensor
 from repro.core.regularizers import sparsity_coherence_penalty
 from repro.core.rnp import RNP
 from repro.data.batching import Batch
+from repro.backend.core import get_default_dtype
 
 
 class CR(RNP):
@@ -38,7 +39,7 @@ class CR(RNP):
 
     def training_loss(self, batch: Batch, rng: Optional[np.random.Generator] = None) -> tuple[Tensor, dict]:
         """Sufficiency CE + hinged necessity on the complement + Ω(M)."""
-        pad = Tensor(np.asarray(batch.mask, dtype=np.float64))
+        pad = Tensor(np.asarray(batch.mask, dtype=get_default_dtype()))
         mask = self.generator(batch.token_ids, batch.mask, temperature=self.temperature, rng=rng)
         complement = (1.0 - mask) * pad
 

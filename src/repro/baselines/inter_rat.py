@@ -23,6 +23,7 @@ from repro.autograd.tensor import Tensor
 from repro.core.regularizers import sparsity_coherence_penalty
 from repro.core.rnp import RNP
 from repro.data.batching import Batch
+from repro.backend.core import get_default_dtype
 
 
 class InterRAT(RNP):
@@ -44,8 +45,8 @@ class InterRAT(RNP):
         top of the straight-through mask, so gradients still flow to the
         generator through the untouched positions.
         """
-        flip = (rng.uniform(size=mask.shape) < self.intervention_rate).astype(np.float64)
-        flip = flip * np.asarray(pad_mask, dtype=np.float64)
+        flip = (rng.uniform(size=mask.shape) < self.intervention_rate).astype(mask.data.dtype)
+        flip = flip * np.asarray(pad_mask, dtype=get_default_dtype())
         # m' = m * (1 - flip) + (1 - m) * flip, with flip treated as constant.
         flip_t = Tensor(flip)
         return mask * (1.0 - flip_t) + (1.0 - mask) * flip_t

@@ -21,11 +21,12 @@ from repro.autograd import functional as F
 from repro.autograd.tensor import Tensor
 from repro.core.rnp import RNP
 from repro.data.batching import Batch
+from repro.backend.core import get_default_dtype
 
 
 def topk_mask(scores: np.ndarray, pad_mask: np.ndarray, rate: float) -> np.ndarray:
     """Budget-constrained hard selection: top ``ceil(rate * len)`` per row."""
-    pad = np.asarray(pad_mask, dtype=np.float64)
+    pad = np.asarray(pad_mask, dtype=get_default_dtype())
     out = np.zeros_like(pad)
     for i in range(scores.shape[0]):
         length = int(pad[i].sum())
@@ -50,7 +51,7 @@ class SPECTRA(RNP):
         soft = (scores / self.temperature).sigmoid()
         hard = topk_mask(scores.data, batch.mask, self.alpha)
         # Straight-through: hard top-k forward, soft sigmoid backward.
-        mask = (soft + Tensor(hard - soft.data)) * Tensor(np.asarray(batch.mask, dtype=np.float64))
+        mask = (soft + Tensor(hard - soft.data)) * Tensor(np.asarray(batch.mask, dtype=get_default_dtype()))
 
         pred_logits = self.predictor(batch.token_ids, mask, batch.mask)
         task_loss = F.cross_entropy(pred_logits, batch.labels)

@@ -25,6 +25,7 @@ from repro.core.regularizers import sparsity_coherence_penalty
 from repro.core.rnp import RNP
 from repro.data.batching import Batch
 from repro.optim.adam import Adam
+from repro.backend.core import get_default_dtype
 
 
 class ThreePlayer(RNP):
@@ -54,7 +55,7 @@ class ThreePlayer(RNP):
     def training_loss(self, batch: Batch, rng: Optional[np.random.Generator] = None) -> tuple[Tensor, dict]:
         """Two-phase update: train the complement player, then the main
         players with the complement CE reversed."""
-        pad = Tensor(np.asarray(batch.mask, dtype=np.float64))
+        pad = Tensor(np.asarray(batch.mask, dtype=get_default_dtype()))
         mask = self.generator(batch.token_ids, batch.mask, temperature=self.temperature, rng=rng)
         complement = (1.0 - mask) * pad
 

@@ -23,6 +23,7 @@ from repro.autograd import functional as F
 from repro.autograd.tensor import Tensor
 from repro.core.rnp import RNP
 from repro.data.batching import Batch
+from repro.backend.core import get_default_dtype
 
 
 class VIB(RNP):
@@ -42,7 +43,7 @@ class VIB(RNP):
     def training_loss(self, batch: Batch, rng: Optional[np.random.Generator] = None) -> tuple[Tensor, dict]:
         """Task CE + β·KL(q(m|X) || Bernoulli(π))."""
         rng = rng or np.random.default_rng()
-        pad = np.asarray(batch.mask, dtype=np.float64)
+        pad = np.asarray(batch.mask, dtype=get_default_dtype())
         probs = self._selection_probs(batch)
 
         # Straight-through binary concrete sample.
@@ -50,7 +51,7 @@ class VIB(RNP):
         logistic = np.log(noise) - np.log(1.0 - noise)
         soft = ((probs.clip(1e-6, 1 - 1e-6).log() - (1.0 - probs).clip(1e-6, 1 - 1e-6).log()
                  + Tensor(logistic)) / self.temperature).sigmoid()
-        hard = (soft.data > 0.5).astype(np.float64)
+        hard = (soft.data > 0.5).astype(soft.data.dtype)
         mask = (soft + Tensor(hard - soft.data)) * Tensor(pad)
 
         logits = self.predictor(batch.token_ids, mask, batch.mask)
@@ -73,4 +74,4 @@ class VIB(RNP):
     def select(self, batch: Batch) -> np.ndarray:
         """Threshold the Bernoulli selection probabilities at 0.5."""
         probs = self._selection_probs(batch)
-        return (probs.data > 0.5).astype(np.float64) * np.asarray(batch.mask, dtype=np.float64)
+        return (probs.data > 0.5).astype(probs.data.dtype) * np.asarray(batch.mask, dtype=probs.data.dtype)

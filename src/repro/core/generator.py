@@ -18,6 +18,7 @@ from repro.core.encoders import make_encoder
 from repro.nn.embedding import Embedding
 from repro.nn.linear import Linear
 from repro.nn.module import Module
+from repro.backend.core import get_default_dtype
 
 
 class Generator(Module):
@@ -98,11 +99,11 @@ class Generator(Module):
         logits = self.selection_logits(token_ids, pad_mask)
         if not hard:
             sample = F.gumbel_softmax(logits, temperature=temperature, hard=False, axis=-1, rng=rng)
-            return sample[:, :, 1] * Tensor(np.asarray(pad_mask, dtype=np.float64))
+            return sample[:, :, 1] * Tensor(np.asarray(pad_mask, dtype=get_default_dtype()))
         return self._sampler(logits, pad_mask, temperature, rng)
 
     def deterministic_mask(self, token_ids: np.ndarray, pad_mask: np.ndarray) -> np.ndarray:
         """Greedy (argmax) selection for evaluation, shape (B, L) in {0,1}."""
         logits = self.selection_logits(token_ids, pad_mask)
-        chosen = (logits.data[:, :, 1] > logits.data[:, :, 0]).astype(np.float64)
-        return chosen * np.asarray(pad_mask, dtype=np.float64)
+        chosen = (logits.data[:, :, 1] > logits.data[:, :, 0]).astype(logits.data.dtype)
+        return chosen * np.asarray(pad_mask, dtype=get_default_dtype())

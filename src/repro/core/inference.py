@@ -150,3 +150,19 @@ class InferenceSession:
     def select(self, examples: Sequence[ReviewExample]) -> np.ndarray:
         """Deterministic rationale masks (N, max_len), aligned to input order."""
         return self.map_aligned(lambda batch: self.model.select(batch), examples)
+
+    # ------------------------------------------------------------------
+    def release_buffers(self) -> None:
+        """Return the session's padded-batch arrays to the thread's buffer pool.
+
+        Call when the session is done (end of a training run's evaluation
+        probes); the next session on this thread reuses the geometry instead
+        of reallocating.  Only safe once nothing retains the batch arrays —
+        which :meth:`map_batches` already requires of its callers.
+        """
+        from repro.backend.pool import get_pool
+
+        pool = get_pool()
+        for arrays in self._buffers.values():
+            pool.release_all(arrays)
+        self._buffers.clear()

@@ -19,6 +19,7 @@ from repro.core.encoders import make_encoder
 from repro.nn.embedding import Embedding
 from repro.nn.linear import Linear
 from repro.nn.module import Module
+from repro.backend.core import get_default_dtype
 
 
 class Predictor(Module):
@@ -60,7 +61,7 @@ class Predictor(Module):
         the generator through it) or a plain array (evaluation).
         """
         if not isinstance(rationale_mask, Tensor):
-            rationale_mask = Tensor(np.asarray(rationale_mask, dtype=np.float64))
+            rationale_mask = Tensor(np.asarray(rationale_mask, dtype=get_default_dtype()))
         embedded = self.embedding(token_ids)
         masked = embedded * rationale_mask.unsqueeze(2)
         hidden = self.encoder(masked, mask=pad_mask)

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.autograd.tensor import Tensor
+from repro.backend.core import get_default_dtype
 
 
 def sparsity_coherence_penalty(
@@ -28,7 +29,7 @@ def sparsity_coherence_penalty(
     """
     if not 0.0 <= alpha <= 1.0:
         raise ValueError(f"alpha must be in [0, 1], got {alpha}")
-    pad = np.asarray(pad_mask, dtype=np.float64)
+    pad = np.asarray(pad_mask, dtype=get_default_dtype())
     lengths = Tensor(pad.sum(axis=1) + 1e-9)
 
     selected_rate = mask.sum(axis=1) / lengths

@@ -43,7 +43,7 @@ def gumbel_sampler(
 ) -> Tensor:
     """Straight-through Gumbel-softmax (the library default)."""
     sample = F.gumbel_softmax(logits, temperature=temperature, hard=True, axis=-1, rng=rng)
-    return sample[:, :, 1] * Tensor(np.asarray(pad_mask, dtype=np.float64))
+    return sample[:, :, 1] * Tensor(np.asarray(pad_mask, dtype=backend_core.get_default_dtype()))
 
 
 def hardkuma_sampler(
@@ -72,15 +72,15 @@ def hardkuma_sampler(
         from repro.backend.ops import fused_binary_concrete
 
         mask = fused_binary_concrete(bern_logit, temperature=temperature, rng=rng, lo=lo, hi=hi, eps=eps)
-        return mask * Tensor(np.asarray(pad_mask, dtype=np.float64))
+        return mask * Tensor(np.asarray(pad_mask, dtype=backend_core.get_default_dtype()))
     noise = rng.uniform(eps, 1.0 - eps, size=bern_logit.shape)
     logistic = np.log(noise) - np.log(1.0 - noise)
     soft = ((bern_logit + Tensor(logistic)) / temperature).sigmoid()
     stretched = soft * (hi - lo) + lo
     rectified = stretched.clip(0.0, 1.0)
-    hard = (rectified.data > 0.5).astype(np.float64)
+    hard = (rectified.data > 0.5).astype(rectified.data.dtype)
     mask = rectified + Tensor(hard - rectified.data)
-    return mask * Tensor(np.asarray(pad_mask, dtype=np.float64))
+    return mask * Tensor(np.asarray(pad_mask, dtype=backend_core.get_default_dtype()))
 
 
 def topk_sampler(
@@ -98,7 +98,7 @@ def topk_sampler(
     soft = (scores / temperature).sigmoid()
     hard = topk_mask(scores.data, pad_mask, rate)
     mask = soft + Tensor(hard - soft.data)
-    return mask * Tensor(np.asarray(pad_mask, dtype=np.float64))
+    return mask * Tensor(np.asarray(pad_mask, dtype=backend_core.get_default_dtype()))
 
 
 SAMPLERS: dict[str, MaskSampler] = {

@@ -79,11 +79,18 @@ def pad_batch(
         key = (batch_size, max_len)
         cached = buffers.get(key)
         if cached is None:
+            # Dense arrays come from the calling thread's buffer pool — the
+            # same pool the tape backward recycles gradient accumulators
+            # through — so batch geometry freed by one session (see
+            # InferenceSession.release_buffers) is reused by the next.
+            from repro.backend.pool import get_pool
+
+            pool = get_pool()
             cached = (
-                np.empty((batch_size, max_len), dtype=np.int64),
-                np.empty((batch_size, max_len), dtype=np.float64),
-                np.empty(batch_size, dtype=np.int64),
-                np.empty((batch_size, max_len), dtype=np.int64),
+                pool.acquire((batch_size, max_len), np.int64),
+                pool.acquire((batch_size, max_len), np.float64),
+                pool.acquire((batch_size,), np.int64),
+                pool.acquire((batch_size, max_len), np.int64),
             )
             buffers[key] = cached
         token_ids, mask, labels, rationales = cached

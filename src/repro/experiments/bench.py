@@ -11,9 +11,13 @@ over a synthetic variable-length corpus under four backend configurations:
                    fast path).
 
 Results (ms/epoch, speedup vs. seed) are printed as a table and recorded
-to ``BENCH_backend.json`` so perf regressions are visible in every PR —
-``benchmarks/test_perf_smoke.py`` asserts the fast path stays ≥ 2× the
-seed configuration.
+to ``BENCH_backend.json`` — together with a per-kernel wall-time breakdown
+of every fused config and the buffer-pool hit/miss counters — so perf
+regressions are visible in every PR.  ``benchmarks/test_perf_smoke.py``
+asserts the fast path stays ≥ 3× the seed configuration and that no
+config's speedup falls more than 30% below the committed artifact;
+``make bench-compare`` (:func:`compare_bench`) is the same gate on raw
+``ms_per_epoch`` at a strict 20% budget for same-machine runs.
 """
 
 from __future__ import annotations
@@ -27,7 +31,14 @@ from typing import Optional
 import numpy as np
 
 from repro.autograd import functional as F
-from repro.backend.core import default_dtype, fusion
+from repro.backend.core import (
+    default_dtype,
+    fusion,
+    kernel_timing,
+    kernel_timings,
+    reset_kernel_timings,
+)
+from repro.backend.pool import pool_stats, reset_pool_stats
 from repro.core.predictor import Predictor
 from repro.data.batching import batch_iterator
 from repro.data.dataset import ReviewExample
@@ -96,6 +107,18 @@ def _build_model(vocab_size: int, embedding_dim: int, hidden_size: int, fused_ls
     return model
 
 
+def _train_epoch(model, optimizer, params, examples, batch_size, config, data_rng) -> None:
+    for batch in batch_iterator(
+        examples, batch_size, shuffle=True, rng=data_rng, bucketing=config.bucketing
+    ):
+        optimizer.zero_grad()
+        logits = model(batch.token_ids, batch.mask, batch.mask)
+        loss = F.cross_entropy(logits, batch.labels)
+        loss.backward()
+        clip_grad_norm(params, 5.0)
+        optimizer.step()
+
+
 def _time_epochs(
     config: BenchConfig,
     examples: list[ReviewExample],
@@ -105,8 +128,16 @@ def _time_epochs(
     batch_size: int,
     repeats: int,
     seed: int,
-) -> float:
-    """Best-of-``repeats`` wall time (seconds) for one training epoch."""
+    collect_kernels: bool = False,
+) -> tuple[float, Optional[dict]]:
+    """Best-of-``repeats`` wall time (seconds) for one training epoch.
+
+    With ``collect_kernels`` one extra (untimed-for-the-headline) epoch runs
+    under :func:`repro.backend.kernel_timing` and its per-kernel wall-time
+    breakdown is returned alongside, so the artifact shows where the epoch
+    goes without the instrumentation overhead polluting ``ms_per_epoch``.
+    """
+    breakdown: Optional[dict] = None
     with default_dtype(config.dtype), fusion(config.fused):
         model = _build_model(vocab_size, embedding_dim, hidden_size, config.fused, seed)
         params = [p for p in model.parameters() if p.requires_grad]
@@ -115,17 +146,17 @@ def _time_epochs(
         for repeat in range(repeats):
             data_rng = np.random.default_rng(seed + repeat)
             start = time.perf_counter()
-            for batch in batch_iterator(
-                examples, batch_size, shuffle=True, rng=data_rng, bucketing=config.bucketing
-            ):
-                optimizer.zero_grad()
-                logits = model(batch.token_ids, batch.mask, batch.mask)
-                loss = F.cross_entropy(logits, batch.labels)
-                loss.backward()
-                clip_grad_norm(params, 5.0)
-                optimizer.step()
+            _train_epoch(model, optimizer, params, examples, batch_size, config, data_rng)
             best = min(best, time.perf_counter() - start)
-    return float(best)
+        if collect_kernels:
+            reset_kernel_timings()
+            with kernel_timing(True):
+                _train_epoch(
+                    model, optimizer, params, examples, batch_size, config,
+                    np.random.default_rng(seed),
+                )
+            breakdown = kernel_timings()
+    return float(best), breakdown
 
 
 def run_backend_bench(
@@ -141,17 +172,30 @@ def run_backend_bench(
     repeats: int = 3,
     seed: int = 0,
     out_path: Optional[str] = DEFAULT_BENCH_PATH,
-) -> list[dict]:
-    """Run the benchmark grid; return table rows and record the JSON artifact."""
+) -> dict:
+    """Run the benchmark grid; return (and optionally record) the artifact.
+
+    The returned dict is exactly what ``out_path`` receives: ``results``
+    (the comparison rows), a ``kernel_timings`` section (per-kernel
+    wall-time breakdown of one instrumented epoch for every fused config)
+    and a ``buffer_pool`` section (tape-backward / padded-batch pool hit
+    rates across the whole run), so future perf PRs can see where the time
+    goes.
+    """
     examples = make_corpus(n_examples, min_len, max_len, vocab_size, seed)
     rows: list[dict] = []
+    kernel_breakdowns: dict[str, dict] = {}
+    reset_pool_stats()
     seed_time: Optional[float] = None
     for config in BENCH_GRID:
-        elapsed = _time_epochs(
-            config, examples, vocab_size, embedding_dim, hidden_size, batch_size, repeats, seed
+        elapsed, breakdown = _time_epochs(
+            config, examples, vocab_size, embedding_dim, hidden_size, batch_size,
+            repeats, seed, collect_kernels=config.fused,
         )
         if seed_time is None:
             seed_time = elapsed
+        if breakdown:
+            kernel_breakdowns[config.name] = breakdown
         rows.append(
             {
                 "config": config.name,
@@ -162,21 +206,80 @@ def run_backend_bench(
                 "speedup_vs_seed": round(seed_time / elapsed, 2),
             }
         )
+    artifact = {
+        "benchmark": "lstm_train_step",
+        "setup": {
+            "n_examples": n_examples,
+            "min_len": min_len,
+            "max_len": max_len,
+            "vocab_size": vocab_size,
+            "embedding_dim": embedding_dim,
+            "hidden_size": hidden_size,
+            "batch_size": batch_size,
+            "repeats": repeats,
+            "seed": seed,
+        },
+        "results": rows,
+        "kernel_timings": kernel_breakdowns,
+        "buffer_pool": pool_stats(),
+    }
     if out_path:
-        artifact = {
-            "benchmark": "lstm_train_step",
-            "setup": {
-                "n_examples": n_examples,
-                "min_len": min_len,
-                "max_len": max_len,
-                "vocab_size": vocab_size,
-                "embedding_dim": embedding_dim,
-                "hidden_size": hidden_size,
-                "batch_size": batch_size,
-                "repeats": repeats,
-                "seed": seed,
-            },
-            "results": rows,
-        }
         Path(out_path).write_text(json.dumps(artifact, indent=2) + "\n")
-    return rows
+    return artifact
+
+
+# ----------------------------------------------------------------------
+# Regression comparison (`make bench-compare`, perf smoke test)
+# ----------------------------------------------------------------------
+def load_bench_artifact(path: str) -> dict:
+    """Load a ``BENCH_backend.json`` artifact."""
+    return json.loads(Path(path).read_text())
+
+
+def compare_bench(
+    rows: list[dict],
+    baseline: dict,
+    max_regression: float = 0.2,
+    metric: str = "ms_per_epoch",
+) -> list[str]:
+    """Compare fresh bench ``rows`` against a recorded ``baseline`` artifact.
+
+    Returns a list of human-readable regression descriptions (empty = pass).
+    ``metric="ms_per_epoch"`` flags configs whose wall time grew more than
+    ``max_regression`` (same-machine comparisons: ``make bench-compare``);
+    ``metric="speedup_vs_seed"`` flags configs whose *relative* speedup fell
+    by more than ``max_regression`` — machine-independent, which is what the
+    perf smoke test checks against the committed artifact.
+    """
+    if metric not in ("ms_per_epoch", "speedup_vs_seed"):
+        raise ValueError(f"unknown comparison metric {metric!r}")
+    reference = {row["config"]: row for row in baseline.get("results", [])}
+    problems: list[str] = []
+    for row in rows:
+        ref = reference.get(row["config"])
+        if ref is None or metric not in ref:
+            # A config the baseline has never measured means the gate would
+            # pass vacuously (renamed grid entry, stale/foreign baseline) —
+            # surface it as a failure rather than comparing nothing.
+            problems.append(
+                f"{row['config']}: no {metric} baseline recorded — regenerate "
+                f"the baseline artifact (make bench)"
+            )
+            continue
+        if metric == "ms_per_epoch":
+            budget = ref["ms_per_epoch"] * (1.0 + max_regression)
+            if row["ms_per_epoch"] > budget:
+                problems.append(
+                    f"{row['config']}: {row['ms_per_epoch']}ms/epoch vs baseline "
+                    f"{ref['ms_per_epoch']}ms (budget {budget:.2f}ms, "
+                    f"+{max_regression:.0%})"
+                )
+        else:
+            floor = ref["speedup_vs_seed"] * (1.0 - max_regression)
+            if row["speedup_vs_seed"] < floor:
+                problems.append(
+                    f"{row['config']}: {row['speedup_vs_seed']}x vs seed, baseline "
+                    f"{ref['speedup_vs_seed']}x (floor {floor:.2f}x, "
+                    f"-{max_regression:.0%})"
+                )
+    return problems

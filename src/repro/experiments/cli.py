@@ -5,16 +5,22 @@ Usage::
     python -m repro.experiments --list
     python -m repro.experiments --artifact table2
     python -m repro.experiments --artifact fig6 --epochs 15 --n-train 800
-    python -m repro.experiments --artifact table2 --dtype float32 --fused --bucketing
+    python -m repro.experiments --artifact table2 --dtype float32 --fused
+    python -m repro.experiments --artifact table2 --no-bucketing  # seed batching
     python -m repro.experiments bench
+    python -m repro.experiments bench --compare-to BENCH_backend.json
     python -m repro.experiments serve --model-dir ckpt --port 8080 --dtype float32 --fused
     python -m repro.experiments serve-bench
 
 Each artifact maps to one runner in :mod:`repro.experiments.runner`; the
-output is the paper-style text table.  ``--dtype``, ``--fused`` and
-``--bucketing`` select the backend fast path (see :mod:`repro.backend`);
-the ``bench`` command times the fast path against the seed configuration
-and records ``BENCH_backend.json``.
+output is the paper-style text table.  ``--dtype float32`` and ``--fused``
+select the backend fast path (see :mod:`repro.backend`); length-bucketed
+training batches are the default and ``--no-bucketing`` replays the seed
+batch composition.  The ``bench`` command times the fast path against the
+seed configuration, prints the fast path's per-kernel timing breakdown,
+and records ``BENCH_backend.json``; with ``--compare-to`` it instead gates
+against a recorded artifact (exit 1 if any config's ms_per_epoch regressed
+more than 20% — ``make bench-compare``).
 
 The ``serve`` command stands saved checkpoints (written by
 :func:`repro.serve.save_artifact`) up behind the HTTP JSON API of
@@ -107,12 +113,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--bucketing", action="store_true",
-        help="length-bucketed training batches (less LSTM/GRU padding waste)",
+        help="length-bucketed training batches (the default since the fast-path "
+             "re-baseline; kept for compatibility)",
+    )
+    parser.add_argument(
+        "--no-bucketing", action="store_true",
+        help="disable length-bucketed training batches (replays the seed "
+             "batch composition bit-for-bit)",
     )
     parser.add_argument(
         "--bench-out", default=None,
         help="output path for the bench JSON artifact (default BENCH_backend.json "
              "for 'bench', BENCH_serve.json for 'serve-bench')",
+    )
+    parser.add_argument(
+        "--compare-to", default=None, metavar="PATH",
+        help="bench only: compare against a recorded BENCH_backend.json and exit "
+             "non-zero if any config's ms_per_epoch regressed by more than 20%% "
+             "(the committed artifact is not overwritten unless --bench-out is given)",
     )
     serving = parser.add_argument_group("serving ('serve' subcommand)")
     serving.add_argument(
@@ -156,7 +174,9 @@ def resolve_profile(args: argparse.Namespace) -> config_mod.ExperimentProfile:
         overrides["dtype"] = args.dtype
     if args.fused:
         overrides["fused"] = True
-    if args.bucketing:
+    if args.no_bucketing:
+        overrides["bucketing"] = False
+    elif args.bucketing:
         overrides["bucketing"] = True
     return profile.scaled(**overrides) if overrides else profile
 
@@ -169,7 +189,8 @@ def run_bench(args: argparse.Namespace) -> int:
         flag for flag, on in (
             ("--artifact", args.artifact is not None),
             ("--dtype", args.dtype is not None), ("--fused", args.fused),
-            ("--bucketing", args.bucketing), ("--n-train", args.n_train is not None),
+            ("--bucketing", args.bucketing), ("--no-bucketing", args.no_bucketing),
+            ("--n-train", args.n_train is not None),
             ("--epochs", args.epochs is not None), ("--profile", args.profile != "fast"),
         ) if on
     ]
@@ -178,12 +199,39 @@ def run_bench(args: argparse.Namespace) -> int:
             f"# note: bench sweeps its own fixed configuration grid; ignoring {', '.join(ignored)}",
             file=sys.stderr,
         )
-    out_path = args.bench_out or bench.DEFAULT_BENCH_PATH
+    baseline = None
+    if args.compare_to is not None:
+        try:
+            baseline = bench.load_bench_artifact(args.compare_to)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load baseline {args.compare_to}: {exc}", file=sys.stderr)
+            return 2
+    # In compare mode the committed artifact is the reference — only write
+    # a fresh one when explicitly asked to.
+    if args.compare_to is not None and args.bench_out is None:
+        out_path = None
+    else:
+        out_path = args.bench_out or bench.DEFAULT_BENCH_PATH
     seed = args.seed if args.seed is not None else 0
     start = time.time()
-    rows = bench.run_backend_bench(seed=seed, out_path=out_path)
+    artifact = bench.run_backend_bench(seed=seed, out_path=out_path)
+    rows = artifact["results"]
     print(render_table("Backend perf smoke — LSTM train step", rows, key_column="config"))
-    print(f"# recorded to {out_path} in {time.time() - start:.1f}s", file=sys.stderr)
+    fast_name = bench.BENCH_GRID[-1].name
+    breakdown = artifact["kernel_timings"].get(fast_name)
+    if breakdown:
+        kernel_rows = [{"kernel": name, **stats} for name, stats in breakdown.items()]
+        print(render_table(f"Per-kernel timing — {fast_name}", kernel_rows, key_column="kernel"))
+    if out_path:
+        print(f"# recorded to {out_path} in {time.time() - start:.1f}s", file=sys.stderr)
+    if baseline is not None:
+        problems = bench.compare_bench(rows, baseline, max_regression=0.2, metric="ms_per_epoch")
+        if problems:
+            print(f"# PERF REGRESSION vs {args.compare_to}:", file=sys.stderr)
+            for problem in problems:
+                print(f"#   {problem}", file=sys.stderr)
+            return 1
+        print(f"# no perf regression vs {args.compare_to} (20% budget)", file=sys.stderr)
     return 0
 
 

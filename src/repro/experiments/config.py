@@ -27,11 +27,14 @@ class ExperimentProfile:
     temperature: float = 0.8
     pretrain_epochs: int = 10
     seed: int = 0
-    # Backend performance knobs (see repro.backend): the defaults replay
-    # the seed numerics; "float32" + fused + bucketing is the fast path.
+    # Backend performance knobs (see repro.backend): dtype/fused defaults
+    # replay the seed numerics; bucketing defaults on (it changes batch
+    # composition, not math — the paper-shape benchmarks pin it off to
+    # replay the paper's seeded protocol, see benchmarks/conftest.py).
+    # "float32" + fused (+ bucketing) is the full fast path.
     dtype: str = "float64"
     fused: bool = False
-    bucketing: bool = False
+    bucketing: bool = True
 
     def scaled(self, **overrides) -> "ExperimentProfile":
         """Return a copy with the given fields replaced."""

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.autograd import functional as F
 from repro.autograd.tensor import Tensor
+from repro.backend.core import fusion_enabled, get_backend
 from repro.nn.dropout import Dropout
 from repro.nn.linear import Linear
 from repro.nn.module import Module
@@ -44,13 +45,19 @@ class MultiHeadSelfAttention(Module):
         q = self._split_heads(self.q_proj(x), batch, length)
         k = self._split_heads(self.k_proj(x), batch, length)
         v = self._split_heads(self.v_proj(x), batch, length)
-        scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(self.d_head))
-        if mask is not None:
-            key_pad = np.asarray(mask, dtype=np.float64)[:, None, None, :]  # (B,1,1,L)
-            blocked = np.broadcast_to(key_pad == 0.0, scores.shape)
-            scores = scores.masked_fill(blocked, -1e9)
-        attn = F.softmax(scores, axis=-1)
-        context = attn @ v  # (B, H, L, dh)
+        scale = 1.0 / np.sqrt(self.d_head)
+        if fusion_enabled() and get_backend().has_kernel("attention_forward"):
+            from repro.backend.ops import fused_attention
+
+            context = fused_attention(q, k, v, mask, scale)
+        else:
+            scores = (q @ k.swapaxes(-1, -2)) * scale
+            if mask is not None:
+                key_pad = np.asarray(mask)[:, None, None, :]  # (B,1,1,L)
+                blocked = np.broadcast_to(key_pad == 0.0, scores.shape)
+                scores = scores.masked_fill(blocked, -1e9)
+            attn = F.softmax(scores, axis=-1)
+            context = attn @ v  # (B, H, L, dh)
         context = context.swapaxes(1, 2).reshape(batch, length, self.d_model)
         return self.out_proj(context)
 

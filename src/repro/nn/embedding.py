@@ -7,6 +7,7 @@ from typing import Optional
 import numpy as np
 
 from repro.autograd.tensor import Tensor
+from repro.backend.core import fusion_enabled, get_backend, get_default_dtype
 from repro.nn.module import Module, Parameter
 
 
@@ -39,7 +40,7 @@ class Embedding(Module):
                     f"pretrained table shape {pretrained.shape} does not match "
                     f"({num_embeddings}, {embedding_dim})"
                 )
-            table = pretrained.astype(np.float64).copy()
+            table = np.array(pretrained, dtype=get_default_dtype())
         else:
             table = rng.normal(0.0, 0.1, size=(num_embeddings, embedding_dim))
         if padding_idx is not None:
@@ -52,7 +53,16 @@ class Embedding(Module):
         """Map an integer array (B, L) to embeddings (B, L, D)."""
         token_ids = np.asarray(token_ids, dtype=np.int64)
         if self.freeze:
-            return Tensor(self.weight.data[token_ids])
+            # Pin the output to the table's dtype (the policy dtype at
+            # construction / after Module.astype): wrapping the raw gather
+            # in Tensor() would re-cast it to the *ambient* policy, which
+            # silently demoted a float32-cast model to mixed precision
+            # whenever evaluation ran outside the training policy context.
+            return Tensor(self.weight.data[token_ids], dtype=self.weight.data.dtype)
+        if fusion_enabled() and get_backend().has_kernel("embedding_gather_forward"):
+            from repro.backend.ops import fused_embedding_gather
+
+            return fused_embedding_gather(self.weight, token_ids)
         return self.weight.take_rows(token_ids)
 
     def __repr__(self) -> str:

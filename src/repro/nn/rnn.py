@@ -114,12 +114,14 @@ class GRU(Module):
             mask_f = np.asarray(mask, dtype=state_dtype) if mask is not None else None
             return fused_gru_sequence(gates_x, cell.weight_hh, cell.bias_hh, mask_f, reverse)
         h = Tensor(np.zeros((batch, hs)))
+        # One policy-dtype cast for the whole mask, not one per timestep.
+        mask_f = np.asarray(mask, dtype=get_default_dtype()) if mask is not None else None
         steps = range(length - 1, -1, -1) if reverse else range(length)
         outputs: list[Optional[Tensor]] = [None] * length
         for t in steps:
             h_new = cell.step_from_gates(gates_x[:, t, :], h)
-            if mask is not None:
-                m = np.asarray(mask, dtype=np.float64)[:, t:t + 1]
+            if mask_f is not None:
+                m = mask_f[:, t:t + 1]
                 h = h_new * Tensor(m) + h * Tensor(1.0 - m)
             else:
                 h = h_new

@@ -28,7 +28,8 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.backend.core import fusion
+from repro.backend.core import fusion, kernel_timing, kernel_timings
+from repro.backend.pool import pool_stats
 from repro.core.inference import InferenceSession
 from repro.data.batching import Batch
 from repro.data.dataset import ReviewExample
@@ -219,7 +220,9 @@ class RationalizationService:
                 for i in range(len(batch.examples))
             ]
 
-        with fusion(self.fused):
+        # Kernel timing rides along on the worker thread so `GET /statz`
+        # can show where serving time goes without an external profiler.
+        with fusion(self.fused), kernel_timing(True):
             per_batch = session.map_batches(run, examples)
         return [result for batch_results in per_batch for result in batch_results]
 
@@ -251,6 +254,14 @@ class RationalizationService:
             "scheduler": self.scheduler.stats(),
             "latency": latency,
             "fused": self.fused,
+            # Backend observability: wall time per dispatched kernel on the
+            # worker thread, and buffer-pool hit/miss counters for the
+            # pooled session's padded-batch (and any co-resident trainer's
+            # gradient) buffers.
+            "backend": {
+                "kernel_timings": kernel_timings(),
+                "buffer_pool": pool_stats(),
+            },
         }
 
     def close(self) -> None:

@@ -1,0 +1,204 @@
+"""Buffer pool: recycling semantics, per-thread isolation, aliasing safety.
+
+Extends the per-thread pattern of ``tests/backend/test_dtype_policy.py``:
+the pools backing the tape backward and the padded-batch buffers are
+per-thread, so two interleaved training loops and a concurrent serve-style
+evaluation worker must never hand each other gradient buffers.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import backend
+from repro.autograd import Tensor
+from repro.backend.pool import BufferPool, get_pool, pool_stats
+from repro.core.inference import InferenceSession
+from repro.data.batching import pad_batch
+from repro.data.dataset import ReviewExample
+from repro.nn.linear import Linear
+from repro.optim.adam import Adam
+
+
+class TestBufferPoolUnit:
+    def test_acquire_miss_then_hit(self):
+        pool = BufferPool()
+        a = pool.acquire((3, 4), np.float32)
+        assert a.shape == (3, 4) and a.dtype == np.float32
+        assert pool.misses == 1 and pool.hits == 0
+        pool.release(a)
+        b = pool.acquire((3, 4), np.float32)
+        assert b is a  # recycled, not reallocated
+        assert pool.hits == 1
+
+    def test_shape_and_dtype_are_part_of_the_key(self):
+        pool = BufferPool()
+        a = pool.acquire((2, 2), np.float64)
+        pool.release(a)
+        assert pool.acquire((2, 2), np.float32) is not a
+        assert pool.acquire((4,), np.float64) is not a
+        assert pool.acquire((2, 2), np.float64) is a
+
+    def test_byte_budget_bounds_retention_but_keeps_one(self):
+        pool = BufferPool(max_bytes_per_key=1024)
+        big = [np.empty((64, 4), dtype=np.float64) for _ in range(3)]  # 2 KiB each
+        pool.release_all(big)
+        # Over budget, but the first buffer per key is always retained.
+        assert pool.retained() == 1
+        assert pool.dropped == 2
+        small = [np.empty(16, dtype=np.float64) for _ in range(5)]  # 128 B each
+        pool.release_all(small)
+        assert pool.retained() == 1 + 5  # all small ones fit the budget
+
+    def test_stats_shape(self):
+        pool = BufferPool()
+        pool.release(pool.acquire((2,), np.float64))
+        stats = pool.stats()
+        for key in ("hits", "misses", "hit_rate", "released", "dropped",
+                    "retained", "retained_bytes"):
+            assert key in stats
+        assert stats["retained"] == 1
+
+    def test_global_pool_stats_aggregate(self):
+        get_pool()  # ensure this thread's pool exists
+        agg = pool_stats()
+        assert agg["pools"] >= 1
+        assert "hit_rate" in agg
+
+
+class TestBackwardUsesPool:
+    def test_backward_releases_accumulators_for_reuse(self):
+        pool = get_pool()
+        x = Tensor(np.random.default_rng(0).standard_normal((8, 8)), requires_grad=True)
+        # y is consumed twice -> its gradient needs a pooled accumulator.
+        y = x * 2.0
+        (y * y).sum().backward()
+        baseline_hits = pool.hits
+        x.zero_grad()
+        y = x * 2.0
+        (y * y).sum().backward()
+        assert pool.hits > baseline_hits  # second step recycles the buffers
+
+    def test_repeated_backward_grads_are_stable(self):
+        rng = np.random.default_rng(1)
+        x = Tensor(rng.standard_normal((5, 3)), requires_grad=True)
+        w = Tensor(rng.standard_normal((3, 3)), requires_grad=True)
+        grads = []
+        for _ in range(3):
+            x.zero_grad(); w.zero_grad()
+            h = (x @ w).tanh()
+            ((h + h) * h).sum().backward()
+            grads.append((x.grad.copy(), w.grad.copy()))
+        for gx, gw in grads[1:]:
+            np.testing.assert_array_equal(gx, grads[0][0])
+            np.testing.assert_array_equal(gw, grads[0][1])
+
+
+def _train_steps(seed, steps=12):
+    """A tiny deterministic training loop; returns the final grads."""
+    rng = np.random.default_rng(seed)
+    layer = Linear(6, 4, rng=np.random.default_rng(seed + 100))
+    params = list(layer.parameters())
+    optimizer = Adam(params, lr=1e-2)
+    inputs = rng.standard_normal((steps, 7, 6))
+    for step in range(steps):
+        optimizer.zero_grad()
+        out = layer(Tensor(inputs[step]))
+        # Reuse `out` twice so interior gradients hit pooled accumulators.
+        ((out * out).sum() + out.sum()).backward()
+        optimizer.step()
+    return [p.grad.copy() for p in params]
+
+
+class TestPoolThreadSafety:
+    def test_pools_are_per_thread(self):
+        seen = {}
+
+        def worker():
+            seen["pool"] = get_pool()
+
+        t = threading.Thread(target=worker)
+        t.start(); t.join()
+        assert seen["pool"] is not get_pool()
+
+    def test_interleaved_training_threads_match_serial_reference(self):
+        """Two concurrent trainers + a serve-style eval worker must produce
+        exactly the grads a serial run produces — pooled buffers never alias
+        across threads."""
+        reference = {seed: _train_steps(seed) for seed in (0, 1)}
+        results: dict = {}
+        errors: list = []
+
+        def trainer(seed):
+            try:
+                results[seed] = _train_steps(seed)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        def serve_worker():
+            # Concurrent no-grad evaluation exercising the pool-backed
+            # padded-batch buffers (scheduler-style: one pooled session).
+            try:
+                rng = np.random.default_rng(3)
+                examples = [
+                    ReviewExample(
+                        tokens=["w"] * n, token_ids=rng.integers(1, 50, size=n),
+                        label=0, rationale=np.zeros(n, dtype=np.int64), aspect="t",
+                    )
+                    for n in (4, 9, 9, 17, 4)
+                ]
+                class Toy:
+                    def parameters(self):
+                        return iter(())
+                session = InferenceSession(Toy(), batch_size=2)
+                for _ in range(20):
+                    session.map_batches(lambda b: b.token_ids.sum(), examples)
+                session.release_buffers()
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=trainer, args=(seed,)) for seed in (0, 1)]
+        threads.append(threading.Thread(target=serve_worker))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+        for seed in (0, 1):
+            for got, want in zip(results[seed], reference[seed]):
+                np.testing.assert_array_equal(got, want)
+
+
+class TestPadBatchPool:
+    def test_release_buffers_recycles_geometry(self):
+        pool = get_pool()
+        examples = [
+            ReviewExample(tokens=["w"] * n, token_ids=np.arange(1, n + 1),
+                          label=0, rationale=np.zeros(n, dtype=np.int64), aspect="t")
+            for n in (3, 5)
+        ]
+        buffers: dict = {}
+        pad_batch(examples, buffers=buffers)
+        (key, arrays), = buffers.items()
+        get_pool().release_all(arrays)
+        hits_before = pool.hits
+        buffers2: dict = {}
+        batch = pad_batch(examples, buffers=buffers2)
+        assert pool.hits > hits_before
+        np.testing.assert_array_equal(batch.token_ids[0, :3], [1, 2, 3])
+        np.testing.assert_array_equal(batch.mask[1], np.ones(5))
+
+    def test_session_release_buffers_clears(self):
+        class Toy:
+            def parameters(self):
+                return iter(())
+        examples = [
+            ReviewExample(tokens=["w"] * 4, token_ids=np.arange(1, 5),
+                          label=1, rationale=np.zeros(4, dtype=np.int64), aspect="t")
+        ]
+        session = InferenceSession(Toy(), batch_size=4)
+        session.map_batches(lambda b: int(b.labels.sum()), examples)
+        assert session._buffers
+        session.release_buffers()
+        assert not session._buffers

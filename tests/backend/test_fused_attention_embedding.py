@@ -1,0 +1,177 @@
+"""Fused attention / embedding-gather / dropout kernels vs composed ops."""
+
+import numpy as np
+import pytest
+
+from repro import backend
+from repro.autograd import Tensor, functional as F, gradcheck
+from repro.autograd.tensor import no_grad
+from repro.backend.ops import fused_attention, fused_dropout, fused_embedding_gather
+from repro.nn.attention import MultiHeadSelfAttention, TransformerEncoder
+from repro.nn.embedding import Embedding
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2024)
+
+
+def _qkv(rng, batch=2, heads=2, length=5, d_head=3):
+    make = lambda: Tensor(rng.standard_normal((batch, heads, length, d_head)), requires_grad=True)
+    return make(), make(), make()
+
+
+class TestFusedAttention:
+    def test_kernels_registered(self):
+        names = backend.get_backend().kernels()
+        assert "attention_forward" in names and "attention_backward" in names
+
+    def test_matches_composed_values_and_grads(self, rng):
+        q, k, v = _qkv(rng)
+        mask = np.ones((2, 5))
+        mask[0, 3:] = 0.0
+        scale = 1.0 / np.sqrt(3)
+
+        def composed(q, k, v):
+            scores = (q @ k.swapaxes(-1, -2)) * scale
+            blocked = np.broadcast_to((np.asarray(mask) == 0.0)[:, None, None, :], scores.shape)
+            return (F.softmax(scores.masked_fill(blocked, -1e9), axis=-1) @ v)
+
+        with backend.fusion(False):
+            ref = composed(q, k, v)
+            (ref * ref).sum().backward()
+        ref_grads = [t.grad.copy() for t in (q, k, v)]
+        for t in (q, k, v):
+            t.zero_grad()
+        out = fused_attention(q, k, v, mask, scale)
+        np.testing.assert_allclose(out.data, ref.data, atol=1e-12)
+        (out * out).sum().backward()
+        for t, ref_grad in zip((q, k, v), ref_grads):
+            np.testing.assert_allclose(t.grad, ref_grad, atol=1e-10)
+
+    def test_gradcheck(self, rng):
+        q, k, v = _qkv(rng, batch=1, heads=1, length=4, d_head=2)
+        mask = np.array([[1.0, 1.0, 1.0, 0.0]])
+        weights = Tensor(rng.standard_normal((1, 1, 4, 2)))
+        assert gradcheck(
+            lambda q, k, v: (fused_attention(q, k, v, mask, 0.5) * weights).sum(),
+            [q, k, v],
+        )
+
+    def test_module_dispatch_matches_composed(self, rng):
+        attn = MultiHeadSelfAttention(8, 2, rng=rng)
+        x = Tensor(rng.standard_normal((2, 6, 8)))
+        mask = np.ones((2, 6))
+        mask[1, 4:] = 0.0
+        with no_grad():
+            with backend.fusion(False):
+                ref = attn(x, mask=mask)
+            with backend.fusion(True):
+                out = attn(x, mask=mask)
+        np.testing.assert_allclose(out.data, ref.data, atol=1e-12)
+
+    def test_transformer_encoder_grad_flows_under_fusion(self, rng):
+        enc = TransformerEncoder(8, num_heads=2, num_layers=1, dropout=0.0, rng=rng)
+        x = Tensor(rng.standard_normal((2, 5, 8)), requires_grad=True)
+        with backend.fusion(True):
+            enc(x, mask=np.ones((2, 5))).sum().backward()
+        assert x.grad is not None and np.isfinite(x.grad).all()
+
+
+class TestFusedEmbeddingGather:
+    def test_kernels_registered(self):
+        names = backend.get_backend().kernels()
+        assert "embedding_gather_forward" in names and "embedding_gather_backward" in names
+
+    def test_matches_take_rows_with_duplicates(self, rng):
+        table = Tensor(rng.standard_normal((7, 4)), requires_grad=True)
+        ids = np.array([[1, 1, 3], [5, 1, 0]])  # duplicates must accumulate
+        ref = table.take_rows(ids)
+        (ref * ref).sum().backward()
+        ref_grad = table.grad.copy()
+        table.zero_grad()
+        out = fused_embedding_gather(table, ids)
+        np.testing.assert_array_equal(out.data, ref.data)
+        (out * out).sum().backward()
+        np.testing.assert_allclose(table.grad, ref_grad, atol=1e-12)
+
+    def test_gradcheck(self, rng):
+        table = Tensor(rng.standard_normal((5, 3)), requires_grad=True)
+        ids = np.array([0, 2, 2, 4, 1])
+        weights = Tensor(rng.standard_normal((5, 3)))
+        assert gradcheck(
+            lambda t: (fused_embedding_gather(t, ids) * weights).sum(), [table]
+        )
+
+    def test_embedding_module_dispatch(self, rng):
+        emb = Embedding(9, 4, rng=rng)
+        ids = np.array([[1, 2, 2], [3, 0, 8]])
+        with backend.fusion(False):
+            ref = emb(ids)
+        with backend.fusion(True):
+            out = emb(ids)
+        np.testing.assert_array_equal(out.data, ref.data)
+        out.sum().backward()
+        assert emb.weight.grad is not None
+        # duplicate id 2 accumulated twice
+        assert emb.weight.grad[2].sum() == pytest.approx(2 * 4)
+
+    def test_float32_table_stays_float32(self, rng):
+        with backend.default_dtype("float32"):
+            emb = Embedding(6, 3, rng=rng)
+            with backend.fusion(True):
+                out = emb(np.array([[1, 2]]))
+            assert out.data.dtype == np.float32
+            out.sum().backward()
+            assert emb.weight.grad.dtype == np.float32
+
+
+class TestFrozenEmbeddingDtype:
+    def test_frozen_forward_follows_table_dtype_not_ambient_policy(self, rng):
+        emb = Embedding(6, 3, freeze=True, rng=rng)
+        emb.astype("float32")
+        # Ambient policy is float64 here — the frozen gather must not
+        # promote a float32-cast model back to float64 (mixed precision).
+        out = emb(np.array([[1, 2, 3]]))
+        assert out.data.dtype == np.float32
+
+    def test_frozen_forward_under_policy(self, rng):
+        with backend.default_dtype("float32"):
+            emb = Embedding(6, 3, freeze=True, rng=rng)
+            assert emb.weight.data.dtype == np.float32
+            assert emb(np.array([[0, 4]])).data.dtype == np.float32
+
+
+class TestFusedDropout:
+    def test_kernels_registered(self):
+        names = backend.get_backend().kernels()
+        assert "dropout_forward" in names and "dropout_backward" in names
+
+    def test_same_noise_stream_as_composed(self, rng):
+        x = Tensor(rng.standard_normal((4, 6)))
+        composed = F.dropout(x, 0.4, training=True, rng=np.random.default_rng(7))
+        with backend.fusion(True):
+            fused = F.dropout(x, 0.4, training=True, rng=np.random.default_rng(7))
+        np.testing.assert_allclose(fused.data, composed.data, atol=1e-12)
+
+    def test_gradcheck(self, rng):
+        x = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        keep_rng_seed = 11
+
+        def fn(x):
+            return fused_dropout(x, 0.5, np.random.default_rng(keep_rng_seed)).sum()
+
+        assert gradcheck(fn, [x])
+
+    def test_eval_mode_is_identity(self, rng):
+        x = Tensor(rng.standard_normal((2, 3)))
+        with backend.fusion(True):
+            assert F.dropout(x, 0.5, training=False) is x
+
+    def test_float32_preserved(self, rng):
+        with backend.default_dtype("float32"), backend.fusion(True):
+            x = Tensor(rng.standard_normal((3, 3)), requires_grad=True)
+            out = F.dropout(x, 0.3, training=True, rng=np.random.default_rng(0))
+            assert out.data.dtype == np.float32
+            out.sum().backward()
+            assert x.grad.dtype == np.float32

@@ -52,12 +52,19 @@ class TestProfileResolution:
 
 
 class TestBackendKnobs:
-    def test_defaults_are_seed_configuration(self):
+    def test_defaults_keep_seed_numerics_with_bucketing_on(self):
+        # dtype/fusion default to the seed numerics; bucketing defaults ON
+        # since the fast-path re-baseline (it changes batch composition,
+        # not math) and is opted out of with --no-bucketing.
         args = build_parser().parse_args(["--artifact", "table9"])
         profile = resolve_profile(args)
         assert profile.dtype == "float64"
         assert profile.fused is False
-        assert profile.bucketing is False
+        assert profile.bucketing is True
+
+    def test_no_bucketing_replays_seed_batching(self):
+        args = build_parser().parse_args(["--artifact", "table9", "--no-bucketing"])
+        assert resolve_profile(args).bucketing is False
 
     def test_fast_path_flags(self):
         args = build_parser().parse_args(
@@ -95,6 +102,50 @@ class TestBackendKnobs:
         table = capsys.readouterr().out
         assert "speedup_vs_seed" in table
         assert "seed (float64, composed, naive)" in table
+        import json
+
+        artifact = json.loads(out_file.read_text())
+        assert "kernel_timings" in artifact and "buffer_pool" in artifact
+        # The fused configs carry a per-kernel breakdown.
+        assert any(artifact["kernel_timings"].values())
+
+    def test_bench_compare_gate(self, tmp_path, capsys, monkeypatch):
+        """--compare-to passes against itself and fails against a tightened
+        baseline (the `make bench-compare` regression gate)."""
+        import json
+
+        from repro.experiments import bench as bench_mod
+
+        full_bench = bench_mod.run_backend_bench
+
+        def tiny_bench(seed=0, out_path=None, **_):
+            return full_bench(
+                n_examples=8, min_len=4, max_len=10, embedding_dim=8, hidden_size=4,
+                batch_size=4, repeats=1, seed=seed, out_path=out_path,
+            )
+
+        monkeypatch.setattr(bench_mod, "run_backend_bench", tiny_bench)
+        baseline_file = tmp_path / "BENCH_backend.json"
+        assert main(["bench", "--bench-out", str(baseline_file)]) == 0
+        # Comparing against a generous baseline passes...
+        generous = json.loads(baseline_file.read_text())
+        for row in generous["results"]:
+            row["ms_per_epoch"] = row["ms_per_epoch"] * 100.0
+        generous_file = tmp_path / "generous.json"
+        generous_file.write_text(json.dumps(generous))
+        assert main(["bench", "--compare-to", str(generous_file)]) == 0
+        # ...and against an impossible one fails with exit code 1.
+        impossible = json.loads(baseline_file.read_text())
+        for row in impossible["results"]:
+            row["ms_per_epoch"] = row["ms_per_epoch"] / 100.0
+        impossible_file = tmp_path / "impossible.json"
+        impossible_file.write_text(json.dumps(impossible))
+        assert main(["bench", "--compare-to", str(impossible_file)]) == 1
+        capsys.readouterr()
+
+    def test_bench_compare_missing_baseline_errors(self, capsys):
+        assert main(["bench", "--compare-to", "/nonexistent/bench.json"]) == 2
+        capsys.readouterr()
 
 
 class TestExecution:

@@ -96,6 +96,21 @@ class TestEndpoints:
         assert stats["cache"]["hits"] + stats["cache"]["misses"] >= 1
         assert stats["latency"]["count"] >= 1
 
+    def test_statz_reports_backend_observability(self, socket_client):
+        """Per-kernel wall time and buffer-pool counters ride along on /statz
+        so serving perf is inspectable without an external profiler."""
+        socket_client.rationalize(model="beer", token_ids=[6, 7, 8])
+        backend_stats = socket_client.stats()["backend"]
+        timings = backend_stats["kernel_timings"]
+        assert isinstance(timings, dict)
+        for entry in timings.values():
+            assert entry["calls"] >= 1 and entry["total_ms"] >= 0.0
+        pool = backend_stats["buffer_pool"]
+        # The worker's pooled session draws its padded-batch arrays from
+        # the buffer pool, so serving traffic must have exercised it.
+        assert pool["hits"] + pool["misses"] > 0
+        assert "hit_rate" in pool and "retained_bytes" in pool
+
     def test_concurrent_socket_requests_all_answer(self, served, socket_client):
         server, service, _ = served
         rng = np.random.default_rng(5)
