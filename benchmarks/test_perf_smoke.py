@@ -40,7 +40,7 @@ def committed_baseline():
 
 @pytest.fixture(scope="module")
 def bench_artifact(committed_baseline):
-    """Run the benchmark grid once (best-of-3 epochs per config)."""
+    """Run the benchmark grid once (best-of-5 epochs per config)."""
     return run_backend_bench(out_path=_BENCH_OUT)
 
 
@@ -66,6 +66,12 @@ class TestPerfSmoke:
             assert breakdown[kernel]["calls"] > 0
         pool = artifact["buffer_pool"]
         assert pool["hits"] + pool["misses"] > 0
+        # The bench starts from a pristine pool, so the counters must form
+        # a closed ledger — and the tape backward's buffer recycling must
+        # actually work (a collapsed hit rate means pooling silently broke,
+        # e.g. stale buffers pinning the pool-wide byte ceiling).
+        assert pool["retained"] == pool["released"] - pool["hits"] - pool["evicted"]
+        assert pool["hit_rate"] >= 0.5, f"buffer pooling broke: {pool}"
 
     def test_fast_path_at_least_3x(self, bench_rows):
         """float32 + fused + bucketed vs the seed configuration (≥ 3×)."""

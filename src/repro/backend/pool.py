@@ -53,7 +53,7 @@ class BufferPool:
     __slots__ = (
         "max_per_key", "max_bytes_per_key", "max_total_bytes", "_free",
         "_retained_bytes", "hits", "misses", "released", "dropped",
-        "__weakref__",
+        "evicted", "__weakref__",
     )
 
     def __init__(
@@ -71,6 +71,7 @@ class BufferPool:
         self.misses = 0
         self.released = 0
         self.dropped = 0
+        self.evicted = 0
 
     # ------------------------------------------------------------------
     def acquire(self, shape, dtype) -> np.ndarray:
@@ -81,33 +82,66 @@ class BufferPool:
             self.hits += 1
             array = stack.pop()
             self._retained_bytes -= array.nbytes
+            if stack:
+                # Dict insertion order doubles as the LRU order for
+                # eviction: a hit marks this key hot (move to the end).
+                self._free[key] = self._free.pop(key)
+            else:
+                del self._free[key]
             return array
         self.misses += 1
         return np.empty(key[0], dtype=key[1])
 
     def release(self, array: np.ndarray) -> None:
-        """Return a buffer for reuse (silently dropped past the budgets).
+        """Return a buffer for reuse (dropped past the per-key budgets).
 
         Only release arrays that own their memory and that no live code can
         still observe — the next ``acquire`` of the same geometry will
         overwrite them.
+
+        When the pool-wide byte ceiling is reached, the coldest retained
+        buffers are evicted to make room rather than refusing the release:
+        the array in hand belongs to the geometry the workload is producing
+        *right now*, while buffers retained for keys nobody acquires anymore
+        (a finished float64 phase, an old batch geometry) are dead weight.
+        Without eviction a long-lived process whose shapes shift — train
+        then serve, bucketing on/off — would pin the ceiling with stale
+        buffers and lose pooling permanently.
         """
         key = (array.shape, array.dtype)
-        stack = self._free.setdefault(key, [])
-        retained = len(stack)
-        # Retain at least one buffer per key (the largest buffers —
-        # sequence-sized gradients — are exactly the ones worth recycling)
-        # as long as the pool-wide byte ceiling holds.
+        stack = self._free.get(key)
+        retained = len(stack) if stack is not None else 0
+        # Per-key budgets (count and bytes) always retain at least one
+        # buffer per key — the largest buffers, sequence-sized gradients,
+        # are exactly the ones worth recycling.
         if (
-            retained < self.max_per_key
-            and (retained == 0 or (retained + 1) * array.nbytes <= self.max_bytes_per_key)
-            and self._retained_bytes + array.nbytes <= self.max_total_bytes
+            retained >= self.max_per_key
+            or (retained > 0 and (retained + 1) * array.nbytes > self.max_bytes_per_key)
+            or array.nbytes > self.max_total_bytes
         ):
-            stack.append(array)
-            self._retained_bytes += array.nbytes
-            self.released += 1
-        else:
             self.dropped += 1
+            return
+        while self._retained_bytes + array.nbytes > self.max_total_bytes and self._free:
+            self._evict_coldest()
+        # Re-fetch: eviction may have emptied (and deleted) this key's stack.
+        stack = self._free.get(key)
+        if stack is None:
+            stack = self._free[key] = []
+        stack.append(array)
+        self._retained_bytes += array.nbytes
+        self.released += 1
+        # A release also marks the key hot.
+        self._free[key] = self._free.pop(key)
+
+    def _evict_coldest(self) -> None:
+        """Drop the oldest free buffer of the least-recently-touched key."""
+        key = next(iter(self._free))
+        stack = self._free[key]
+        victim = stack.pop(0)
+        self._retained_bytes -= victim.nbytes
+        self.evicted += 1
+        if not stack:
+            del self._free[key]
 
     def release_all(self, arrays: Iterable[np.ndarray]) -> None:
         """Release every array in ``arrays``."""
@@ -121,15 +155,28 @@ class BufferPool:
 
     # ------------------------------------------------------------------
     def retained(self) -> int:
-        """Number of free buffers currently held."""
-        return sum(len(stack) for stack in self._free.values())
+        """Number of free buffers currently held.
+
+        ``list()`` snapshots the dict view in one C-level step, so another
+        thread reading this pool's stats (``GET /statz`` aggregating a
+        co-resident trainer's pool) never sees the owning thread resize
+        ``_free`` mid-iteration.
+        """
+        return sum(len(stack) for stack in list(self._free.values()))
 
     def retained_bytes(self) -> int:
         """Total bytes of free buffers currently held."""
         return self._retained_bytes
 
     def stats(self) -> dict:
-        """Counters for observability (``GET /statz``, bench breakdown)."""
+        """Counters for observability (``GET /statz``, bench breakdown).
+
+        From a pristine pool the counters satisfy
+        ``retained == released - hits - evicted`` — every free buffer got
+        there via ``release`` and leaves via an ``acquire`` hit or an
+        eviction (``clear``/``reset_pool_stats`` break the ledger on
+        purpose).
+        """
         total = self.hits + self.misses
         return {
             "hits": self.hits,
@@ -137,6 +184,7 @@ class BufferPool:
             "hit_rate": round(self.hits / total, 4) if total else 0.0,
             "released": self.released,
             "dropped": self.dropped,
+            "evicted": self.evicted,
             "retained": self.retained(),
             "retained_bytes": self.retained_bytes(),
         }
@@ -183,17 +231,36 @@ def pool_stats() -> dict:
     """Aggregate hit/miss counters across every live thread's pool."""
     pools = _live_pools()
     agg = {"pools": len(pools), "hits": 0, "misses": 0, "released": 0,
-           "dropped": 0, "retained": 0, "retained_bytes": 0}
+           "dropped": 0, "evicted": 0, "retained": 0, "retained_bytes": 0}
     for pool in pools:
         stats = pool.stats()
-        for key in ("hits", "misses", "released", "dropped", "retained", "retained_bytes"):
+        for key in ("hits", "misses", "released", "dropped", "evicted",
+                    "retained", "retained_bytes"):
             agg[key] += stats[key]
     total = agg["hits"] + agg["misses"]
     agg["hit_rate"] = round(agg["hits"] / total, 4) if total else 0.0
     return agg
 
 
-def reset_pool_stats() -> None:
-    """Zero every pool's counters (buffers are kept) — for benchmarking."""
+def reset_pool_stats(clear_buffers: bool = False) -> None:
+    """Zero every pool's counters — for benchmarking.
+
+    With ``clear_buffers`` the retained free lists are dropped too, giving
+    a pristine cold-start pool: benchmark artifacts then report only what
+    the benchmarked run itself did (and satisfy the
+    ``retained == released - hits - evicted`` ledger), instead of
+    inheriting buffers pooled by whatever else ran in the process.
+    Only the *calling thread's* pool is cleared — ``clear()`` on a pool
+    whose owner is concurrently releasing would corrupt its
+    ``_retained_bytes`` ledger, and the bench only ever needs its own
+    thread's pool pristine.  Zeroing other threads' counters is
+    best-effort (a racing ``hits += 1`` on the owner can overwrite the
+    zero): anything needing exact post-reset stats — the bench artifact —
+    must read its own thread's ``get_pool().stats()``, not the aggregate.
+    """
     for pool in _live_pools():
-        pool.hits = pool.misses = pool.released = pool.dropped = 0
+        pool.hits = pool.misses = pool.released = pool.dropped = pool.evicted = 0
+    if clear_buffers:
+        pool = getattr(_local, "pool", None)
+        if pool is not None:
+            pool.clear()

@@ -282,6 +282,7 @@ def run_serve_bench_cli(args: argparse.Namespace) -> int:
             ("--cache-size", args.cache_size is not None),
             ("--dtype", args.dtype is not None), ("--fused", args.fused),
             ("--artifact", args.artifact is not None), ("--bucketing", args.bucketing),
+            ("--no-bucketing", args.no_bucketing),
         ) if on
     ]
     if ignored:

@@ -195,6 +195,15 @@ class MicroBatchScheduler:
                 return
 
     # ------------------------------------------------------------------
+    def reset_stats(self) -> None:
+        """Zero the coalescing counters — for phase-pure benchmark stats."""
+        with self._stats_lock:
+            self._requests = 0
+            self._waves = 0
+            self._batches = 0
+            self._batched_items = 0
+            self._max_batch_seen = 0
+
     def stats(self) -> dict:
         """Coalescing counters for ``GET /statz`` and the serve bench."""
         with self._stats_lock:
@@ -203,6 +212,7 @@ class MicroBatchScheduler:
                 "requests": self._requests,
                 "waves": self._waves,
                 "batches": batches,
+                "batched_items": self._batched_items,
                 "max_batch_size": self.max_batch_size,
                 "max_wait_ms": self.max_wait_ms,
                 "bucket_width": self.bucket_width,

@@ -56,9 +56,62 @@ class TestBufferPoolUnit:
         pool.release(pool.acquire((2,), np.float64))
         stats = pool.stats()
         for key in ("hits", "misses", "hit_rate", "released", "dropped",
-                    "retained", "retained_bytes"):
+                    "evicted", "retained", "retained_bytes"):
             assert key in stats
         assert stats["retained"] == 1
+
+    def test_ceiling_pressure_evicts_cold_keys_not_fresh_releases(self):
+        """A workload whose shapes shift (float64 phase -> float32 phase)
+        must keep pooling: stale buffers are evicted under the pool-wide
+        ceiling rather than the hot releases being refused forever."""
+        pool = BufferPool(max_total_bytes=8192)
+        # Cold phase fills the pool to the ceiling (8 x 1 KiB).
+        cold = [np.empty(128, dtype=np.float64) for _ in range(8)]
+        pool.release_all(cold)
+        assert pool.retained_bytes() == 8192 and pool.dropped == 0
+        # Hot phase with a different geometry: its releases must be
+        # retained (evicting cold buffers), and then recycled on acquire.
+        hot = pool.acquire((64,), np.float32)  # 256 B
+        pool.release(hot)
+        assert pool.evicted >= 1
+        assert pool.acquire((64,), np.float32) is hot
+        # The pool never exceeds its ceiling along the way.
+        assert pool.retained_bytes() <= 8192
+
+    def test_release_survives_evicting_its_own_key(self):
+        """Eviction can empty (and delete) the free-list of the very key
+        being released — the release must still retain the buffer instead
+        of crashing on the stale stack reference."""
+        pool = BufferPool(max_total_bytes=1024)
+        pool.release(np.empty(64, dtype=np.float64))   # key K, 512 B (coldest)
+        pool.release(np.empty(128, dtype=np.float32))  # key J, 512 B (ceiling hit)
+        fresh = np.empty(64, dtype=np.float64)         # K again: evicts K's buffer
+        pool.release(fresh)
+        assert pool.acquire((64,), np.float64) is fresh
+        assert pool.evicted >= 1
+
+    def test_oversized_buffer_is_dropped_not_looped(self):
+        pool = BufferPool(max_total_bytes=1024)
+        pool.release(np.empty(4096, dtype=np.float64))
+        assert pool.dropped == 1 and pool.retained() == 0
+
+    def test_counter_ledger_from_pristine_pool(self):
+        """retained == released - hits - evicted: every free buffer arrived
+        via release and leaves via an acquire hit or an eviction."""
+        pool = BufferPool(max_total_bytes=4096)
+        rng = np.random.default_rng(0)
+        held: list = []
+        for _ in range(200):
+            shape = (int(rng.integers(1, 64)),)
+            dtype = np.float64 if rng.integers(2) else np.float32
+            if held and rng.integers(2):
+                pool.release(held.pop())
+            else:
+                held.append(pool.acquire(shape, dtype))
+        pool.release_all(held)
+        stats = pool.stats()
+        assert stats["retained"] == stats["released"] - stats["hits"] - stats["evicted"]
+        assert stats["retained_bytes"] <= 4096
 
     def test_global_pool_stats_aggregate(self):
         get_pool()  # ensure this thread's pool exists
