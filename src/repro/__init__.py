@@ -21,9 +21,14 @@ The package is organized bottom-up:
 - :mod:`repro.metrics` — rationale-overlap F1, accuracy probes,
   faithfulness metrics.
 - :mod:`repro.analysis` — rationale-shift diagnostics and visualization.
-- :mod:`repro.experiments` — the harness regenerating every paper
-  table/figure, plus the backend perf benchmark
-  (``python -m repro.experiments bench``).
+- :mod:`repro.api` — the unified training/experiment surface: the method
+  registry (models self-register with declarative metadata), the
+  :class:`~repro.api.Estimator` facade (``fit`` → ``save`` → serve), and
+  the declarative :class:`~repro.api.ExperimentSpec` catalog behind every
+  paper artifact (``--spec my_scenario.json`` runs user scenarios).
+- :mod:`repro.experiments` — the experiment harness: profiles, the CLI
+  regenerating every paper table/figure from the spec catalog, sweeps,
+  plus the backend perf benchmark (``python -m repro.experiments bench``).
 - :mod:`repro.serialization` — model save/load (versioned checkpoints
   with dtype/backend metadata).
 - :mod:`repro.serve` — the model-serving subsystem: artifact registry,

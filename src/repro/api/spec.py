@@ -1,0 +1,429 @@
+"""Declarative experiment specs: a paper artifact as *data*, not code.
+
+The seed-era harness had one hand-written runner function per table /
+figure, each re-implementing the same loop (build dataset → build model →
+maybe pre-skew → train → shape a row).  An :class:`ExperimentSpec`
+captures the whole recipe declaratively — dataset family + aspects,
+methods, variants (grid points with per-variant overrides and row
+labels), row shaping, profile/config/model overrides — and one engine,
+:func:`execute_spec`, runs any of them.  Specs round-trip through JSON
+(:meth:`ExperimentSpec.to_json` / :meth:`ExperimentSpec.from_json`), so a
+new scenario is a spec file handed to ``python -m repro.experiments
+--spec my_scenario.json``, not a new runner function.
+
+Spec anatomy (every field JSON-serializable)::
+
+    ExperimentSpec(
+        name="table7", description="Table VII — skewed predictor",
+        datasets=(("beer", "Aroma"), ("beer", "Palate")),
+        methods=("RNP", "A2R", "DAR"),
+        variants=(
+            {"row": {"setting": "skew2"},
+             "generator": {"select_bias_init": -1.0},
+             "pretrain": {"kind": "predictor_first_sentence", "epochs": 2}},
+            ...,
+        ),
+        aspect_column="aspect",
+        table_title="Table VII", key_column="aspect",
+    )
+
+A *variant* is one grid point: ``row`` contributes label columns,
+``profile`` / ``config`` / ``model`` override the respective layer,
+``generator`` rebuilds the model's generator (sparse-bias / sampler
+ablations), ``pretrain`` runs a skew hook, and ``mark_pretrained`` skips
+DAR's Eq. (4) stage.  Dataset families are themselves an extension point:
+:func:`register_dataset` adds a builder, and specs refer to it by name.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.api.estimator import build_model, train_config
+from repro.api.registry import MethodInfo, get_method
+from repro.core.trainer import (
+    TrainResult,
+    skew_pretrain_generator_first_token,
+    skew_pretrain_predictor_first_sentence,
+    train_rationalizer,
+)
+from repro.data.dataset import AspectDataset
+from repro.api.profiles import FAST_PROFILE, ExperimentProfile
+
+
+# ----------------------------------------------------------------------
+# Dataset-builder registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DatasetFamily:
+    """One registered dataset family: builder plus display metadata."""
+
+    key: str
+    builder: Callable[..., AspectDataset]
+    display: str
+    aspects: tuple[str, ...]
+
+
+DATASETS: dict[str, DatasetFamily] = {}
+
+
+def register_dataset(
+    key: str, builder: Callable[..., AspectDataset], display: str, aspects: Sequence[str]
+) -> DatasetFamily:
+    """Register a dataset family for use in experiment specs.
+
+    ``builder(aspect, n_train=..., n_dev=..., n_test=..., embedding_dim=...,
+    seed=...)`` must return an :class:`AspectDataset`.
+    """
+    family = DatasetFamily(key=key, builder=builder, display=display, aspects=tuple(aspects))
+    DATASETS[key] = family
+    return family
+
+
+def _ensure_builtin_datasets() -> None:
+    if "beer" not in DATASETS:
+        from repro.data import BEER_ASPECTS, HOTEL_ASPECTS, build_beer_dataset, build_hotel_dataset
+
+        register_dataset("beer", build_beer_dataset, "Beer", BEER_ASPECTS)
+        register_dataset("hotel", build_hotel_dataset, "Hotel", HOTEL_ASPECTS)
+
+
+def get_dataset_family(key: str) -> DatasetFamily:
+    """Resolve a registered dataset family by key."""
+    _ensure_builtin_datasets()
+    try:
+        return DATASETS[key]
+    except KeyError:
+        raise KeyError(f"unknown dataset family {key!r}; registered: {sorted(DATASETS)}") from None
+
+
+def build_dataset(family: str, aspect: str, profile: ExperimentProfile) -> AspectDataset:
+    """Build one aspect dataset at the profile's scale."""
+    info = get_dataset_family(family)
+    return info.builder(
+        aspect,
+        n_train=profile.n_train,
+        n_dev=profile.n_dev,
+        n_test=profile.n_test,
+        embedding_dim=profile.embedding_dim,
+        seed=profile.seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# The spec
+# ----------------------------------------------------------------------
+#: Known row-field selectors (see :func:`_extract_fields`).
+ROW_FIELDS = (
+    "metrics", "rationale_acc", "full_text_acc", "rationale_f1", "S", "full_text_scores",
+)
+
+_SPEC_KINDS = ("train", "complexity", "statistics")
+_VARIANT_KEYS = {"row", "profile", "config", "model", "generator", "pretrain",
+                 "mark_pretrained", "alpha", "encoder"}
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One paper artifact (or user scenario) as declarative data.
+
+    Attributes
+    ----------
+    name, description:
+        Catalog key and the ``--list`` line.
+    kind:
+        ``"train"`` (train models, collect metric rows),
+        ``"complexity"`` (Table IV parameter counts — no training) or
+        ``"statistics"`` (Table IX dataset statistics — no models).
+    datasets:
+        ``(family, aspect)`` pairs, resolved via :func:`register_dataset`.
+    methods:
+        Registered method names, trained in order per dataset and variant.
+    variants:
+        Grid points (see module docstring); ``({},)`` means one plain run.
+    row_fields:
+        Row shape: ``"metrics"`` is the full paper row (method, S/P/R/F1,
+        Acc, FullAcc); the other selectors pick single columns.
+    aspect_column:
+        When set, each row leads with this column naming the aspect.
+    aspect_label:
+        Format string for that column (``{family}`` = display name).
+    grouped:
+        Return ``{aspect: rows}`` instead of a flat row list (Tables
+        II/III/V render one sub-table per aspect).
+    alpha, encoder:
+        Spec-wide model knobs (variants may override).
+    profile_overrides:
+        Applied to the incoming profile *before* datasets are built
+        (Table VI retunes temperature/lr for transformer encoders).
+    config_overrides, model_overrides:
+        Spec-wide train-config / model-constructor overrides.
+    table_title, key_column:
+        How the CLI renders the result.
+    """
+
+    name: str
+    description: str
+    kind: str = "train"
+    datasets: tuple[tuple[str, str], ...] = ()
+    methods: tuple[str, ...] = ()
+    variants: tuple[dict, ...] = ({},)
+    row_fields: tuple[str, ...] = ("metrics",)
+    aspect_column: Optional[str] = None
+    aspect_label: str = "{aspect}"
+    grouped: bool = False
+    alpha: Optional[float] = None
+    encoder: str = "gru"
+    profile_overrides: dict = field(default_factory=dict)
+    config_overrides: dict = field(default_factory=dict)
+    model_overrides: dict = field(default_factory=dict)
+    table_title: str = ""
+    key_column: str = "method"
+
+    def __post_init__(self):
+        if self.kind not in _SPEC_KINDS:
+            raise ValueError(f"kind must be one of {_SPEC_KINDS}, got {self.kind!r}")
+        for spec_field in self.row_fields:
+            if spec_field not in ROW_FIELDS:
+                raise ValueError(f"unknown row field {spec_field!r}; known: {ROW_FIELDS}")
+        for variant in self.variants:
+            unknown = set(variant) - _VARIANT_KEYS
+            if unknown:
+                raise ValueError(f"unknown variant keys {sorted(unknown)}; known: {sorted(_VARIANT_KEYS)}")
+        # Normalize JSON-decoded lists to the tuple shapes the engine expects.
+        object.__setattr__(self, "datasets", tuple((f, a) for f, a in self.datasets))
+        object.__setattr__(self, "methods", tuple(self.methods))
+        object.__setattr__(self, "variants", tuple(dict(v) for v in self.variants) or ({},))
+        object.__setattr__(self, "row_fields", tuple(self.row_fields))
+
+    # ------------------------------------------------------------------
+    def resolve(self) -> None:
+        """Fail fast if any referenced method or dataset family is unknown."""
+        for method in self.methods:
+            get_method(method)
+        for family, _aspect in self.datasets:
+            get_dataset_family(family)
+
+    def scaled(self, **overrides) -> "ExperimentSpec":
+        """A copy with the given spec fields replaced."""
+        return dataclasses.replace(self, **overrides)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data form (JSON-serializable)."""
+        payload = dataclasses.asdict(self)
+        payload["datasets"] = [list(pair) for pair in self.datasets]
+        payload["methods"] = list(self.methods)
+        payload["variants"] = [dict(v) for v in self.variants]
+        payload["row_fields"] = list(self.row_fields)
+        return payload
+
+    def to_json(self, path: Optional[Union[str, Path]] = None) -> str:
+        """Serialize to JSON; optionally write to ``path``."""
+        text = json.dumps(self.to_dict(), indent=2)
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentSpec":
+        """Rebuild a spec from :meth:`to_dict` output (or a hand-written dict)."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown spec fields {sorted(unknown)}; known: {sorted(known)}")
+        return cls(**payload)
+
+    @classmethod
+    def from_json(cls, source: Union[str, Path]) -> "ExperimentSpec":
+        """Load a spec from a JSON string or file path."""
+        text = str(source)
+        if not text.lstrip().startswith("{"):
+            text = Path(source).read_text()
+        return cls.from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def _rebuild_generator(model, overrides: dict, profile: ExperimentProfile) -> None:
+    """Replace the model's generator, keeping its architecture.
+
+    Used by the sparse-bias setups (Tables VII, Fig. 3) and the sampler
+    ablation: the new generator is seeded from ``profile.seed`` so the
+    surgery is reproducible.
+    """
+    from repro.core.generator import Generator
+
+    model.generator = Generator(
+        model.arch["vocab_size"],
+        model.arch["embedding_dim"],
+        model.arch["hidden_size"],
+        pretrained=model.arch["pretrained_embeddings"],
+        encoder=model.arch["encoder"],
+        rng=np.random.default_rng(profile.seed),
+        **overrides,
+    )
+
+
+def _run_pretrain(model, dataset: AspectDataset, pretrain: dict, profile: ExperimentProfile) -> dict:
+    """Run a declarative skew-pretraining hook; returns extra row columns."""
+    kind = pretrain.get("kind")
+    if kind == "predictor_first_sentence":
+        skew_pretrain_predictor_first_sentence(
+            model, dataset,
+            epochs=pretrain["epochs"],
+            batch_size=pretrain.get("batch_size", profile.batch_size),
+            lr=pretrain.get("lr", 1e-3),
+            seed=pretrain.get("seed", profile.seed),
+        )
+        return {}
+    if kind == "generator_first_token":
+        pre_acc = skew_pretrain_generator_first_token(
+            model, dataset,
+            accuracy_threshold=pretrain["threshold"],
+            batch_size=pretrain.get("batch_size", profile.batch_size),
+            lr=pretrain.get("lr", 1e-3),
+            seed=pretrain.get("seed", profile.seed),
+        )
+        return {"Pre_acc": round(pre_acc, 1)}
+    raise ValueError(
+        f"unknown pretrain kind {kind!r}; known: predictor_first_sentence, generator_first_token"
+    )
+
+
+def _extract_fields(
+    fields: Sequence[str], info: MethodInfo, result: TrainResult
+) -> dict:
+    """Materialize the spec's ``row_fields`` from one training result."""
+    row: dict = {}
+    for name in fields:
+        if name == "metrics":
+            row["method"] = info.name
+            row.update(result.as_row(reports_accuracy=info.reports_accuracy))
+        elif name == "rationale_acc":
+            row["rationale_acc"] = result.rationale_accuracy
+        elif name == "full_text_acc":
+            row["full_text_acc"] = result.full_text.accuracy
+        elif name == "rationale_f1":
+            row["rationale_f1"] = result.rationale.f1
+        elif name == "S":
+            row["S"] = result.rationale.as_row()["S"]
+        elif name == "full_text_scores":
+            row.update(result.full_text.as_row())
+    return row
+
+
+def _execute_train(
+    spec: ExperimentSpec, profile: ExperimentProfile
+) -> Union[list[dict], dict[str, list[dict]]]:
+    base = profile.scaled(**spec.profile_overrides) if spec.profile_overrides else profile
+    grouped: dict[str, list[dict]] = {}
+    flat: list[dict] = []
+    for family, aspect in spec.datasets:
+        dataset = build_dataset(family, aspect, base)
+        display = get_dataset_family(family).display
+        aspect_value = spec.aspect_label.format(family=display, aspect=aspect)
+        rows = grouped.setdefault(aspect, []) if spec.grouped else flat
+        for variant in spec.variants:
+            run_profile = base.scaled(**variant["profile"]) if variant.get("profile") else base
+            alpha = variant.get("alpha", spec.alpha)
+            encoder = variant.get("encoder", spec.encoder)
+            model_overrides = {**spec.model_overrides, **variant.get("model", {})}
+            config_overrides = {**spec.config_overrides, **variant.get("config", {})}
+            for method in spec.methods:
+                info = get_method(method)
+                model = build_model(
+                    info, dataset, run_profile, alpha=alpha, encoder=encoder, **model_overrides
+                )
+                if variant.get("generator"):
+                    _rebuild_generator(model, variant["generator"], run_profile)
+                extra: dict = {}
+                if variant.get("pretrain"):
+                    extra = _run_pretrain(model, dataset, variant["pretrain"], run_profile)
+                if variant.get("mark_pretrained"):
+                    model.mark_discriminator_pretrained()
+                config = train_config(info, run_profile, **config_overrides)
+                result = train_rationalizer(model, dataset, config)
+                row: dict = {}
+                if spec.aspect_column:
+                    row[spec.aspect_column] = aspect_value
+                row.update(variant.get("row", {}))
+                row.update(extra)
+                row.update(_extract_fields(spec.row_fields, info, result))
+                rows.append(row)
+    return grouped if spec.grouped else flat
+
+
+def _execute_complexity(spec: ExperimentSpec, profile: ExperimentProfile) -> list[dict]:
+    """Table IV: module and parameter counts per architecture."""
+    base = profile.scaled(**spec.profile_overrides) if spec.profile_overrides else profile
+    family, aspect = spec.datasets[0]
+    dataset = build_dataset(family, aspect, base)
+    rows = []
+    single_module = None
+    for method in spec.methods:
+        info = get_method(method)
+        model = build_model(info, dataset, base, alpha=spec.alpha, encoder=spec.encoder,
+                            **spec.model_overrides)
+        counts = model.complexity()
+        if method == "RNP":
+            # The paper's Table IV counts parameters in units of one player
+            # (RNP = 1 generator + 1 predictor = 2x); rows before RNP
+            # render "-", as in the paper.
+            single_module = counts["parameters"] / 2
+        rows.append(
+            {
+                "method": method,
+                "modules": f"{counts['generators']}gen+{counts['predictors']}pred",
+                "parameters": counts["parameters"],
+                "relative": f"{counts['parameters'] / single_module:.1f}x" if single_module else "-",
+            }
+        )
+    return rows
+
+
+def _execute_statistics(spec: ExperimentSpec, profile: ExperimentProfile) -> list[dict]:
+    """Table IX: per-aspect split sizes and annotation sparsity."""
+    base = profile.scaled(**spec.profile_overrides) if spec.profile_overrides else profile
+    rows = []
+    for family, aspect in spec.datasets:
+        dataset = build_dataset(family, aspect, base)
+        rows.append({"family": get_dataset_family(family).display, **dataset.statistics().as_row()})
+    return rows
+
+
+def execute_spec(
+    spec: ExperimentSpec, profile: ExperimentProfile = FAST_PROFILE
+) -> Union[list[dict], dict[str, list[dict]]]:
+    """Run a spec at the given profile; returns its rows.
+
+    ``grouped`` specs return ``{aspect: rows}``, everything else a flat
+    row list — exactly the shapes the runner functions always produced.
+    """
+    spec.resolve()
+    if spec.kind == "complexity":
+        return _execute_complexity(spec, profile)
+    if spec.kind == "statistics":
+        return _execute_statistics(spec, profile)
+    return _execute_train(spec, profile)
+
+
+def render_spec(spec: ExperimentSpec, profile: ExperimentProfile = FAST_PROFILE) -> str:
+    """Execute a spec and render its paper-style text table(s)."""
+    from repro.utils import render_table
+
+    title = spec.table_title or spec.name
+    result = execute_spec(spec, profile)
+    if isinstance(result, dict):
+        return "\n".join(
+            render_table(f"{title} — {key}", rows, key_column=spec.key_column)
+            for key, rows in result.items()
+        )
+    return render_table(title, result, key_column=spec.key_column)

@@ -17,6 +17,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.api.registry import register_method
 from repro.autograd import functional as F
 from repro.autograd.tensor import Tensor
 from repro.core.regularizers import sparsity_coherence_penalty
@@ -25,6 +26,7 @@ from repro.data.batching import Batch
 from repro.backend.core import get_default_dtype
 
 
+@register_method("A2R", hyper=("js_weight",))
 class A2R(RNP):
     """RNP + soft-rationale auxiliary predictor with JS-divergence coupling."""
 

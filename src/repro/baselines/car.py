@@ -19,6 +19,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.api.registry import register_method
 from repro.autograd import functional as F
 from repro.autograd.tensor import Tensor
 from repro.core.generator import Generator
@@ -66,6 +67,7 @@ class LabelConditionedGenerator(Generator):
         return chosen * np.asarray(pad_mask, dtype=get_default_dtype())
 
 
+@register_method("CAR", hyper=("adversarial_weight",))
 class CAR(RNP):
     """Class-wise adversarial rationalization with a label-aware generator."""
 

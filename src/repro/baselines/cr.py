@@ -19,6 +19,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.api.registry import register_method
 from repro.autograd import functional as F
 from repro.autograd.tensor import Tensor
 from repro.core.regularizers import sparsity_coherence_penalty
@@ -27,6 +28,7 @@ from repro.data.batching import Batch
 from repro.backend.core import get_default_dtype
 
 
+@register_method("CR", hyper=("necessity_weight", "necessity_margin"))
 class CR(RNP):
     """Causal sufficiency + necessity rationalizer."""
 

@@ -19,6 +19,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.api.registry import register_method
 from repro.autograd import functional as F
 from repro.autograd.tensor import Tensor
 from repro.core.regularizers import sparsity_coherence_penalty
@@ -26,6 +27,7 @@ from repro.core.rnp import RNP
 from repro.data.batching import Batch
 
 
+@register_method("DMR", hyper=("match_weight",))
 class DMR(RNP):
     """RNP + a co-trained full-text predictor with output-distribution matching."""
 

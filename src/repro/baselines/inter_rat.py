@@ -18,6 +18,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.api.registry import register_method
 from repro.autograd import functional as F
 from repro.autograd.tensor import Tensor
 from repro.core.regularizers import sparsity_coherence_penalty
@@ -26,6 +27,7 @@ from repro.data.batching import Batch
 from repro.backend.core import get_default_dtype
 
 
+@register_method("Inter_RAT", hyper=("intervention_rate", "intervention_weight"))
 class InterRAT(RNP):
     """RNP with backdoor-adjustment-style interventions on the selection."""
 

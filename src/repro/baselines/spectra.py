@@ -17,6 +17,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.api.registry import register_method
 from repro.autograd import functional as F
 from repro.autograd.tensor import Tensor
 from repro.core.rnp import RNP
@@ -39,6 +40,7 @@ def topk_mask(scores: np.ndarray, pad_mask: np.ndarray, rate: float) -> np.ndarr
     return out * pad
 
 
+@register_method("SPECTRA")
 class SPECTRA(RNP):
     """Deterministic structured top-k rationalizer."""
 

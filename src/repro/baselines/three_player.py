@@ -19,6 +19,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.api.registry import register_method
 from repro.autograd import functional as F
 from repro.autograd.tensor import Tensor
 from repro.core.regularizers import sparsity_coherence_penalty
@@ -28,6 +29,7 @@ from repro.optim.adam import Adam
 from repro.backend.core import get_default_dtype
 
 
+@register_method("3PLAYER", hyper=("complement_weight", "complement_lr"))
 class ThreePlayer(RNP):
     """RNP + adversarial complement predictor."""
 

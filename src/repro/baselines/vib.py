@@ -19,6 +19,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.api.registry import register_method
 from repro.autograd import functional as F
 from repro.autograd.tensor import Tensor
 from repro.core.rnp import RNP
@@ -26,6 +27,7 @@ from repro.data.batching import Batch
 from repro.backend.core import get_default_dtype
 
 
+@register_method("VIB", hyper=("beta",))
 class VIB(RNP):
     """Bernoulli-mask rationalizer with a KL sparsity prior."""
 

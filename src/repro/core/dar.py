@@ -22,6 +22,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.api.registry import register_method
 from repro.autograd import functional as F
 from repro.autograd.tensor import Tensor
 from repro.core.predictor import Predictor
@@ -30,6 +31,9 @@ from repro.core.rnp import RNP
 from repro.data.batching import Batch
 
 
+@register_method(
+    "DAR", selection="dev_acc", hyper=("discriminator_weight", "freeze_discriminator")
+)
 class DAR(RNP):
     """RNP plus a frozen, full-input-pretrained discriminative predictor.
 

@@ -14,6 +14,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.api.registry import register_method
 from repro.autograd import functional as F
 from repro.autograd.tensor import Tensor
 from repro.core.generator import Generator
@@ -23,6 +24,7 @@ from repro.data.batching import Batch
 from repro.nn.module import Module
 
 
+@register_method("RNP")
 class RNP(Module):
     """Generator + predictor cooperative game.
 

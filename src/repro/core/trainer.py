@@ -76,17 +76,27 @@ class TrainConfig:
 
 @dataclass
 class TrainResult:
-    """Metrics of the selected checkpoint plus the full training history."""
+    """Metrics of the selected checkpoint plus the full training history.
+
+    :class:`repro.api.FitReport` extends this with the run's identity
+    (method, seed, Acc-column semantics) — the surface the Estimator and
+    the spec-catalog engine consume.
+    """
 
     rationale: RationaleScore
     rationale_accuracy: float
     full_text: ClassificationScore
     history: list[dict] = field(default_factory=list)
 
-    def as_row(self) -> dict:
-        """Render the selected checkpoint as a paper-style metric row."""
+    def as_row(self, reports_accuracy: bool = True) -> dict:
+        """Render the selected checkpoint as a paper-style metric row.
+
+        ``reports_accuracy=False`` blanks the Acc column (label-aware
+        selectors like CAR/DMR, where rationale-input accuracy is
+        meaningless — the paper's Table III note).
+        """
         row = self.rationale.as_row()
-        row["Acc"] = round(self.rationale_accuracy, 1)
+        row["Acc"] = round(self.rationale_accuracy, 1) if reports_accuracy else None
         row["FullAcc"] = self.full_text.as_row()["Acc"]
         return row
 

@@ -1,8 +1,11 @@
-"""The experiment harness: one entry point per paper table/figure.
+"""The experiment harness: profiles, CLI, sweeps, and the legacy runners.
 
-See DESIGN.md §4 for the experiment index.  Everything is parameterized by
-an :class:`ExperimentProfile` so benchmarks run a scaled-down (but
-shape-preserving) version while users can scale up.
+Every paper table/figure lives in the declarative spec catalog
+(:mod:`repro.api.experiments`); the ``run_*`` entry points re-exported
+here are thin shims over it, kept for their historical signatures.
+Everything is parameterized by an :class:`ExperimentProfile` so
+benchmarks run a scaled-down (but shape-preserving) version while users
+can scale up.
 """
 
 from repro.experiments.config import ExperimentProfile, FAST_PROFILE, FULL_PROFILE

@@ -7,13 +7,18 @@ Usage::
     python -m repro.experiments --artifact fig6 --epochs 15 --n-train 800
     python -m repro.experiments --artifact table2 --dtype float32 --fused
     python -m repro.experiments --artifact table2 --no-bucketing  # seed batching
+    python -m repro.experiments --spec my_scenario.json
     python -m repro.experiments bench
     python -m repro.experiments bench --compare-to BENCH_backend.json
     python -m repro.experiments serve --model-dir ckpt --port 8080 --dtype float32 --fused
     python -m repro.experiments serve-bench
 
-Each artifact maps to one runner in :mod:`repro.experiments.runner`; the
-output is the paper-style text table.  ``--dtype float32`` and ``--fused``
+Each artifact is a declarative :class:`repro.api.ExperimentSpec` from the
+catalog in :mod:`repro.api.experiments` (this table — including ``--list``
+— is *generated* from the catalog, so help text cannot drift from the
+registry); the output is the paper-style text table.  ``--spec`` runs a
+user-authored spec JSON through the same engine — a new scenario is a
+file, not a new runner function.  ``--dtype float32`` and ``--fused``
 select the backend fast path (see :mod:`repro.backend`); length-bucketed
 training batches are the default and ``--no-bucketing`` replays the seed
 batch composition.  The ``bench`` command times the fast path against the
@@ -37,50 +42,22 @@ import sys
 import time
 from typing import Callable
 
+from repro.api.experiments import catalog
+from repro.api.spec import ExperimentSpec, render_spec
 from repro.experiments import config as config_mod
-from repro.experiments import runner
 from repro.utils import render_table
 
 
-def _grouped(result: dict[str, list[dict]], title: str) -> str:
-    return "\n".join(render_table(f"{title} — {key}", rows) for key, rows in result.items())
+def _artifact_table() -> dict[str, tuple[str, Callable]]:
+    """``name -> (description, render_fn)``, generated from the spec catalog."""
+    table: dict[str, tuple[str, Callable]] = {}
+    for name, spec in catalog().items():
+        table[name] = (spec.description, lambda p, spec=spec: render_spec(spec, p))
+    return table
 
 
-ARTIFACTS: dict[str, tuple[str, Callable]] = {
-    "table1": ("Table I — RNP full-text P/R/F1",
-               lambda p: render_table("Table I", runner.run_table1_fulltext_scores(p), key_column="aspect")),
-    "table2": ("Table II — BeerAdvocate comparison",
-               lambda p: _grouped(runner.run_beer_comparison(p), "Table II")),
-    "table3": ("Table III — HotelReview comparison",
-               lambda p: _grouped(runner.run_hotel_comparison(p), "Table III")),
-    "table4": ("Table IV — model complexity",
-               lambda p: render_table("Table IV", runner.run_complexity_table(p))),
-    "table5": ("Table V — low-sparsity comparison",
-               lambda p: _grouped(runner.run_low_sparsity(p), "Table V")),
-    "table6": ("Table VI — transformer (BERT stand-in) encoders",
-               lambda p: render_table("Table VI", runner.run_bert_comparison(p))),
-    "table7": ("Table VII — skewed predictor",
-               lambda p: render_table("Table VII", runner.run_skewed_predictor(p), key_column="aspect")),
-    "table8": ("Table VIII — skewed generator",
-               lambda p: render_table("Table VIII", runner.run_skewed_generator(p), key_column="setting")),
-    "table9": ("Table IX — dataset statistics",
-               lambda p: render_table("Table IX", runner.run_dataset_statistics(p), key_column="family")),
-    "fig3a": ("Fig. 3a — full-text acc vs rationale F1",
-              lambda p: render_table("Fig. 3a", runner.run_fig3_relationship(p), key_column="param_set")),
-    "fig3b": ("Fig. 3b — accuracy gap",
-              lambda p: render_table("Fig. 3b", runner.run_fig3_accuracy_gap(p), key_column="aspect")),
-    "fig6": ("Fig. 6 — DAR full-text generalization",
-             lambda p: render_table("Fig. 6", runner.run_fig6_dar_fulltext(p), key_column="aspect")),
-    "ablation-frozen": ("Ablation — frozen vs co-trained discriminator",
-                        lambda p: render_table("Ablation", runner.run_ablation_frozen_discriminator(p),
-                                               key_column="variant")),
-    "ablation-weight": ("Ablation — discriminator loss weight",
-                        lambda p: render_table("Ablation", runner.run_ablation_discriminator_weight(p),
-                                               key_column="weight")),
-    "ablation-sampler": ("Ablation — mask sampler (gumbel/hardkuma/topk)",
-                         lambda p: render_table("Ablation", runner.run_ablation_sampler(p),
-                                                key_column="sampler")),
-}
+#: Artifact table (legacy import surface); regenerated from the catalog.
+ARTIFACTS: dict[str, tuple[str, Callable]] = _artifact_table()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -98,6 +75,11 @@ def build_parser() -> argparse.ArgumentParser:
              "BENCH_serve.json",
     )
     parser.add_argument("--artifact", choices=sorted(ARTIFACTS), help="which artifact to regenerate")
+    parser.add_argument(
+        "--spec", default=None, metavar="PATH",
+        help="run a user-authored ExperimentSpec JSON file through the same "
+             "engine as the catalog artifacts (see repro.api.ExperimentSpec)",
+    )
     parser.add_argument("--list", action="store_true", help="list available artifacts")
     parser.add_argument("--profile", choices=("fast", "full"), default="fast")
     parser.add_argument("--n-train", type=int, default=None)
@@ -305,18 +287,40 @@ def run_serve_bench_cli(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_spec_file(args: argparse.Namespace) -> int:
+    """Load a user-authored spec JSON and run it through the engine."""
+    try:
+        spec = ExperimentSpec.from_json(args.spec)
+        spec.resolve()
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        print(f"error: cannot load spec {args.spec}: {exc}", file=sys.stderr)
+        return 2
+    profile = resolve_profile(args)
+    print(f"# {spec.description or spec.name}\n# profile: {profile}\n", file=sys.stderr)
+    start = time.time()
+    print(render_spec(spec, profile))
+    print(f"# done in {time.time() - start:.1f}s", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
-    """Entry point: list artifacts, regenerate one, run a bench, or serve."""
-    args = build_parser().parse_args(argv)
+    """Entry point: list artifacts, regenerate one (or a --spec file), run a
+    bench, or serve."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if args.command == "bench":
         return run_bench(args)
     if args.command == "serve":
         return run_serve(args)
     if args.command == "serve-bench":
         return run_serve_bench_cli(args)
+    if args.spec is not None and args.artifact is not None:
+        parser.error("--artifact and --spec are mutually exclusive")
+    if args.spec is not None and not args.list:
+        return run_spec_file(args)
     if args.list or not args.artifact:
-        for name, (description, _) in sorted(ARTIFACTS.items()):
-            print(f"{name:16s} {description}")
+        for name, spec in sorted(catalog().items()):
+            print(f"{name:16s} {spec.description}")
         return 0
     description, fn = ARTIFACTS[args.artifact]
     profile = resolve_profile(args)

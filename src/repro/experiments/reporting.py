@@ -1,12 +1,16 @@
 """Persisting experiment results.
 
-Runners return plain dict rows; this module writes them to JSON (for
-machine consumption) and markdown (for reports), and can reload JSON
-results for later comparison — e.g. diffing two commits' Table II.
+Spec executions (and the legacy runner shims) return plain dict rows;
+this module writes them to JSON (for machine consumption) and markdown
+(for reports), and can reload JSON results for later comparison — e.g.
+diffing two commits' Table II.  :func:`save_spec_result` embeds the
+executed :class:`~repro.api.ExperimentSpec` itself as provenance, so a
+result file fully describes how to regenerate it.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from pathlib import Path
 from typing import Mapping, Sequence, Union
@@ -24,6 +28,29 @@ def load_rows_json(path: PathLike) -> tuple[list[dict], dict]:
     """Read ``(rows, metadata)`` written by :func:`save_rows_json`."""
     payload = json.loads(Path(path).read_text())
     return payload["rows"], payload.get("metadata", {})
+
+
+def save_spec_result(spec, result, path: PathLike, profile=None) -> list[dict]:
+    """Persist an executed spec's rows with full regeneration provenance.
+
+    ``result`` is whatever :func:`repro.api.execute_spec` returned —
+    grouped ``{aspect: rows}`` results are flattened with the group key
+    injected as a leading column (``spec.aspect_column`` or ``aspect``).
+    The metadata embeds ``spec.to_dict()`` and the profile, so the file
+    alone says how to reproduce itself (load the spec with
+    :meth:`~repro.api.ExperimentSpec.from_dict`, re-execute, diff with
+    :func:`diff_rows`).  Returns the flattened rows.
+    """
+    if isinstance(result, Mapping):
+        column = spec.aspect_column or "aspect"
+        rows = [{column: key, **row} for key, group in result.items() for row in group]
+    else:
+        rows = [dict(r) for r in result]
+    metadata = {"spec": spec.to_dict()}
+    if profile is not None:
+        metadata["profile"] = dataclasses.asdict(profile)
+    save_rows_json(rows, path, metadata=metadata)
+    return rows
 
 
 def rows_to_markdown(rows: Sequence[Mapping], key_column: str = "method") -> str:

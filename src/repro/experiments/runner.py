@@ -1,54 +1,44 @@
-"""End-to-end experiment runners — one function per paper table/figure.
+"""Legacy experiment-runner surface — thin shims over the spec catalog.
 
-Every runner returns plain row dictionaries (rendered by
-``repro.utils.render_table``), so the benchmark files both *measure* and
-*print* the reproduced artifacts.
+Every paper table/figure now lives in :mod:`repro.api.experiments` as a
+declarative :class:`~repro.api.spec.ExperimentSpec`, executed by the
+engine in :mod:`repro.api.spec`.  The ``run_*`` functions below keep the
+historical signatures (tests, examples and benchmarks call them) but are
+one-liners: build the parameterized spec, execute it at the given
+profile.  New scenarios should be authored as specs (``python -m
+repro.experiments --spec my_scenario.json``) or driven through
+:class:`repro.api.Estimator` — not as new runner functions.
+
+``METHOD_REGISTRY`` is a live view over :mod:`repro.api.registry`, so
+methods registered by third-party code (via
+:func:`repro.api.register_method`) appear here without editing this
+module.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from typing import Optional, Sequence
 
-import numpy as np
-
-from repro.baselines import A2R, CAR, CR, DMR, SPECTRA, VIB, InterRAT, ThreePlayer
-from repro.core import (
-    DAR,
-    RNP,
-    TrainConfig,
-    evaluate_full_text,
-    evaluate_rationale_accuracy,
-    evaluate_rationale_quality,
-    skew_pretrain_generator_first_token,
-    skew_pretrain_predictor_first_sentence,
-    train_rationalizer,
-)
-from repro.core.trainer import TrainResult
-from repro.data import (
-    BEER_ASPECTS,
-    HOTEL_ASPECTS,
-    build_beer_dataset,
-    build_hotel_dataset,
-)
+from repro.api import experiments as _catalog
+from repro.api.estimator import Estimator, build_model as _build_model, train_config as _train_config
+from repro.api.registry import MethodRegistryView, get_method
+from repro.api.spec import execute_spec
+from repro.data import BEER_ASPECTS, HOTEL_ASPECTS
 from repro.data.dataset import AspectDataset
 from repro.experiments.config import FAST_PROFILE, ExperimentProfile
 
-METHOD_REGISTRY: dict[str, type] = {
-    "RNP": RNP,
-    "DAR": DAR,
-    "DMR": DMR,
-    "A2R": A2R,
-    "CAR": CAR,
-    "Inter_RAT": InterRAT,
-    "3PLAYER": ThreePlayer,
-    "VIB": VIB,
-    "SPECTRA": SPECTRA,
-    "CR": CR,
-}
+#: Live name -> class mapping over the method registry (legacy surface).
+METHOD_REGISTRY = MethodRegistryView()
+
+#: Re-exported for callers that imported the grid from here.
+FIG3_PARAM_SETS = _catalog.FIG3_PARAM_SETS
+
+_TABLE2_METHODS = _catalog._TABLE2_METHODS
+_TABLE3_METHODS = _catalog._TABLE3_METHODS
 
 
 # ----------------------------------------------------------------------
-# Building blocks
+# Building blocks (legacy factory surface, now registry-backed)
 # ----------------------------------------------------------------------
 def make_model(
     method: str,
@@ -60,39 +50,16 @@ def make_model(
     **overrides,
 ):
     """Instantiate a registered method on a dataset with profile-scaled sizes."""
-    if method not in METHOD_REGISTRY:
-        raise KeyError(f"unknown method {method!r}; registered: {sorted(METHOD_REGISTRY)}")
-    rng = np.random.default_rng(profile.seed if seed is None else seed)
-    cls = METHOD_REGISTRY[method]
-    return cls(
-        vocab_size=len(dataset.vocab),
-        embedding_dim=profile.embedding_dim,
-        hidden_size=profile.hidden_size,
-        alpha=dataset.gold_sparsity() if alpha is None else alpha,
-        temperature=profile.temperature,
-        pretrained_embeddings=dataset.embeddings,
-        encoder=encoder,
-        rng=rng,
-        **overrides,
+    return _build_model(
+        get_method(method), dataset, profile,
+        alpha=alpha, encoder=encoder, seed=seed, **overrides,
     )
 
 
-def train_config_for(method: str, profile: ExperimentProfile, **overrides) -> TrainConfig:
-    """Paper protocol: DAR selects by dev accuracy, baselines by test F1."""
-    selection = "dev_acc" if method == "DAR" else "test_f1"
-    defaults = dict(
-        epochs=profile.epochs,
-        batch_size=profile.batch_size,
-        lr=profile.lr,
-        seed=profile.seed,
-        selection=selection,
-        pretrain_epochs=profile.pretrain_epochs,
-        dtype=profile.dtype,
-        fused=profile.fused,
-        bucketing=profile.bucketing,
-    )
-    defaults.update(overrides)
-    return TrainConfig(**defaults)
+def train_config_for(method: str, profile: ExperimentProfile, **overrides):
+    """Method-protocol train config (DAR selects by dev accuracy — registry
+    metadata, no longer an if-branch here)."""
+    return _train_config(get_method(method), profile, **overrides)
 
 
 def run_method(
@@ -101,57 +68,29 @@ def run_method(
     profile: ExperimentProfile = FAST_PROFILE,
     alpha: Optional[float] = None,
     encoder: str = "gru",
+    seed: Optional[int] = None,
     **config_overrides,
 ) -> dict:
-    """Train one method on one dataset; return the paper-style metric row."""
-    model = make_model(method, dataset, profile, alpha=alpha, encoder=encoder)
-    config = train_config_for(method, profile, **config_overrides)
-    result = train_rationalizer(model, dataset, config)
-    return _result_row(method, model, result)
+    """Train one method on one dataset; return the paper-style metric row.
 
-
-def _result_row(method: str, model: RNP, result: TrainResult) -> dict:
-    row: dict = {"method": method}
-    row.update(result.rationale.as_row())
-    row["Acc"] = round(result.rationale_accuracy, 1) if model.reports_accuracy else None
-    row["FullAcc"] = result.full_text.as_row()["Acc"]
-    return row
-
-
-_BEER_BUILDERS: dict[str, Callable] = {aspect: build_beer_dataset for aspect in BEER_ASPECTS}
-_HOTEL_BUILDERS: dict[str, Callable] = {aspect: build_hotel_dataset for aspect in HOTEL_ASPECTS}
-
-
-def _build(builder: Callable, aspect: str, profile: ExperimentProfile, **kwargs) -> AspectDataset:
-    return builder(
-        aspect,
-        n_train=profile.n_train,
-        n_dev=profile.n_dev,
-        n_test=profile.n_test,
-        embedding_dim=profile.embedding_dim,
-        seed=profile.seed,
-        **kwargs,
-    )
+    ``seed`` (new) overrides ``profile.seed`` for both model init and the
+    training RNG — the :class:`Estimator` seed semantics.
+    """
+    estimator = Estimator(method, profile=profile, alpha=alpha, encoder=encoder, seed=seed)
+    estimator.config_overrides.update(config_overrides)
+    return estimator.fit(dataset).as_row()
 
 
 # ----------------------------------------------------------------------
-# Table II / Table III — main comparisons
+# Paper artifacts — each delegates to its catalog spec
 # ----------------------------------------------------------------------
-_TABLE2_METHODS = ("RNP", "DMR", "Inter_RAT", "A2R", "DAR")
-_TABLE3_METHODS = ("RNP", "CAR", "DMR", "Inter_RAT", "A2R", "DAR")
-
-
 def run_beer_comparison(
     profile: ExperimentProfile = FAST_PROFILE,
     methods: Sequence[str] = _TABLE2_METHODS,
     aspects: Sequence[str] = BEER_ASPECTS,
 ) -> dict[str, list[dict]]:
     """Table II: methods x beer aspects at gold sparsity."""
-    results: dict[str, list[dict]] = {}
-    for aspect in aspects:
-        dataset = _build(build_beer_dataset, aspect, profile)
-        results[aspect] = [run_method(m, dataset, profile) for m in methods]
-    return results
+    return execute_spec(_catalog.beer_comparison_spec(methods, aspects), profile)
 
 
 def run_hotel_comparison(
@@ -160,16 +99,9 @@ def run_hotel_comparison(
     aspects: Sequence[str] = HOTEL_ASPECTS,
 ) -> dict[str, list[dict]]:
     """Table III: methods x hotel aspects at gold sparsity."""
-    results: dict[str, list[dict]] = {}
-    for aspect in aspects:
-        dataset = _build(build_hotel_dataset, aspect, profile)
-        results[aspect] = [run_method(m, dataset, profile) for m in methods]
-    return results
+    return execute_spec(_catalog.hotel_comparison_spec(methods, aspects), profile)
 
 
-# ----------------------------------------------------------------------
-# Table V — low-sparsity comparison
-# ----------------------------------------------------------------------
 def run_low_sparsity(
     profile: ExperimentProfile = FAST_PROFILE,
     methods: Sequence[str] = ("RNP", "CAR", "DMR", "DAR"),
@@ -177,64 +109,16 @@ def run_low_sparsity(
     sparsity: float = 0.105,
 ) -> dict[str, list[dict]]:
     """Table V: beer aspects with the selection budget forced to ~10-12%."""
-    results: dict[str, list[dict]] = {}
-    for aspect in aspects:
-        dataset = _build(build_beer_dataset, aspect, profile)
-        results[aspect] = [run_method(m, dataset, profile, alpha=sparsity) for m in methods]
-    return results
+    return execute_spec(_catalog.low_sparsity_spec(methods, aspects, sparsity), profile)
 
 
-# ----------------------------------------------------------------------
-# Table VI — BERT (transformer stand-in) encoders
-# ----------------------------------------------------------------------
 def run_bert_comparison(
     profile: ExperimentProfile = FAST_PROFILE,
     methods: Sequence[str] = ("VIB", "SPECTRA", "CR", "RNP", "DAR"),
     aspect: str = "Appearance",
 ) -> list[dict]:
-    """Table VI: Beer-Appearance with over-parameterized transformer encoders.
-
-    The transformer saturates its selection head much faster than the GRU,
-    so these runs use a sharper temperature and a stronger sparsity weight
-    (the paper likewise retunes for BERT encoders).
-    """
-    transformer_profile = profile.scaled(temperature=0.5, lr=1e-3)
-    dataset = _build(build_beer_dataset, aspect, transformer_profile)
-    rows = []
-    for method in methods:
-        model = make_model(method, dataset, transformer_profile, encoder="transformer", lambda_sparsity=8.0)
-        config = train_config_for(method, transformer_profile)
-        result = train_rationalizer(model, dataset, config)
-        rows.append(_result_row(method, model, result))
-    return rows
-
-
-# ----------------------------------------------------------------------
-# Table VII — skewed predictor (synthetic rationale shift)
-# ----------------------------------------------------------------------
-def _install_sparse_bias_generator(model, profile: ExperimentProfile, bias: float = -2.0) -> None:
-    """Replace the model's generator with one whose selection head starts
-    sparse.
-
-    With the default zero-bias init the first Gumbel samples cover ~50% of
-    the tokens, so the predictor learns the task from the dense early masks
-    regardless of what the generator later commits to — and the paper's
-    interlocking trap never closes.  A sparse start makes the predictor
-    depend on the generator's actual selections, the regime the skew
-    experiments (and Fig. 3) study.  Applied identically to every method,
-    so comparisons stay fair.
-    """
-    from repro.core.generator import Generator
-
-    model.generator = Generator(
-        model.arch["vocab_size"],
-        model.arch["embedding_dim"],
-        model.arch["hidden_size"],
-        pretrained=model.arch["pretrained_embeddings"],
-        encoder=model.arch["encoder"],
-        select_bias_init=bias,
-        rng=np.random.default_rng(profile.seed),
-    )
+    """Table VI: Beer-Appearance with over-parameterized transformer encoders."""
+    return execute_spec(_catalog.bert_comparison_spec(methods, aspect), profile)
 
 
 def run_skewed_predictor(
@@ -243,32 +127,10 @@ def run_skewed_predictor(
     aspects: Sequence[str] = ("Aroma", "Palate"),
     skew_epochs: Sequence[int] = (2, 4, 6),
 ) -> list[dict]:
-    """Table VII: predictor pre-biased toward first sentences (Appearance).
-
-    ``skew_epochs`` plays the role of the paper's skew10/15/20 — more
-    pretraining on the first sentence means a more deviated predictor.
-    """
-    rows = []
-    for aspect in aspects:
-        dataset = _build(build_beer_dataset, aspect, profile)
-        for k in skew_epochs:
-            for method in methods:
-                model = make_model(method, dataset, profile)
-                _install_sparse_bias_generator(model, profile, bias=-1.0)
-                skew_pretrain_predictor_first_sentence(
-                    model, dataset, epochs=k, batch_size=profile.batch_size,
-                    lr=1e-3, seed=profile.seed,
-                )
-                config = train_config_for(method, profile)
-                result = train_rationalizer(model, dataset, config)
-                row = {"aspect": aspect, "setting": f"skew{k}", **_result_row(method, model, result)}
-                rows.append(row)
-    return rows
+    """Table VII: predictor pre-biased toward first sentences (Appearance)."""
+    return execute_spec(_catalog.skewed_predictor_spec(methods, aspects, skew_epochs), profile)
 
 
-# ----------------------------------------------------------------------
-# Table VIII — skewed generator (synthetic rationale shift)
-# ----------------------------------------------------------------------
 def run_skewed_generator(
     profile: ExperimentProfile = FAST_PROFILE,
     methods: Sequence[str] = ("RNP", "DAR"),
@@ -276,108 +138,17 @@ def run_skewed_generator(
     thresholds: Sequence[float] = (60.0, 65.0, 70.0, 75.0),
 ) -> list[dict]:
     """Table VIII: generator pre-biased to leak the label via the first token."""
-    rows = []
-    dataset = _build(build_beer_dataset, aspect, profile)
-    for threshold in thresholds:
-        for method in methods:
-            model = make_model(method, dataset, profile)
-            pre_acc = skew_pretrain_generator_first_token(
-                model, dataset, accuracy_threshold=threshold,
-                batch_size=profile.batch_size, lr=1e-3, seed=profile.seed,
-            )
-            config = train_config_for(method, profile)
-            result = train_rationalizer(model, dataset, config)
-            row = {
-                "setting": f"skew{threshold:.1f}",
-                "Pre_acc": round(pre_acc, 1),
-                **_result_row(method, model, result),
-            }
-            rows.append(row)
-    return rows
+    return execute_spec(_catalog.skewed_generator_spec(methods, aspect, thresholds), profile)
 
 
-# ----------------------------------------------------------------------
-# Table IV — model complexity
-# ----------------------------------------------------------------------
 def run_complexity_table(profile: ExperimentProfile = FAST_PROFILE) -> list[dict]:
     """Table IV: module and parameter counts per architecture."""
-    dataset = _build(build_beer_dataset, "Appearance", profile)
-    rows = []
-    single_module = None
-    for method in ("RNP", "CAR", "DMR", "A2R", "DAR"):
-        model = make_model(method, dataset, profile)
-        info = model.complexity()
-        if method == "RNP":
-            # The paper's Table IV counts parameters in units of one player
-            # (RNP = 1 generator + 1 predictor = 2x).
-            single_module = info["parameters"] / 2
-        rows.append(
-            {
-                "method": method,
-                "modules": f"{info['generators']}gen+{info['predictors']}pred",
-                "parameters": info["parameters"],
-                "relative": f"{info['parameters'] / single_module:.1f}x" if single_module else "-",
-            }
-        )
-    return rows
+    return execute_spec(_catalog.complexity_spec(), profile)
 
 
-# ----------------------------------------------------------------------
-# Table IX — dataset statistics
-# ----------------------------------------------------------------------
 def run_dataset_statistics(profile: ExperimentProfile = FAST_PROFILE) -> list[dict]:
     """Table IX: per-aspect split sizes and annotation sparsity (scaled)."""
-    rows = []
-    for family, builder, aspects in (
-        ("Beer", build_beer_dataset, BEER_ASPECTS),
-        ("Hotel", build_hotel_dataset, HOTEL_ASPECTS),
-    ):
-        for aspect in aspects:
-            dataset = _build(builder, aspect, profile)
-            row = {"family": family, **dataset.statistics().as_row()}
-            rows.append(row)
-    return rows
-
-
-# ----------------------------------------------------------------------
-# Fig. 3 / Table I — the rationale-shift evidence on RNP
-# ----------------------------------------------------------------------
-#: Scaled version of the paper's Table X hyper-parameter sets.
-FIG3_PARAM_SETS = (
-    {"lr": 1e-3, "batch_size": 64, "hidden_size": 16},
-    {"lr": 1e-3, "batch_size": 64, "hidden_size": 32},
-    {"lr": 2e-3, "batch_size": 64, "hidden_size": 32},
-    {"lr": 1e-3, "batch_size": 128, "hidden_size": 32},
-    {"lr": 2e-3, "batch_size": 128, "hidden_size": 32},
-)
-
-
-def _train_rnp_variant(dataset: AspectDataset, profile: ExperimentProfile, params: dict) -> tuple[RNP, TrainResult]:
-    # The paper's Fig. 3 protocol evaluates "converged models" — the final
-    # state, not a best checkpoint — which is what exposes the degenerate
-    # runs whose full-text accuracy collapses together with rationale F1.
-    # The generator starts with a sparse selection bias so the predictor
-    # only ever learns from what the generator commits to; without it the
-    # early ~50% random samples teach the predictor the full task and the
-    # collapse never couples (see docs/architecture.md).
-    from repro.core.generator import Generator
-
-    variant_profile = profile.scaled(hidden_size=params["hidden_size"])
-    model = make_model("RNP", dataset, variant_profile)
-    model.generator = Generator(
-        model.arch["vocab_size"],
-        model.arch["embedding_dim"],
-        params["hidden_size"],
-        pretrained=model.arch["pretrained_embeddings"],
-        select_bias_init=-2.0,
-        rng=np.random.default_rng(variant_profile.seed),
-    )
-    config = train_config_for(
-        "RNP", variant_profile, lr=params["lr"], batch_size=params["batch_size"],
-        selection="final", epochs=max(profile.epochs, 12),
-    )
-    result = train_rationalizer(model, dataset, config)
-    return model, result
+    return execute_spec(_catalog.dataset_statistics_spec(), profile)
 
 
 def run_fig3_relationship(
@@ -387,18 +158,7 @@ def run_fig3_relationship(
 ) -> list[dict]:
     """Fig. 3a (and App. Fig. 7/8): full-text accuracy vs rationale F1 across
     hyper-parameter sets of vanilla RNP."""
-    dataset = _build(build_hotel_dataset, aspect, profile)
-    rows = []
-    for i, params in enumerate(param_sets, start=1):
-        _, result = _train_rnp_variant(dataset, profile, params)
-        rows.append(
-            {
-                "param_set": f"Param{i}",
-                "full_text_acc": result.full_text.accuracy,
-                "rationale_f1": result.rationale.f1,
-            }
-        )
-    return rows
+    return execute_spec(_catalog.fig3_relationship_spec(aspect, param_sets), profile)
 
 
 def run_fig3_accuracy_gap(
@@ -406,18 +166,7 @@ def run_fig3_accuracy_gap(
     aspects: Sequence[str] = HOTEL_ASPECTS,
 ) -> list[dict]:
     """Fig. 3b: RNP accuracy with rationale input vs full-text input."""
-    rows = []
-    for aspect in aspects:
-        dataset = _build(build_hotel_dataset, aspect, profile)
-        _, result = _train_rnp_variant(dataset, profile, FIG3_PARAM_SETS[0])
-        rows.append(
-            {
-                "aspect": aspect,
-                "rationale_acc": result.rationale_accuracy,
-                "full_text_acc": result.full_text.accuracy,
-            }
-        )
-    return rows
+    return execute_spec(_catalog.fig3_accuracy_gap_spec(aspects), profile)
 
 
 def run_table1_fulltext_scores(
@@ -425,65 +174,19 @@ def run_table1_fulltext_scores(
     aspects: Sequence[str] = HOTEL_ASPECTS,
 ) -> list[dict]:
     """Table I: per-class P/R/F1 of RNP's predictor on the full text."""
-    rows = []
-    for aspect in aspects:
-        dataset = _build(build_hotel_dataset, aspect, profile)
-        model, result = _train_rnp_variant(dataset, profile, FIG3_PARAM_SETS[0])
-        row = {"aspect": aspect, "S": result.rationale.as_row()["S"]}
-        row.update(result.full_text.as_row())
-        rows.append(row)
-    return rows
+    return execute_spec(_catalog.table1_fulltext_spec(aspects), profile)
 
 
-# ----------------------------------------------------------------------
-# Fig. 6 — DAR generalizes to the full text
-# ----------------------------------------------------------------------
 def run_fig6_dar_fulltext(profile: ExperimentProfile = FAST_PROFILE) -> list[dict]:
     """Fig. 6: DAR's predictor accuracy on rationale vs full text, 6 aspects."""
-    rows = []
-    for family, builder, aspects in (
-        ("Beer", build_beer_dataset, BEER_ASPECTS),
-        ("Hotel", build_hotel_dataset, HOTEL_ASPECTS),
-    ):
-        for aspect in aspects:
-            dataset = _build(builder, aspect, profile)
-            model = make_model("DAR", dataset, profile)
-            config = train_config_for("DAR", profile)
-            result = train_rationalizer(model, dataset, config)
-            rows.append(
-                {
-                    "aspect": f"{family}-{aspect}",
-                    "rationale_acc": result.rationale_accuracy,
-                    "full_text_acc": result.full_text.accuracy,
-                }
-            )
-    return rows
+    return execute_spec(_catalog.fig6_dar_fulltext_spec(), profile)
 
 
-# ----------------------------------------------------------------------
-# Ablations (DESIGN.md §6)
-# ----------------------------------------------------------------------
 def run_ablation_frozen_discriminator(
     profile: ExperimentProfile = FAST_PROFILE, aspect: str = "Aroma"
 ) -> list[dict]:
-    """Frozen pretrained discriminator (DAR) vs co-trained-from-scratch.
-
-    The co-trained variant is the DMR-style weakness the paper argues
-    against: the calibrating module can itself drift with the deviation.
-    """
-    dataset = _build(build_beer_dataset, aspect, profile)
-    rows = []
-    for label, freeze, pretrain in (
-        ("frozen+pretrained (DAR)", True, True),
-        ("co-trained from scratch", False, False),
-    ):
-        model = make_model("DAR", dataset, profile, freeze_discriminator=freeze)
-        if not pretrain:
-            model.mark_discriminator_pretrained()  # skip Eq. (4): train from scratch
-        config = train_config_for("DAR", profile)
-        result = train_rationalizer(model, dataset, config)
-        rows.append({"variant": label, **_result_row("DAR", model, result)})
-    return rows
+    """Frozen pretrained discriminator (DAR) vs co-trained-from-scratch."""
+    return execute_spec(_catalog.ablation_frozen_spec(aspect), profile)
 
 
 def run_ablation_sampler(
@@ -491,31 +194,8 @@ def run_ablation_sampler(
     aspect: str = "Aroma",
     samplers: Sequence[str] = ("gumbel", "hardkuma", "topk"),
 ) -> list[dict]:
-    """Swap the generator's mask sampler under DAR.
-
-    The paper calls the sampling line of work "orthogonal to our
-    research"; this ablation verifies the claim — DAR's discriminative
-    alignment works regardless of how the mask is sampled.
-    """
-    dataset = _build(build_beer_dataset, aspect, profile)
-    rows = []
-    for sampler in samplers:
-        model = make_model("DAR", dataset, profile)
-        from repro.core.generator import Generator
-
-        model.generator = Generator(
-            model.arch["vocab_size"],
-            model.arch["embedding_dim"],
-            model.arch["hidden_size"],
-            pretrained=model.arch["pretrained_embeddings"],
-            encoder=model.arch["encoder"],
-            sampler=sampler,
-            rng=np.random.default_rng(profile.seed),
-        )
-        config = train_config_for("DAR", profile)
-        result = train_rationalizer(model, dataset, config)
-        rows.append({"sampler": sampler, **_result_row("DAR", model, result)})
-    return rows
+    """Swap the generator's mask sampler under DAR."""
+    return execute_spec(_catalog.ablation_sampler_spec(aspect, samplers), profile)
 
 
 def run_ablation_discriminator_weight(
@@ -524,11 +204,4 @@ def run_ablation_discriminator_weight(
     weights: Sequence[float] = (0.0, 0.5, 1.0, 2.0),
 ) -> list[dict]:
     """Sweep the Eq. (5) loss weight; weight 0 reduces DAR to RNP."""
-    dataset = _build(build_beer_dataset, aspect, profile)
-    rows = []
-    for weight in weights:
-        model = make_model("DAR", dataset, profile, discriminator_weight=weight)
-        config = train_config_for("DAR", profile)
-        result = train_rationalizer(model, dataset, config)
-        rows.append({"weight": weight, **_result_row("DAR", model, result)})
-    return rows
+    return execute_spec(_catalog.ablation_weight_spec(aspect, weights), profile)

@@ -2,7 +2,10 @@
 
 Generalizes the paper's Fig. 3a protocol (five hyper-parameter sets of
 vanilla RNP, observing the covariation of full-text accuracy and rationale
-quality) to arbitrary methods and grids.
+quality) to arbitrary methods and grids.  Each grid point is one
+:class:`repro.api.Estimator`, which owns the key routing (train-config
+fields → config, profile fields → profile, the rest → the model
+constructor) — this module no longer keeps its own routing tables.
 """
 
 from __future__ import annotations
@@ -13,10 +16,9 @@ from typing import Any, Optional, Sequence
 
 import numpy as np
 
-from repro.core.trainer import TrainResult, train_rationalizer
+from repro.api.estimator import Estimator
 from repro.data.dataset import AspectDataset
 from repro.experiments.config import ExperimentProfile
-from repro.experiments.runner import make_model, train_config_for
 
 
 @dataclass
@@ -50,10 +52,6 @@ def grid(param_grid: dict[str, Sequence[Any]]) -> list[dict]:
     return [dict(zip(names, combo)) for combo in combos]
 
 
-_PROFILE_KEYS = {"hidden_size", "embedding_dim", "temperature"}
-_CONFIG_KEYS = {"lr", "batch_size", "epochs", "seed", "selection", "pretrain_epochs", "patience"}
-
-
 def run_sweep(
     method: str,
     dataset: AspectDataset,
@@ -63,22 +61,17 @@ def run_sweep(
 ) -> SweepResult:
     """Train ``method`` once per grid point and collect metric rows.
 
-    Grid keys are routed automatically: architecture knobs
+    Grid keys are routed by the :class:`Estimator`: architecture knobs
     (``hidden_size``, ``embedding_dim``, ``temperature``) go to the
     profile, optimization knobs (``lr``, ``batch_size``, ``epochs``, ...)
-    to the train config, and anything else to the model constructor.
+    to the train config, and anything else to the model constructor.  A
+    swept ``seed`` reseeds *both* model initialization and the training
+    RNG (the seed-era sweep only reseeded training, so every "seed" run
+    silently started from the same weights).
     """
     result = SweepResult()
     for point in grid(param_grid):
-        profile_overrides = {k: v for k, v in point.items() if k in _PROFILE_KEYS}
-        config_overrides = {k: v for k, v in point.items() if k in _CONFIG_KEYS}
-        model_overrides = {
-            k: v for k, v in point.items() if k not in _PROFILE_KEYS | _CONFIG_KEYS
-        }
-        run_profile = profile.scaled(**profile_overrides) if profile_overrides else profile
-        model = make_model(method, dataset, run_profile, alpha=alpha, **model_overrides)
-        config = train_config_for(method, run_profile, **config_overrides)
-        outcome: TrainResult = train_rationalizer(model, dataset, config)
+        outcome = Estimator(method, profile=profile, alpha=alpha, **point).fit(dataset)
         row = {**point, "method": method}
         row.update(outcome.rationale.as_row())
         row["Acc"] = outcome.rationale_accuracy

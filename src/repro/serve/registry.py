@@ -36,44 +36,37 @@ from repro.core.inference import InferenceSession
 
 
 def model_families() -> dict:
-    """Name -> class map of every servable model family (lazy imports)."""
-    from repro.baselines import A2R, CAR, CR, DMR, SPECTRA, VIB, InterRAT, ThreePlayer
-    from repro.core import DAR, RNP
+    """Name -> class map of every servable model family.
 
-    return {
-        cls.name: cls
-        for cls in (RNP, DAR, DMR, A2R, CAR, InterRAT, ThreePlayer, VIB, SPECTRA, CR)
-    }
+    Resolved through the method registry (:mod:`repro.api.registry`), so
+    a third-party method registered with
+    :func:`repro.api.register_method` is servable with no edits here —
+    the same extension point that drives training and the experiment
+    catalog.
+    """
+    from repro.api.registry import METHODS, ensure_builtin_methods
+
+    ensure_builtin_methods()
+    return {info.name: info.cls for info in METHODS.values()}
 
 
-#: Family-specific constructor keywords captured by :func:`export_config`
-#: (read off the trained instance) and replayed by :func:`build_model`.
-_FAMILY_HYPER: dict[str, tuple[str, ...]] = {
-    "RNP": (),
-    "DAR": ("discriminator_weight", "freeze_discriminator"),
-    "DMR": ("match_weight",),
-    "A2R": ("js_weight",),
-    "CAR": ("adversarial_weight",),
-    "Inter_RAT": ("intervention_rate", "intervention_weight"),
-    "3PLAYER": ("complement_weight", "complement_lr"),
-    "VIB": ("beta",),
-    "SPECTRA": (),
-    "CR": ("necessity_weight", "necessity_margin"),
-}
-
-#: Constructor keywords shared by the whole RNP family.
+#: Constructor keywords shared by the whole RNP family.  Family-specific
+#: keywords come from each method's registered ``hyper`` metadata.
 _COMMON_HYPER = ("alpha", "lambda_sparsity", "lambda_coherence", "temperature")
 
 
 def export_config(model, vocab: Optional[Vocabulary] = None) -> dict:
     """Derive the rebuildable config dict from a trained RNP-family model."""
+    from repro.api.registry import METHODS, ensure_builtin_methods
+
+    ensure_builtin_methods()
     family = getattr(model, "name", type(model).__name__)
-    if family not in _FAMILY_HYPER:
+    if family not in METHODS:
         raise ValueError(
-            f"unknown model family {family!r}; servable families: {sorted(_FAMILY_HYPER)}"
+            f"unknown model family {family!r}; servable families: {sorted(METHODS)}"
         )
     arch = {k: v for k, v in model.arch.items() if k != "pretrained_embeddings"}
-    hyper = {k: getattr(model, k) for k in _COMMON_HYPER + _FAMILY_HYPER[family]}
+    hyper = {k: getattr(model, k) for k in _COMMON_HYPER + METHODS[family].hyper}
     config = {"family": family, "arch": arch, "hyper": hyper}
     if vocab is not None:
         # Reserved <pad>/<unk> entries are re-created by Vocabulary().

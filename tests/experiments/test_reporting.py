@@ -74,3 +74,25 @@ class TestDiff:
     def test_unmatched_keys_skipped(self):
         diffs = diff_rows(ROWS, [{"method": "NEW", "F1": 1.0}])
         assert diffs == []
+
+
+class TestSaveSpecResult:
+    def test_embeds_spec_and_flattens_grouped_result(self, tmp_path):
+        from repro.api import ExperimentSpec
+        from repro.experiments import FAST_PROFILE
+        from repro.experiments.reporting import load_rows_json, save_spec_result
+
+        spec = ExperimentSpec(
+            name="demo", description="demo spec", grouped=True,
+            datasets=(("beer", "Aroma"),), methods=("RNP",),
+        )
+        result = {"Aroma": [{"method": "RNP", "F1": 10.0}]}
+        path = tmp_path / "demo.json"
+        flat = save_spec_result(spec, result, path, profile=FAST_PROFILE)
+        assert flat == [{"aspect": "Aroma", "method": "RNP", "F1": 10.0}]
+        rows, metadata = load_rows_json(path)
+        assert rows == flat
+        assert metadata["spec"]["name"] == "demo"
+        assert metadata["profile"]["n_train"] == FAST_PROFILE.n_train
+        # The provenance is executable: the embedded spec rebuilds itself.
+        assert ExperimentSpec.from_dict(metadata["spec"]) == spec

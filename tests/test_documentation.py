@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.core",
     "repro.baselines",
     "repro.analysis",
+    "repro.api",
     "repro.experiments",
     "repro.utils",
     "repro.serialization",
