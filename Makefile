@@ -1,11 +1,17 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-compare serve serve-bench artifacts list
+.PHONY: test lint bench bench-compare serve serve-bench artifacts list
 
 # Tier-1 verification: the full unit/integration suite.
 test:
 	$(PYTHON) -m pytest -x -q tests
+
+# Project-invariant static analysis (repro.devtools): kernel-contract,
+# dtype-discipline, lock-discipline, pool-ledger, registry-coverage.
+# Fails on any finding not in devtools-baseline.json (kept empty).
+lint:
+	$(PYTHON) -m repro.devtools check
 
 # Backend perf smoke: seed configuration vs the float32+fused+bucketed
 # fast path; prints the comparison table (plus the fast path's per-kernel

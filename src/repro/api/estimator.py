@@ -270,10 +270,12 @@ class Estimator:
         model = self._require_fitted()
         examples = data.test if isinstance(data, AspectDataset) else list(data)
         session = InferenceSession(model, batch_size)
-        rationale = evaluate_rationale_quality(model, examples, session=session)
-        rationale_acc = evaluate_rationale_accuracy(model, examples, session=session)
-        full_text = evaluate_full_text(model, examples, session=session)
-        session.release_buffers()
+        try:
+            rationale = evaluate_rationale_quality(model, examples, session=session)
+            rationale_acc = evaluate_rationale_accuracy(model, examples, session=session)
+            full_text = evaluate_full_text(model, examples, session=session)
+        finally:
+            session.release_buffers()
         report = FitReport(
             rationale=rationale,
             rationale_accuracy=rationale_acc,
@@ -322,8 +324,10 @@ class Estimator:
                 for i in range(len(batch.examples))
             ]
 
-        outputs = [pair for batch_out in session.map_batches(run, examples) for pair in batch_out]
-        session.release_buffers()
+        try:
+            outputs = [pair for batch_out in session.map_batches(run, examples) for pair in batch_out]
+        finally:
+            session.release_buffers()
         responses = []
         for example, (label, chosen) in zip(examples, outputs):
             responses.append(

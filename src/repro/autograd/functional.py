@@ -20,7 +20,7 @@ from typing import Optional
 import numpy as np
 
 from repro.autograd.tensor import Tensor
-from repro.backend.core import fusion_enabled
+from repro.backend.core import fusion_enabled, get_default_dtype
 
 
 def relu(x: Tensor) -> Tensor:
@@ -95,7 +95,7 @@ def cross_entropy(logits: Tensor, targets: np.ndarray, reduction: str = "mean") 
 
 def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
     """Sigmoid cross-entropy, numerically stable via the log-sum-exp form."""
-    targets_t = Tensor(np.asarray(targets, dtype=np.float64))
+    targets_t = Tensor(np.asarray(targets, dtype=get_default_dtype()))
     # max(x, 0) - x*t + log(1 + exp(-|x|))
     abs_logits = logits.abs()
     loss = logits.relu() - logits * targets_t + ((-abs_logits).exp() + 1.0).log()
@@ -193,5 +193,5 @@ def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generat
         from repro.backend.ops import fused_dropout
 
         return fused_dropout(x, p, rng)
-    keep = (rng.uniform(size=x.shape) >= p).astype(np.float64) / (1.0 - p)
+    keep = (rng.uniform(size=x.shape) >= p).astype(get_default_dtype()) / (1.0 - p)
     return x * Tensor(keep)

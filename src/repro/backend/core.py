@@ -274,14 +274,18 @@ class NumpyBackend(Backend):
 
 _BACKENDS: dict[str, Backend] = {}
 _active_backend: Optional[str] = None
+# Guards registration and active-backend switches; reads stay lock-free
+# (a stale snapshot of the active name is benign, a torn dict is not).
+_REGISTRY_LOCK = threading.Lock()
 
 
 def register_backend(backend: Backend, activate: bool = False) -> Backend:
     """Add a backend to the registry; optionally make it the active one."""
-    _BACKENDS[backend.name] = backend
     global _active_backend
-    if activate or _active_backend is None:
-        _active_backend = backend.name
+    with _REGISTRY_LOCK:
+        _BACKENDS[backend.name] = backend
+        if activate or _active_backend is None:
+            _active_backend = backend.name
     return backend
 
 
@@ -303,7 +307,8 @@ def set_backend(name: str) -> Backend:
     if name not in _BACKENDS:
         raise KeyError(f"unknown backend {name!r}; registered: {sorted(_BACKENDS)}")
     global _active_backend
-    _active_backend = name
+    with _REGISTRY_LOCK:
+        _active_backend = name
     return _BACKENDS[name]
 
 

@@ -303,11 +303,13 @@ def _train_rationalizer(
         model.load_state_dict(best_state)
 
     model.eval()
-    rationale = evaluate_rationale_quality(model, dataset.test, session=eval_session)
-    rationale_acc = evaluate_rationale_accuracy(model, dataset.test, session=eval_session)
-    full_text = evaluate_full_text(model, dataset.test, session=eval_session)
-    # Recycle the probe batch geometry for the next run on this thread.
-    eval_session.release_buffers()
+    try:
+        rationale = evaluate_rationale_quality(model, dataset.test, session=eval_session)
+        rationale_acc = evaluate_rationale_accuracy(model, dataset.test, session=eval_session)
+        full_text = evaluate_full_text(model, dataset.test, session=eval_session)
+    finally:
+        # Recycle the probe batch geometry for the next run on this thread.
+        eval_session.release_buffers()
     return TrainResult(
         rationale=rationale,
         rationale_accuracy=rationale_acc,

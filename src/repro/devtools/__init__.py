@@ -1,0 +1,45 @@
+"""repro.devtools — project-invariant static analysis + runtime sanitizers.
+
+The fourth registry extension point in the codebase (after backends,
+serve method families, and the api experiment catalog): checks are
+plain functions registered via :func:`register_rule`, discovered lazily
+by :func:`ensure_builtin_rules`, and run by the CLI
+(``python -m repro.devtools check``) or programmatically through
+:func:`run_check`.
+"""
+
+from repro.devtools.baseline import (
+    DEFAULT_BASELINE_NAME,
+    load_baseline,
+    save_baseline,
+)
+from repro.devtools.engine import run_check, split_against_baseline
+from repro.devtools.project import Project, SourceFile, default_root, load_project
+from repro.devtools.registry import (
+    RULES,
+    Finding,
+    RuleInfo,
+    ensure_builtin_rules,
+    get_rule,
+    register_rule,
+    rule_names,
+)
+
+__all__ = [
+    "DEFAULT_BASELINE_NAME",
+    "Finding",
+    "Project",
+    "RULES",
+    "RuleInfo",
+    "SourceFile",
+    "default_root",
+    "ensure_builtin_rules",
+    "get_rule",
+    "load_baseline",
+    "load_project",
+    "register_rule",
+    "rule_names",
+    "run_check",
+    "save_baseline",
+    "split_against_baseline",
+]

@@ -1,0 +1,87 @@
+"""Tiny AST helpers shared by the built-in rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+#: Names the numpy module is conventionally bound to.
+NUMPY_ALIASES = frozenset({"np", "numpy"})
+
+
+def is_numpy_attr(node: ast.AST, attr: str) -> bool:
+    """Whether ``node`` is ``np.<attr>`` / ``numpy.<attr>``."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == attr
+        and isinstance(node.value, ast.Name)
+        and node.value.id in NUMPY_ALIASES
+    )
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """The trailing name of the called function (``a.b.c()`` -> ``"c"``)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def receiver_source(node: ast.Call) -> str:
+    """Source text of the call's receiver (``a.b.c()`` -> ``"a.b"``)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        try:
+            return ast.unparse(func.value)
+        except Exception:  # pragma: no cover - unparse is total on parsed trees
+            return ""
+    return ""
+
+
+def is_self_attr(node: ast.AST, names: Optional[frozenset[str]] = None) -> Optional[str]:
+    """If ``node`` is ``self.<attr>`` (optionally restricted to ``names``),
+    return the attribute name."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and (names is None or node.attr in names)
+    ):
+        return node.attr
+    return None
+
+
+def is_threading_call(node: ast.AST, attrs: frozenset[str]) -> bool:
+    """Whether ``node`` is a call to ``threading.<X>()`` / bare ``<X>()``
+    for any ``X`` in ``attrs`` (covers both import styles)."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return (
+            func.attr in attrs
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "threading"
+        )
+    return isinstance(func, ast.Name) and func.id in attrs
+
+
+def walk_functions(tree: ast.AST) -> Iterator[ast.FunctionDef]:
+    """Every (sync or async) function definition anywhere in ``tree``."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def own_statements(fn: ast.AST) -> Iterator[ast.AST]:
+    """Nodes of ``fn``'s own body, not descending into nested function or
+    class definitions (those are analyzed as their own scopes)."""
+    stack = list(getattr(fn, "body", []))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))

@@ -1,0 +1,48 @@
+"""Committed-baseline file: load / save the accepted-findings ledger.
+
+Format (JSON, committed at the repo root as ``devtools-baseline.json``)::
+
+    {"version": 1, "findings": ["rule::path::message", ...]}
+
+Keys are line-insensitive (:meth:`repro.devtools.Finding.key`), so the
+baseline survives edits that merely shift code.  The shipped baseline is
+empty; ``check --update-baseline`` rewrites it from the current findings
+when a violation is consciously accepted (prefer fixing, then pragmas,
+then the baseline — in that order).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.devtools.registry import Finding
+
+PathLike = Union[str, Path]
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "devtools-baseline.json"
+
+
+def load_baseline(path: PathLike) -> list[str]:
+    """Finding keys from a baseline file; missing file = empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise ValueError(f"{path} is not a devtools baseline (no 'findings' key)")
+    keys = payload["findings"]
+    if not isinstance(keys, list) or not all(isinstance(k, str) for k in keys):
+        raise ValueError(f"{path}: 'findings' must be a list of finding keys")
+    return list(keys)
+
+
+def save_baseline(path: PathLike, findings: Iterable[Finding]) -> None:
+    """Write the baseline covering exactly ``findings``."""
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": sorted(f.key() for f in findings),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

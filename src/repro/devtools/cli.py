@@ -1,0 +1,126 @@
+"""``python -m repro.devtools check`` — the static-analysis CLI.
+
+Exit codes: ``0`` no new findings, ``1`` new findings (or parse errors),
+``2`` usage errors.  ``--json`` emits a machine-readable report; the text
+mode prints one ``path:line: [severity] rule: message`` row per finding.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.devtools.baseline import DEFAULT_BASELINE_NAME, load_baseline, save_baseline
+from repro.devtools.engine import run_check, split_against_baseline
+from repro.devtools.project import default_root, load_project
+from repro.devtools.registry import RULES, rule_names
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools",
+        description="Project-invariant static analysis for the repro codebase.",
+    )
+    sub = parser.add_subparsers(dest="command")
+    check = sub.add_parser(
+        "check", help="run the rules over src/repro + benchmarks"
+    )
+    check.add_argument(
+        "--rule",
+        action="append",
+        metavar="NAME",
+        help="run only this rule (repeatable); default: all registered rules",
+    )
+    check.add_argument("--json", action="store_true", help="emit a JSON report")
+    check.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repo root to analyze (default: the checkout this package runs from)",
+    )
+    check.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE_NAME})",
+    )
+    check.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to cover the current findings and exit 0",
+    )
+    check.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
+    )
+    return parser
+
+
+def _print_rules() -> None:
+    width = max(len(name) for name in rule_names())
+    for name in rule_names():
+        print(f"{name:<{width}}  {RULES[name].description}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command != "check":
+        parser.print_help()
+        return 2
+
+    if args.list_rules:
+        _print_rules()
+        return 0
+
+    unknown = [r for r in (args.rule or []) if r not in rule_names()]
+    if unknown:
+        print(
+            f"unknown rule(s) {', '.join(sorted(unknown))}; "
+            f"registered: {', '.join(rule_names())}",
+            file=sys.stderr,
+        )
+        return 2
+
+    root = (args.root or default_root()).resolve()
+    baseline_path = args.baseline or (root / DEFAULT_BASELINE_NAME)
+    project = load_project(root)
+    findings, ignored = run_check(project, rules=args.rule)
+
+    if args.update_baseline:
+        save_baseline(baseline_path, findings)
+        print(f"baseline updated: {len(findings)} finding(s) -> {baseline_path}")
+        return 0
+
+    new, baselined = split_against_baseline(findings, load_baseline(baseline_path))
+
+    if args.json:
+        report = {
+            "root": str(root),
+            "rules": list(args.rule or rule_names()),
+            "findings": [f.as_dict() | {"baselined": f in baselined} for f in findings],
+            "counts": {
+                "total": len(findings),
+                "new": len(new),
+                "baselined": len(baselined),
+                "ignored": len(ignored),
+            },
+        }
+        print(json.dumps(report, indent=2))
+    else:
+        for finding in findings:
+            suffix = "  (baselined)" if finding in baselined else ""
+            print(finding.render() + suffix)
+        print(
+            f"devtools check: {len(findings)} finding(s) "
+            f"({len(new)} new, {len(baselined)} baselined, "
+            f"{len(ignored)} pragma-ignored) over {len(project.files)} file(s)"
+        )
+    return 1 if new else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,119 @@
+"""Check engine: run rules, honor pragmas, diff against the baseline.
+
+The engine is rule-agnostic — rules come from the registry
+(:mod:`repro.devtools.registry`) and findings flow through two
+suppression layers:
+
+1. **Pragmas** — a ``# devtools: ignore[rule-a,rule-b]`` comment on the
+   finding's line (or the line directly above it) drops the finding for
+   the named rules; bare ``# devtools: ignore`` drops every rule.  Use a
+   pragma when a specific line is a documented, reviewed exception.
+2. **Baseline** — a committed JSON file of line-insensitive finding keys
+   (see :meth:`repro.devtools.Finding.key`).  Baselined findings are
+   reported but do not fail the check; only *new* findings gate.  The
+   repo ships an empty baseline — keep it that way.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import Iterable, Optional, Sequence
+
+from repro.devtools.project import Project, SourceFile
+from repro.devtools.registry import Finding, RuleInfo, get_rule, rule_names
+
+_PRAGMA_RE = re.compile(r"#\s*devtools:\s*ignore(?:\[([^\]]*)\])?")
+
+
+def pragma_lines(sf: SourceFile) -> dict[int, Optional[frozenset[str]]]:
+    """1-based line -> suppressed rule names (``None`` = every rule)."""
+    pragmas: dict[int, Optional[frozenset[str]]] = {}
+    for lineno, line in enumerate(sf.lines, start=1):
+        match = _PRAGMA_RE.search(line)
+        if match is None:
+            continue
+        names = match.group(1)
+        if names is None:
+            pragmas[lineno] = None
+        else:
+            pragmas[lineno] = frozenset(
+                token.strip() for token in names.split(",") if token.strip()
+            )
+    return pragmas
+
+
+def _suppressed(finding: Finding, pragmas: dict[int, Optional[frozenset[str]]]) -> bool:
+    for lineno in (finding.line, finding.line - 1):
+        rules = pragmas.get(lineno, frozenset())
+        if rules is None or finding.rule in rules:
+            return True
+    return False
+
+
+def run_check(
+    project: Project, rules: Optional[Sequence[str]] = None
+) -> tuple[list[Finding], list[Finding]]:
+    """Run ``rules`` (default: all registered) over ``project``.
+
+    Returns ``(findings, ignored)`` — pragma-suppressed findings are
+    returned separately so the CLI can report how many were waived.
+    Files that fail to parse yield a synthetic ``parse-error`` finding
+    (not suppressible: a checker that silently skips unparseable files
+    checks nothing).
+    """
+    selected: list[RuleInfo] = [get_rule(name) for name in (rules or rule_names())]
+    findings: list[Finding] = []
+    for sf in project.files:
+        if sf.parse_error is not None:
+            findings.append(
+                Finding(
+                    "parse-error",
+                    sf.rel,
+                    sf.parse_error.lineno or 1,
+                    "error",
+                    f"file does not parse: {sf.parse_error.msg}",
+                )
+            )
+    for info in selected:
+        findings.extend(info.fn(project))
+
+    pragma_cache: dict[str, dict[int, Optional[frozenset[str]]]] = {}
+    kept: list[Finding] = []
+    ignored: list[Finding] = []
+    for finding in findings:
+        sf = project.file(finding.path)
+        if sf is None or finding.rule == "parse-error":
+            kept.append(finding)
+            continue
+        if finding.path not in pragma_cache:
+            pragma_cache[finding.path] = pragma_lines(sf)
+        if _suppressed(finding, pragma_cache[finding.path]):
+            ignored.append(finding)
+        else:
+            kept.append(finding)
+    kept.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    ignored.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return kept, ignored
+
+
+def split_against_baseline(
+    findings: Iterable[Finding], baseline_keys: Iterable[str]
+) -> tuple[list[Finding], list[Finding]]:
+    """Partition findings into ``(new, baselined)`` by multiset key match.
+
+    Multiset, not set: two identical violations in one file consume two
+    baseline entries, so introducing a *second* instance of a baselined
+    finding still fails the check.
+    """
+    budget = Counter(baseline_keys)
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    for finding in findings:
+        key = finding.key()
+        if budget[key] > 0:
+            budget[key] -= 1
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    return new, baselined

@@ -1,0 +1,96 @@
+"""Parsed-source model the static-analysis rules run against.
+
+A :class:`Project` is the repo seen as data: every checked python file
+(``src/repro`` and ``benchmarks``) parsed to an AST once and shared by
+all rules, plus the ``tests`` tree loaded as *reference* text for
+cross-referencing rules (kernel-contract looks for gradcheck coverage
+there but never reports findings against test files).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator, Optional, Sequence
+
+#: Directory trees the checker walks and reports findings against.
+CHECKED_TREES = ("src/repro", "benchmarks")
+#: Directory tree loaded for cross-referencing only.
+REFERENCE_TREES = ("tests",)
+
+
+class SourceFile:
+    """One python file: path, text, physical lines and (maybe) an AST.
+
+    ``tree`` is ``None`` when the file does not parse; the syntax error is
+    kept on :attr:`parse_error` so the engine can surface it as a finding
+    instead of crashing the whole run.
+    """
+
+    def __init__(self, path: Path, rel: str):
+        self.path = path
+        self.rel = rel
+        self.text = path.read_text(encoding="utf-8")
+        self.lines = self.text.splitlines()
+        self.parse_error: Optional[SyntaxError] = None
+        try:
+            self.tree: Optional[ast.Module] = ast.parse(self.text, filename=rel)
+        except SyntaxError as exc:
+            self.tree = None
+            self.parse_error = exc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SourceFile({self.rel!r})"
+
+
+class Project:
+    """Every parsed source file of one repository checkout."""
+
+    def __init__(self, root: Path, files: Sequence[SourceFile], test_files: Sequence[SourceFile]):
+        self.root = root
+        #: Files findings are reported against (``src/repro`` + ``benchmarks``).
+        self.files = list(files)
+        #: Reference-only files (``tests``), for cross-referencing rules.
+        self.test_files = list(test_files)
+        self._by_rel = {sf.rel: sf for sf in self.files}
+
+    def file(self, rel: str) -> Optional[SourceFile]:
+        """The checked file at repo-relative posix path ``rel``, if any."""
+        return self._by_rel.get(rel)
+
+    def iter_files(self, *prefixes: str) -> Iterator[SourceFile]:
+        """Checked files whose repo-relative path starts with any prefix."""
+        for sf in self.files:
+            if not prefixes or sf.rel.startswith(prefixes):
+                yield sf
+
+
+def _walk_tree(root: Path, tree: str) -> list[SourceFile]:
+    base = root / tree
+    if not base.is_dir():
+        return []
+    files = []
+    for path in sorted(base.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        if "__pycache__" in rel:
+            continue
+        files.append(SourceFile(path, rel))
+    return files
+
+
+def default_root() -> Path:
+    """The repo root inferred from the installed package location
+    (``src/repro/devtools/project.py`` → three parents up)."""
+    return Path(__file__).resolve().parents[3]
+
+
+def load_project(root: Optional[Path] = None) -> Project:
+    """Parse the checked and reference trees under ``root``."""
+    root = Path(root).resolve() if root is not None else default_root()
+    files: list[SourceFile] = []
+    for tree in CHECKED_TREES:
+        files.extend(_walk_tree(root, tree))
+    test_files: list[SourceFile] = []
+    for tree in REFERENCE_TREES:
+        test_files.extend(_walk_tree(root, tree))
+    return Project(root, files, test_files)

@@ -1,0 +1,141 @@
+"""Static-analysis rule registry — the fourth registry extension point.
+
+The repository's three existing registries (backend kernels, serve
+artifacts, ``repro.api`` methods/specs) make capability pluggable; this
+module does the same for *project invariants*.  A rule is a function from
+a parsed :class:`~repro.devtools.project.Project` to
+:class:`Finding` records, registered with :func:`register_rule`::
+
+    from repro.devtools import Finding, register_rule
+
+    @register_rule(
+        "my-rule",
+        "One-line description shown by --list-rules",
+    )
+    def check_my_rule(project):
+        for sf in project.iter_files("src/repro/"):
+            ...
+            yield Finding("my-rule", sf.rel, line, "error", "message")
+
+Once registered, the rule runs under ``python -m repro.devtools check``,
+participates in ``--rule`` selection, pragma suppression
+(``# devtools: ignore[my-rule]``) and the committed baseline — no engine
+or CLI edits.  :func:`ensure_builtin_rules` lazily imports the built-in
+rule modules (:mod:`repro.devtools.rules`) to trigger their
+registrations, mirroring ``repro.api.registry.ensure_builtin_methods``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Mapping
+
+#: Finding severities, in increasing order of gravity.  ``error`` findings
+#: gate CI; ``warning`` findings are reported but informational.
+SEVERITIES = ("warning", "error")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location.
+
+    ``path`` is repo-relative (posix separators) and ``line`` is 1-based.
+    The :meth:`key` omits the line number so committed baselines survive
+    unrelated edits that shift code up or down a file.
+    """
+
+    rule: str
+    path: str
+    line: int
+    severity: str
+    message: str
+
+    def key(self) -> str:
+        """Stable identity used for baseline matching (line-insensitive)."""
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def as_dict(self) -> dict:
+        """JSON row for ``check --json``."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """Human-readable one-liner: ``path:line: [severity] rule: message``."""
+        return f"{self.path}:{self.line}: [{self.severity}] {self.rule}: {self.message}"
+
+
+RuleFn = Callable[[object], Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """Declarative metadata of one registered rule."""
+
+    name: str
+    description: str
+    fn: RuleFn
+
+
+_RULES: dict[str, RuleInfo] = {}
+
+
+def register_rule(name: str, description: str) -> Callable[[RuleFn], RuleFn]:
+    """Class-of-registries idiom: decorator registering a rule function."""
+    if not name or any(c.isspace() for c in name):
+        raise ValueError(f"rule name must be a non-empty token, got {name!r}")
+
+    def decorator(fn: RuleFn) -> RuleFn:
+        if name in _RULES and _RULES[name].fn is not fn:
+            raise ValueError(f"a rule named {name!r} is already registered")
+        _RULES[name] = RuleInfo(name=name, description=description, fn=fn)
+        return fn
+
+    return decorator
+
+
+def ensure_builtin_rules() -> None:
+    """Import the built-in rule modules so their registrations run.
+
+    Safe to call repeatedly; mirrors
+    :func:`repro.api.registry.ensure_builtin_methods`.
+    """
+    import repro.devtools.rules  # noqa: F401  (registration side effect)
+
+
+def get_rule(name: str) -> RuleInfo:
+    """Look up one rule; ``KeyError`` lists the registered names."""
+    ensure_builtin_rules()
+    try:
+        return _RULES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {name!r}; registered: {sorted(_RULES)}"
+        ) from None
+
+
+def rule_names() -> tuple[str, ...]:
+    """Names of every registered rule, sorted."""
+    ensure_builtin_rules()
+    return tuple(sorted(_RULES))
+
+
+class _RulesView(Mapping):
+    """Live read-only mapping view over the registry (like ``METHODS``)."""
+
+    def __getitem__(self, name: str) -> RuleInfo:
+        return get_rule(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(rule_names())
+
+    def __len__(self) -> int:
+        ensure_builtin_rules()
+        return len(_RULES)
+
+
+RULES: Mapping[str, RuleInfo] = _RulesView()

@@ -1,0 +1,15 @@
+"""Built-in project-invariant rules.
+
+Importing this package registers every built-in rule with
+:mod:`repro.devtools.registry` (the same side-effect idiom as
+``repro.api.registry.ensure_builtin_methods``).  Third-party rules can
+live anywhere — importing their module before ``run_check`` is enough.
+"""
+
+from repro.devtools.rules import (  # noqa: F401  (registration side effect)
+    dtype_discipline,
+    kernel_contract,
+    lock_discipline,
+    pool_ledger,
+    registry_coverage,
+)

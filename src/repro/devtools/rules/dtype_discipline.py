@@ -1,0 +1,109 @@
+"""dtype-discipline: hot-path modules take their float dtype from the policy.
+
+The float32 fast path dies by a thousand cuts: one ``np.float64`` literal
+or dtype-less ``np.zeros`` in a hot module allocates a float64 temporary
+that either promotes downstream arithmetic off the fast path or pays an
+extra cast at ``Tensor`` construction (PR 4 hunted exactly this class of
+bug by hand).  In the hot-path trees — ``backend/``, ``nn/``,
+``autograd/``, ``baselines/`` — float dtypes must come from the backend
+policy (:func:`repro.backend.core.get_default_dtype`) or from an existing
+array (``dtype=x.dtype``, ``*_like``, ``astype(x.dtype)``).
+
+Flags, in hot-path modules only:
+
+- ``np.float64`` literals;
+- ``np.array`` / ``np.zeros`` / ``np.ones`` / ``np.empty`` / ``np.full``
+  calls with no ``dtype`` argument (the ``*_like`` variants inherit their
+  dtype and are fine);
+- ``.astype(float)`` — the python ``float`` builtin is float64.
+
+``backend/core.py`` is exempt: it *defines* the dtype policy, so it is
+the one module that legitimately names ``np.float64``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.astutil import NUMPY_ALIASES, is_numpy_attr
+from repro.devtools.project import Project
+from repro.devtools.registry import Finding, register_rule
+
+HOT_PATH_PREFIXES = (
+    "src/repro/backend/",
+    "src/repro/nn/",
+    "src/repro/autograd/",
+    "src/repro/baselines/",
+)
+POLICY_MODULE = "src/repro/backend/core.py"
+
+#: dtype-creating constructors and the positional index their ``dtype``
+#: parameter sits at (``np.full(shape, fill_value, dtype)`` is third).
+_CONSTRUCTOR_DTYPE_POS = {"array": 1, "zeros": 1, "ones": 1, "empty": 1, "full": 2}
+
+
+def _dtypeless_constructor(node: ast.Call) -> bool:
+    func = node.func
+    if not (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in NUMPY_ALIASES
+        and func.attr in _CONSTRUCTOR_DTYPE_POS
+    ):
+        return False
+    if any(kw.arg == "dtype" for kw in node.keywords):
+        return False
+    return len(node.args) <= _CONSTRUCTOR_DTYPE_POS[func.attr]
+
+
+def _astype_float_builtin(node: ast.Call) -> bool:
+    return (
+        isinstance(node.func, ast.Attribute)
+        and node.func.attr == "astype"
+        and len(node.args) >= 1
+        and isinstance(node.args[0], ast.Name)
+        and node.args[0].id == "float"
+    )
+
+
+@register_rule(
+    "dtype-discipline",
+    "hot-path modules (backend/nn/autograd/baselines) must not hard-code "
+    "float64 or construct dtype-less float arrays",
+)
+def check_dtype_discipline(project: Project) -> Iterator[Finding]:
+    for sf in project.iter_files(*HOT_PATH_PREFIXES):
+        if sf.tree is None or sf.rel == POLICY_MODULE:
+            continue
+        for node in ast.walk(sf.tree):
+            if is_numpy_attr(node, "float64"):
+                yield Finding(
+                    "dtype-discipline",
+                    sf.rel,
+                    node.lineno,
+                    "error",
+                    "np.float64 literal in a hot-path module; take the dtype "
+                    "from repro.backend.core.get_default_dtype() or an "
+                    "existing array",
+                )
+            elif isinstance(node, ast.Call):
+                if _dtypeless_constructor(node):
+                    yield Finding(
+                        "dtype-discipline",
+                        sf.rel,
+                        node.lineno,
+                        "error",
+                        f"np.{node.func.attr}() without dtype= defaults to "
+                        "float64; pass dtype=get_default_dtype() (or an "
+                        "explicit integer dtype) in hot-path modules",
+                    )
+                elif _astype_float_builtin(node):
+                    yield Finding(
+                        "dtype-discipline",
+                        sf.rel,
+                        node.lineno,
+                        "error",
+                        "astype(float) is astype(float64); use the policy "
+                        "dtype or the source array's dtype",
+                    )

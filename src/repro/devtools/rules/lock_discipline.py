@@ -1,0 +1,277 @@
+"""lock-discipline: state owned by a lock is only written under that lock.
+
+The threaded serve tier (scheduler, cache, registry, service) and the
+backend's process-wide tables follow one convention: a class (or module)
+that declares a ``threading.Lock``/``RLock`` owns some shared mutable
+state, and every *write* to that state happens inside ``with <lock>:``.
+This rule enforces the convention statically:
+
+- **Class scope** — in any class that assigns a ``threading.Lock``/
+  ``RLock`` to an attribute, writes to underscore-prefixed ``self._*``
+  attributes (assignment, augmented assignment, ``del``, subscript
+  stores, and mutating container calls such as ``.append``/``.pop``)
+  outside a ``with self.<lock>:`` block are flagged.  ``__init__`` is
+  exempt: the object is not shared before construction completes.
+- **Module scope** — in any module that declares a module-level lock,
+  function-body writes to underscore module globals (rebinding via
+  ``global``, subscript/attribute stores, mutating calls) outside a
+  ``with <lock>:`` block are flagged.  Names bound to
+  ``threading.local()`` are exempt — per-thread state needs no lock.
+
+Reads are deliberately not flagged: the codebase's documented pattern
+allows lock-free snapshot reads (e.g. ``BufferPool.retained``); it is
+unguarded *mutation* that corrupts ledgers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.devtools.astutil import is_threading_call
+from repro.devtools.project import Project, SourceFile
+from repro.devtools.registry import Finding, register_rule
+
+_LOCK_CTORS = frozenset({"Lock", "RLock"})
+_LOCAL_CTORS = frozenset({"local"})
+#: Method names that mutate the common containers in place.
+_MUTATORS = frozenset({
+    "append", "appendleft", "extend", "insert", "pop", "popleft", "popitem",
+    "clear", "remove", "update", "setdefault", "add", "discard",
+    "move_to_end", "sort", "reverse",
+})
+
+
+def _peel_subscripts(node: ast.AST) -> ast.AST:
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    return node
+
+
+def _self_underscore_attr(node: ast.AST) -> Optional[str]:
+    """``self._x`` (possibly under subscripts) -> ``"_x"``."""
+    node = _peel_subscripts(node)
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and node.attr.startswith("_")
+    ):
+        return node.attr
+    return None
+
+
+def _global_name(node: ast.AST) -> Optional[str]:
+    """Base module-global name of a subscript/attribute write target."""
+    node = _peel_subscripts(node)
+    if isinstance(node, ast.Attribute):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _write_targets(node: ast.AST) -> list[ast.AST]:
+    if isinstance(node, ast.Assign):
+        return list(node.targets)
+    if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        return [node.target] if getattr(node, "value", True) is not None else []
+    if isinstance(node, ast.Delete):
+        return list(node.targets)
+    return []
+
+
+def _mutator_receiver(node: ast.AST) -> Optional[ast.AST]:
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _MUTATORS
+    ):
+        return node.func.value
+    return None
+
+
+class _ScopeWalker:
+    """Walk one function body tracking whether a guarding lock is held."""
+
+    def __init__(self, is_guarding_ctx, visit_leaf):
+        self._is_guarding_ctx = is_guarding_ctx
+        self._visit_leaf = visit_leaf
+
+    def walk(self, body, guarded: bool) -> None:
+        for node in body:
+            self._walk_node(node, guarded)
+
+    def _walk_node(self, node: ast.AST, guarded: bool) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+            return  # nested scopes are analyzed separately
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = guarded or any(
+                self._is_guarding_ctx(item.context_expr) for item in node.items
+            )
+            self.walk(node.body, inner)
+            return
+        self._visit_leaf(node, guarded)
+        for child in ast.iter_child_nodes(node):
+            self._walk_node(child, guarded)
+
+
+def _class_lock_attrs(cls: ast.ClassDef) -> tuple[frozenset[str], frozenset[str]]:
+    """(lock attribute names, threading.local attribute names) of a class."""
+    locks: set[str] = set()
+    locals_: set[str] = set()
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            attr = _self_underscore_attr(node.targets[0])
+            name = attr
+            if name is None and isinstance(node.targets[0], ast.Name):
+                name = node.targets[0].id  # class-level attribute
+            if name is None:
+                continue
+            if is_threading_call(node.value, _LOCK_CTORS):
+                locks.add(name)
+            elif is_threading_call(node.value, _LOCAL_CTORS):
+                locals_.add(name)
+    return frozenset(locks), frozenset(locals_)
+
+
+def _check_class(sf: SourceFile, cls: ast.ClassDef) -> Iterator[Finding]:
+    lock_attrs, local_attrs = _class_lock_attrs(cls)
+    if not lock_attrs:
+        return
+    exempt = lock_attrs | local_attrs
+
+    def is_guarding(ctx: ast.AST) -> bool:
+        return (
+            isinstance(ctx, ast.Attribute)
+            and isinstance(ctx.value, ast.Name)
+            and ctx.value.id == "self"
+            and ctx.attr in lock_attrs
+        )
+
+    findings: list[Finding] = []
+    locks_label = "/".join(sorted(lock_attrs))
+
+    def visit(node: ast.AST, guarded: bool) -> None:
+        if guarded:
+            return
+        written: list[str] = []
+        for target in _write_targets(node):
+            attr = _self_underscore_attr(target)
+            if attr is not None and attr not in exempt:
+                written.append(attr)
+        receiver = _mutator_receiver(node)
+        if receiver is not None:
+            attr = _self_underscore_attr(receiver)
+            if attr is not None and attr not in exempt:
+                written.append(attr)
+        for attr in written:
+            findings.append(
+                Finding(
+                    "lock-discipline",
+                    sf.rel,
+                    node.lineno,
+                    "error",
+                    f"{cls.name}.{attr} is mutated outside 'with self."
+                    f"{locks_label}:' although {cls.name} declares that lock "
+                    "for its shared state",
+                )
+            )
+
+    walker = _ScopeWalker(is_guarding, visit)
+    for item in cls.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if item.name in ("__init__", "__new__"):
+            continue  # not shared until construction completes
+        walker.walk(item.body, guarded=False)
+    yield from findings
+
+
+def _module_tables(tree: ast.Module) -> tuple[frozenset[str], frozenset[str], frozenset[str]]:
+    """(module lock names, threading.local names, underscore globals)."""
+    locks: set[str] = set()
+    locals_: set[str] = set()
+    globals_: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            names = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if is_threading_call(node.value, _LOCK_CTORS):
+                locks.update(names)
+            elif is_threading_call(node.value, _LOCAL_CTORS):
+                locals_.update(names)
+            else:
+                globals_.update(n for n in names if n.startswith("_"))
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            name = node.target.id
+            if node.value is not None and is_threading_call(node.value, _LOCK_CTORS):
+                locks.add(name)
+            elif name.startswith("_"):
+                globals_.add(name)
+    return frozenset(locks), frozenset(locals_), frozenset(globals_ - locks - locals_)
+
+
+def _check_module(sf: SourceFile) -> Iterator[Finding]:
+    locks, local_objs, shared = _module_tables(sf.tree)
+    if not locks or not shared:
+        return
+
+    def is_guarding(ctx: ast.AST) -> bool:
+        return isinstance(ctx, ast.Name) and ctx.id in locks
+
+    findings: list[Finding] = []
+    locks_label = "/".join(sorted(locks))
+
+    for fn in (n for n in ast.walk(sf.tree) if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))):
+        declared_global: set[str] = set()
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+
+        def visit(node: ast.AST, guarded: bool, declared_global=declared_global) -> None:
+            if guarded:
+                return
+            written: list[str] = []
+            for target in _write_targets(node):
+                if isinstance(target, ast.Name):
+                    if target.id in shared and target.id in declared_global:
+                        written.append(target.id)
+                else:
+                    name = _global_name(target)
+                    if name in shared and name not in local_objs:
+                        written.append(name)
+            receiver = _mutator_receiver(node)
+            if receiver is not None:
+                name = _global_name(receiver)
+                if name in shared:
+                    written.append(name)
+            for name in written:
+                findings.append(
+                    Finding(
+                        "lock-discipline",
+                        sf.rel,
+                        node.lineno,
+                        "error",
+                        f"module global {name!r} is mutated outside 'with "
+                        f"{locks_label}:' although this module declares a "
+                        "lock for its shared state",
+                    )
+                )
+
+        _ScopeWalker(is_guarding, visit).walk(fn.body, guarded=False)
+    yield from findings
+
+
+@register_rule(
+    "lock-discipline",
+    "classes/modules declaring a threading lock must mutate their shared "
+    "underscore state only inside 'with <lock>:' blocks",
+)
+def check_lock_discipline(project: Project) -> Iterator[Finding]:
+    for sf in project.files:
+        if sf.tree is None:
+            continue
+        for node in ast.walk(sf.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from _check_class(sf, node)
+        yield from _check_module(sf)

@@ -1,0 +1,97 @@
+"""pool-ledger: pooled buffers are released on every exit path.
+
+``BufferPool`` recycling only works if buffers flow back: a function that
+is responsible for returning buffers (it calls ``release_buffers()`` /
+``release_all()`` / ``pool.release()``) must do so from a ``finally``
+block, or an exception between acquire and release silently drops the
+buffers out of the pool — exactly the slow pooling collapse the PR 4
+review chased (hit rate 0.94 → 0.04).
+
+Flagged: any pool-release call that is not lexically inside a
+``try/finally`` ``finally`` suite.  Exempt:
+
+- functions that *are* the release surface (names starting with
+  ``release``, plus ``close``/``clear``/``shutdown``/``__exit__``) —
+  their whole body is the cleanup path callers wrap;
+- functions that only acquire and hand the buffers to their caller
+  (``pad_batch``-style ownership transfer) — the owning caller's release
+  is the one held to the finally contract.
+
+``.release()`` is treated as a pool release only when the receiver
+mentions a pool, so ``self._lock.release()`` never trips the rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.astutil import receiver_source, walk_functions
+from repro.devtools.project import Project
+from repro.devtools.registry import Finding, register_rule
+
+_RELEASE_ATTRS = frozenset({"release_buffers", "release_all"})
+_EXEMPT_NAMES = frozenset({"close", "clear", "shutdown", "__exit__", "__del__"})
+
+
+def _is_pool_release(node: ast.AST) -> bool:
+    if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+        return False
+    attr = node.func.attr
+    if attr in _RELEASE_ATTRS:
+        return True
+    return attr == "release" and "pool" in receiver_source(node).lower()
+
+
+def _exempt(fn: ast.AST) -> bool:
+    name = fn.name
+    return name.startswith("release") or name in _EXEMPT_NAMES
+
+
+def _unguarded_releases(fn: ast.AST) -> Iterator[ast.Call]:
+    """Pool-release calls in ``fn``'s own body not under a ``finally``."""
+
+    def walk(node: ast.AST, in_finally: bool) -> Iterator[ast.Call]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+            return
+        if _is_pool_release(node) and not in_finally:
+            yield node
+        if isinstance(node, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+            for child in node.body + node.orelse:
+                yield from walk(child, in_finally)
+            for handler in node.handlers:
+                for child in handler.body:
+                    yield from walk(child, in_finally)
+            for child in node.finalbody:
+                yield from walk(child, True)
+            return
+        for child in ast.iter_child_nodes(node):
+            yield from walk(child, in_finally)
+
+    for stmt in fn.body:
+        yield from walk(stmt, False)
+
+
+@register_rule(
+    "pool-ledger",
+    "functions that release pooled buffers must do it from try/finally so "
+    "every exit path returns buffers to the pool",
+)
+def check_pool_ledger(project: Project) -> Iterator[Finding]:
+    for sf in project.files:
+        if sf.tree is None:
+            continue
+        for fn in walk_functions(sf.tree):
+            if _exempt(fn):
+                continue
+            for call in _unguarded_releases(fn):
+                yield Finding(
+                    "pool-ledger",
+                    sf.rel,
+                    call.lineno,
+                    "error",
+                    f"{fn.name}() releases pooled buffers outside try/finally; "
+                    "an exception on the way here leaks the buffers past the "
+                    "pool ledger — wrap the acquire..release span in "
+                    "try/finally (or a context manager)",
+                )

@@ -1,0 +1,287 @@
+"""Runtime lock sanitizer for the threaded serve tier.
+
+:class:`LockMonitor` records, per thread, the order in which
+instrumented locks are acquired and builds a global order graph: an edge
+``A -> B`` means some thread acquired ``B`` while holding ``A``.  An
+edge in both directions is a **lock-order inversion** — the classic
+two-thread deadlock shape — and is reported even when the test run got
+lucky with timing.  :func:`patch_locks` monkeypatches
+``threading.Lock``/``threading.RLock`` so every lock created inside the
+``with`` block is instrumented; :func:`watch_shared_state` additionally
+flags attribute mutation of a watched object while its owning lock is
+not held by the mutating thread.
+
+The wrappers must stay compatible with ``threading.Condition`` (which
+probes ``_is_owned`` / ``_release_save`` / ``_acquire_restore``) because
+``queue.Queue`` and ``concurrent.futures.Future`` build Conditions on
+top of plain locks — the serve scheduler exercises both.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+# Captured at import time so the monitor's own bookkeeping lock (and any
+# lock created while patching is active but outside test code) is never
+# itself instrumented.
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+
+
+@dataclass(frozen=True)
+class LockOrderViolation:
+    """Edge ``first -> second`` observed in both directions."""
+
+    first: str
+    second: str
+    threads: Tuple[str, str]
+
+    def render(self) -> str:
+        return (
+            f"lock-order inversion: {self.first!r} -> {self.second!r} "
+            f"(thread {self.threads[0]}) and {self.second!r} -> "
+            f"{self.first!r} (thread {self.threads[1]})"
+        )
+
+
+@dataclass(frozen=True)
+class UnguardedMutation:
+    """Watched attribute written while the owning lock was not held."""
+
+    obj: str
+    attr: str
+    lock: str
+    thread: str
+
+    def render(self) -> str:
+        return (
+            f"unguarded mutation: {self.obj}.{self.attr} written on thread "
+            f"{self.thread} without holding {self.lock!r}"
+        )
+
+
+def _thread_name() -> str:
+    """Current thread's name, safe to call mid-thread-bootstrap.
+
+    ``threading.current_thread()`` falls back to *constructing* a
+    ``_DummyThread`` for unregistered threads, and that constructor
+    creates an ``Event`` — which, under :func:`patch_locks`, builds an
+    instrumented lock whose acquisition asks for the thread name again:
+    infinite recursion.  Reading the registry directly has no fallback.
+    """
+    thread = threading._active.get(threading.get_ident())
+    return thread.name if thread is not None else f"thread-{threading.get_ident()}"
+
+
+@dataclass
+class LockMonitor:
+    """Collects acquisition order + guarded-state violations."""
+
+    _mutex: Any = field(default_factory=_REAL_LOCK)
+    #: thread id -> stack of lock names currently held (acquisition order)
+    _held: Dict[int, List[str]] = field(default_factory=dict)
+    #: observed edges: (earlier, later) -> thread name that created it
+    _edges: Dict[Tuple[str, str], str] = field(default_factory=dict)
+    inversions: List[LockOrderViolation] = field(default_factory=list)
+    mutations: List[UnguardedMutation] = field(default_factory=list)
+    acquisitions: int = 0
+
+    # -- bookkeeping called by InstrumentedLock ------------------------------
+    def notify_acquired(self, name: str) -> None:
+        tid = threading.get_ident()
+        tname = _thread_name()
+        with self._mutex:
+            self.acquisitions += 1
+            held = self._held.setdefault(tid, [])
+            for earlier in held:
+                if earlier == name:
+                    continue  # reentrant RLock acquire — not an ordering edge
+                edge = (earlier, name)
+                if edge not in self._edges:
+                    self._edges[edge] = tname
+                    reverse = (name, earlier)
+                    if reverse in self._edges:
+                        self.inversions.append(
+                            LockOrderViolation(
+                                name, earlier, (self._edges[reverse], tname)
+                            )
+                        )
+            held.append(name)
+
+    def notify_released(self, name: str) -> None:
+        tid = threading.get_ident()
+        with self._mutex:
+            held = self._held.get(tid, [])
+            # Remove the most recent hold of this name (LIFO for RLocks).
+            for i in range(len(held) - 1, -1, -1):
+                if held[i] == name:
+                    del held[i]
+                    break
+
+    def holds(self, name: str) -> bool:
+        """True if the calling thread currently holds the named lock."""
+        tid = threading.get_ident()
+        with self._mutex:
+            return name in self._held.get(tid, [])
+
+    def notify_mutation(self, obj: str, attr: str, lock: str) -> None:
+        with self._mutex:
+            self.mutations.append(
+                UnguardedMutation(obj, attr, lock, _thread_name())
+            )
+
+    # -- reporting -----------------------------------------------------------
+    def violations(self) -> List[str]:
+        with self._mutex:
+            return [v.render() for v in self.inversions] + [
+                m.render() for m in self.mutations
+            ]
+
+    def assert_clean(self) -> None:
+        problems = self.violations()
+        if problems:
+            raise AssertionError(
+                "lock sanitizer found %d violation(s):\n  %s"
+                % (len(problems), "\n  ".join(problems))
+            )
+
+
+class InstrumentedLock:
+    """Wraps a real lock and reports acquire/release to a LockMonitor.
+
+    Implements the private protocol ``threading.Condition`` probes so a
+    Condition built on an instrumented (R)Lock keeps working:
+    ``_is_owned`` answers from the monitor's per-thread held list, and
+    ``_release_save``/``_acquire_restore`` drop and re-take every level
+    of a reentrant hold.
+    """
+
+    def __init__(self, inner: Any, name: str, monitor: LockMonitor):
+        self._inner = inner
+        self._name = name
+        self._monitor = monitor
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            self._monitor.notify_acquired(self._name)
+        return got
+
+    __enter__ = acquire
+
+    def release(self) -> None:
+        self._inner.release()
+        self._monitor.notify_released(self._name)
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def _at_fork_reinit(self) -> None:
+        # stdlib modules register this for fork safety (e.g. the
+        # concurrent.futures.thread module-level shutdown lock).
+        self._inner._at_fork_reinit()
+
+    # -- threading.Condition private protocol --------------------------------
+    def _is_owned(self) -> bool:
+        inner_is_owned = getattr(self._inner, "_is_owned", None)
+        if inner_is_owned is not None:
+            return inner_is_owned()
+        return self._monitor.holds(self._name)
+
+    def _release_save(self) -> Tuple[Any, int]:
+        count = 0
+        while self._monitor.holds(self._name):
+            self._monitor.notify_released(self._name)
+            count += 1
+        count = max(count, 1)
+        saver = getattr(self._inner, "_release_save", None)
+        if saver is not None:
+            return saver(), count
+        self._inner.release()
+        return None, count
+
+    def _acquire_restore(self, state: Tuple[Any, int]) -> None:
+        inner_state, count = state
+        restorer = getattr(self._inner, "_acquire_restore", None)
+        if restorer is not None:
+            restorer(inner_state)
+        else:
+            self._inner.acquire()
+        for _ in range(count):
+            self._monitor.notify_acquired(self._name)
+
+    def __repr__(self) -> str:
+        return f"InstrumentedLock({self._name!r}, {self._inner!r})"
+
+
+def _caller_label(depth: int = 2) -> str:
+    """``module:line`` of the frame that created a lock."""
+    import sys
+
+    frame = sys._getframe(depth)
+    module = frame.f_globals.get("__name__", "?")
+    return f"{module}:{frame.f_lineno}"
+
+
+@contextmanager
+def patch_locks(monitor: LockMonitor) -> Iterator[LockMonitor]:
+    """Instrument every lock created while the context is active.
+
+    Lock names are derived from the creating call site, so two locks
+    created on the same source line share a name — exactly what the
+    order graph wants (all scheduler ``_stats_lock`` instances are one
+    node).
+    """
+
+    def make_lock() -> InstrumentedLock:
+        return InstrumentedLock(_REAL_LOCK(), _caller_label(), monitor)
+
+    def make_rlock() -> InstrumentedLock:
+        return InstrumentedLock(_REAL_RLOCK(), _caller_label(), monitor)
+
+    threading.Lock = make_lock  # type: ignore[misc]
+    threading.RLock = make_rlock  # type: ignore[misc]
+    try:
+        yield monitor
+    finally:
+        threading.Lock = _REAL_LOCK  # type: ignore[misc]
+        threading.RLock = _REAL_RLOCK  # type: ignore[misc]
+
+
+def watch_shared_state(
+    obj: Any,
+    lock: InstrumentedLock,
+    monitor: LockMonitor,
+    attrs: Optional[Set[str]] = None,
+    label: Optional[str] = None,
+) -> None:
+    """Flag attribute writes on ``obj`` made without holding ``lock``.
+
+    Swaps ``obj.__class__`` to a dynamic subclass whose ``__setattr__``
+    consults the monitor; ``attrs=None`` watches every underscore
+    attribute.  The instance keeps its state — only the class changes.
+    """
+    if not isinstance(lock, InstrumentedLock):
+        raise TypeError("watch_shared_state needs an InstrumentedLock")
+    lock_name = lock._name
+    obj_label = label or type(obj).__name__
+    base = type(obj)
+
+    def checked_setattr(self: Any, name: str, value: Any) -> None:
+        watched = name in attrs if attrs is not None else name.startswith("_")
+        if watched and not monitor.holds(lock_name):
+            monitor.notify_mutation(obj_label, name, lock_name)
+        base.__setattr__(self, name, value)
+
+    watched_cls = type(
+        f"Watched{base.__name__}",
+        (base,),
+        {"__slots__": (), "__setattr__": checked_setattr},
+    )
+    obj.__class__ = watched_cls

@@ -7,6 +7,7 @@ from typing import Optional
 import numpy as np
 
 from repro.autograd.tensor import Tensor
+from repro.backend.core import get_default_dtype
 from repro.nn import init
 from repro.nn.module import Module, Parameter
 
@@ -26,7 +27,7 @@ class Linear(Module):
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng))
-        self.bias = Parameter(np.zeros(out_features)) if bias else None
+        self.bias = Parameter(np.zeros(out_features, dtype=get_default_dtype())) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
         """Apply the affine map over the last dimension."""

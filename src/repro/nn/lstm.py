@@ -42,7 +42,7 @@ class LSTMCell(Module):
         self.weight_hh = Parameter(
             np.concatenate([init.orthogonal((hidden_size, hidden_size), rng) for _ in range(4)], axis=1)
         )
-        bias = np.zeros(4 * hidden_size)
+        bias = np.zeros(4 * hidden_size, dtype=get_default_dtype())
         # Standard trick: initialize the forget-gate bias to 1 so memory
         # persists early in training.
         bias[hidden_size:2 * hidden_size] = 1.0
@@ -114,8 +114,8 @@ class LSTM(Module):
     def _run_direction_composed(self, cell: LSTMCell, x: Tensor, mask: Optional[np.ndarray], reverse: bool) -> Tensor:
         """Seed-configuration path: one composed cell call per timestep."""
         batch, length, _ = x.shape
-        h = Tensor(np.zeros((batch, cell.hidden_size)))
-        c = Tensor(np.zeros((batch, cell.hidden_size)))
+        h = Tensor(np.zeros((batch, cell.hidden_size), dtype=get_default_dtype()))
+        c = Tensor(np.zeros((batch, cell.hidden_size), dtype=get_default_dtype()))
         steps = range(length - 1, -1, -1) if reverse else range(length)
         outputs: list[Optional[Tensor]] = [None] * length
         for t in steps:

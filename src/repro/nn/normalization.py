@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.autograd.tensor import Tensor
+from repro.backend.core import get_default_dtype
 from repro.nn.module import Module, Parameter
 
 
@@ -14,8 +15,8 @@ class LayerNorm(Module):
     def __init__(self, normalized_shape: int, eps: float = 1e-5):
         super().__init__()
         self.eps = eps
-        self.weight = Parameter(np.ones(normalized_shape))
-        self.bias = Parameter(np.zeros(normalized_shape))
+        self.weight = Parameter(np.ones(normalized_shape, dtype=get_default_dtype()))
+        self.bias = Parameter(np.zeros(normalized_shape, dtype=get_default_dtype()))
 
     def forward(self, x: Tensor) -> Tensor:
         """Normalize the last dimension, then scale and shift."""

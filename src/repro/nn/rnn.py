@@ -36,8 +36,8 @@ class GRUCell(Module):
         self.weight_hh = Parameter(
             np.concatenate([init.orthogonal((hidden_size, hidden_size), rng) for _ in range(3)], axis=1)
         )
-        self.bias_ih = Parameter(np.zeros(3 * hidden_size))
-        self.bias_hh = Parameter(np.zeros(3 * hidden_size))
+        self.bias_ih = Parameter(np.zeros(3 * hidden_size, dtype=get_default_dtype()))
+        self.bias_hh = Parameter(np.zeros(3 * hidden_size, dtype=get_default_dtype()))
 
     def forward(self, x: Tensor, h: Tensor) -> Tensor:
         """Advance the hidden state one step for input ``x``."""
@@ -113,7 +113,7 @@ class GRU(Module):
             state_dtype = x.data.dtype if x.data.dtype.kind == "f" else get_default_dtype()
             mask_f = np.asarray(mask, dtype=state_dtype) if mask is not None else None
             return fused_gru_sequence(gates_x, cell.weight_hh, cell.bias_hh, mask_f, reverse)
-        h = Tensor(np.zeros((batch, hs)))
+        h = Tensor(np.zeros((batch, hs), dtype=get_default_dtype()))
         # One policy-dtype cast for the whole mask, not one per timestep.
         mask_f = np.asarray(mask, dtype=get_default_dtype()) if mask is not None else None
         steps = range(length - 1, -1, -1) if reverse else range(length)

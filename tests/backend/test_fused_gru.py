@@ -5,6 +5,7 @@ import pytest
 
 from repro import backend
 from repro.autograd.tensor import Tensor, no_grad
+from repro.autograd.gradcheck import gradcheck
 from repro.backend.kernels import gru_sequence_forward
 from repro.backend.ops import fused_gru_sequence
 from repro.nn.rnn import GRU
@@ -89,3 +90,22 @@ class TestFusedGRUSequence:
         out_a, _ = run_gru(gru, x, mask, fused=False)
         out_b, _ = run_gru(gru, x, mask, fused=False)
         np.testing.assert_array_equal(out_a, out_b)
+
+    def test_sequence_gradcheck(self, rng):
+        # Finite-difference check of the explicit BPTT backward, both
+        # directions, with a ragged mask on the forward pass.
+        gates_x = Tensor(rng.standard_normal((2, 3, 9)), requires_grad=True)
+        weight_hh = Tensor(rng.standard_normal((3, 9)) * 0.5, requires_grad=True)
+        bias_hh = Tensor(rng.standard_normal(9), requires_grad=True)
+        mask = np.ones((2, 3))
+        mask[0, 2:] = 0.0
+
+        def fn(gx, whh, bhh):
+            return (fused_gru_sequence(gx, whh, bhh, mask) ** 2).sum()
+
+        assert gradcheck(fn, [gates_x, weight_hh, bias_hh], atol=1e-4)
+
+        def fn_reverse(gx, whh, bhh):
+            return (fused_gru_sequence(gx, whh, bhh, None, reverse=True) ** 2).sum()
+
+        assert gradcheck(fn_reverse, [gates_x, weight_hh, bias_hh], atol=1e-4)

@@ -1,0 +1,37 @@
+"""Fixtures for the static-analysis suite: fake repo checkouts on disk."""
+
+import textwrap
+
+import pytest
+
+from repro.devtools import ensure_builtin_rules, load_project, run_check
+
+
+@pytest.fixture(autouse=True)
+def _rules_registered():
+    ensure_builtin_rules()
+
+
+@pytest.fixture
+def make_project(tmp_path):
+    """Materialize ``{rel_path: source}`` as a checkout and parse it."""
+
+    def _make(files):
+        for rel, text in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(text), encoding="utf-8")
+        return load_project(tmp_path)
+
+    return _make
+
+
+@pytest.fixture
+def check(make_project):
+    """Build a project from ``files`` and run one rule over it."""
+
+    def _check(rule, files):
+        findings, _ = run_check(make_project(files), rules=[rule])
+        return findings
+
+    return _check

@@ -1,0 +1,127 @@
+"""CLI contract: exit codes, --json shape, rule selection, baseline flow."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.devtools.cli import main
+
+CLEAN_TREE = {
+    "src/repro/nn/a.py": """\
+        import numpy as np
+        from repro.backend.core import get_default_dtype
+        w = np.zeros(3, dtype=get_default_dtype())
+        """,
+}
+DIRTY_TREE = {
+    "src/repro/nn/a.py": """\
+        import numpy as np
+        w = np.zeros(3)
+        """,
+}
+
+
+@pytest.fixture
+def make_tree(tmp_path):
+    def _make(files):
+        for rel, text in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(text), encoding="utf-8")
+        return tmp_path
+
+    return _make
+
+
+def run_cli(*argv):
+    return main(list(argv))
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, make_tree, capsys):
+        root = make_tree(CLEAN_TREE)
+        assert run_cli("check", "--root", str(root)) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, make_tree, capsys):
+        root = make_tree(DIRTY_TREE)
+        assert run_cli("check", "--root", str(root)) == 1
+        out = capsys.readouterr().out
+        assert "dtype-discipline" in out and "src/repro/nn/a.py:2" in out
+
+    def test_unknown_rule_exits_two(self, make_tree, capsys):
+        root = make_tree(CLEAN_TREE)
+        assert run_cli("check", "--root", str(root), "--rule", "nope") == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_no_subcommand_exits_two(self, capsys):
+        assert run_cli() == 2
+
+    def test_rule_selection_skips_other_rules(self, make_tree):
+        root = make_tree(DIRTY_TREE)
+        assert run_cli("check", "--root", str(root), "--rule", "pool-ledger") == 0
+        assert run_cli("check", "--root", str(root), "--rule", "dtype-discipline") == 1
+
+
+class TestJson:
+    def test_report_shape(self, make_tree, capsys):
+        root = make_tree(DIRTY_TREE)
+        assert run_cli("check", "--root", str(root), "--json") == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["counts"] == {
+            "total": 1, "new": 1, "baselined": 0, "ignored": 0,
+        }
+        (finding,) = report["findings"]
+        assert finding["rule"] == "dtype-discipline"
+        assert finding["path"] == "src/repro/nn/a.py"
+        assert finding["line"] == 2
+        assert finding["severity"] == "error"
+        assert finding["baselined"] is False
+        assert "message" in finding
+
+    def test_clean_report(self, make_tree, capsys):
+        root = make_tree(CLEAN_TREE)
+        assert run_cli("check", "--root", str(root), "--json") == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["findings"] == [] and report["counts"]["total"] == 0
+
+
+class TestBaselineFlow:
+    def test_update_then_pass_then_regress(self, make_tree, capsys):
+        root = make_tree(DIRTY_TREE)
+        baseline = root / "devtools-baseline.json"
+        # Capture the existing debt...
+        assert run_cli("check", "--root", str(root), "--update-baseline") == 0
+        assert json.loads(baseline.read_text())["findings"]
+        # ...the baselined run passes but still reports the finding...
+        assert run_cli("check", "--root", str(root)) == 0
+        assert "(baselined)" in capsys.readouterr().out
+        # ...and a *new* instance of the same violation gates again.
+        (root / "src/repro/nn/b.py").write_text(
+            "import numpy as np\nv = np.zeros(4)\n", encoding="utf-8"
+        )
+        assert run_cli("check", "--root", str(root)) == 1
+
+    def test_explicit_baseline_path(self, make_tree, tmp_path):
+        root = make_tree(DIRTY_TREE)
+        custom = tmp_path / "custom-baseline.json"
+        assert run_cli(
+            "check", "--root", str(root), "--baseline", str(custom), "--update-baseline"
+        ) == 0
+        assert run_cli("check", "--root", str(root), "--baseline", str(custom)) == 0
+
+    def test_list_rules(self, capsys):
+        assert run_cli("check", "--list-rules") == 0
+        out = capsys.readouterr().out
+        for name in (
+            "kernel-contract", "dtype-discipline", "lock-discipline",
+            "pool-ledger", "registry-coverage",
+        ):
+            assert name in out
+
+
+class TestRealRepoCLI:
+    def test_shipped_checkout_passes(self, capsys):
+        """`python -m repro.devtools check` on this repo exits 0."""
+        assert run_cli("check") == 0

@@ -1,0 +1,90 @@
+"""Engine behavior: pragmas, parse errors, baseline multiset matching."""
+
+from repro.devtools import Finding, run_check, split_against_baseline
+
+_VIOLATION = "import numpy as np\nw = np.zeros(3)\n"
+
+
+class TestPragmas:
+    def test_same_line_pragma_suppresses(self, make_project):
+        project = make_project(
+            {
+                "src/repro/nn/a.py": (
+                    "import numpy as np\n"
+                    "w = np.zeros(3)  # devtools: ignore[dtype-discipline]\n"
+                )
+            }
+        )
+        findings, ignored = run_check(project, rules=["dtype-discipline"])
+        assert findings == []
+        assert len(ignored) == 1 and ignored[0].rule == "dtype-discipline"
+
+    def test_previous_line_pragma_suppresses(self, make_project):
+        project = make_project(
+            {
+                "src/repro/nn/a.py": (
+                    "import numpy as np\n"
+                    "# devtools: ignore[dtype-discipline]\n"
+                    "w = np.zeros(3)\n"
+                )
+            }
+        )
+        findings, ignored = run_check(project, rules=["dtype-discipline"])
+        assert findings == [] and len(ignored) == 1
+
+    def test_bare_pragma_suppresses_every_rule(self, make_project):
+        project = make_project(
+            {"src/repro/nn/a.py": "import numpy as np\nw = np.zeros(3)  # devtools: ignore\n"}
+        )
+        findings, ignored = run_check(project, rules=["dtype-discipline"])
+        assert findings == [] and len(ignored) == 1
+
+    def test_pragma_for_other_rule_does_not_suppress(self, make_project):
+        project = make_project(
+            {
+                "src/repro/nn/a.py": (
+                    "import numpy as np\n"
+                    "w = np.zeros(3)  # devtools: ignore[pool-ledger]\n"
+                )
+            }
+        )
+        findings, ignored = run_check(project, rules=["dtype-discipline"])
+        assert len(findings) == 1 and ignored == []
+
+
+class TestParseErrors:
+    def test_unparseable_file_is_a_finding(self, make_project):
+        project = make_project({"src/repro/nn/broken.py": "def f(:\n"})
+        findings, _ = run_check(project)
+        assert any(f.rule == "parse-error" for f in findings)
+
+    def test_parse_error_not_pragma_suppressible(self, make_project):
+        project = make_project(
+            {"src/repro/nn/broken.py": "# devtools: ignore\ndef f(:\n"}
+        )
+        findings, ignored = run_check(project)
+        assert any(f.rule == "parse-error" for f in findings)
+        assert ignored == []
+
+
+class TestBaseline:
+    def _finding(self, message="m", line=1):
+        return Finding("dtype-discipline", "src/repro/nn/a.py", line, "error", message)
+
+    def test_key_is_line_insensitive(self):
+        assert self._finding(line=3).key() == self._finding(line=30).key()
+
+    def test_baselined_findings_do_not_gate(self):
+        f = self._finding()
+        new, baselined = split_against_baseline([f], [f.key()])
+        assert new == [] and baselined == [f]
+
+    def test_multiset_second_instance_is_new(self):
+        a, b = self._finding(line=3), self._finding(line=9)
+        new, baselined = split_against_baseline([a, b], [a.key()])
+        assert len(baselined) == 1 and len(new) == 1
+
+    def test_unknown_finding_is_new(self):
+        f = self._finding()
+        new, baselined = split_against_baseline([f], ["other::key::entry"])
+        assert new == [f] and baselined == []

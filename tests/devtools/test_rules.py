@@ -1,0 +1,337 @@
+"""Golden fixture pairs per rule: a seeded violation and its clean twin."""
+
+
+class TestKernelContract:
+    VIOLATING = {
+        "src/repro/backend/kernels.py": """\
+            def foo_forward(x):
+                return x
+
+            _KERNELS = {"foo_forward": foo_forward}
+            """,
+    }
+    CLEAN = {
+        "src/repro/backend/kernels.py": """\
+            def foo_forward(x):
+                return x
+
+            def foo_backward(g):
+                return g
+
+            _KERNELS = {"foo_forward": foo_forward, "foo_backward": foo_backward}
+            """,
+        "tests/test_foo.py": """\
+            # exercises the foo kernel pair via gradcheck
+            """,
+    }
+
+    def test_missing_backward_and_gradcheck_flagged(self, check):
+        findings = check("kernel-contract", self.VIOLATING)
+        messages = [f.message for f in findings]
+        assert len(findings) == 2
+        assert any("foo_backward" in m for m in messages)
+        assert any("gradcheck coverage" in m for m in messages)
+        assert all(f.path == "src/repro/backend/kernels.py" for f in findings)
+
+    def test_clean_pair_passes(self, check):
+        assert check("kernel-contract", self.CLEAN) == []
+
+    def test_register_kernel_calls_are_rostered(self, check):
+        findings = check(
+            "kernel-contract",
+            {
+                "src/repro/backend/accel.py": """\
+                    def register(backend):
+                        backend.register_kernel("bar_forward", None)
+                    """,
+            },
+        )
+        assert len(findings) == 2  # no backward, no gradcheck
+        assert all("bar" in f.message for f in findings)
+
+    def test_backward_variants_count(self, check):
+        findings = check(
+            "kernel-contract",
+            {
+                "src/repro/backend/kernels.py": """\
+                    _KERNELS = {"baz_forward": None, "baz_backward_h": None}
+                    """,
+                "tests/test_baz.py": "# baz gradcheck\n",
+            },
+        )
+        assert findings == []
+
+
+class TestDtypeDiscipline:
+    VIOLATING = {
+        "src/repro/nn/layer.py": """\
+            import numpy as np
+
+            def build(n):
+                w = np.zeros(n)
+                b = np.array([0.0], dtype=np.float64)
+                return w, b.astype(float)
+            """,
+    }
+    CLEAN = {
+        "src/repro/nn/layer.py": """\
+            import numpy as np
+            from repro.backend.core import get_default_dtype
+
+            def build(n):
+                w = np.zeros(n, dtype=get_default_dtype())
+                b = np.array([0.0], dtype=get_default_dtype())
+                idx = np.zeros(n, dtype=np.int64)
+                return w, b.astype(get_default_dtype()), idx
+            """,
+    }
+
+    def test_violations_flagged(self, check):
+        findings = check("dtype-discipline", self.VIOLATING)
+        assert len(findings) == 3
+        assert {f.line for f in findings} == {4, 5, 6}
+
+    def test_clean_passes(self, check):
+        assert check("dtype-discipline", self.CLEAN) == []
+
+    def test_only_hot_paths_checked(self, check):
+        findings = check(
+            "dtype-discipline",
+            {
+                "src/repro/data/loader.py": """\
+                    import numpy as np
+                    LABELS = np.zeros(10)
+                    """,
+            },
+        )
+        assert findings == []
+
+
+class TestLockDiscipline:
+    VIOLATING = {
+        "src/repro/serve/thing.py": """\
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._count = 0
+                    self._items = []
+
+                def bump(self):
+                    self._count += 1
+
+                def push(self, x):
+                    self._items.append(x)
+            """,
+    }
+    CLEAN = {
+        "src/repro/serve/thing.py": """\
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._count = 0
+                    self._items = []
+
+                def bump(self):
+                    with self._lock:
+                        self._count += 1
+
+                def push(self, x):
+                    with self._lock:
+                        self._items.append(x)
+            """,
+    }
+
+    def test_unguarded_writes_flagged(self, check):
+        findings = check("lock-discipline", self.VIOLATING)
+        assert len(findings) == 2
+        assert any("_count" in f.message for f in findings)
+        assert any("_items" in f.message for f in findings)
+
+    def test_guarded_writes_pass(self, check):
+        assert check("lock-discipline", self.CLEAN) == []
+
+    def test_module_scope_globals(self, check):
+        findings = check(
+            "lock-discipline",
+            {
+                "src/repro/backend/tables.py": """\
+                    import threading
+
+                    _LOCK = threading.Lock()
+                    _TABLE = {}
+                    _active = None
+
+                    def bad_insert(k, v):
+                        _TABLE[k] = v
+
+                    def bad_rebind(name):
+                        global _active
+                        _active = name
+
+                    def good_insert(k, v):
+                        with _LOCK:
+                            _TABLE[k] = v
+                    """,
+            },
+        )
+        assert len(findings) == 2
+        assert {f.line for f in findings} == {8, 12}
+
+    def test_threading_local_exempt(self, check):
+        findings = check(
+            "lock-discipline",
+            {
+                "src/repro/backend/tls.py": """\
+                    import threading
+
+                    _LOCK = threading.Lock()
+                    _STATE = {}
+                    _local = threading.local()
+
+                    def set_thread_mode(mode):
+                        _local.mode = mode
+                    """,
+            },
+        )
+        assert findings == []
+
+
+class TestPoolLedger:
+    VIOLATING = {
+        "src/repro/api/runner.py": """\
+            def run(session, batches):
+                out = [session.map(b) for b in batches]
+                session.release_buffers()
+                return out
+            """,
+    }
+    CLEAN = {
+        "src/repro/api/runner.py": """\
+            def run(session, batches):
+                try:
+                    out = [session.map(b) for b in batches]
+                finally:
+                    session.release_buffers()
+                return out
+            """,
+    }
+
+    def test_unguarded_release_flagged(self, check):
+        findings = check("pool-ledger", self.VIOLATING)
+        assert len(findings) == 1
+        assert findings[0].line == 3
+        assert "try/finally" in findings[0].message
+
+    def test_finally_release_passes(self, check):
+        assert check("pool-ledger", self.CLEAN) == []
+
+    def test_release_surface_functions_exempt(self, check):
+        findings = check(
+            "pool-ledger",
+            {
+                "src/repro/serve/session.py": """\
+                    class Session:
+                        def release_buffers(self):
+                            self.pool.release_all(self.owned)
+
+                        def close(self):
+                            self.pool.release_all(self.owned)
+                    """,
+            },
+        )
+        assert findings == []
+
+    def test_lock_release_not_a_pool_release(self, check):
+        findings = check(
+            "pool-ledger",
+            {
+                "src/repro/serve/guard.py": """\
+                    def locked_op(lock):
+                        lock.acquire()
+                        lock.release()
+                    """,
+            },
+        )
+        assert findings == []
+
+
+class TestRegistryCoverage:
+    _API = {
+        "src/repro/api/registry.py": """\
+            def ensure_builtin_methods():
+                import repro.baselines  # noqa: F401
+            """,
+    }
+
+    def test_direct_kernel_import_flagged(self, check):
+        findings = check(
+            "registry-coverage",
+            {
+                "src/repro/core/model.py": """\
+                    from repro.backend.kernels import softmax_forward
+                    """,
+            },
+        )
+        assert len(findings) == 1
+        assert "registry dispatch" in findings[0].message
+
+    def test_backend_internal_import_allowed(self, check):
+        findings = check(
+            "registry-coverage",
+            {
+                "src/repro/backend/ops.py": """\
+                    from repro.backend.kernels import softmax_forward
+                    """,
+            },
+        )
+        assert findings == []
+
+    def test_unreachable_register_method_flagged(self, check):
+        findings = check(
+            "registry-coverage",
+            self._API
+            | {
+                "src/repro/baselines/__init__.py": "",
+                "src/repro/baselines/foo.py": """\
+                    from repro.api.registry import register_method
+
+                    @register_method("foo")
+                    class FooModel:
+                        pass
+                    """,
+            },
+        )
+        assert len(findings) == 1
+        assert "FooModel" in findings[0].message
+
+    def test_reachable_register_method_passes(self, check):
+        findings = check(
+            "registry-coverage",
+            self._API
+            | {
+                "src/repro/baselines/__init__.py": """\
+                    from repro.baselines.foo import FooModel
+                    """,
+                "src/repro/baselines/foo.py": """\
+                    from repro.api.registry import register_method
+
+                    @register_method("foo")
+                    class FooModel:
+                        pass
+                    """,
+            },
+        )
+        assert findings == []
+
+
+class TestRealRepo:
+    def test_checkout_is_clean(self):
+        """The shipped tree has zero findings — the baseline stays empty."""
+        from repro.devtools import load_project, run_check
+
+        findings, _ = run_check(load_project())
+        assert findings == [], "\n".join(f.render() for f in findings)

@@ -1,0 +1,178 @@
+"""Runtime lock sanitizer: inversion detection, stdlib compat, state watch."""
+
+import concurrent.futures
+import queue
+import threading
+
+import pytest
+
+from repro.devtools.sanitize import (
+    InstrumentedLock,
+    LockMonitor,
+    patch_locks,
+    watch_shared_state,
+)
+
+
+def make_lock(name, monitor, rlock=False):
+    inner = threading.RLock() if rlock else threading.Lock()
+    return InstrumentedLock(inner, name, monitor)
+
+
+class TestOrderGraph:
+    def test_consistent_order_is_clean(self):
+        monitor = LockMonitor()
+        a, b = make_lock("A", monitor), make_lock("B", monitor)
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+        monitor.assert_clean()
+        assert monitor.acquisitions == 6
+
+    def test_inversion_detected_without_deadlocking(self):
+        monitor = LockMonitor()
+        a, b = make_lock("A", monitor), make_lock("B", monitor)
+        with a:
+            with b:
+                pass
+        with b:  # opposite order on the same thread: no deadlock, still wrong
+            with a:
+                pass
+        assert len(monitor.inversions) == 1
+        with pytest.raises(AssertionError, match="lock-order inversion"):
+            monitor.assert_clean()
+
+    def test_inversion_across_threads(self):
+        monitor = LockMonitor()
+        a, b = make_lock("A", monitor), make_lock("B", monitor)
+        first_done = threading.Event()
+
+        def ab():
+            with a:
+                with b:
+                    pass
+            first_done.set()
+
+        def ba():
+            first_done.wait(timeout=5)
+            with b:
+                with a:
+                    pass
+
+        # The threads never overlap (the Event sequences them), so nothing
+        # deadlocks at runtime — but the order graph still records the
+        # conflicting edges the overlap *would* have deadlocked on.
+        t1 = threading.Thread(target=ab)
+        t2 = threading.Thread(target=ba)
+        t1.start(); t2.start(); t1.join(); t2.join()
+        assert len(monitor.inversions) == 1
+        assert set(monitor.inversions[0].threads) == {t1.name, t2.name}
+
+    def test_reentrant_rlock_is_not_an_edge(self):
+        monitor = LockMonitor()
+        r = make_lock("R", monitor, rlock=True)
+        with r:
+            with r:
+                pass
+        monitor.assert_clean()
+        assert monitor.inversions == []
+
+
+class TestPatchLocks:
+    def test_locks_created_inside_are_instrumented(self):
+        monitor = LockMonitor()
+        with patch_locks(monitor):
+            lock = threading.Lock()
+            assert isinstance(lock, InstrumentedLock)
+            with lock:
+                pass
+        assert threading.Lock is not monitor  # factories restored
+        assert not isinstance(threading.Lock(), InstrumentedLock)
+        assert monitor.acquisitions == 1
+
+    def test_condition_and_queue_survive_patching(self):
+        monitor = LockMonitor()
+        with patch_locks(monitor):
+            q = queue.Queue()
+            results = []
+
+            def worker():
+                results.append(q.get())
+
+            t = threading.Thread(target=worker)
+            t.start()
+            q.put("payload")
+            t.join(timeout=5)
+            assert results == ["payload"]
+        monitor.assert_clean()
+
+    def test_futures_survive_patching(self):
+        monitor = LockMonitor()
+        with patch_locks(monitor):
+            with concurrent.futures.ThreadPoolExecutor(max_workers=2) as pool:
+                futs = [pool.submit(lambda i=i: i * i) for i in range(4)]
+                assert sorted(f.result(timeout=5) for f in futs) == [0, 1, 4, 9]
+        monitor.assert_clean()
+
+    def test_condition_wait_on_instrumented_rlock(self):
+        monitor = LockMonitor()
+        with patch_locks(monitor):
+            cond = threading.Condition(threading.RLock())
+            fired = []
+
+            def waiter():
+                with cond:
+                    cond.wait_for(lambda: bool(fired), timeout=5)
+
+            t = threading.Thread(target=waiter)
+            t.start()
+            with cond:
+                fired.append(True)
+                cond.notify_all()
+            t.join(timeout=5)
+            assert not t.is_alive()
+        monitor.assert_clean()
+
+
+class TestWatchSharedState:
+    class Ledger:
+        def __init__(self, lock):
+            self._lock = lock
+            self._count = 0
+
+        def guarded_bump(self):
+            with self._lock:
+                self._count += 1
+
+        def unguarded_bump(self):
+            self._count += 1
+
+    def test_guarded_mutation_is_clean(self):
+        monitor = LockMonitor()
+        lock = make_lock("ledger", monitor)
+        ledger = self.Ledger(lock)
+        watch_shared_state(ledger, lock, monitor, attrs={"_count"})
+        ledger.guarded_bump()
+        monitor.assert_clean()
+        assert ledger._count == 1
+
+    def test_unguarded_mutation_is_flagged(self):
+        monitor = LockMonitor()
+        lock = make_lock("ledger", monitor)
+        ledger = self.Ledger(lock)
+        watch_shared_state(ledger, lock, monitor, attrs={"_count"})
+        ledger.unguarded_bump()
+        assert len(monitor.mutations) == 1
+        assert monitor.mutations[0].attr == "_count"
+        with pytest.raises(AssertionError, match="unguarded mutation"):
+            monitor.assert_clean()
+
+    def test_default_watches_underscore_attrs(self):
+        monitor = LockMonitor()
+        lock = make_lock("ledger", monitor)
+        ledger = self.Ledger(lock)
+        watch_shared_state(ledger, lock, monitor)
+        ledger.public = "fine"  # non-underscore attrs are never watched
+        ledger.unguarded_bump()
+        assert [m.attr for m in monitor.mutations] == ["_count"]

@@ -1,0 +1,20 @@
+"""Run every serve-tier test under the runtime lock sanitizer.
+
+The fixture patches ``threading.Lock``/``threading.RLock`` for the
+duration of each test, so every lock the scheduler/cache/registry/service
+stack creates is instrumented, and fails the test on lock-order
+inversions or watched-state violations recorded during the run — even
+when the interleaving happened to not deadlock this time.
+"""
+
+import pytest
+
+from repro.devtools.sanitize import LockMonitor, patch_locks
+
+
+@pytest.fixture(autouse=True)
+def lock_sanitizer():
+    monitor = LockMonitor()
+    with patch_locks(monitor):
+        yield monitor
+    monitor.assert_clean()

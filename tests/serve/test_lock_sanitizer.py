@@ -1,0 +1,70 @@
+"""Concurrent serve workload under the lock sanitizer.
+
+The autouse ``lock_sanitizer`` fixture (conftest) already wraps every
+serve test; this module drives the stack with *deliberate* cross-thread
+contention so the sanitizer sees real interleavings — many producer
+threads against the scheduler's worker, cache churn from multiple
+threads — and additionally watches the cache's shared state for
+mutations outside its lock.
+"""
+
+import threading
+
+from repro.devtools.sanitize import InstrumentedLock, watch_shared_state
+from repro.serve.cache import RationaleCache, rationale_key
+from repro.serve.scheduler import MicroBatchScheduler
+
+
+def test_scheduler_contention_has_no_lock_order_inversions(lock_sanitizer):
+    with MicroBatchScheduler(
+        lambda key, payloads: [len(p) for p in payloads],
+        max_batch_size=8,
+        max_wait_ms=1.0,
+    ) as scheduler:
+        results = {}
+
+        def producer(tag):
+            futures = [
+                scheduler.submit("model", list(range(i % 5 + 1))) for i in range(20)
+            ]
+            results[tag] = [f.result(timeout=10) for f in futures]
+
+        threads = [
+            threading.Thread(target=producer, args=(t,), name=f"producer-{t}")
+            for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=15)
+        assert all(not t.is_alive() for t in threads)
+        for tag in range(4):
+            assert results[tag] == [i % 5 + 1 for i in range(20)]
+    assert lock_sanitizer.acquisitions > 0
+    assert lock_sanitizer.inversions == []
+
+
+def test_cache_churn_under_watch(lock_sanitizer):
+    cache = RationaleCache(capacity=16)
+    assert isinstance(cache._lock, InstrumentedLock)
+    watch_shared_state(cache, cache._lock, lock_sanitizer)
+
+    def churn(tag):
+        for i in range(50):
+            key = rationale_key(f"m{tag}", [tag, i % 8])
+            cache.put(key, {"n": i})
+            cache.get(key)
+            cache.get(rationale_key("other", [i]))
+
+    threads = [
+        threading.Thread(target=churn, args=(t,), name=f"churn-{t}") for t in range(4)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=15)
+    assert all(not t.is_alive() for t in threads)
+    # teardown's assert_clean() is the real gate; check eagerly for a
+    # readable failure location too.
+    assert lock_sanitizer.mutations == []
+    assert lock_sanitizer.inversions == []
