@@ -26,14 +26,18 @@ bench-compare:
 	$(PYTHON) -m repro.experiments bench --compare-to BENCH_backend.json
 
 # Stand saved checkpoints up behind the HTTP JSON API (repro.serve).
-# Override MODEL_DIR/PORT, e.g.: make serve MODEL_DIR=ckpt PORT=9000
+# WORKERS=1 serves in-process; WORKERS=N stands up the sharded tier
+# (router + N worker processes with admission control).  Override
+# MODEL_DIR/PORT/WORKERS, e.g.: make serve MODEL_DIR=ckpt WORKERS=4
 MODEL_DIR ?= ckpt
 PORT ?= 8080
+WORKERS ?= 1
 serve:
-	$(PYTHON) -m repro.experiments serve --model-dir $(MODEL_DIR) --port $(PORT) --dtype float32 --fused
+	$(PYTHON) -m repro.experiments serve --model-dir $(MODEL_DIR) --port $(PORT) --workers $(WORKERS) --dtype float32 --fused
 
 # Serving load generator: micro-batched vs sequential throughput,
-# latency percentiles and cache hit rate; records BENCH_serve.json.
+# latency percentiles, cache hit rate, and the sharded-tier scaling
+# curve (workers x throughput x p50/p95); records BENCH_serve.json.
 serve-bench:
 	$(PYTHON) -m repro.experiments serve-bench
 

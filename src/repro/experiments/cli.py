@@ -40,6 +40,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import Callable
 
 from repro.api.experiments import catalog
@@ -139,6 +140,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-size", type=int, default=None,
         help="LRU rationale cache capacity, 0 disables caching (serve default 1024)",
     )
+    serving.add_argument(
+        "--workers", type=int, default=1,
+        help="serve: worker processes behind the router (1 = single-process "
+             "tier, N>1 = sharded tier with admission control); "
+             "make serve WORKERS=N",
+    )
+    serving.add_argument(
+        "--max-inflight", type=int, default=None,
+        help="sharded serve: outstanding-request budget per worker before "
+             "new requests are rejected with 429 (default 32)",
+    )
+    serving.add_argument(
+        "--scaling-workers", default=None, metavar="N,N,...",
+        help="serve-bench: comma-separated worker counts for the scaling "
+             "sweep recorded in BENCH_serve.json (default 1,2,4; 0 or an "
+             "empty value skips the sweep)",
+    )
     return parser
 
 
@@ -218,40 +236,82 @@ def run_bench(args: argparse.Namespace) -> int:
 
 
 def run_serve(args: argparse.Namespace) -> int:
-    """Stand saved checkpoints up behind the repro.serve HTTP JSON API."""
-    from repro.serve import ModelRegistry, RationaleServer, RationalizationService
+    """Stand saved checkpoints up behind the repro.serve HTTP JSON API.
 
-    registry = ModelRegistry(dtype=args.dtype)
-    try:
-        if args.model_dir:
-            registry.discover(args.model_dir)
-        for path in args.checkpoint or ():
-            registry.register_file(path)
-    except (FileNotFoundError, ValueError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
+    ``--workers 1`` (the default) serves from one in-process service;
+    ``--workers N`` stands up the sharded tier — a front router plus N
+    worker processes, each with its own scheduler/cache/session, bounded
+    per-worker admission (429 on overload) and dead-worker respawn.
+    """
+    from repro.serve import (
+        ModelRegistry,
+        RationaleServer,
+        RationalizationService,
+        ShardRouter,
+    )
+
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
         return 2
-    if not len(registry):
+    checkpoints: list[str] = []
+    if args.model_dir:
+        model_dir = Path(args.model_dir)
+        if not model_dir.is_dir():
+            print(f"error: model directory {model_dir} does not exist", file=sys.stderr)
+            return 2
+        checkpoints.extend(str(p) for p in sorted(model_dir.glob("*.npz")))
+    checkpoints.extend(args.checkpoint or ())
+    if not checkpoints:
         print(
             "error: nothing to serve — pass --checkpoint and/or --model-dir "
             "(artifacts are written by repro.serve.save_artifact)",
             file=sys.stderr,
         )
         return 2
-    service = RationalizationService(
-        registry,
-        max_batch_size=args.max_batch_size if args.max_batch_size is not None else 32,
-        max_wait_ms=args.max_wait_ms if args.max_wait_ms is not None else 2.0,
-        cache_size=args.cache_size if args.cache_size is not None else 1024,
-        fused=args.fused,
-    )
+    max_batch_size = args.max_batch_size if args.max_batch_size is not None else 32
+    max_wait_ms = args.max_wait_ms if args.max_wait_ms is not None else 2.0
+    cache_size = args.cache_size if args.cache_size is not None else 1024
+    try:
+        if args.workers == 1:
+            registry = ModelRegistry(dtype=args.dtype)
+            for path in checkpoints:
+                registry.register_file(path)
+            service = RationalizationService(
+                registry,
+                max_batch_size=max_batch_size,
+                max_wait_ms=max_wait_ms,
+                cache_size=cache_size,
+                fused=args.fused,
+            )
+        else:
+            service = ShardRouter(
+                checkpoints,
+                workers=args.workers,
+                max_inflight_per_worker=(
+                    args.max_inflight if args.max_inflight is not None else 32
+                ),
+                max_batch_size=max_batch_size,
+                max_wait_ms=max_wait_ms,
+                cache_size=cache_size,
+                fused=args.fused,
+                dtype=args.dtype,
+            )
+    except (FileNotFoundError, ValueError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    names = sorted({row["name"] for row in service.describe_models()})
     server = RationaleServer(service, host=args.host, port=args.port, quiet=False)
-    print(f"# serving {', '.join(registry.names())} on {server.url}", file=sys.stderr)
+    tier = "1 process" if args.workers == 1 else f"router + {args.workers} worker processes"
+    print(f"# serving {', '.join(names)} on {server.url} ({tier})", file=sys.stderr)
     print(
         f"#   POST {server.url}/v1/rationalize   GET {server.url}/v1/models   "
         f"GET {server.url}/healthz   GET {server.url}/statz",
         file=sys.stderr,
     )
+    # serve_forever() returns after Ctrl-C, having already drained the
+    # service (accepted requests finished, workers joined, no orphans).
     server.serve_forever()
+    print("\n# drained", file=sys.stderr)
     return 0
 
 
@@ -278,11 +338,24 @@ def run_serve_bench_cli(args: argparse.Namespace) -> int:
         overrides["max_batch_size"] = args.max_batch_size
     if args.max_wait_ms is not None:
         overrides["max_wait_ms"] = args.max_wait_ms
+    if args.scaling_workers is not None:
+        text = args.scaling_workers.strip()
+        counts = tuple(int(x) for x in text.split(",") if x.strip()) if text else ()
+        overrides["scaling_workers"] = tuple(c for c in counts if c > 0)
     out_path = args.bench_out or serve_bench.DEFAULT_SERVE_BENCH_PATH
     seed = args.seed if args.seed is not None else 0
     start = time.time()
     rows = serve_bench.run_serve_bench(seed=seed, out_path=out_path, **overrides)
     print(render_table("Serve bench — micro-batching vs sequential", rows, key_column="phase"))
+    import json as json_mod
+
+    artifact = json_mod.loads(Path(out_path).read_text()) if out_path else {}
+    scaling = artifact.get("scaling")
+    if scaling:
+        print(render_table(
+            f"Sharding scaling curve ({scaling['cores']} cores)",
+            scaling["sweep"], key_column="workers",
+        ))
     print(f"# recorded to {out_path} in {time.time() - start:.1f}s", file=sys.stderr)
     return 0
 

@@ -15,8 +15,15 @@ four layers (bottom-up):
   (model, token ids), with hit/miss stats; rationalization is
   deterministic at serving time, so repeats are free.
 - :mod:`~repro.serve.http` — the **stdlib threaded HTTP JSON API**
-  (``POST /v1/rationalize``, ``GET /v1/models``, ``GET /healthz``,
-  ``GET /statz``), started via ``python -m repro.experiments serve``.
+  (``POST /v1/rationalize`` — single or batched ``inputs`` form,
+  ``GET /v1/models``, ``GET /healthz``, ``GET /statz``), started via
+  ``python -m repro.experiments serve``.
+- :mod:`~repro.serve.shard` + :mod:`~repro.serve.router` — the
+  **sharded multi-process tier** (``--workers N`` / ``make serve
+  WORKERS=N``): a front :class:`ShardRouter` hash-affinity/least-loaded
+  routes requests to N worker processes (each hosting its own service
+  stack above), with bounded-inflight admission control (429 on
+  overload), dead-worker respawn, and cross-shard aggregated ``/statz``.
 
 :class:`Client` speaks to either transport (in-process service object or
 a socket), and :func:`~repro.serve.bench.run_serve_bench`
@@ -46,19 +53,25 @@ from repro.serve.registry import (
     model_families,
     save_artifact,
 )
+from repro.serve.router import OverloadedError, ShardRouter, WorkerDiedError
 from repro.serve.scheduler import MicroBatchScheduler
 from repro.serve.service import RationalizationService, RequestError
+from repro.serve.shard import WorkerConfig
 
 __all__ = [
     "Client",
     "MicroBatchScheduler",
     "ModelArtifact",
     "ModelRegistry",
+    "OverloadedError",
     "RationaleCache",
     "RationaleServer",
     "RationalizationService",
     "RequestError",
     "ServeClientError",
+    "ShardRouter",
+    "WorkerConfig",
+    "WorkerDiedError",
     "build_model",
     "export_config",
     "model_families",

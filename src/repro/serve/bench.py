@@ -1,9 +1,10 @@
 """Serving load-generator benchmark (``python -m repro.experiments serve-bench``).
 
 Measures what actually dominates online throughput for sequence models:
-request-level micro-batching and result caching, not raw kernel speed.
-Three phases over the same synthetic request stream against an in-process
-service (no socket noise, same code path the HTTP layer calls):
+request-level micro-batching, result caching, and multi-core sharding —
+not raw kernel speed.  Three phases over the same synthetic request
+stream against an in-process service (no socket noise, same code path
+the HTTP layer calls):
 
 1. **sequential** — one request at a time, batching and caching disabled:
    the naive serving baseline.
@@ -13,23 +14,35 @@ service (no socket noise, same code path the HTTP layer calls):
 3. **cached** — the stream replayed against a warm rationale cache:
    measures the hit-rate path.
 
-Results are printed as a table and recorded to ``BENCH_serve.json``;
+A fourth section sweeps the **sharded tier** (:class:`repro.serve.ShardRouter`)
+over ``workers ∈ {1, 2, 4, ...}`` with the :class:`LoadGenerator` — a real
+concurrent client with a worker pool, an outstanding-request cap and
+failure/timeout/rejection counters — and records the **scaling curve**
+(workers × throughput × p50/p95) so multi-core speedup is a committed,
+regression-gated artifact, not folklore.
+
+Results are printed as tables and recorded to ``BENCH_serve.json``;
 ``benchmarks/test_serve_smoke.py`` asserts micro-batched throughput stays
-≥ 2× sequential so serving regressions surface in every PR.
+≥ 2× sequential (and, on ≥4-core machines, 4-worker sharding ≥ 1.8× one
+worker) so serving regressions surface in every PR.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import tempfile
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
-from typing import Optional
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from repro.serve.client import Client, ServeClientError
 from repro.serve.registry import ModelRegistry, save_artifact
+from repro.serve.router import ShardRouter
 from repro.serve.service import RationalizationService
 
 #: Default output artifact, written at the repository root when run via
@@ -78,6 +91,93 @@ def _percentiles(latencies_ms: list[float]) -> dict:
     }
 
 
+class LoadGenerator:
+    """Concurrent load-generator client with bounded outstanding requests.
+
+    The client-side mirror of the server's admission control, in the
+    style of huggingbench's client runner: a pool of ``workers`` sender
+    threads, at most ``max_outstanding`` requests in flight at once, and
+    counters for every way a request can fail (429 rejection, timeout,
+    transport/server failure).  ``run`` fires a whole stream and returns
+    one stats row; only successful requests count toward throughput and
+    the latency percentiles.
+    """
+
+    def __init__(
+        self,
+        send: Callable[[object], dict],
+        workers: int = 32,
+        max_outstanding: int = 64,
+    ):
+        self.send = send
+        self.workers = int(workers)
+        self.max_outstanding = int(max_outstanding)
+        self._lock = threading.Lock()
+        self._latencies_ms: list[float] = []
+        self._ok = 0
+        self._rejected = 0
+        self._timeouts = 0
+        self._failures = 0
+
+    def _one(self, item) -> None:
+        start = time.perf_counter()
+        try:
+            self.send(item)
+        except ServeClientError as exc:
+            with self._lock:
+                if exc.status == 429:
+                    self._rejected += 1
+                elif exc.status == 504:
+                    self._timeouts += 1
+                else:
+                    self._failures += 1
+            return
+        except Exception:
+            with self._lock:
+                self._failures += 1
+            return
+        latency = (time.perf_counter() - start) * 1000.0
+        with self._lock:
+            self._ok += 1
+            self._latencies_ms.append(latency)
+
+    def run(self, stream: Sequence) -> dict:
+        """Fire the whole stream through the pool; return one stats row."""
+        with self._lock:
+            self._latencies_ms = []
+            self._ok = self._rejected = self._timeouts = self._failures = 0
+        gate = threading.Semaphore(self.max_outstanding)
+
+        def gated(item) -> None:
+            try:
+                self._one(item)
+            finally:
+                gate.release()
+
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            for item in stream:
+                gate.acquire()
+                pool.submit(gated, item)
+        elapsed = time.perf_counter() - start
+        with self._lock:
+            latencies = list(self._latencies_ms)
+            row = {
+                "requests": len(stream),
+                "ok": self._ok,
+                "rejected": self._rejected,
+                "timeouts": self._timeouts,
+                "failures": self._failures,
+                "client_workers": self.workers,
+                "max_outstanding": self.max_outstanding,
+                "elapsed_s": round(elapsed, 4),
+                "throughput_rps": round(self._ok / elapsed, 2) if elapsed else 0.0,
+            }
+        if latencies:
+            row.update(_percentiles(latencies))
+        return row
+
+
 def _drive(service: RationalizationService, model: str, stream: list, workers: int) -> dict:
     """Fire the whole stream (with ``workers`` concurrent clients) and time it."""
     latencies: list[float] = []
@@ -103,6 +203,57 @@ def _drive(service: RationalizationService, model: str, stream: list, workers: i
     }
 
 
+def run_scaling_bench(
+    checkpoint: str,
+    stream: list,
+    warmup: list,
+    workers_counts: Sequence[int] = (1, 2, 4),
+    client_workers: int = 32,
+    max_outstanding: int = 32,
+    max_inflight_per_worker: int = 64,
+    max_batch_size: int = 32,
+    max_wait_ms: float = 8.0,
+    fused: bool = True,
+) -> list[dict]:
+    """Sweep the sharded tier over worker counts; return the scaling curve.
+
+    Each point stands up a fresh :class:`ShardRouter` (N worker processes,
+    cache off so the curve measures compute, not replay hits), warms it
+    with an untimed disjoint stream, then fires the timed stream through
+    a :class:`LoadGenerator`.  The outstanding-request cap stays below
+    the tier's aggregate admission budget so the curve records scaling,
+    not rejection behaviour (the 429 path has its own tests).
+    """
+    rows: list[dict] = []
+    for workers in workers_counts:
+        with ShardRouter(
+            [("bench", checkpoint)],
+            workers=workers,
+            max_inflight_per_worker=max_inflight_per_worker,
+            max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms,
+            cache_size=0,
+            fused=fused,
+            dtype="float32",
+        ) as router:
+            client = Client(service=router)
+            generator = LoadGenerator(
+                lambda ids: client.rationalize(model="bench", token_ids=ids),
+                workers=client_workers,
+                max_outstanding=max_outstanding,
+            )
+            generator.run(warmup)
+            row = {"workers": workers, **generator.run(stream)}
+            router_stats = router.stats()["router"]
+            row["rejected_overload"] = router_stats["rejected_overload"]
+            row["worker_deaths"] = router_stats["worker_deaths"]
+        rows.append(row)
+    base = rows[0]["throughput_rps"] or 1.0
+    for row in rows:
+        row["speedup_vs_1_worker"] = round(row["throughput_rps"] / base, 2)
+    return rows
+
+
 def run_serve_bench(
     # 384 requests: the sequential phase is a single pass over the stream,
     # so the request count is its only averaging — on shared machines 192
@@ -117,8 +268,11 @@ def run_serve_bench(
     fused: bool = True,
     seed: int = 0,
     out_path: Optional[str] = DEFAULT_SERVE_BENCH_PATH,
+    scaling_workers: Sequence[int] = (1, 2, 4),
+    scaling_requests: int = 256,
 ) -> list[dict]:
-    """Run the three serving phases; return table rows, record the artifact."""
+    """Run the three serving phases (+ the sharding sweep); return table
+    rows, record the artifact.  ``scaling_workers=()`` skips the sweep."""
     stream = make_request_stream(n_requests, vocab_size, min_len, max_len, seed)
     # Untimed warmup requests (disjoint from `stream` via a different seed,
     # so they never pre-populate cache entries the timed phases replay):
@@ -166,6 +320,18 @@ def run_serve_bench(
             cached["hit_rate"] = round((after["hits"] - before["hits"]) / replay, 4) if replay else 0.0
             rows.append({"phase": "cached", "cache": True, **cached})
 
+        scaling_rows: list[dict] = []
+        if scaling_workers:
+            scaling_rows = run_scaling_bench(
+                checkpoint,
+                stream[:scaling_requests],
+                warmup,
+                workers_counts=tuple(scaling_workers),
+                max_batch_size=max_batch_size,
+                max_wait_ms=max_wait_ms,
+                fused=fused,
+            )
+
     speedup = round(batched["throughput_rps"] / sequential["throughput_rps"], 2)
     for row in rows:
         row["speedup_vs_sequential"] = round(
@@ -188,5 +354,17 @@ def run_serve_bench(
             "results": rows,
             "batched_vs_sequential_speedup": speedup,
         }
+        if scaling_rows:
+            # The scaling curve is meaningful relative to the recording
+            # machine's core count: a 1-core box cannot show sharding
+            # speedup, so the smoke gate conditions on `cores`.
+            artifact["scaling"] = {
+                "cores": os.cpu_count(),
+                "n_requests": len(stream[:scaling_requests]),
+                "sweep": scaling_rows,
+                "best_speedup_vs_1_worker": max(
+                    row["speedup_vs_1_worker"] for row in scaling_rows
+                ),
+            }
         Path(out_path).write_text(json.dumps(artifact, indent=2) + "\n")
     return rows

@@ -1,26 +1,39 @@
 """Client for the rationalization service — in-process or over HTTP.
 
-The same four calls work against either transport:
+The same five calls work against either transport:
 
 - **in-process** (``Client(service=...)``) — calls the
-  :class:`~repro.serve.service.RationalizationService` directly, still
-  going through the cache and the micro-batching scheduler.  This is the
-  load-generator / embedding-into-your-app mode.
+  :class:`~repro.serve.service.RationalizationService` (or a
+  :class:`~repro.serve.router.ShardRouter` — same surface) directly,
+  still going through the cache and the micro-batching scheduler.  This
+  is the load-generator / embedding-into-your-app mode.
 - **socket** (``Client(base_url="http://host:port")``) — stdlib
-  ``urllib`` against the JSON API of :mod:`repro.serve.http`.
+  ``urllib`` against the JSON API of :mod:`repro.serve.http`, with a
+  per-request timeout, a single retry on connection failure (a worker
+  restart must not fail the caller), and failure/timeout counters
+  exposed via :meth:`Client.transport_stats`.
 
 Errors surface as :class:`ServeClientError` with the HTTP-equivalent
-status code on both transports.
+status code on both transports: 429 = overloaded (admission control),
+503 = shutting down / worker died, 504 = timed out.
 """
 
 from __future__ import annotations
 
 import json
+import socket
+import threading
+import time
 import urllib.error
 import urllib.request
 from typing import Optional, Sequence
 
 from repro.serve.service import RationalizationService, RequestError
+
+#: URLError reasons that mean "the connection itself failed" — the only
+#: failures worth one retry: the request never reached a worker, so
+#: retrying cannot double-execute anything.
+_CONNECT_ERRORS = (ConnectionError, ConnectionRefusedError, ConnectionResetError, OSError)
 
 
 class ServeClientError(RuntimeError):
@@ -35,6 +48,16 @@ class Client:
     """Uniform client over the in-process and socket transports.
 
     Exactly one of ``service`` / ``base_url`` must be given.
+
+    Parameters
+    ----------
+    timeout_s:
+        Socket-level timeout per HTTP attempt; a hung worker surfaces as
+        a 504 :class:`ServeClientError` instead of blocking forever.
+    retries:
+        Extra attempts after a *connection* failure (refused / reset —
+        never after a timeout or an HTTP-level error, which may mean the
+        server already accepted the work).
     """
 
     def __init__(
@@ -42,12 +65,22 @@ class Client:
         service: Optional[RationalizationService] = None,
         base_url: Optional[str] = None,
         timeout_s: float = 60.0,
+        retries: int = 1,
+        retry_backoff_s: float = 0.05,
     ):
         if (service is None) == (base_url is None):
             raise ValueError("provide exactly one of 'service' or 'base_url'")
         self._service = service
         self._base_url = base_url.rstrip("/") if base_url else None
         self.timeout_s = float(timeout_s)
+        self.retries = int(retries)
+        self.retry_backoff_s = float(retry_backoff_s)
+        self._stats_lock = threading.Lock()
+        self._requests = 0
+        self._retried = 0
+        self._connect_failures = 0
+        self._timeouts = 0
+        self._http_errors = 0
 
     # ------------------------------------------------------------------
     def rationalize(
@@ -72,10 +105,29 @@ class Client:
             body["tokens"] = list(tokens)
         return self._post("/v1/rationalize", body)
 
+    def rationalize_many(
+        self, model: Optional[str] = None, inputs: Optional[Sequence] = None
+    ) -> dict:
+        """Batched ``POST /v1/rationalize``: one round trip, one scheduler
+        wave; returns ``{"results": [...], "count": ..., "cached_count": ...}``
+        with a per-item ``cached`` flag."""
+        if self._service is not None:
+            try:
+                return self._service.rationalize_many(model=model, inputs=inputs)
+            except RequestError as exc:
+                raise ServeClientError(str(exc), status=exc.status) from exc
+        items = []
+        for item in inputs or ():
+            if isinstance(item, dict):
+                items.append(item)
+            else:
+                items.append([t.item() if hasattr(t, "item") else t for t in item])
+        return self._post("/v1/rationalize", {"model": model, "inputs": items})
+
     def models(self) -> list[dict]:
         """``GET /v1/models``: one metadata row per loaded artifact."""
         if self._service is not None:
-            return self._service.registry.describe()
+            return self._service.describe_models()
         return self._get("/v1/models")["models"]
 
     def health(self) -> dict:
@@ -90,19 +142,61 @@ class Client:
             return self._service.stats()
         return self._get("/statz")
 
+    def transport_stats(self) -> dict:
+        """Socket-transport health counters (all zero for in-process)."""
+        with self._stats_lock:
+            return {
+                "requests": self._requests,
+                "retried": self._retried,
+                "connect_failures": self._connect_failures,
+                "timeouts": self._timeouts,
+                "http_errors": self._http_errors,
+            }
+
     # ------------------------------------------------------------------
+    def _count(self, counter: str) -> None:
+        with self._stats_lock:
+            setattr(self, counter, getattr(self, counter) + 1)
+
+    @staticmethod
+    def _is_timeout(exc: Exception) -> bool:
+        if isinstance(exc, (socket.timeout, TimeoutError)):
+            return True
+        reason = getattr(exc, "reason", None)
+        return isinstance(reason, (socket.timeout, TimeoutError))
+
     def _request(self, request: urllib.request.Request) -> dict:
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
+        self._count("_requests")
+        attempts = self.retries + 1
+        for attempt in range(attempts):
             try:
-                detail = json.loads(exc.read().decode("utf-8")).get("error", str(exc))
-            except Exception:
-                detail = str(exc)
-            raise ServeClientError(detail, status=exc.code) from exc
-        except urllib.error.URLError as exc:
-            raise ServeClientError(f"cannot reach {self._base_url}: {exc.reason}", status=503) from exc
+                with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                    return json.loads(response.read().decode("utf-8"))
+            except urllib.error.HTTPError as exc:
+                self._count("_http_errors")
+                try:
+                    detail = json.loads(exc.read().decode("utf-8")).get("error", str(exc))
+                except Exception:
+                    detail = str(exc)
+                raise ServeClientError(detail, status=exc.code) from exc
+            except (urllib.error.URLError, ConnectionError, socket.timeout, TimeoutError) as exc:
+                if self._is_timeout(exc):
+                    # Never retried: the server may have accepted the work
+                    # and a hung shard would double every slow request.
+                    self._count("_timeouts")
+                    raise ServeClientError(
+                        f"request to {self._base_url} timed out after {self.timeout_s}s",
+                        status=504,
+                    ) from exc
+                reason = getattr(exc, "reason", exc)
+                self._count("_connect_failures")
+                if not isinstance(reason, _CONNECT_ERRORS) or attempt + 1 >= attempts:
+                    raise ServeClientError(
+                        f"cannot reach {self._base_url}: {reason}", status=503
+                    ) from exc
+                self._count("_retried")
+                time.sleep(self.retry_backoff_s)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def _get(self, path: str) -> dict:
         return self._request(urllib.request.Request(self._base_url + path))

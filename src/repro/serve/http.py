@@ -3,6 +3,7 @@
 Endpoints::
 
     POST /v1/rationalize   {"model": "...", "token_ids": [...]} or {"tokens": [...]}
+                           or the batched form {"model": "...", "inputs": [item, ...]}
     GET  /v1/models        loaded artifacts and their metadata
     GET  /healthz          liveness + loaded model names
     GET  /statz            cache / scheduler / latency statistics
@@ -10,8 +11,12 @@ Endpoints::
 The server is a :class:`http.server.ThreadingHTTPServer` — one thread per
 connection, which is exactly the concurrency shape the micro-batching
 scheduler coalesces: N handler threads block on their futures while the
-scheduler worker runs one batched forward pass.  No third-party
-dependencies; ``python -m repro.experiments serve`` is the CLI entry.
+scheduler worker runs one batched forward pass.  The attached service is
+either a single-process :class:`RationalizationService` or, for the
+sharded tier (``--workers N``), a :class:`repro.serve.router.ShardRouter`
+— both expose the same surface, including typed overload (429) and
+shutdown (503) rejections.  No third-party dependencies;
+``python -m repro.experiments serve`` is the CLI entry.
 """
 
 from __future__ import annotations
@@ -75,7 +80,7 @@ class _Handler(BaseHTTPRequestHandler):
             elif self.path == "/statz":
                 self._send_json(self.service.stats())
             elif self.path == "/v1/models":
-                self._send_json({"models": self.service.registry.describe()})
+                self._send_json({"models": self.service.describe_models()})
             else:
                 self._send_json({"error": f"no route {self.path!r}"}, status=404)
         except Exception as exc:  # pragma: no cover - defensive
@@ -91,11 +96,22 @@ class _Handler(BaseHTTPRequestHandler):
             return
         try:
             payload = self._read_json()
-            response = self.service.rationalize(
-                model=payload.get("model"),
-                token_ids=payload.get("token_ids"),
-                tokens=payload.get("tokens"),
-            )
+            if "inputs" in payload:
+                # Batched form: {"model": ..., "inputs": [item, ...]} —
+                # the scheduler waves the whole payload as one batch.
+                if payload.get("token_ids") is not None or payload.get("tokens") is not None:
+                    raise RequestError(
+                        "'inputs' is mutually exclusive with 'token_ids'/'tokens'"
+                    )
+                response = self.service.rationalize_many(
+                    model=payload.get("model"), inputs=payload.get("inputs")
+                )
+            else:
+                response = self.service.rationalize(
+                    model=payload.get("model"),
+                    token_ids=payload.get("token_ids"),
+                    tokens=payload.get("tokens"),
+                )
             self._send_json(response)
         except RequestError as exc:
             self._send_json({"error": str(exc)}, status=exc.status)

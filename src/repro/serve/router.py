@@ -1,0 +1,547 @@
+"""Front router for the sharded serving tier: admission, routing, respawn.
+
+:class:`ShardRouter` owns the client-facing surface of a multi-process
+deployment and duck-types :class:`repro.serve.service.RationalizationService`
+(``rationalize`` / ``rationalize_many`` / ``health`` / ``stats`` /
+``describe_models`` / ``close``), so the HTTP layer and
+:class:`repro.serve.Client` work unchanged against one process or N.
+
+Three responsibilities:
+
+- **Routing** — each request hashes its cache key ``(model, token ids)``
+  to a *preferred* shard (hash affinity keeps every worker's rationale
+  cache hot on repeated traffic), falling back to the least-loaded shard
+  when the preferred one is at budget.
+- **Admission control** — every worker has a bounded outstanding-request
+  budget (``max_inflight_per_worker``); when all shards are at budget
+  the request is rejected *immediately* with :class:`OverloadedError`
+  (HTTP 429) instead of queueing without bound.  Routed / rejected /
+  inflight / queue-depth counters aggregate across shards in ``stats()``
+  (``GET /statz``).
+- **Failure handling** — a collector thread per worker resolves response
+  futures and watches the process; a dead worker's in-flight requests
+  fail fast with :class:`WorkerDiedError` (HTTP 503) and the worker is
+  respawned, so one crashed shard degrades capacity transiently instead
+  of wedging callers until their timeouts.
+
+Shutdown is a drain: admission closes first, every shard finishes its
+accepted in-flight requests, schedulers stop, processes are joined — no
+orphans (``tests/serve/test_shard.py`` asserts via
+``multiprocessing.active_children``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from pathlib import Path
+from queue import Empty
+from typing import Optional, Sequence
+
+from repro.serve.service import RequestError
+from repro.serve.shard import (
+    MSG_ERROR,
+    MSG_EXIT,
+    MSG_FATAL,
+    MSG_RATIONALIZE,
+    MSG_RATIONALIZE_MANY,
+    MSG_READY,
+    MSG_RESULT,
+    MSG_SHUTDOWN,
+    MSG_STATS,
+    WorkerConfig,
+    spawn_worker,
+)
+
+
+class OverloadedError(RequestError):
+    """Every shard is at its outstanding-request budget (HTTP 429)."""
+
+    def __init__(self, message: str = "overloaded: all workers at inflight budget"):
+        super().__init__(message, status=429)
+
+
+class WorkerDiedError(RequestError):
+    """The shard holding this request died before answering (HTTP 503)."""
+
+    def __init__(self, message: str = "worker process died while serving the request"):
+        super().__init__(message, status=503)
+
+
+class _WorkerHandle:
+    """Router-side view of one shard: process, queues, in-flight ledger."""
+
+    def __init__(self, config: WorkerConfig, budget: int, mp_context: Optional[str]):
+        self.config = config
+        self.worker_id = config.worker_id
+        self.budget = int(budget)
+        self.ready = threading.Event()
+        self.exited = threading.Event()
+        self.models: list[dict] = []
+        self.pid: Optional[int] = None
+        self.fatal_error: Optional[str] = None
+        self.collector: Optional[threading.Thread] = None
+        self.process, self.request_q, self.response_q = spawn_worker(config, mp_context)
+        self._lock = threading.Lock()
+        self._inflight: dict[int, tuple[Future, int]] = {}
+        self._inflight_weight = 0
+        self._next_id = 0
+        self._dispatched = 0
+        self._completed = 0
+        self._failed = 0
+        self._closed = False
+        self._dead = False
+
+    # -- dispatch -------------------------------------------------------
+    def try_dispatch(self, kind: str, payload: dict, weight: int = 1,
+                     force: bool = False) -> Optional[Future]:
+        """Admit-and-send atomically; ``None`` when at budget or closed.
+
+        ``weight`` is the number of items the request carries (a batched
+        payload counts each input against the budget); ``force`` bypasses
+        admission for control traffic (stats probes).
+        """
+        future: Future = Future()
+        with self._lock:
+            if self._closed or self._dead:
+                return None
+            if not force and self._inflight_weight >= self.budget:
+                return None
+            self._next_id += 1
+            request_id = self._next_id
+            self._inflight[request_id] = (future, weight)
+            self._inflight_weight += weight
+            self._dispatched += 1
+        self.request_q.put((kind, request_id, payload))
+        return future
+
+    def resolve(self, request_id: int, result=None, error: Optional[Exception] = None) -> None:
+        """Complete one in-flight request (collector thread only)."""
+        with self._lock:
+            entry = self._inflight.pop(request_id, None)
+            if entry is None:
+                return
+            self._inflight_weight -= entry[1]
+            if error is None:
+                self._completed += 1
+            else:
+                self._failed += 1
+        future = entry[0]
+        if error is None:
+            future.set_result(result)
+        else:
+            future.set_exception(error)
+
+    def fail_all(self, error: Exception) -> int:
+        """Fail every in-flight request (worker death / hard shutdown)."""
+        with self._lock:
+            entries = list(self._inflight.values())
+            self._inflight.clear()
+            self._inflight_weight = 0
+            self._failed += len(entries)
+            self._dead = True
+        for future, _ in entries:
+            future.set_exception(error)
+        return len(entries)
+
+    def begin_shutdown(self) -> None:
+        """Close admission and send the drain sentinel (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.request_q.put((MSG_SHUTDOWN, None, None))
+
+    def reap(self, timeout: float) -> None:
+        """Wait for the drained worker to exit; escalate to terminate."""
+        self.exited.wait(timeout)
+        self.process.join(timeout)
+        if self.process.is_alive():  # drain overran its budget: hard stop
+            self.process.terminate()
+            self.process.join(1.0)
+        self.fail_all(RequestError("server shutting down", status=503))
+
+    # -- introspection --------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        # Lock-free snapshot read (the documented stats convention).
+        return self._inflight_weight
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def queued(self) -> int:
+        try:
+            return self.request_q.qsize()
+        except NotImplementedError:  # macOS semaphores
+            return -1
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "worker_id": self.worker_id,
+                "pid": self.pid,
+                "alive": self.process.is_alive(),
+                "inflight": self._inflight_weight,
+                "budget": self.budget,
+                "dispatched": self._dispatched,
+                "completed": self._completed,
+                "failed": self._failed,
+            }
+
+
+class ShardRouter:
+    """Route requests across N worker processes with bounded admission.
+
+    Parameters
+    ----------
+    checkpoints:
+        Serving artifacts every shard loads: paths, or ``(name, path)``
+        pairs (a bare path serves under its file stem).
+    workers:
+        Number of worker processes.
+    max_inflight_per_worker:
+        Outstanding-request budget per shard; when every shard is at
+        budget new requests fail fast with :class:`OverloadedError`.
+    max_batch_size, max_wait_ms, bucket_width, cache_size, fused, backend, dtype:
+        Per-shard service knobs (see :class:`RationalizationService`).
+    request_timeout_s:
+        How long a caller waits for a shard's answer before a 504.
+    mp_context:
+        ``multiprocessing`` start method (``None`` = platform default).
+    """
+
+    def __init__(
+        self,
+        checkpoints: Sequence,
+        workers: int = 2,
+        max_inflight_per_worker: int = 32,
+        max_batch_size: int = 32,
+        max_wait_ms: float = 2.0,
+        bucket_width: int = 16,
+        cache_size: int = 1024,
+        fused: bool = True,
+        backend: Optional[str] = None,
+        dtype: Optional[str] = "float32",
+        request_timeout_s: float = 60.0,
+        mp_context: Optional[str] = None,
+        startup_timeout_s: float = 120.0,
+    ):
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        if max_inflight_per_worker <= 0:
+            raise ValueError("max_inflight_per_worker must be positive")
+        self.workers = int(workers)
+        self.max_inflight_per_worker = int(max_inflight_per_worker)
+        self.request_timeout_s = float(request_timeout_s)
+        self.startup_timeout_s = float(startup_timeout_s)
+        self.mp_context = mp_context
+        self.started_at = time.time()
+        self._shard_kwargs = dict(
+            checkpoints=tuple(self._normalize(checkpoints)),
+            backend=backend,
+            dtype=dtype,
+            max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms,
+            bucket_width=bucket_width,
+            cache_size=cache_size,
+            fused=fused,
+            max_inflight=max_inflight_per_worker,
+        )
+        self._lock = threading.Lock()
+        self._handles: list[_WorkerHandle] = []
+        self._closed = False
+        self._routed = 0
+        self._routed_items = 0
+        self._rejected = 0
+        self._worker_deaths = 0
+        self._respawns = 0
+        handles = [self._spawn(worker_id) for worker_id in range(self.workers)]
+        with self._lock:
+            self._handles = handles
+        try:
+            for handle in handles:
+                self._await_ready(handle)
+        except Exception:
+            self.close()
+            raise
+
+    @staticmethod
+    def _normalize(checkpoints: Sequence) -> list[tuple[str, str]]:
+        pairs = []
+        for entry in checkpoints:
+            if isinstance(entry, (tuple, list)) and len(entry) == 2:
+                pairs.append((str(entry[0]), str(entry[1])))
+            else:
+                pairs.append((Path(str(entry)).stem, str(entry)))
+        if not pairs:
+            raise ValueError("ShardRouter needs at least one checkpoint to serve")
+        return pairs
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, worker_id: int) -> _WorkerHandle:
+        config = WorkerConfig(worker_id=worker_id, **self._shard_kwargs)
+        handle = _WorkerHandle(config, self.max_inflight_per_worker, self.mp_context)
+        collector = threading.Thread(
+            target=self._collect, args=(handle,),
+            name=f"repro-serve-collector-{worker_id}", daemon=True,
+        )
+        handle.collector = collector
+        collector.start()
+        return handle
+
+    def _await_ready(self, handle: _WorkerHandle) -> None:
+        if not handle.ready.wait(self.startup_timeout_s):
+            raise RuntimeError(
+                f"worker {handle.worker_id} did not become ready within "
+                f"{self.startup_timeout_s}s"
+            )
+        if handle.fatal_error is not None:
+            raise RuntimeError(
+                f"worker {handle.worker_id} failed to start: {handle.fatal_error}"
+            )
+
+    def _collect(self, handle: _WorkerHandle) -> None:
+        """Per-worker collector: resolve futures, watch for process death."""
+        while True:
+            try:
+                kind, ident, payload = handle.response_q.get(timeout=0.2)
+            except Empty:
+                if not handle.process.is_alive() and not handle.exited.is_set():
+                    self._on_worker_death(handle)
+                    return
+                continue
+            if kind == MSG_READY:
+                handle.pid = payload["pid"]
+                handle.models = payload["models"]
+                handle.ready.set()
+            elif kind == MSG_RESULT:
+                handle.resolve(ident, result=payload)
+            elif kind == MSG_ERROR:
+                handle.resolve(
+                    ident,
+                    error=RequestError(payload["error"], status=payload.get("status", 500)),
+                )
+            elif kind == MSG_FATAL:
+                handle.fatal_error = payload["error"]
+                handle.ready.set()
+                handle.exited.set()
+                return
+            elif kind == MSG_EXIT:
+                handle.exited.set()
+                return
+
+    def _on_worker_death(self, handle: _WorkerHandle) -> None:
+        """Fail the dead shard's in-flight requests; respawn unless closing."""
+        handle.exited.set()
+        handle.fail_all(
+            WorkerDiedError(
+                f"worker {handle.worker_id} (pid {handle.pid}) died while serving"
+            )
+        )
+        with self._lock:
+            if self._closed:
+                return
+            self._worker_deaths += 1
+        replacement = self._spawn(handle.worker_id)
+        try:
+            self._await_ready(replacement)
+        except RuntimeError:
+            # Respawn failed (e.g. checkpoint vanished): run degraded on
+            # the surviving shards rather than crash the router.
+            replacement.begin_shutdown()
+            replacement.reap(5.0)
+            return
+        adopt = False
+        with self._lock:
+            if not self._closed and handle.worker_id < len(self._handles):
+                self._handles[handle.worker_id] = replacement
+                self._respawns += 1
+                adopt = True
+        if not adopt:  # close() raced us: the replacement must not leak
+            replacement.begin_shutdown()
+            replacement.reap(5.0)
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def _affinity(self, model, payload_key) -> int:
+        digest = zlib.crc32(repr((model, payload_key)).encode("utf-8"))
+        return digest % self.workers
+
+    def _dispatch(self, kind: str, payload: dict, weight: int, preferred: int) -> Future:
+        with self._lock:
+            if self._closed:
+                raise RequestError("server shutting down", status=503)
+            handles = list(self._handles)
+        # Preferred shard first (cache affinity), then the least loaded.
+        order = [handles[preferred % len(handles)]]
+        order += sorted(
+            (h for h in handles if h is not order[0]), key=lambda h: h.inflight
+        )
+        for handle in order:
+            future = handle.try_dispatch(kind, payload, weight=weight)
+            if future is not None:
+                with self._lock:
+                    self._routed += 1
+                    self._routed_items += weight
+                return future
+        with self._lock:
+            self._rejected += 1
+        raise OverloadedError(
+            f"overloaded: {len(order)} worker(s) at inflight budget "
+            f"{self.max_inflight_per_worker}"
+        )
+
+    def _await(self, future: Future):
+        try:
+            return future.result(timeout=self.request_timeout_s)
+        except FutureTimeoutError:
+            raise RequestError(
+                f"request timed out after {self.request_timeout_s}s", status=504
+            ) from None
+
+    def rationalize(
+        self,
+        model: Optional[str] = None,
+        token_ids: Optional[Sequence[int]] = None,
+        tokens: Optional[Sequence[str]] = None,
+    ) -> dict:
+        """Route one request to a shard; same contract as the service."""
+        payload: dict = {"model": model}
+        if token_ids is not None:
+            # Unwrap numpy scalars without coercing: a float id must reach
+            # the shard's validator as a float so it is rejected, not
+            # silently truncated to a different token.
+            payload["token_ids"] = [t.item() if hasattr(t, "item") else t for t in token_ids]
+        if tokens is not None:
+            payload["tokens"] = list(tokens)
+        key = tuple(payload.get("token_ids") or payload.get("tokens") or ())
+        future = self._dispatch(
+            MSG_RATIONALIZE, payload, weight=1, preferred=self._affinity(model, key)
+        )
+        return self._await(future)
+
+    def rationalize_many(self, model: Optional[str] = None, inputs: Sequence = ()) -> dict:
+        """Route one batched payload to a single shard (one wave there)."""
+        items = list(inputs or ())
+        if not items:
+            raise RequestError("'inputs' must be a non-empty list")
+        first = items[0]
+        key = (len(items), tuple(first) if isinstance(first, (list, tuple)) else str(first))
+        future = self._dispatch(
+            MSG_RATIONALIZE_MANY,
+            {"model": model, "inputs": items},
+            weight=len(items),
+            preferred=self._affinity(model, key),
+        )
+        return self._await(future)
+
+    # ------------------------------------------------------------------
+    # Introspection (same surface the single-process service exposes)
+    # ------------------------------------------------------------------
+    def describe_models(self) -> list[dict]:
+        """``GET /v1/models`` rows (identical artifacts on every shard)."""
+        with self._lock:
+            handles = list(self._handles)
+        for handle in handles:
+            if handle.models:
+                return handle.models
+        return []
+
+    def health(self) -> dict:
+        """``GET /healthz``: degraded (not dead) while a shard respawns."""
+        with self._lock:
+            handles = list(self._handles)
+        alive = sum(1 for h in handles if h.alive)
+        return {
+            "status": "ok" if alive == len(handles) else "degraded",
+            "models": sorted({row["name"] for h in handles for row in h.models}),
+            "workers": len(handles),
+            "alive_workers": alive,
+            "uptime_s": round(time.time() - self.started_at, 1),
+        }
+
+    def stats(self, worker_timeout_s: float = 5.0) -> dict:
+        """Aggregated ``GET /statz``: router counters + per-shard stats.
+
+        Shard service stats (cache / scheduler / latency) travel over the
+        same queues as requests, bypassing admission so an overloaded
+        tier still answers its own diagnosis; a shard that cannot answer
+        within ``worker_timeout_s`` reports ``None``.
+        """
+        with self._lock:
+            handles = list(self._handles)
+            router = {
+                "workers": len(handles),
+                "max_inflight_per_worker": self.max_inflight_per_worker,
+                "routed": self._routed,
+                "routed_items": self._routed_items,
+                "rejected_overload": self._rejected,
+                "worker_deaths": self._worker_deaths,
+                "respawns": self._respawns,
+                "closed": self._closed,
+            }
+        router["alive_workers"] = sum(1 for h in handles if h.alive)
+        router["inflight"] = sum(h.inflight for h in handles)
+        router["queued"] = sum(max(h.queued(), 0) for h in handles)
+        probes = [
+            (h, h.try_dispatch(MSG_STATS, {}, weight=0, force=True)) for h in handles
+        ]
+        workers = []
+        cache_totals = {"hits": 0, "misses": 0, "evictions": 0, "size": 0}
+        sched_totals = {"requests": 0, "waves": 0, "batches": 0, "batched_items": 0}
+        for handle, probe in probes:
+            row = handle.stats()
+            row["queued"] = handle.queued()
+            service_stats = None
+            if probe is not None:
+                try:
+                    service_stats = probe.result(timeout=worker_timeout_s)
+                except Exception:
+                    service_stats = None
+            row["service"] = service_stats
+            if service_stats:
+                for k in cache_totals:
+                    cache_totals[k] += service_stats.get("cache", {}).get(k, 0)
+                for k in sched_totals:
+                    sched_totals[k] += service_stats.get("scheduler", {}).get(k, 0)
+            workers.append(row)
+        hits, misses = cache_totals["hits"], cache_totals["misses"]
+        total = hits + misses
+        cache_totals["hit_rate"] = round(hits / total, 4) if total else 0.0
+        return {
+            "uptime_s": round(time.time() - self.started_at, 1),
+            "router": router,
+            "workers": workers,
+            "cache": cache_totals,
+            "scheduler": sched_totals,
+        }
+
+    # ------------------------------------------------------------------
+    def close(self, timeout: float = 30.0) -> None:
+        """Drain every shard and join its process/collector (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            handles = list(self._handles)
+        for handle in handles:
+            handle.begin_shutdown()
+        for handle in handles:
+            handle.reap(timeout)
+        for handle in handles:
+            if handle.collector is not None:
+                handle.collector.join(timeout=5.0)
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

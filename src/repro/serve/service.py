@@ -24,6 +24,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
+from concurrent.futures import Future
 from typing import Optional, Sequence
 
 import numpy as np
@@ -111,13 +112,95 @@ class RationalizationService:
             response = dict(cached)
             response["cached"] = True
         else:
-            future = self.scheduler.submit(artifact.name, ids)
+            future = self._submit(artifact.name, ids)
             result = future.result(timeout=self.request_timeout_s)
             response = dict(result)
             response["cached"] = False
             self.cache.put(key, result)
-        # The dict copy above is shallow: detach the mutable mask list so a
-        # caller editing its response can never corrupt the cached entry.
+        response = self._finish(response, artifact, ids, token_strings)
+        latency_ms = (time.perf_counter() - start) * 1000.0
+        response["latency_ms"] = round(latency_ms, 3)
+        with self._latency_lock:
+            self._latencies_ms.append(latency_ms)
+        return response
+
+    def rationalize_many(
+        self, model: Optional[str] = None, inputs: Optional[Sequence] = None
+    ) -> dict:
+        """Serve a batched payload: one POST, per-item rationales.
+
+        ``inputs`` is a non-empty list whose items are either flat
+        token-id lists, token-string lists, or ``{"token_ids": ...}`` /
+        ``{"tokens": ...}`` dicts.  Every cache miss is submitted to the
+        scheduler *before* any result is awaited, so the whole payload
+        lands in one wave and batches together; each per-item response
+        carries its own ``cached`` flag.
+        """
+        start = time.perf_counter()
+        artifact = self._resolve(model)
+        if not isinstance(inputs, (list, tuple)) or not inputs:
+            raise RequestError("'inputs' must be a non-empty list")
+        encoded = []
+        for index, item in enumerate(inputs):
+            token_ids, tokens = self._split_item(item)
+            try:
+                encoded.append(self._encode(artifact, token_ids, tokens))
+            except RequestError as exc:
+                raise RequestError(f"inputs[{index}]: {exc}", status=exc.status)
+        responses: list[Optional[dict]] = [None] * len(encoded)
+        pending: list[tuple[int, tuple, Future]] = []
+        for index, (ids, _) in enumerate(encoded):
+            key = rationale_key(artifact.name, ids)
+            cached = self.cache.get(key)
+            if cached is not None:
+                response = dict(cached)
+                response["cached"] = True
+                responses[index] = response
+            else:
+                pending.append((index, key, self._submit(artifact.name, ids)))
+        deadline = start + self.request_timeout_s
+        for index, key, future in pending:
+            result = future.result(timeout=max(deadline - time.perf_counter(), 0.001))
+            response = dict(result)
+            response["cached"] = False
+            self.cache.put(key, result)
+            responses[index] = response
+        for index, (ids, token_strings) in enumerate(encoded):
+            responses[index] = self._finish(responses[index], artifact, ids, token_strings)
+        latency_ms = (time.perf_counter() - start) * 1000.0
+        with self._latency_lock:
+            self._latencies_ms.append(latency_ms)
+        return {
+            "model": artifact.name,
+            "count": len(responses),
+            "cached_count": sum(1 for r in responses if r["cached"]),
+            "latency_ms": round(latency_ms, 3),
+            "results": responses,
+        }
+
+    def _submit(self, model_name: str, ids) -> "Future":
+        try:
+            return self.scheduler.submit(model_name, ids)
+        except RuntimeError:
+            # The scheduler only refuses after close(): drain semantics are
+            # "finish accepted work, reject new work" — typed, not a 500.
+            raise RequestError("service is shutting down", status=503) from None
+
+    @staticmethod
+    def _split_item(item) -> tuple[Optional[Sequence], Optional[Sequence]]:
+        """One batched-payload item -> (token_ids, tokens)."""
+        if isinstance(item, dict):
+            return item.get("token_ids"), item.get("tokens")
+        if isinstance(item, (list, tuple)) and item and all(
+            isinstance(t, str) for t in item
+        ):
+            return None, item
+        return item, None
+
+    def _finish(self, response: dict, artifact: ModelArtifact, ids, token_strings) -> dict:
+        """Decorate one response copy with tokens/selected_tokens."""
+        # The dict copy upstream is shallow: detach the mutable mask list
+        # so a caller editing its response can never corrupt the cache.
         response["rationale"] = list(response["rationale"])
         if token_strings is None and artifact.vocab is not None:
             token_strings = artifact.vocab.decode(ids)
@@ -126,10 +209,6 @@ class RationalizationService:
             response["selected_tokens"] = [
                 t for t, m in zip(token_strings, response["rationale"]) if m
             ]
-        latency_ms = (time.perf_counter() - start) * 1000.0
-        response["latency_ms"] = round(latency_ms, 3)
-        with self._latency_lock:
-            self._latencies_ms.append(latency_ms)
         return response
 
     def _resolve(self, model: Optional[str]) -> ModelArtifact:
@@ -229,6 +308,10 @@ class RationalizationService:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def describe_models(self) -> list[dict]:
+        """``GET /v1/models`` payload rows (delegates to the registry)."""
+        return self.registry.describe()
+
     def health(self) -> dict:
         """``GET /healthz`` payload."""
         return {

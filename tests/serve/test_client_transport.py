@@ -1,0 +1,146 @@
+"""Socket-transport resilience of ``repro.serve.Client``.
+
+A hung or restarting worker must never block a caller forever: the
+client bounds every attempt with ``timeout_s`` (surfacing 504), retries
+exactly once on a *connection* failure (a worker restart window), never
+retries timeouts or HTTP-level errors, and counts every failure mode in
+``transport_stats()``.
+"""
+
+import socket
+import threading
+import urllib.error
+
+import numpy as np
+import pytest
+
+from repro.core import RNP
+from repro.serve import (
+    Client,
+    ModelRegistry,
+    RationaleServer,
+    RationalizationService,
+    ServeClientError,
+    save_artifact,
+)
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    tmp_path = tmp_path_factory.mktemp("client_transport")
+    model = RNP(vocab_size=32, embedding_dim=16, hidden_size=8,
+                rng=np.random.default_rng(0))
+    save_artifact(model, tmp_path / "m.npz")
+    registry = ModelRegistry(dtype="float32")
+    registry.discover(tmp_path)
+    service = RationalizationService(registry, max_batch_size=4, max_wait_ms=1.0)
+    with RationaleServer(service, port=0) as server:
+        yield server
+
+
+class TestTimeouts:
+    def test_hung_server_surfaces_504_not_forever(self):
+        """A socket that accepts but never answers trips ``timeout_s``."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+        accepted = []
+
+        def accept_and_hang():
+            try:
+                conn, _ = listener.accept()
+                accepted.append(conn)  # keep it open, never respond
+            except OSError:
+                pass
+
+        thread = threading.Thread(target=accept_and_hang, daemon=True)
+        thread.start()
+        client = Client(base_url=f"http://127.0.0.1:{port}", timeout_s=0.3)
+        with pytest.raises(ServeClientError) as err:
+            client.health()
+        assert err.value.status == 504
+        stats = client.transport_stats()
+        assert stats["timeouts"] == 1
+        assert stats["retried"] == 0  # timeouts are never retried
+        for conn in accepted:
+            conn.close()
+        listener.close()
+        thread.join(timeout=5.0)
+
+
+class TestConnectFailures:
+    def test_refused_connection_retries_once_then_503(self):
+        # Bind-then-close guarantees the port is currently unserved.
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client = Client(base_url=f"http://127.0.0.1:{port}", timeout_s=2.0,
+                        retry_backoff_s=0.01)
+        with pytest.raises(ServeClientError) as err:
+            client.health()
+        assert err.value.status == 503
+        stats = client.transport_stats()
+        assert stats["requests"] == 1
+        assert stats["retried"] == 1  # single retry, then give up
+        assert stats["connect_failures"] == 2
+
+    def test_retry_succeeds_after_transient_connect_failure(self, served, monkeypatch):
+        """First attempt fails at connect, the retry lands: caller sees
+        success, counters record the transient."""
+        import urllib.request as urllib_request
+
+        real_urlopen = urllib_request.urlopen
+        calls = {"n": 0}
+
+        def flaky_urlopen(request, timeout=None):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise urllib.error.URLError(ConnectionRefusedError(111, "refused"))
+            return real_urlopen(request, timeout=timeout)
+
+        monkeypatch.setattr("urllib.request.urlopen", flaky_urlopen)
+        client = Client(base_url=served.url, retry_backoff_s=0.01)
+        health = client.health()
+        assert health["status"] == "ok"
+        stats = client.transport_stats()
+        assert stats["retried"] == 1 and stats["connect_failures"] == 1
+        assert stats["timeouts"] == 0
+
+
+class TestCounters:
+    def test_http_errors_counted_not_retried(self, served, monkeypatch):
+        import urllib.request as urllib_request
+
+        real_urlopen = urllib_request.urlopen
+        calls = {"n": 0}
+
+        def counting_urlopen(request, timeout=None):
+            calls["n"] += 1
+            return real_urlopen(request, timeout=timeout)
+
+        monkeypatch.setattr("urllib.request.urlopen", counting_urlopen)
+        client = Client(base_url=served.url)
+        with pytest.raises(ServeClientError) as err:
+            client.rationalize(model="missing", token_ids=[1, 2])
+        assert err.value.status == 404
+        assert calls["n"] == 1  # server answered: no retry
+        stats = client.transport_stats()
+        assert stats["http_errors"] == 1 and stats["retried"] == 0
+
+    def test_successful_traffic_counts_requests_only(self, served):
+        client = Client(base_url=served.url)
+        client.rationalize(model="m", token_ids=[1, 2, 3])
+        client.health()
+        stats = client.transport_stats()
+        assert stats["requests"] == 2
+        assert stats["connect_failures"] == stats["timeouts"] == 0
+        assert stats["http_errors"] == 0
+
+    def test_in_process_transport_stats_are_zero(self, served):
+        # In-process mode never touches the socket path.
+        registry_client = Client(base_url=served.url)
+        assert set(registry_client.transport_stats()) == {
+            "requests", "retried", "connect_failures", "timeouts", "http_errors"
+        }

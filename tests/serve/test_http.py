@@ -123,6 +123,78 @@ class TestEndpoints:
         assert all(r["n_tokens"] == len(s) for r, s in zip(responses, streams))
 
 
+class TestBatchedPayloads:
+    def test_inputs_round_trip_with_per_item_cache_flags(self, socket_client, tiny_beer):
+        example = tiny_beer.test[3]
+        ids = [int(t) for t in example.token_ids]
+        # Prime the cache with one item, then send it inside a batch.
+        socket_client.rationalize(model="beer", token_ids=ids)
+        response = socket_client.rationalize_many(
+            model="beer", inputs=[ids, [2, 3, 4, 5, 6], {"token_ids": [7, 8, 9]}]
+        )
+        assert response["count"] == 3
+        assert response["model"] == "beer"
+        flags = [r["cached"] for r in response["results"]]
+        assert flags[0] is True and flags[1] is False and flags[2] is False
+        assert response["cached_count"] == 1
+        assert [len(r["rationale"]) for r in response["results"]] == [len(ids), 5, 3]
+        # Batched result for the primed item matches the single-request path.
+        single = socket_client.rationalize(model="beer", token_ids=ids)
+        assert response["results"][0]["rationale"] == single["rationale"]
+
+    def test_inputs_accept_token_strings(self, socket_client, tiny_beer):
+        example = tiny_beer.test[4]
+        response = socket_client.rationalize_many(
+            model="beer", inputs=[example.tokens, {"tokens": example.tokens[:3]}]
+        )
+        assert response["count"] == 2
+        assert response["results"][0]["tokens"] == list(example.tokens)
+        assert "selected_tokens" in response["results"][0]
+
+    def test_one_wave_per_batched_payload(self, served, socket_client):
+        _, service, _ = served
+        before = service.scheduler.stats()["waves"]
+        socket_client.rationalize_many(
+            model="beer", inputs=[[10 + i, 11 + i, 12 + i] for i in range(6)]
+        )
+        waves = service.scheduler.stats()["waves"] - before
+        # All six misses were submitted before any result was awaited, so
+        # the scheduler coalesced them instead of running them one by one.
+        assert waves <= 2
+
+    def test_invalid_item_names_its_index(self, socket_client):
+        with pytest.raises(ServeClientError) as err:
+            socket_client.rationalize_many(model="beer", inputs=[[1, 2], [1.5]])
+        assert err.value.status == 400
+        assert "inputs[1]" in str(err.value)
+
+    def test_empty_inputs_rejected(self, socket_client):
+        with pytest.raises(ServeClientError) as err:
+            socket_client.rationalize_many(model="beer", inputs=[])
+        assert err.value.status == 400
+
+    def test_inputs_exclusive_with_single_form(self, served):
+        server, _, _ = served
+        request = urllib.request.Request(
+            server.url + "/v1/rationalize",
+            data=b'{"model": "beer", "inputs": [[1, 2]], "token_ids": [1, 2]}',
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=10)
+        assert err.value.code == 400
+
+    def test_in_process_many_matches_socket(self, served, socket_client):
+        _, service, _ = served
+        local = Client(service=service)
+        inputs = [[3, 4, 5], [6, 7, 8, 9]]
+        over_socket = socket_client.rationalize_many(model="beer", inputs=inputs)
+        in_process = local.rationalize_many(model="beer", inputs=inputs)
+        assert [r["rationale"] for r in in_process["results"]] == [
+            r["rationale"] for r in over_socket["results"]
+        ]
+
+
 class TestErrors:
     def test_unknown_model_404(self, socket_client):
         with pytest.raises(ServeClientError) as err:

@@ -64,6 +64,27 @@ class TestBasics:
                 sched.submit("m", [1]).result(timeout=5)
 
 
+class TestGracefulDrain:
+    def test_close_completes_accepted_requests_then_rejects(self):
+        """The drain contract the sharded tier builds on: every future
+        accepted before close() resolves; submits after close() raise."""
+        executor = RecordingExecutor(delay_s=0.05)
+        sched = MicroBatchScheduler(executor, max_batch_size=2, max_wait_ms=1.0)
+        futures = [sched.submit("m", [i]) for i in range(8)]
+        sched.close(timeout=30.0)
+        done, not_done = wait(futures, timeout=10.0)
+        assert not not_done
+        assert sorted(f.result() for f in done) == [("m", (i,)) for i in range(8)]
+        with pytest.raises(RuntimeError, match="closed"):
+            sched.submit("m", [99])
+
+    def test_close_with_empty_queue_is_quick_and_idempotent(self):
+        sched = MicroBatchScheduler(lambda k, p: list(p))
+        sched.close()
+        sched.close()
+        assert not sched._worker.is_alive()
+
+
 class TestCoalescing:
     def test_concurrent_requests_coalesce_into_fewer_batches(self):
         executor = RecordingExecutor(delay_s=0.01)
