@@ -17,10 +17,16 @@ from pathlib import Path
 
 import pytest
 
-from repro.serve.bench import DEFAULT_SERVE_BENCH_PATH, run_serve_bench
+from repro.obs import family_total, parse_prometheus
+from repro.serve.bench import (
+    DEFAULT_SERVE_BENCH_PATH,
+    SERVE_METRICS_SCRAPE_NAME,
+    run_serve_bench,
+)
 from repro.utils import render_table
 
 _BENCH_OUT = str(Path(__file__).resolve().parent.parent / DEFAULT_SERVE_BENCH_PATH)
+_SCRAPE_OUT = str(Path(_BENCH_OUT).with_name(SERVE_METRICS_SCRAPE_NAME))
 
 
 @pytest.fixture(scope="module")
@@ -61,6 +67,22 @@ class TestServeSmoke:
         batched, cached = serve_rows[1], serve_rows[2]
         assert cached["hit_rate"] >= 0.99
         assert cached["throughput_rps"] > batched["throughput_rps"]
+
+    def test_metrics_scrape_recorded_and_grammar_valid(self, serve_rows):
+        """The bench scrapes GET /metrics from the live batched service;
+        the scrape must be valid exposition format and must account for
+        at least the bench's own requests (batched + cached phases)."""
+        artifact = json.loads(Path(_BENCH_OUT).read_text())
+        n_requests = artifact["setup"]["n_requests"]
+        families = parse_prometheus(Path(_SCRAPE_OUT).read_text())
+        requests_total = family_total(families, "repro_requests_total")
+        assert requests_total >= n_requests, (
+            f"scrape shows {requests_total} requests, bench sent {n_requests}"
+        )
+        assert artifact["metrics"]["scrape"] == SERVE_METRICS_SCRAPE_NAME
+        assert artifact["metrics"]["requests_total"] == requests_total
+        # The committed percentiles come from these exported histograms.
+        assert families["repro_request_latency_seconds"]["type"] == "histogram"
 
 
 class TestScalingCurve:

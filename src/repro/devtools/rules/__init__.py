@@ -10,6 +10,7 @@ from repro.devtools.rules import (  # noqa: F401  (registration side effect)
     dtype_discipline,
     kernel_contract,
     lock_discipline,
+    metrics_discipline,
     pool_ledger,
     registry_coverage,
 )

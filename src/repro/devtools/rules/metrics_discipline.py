@@ -1,0 +1,135 @@
+"""metrics-discipline: telemetry goes through the registry, named right.
+
+PR 8 unified every statistic behind :class:`repro.obs.MetricsRegistry`
+so ``/statz``, ``GET /metrics`` and the bench artifacts render from one
+source of truth.  That only holds if new code keeps the contract, so two
+checks:
+
+1. **Naming** — every metric name passed to ``.counter()`` / ``.gauge()``
+   / ``.histogram()`` on a registry-ish receiver (or to the
+   ``counter_family`` / ``gauge_family`` helpers) must be a string
+   literal matching :data:`repro.obs.METRIC_NAME_RE`
+   (``repro_<snake>[_total|_seconds|_bytes|_ratio]``) — the convention
+   Prometheus tooling and the fleet merge both key on.  A computed name
+   is flagged too: scrape-time registration must not mint names the
+   grammar tests never saw.
+2. **No ad-hoc stats counters** in ``src/repro/serve/`` — a ``self``
+   attribute that is ``+=``-incremented and read back only by a
+   ``*stats*`` method is a shadow metric the registry cannot export,
+   reset or merge across shards.  Attributes also read by operational
+   code (e.g. the router's ``_inflight_weight`` admission gate) are
+   functional state, not statistics, and stay exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.astutil import receiver_source
+from repro.devtools.project import Project
+from repro.devtools.registry import Finding, register_rule
+from repro.obs.metrics import METRIC_NAME_RE
+
+#: Registry factory methods whose first argument is a metric name.
+_FACTORY_ATTRS = frozenset({"counter", "gauge", "histogram"})
+#: Module-level family helpers (collector bridges) with the same contract.
+_FAMILY_HELPERS = frozenset({"counter_family", "gauge_family"})
+
+
+def _metric_name_arg(node: ast.Call) -> tuple[bool, object]:
+    """``(is_metric_call, first_arg_node_or_None)`` for ``node``."""
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr in _FACTORY_ATTRS:
+        receiver = receiver_source(node).lower()
+        if "metric" in receiver or "registry" in receiver:
+            return True, node.args[0] if node.args else None
+    if isinstance(func, ast.Name) and func.id in _FAMILY_HELPERS:
+        return True, node.args[0] if node.args else None
+    return False, None
+
+
+def _iter_name_findings(sf) -> Iterator[Finding]:
+    for node in ast.walk(sf.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        is_metric, arg = _metric_name_arg(node)
+        if not is_metric:
+            continue
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            if not METRIC_NAME_RE.match(arg.value):
+                yield Finding(
+                    "metrics-discipline",
+                    sf.rel,
+                    node.lineno,
+                    "error",
+                    f"metric name {arg.value!r} violates the naming contract "
+                    "repro_<snake_case>[_total|_seconds|_bytes|_ratio]",
+                )
+        else:
+            yield Finding(
+                "metrics-discipline",
+                sf.rel,
+                node.lineno,
+                "error",
+                "metric name must be a string literal (computed names dodge "
+                "the naming contract and the /metrics grammar tests)",
+            )
+
+
+def _class_methods(cls: ast.ClassDef) -> Iterator[ast.FunctionDef]:
+    for node in cls.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _iter_shadow_counters(sf) -> Iterator[Finding]:
+    for cls in ast.walk(sf.tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        incremented: dict[str, int] = {}  # attr -> first AugAssign line
+        stats_reads: set[str] = set()
+        other_reads: set[str] = set()
+        for method in _class_methods(cls):
+            in_stats = "stats" in method.name
+            for node in ast.walk(method):
+                if (
+                    isinstance(node, ast.AugAssign)
+                    and isinstance(node.target, ast.Attribute)
+                    and isinstance(node.target.value, ast.Name)
+                    and node.target.value.id == "self"
+                ):
+                    incremented.setdefault(node.target.attr, node.lineno)
+                elif (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.ctx, ast.Load)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "self"
+                ):
+                    (stats_reads if in_stats else other_reads).add(node.attr)
+        for attr in sorted(incremented):
+            if attr in stats_reads and attr not in other_reads:
+                yield Finding(
+                    "metrics-discipline",
+                    sf.rel,
+                    incremented[attr],
+                    "error",
+                    f"{cls.name}.{attr} is an ad-hoc stats counter (incremented "
+                    "in place, read back only by a stats method) — register a "
+                    "MetricsRegistry counter so /metrics, reset() and the "
+                    "shard merge see it",
+                )
+
+
+@register_rule(
+    "metrics-discipline",
+    "metric names are repro_*-literal and serve-layer statistics live in "
+    "the MetricsRegistry, not ad-hoc self attributes",
+)
+def check_metrics_discipline(project: Project) -> Iterator[Finding]:
+    for sf in project.files:
+        if sf.tree is None:
+            continue
+        yield from _iter_name_findings(sf)
+        if sf.rel.startswith("src/repro/serve/"):
+            yield from _iter_shadow_counters(sf)

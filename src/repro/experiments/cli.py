@@ -30,7 +30,8 @@ more than 20% — ``make bench-compare``).
 The ``serve`` command stands saved checkpoints (written by
 :func:`repro.serve.save_artifact`) up behind the HTTP JSON API of
 :mod:`repro.serve` (``POST /v1/rationalize``, ``GET /v1/models``,
-``GET /healthz``, ``GET /statz``); ``serve-bench`` runs the serving
+``GET /healthz``, ``GET /statz``, Prometheus ``GET /metrics``,
+``GET /tracez``); ``serve-bench`` runs the serving
 load-generator (micro-batched vs sequential throughput, latency
 percentiles, cache hit rate) and records ``BENCH_serve.json``.
 """
@@ -305,7 +306,8 @@ def run_serve(args: argparse.Namespace) -> int:
     print(f"# serving {', '.join(names)} on {server.url} ({tier})", file=sys.stderr)
     print(
         f"#   POST {server.url}/v1/rationalize   GET {server.url}/v1/models   "
-        f"GET {server.url}/healthz   GET {server.url}/statz",
+        f"GET {server.url}/healthz   GET {server.url}/statz   "
+        f"GET {server.url}/metrics   GET {server.url}/tracez",
         file=sys.stderr,
     )
     # serve_forever() returns after Ctrl-C, having already drained the

@@ -1,0 +1,70 @@
+"""``repro.obs`` — unified observability for the serving stack.
+
+One metrics core + one tracing core, shared by every layer:
+
+- :class:`MetricsRegistry` owns thread-safe :class:`Counter` /
+  :class:`Gauge` / :class:`Histogram` instruments with labeled series
+  (e.g. ``(model, batch_size)``), bridges legacy stat sources via
+  collectors, snapshots to picklable dicts, and zeroes everything
+  through a single :meth:`~repro.obs.metrics.MetricsRegistry.reset`.
+- :func:`merge_snapshots` folds per-worker snapshots bucket-wise into a
+  fleet view (how the :class:`~repro.serve.router.ShardRouter`
+  aggregates its shards).
+- :func:`render_prometheus` emits text exposition format 0.0.4 for the
+  ``GET /metrics`` endpoint; :func:`parse_prometheus` is the strict
+  round-trip validator the tests and the serve bench scrape with.
+- :class:`Trace` / :class:`TraceLog` implement per-request span
+  timelines (request id minted at the edge, spans tiling the request
+  window) surfaced under the ``debug=true`` flag and as ring-buffered
+  JSONL.
+"""
+
+from repro.obs.exposition import CONTENT_TYPE, render_prometheus
+from repro.obs.merge import merge_snapshots
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    METRIC_NAME_RE,
+    Counter,
+    Gauge,
+    Histogram,
+    Instrument,
+    MetricError,
+    MetricsRegistry,
+    counter_family,
+    gauge_family,
+    percentile_from_counts,
+    validate_metric_name,
+)
+from repro.obs.promparse import (
+    ExpositionError,
+    family_total,
+    parse_prometheus,
+    sample_value,
+)
+from repro.obs.tracing import Trace, TraceLog, new_request_id, splice_spans
+
+__all__ = [
+    "CONTENT_TYPE",
+    "DEFAULT_LATENCY_BUCKETS",
+    "METRIC_NAME_RE",
+    "Counter",
+    "ExpositionError",
+    "Gauge",
+    "Histogram",
+    "Instrument",
+    "MetricError",
+    "MetricsRegistry",
+    "Trace",
+    "TraceLog",
+    "counter_family",
+    "family_total",
+    "gauge_family",
+    "merge_snapshots",
+    "new_request_id",
+    "parse_prometheus",
+    "percentile_from_counts",
+    "render_prometheus",
+    "sample_value",
+    "splice_spans",
+    "validate_metric_name",
+]

@@ -1,0 +1,110 @@
+"""Prometheus text exposition (format 0.0.4) from metric snapshots.
+
+Renders the snapshot dicts produced by
+:meth:`repro.obs.metrics.MetricsRegistry.snapshot` (or the router's
+merged fleet view) as the plain-text format every Prometheus scraper
+understands::
+
+    # HELP repro_requests_total Served rationalization requests.
+    # TYPE repro_requests_total counter
+    repro_requests_total{cached="false",model="beer_rnp"} 24
+    # HELP repro_request_latency_seconds ...
+    # TYPE repro_request_latency_seconds histogram
+    repro_request_latency_seconds_bucket{model="beer_rnp",le="0.005"} 17
+    ...
+    repro_request_latency_seconds_bucket{model="beer_rnp",le="+Inf"} 24
+    repro_request_latency_seconds_sum{model="beer_rnp"} 0.113
+    repro_request_latency_seconds_count{model="beer_rnp"} 24
+
+Histograms are stored non-cumulatively (see
+:class:`repro.obs.metrics.Histogram`) and converted to the cumulative
+``_bucket`` form here.  Label values and help text are escaped per the
+spec (backslash, newline, and double-quote in label values).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+#: Content-Type an HTTP server should send with this rendering.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def escape_help(text: str) -> str:
+    """Escape a ``# HELP`` line payload (backslash and newline)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value (backslash, double-quote, newline)."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def format_value(value: float) -> str:
+    """Canonical sample-value rendering: integers bare, floats via repr."""
+    number = float(value)
+    if number != number:  # NaN
+        return "NaN"
+    if number in (float("inf"), float("-inf")):
+        return "+Inf" if number > 0 else "-Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _labels_text(labelnames, labelvalues, extra=()) -> str:
+    pairs = [
+        f'{name}="{escape_label_value(str(value))}"'
+        for name, value in zip(labelnames, labelvalues)
+    ]
+    pairs.extend(f'{name}="{escape_label_value(str(value))}"' for name, value in extra)
+    if not pairs:
+        return ""
+    return "{" + ",".join(pairs) + "}"
+
+
+def _render_simple(lines: list, family: Mapping) -> None:
+    name = family["name"]
+    labelnames = family["labelnames"]
+    if not family["series"]:
+        # A registered-but-untouched unlabeled family still exposes a
+        # zero sample so dashboards see the series exists.
+        if not labelnames:
+            lines.append(f"{name} 0")
+        return
+    for key in sorted(family["series"]):
+        value = family["series"][key]
+        lines.append(f"{name}{_labels_text(labelnames, key)} {format_value(value)}")
+
+
+def _render_histogram(lines: list, family: Mapping) -> None:
+    name = family["name"]
+    labelnames = family["labelnames"]
+    buckets = family["buckets"]
+    for key in sorted(family["series"]):
+        entry = family["series"][key]
+        cumulative = 0
+        for edge, count in zip(buckets, entry["counts"]):
+            cumulative += count
+            labels = _labels_text(labelnames, key, extra=[("le", format_value(edge))])
+            lines.append(f"{name}_bucket{labels} {cumulative}")
+        cumulative += entry["counts"][len(buckets)]
+        labels = _labels_text(labelnames, key, extra=[("le", "+Inf")])
+        lines.append(f"{name}_bucket{labels} {cumulative}")
+        suffix_labels = _labels_text(labelnames, key)
+        lines.append(f"{name}_sum{suffix_labels} {format_value(entry['sum'])}")
+        lines.append(f"{name}_count{suffix_labels} {entry['count']}")
+
+
+def render_prometheus(snapshot: Mapping) -> str:
+    """Render a ``{name: family}`` snapshot as text exposition 0.0.4."""
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        lines.append(f"# HELP {name} {escape_help(family.get('help', ''))}")
+        lines.append(f"# TYPE {name} {family['type']}")
+        if family["type"] == "histogram":
+            _render_histogram(lines, family)
+        else:
+            _render_simple(lines, family)
+    return "\n".join(lines) + "\n"

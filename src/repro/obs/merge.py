@@ -1,0 +1,104 @@
+"""Merging metric snapshots across processes.
+
+The sharded serving tier scrapes each worker's
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot` over the typed MSG
+protocol and folds the fleet into one view with
+:func:`merge_snapshots`:
+
+- **counters** add series-wise;
+- **gauges** add or take the max per their declared ``agg`` mode
+  (queue depths sum, high-water marks like ``largest_batch`` max);
+- **histograms** merge *bucket-wise* — per-bucket counts, ``sum`` and
+  ``count`` all add, which is exact because every process shares the
+  same fixed bucket edges (edge mismatch is an error, not a silent
+  re-bucketing).
+
+The result is snapshot-shaped, so it renders through the same
+:func:`repro.obs.exposition.render_prometheus` as a single process.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.obs.metrics import MetricError
+
+
+def _merge_histogram_entry(into: dict, entry: Mapping) -> None:
+    counts = into["counts"]
+    if len(counts) != len(entry["counts"]):
+        raise MetricError(
+            f"histogram bucket count mismatch: {len(counts)} vs {len(entry['counts'])}"
+        )
+    for index, count in enumerate(entry["counts"]):
+        counts[index] += count
+    into["sum"] += entry["sum"]
+    into["count"] += entry["count"]
+
+
+def _merge_family(into: dict, family: Mapping) -> None:
+    if into["type"] != family["type"]:
+        raise MetricError(
+            f"metric {family['name']!r} type mismatch: "
+            f"{into['type']!r} vs {family['type']!r}"
+        )
+    if tuple(into["labelnames"]) != tuple(family["labelnames"]):
+        raise MetricError(
+            f"metric {family['name']!r} labelnames mismatch: "
+            f"{into['labelnames']!r} vs {family['labelnames']!r}"
+        )
+    kind = into["type"]
+    if kind == "histogram":
+        if tuple(into["buckets"]) != tuple(family["buckets"]):
+            raise MetricError(
+                f"histogram {family['name']!r} bucket edges differ across "
+                "snapshots; bucket-wise merge requires identical edges"
+            )
+        for key, entry in family["series"].items():
+            existing = into["series"].get(key)
+            if existing is None:
+                into["series"][key] = {
+                    "counts": list(entry["counts"]),
+                    "sum": entry["sum"],
+                    "count": entry["count"],
+                }
+            else:
+                _merge_histogram_entry(existing, entry)
+        return
+    use_max = kind == "gauge" and into.get("agg") == "max"
+    for key, value in family["series"].items():
+        if key in into["series"]:
+            if use_max:
+                into["series"][key] = max(into["series"][key], value)
+            else:
+                into["series"][key] += value
+        else:
+            into["series"][key] = value
+
+
+def _copy_family(family: Mapping) -> dict:
+    copied = dict(family)
+    copied["labelnames"] = tuple(family["labelnames"])
+    if family["type"] == "histogram":
+        copied["buckets"] = tuple(family["buckets"])
+        copied["series"] = {
+            key: {"counts": list(e["counts"]), "sum": e["sum"], "count": e["count"]}
+            for key, e in family["series"].items()
+        }
+    else:
+        copied["series"] = dict(family["series"])
+    return copied
+
+
+def merge_snapshots(snapshots: Sequence[Mapping]) -> dict:
+    """Fold snapshot dicts (``{name: family}``) into one fleet view."""
+    merged: dict[str, dict] = {}
+    for snapshot in snapshots:
+        if not snapshot:
+            continue
+        for name, family in snapshot.items():
+            if name not in merged:
+                merged[name] = _copy_family(family)
+            else:
+                _merge_family(merged[name], family)
+    return merged

@@ -1,0 +1,512 @@
+"""Thread-safe metrics instruments and the :class:`MetricsRegistry`.
+
+The observability core of ``repro.obs``: three Prometheus-style
+instruments — :class:`Counter` (monotone), :class:`Gauge` (set/add, or a
+scrape-time callback), :class:`Histogram` (fixed-bucket latency
+distribution) — each supporting labeled series keyed by e.g.
+``(model, batch_size)`` or ``(worker, kernel)``, owned by a
+:class:`MetricsRegistry`.
+
+Design points the serving tier builds on:
+
+- **Get-or-create**: ``registry.counter(name, help, labelnames)`` is
+  idempotent, so call sites fetch instruments lazily without a central
+  schema file; conflicting re-registration (different type/labels/
+  buckets) raises :class:`MetricError`.
+- **Snapshots are data**: :meth:`MetricsRegistry.snapshot` returns plain
+  dicts/tuples/floats — picklable across the worker-process queue and
+  mergeable bucket-wise by :func:`repro.obs.merge_snapshots`, which is
+  how the :class:`~repro.serve.router.ShardRouter` aggregates a fleet.
+- **Collectors bridge existing sources**: subsystems with their own
+  counters (the backend's per-kernel timings, the buffer-pool ledger)
+  register a ``collect()`` callable producing snapshot families at
+  scrape time, plus an optional ``reset()`` — so
+  :meth:`MetricsRegistry.reset` zeroes *every* subsystem in one call
+  (the single reset surface the benches use for warmup-phase zeroing).
+- **Metric names are disciplined**: every name must match
+  :data:`METRIC_NAME_RE` (``repro_`` prefix, lowercase, unit suffix);
+  the ``metrics-discipline`` static-analysis rule enforces the same
+  pattern at lint time.
+
+No numpy: percentile estimation interpolates inside histogram buckets in
+pure python, so ``repro.obs`` imports nothing heavier than ``threading``.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+#: The project-wide metric naming contract (also enforced by the
+#: ``metrics-discipline`` devtools rule): ``repro_`` prefix, lowercase
+#: snake case, optionally ending in a conventional unit suffix.
+METRIC_NAME_RE = re.compile(r"^repro_[a-z0-9_]+(_total|_seconds|_bytes|_ratio)?$")
+
+#: Metric family types understood by the snapshot/exposition layers.
+METRIC_TYPES = ("counter", "gauge", "histogram")
+
+
+def _default_latency_buckets() -> tuple:
+    # Geometric ladder, factor 1.25 from 20µs to >60s (~70 buckets): fine
+    # enough that percentiles interpolated inside a bucket stay within a
+    # few percent of the exact rank statistic, which is what lets the
+    # serve bench derive its committed p50/p95 from the exported
+    # histograms instead of keeping a parallel latency list.
+    edges = []
+    edge = 2e-5
+    while edge < 60.0:
+        edges.append(edge)
+        edge *= 1.25
+    return tuple(edges)
+
+
+#: Default :class:`Histogram` bucket upper bounds, in seconds.
+DEFAULT_LATENCY_BUCKETS = _default_latency_buckets()
+
+
+class MetricError(ValueError):
+    """Invalid metric name, label set, or conflicting re-registration."""
+
+
+def validate_metric_name(name: str) -> str:
+    """Check ``name`` against :data:`METRIC_NAME_RE`; returns it."""
+    if not METRIC_NAME_RE.match(name or ""):
+        raise MetricError(
+            f"metric name {name!r} violates the naming contract "
+            f"{METRIC_NAME_RE.pattern!r}"
+        )
+    return name
+
+
+def _label_key(labelnames: tuple, labels: Mapping[str, object]) -> tuple:
+    if set(labels) != set(labelnames):
+        raise MetricError(
+            f"labels {sorted(labels)} do not match declared labelnames "
+            f"{sorted(labelnames)}"
+        )
+    return tuple(str(labels[name]) for name in labelnames)
+
+
+class Instrument:
+    """Base of the three instruments: name, help, labelnames, one lock."""
+
+    type: str = "abstract"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str] = ()):
+        self.name = validate_metric_name(name)
+        self.help = str(help)
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._series: dict[tuple, object] = {}
+
+    def signature(self) -> tuple:
+        """Identity for get-or-create conflict detection."""
+        return (self.type, self.labelnames)
+
+    def reset(self) -> None:
+        """Drop every series (the registry-wide warmup zeroing path)."""
+        with self._lock:
+            self._series.clear()
+
+    def snapshot(self) -> dict:
+        """One picklable metric-family dict (see :mod:`repro.obs.merge`)."""
+        with self._lock:
+            series = dict(self._series)
+        return {
+            "name": self.name,
+            "type": self.type,
+            "help": self.help,
+            "labelnames": self.labelnames,
+            "series": series,
+        }
+
+
+class Counter(Instrument):
+    """Monotonically increasing count (requests, hits, evictions...)."""
+
+    type = "counter"
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        """Add ``amount`` (must be >= 0) to the labeled series."""
+        if amount < 0:
+            raise MetricError(f"counter {self.name} cannot decrease ({amount})")
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        """Current value of one labeled series (0.0 when never touched)."""
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            return float(self._series.get(key, 0.0))
+
+    def total(self) -> float:
+        """Sum across every labeled series."""
+        with self._lock:
+            return float(sum(self._series.values()))
+
+
+class Gauge(Instrument):
+    """A value that can go up and down (queue depth, retained bytes...).
+
+    ``callback`` makes the gauge *computed*: the callable runs at
+    snapshot time (outside any instrument lock) and must return either a
+    number (unlabeled) or a ``{label_values_tuple: number}`` mapping.
+    ``agg`` declares how the router merges this gauge across workers:
+    ``"sum"`` (default — sizes, depths) or ``"max"`` (high-water marks).
+    """
+
+    type = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        callback: Optional[Callable[[], object]] = None,
+        agg: str = "sum",
+    ):
+        super().__init__(name, help, labelnames)
+        if agg not in ("sum", "max"):
+            raise MetricError(f"gauge agg must be 'sum' or 'max', got {agg!r}")
+        self.callback = callback
+        self.agg = agg
+
+    def signature(self) -> tuple:
+        return (self.type, self.labelnames, self.agg)
+
+    def set(self, value: float, **labels) -> None:
+        """Set the labeled series to ``value``."""
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            self._series[key] = float(value)
+
+    def add(self, delta: float, **labels) -> None:
+        """Add ``delta`` (may be negative) to the labeled series."""
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + float(delta)
+
+    def value(self, **labels) -> float:
+        """Current value of one labeled series (0.0 when never set)."""
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            return float(self._series.get(key, 0.0))
+
+    def snapshot(self) -> dict:
+        family = super().snapshot()
+        family["agg"] = self.agg
+        if self.callback is not None:
+            # Callback runs without holding the instrument lock so a
+            # callback touching its own subsystem's lock (cache size,
+            # queue depth) can never invert lock order with a writer.
+            computed = self.callback()
+            if isinstance(computed, Mapping):
+                series = {tuple(k): float(v) for k, v in computed.items()}
+            else:
+                series = {(): float(computed)}
+            merged = dict(family["series"])
+            merged.update(series)
+            family["series"] = merged
+        return family
+
+
+class Histogram(Instrument):
+    """Fixed-bucket distribution (latency), cumulative at render time.
+
+    Internally each labeled series holds *per-bucket* (non-cumulative)
+    counts plus ``sum``/``count`` — elementwise addable, which is what
+    makes the router's bucket-wise fleet merge trivial.  The exposition
+    layer renders the Prometheus cumulative ``_bucket``/``_sum``/
+    ``_count`` form.
+    """
+
+    type = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ):
+        super().__init__(name, help, labelnames)
+        edges = tuple(float(b) for b in buckets)
+        if not edges or any(b <= a for a, b in zip(edges, edges[1:])):
+            raise MetricError(f"histogram buckets must strictly increase, got {edges}")
+        self.buckets = edges
+
+    def signature(self) -> tuple:
+        return (self.type, self.labelnames, self.buckets)
+
+    def _bucket_index(self, value: float) -> int:
+        # Linear scan is fine: observe() is O(len(buckets)) worst case but
+        # latencies overwhelmingly land in the low buckets; a bisect would
+        # save nothing measurable at ~70 edges.
+        for index, edge in enumerate(self.buckets):
+            if value <= edge:
+                return index
+        return len(self.buckets)  # the +Inf overflow bucket
+
+    def observe(self, value: float, **labels) -> None:
+        """Record one observation into the labeled series."""
+        key = _label_key(self.labelnames, labels)
+        index = self._bucket_index(float(value))
+        with self._lock:
+            entry = self._series.get(key)
+            if entry is None:
+                entry = {
+                    "counts": [0] * (len(self.buckets) + 1),
+                    "sum": 0.0,
+                    "count": 0,
+                }
+                self._series[key] = entry
+            entry["counts"][index] += 1
+            entry["sum"] += float(value)
+            entry["count"] += 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            series = {
+                key: {
+                    "counts": list(entry["counts"]),
+                    "sum": entry["sum"],
+                    "count": entry["count"],
+                }
+                for key, entry in self._series.items()
+            }
+        return {
+            "name": self.name,
+            "type": self.type,
+            "help": self.help,
+            "labelnames": self.labelnames,
+            "buckets": self.buckets,
+            "series": series,
+        }
+
+    # -- derived statistics --------------------------------------------
+    def merged_entry(self) -> dict:
+        """All labeled series folded into one counts/sum/count entry."""
+        with self._lock:
+            entries = list(self._series.values())
+        counts = [0] * (len(self.buckets) + 1)
+        total, n = 0.0, 0
+        for entry in entries:
+            for index, c in enumerate(entry["counts"]):
+                counts[index] += c
+            total += entry["sum"]
+            n += entry["count"]
+        return {"counts": counts, "sum": total, "count": n}
+
+    def percentile(self, q: float, **labels) -> float:
+        """Estimated ``q``-th percentile (seconds) of one labeled series
+        — or of all series merged when the histogram is labeled and no
+        labels are given."""
+        if self.labelnames and not labels:
+            entry = self.merged_entry()
+        else:
+            key = _label_key(self.labelnames, labels)
+            with self._lock:
+                entry = self._series.get(key)
+                if entry is not None:
+                    entry = {
+                        "counts": list(entry["counts"]),
+                        "sum": entry["sum"],
+                        "count": entry["count"],
+                    }
+        if not entry or not entry["count"]:
+            return 0.0
+        return percentile_from_counts(entry["counts"], self.buckets, q)
+
+
+def percentile_from_counts(counts: Sequence[int], buckets: Sequence[float], q: float) -> float:
+    """Estimate a percentile from per-bucket counts by linear
+    interpolation inside the containing bucket (the +Inf bucket clamps to
+    the last finite edge)."""
+    total = sum(counts)
+    if total <= 0:
+        return 0.0
+    rank = (min(max(q, 0.0), 100.0) / 100.0) * total
+    cumulative = 0
+    for index, count in enumerate(counts):
+        if count == 0:
+            continue
+        previous = cumulative
+        cumulative += count
+        if cumulative >= rank:
+            lower = 0.0 if index == 0 else float(buckets[index - 1])
+            if index >= len(buckets):  # overflow bucket: no upper edge
+                return float(buckets[-1])
+            upper = float(buckets[index])
+            fraction = (rank - previous) / count
+            return lower + (upper - lower) * fraction
+    return float(buckets[-1])
+
+
+# ----------------------------------------------------------------------
+# Collector-family helpers (for bridging non-instrument sources)
+# ----------------------------------------------------------------------
+def _family_series(labelnames: tuple, series: Mapping) -> dict:
+    out = {}
+    for key, value in series.items():
+        if not labelnames:
+            key = ()
+        elif not isinstance(key, tuple):
+            key = (str(key),)
+        else:
+            key = tuple(str(part) for part in key)
+        if len(key) != len(labelnames):
+            raise MetricError(
+                f"series key {key!r} does not match labelnames {labelnames!r}"
+            )
+        out[key] = float(value)
+    return out
+
+
+def counter_family(name: str, help: str, labelnames: Sequence[str], series: Mapping) -> dict:
+    """A counter family dict from an external source (snapshot-shaped).
+
+    ``series`` maps label-value tuples (or a bare string for one label,
+    or anything for zero labels) to numbers.
+    """
+    labelnames = tuple(labelnames)
+    return {
+        "name": validate_metric_name(name),
+        "type": "counter",
+        "help": str(help),
+        "labelnames": labelnames,
+        "series": _family_series(labelnames, series),
+    }
+
+
+def gauge_family(
+    name: str, help: str, labelnames: Sequence[str], series: Mapping, agg: str = "sum"
+) -> dict:
+    """A gauge family dict from an external source (snapshot-shaped)."""
+    # The one legitimate pass-through of a caller-supplied name: the
+    # caller's own literal was already checked at its call site.
+    family = counter_family(name, help, labelnames, series)  # devtools: ignore[metrics-discipline]
+    family["type"] = "gauge"
+    family["agg"] = agg
+    return family
+
+
+class MetricsRegistry:
+    """Owns a process- or subsystem-scoped set of instruments.
+
+    Thread-safe; instruments are get-or-create so call sites register
+    lazily.  ``collectors`` bridge subsystems that keep their own
+    counters (kernel timings, buffer pool): each produces snapshot-shaped
+    family dicts at scrape time and may supply a ``reset`` callable so
+    :meth:`reset` zeroes every subsystem through one surface.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, Instrument] = {}
+        self._collectors: list[tuple[Callable[[], Iterable[dict]], Optional[Callable[[], None]]]] = []
+
+    # -- get-or-create --------------------------------------------------
+    def _get_or_create(self, cls, name: str, args: tuple, kwargs: dict) -> Instrument:
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is None:
+                instrument = cls(name, *args, **kwargs)
+                self._instruments[name] = instrument
+                return instrument
+        probe = cls(name, *args, **kwargs)
+        if existing.signature() != probe.signature():
+            raise MetricError(
+                f"metric {name!r} already registered with signature "
+                f"{existing.signature()}, conflicting with {probe.signature()}"
+            )
+        return existing
+
+    def counter(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Counter:
+        """Get or create a :class:`Counter`."""
+        return self._get_or_create(Counter, name, (help, tuple(labelnames)), {})
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        callback: Optional[Callable[[], object]] = None,
+        agg: str = "sum",
+    ) -> Gauge:
+        """Get or create a :class:`Gauge` (optionally callback-computed)."""
+        return self._get_or_create(
+            Gauge, name, (help, tuple(labelnames)), {"callback": callback, "agg": agg}
+        )
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        """Get or create a :class:`Histogram` with fixed ``buckets``."""
+        return self._get_or_create(
+            Histogram, name, (help, tuple(labelnames)), {"buckets": tuple(buckets)}
+        )
+
+    def register_collector(
+        self,
+        collect: Callable[[], Iterable[dict]],
+        reset: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Bridge an external stats source into snapshots (and resets)."""
+        with self._lock:
+            self._collectors.append((collect, reset))
+
+    # -- introspection --------------------------------------------------
+    def names(self) -> tuple:
+        """Names of directly registered instruments (not collector families)."""
+        with self._lock:
+            return tuple(sorted(self._instruments))
+
+    def get(self, name: str) -> Instrument:
+        """Fetch a registered instrument; ``KeyError`` with the roster."""
+        with self._lock:
+            try:
+                return self._instruments[name]
+            except KeyError:
+                raise KeyError(
+                    f"no metric {name!r} registered; have {sorted(self._instruments)}"
+                ) from None
+
+    def snapshot(self) -> dict:
+        """``{name: family}`` over instruments + collector families.
+
+        Plain dicts/tuples/numbers throughout: picklable over the worker
+        queues and mergeable via :func:`repro.obs.merge_snapshots`.
+        """
+        with self._lock:
+            instruments = list(self._instruments.values())
+            collectors = [collect for collect, _ in self._collectors]
+        families: dict[str, dict] = {}
+        for instrument in instruments:
+            families[instrument.name] = instrument.snapshot()
+        for collect in collectors:
+            for family in collect():
+                validate_metric_name(family["name"])
+                families[family["name"]] = family
+        return families
+
+    def reset(self) -> None:
+        """Zero every instrument *and* every bridged subsystem.
+
+        This is the one reset surface the benches call between warmup and
+        the timed phase — it replaces the old trio of
+        ``scheduler.reset_stats()`` / cache counter resets /
+        ``reset_pool_stats()`` with a single atomic-enough sweep.
+        """
+        with self._lock:
+            instruments = list(self._instruments.values())
+            resets = [reset for _, reset in self._collectors if reset is not None]
+        for instrument in instruments:
+            instrument.reset()
+        for reset in resets:
+            reset()

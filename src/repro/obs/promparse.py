@@ -1,0 +1,250 @@
+"""Strict parser/validator for Prometheus text exposition 0.0.4.
+
+This is the *consumer* side of :mod:`repro.obs.exposition`, used by the
+test suite and the serve bench to check that what ``GET /metrics``
+returns is something a real Prometheus scraper would accept:
+
+- every sample belongs to a family announced by ``# HELP`` and
+  ``# TYPE`` lines (TYPE before samples);
+- sample lines match the line grammar (metric name, correctly escaped
+  quoted label values, a parseable value);
+- histogram families expose only ``_bucket``/``_sum``/``_count``
+  samples, every ``_bucket`` carries an ``le`` label, cumulative bucket
+  counts are monotonically non-decreasing per series, the ``+Inf``
+  bucket equals ``_count``, and ``_sum`` is present.
+
+Violations raise :class:`ExpositionError` with the offending line, so a
+failing grammar test points straight at the bad output.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Mapping
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_HELP_RE = re.compile(r"^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) ?(.*)$")
+_TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$")
+
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+class ExpositionError(ValueError):
+    """The text violates the exposition-format grammar."""
+
+
+def _parse_value(token: str, line: str) -> float:
+    if token == "+Inf":
+        return math.inf
+    if token == "-Inf":
+        return -math.inf
+    if token == "NaN":
+        return math.nan
+    try:
+        return float(token)
+    except ValueError:
+        raise ExpositionError(f"unparseable sample value {token!r} in line: {line}") from None
+
+
+def _parse_labels(body: str, line: str) -> dict:
+    """Tokenize ``name="value",...`` honouring ``\\\\``, ``\\"``, ``\\n``."""
+    labels: dict[str, str] = {}
+    index = 0
+    length = len(body)
+    while index < length:
+        match = re.match(r'([a-zA-Z_][a-zA-Z0-9_]*)="', body[index:])
+        if not match:
+            raise ExpositionError(f"malformed label pair at {body[index:]!r} in line: {line}")
+        name = match.group(1)
+        index += match.end()
+        value_chars = []
+        while True:
+            if index >= length:
+                raise ExpositionError(f"unterminated label value in line: {line}")
+            char = body[index]
+            if char == "\\":
+                if index + 1 >= length:
+                    raise ExpositionError(f"dangling escape in line: {line}")
+                escaped = body[index + 1]
+                if escaped == "n":
+                    value_chars.append("\n")
+                elif escaped in ('"', "\\"):
+                    value_chars.append(escaped)
+                else:
+                    raise ExpositionError(f"invalid escape \\{escaped} in line: {line}")
+                index += 2
+            elif char == '"':
+                index += 1
+                break
+            elif char == "\n":
+                raise ExpositionError(f"raw newline inside label value in line: {line}")
+            else:
+                value_chars.append(char)
+                index += 1
+        if name in labels:
+            raise ExpositionError(f"duplicate label {name!r} in line: {line}")
+        labels[name] = "".join(value_chars)
+        if index < length:
+            if body[index] != ",":
+                raise ExpositionError(f"expected ',' between labels in line: {line}")
+            index += 1
+    return labels
+
+
+def _parse_sample(line: str):
+    brace = line.find("{")
+    if brace != -1:
+        name = line[:brace]
+        closing = line.rfind("}")
+        if closing == -1 or closing < brace:
+            raise ExpositionError(f"unbalanced braces in line: {line}")
+        labels = _parse_labels(line[brace + 1 : closing], line)
+        rest = line[closing + 1 :]
+    else:
+        parts = line.split(None, 1)
+        if len(parts) != 2:
+            raise ExpositionError(f"sample line missing value: {line}")
+        name, rest = parts[0], " " + parts[1]
+        labels = {}
+    if not _NAME_RE.match(name):
+        raise ExpositionError(f"invalid metric name {name!r} in line: {line}")
+    rest = rest.strip()
+    tokens = rest.split()
+    if len(tokens) not in (1, 2):  # optional trailing timestamp
+        raise ExpositionError(f"trailing garbage in line: {line}")
+    return name, labels, _parse_value(tokens[0], line)
+
+
+def _family_for(sample_name: str, families: Mapping) -> tuple:
+    """Resolve a sample to its family, handling histogram suffixes."""
+    if sample_name in families:
+        return sample_name, ""
+    for suffix in _HISTOGRAM_SUFFIXES:
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if base in families and families[base]["type"] == "histogram":
+                return base, suffix
+    raise ExpositionError(
+        f"sample {sample_name!r} has no preceding # TYPE family declaration"
+    )
+
+
+def _series_key(labels: Mapping) -> tuple:
+    return tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+
+
+def _check_histogram(name: str, family: Mapping) -> None:
+    series: dict[tuple, dict] = {}
+    for suffix, labels, value in family["typed_samples"]:
+        key = _series_key(labels)
+        entry = series.setdefault(key, {"buckets": [], "sum": None, "count": None})
+        if suffix == "_bucket":
+            if "le" not in labels:
+                raise ExpositionError(f"histogram {name} _bucket sample missing le label")
+            entry["buckets"].append((labels["le"], value))
+        elif suffix == "_sum":
+            entry["sum"] = value
+        elif suffix == "_count":
+            entry["count"] = value
+        else:
+            raise ExpositionError(
+                f"histogram {name} exposes non-histogram sample suffix {suffix!r}"
+            )
+    for key, entry in series.items():
+        if not entry["buckets"]:
+            raise ExpositionError(f"histogram {name} series {key} has no _bucket samples")
+        if entry["sum"] is None:
+            raise ExpositionError(f"histogram {name} series {key} missing _sum")
+        if entry["count"] is None:
+            raise ExpositionError(f"histogram {name} series {key} missing _count")
+        edges = []
+        for le, value in entry["buckets"]:
+            edges.append((math.inf if le == "+Inf" else _parse_value(le, le), value))
+        edges.sort(key=lambda pair: pair[0])
+        previous = -math.inf
+        for edge, value in edges:
+            if value < previous:
+                raise ExpositionError(
+                    f"histogram {name} series {key} cumulative bucket counts "
+                    f"decrease at le={edge}"
+                )
+            previous = value
+        if edges[-1][0] != math.inf:
+            raise ExpositionError(f"histogram {name} series {key} missing +Inf bucket")
+        if edges[-1][1] != entry["count"]:
+            raise ExpositionError(
+                f"histogram {name} series {key} +Inf bucket ({edges[-1][1]}) "
+                f"!= _count ({entry['count']})"
+            )
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse and validate; returns ``{name: {type, help, samples}}``.
+
+    ``samples`` is a list of ``(sample_name, labels_dict, value)``
+    triples (histogram samples keep their ``_bucket``/``_sum``/
+    ``_count`` names).
+    """
+    families: dict[str, dict] = {}
+    for raw in text.splitlines():
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            match = _HELP_RE.match(line)
+            if not match:
+                raise ExpositionError(f"malformed HELP line: {line}")
+            name, help_text = match.group(1), match.group(2)
+            entry = families.setdefault(
+                name, {"type": None, "help": None, "samples": [], "typed_samples": []}
+            )
+            entry["help"] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            match = _TYPE_RE.match(line)
+            if not match:
+                raise ExpositionError(f"malformed TYPE line: {line}")
+            name, kind = match.group(1), match.group(2)
+            entry = families.setdefault(
+                name, {"type": None, "help": None, "samples": [], "typed_samples": []}
+            )
+            if entry["samples"]:
+                raise ExpositionError(f"# TYPE for {name} appears after its samples")
+            entry["type"] = kind
+            continue
+        if line.startswith("#"):
+            continue  # comment
+        sample_name, labels, value = _parse_sample(line)
+        base, suffix = _family_for(sample_name, families)
+        family = families[base]
+        if family["type"] is None:
+            raise ExpositionError(f"sample {sample_name!r} precedes its # TYPE line")
+        family["samples"].append((sample_name, labels, value))
+        family["typed_samples"].append((suffix or "", labels, value))
+    for name, family in families.items():
+        if family["type"] is None:
+            raise ExpositionError(f"family {name} has samples or HELP but no # TYPE")
+        if family["help"] is None:
+            raise ExpositionError(f"family {name} has no # HELP line")
+        if family["type"] == "histogram":
+            _check_histogram(name, family)
+    return families
+
+
+def sample_value(families: Mapping, name: str, labels: Mapping | None = None) -> float:
+    """Value of one exact sample (labels compared as a full dict)."""
+    base, _ = _family_for(name, families) if name not in families else (name, "")
+    wanted = dict(labels or {})
+    for sample_name, sample_labels, value in families[base]["samples"]:
+        if sample_name == name and sample_labels == wanted:
+            return value
+    raise KeyError(f"no sample {name}{wanted!r}")
+
+
+def family_total(families: Mapping, name: str) -> float:
+    """Sum of a counter/gauge family's samples across all label sets."""
+    family = families[name]
+    if family["type"] == "histogram":
+        raise ExpositionError(f"family_total() is for counters/gauges, {name} is a histogram")
+    return sum(value for _, _, value in family["samples"])

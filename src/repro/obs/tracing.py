@@ -1,0 +1,144 @@
+"""Per-request tracing: span timelines that tile the request window.
+
+A :class:`Trace` is a request id plus an ordered list of *marks*.  The
+trace starts at construction time and ``mark(name)`` means "the stage
+called ``name`` ended now" — so the spans derived from consecutive marks
+**tile** the window from start to the last mark with no gaps and no
+overlaps, which is what makes the acceptance check "stage durations sum
+(±5%) to end-to-end latency" hold by construction rather than by luck.
+
+The id is minted at the client/HTTP edge (:func:`new_request_id`) and
+propagates router → worker → scheduler wave → inference: the scheduler
+marks ``queue_wait`` / ``batch_formation`` / ``inference`` from its
+worker thread while the request thread marks the edges around it —
+marks carry absolute ``perf_counter`` stamps, so cross-thread ordering
+is just a sort.
+
+For the sharded tier the router cannot share a Trace object with the
+worker process; instead the worker returns its own span list in the
+response and :func:`splice_spans` replaces the router's coarse
+``worker`` span with the worker's fine-grained spans plus a residual
+``transport`` span (queue + pickling overhead), keeping the tiling
+invariant across the process boundary.
+
+Completed traces are emitted as structured JSONL into a ring-buffered
+:class:`TraceLog` (bounded memory, newest-wins) and attached to the
+response when the request carries ``debug=true``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import uuid
+from collections import deque
+from time import perf_counter
+from typing import Optional, Sequence
+
+
+def new_request_id() -> str:
+    """Mint a request id (16 hex chars) at the client/HTTP edge."""
+    return uuid.uuid4().hex[:16]
+
+
+class Trace:
+    """Span timeline for one request; thread-safe, marks tile [start, end]."""
+
+    def __init__(self, request_id: Optional[str] = None, start: Optional[float] = None):
+        self.request_id = request_id or new_request_id()
+        self.start = perf_counter() if start is None else float(start)
+        self._marks: list[tuple[str, float]] = []
+        self._lock = threading.Lock()
+
+    def mark(self, name: str) -> None:
+        """Record that stage ``name`` ended now."""
+        stamp = perf_counter()
+        with self._lock:
+            self._marks.append((str(name), stamp))
+
+    def spans(self) -> list:
+        """``[{"name", "ms"}, ...]`` tiling start → last mark.
+
+        Marks from different threads are sorted by absolute timestamp;
+        each span's duration is the gap back to the previous mark (or to
+        the trace start), so durations always sum to the full window.
+        """
+        with self._lock:
+            marks = sorted(self._marks, key=lambda pair: pair[1])
+        spans = []
+        previous = self.start
+        for name, stamp in marks:
+            spans.append({"name": name, "ms": max(0.0, (stamp - previous) * 1000.0)})
+            previous = stamp
+        return spans
+
+    def to_dict(self) -> dict:
+        """JSON-ready trace: id, spans, and their total duration."""
+        spans = self.spans()
+        return {
+            "request_id": self.request_id,
+            "spans": spans,
+            "total_ms": sum(span["ms"] for span in spans),
+        }
+
+
+def splice_spans(spans: Sequence[dict], name: str, child_spans: Sequence[dict],
+                 residual_name: str = "transport") -> list:
+    """Replace span ``name`` with ``child_spans`` + a residual span.
+
+    The residual (IPC queueing, pickling) is the parent span's duration
+    minus the children's total, clamped at zero — so the spliced list
+    still sums to the original end-to-end total.  Used by the router to
+    stitch a worker's inner timeline into its own.
+    """
+    spliced: list[dict] = []
+    for span in spans:
+        if span["name"] != name:
+            spliced.append(dict(span))
+            continue
+        child_total = 0.0
+        for child in child_spans:
+            spliced.append(dict(child))
+            child_total += child["ms"]
+        spliced.append({"name": residual_name, "ms": max(0.0, span["ms"] - child_total)})
+    return spliced
+
+
+class TraceLog:
+    """Ring-buffered JSONL sink for completed traces.
+
+    Bounded (``capacity`` newest traces win) so an always-on debug tier
+    can't grow without limit; ``lines()`` returns the buffered JSONL for
+    the ``/tracez`` endpoint or offline inspection.
+    """
+
+    def __init__(self, capacity: int = 256):
+        self.capacity = int(capacity)
+        self._lines: deque = deque(maxlen=self.capacity)
+        self._recorded = 0
+        self._lock = threading.Lock()
+
+    def record(self, trace_dict: dict) -> None:
+        """Append one completed trace (as a compact JSON line)."""
+        line = json.dumps(trace_dict, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            self._lines.append(line)
+            self._recorded += 1
+
+    def lines(self) -> list:
+        """Buffered JSONL lines, oldest first."""
+        with self._lock:
+            return list(self._lines)
+
+    def recorded(self) -> int:
+        """Total traces ever recorded (including ones rotated out)."""
+        with self._lock:
+            return self._recorded
+
+    def clear(self) -> None:
+        with self._lock:
+            self._lines.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._lines)

@@ -16,8 +16,12 @@ four layers (bottom-up):
   deterministic at serving time, so repeats are free.
 - :mod:`~repro.serve.http` — the **stdlib threaded HTTP JSON API**
   (``POST /v1/rationalize`` — single or batched ``inputs`` form,
-  ``GET /v1/models``, ``GET /healthz``, ``GET /statz``), started via
-  ``python -m repro.experiments serve``.
+  ``GET /v1/models``, ``GET /healthz``, ``GET /statz``, Prometheus
+  ``GET /metrics``, ``GET /tracez``), started via
+  ``python -m repro.experiments serve``.  Observability itself —
+  the metrics registry, Prometheus exposition and request tracing —
+  lives in :mod:`repro.obs`; every layer here registers its counters
+  and latency histograms there.
 - :mod:`~repro.serve.shard` + :mod:`~repro.serve.router` — the
   **sharded multi-process tier** (``--workers N`` / ``make serve
   WORKERS=N``): a front :class:`ShardRouter` hash-affinity/least-loaded

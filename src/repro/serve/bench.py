@@ -34,13 +34,16 @@ import os
 import tempfile
 import threading
 import time
+import urllib.request
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from repro.obs import Histogram, MetricsRegistry, family_total, parse_prometheus
 from repro.serve.client import Client, ServeClientError
+from repro.serve.http import RationaleServer
 from repro.serve.registry import ModelRegistry, save_artifact
 from repro.serve.router import ShardRouter
 from repro.serve.service import RationalizationService
@@ -48,6 +51,10 @@ from repro.serve.service import RationalizationService
 #: Default output artifact, written at the repository root when run via
 #: ``make serve-bench`` / the CLI / the serve smoke test.
 DEFAULT_SERVE_BENCH_PATH = "BENCH_serve.json"
+
+#: Prometheus text scraped from the live batched service during the
+#: bench, written next to the JSON artifact (and uploaded by CI).
+SERVE_METRICS_SCRAPE_NAME = "BENCH_serve_metrics.prom"
 
 
 def make_request_stream(
@@ -82,12 +89,18 @@ def _build_artifact(tmp_dir: str, vocab_size: int, seed: int) -> str:
     return path
 
 
-def _percentiles(latencies_ms: list[float]) -> dict:
-    arr = np.asarray(latencies_ms, dtype=np.float64)
+def _histogram_percentiles(hist: Histogram) -> dict:
+    """Latency percentiles derived from an exported-format histogram —
+    the same estimate a Prometheus dashboard would compute from the
+    ``/metrics`` buckets, so the committed artifact and live monitoring
+    can never disagree about what "p95" means."""
+    entry = hist.merged_entry()
+    if not entry["count"]:
+        return {}
     return {
-        "p50_ms": round(float(np.percentile(arr, 50)), 3),
-        "p95_ms": round(float(np.percentile(arr, 95)), 3),
-        "mean_ms": round(float(arr.mean()), 3),
+        "p50_ms": round(hist.percentile(50) * 1000.0, 3),
+        "p95_ms": round(hist.percentile(95) * 1000.0, 3),
+        "mean_ms": round(entry["sum"] / entry["count"] * 1000.0, 3),
     }
 
 
@@ -112,40 +125,47 @@ class LoadGenerator:
         self.send = send
         self.workers = int(workers)
         self.max_outstanding = int(max_outstanding)
-        self._lock = threading.Lock()
-        self._latencies_ms: list[float] = []
-        self._ok = 0
-        self._rejected = 0
-        self._timeouts = 0
-        self._failures = 0
+        # Client-side telemetry is registry instruments too: one
+        # metrics.reset() zeroes a run, and the percentiles come from the
+        # same fixed-bucket histogram the server exports.
+        self.metrics = MetricsRegistry()
+        self._m_ok = self.metrics.counter(
+            "repro_loadgen_ok_total", "Requests answered successfully."
+        )
+        self._m_rejected = self.metrics.counter(
+            "repro_loadgen_rejected_total", "Requests fast-rejected with 429."
+        )
+        self._m_timeouts = self.metrics.counter(
+            "repro_loadgen_timeouts_total", "Requests that hit the client timeout."
+        )
+        self._m_failures = self.metrics.counter(
+            "repro_loadgen_failures_total", "Transport/server failures."
+        )
+        self._m_latency = self.metrics.histogram(
+            "repro_loadgen_latency_seconds", "Client-observed request latency."
+        )
 
     def _one(self, item) -> None:
         start = time.perf_counter()
         try:
             self.send(item)
         except ServeClientError as exc:
-            with self._lock:
-                if exc.status == 429:
-                    self._rejected += 1
-                elif exc.status == 504:
-                    self._timeouts += 1
-                else:
-                    self._failures += 1
+            if exc.status == 429:
+                self._m_rejected.inc()
+            elif exc.status == 504:
+                self._m_timeouts.inc()
+            else:
+                self._m_failures.inc()
             return
         except Exception:
-            with self._lock:
-                self._failures += 1
+            self._m_failures.inc()
             return
-        latency = (time.perf_counter() - start) * 1000.0
-        with self._lock:
-            self._ok += 1
-            self._latencies_ms.append(latency)
+        self._m_ok.inc()
+        self._m_latency.observe(time.perf_counter() - start)
 
     def run(self, stream: Sequence) -> dict:
         """Fire the whole stream through the pool; return one stats row."""
-        with self._lock:
-            self._latencies_ms = []
-            self._ok = self._rejected = self._timeouts = self._failures = 0
+        self.metrics.reset()  # one atomic zeroing across every instrument
         gate = threading.Semaphore(self.max_outstanding)
 
         def gated(item) -> None:
@@ -160,46 +180,65 @@ class LoadGenerator:
                 gate.acquire()
                 pool.submit(gated, item)
         elapsed = time.perf_counter() - start
-        with self._lock:
-            latencies = list(self._latencies_ms)
-            row = {
-                "requests": len(stream),
-                "ok": self._ok,
-                "rejected": self._rejected,
-                "timeouts": self._timeouts,
-                "failures": self._failures,
-                "client_workers": self.workers,
-                "max_outstanding": self.max_outstanding,
-                "elapsed_s": round(elapsed, 4),
-                "throughput_rps": round(self._ok / elapsed, 2) if elapsed else 0.0,
-            }
-        if latencies:
-            row.update(_percentiles(latencies))
+        ok = int(self._m_ok.value())
+        row = {
+            "requests": len(stream),
+            "ok": ok,
+            "rejected": int(self._m_rejected.value()),
+            "timeouts": int(self._m_timeouts.value()),
+            "failures": int(self._m_failures.value()),
+            "client_workers": self.workers,
+            "max_outstanding": self.max_outstanding,
+            "elapsed_s": round(elapsed, 4),
+            "throughput_rps": round(ok / elapsed, 2) if elapsed else 0.0,
+        }
+        row.update(_histogram_percentiles(self._m_latency))
         return row
 
 
 def _drive(service: RationalizationService, model: str, stream: list, workers: int) -> dict:
     """Fire the whole stream (with ``workers`` concurrent clients) and time it."""
-    latencies: list[float] = []
+    hist = Histogram("repro_bench_latency_seconds", "Bench-observed request latency.")
 
-    def one(ids: list) -> float:
+    def one(ids: list) -> None:
         start = time.perf_counter()
         service.rationalize(model=model, token_ids=ids)
-        return (time.perf_counter() - start) * 1000.0
+        hist.observe(time.perf_counter() - start)
 
     start = time.perf_counter()
     if workers <= 1:
-        latencies = [one(ids) for ids in stream]
+        for ids in stream:
+            one(ids)
     else:
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            latencies = list(pool.map(one, stream))
+            list(pool.map(one, stream))
     elapsed = time.perf_counter() - start
     return {
         "requests": len(stream),
         "workers": workers,
         "elapsed_s": round(elapsed, 4),
         "throughput_rps": round(len(stream) / elapsed, 2),
-        **_percentiles(latencies),
+        **_histogram_percentiles(hist),
+    }
+
+
+def _scrape_metrics(service: RationalizationService) -> dict:
+    """Stand up the HTTP layer on an ephemeral port, scrape ``/metrics``
+    over a real socket, and grammar-check the exposition.
+
+    Returns the raw scrape text plus a small summary (family count,
+    ``repro_requests_total``); :func:`repro.obs.parse_prometheus` raises
+    if the exposition is malformed, so a broken ``/metrics`` fails the
+    bench rather than silently shipping an unscrapeable endpoint.
+    """
+    with RationaleServer(service, port=0) as server:
+        with urllib.request.urlopen(server.url + "/metrics", timeout=10.0) as response:
+            text = response.read().decode("utf-8")
+    families = parse_prometheus(text)
+    return {
+        "text": text,
+        "families": len(families),
+        "requests_total": family_total(families, "repro_requests_total"),
     }
 
 
@@ -302,11 +341,14 @@ def run_serve_bench(
             sequential = _drive(service, "bench", stream, workers=1)
         rows.append({"phase": "sequential", "cache": False, **sequential})
 
+        metrics_scrape: Optional[dict] = None
         with make_service(batching=True, cache_size=4 * n_requests) as service:
             _drive(service, "bench", warmup, workers=workers)
-            # Zero the coalescing counters after warmup so the reported
-            # batching behaviour describes only the timed phase.
-            service.scheduler.reset_stats()
+            # Zero every subsystem's instruments (scheduler, cache, pool
+            # ledger, kernel timings, latency histograms) in one atomic
+            # registry reset so the reported behaviour describes only the
+            # timed phases.
+            service.metrics.reset()
             batched = _drive(service, "bench", stream, workers=workers)
             scheduler_stats = service.scheduler.stats()
             batched["mean_batch_size"] = scheduler_stats["mean_batch_size"]
@@ -319,6 +361,11 @@ def run_serve_bench(
             replay = (after["hits"] - before["hits"]) + (after["misses"] - before["misses"])
             cached["hit_rate"] = round((after["hits"] - before["hits"]) / replay, 4) if replay else 0.0
             rows.append({"phase": "cached", "cache": True, **cached})
+
+            # Scrape /metrics from the live (still-warm) service the same
+            # way Prometheus would, so the committed artifact carries a
+            # grammar-validated snapshot of the run's telemetry.
+            metrics_scrape = _scrape_metrics(service)
 
         scaling_rows: list[dict] = []
         if scaling_workers:
@@ -364,6 +411,18 @@ def run_serve_bench(
                 "sweep": scaling_rows,
                 "best_speedup_vs_1_worker": max(
                     row["speedup_vs_1_worker"] for row in scaling_rows
+                ),
+            }
+        if metrics_scrape is not None:
+            scrape_path = Path(out_path).with_name(SERVE_METRICS_SCRAPE_NAME)
+            scrape_path.write_text(metrics_scrape["text"])
+            artifact["metrics"] = {
+                "scrape": SERVE_METRICS_SCRAPE_NAME,
+                "families": metrics_scrape["families"],
+                "requests_total": metrics_scrape["requests_total"],
+                "note": (
+                    "latency percentiles in `results` are derived from the "
+                    "exported fixed-bucket histograms, not raw samples"
                 ),
             }
         Path(out_path).write_text(json.dumps(artifact, indent=2) + "\n")

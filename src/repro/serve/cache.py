@@ -4,8 +4,10 @@ Rationalization is deterministic at serving time (greedy argmax selection,
 no sampling), so identical requests always produce identical responses —
 an LRU cache in front of the scheduler turns repeated traffic into O(1)
 lookups.  The cache is thread-safe (HTTP handler threads and the
-scheduler worker touch it concurrently) and tracks hit/miss/eviction
-counts for ``GET /statz``.
+scheduler worker touch it concurrently); hit/miss/eviction counts are
+:class:`repro.obs.MetricsRegistry` counters (``repro_cache_*``) shared
+with the owning service's registry, and ``stats()`` renders the same
+dict shape for ``GET /statz`` from those instruments.
 """
 
 from __future__ import annotations
@@ -13,6 +15,8 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from typing import Hashable, Optional, Sequence
+
+from repro.obs import MetricsRegistry
 
 
 def rationale_key(model_name: str, token_ids: Sequence[int]) -> tuple:
@@ -28,36 +32,56 @@ class RationaleCache:
     measure raw model throughput.
     """
 
-    def __init__(self, capacity: int = 1024):
+    def __init__(self, capacity: int = 1024, metrics: Optional[MetricsRegistry] = None):
         self.capacity = int(capacity)
         self._data: OrderedDict[Hashable, dict] = OrderedDict()
         self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._m_hits = self.metrics.counter(
+            "repro_cache_hits_total", "Rationale-cache lookup hits."
+        )
+        self._m_misses = self.metrics.counter(
+            "repro_cache_misses_total", "Rationale-cache lookup misses."
+        )
+        self._m_evictions = self.metrics.counter(
+            "repro_cache_evictions_total", "LRU evictions at cache capacity."
+        )
+        self.metrics.gauge(
+            "repro_cache_size", "Entries currently cached.", callback=self._size
+        )
+
+    def _size(self) -> int:
+        with self._lock:
+            return len(self._data)
 
     def get(self, key: Hashable) -> Optional[dict]:
         """Look up ``key``; refreshes recency and counts the hit/miss."""
         with self._lock:
             entry = self._data.get(key)
-            if entry is None:
-                self._misses += 1
-                return None
-            self._data.move_to_end(key)
-            self._hits += 1
-            return entry
+            if entry is not None:
+                self._data.move_to_end(key)
+        # Instrument increments happen outside the cache lock: instrument
+        # locks are leaves, never held while taking another lock.
+        if entry is None:
+            self._m_misses.inc()
+        else:
+            self._m_hits.inc()
+        return entry
 
     def put(self, key: Hashable, value: dict) -> None:
         """Insert (or refresh) ``key``; evicts the LRU entry when full."""
         if self.capacity <= 0:
             return
+        evicted = 0
         with self._lock:
             if key in self._data:
                 self._data.move_to_end(key)
             self._data[key] = value
             while len(self._data) > self.capacity:
                 self._data.popitem(last=False)
-                self._evictions += 1
+                evicted += 1
+        if evicted:
+            self._m_evictions.inc(evicted)
 
     def clear(self) -> None:
         """Drop every entry (stats are kept)."""
@@ -73,15 +97,16 @@ class RationaleCache:
             return key in self._data
 
     def stats(self) -> dict:
-        """Hit/miss/eviction counters plus current occupancy."""
-        with self._lock:
-            hits, misses = self._hits, self._misses
-            total = hits + misses
-            return {
-                "size": len(self._data),
-                "capacity": self.capacity,
-                "hits": hits,
-                "misses": misses,
-                "evictions": self._evictions,
-                "hit_rate": round(hits / total, 4) if total else 0.0,
-            }
+        """Hit/miss/eviction counters plus current occupancy — same shape
+        as ever, rendered from the registry instruments."""
+        hits = int(self._m_hits.value())
+        misses = int(self._m_misses.value())
+        total = hits + misses
+        return {
+            "size": self._size(),
+            "capacity": self.capacity,
+            "hits": hits,
+            "misses": misses,
+            "evictions": int(self._m_evictions.value()),
+            "hit_rate": round(hits / total, 4) if total else 0.0,
+        }

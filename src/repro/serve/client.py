@@ -22,12 +22,12 @@ from __future__ import annotations
 
 import json
 import socket
-import threading
 import time
 import urllib.error
 import urllib.request
 from typing import Optional, Sequence
 
+from repro.obs import MetricsRegistry
 from repro.serve.service import RationalizationService, RequestError
 
 #: URLError reasons that mean "the connection itself failed" — the only
@@ -75,12 +75,25 @@ class Client:
         self.timeout_s = float(timeout_s)
         self.retries = int(retries)
         self.retry_backoff_s = float(retry_backoff_s)
-        self._stats_lock = threading.Lock()
-        self._requests = 0
-        self._retried = 0
-        self._connect_failures = 0
-        self._timeouts = 0
-        self._http_errors = 0
+        # Transport counters are registry instruments (client-private
+        # registry) so even client-side telemetry follows the
+        # metrics-discipline naming contract.
+        self.metrics = MetricsRegistry()
+        self._m_requests = self.metrics.counter(
+            "repro_client_requests_total", "HTTP requests issued by this client."
+        )
+        self._m_retried = self.metrics.counter(
+            "repro_client_retried_total", "Attempts retried after a connect failure."
+        )
+        self._m_connect_failures = self.metrics.counter(
+            "repro_client_connect_failures_total", "Connection-level failures."
+        )
+        self._m_timeouts = self.metrics.counter(
+            "repro_client_timeouts_total", "Requests that hit the socket timeout."
+        )
+        self._m_http_errors = self.metrics.counter(
+            "repro_client_http_errors_total", "HTTP-level error responses."
+        )
 
     # ------------------------------------------------------------------
     def rationalize(
@@ -88,14 +101,28 @@ class Client:
         model: Optional[str] = None,
         token_ids: Optional[Sequence[int]] = None,
         tokens: Optional[Sequence[str]] = None,
+        debug: bool = False,
+        request_id: Optional[str] = None,
     ) -> dict:
-        """``POST /v1/rationalize``: label + rationale for one sentence."""
+        """``POST /v1/rationalize``: label + rationale for one sentence.
+
+        ``debug=True`` asks the server for a span-timeline ``trace``;
+        ``request_id`` (optional) pins the id minted at this edge so the
+        response and server-side trace log correlate with client logs.
+        """
         if self._service is not None:
             try:
-                return self._service.rationalize(model=model, token_ids=token_ids, tokens=tokens)
+                return self._service.rationalize(
+                    model=model, token_ids=token_ids, tokens=tokens,
+                    debug=debug, request_id=request_id,
+                )
             except RequestError as exc:
                 raise ServeClientError(str(exc), status=exc.status) from exc
         body = {"model": model}
+        if debug:
+            body["debug"] = True
+        if request_id is not None:
+            body["request_id"] = request_id
         if token_ids is not None:
             # Unwrap numpy scalars to JSON-native values without coercing:
             # a float id must reach the server as a float so it is rejected
@@ -106,14 +133,20 @@ class Client:
         return self._post("/v1/rationalize", body)
 
     def rationalize_many(
-        self, model: Optional[str] = None, inputs: Optional[Sequence] = None
+        self,
+        model: Optional[str] = None,
+        inputs: Optional[Sequence] = None,
+        debug: bool = False,
+        request_id: Optional[str] = None,
     ) -> dict:
         """Batched ``POST /v1/rationalize``: one round trip, one scheduler
         wave; returns ``{"results": [...], "count": ..., "cached_count": ...}``
         with a per-item ``cached`` flag."""
         if self._service is not None:
             try:
-                return self._service.rationalize_many(model=model, inputs=inputs)
+                return self._service.rationalize_many(
+                    model=model, inputs=inputs, debug=debug, request_id=request_id
+                )
             except RequestError as exc:
                 raise ServeClientError(str(exc), status=exc.status) from exc
         items = []
@@ -122,7 +155,12 @@ class Client:
                 items.append(item)
             else:
                 items.append([t.item() if hasattr(t, "item") else t for t in item])
-        return self._post("/v1/rationalize", {"model": model, "inputs": items})
+        body = {"model": model, "inputs": items}
+        if debug:
+            body["debug"] = True
+        if request_id is not None:
+            body["request_id"] = request_id
+        return self._post("/v1/rationalize", body)
 
     def models(self) -> list[dict]:
         """``GET /v1/models``: one metadata row per loaded artifact."""
@@ -143,21 +181,17 @@ class Client:
         return self._get("/statz")
 
     def transport_stats(self) -> dict:
-        """Socket-transport health counters (all zero for in-process)."""
-        with self._stats_lock:
-            return {
-                "requests": self._requests,
-                "retried": self._retried,
-                "connect_failures": self._connect_failures,
-                "timeouts": self._timeouts,
-                "http_errors": self._http_errors,
-            }
+        """Socket-transport health counters (all zero for in-process) —
+        same key set as ever, rendered from the client's registry."""
+        return {
+            "requests": int(self._m_requests.value()),
+            "retried": int(self._m_retried.value()),
+            "connect_failures": int(self._m_connect_failures.value()),
+            "timeouts": int(self._m_timeouts.value()),
+            "http_errors": int(self._m_http_errors.value()),
+        }
 
     # ------------------------------------------------------------------
-    def _count(self, counter: str) -> None:
-        with self._stats_lock:
-            setattr(self, counter, getattr(self, counter) + 1)
-
     @staticmethod
     def _is_timeout(exc: Exception) -> bool:
         if isinstance(exc, (socket.timeout, TimeoutError)):
@@ -166,14 +200,14 @@ class Client:
         return isinstance(reason, (socket.timeout, TimeoutError))
 
     def _request(self, request: urllib.request.Request) -> dict:
-        self._count("_requests")
+        self._m_requests.inc()
         attempts = self.retries + 1
         for attempt in range(attempts):
             try:
                 with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
                     return json.loads(response.read().decode("utf-8"))
             except urllib.error.HTTPError as exc:
-                self._count("_http_errors")
+                self._m_http_errors.inc()
                 try:
                     detail = json.loads(exc.read().decode("utf-8")).get("error", str(exc))
                 except Exception:
@@ -183,18 +217,18 @@ class Client:
                 if self._is_timeout(exc):
                     # Never retried: the server may have accepted the work
                     # and a hung shard would double every slow request.
-                    self._count("_timeouts")
+                    self._m_timeouts.inc()
                     raise ServeClientError(
                         f"request to {self._base_url} timed out after {self.timeout_s}s",
                         status=504,
                     ) from exc
                 reason = getattr(exc, "reason", exc)
-                self._count("_connect_failures")
+                self._m_connect_failures.inc()
                 if not isinstance(reason, _CONNECT_ERRORS) or attempt + 1 >= attempts:
                     raise ServeClientError(
                         f"cannot reach {self._base_url}: {reason}", status=503
                     ) from exc
-                self._count("_retried")
+                self._m_retried.inc()
                 time.sleep(self.retry_backoff_s)
         raise AssertionError("unreachable")  # pragma: no cover
 

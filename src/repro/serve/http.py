@@ -3,10 +3,18 @@
 Endpoints::
 
     POST /v1/rationalize   {"model": "...", "token_ids": [...]} or {"tokens": [...]}
-                           or the batched form {"model": "...", "inputs": [item, ...]}
+                           or the batched form {"model": "...", "inputs": [item, ...]};
+                           add "debug": true for a span-timeline trace
     GET  /v1/models        loaded artifacts and their metadata
     GET  /healthz          liveness + loaded model names
-    GET  /statz            cache / scheduler / latency statistics
+    GET  /statz            cache / scheduler / latency statistics (JSON)
+    GET  /metrics          Prometheus text exposition from the metrics registry
+    GET  /tracez           ring-buffered debug traces as JSONL
+
+Every POST gets a request id (client-supplied ``request_id`` or minted
+here at the edge) that propagates router → worker → scheduler wave and
+comes back in the response; HTTP-level traffic is itself counted in the
+service registry as ``repro_http_requests_total{route,status}``.
 
 The server is a :class:`http.server.ThreadingHTTPServer` — one thread per
 connection, which is exactly the concurrency shape the micro-batching
@@ -26,6 +34,8 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
+from repro.obs import CONTENT_TYPE as _PROM_CONTENT_TYPE
+from repro.obs import new_request_id, render_prometheus
 from repro.serve.service import RationalizationService, RequestError
 
 _MAX_BODY_BYTES = 1 << 20  # 1 MiB: single sentences, not documents
@@ -53,6 +63,22 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, text: str, content_type: str, status: int = 200) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _count(self, route: str, status: int) -> None:
+        """HTTP-edge traffic counter, labeled by route and status."""
+        self.service.metrics.counter(
+            "repro_http_requests_total",
+            "HTTP requests handled, by route and response status.",
+            ("route", "status"),
+        ).inc(route=route, status=str(status))
+
     def _read_json(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
         if length <= 0:
@@ -73,18 +99,33 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- routes ---------------------------------------------------------
     def do_GET(self) -> None:
-        """Dispatch the three read-only endpoints."""
+        """Dispatch the read-only endpoints."""
+        route = self.path
         try:
-            if self.path == "/healthz":
+            if route == "/healthz":
                 self._send_json(self.service.health())
-            elif self.path == "/statz":
+            elif route == "/statz":
                 self._send_json(self.service.stats())
-            elif self.path == "/v1/models":
+            elif route == "/metrics":
+                text = render_prometheus(self.service.metrics_snapshot())
+                self._send_text(text, _PROM_CONTENT_TYPE)
+            elif route == "/tracez":
+                lines = self.service.trace_log.lines()
+                self._send_text(
+                    "\n".join(lines) + ("\n" if lines else ""),
+                    "application/x-ndjson; charset=utf-8",
+                )
+            elif route == "/v1/models":
                 self._send_json({"models": self.service.describe_models()})
             else:
+                route = "unknown"
                 self._send_json({"error": f"no route {self.path!r}"}, status=404)
+                self._count(route, 404)
+                return
+            self._count(route, 200)
         except Exception as exc:  # pragma: no cover - defensive
             self._send_json({"error": str(exc)}, status=500)
+            self._count(route, 500)
 
     def do_POST(self) -> None:
         """Dispatch ``POST /v1/rationalize``."""
@@ -93,9 +134,15 @@ class _Handler(BaseHTTPRequestHandler):
             # client cannot desync on the leftover bytes.
             self.close_connection = True
             self._send_json({"error": f"no route {self.path!r}"}, status=404)
+            self._count("unknown", 404)
             return
+        status = 200
         try:
             payload = self._read_json()
+            # The edge mints the request id (unless the client brought its
+            # own) so a trace spans every layer from the first byte in.
+            debug = bool(payload.get("debug", False))
+            request_id = payload.get("request_id") or new_request_id()
             if "inputs" in payload:
                 # Batched form: {"model": ..., "inputs": [item, ...]} —
                 # the scheduler waves the whole payload as one batch.
@@ -104,19 +151,27 @@ class _Handler(BaseHTTPRequestHandler):
                         "'inputs' is mutually exclusive with 'token_ids'/'tokens'"
                     )
                 response = self.service.rationalize_many(
-                    model=payload.get("model"), inputs=payload.get("inputs")
+                    model=payload.get("model"),
+                    inputs=payload.get("inputs"),
+                    debug=debug,
+                    request_id=request_id,
                 )
             else:
                 response = self.service.rationalize(
                     model=payload.get("model"),
                     token_ids=payload.get("token_ids"),
                     tokens=payload.get("tokens"),
+                    debug=debug,
+                    request_id=request_id,
                 )
             self._send_json(response)
         except RequestError as exc:
+            status = exc.status
             self._send_json({"error": str(exc)}, status=exc.status)
         except Exception as exc:
+            status = 500
             self._send_json({"error": str(exc)}, status=500)
+        self._count("/v1/rationalize", status)
 
 
 class RationaleServer:

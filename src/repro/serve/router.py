@@ -41,11 +41,20 @@ from pathlib import Path
 from queue import Empty
 from typing import Optional, Sequence
 
+from repro.obs import (
+    MetricsRegistry,
+    Trace,
+    TraceLog,
+    merge_snapshots,
+    new_request_id,
+    splice_spans,
+)
 from repro.serve.service import RequestError
 from repro.serve.shard import (
     MSG_ERROR,
     MSG_EXIT,
     MSG_FATAL,
+    MSG_METRICS,
     MSG_RATIONALIZE,
     MSG_RATIONALIZE_MANY,
     MSG_READY,
@@ -72,9 +81,17 @@ class WorkerDiedError(RequestError):
 
 
 class _WorkerHandle:
-    """Router-side view of one shard: process, queues, in-flight ledger."""
+    """Router-side view of one shard: process, queues, in-flight ledger.
 
-    def __init__(self, config: WorkerConfig, budget: int, mp_context: Optional[str]):
+    Dispatch/completion/failure counts live as ``repro_worker_*_total``
+    counters (labeled by worker id) on the router's metrics registry —
+    a respawned shard keeps accumulating the same labeled series.  The
+    in-flight weight stays a plain int under the handle lock because it
+    is *functional* admission state, not a statistic.
+    """
+
+    def __init__(self, config: WorkerConfig, budget: int, mp_context: Optional[str],
+                 metrics: MetricsRegistry):
         self.config = config
         self.worker_id = config.worker_id
         self.budget = int(budget)
@@ -89,9 +106,16 @@ class _WorkerHandle:
         self._inflight: dict[int, tuple[Future, int]] = {}
         self._inflight_weight = 0
         self._next_id = 0
-        self._dispatched = 0
-        self._completed = 0
-        self._failed = 0
+        self._label = str(config.worker_id)
+        self._m_dispatched = metrics.counter(
+            "repro_worker_dispatched_total", "Requests dispatched per shard.", ("worker",)
+        )
+        self._m_completed = metrics.counter(
+            "repro_worker_completed_total", "Requests completed per shard.", ("worker",)
+        )
+        self._m_failed = metrics.counter(
+            "repro_worker_failed_total", "Requests failed per shard.", ("worker",)
+        )
         self._closed = False
         self._dead = False
 
@@ -114,7 +138,11 @@ class _WorkerHandle:
             request_id = self._next_id
             self._inflight[request_id] = (future, weight)
             self._inflight_weight += weight
-            self._dispatched += 1
+        if weight > 0:
+            # Control-plane probes (stats/metrics, weight 0) are not
+            # requests: a scrape must not inflate the traffic counters
+            # it reports.
+            self._m_dispatched.inc(worker=self._label)
         self.request_q.put((kind, request_id, payload))
         return future
 
@@ -125,10 +153,11 @@ class _WorkerHandle:
             if entry is None:
                 return
             self._inflight_weight -= entry[1]
+        if entry[1] > 0:
             if error is None:
-                self._completed += 1
+                self._m_completed.inc(worker=self._label)
             else:
-                self._failed += 1
+                self._m_failed.inc(worker=self._label)
         future = entry[0]
         if error is None:
             future.set_result(result)
@@ -141,8 +170,10 @@ class _WorkerHandle:
             entries = list(self._inflight.values())
             self._inflight.clear()
             self._inflight_weight = 0
-            self._failed += len(entries)
             self._dead = True
+        counted = sum(1 for _, weight in entries if weight > 0)
+        if counted:
+            self._m_failed.inc(counted, worker=self._label)
         for future, _ in entries:
             future.set_exception(error)
         return len(entries)
@@ -182,16 +213,17 @@ class _WorkerHandle:
 
     def stats(self) -> dict:
         with self._lock:
-            return {
-                "worker_id": self.worker_id,
-                "pid": self.pid,
-                "alive": self.process.is_alive(),
-                "inflight": self._inflight_weight,
-                "budget": self.budget,
-                "dispatched": self._dispatched,
-                "completed": self._completed,
-                "failed": self._failed,
-            }
+            inflight = self._inflight_weight
+        return {
+            "worker_id": self.worker_id,
+            "pid": self.pid,
+            "alive": self.process.is_alive(),
+            "inflight": inflight,
+            "budget": self.budget,
+            "dispatched": int(self._m_dispatched.value(worker=self._label)),
+            "completed": int(self._m_completed.value(worker=self._label)),
+            "failed": int(self._m_failed.value(worker=self._label)),
+        }
 
 
 class ShardRouter:
@@ -255,11 +287,37 @@ class ShardRouter:
         self._lock = threading.Lock()
         self._handles: list[_WorkerHandle] = []
         self._closed = False
-        self._routed = 0
-        self._routed_items = 0
-        self._rejected = 0
-        self._worker_deaths = 0
-        self._respawns = 0
+        # Router-side observability: its own counters/gauges live in this
+        # registry; GET /metrics merges worker snapshots into it.
+        self.metrics = MetricsRegistry()
+        self.trace_log = TraceLog()
+        self._m_routed = self.metrics.counter(
+            "repro_router_routed_total", "Requests admitted and routed to a shard."
+        )
+        self._m_routed_items = self.metrics.counter(
+            "repro_router_routed_items_total",
+            "Items routed (a batched payload counts each input).",
+        )
+        self._m_rejected = self.metrics.counter(
+            "repro_router_rejected_total",
+            "Requests fast-rejected with 429 (all shards at budget).",
+        )
+        self._m_worker_deaths = self.metrics.counter(
+            "repro_router_worker_deaths_total", "Worker processes that died."
+        )
+        self._m_respawns = self.metrics.counter(
+            "repro_router_respawns_total", "Dead workers successfully respawned."
+        )
+        self.metrics.gauge(
+            "repro_router_inflight",
+            "Outstanding request weight across all shards.",
+            callback=lambda: sum(h.inflight for h in self._snapshot_handles()),
+        )
+        self.metrics.gauge(
+            "repro_router_alive_workers",
+            "Worker processes currently alive.",
+            callback=lambda: sum(1 for h in self._snapshot_handles() if h.alive),
+        )
         handles = [self._spawn(worker_id) for worker_id in range(self.workers)]
         with self._lock:
             self._handles = handles
@@ -285,9 +343,15 @@ class ShardRouter:
     # ------------------------------------------------------------------
     # Worker lifecycle
     # ------------------------------------------------------------------
+    def _snapshot_handles(self) -> list:
+        with self._lock:
+            return list(self._handles)
+
     def _spawn(self, worker_id: int) -> _WorkerHandle:
         config = WorkerConfig(worker_id=worker_id, **self._shard_kwargs)
-        handle = _WorkerHandle(config, self.max_inflight_per_worker, self.mp_context)
+        handle = _WorkerHandle(
+            config, self.max_inflight_per_worker, self.mp_context, self.metrics
+        )
         collector = threading.Thread(
             target=self._collect, args=(handle,),
             name=f"repro-serve-collector-{worker_id}", daemon=True,
@@ -348,7 +412,7 @@ class ShardRouter:
         with self._lock:
             if self._closed:
                 return
-            self._worker_deaths += 1
+        self._m_worker_deaths.inc()
         replacement = self._spawn(handle.worker_id)
         try:
             self._await_ready(replacement)
@@ -362,8 +426,9 @@ class ShardRouter:
         with self._lock:
             if not self._closed and handle.worker_id < len(self._handles):
                 self._handles[handle.worker_id] = replacement
-                self._respawns += 1
                 adopt = True
+        if adopt:
+            self._m_respawns.inc()
         if not adopt:  # close() raced us: the replacement must not leak
             replacement.begin_shutdown()
             replacement.reap(5.0)
@@ -388,12 +453,10 @@ class ShardRouter:
         for handle in order:
             future = handle.try_dispatch(kind, payload, weight=weight)
             if future is not None:
-                with self._lock:
-                    self._routed += 1
-                    self._routed_items += weight
+                self._m_routed.inc()
+                self._m_routed_items.inc(weight)
                 return future
-        with self._lock:
-            self._rejected += 1
+        self._m_rejected.inc()
         raise OverloadedError(
             f"overloaded: {len(order)} worker(s) at inflight budget "
             f"{self.max_inflight_per_worker}"
@@ -407,14 +470,38 @@ class ShardRouter:
                 f"request timed out after {self.request_timeout_s}s", status=504
             ) from None
 
+    def _stitch(self, trace: Trace, response: dict, start: float) -> dict:
+        """Replace the router's coarse ``worker`` span with the shard's
+        inner timeline plus a ``transport`` residual (queue + pickling),
+        and re-stamp ``latency_ms`` as the router-side end-to-end time so
+        the span durations still tile the measured latency."""
+        worker_trace = response.get("trace") or {}
+        spans = splice_spans(trace.spans(), "worker", worker_trace.get("spans", ()))
+        trace_dict = {
+            "request_id": trace.request_id,
+            "spans": spans,
+            "total_ms": sum(span["ms"] for span in spans),
+        }
+        self.trace_log.record(trace_dict)
+        response["trace"] = trace_dict
+        response["latency_ms"] = round((time.perf_counter() - start) * 1000.0, 3)
+        return response
+
     def rationalize(
         self,
         model: Optional[str] = None,
         token_ids: Optional[Sequence[int]] = None,
         tokens: Optional[Sequence[str]] = None,
+        debug: bool = False,
+        request_id: Optional[str] = None,
     ) -> dict:
         """Route one request to a shard; same contract as the service."""
-        payload: dict = {"model": model}
+        start = time.perf_counter()
+        request_id = request_id or new_request_id()
+        trace = Trace(request_id, start=start) if debug else None
+        payload: dict = {"model": model, "request_id": request_id}
+        if debug:
+            payload["debug"] = True
         if token_ids is not None:
             # Unwrap numpy scalars without coercing: a float id must reach
             # the shard's validator as a float so it is rejected, not
@@ -426,22 +513,44 @@ class ShardRouter:
         future = self._dispatch(
             MSG_RATIONALIZE, payload, weight=1, preferred=self._affinity(model, key)
         )
-        return self._await(future)
+        if trace is None:
+            return self._await(future)
+        trace.mark("admission")
+        response = self._await(future)
+        trace.mark("worker")
+        return self._stitch(trace, response, start)
 
-    def rationalize_many(self, model: Optional[str] = None, inputs: Sequence = ()) -> dict:
+    def rationalize_many(
+        self,
+        model: Optional[str] = None,
+        inputs: Sequence = (),
+        debug: bool = False,
+        request_id: Optional[str] = None,
+    ) -> dict:
         """Route one batched payload to a single shard (one wave there)."""
+        start = time.perf_counter()
+        request_id = request_id or new_request_id()
+        trace = Trace(request_id, start=start) if debug else None
         items = list(inputs or ())
         if not items:
             raise RequestError("'inputs' must be a non-empty list")
         first = items[0]
         key = (len(items), tuple(first) if isinstance(first, (list, tuple)) else str(first))
+        payload = {"model": model, "inputs": items, "request_id": request_id}
+        if debug:
+            payload["debug"] = True
         future = self._dispatch(
             MSG_RATIONALIZE_MANY,
-            {"model": model, "inputs": items},
+            payload,
             weight=len(items),
             preferred=self._affinity(model, key),
         )
-        return self._await(future)
+        if trace is None:
+            return self._await(future)
+        trace.mark("admission")
+        response = self._await(future)
+        trace.mark("worker")
+        return self._stitch(trace, response, start)
 
     # ------------------------------------------------------------------
     # Introspection (same surface the single-process service exposes)
@@ -478,16 +587,17 @@ class ShardRouter:
         """
         with self._lock:
             handles = list(self._handles)
-            router = {
-                "workers": len(handles),
-                "max_inflight_per_worker": self.max_inflight_per_worker,
-                "routed": self._routed,
-                "routed_items": self._routed_items,
-                "rejected_overload": self._rejected,
-                "worker_deaths": self._worker_deaths,
-                "respawns": self._respawns,
-                "closed": self._closed,
-            }
+            closed = self._closed
+        router = {
+            "workers": len(handles),
+            "max_inflight_per_worker": self.max_inflight_per_worker,
+            "routed": int(self._m_routed.value()),
+            "routed_items": int(self._m_routed_items.value()),
+            "rejected_overload": int(self._m_rejected.value()),
+            "worker_deaths": int(self._m_worker_deaths.value()),
+            "respawns": int(self._m_respawns.value()),
+            "closed": closed,
+        }
         router["alive_workers"] = sum(1 for h in handles if h.alive)
         router["inflight"] = sum(h.inflight for h in handles)
         router["queued"] = sum(max(h.queued(), 0) for h in handles)
@@ -523,6 +633,30 @@ class ShardRouter:
             "cache": cache_totals,
             "scheduler": sched_totals,
         }
+
+    def metrics_snapshot(self, worker_timeout_s: float = 5.0) -> dict:
+        """Fleet-wide metric snapshot for ``GET /metrics``.
+
+        Probes every shard with a ``metrics`` message (bypassing
+        admission, like stats probes) and merges the per-worker
+        registry snapshots bucket-wise into the router's own — counters
+        sum, gauges sum or max by declared mode, histograms add
+        per-bucket counts.  A shard that cannot answer within
+        ``worker_timeout_s`` is simply missing from the merge.
+        """
+        handles = self._snapshot_handles()
+        probes = [
+            (h, h.try_dispatch(MSG_METRICS, {}, weight=0, force=True)) for h in handles
+        ]
+        snapshots = [self.metrics.snapshot()]
+        for handle, probe in probes:
+            if probe is None:
+                continue
+            try:
+                snapshots.append(probe.result(timeout=worker_timeout_s))
+            except Exception:
+                continue
+        return merge_snapshots(snapshots)
 
     # ------------------------------------------------------------------
     def close(self, timeout: float = 30.0) -> None:

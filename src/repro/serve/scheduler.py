@@ -20,6 +20,15 @@ with (the serving layer passes one that runs a pooled
 :class:`repro.core.InferenceSession`).  A single worker thread executes
 all batches, so model state, session buffers and the fusion switch are
 never touched concurrently.
+
+Observability: the coalescing counters are
+:class:`repro.obs.MetricsRegistry` instruments (``repro_scheduler_*``),
+shared with the owning service's registry when one is passed so
+``GET /metrics`` and ``registry.reset()`` see them; ``stats()`` renders
+the same dict shape as ever from those instruments.  A request may carry
+a :class:`repro.obs.Trace` — the worker thread marks ``queue_wait`` /
+``batch_formation`` / ``inference`` on it so a debug response can show
+where scheduler time went.
 """
 
 from __future__ import annotations
@@ -29,17 +38,21 @@ import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 from queue import Empty, Queue
-from typing import Callable, Hashable, Sequence
+from typing import Callable, Hashable, Optional, Sequence
+
+from repro.obs import MetricsRegistry, Trace
 
 
 @dataclass
 class _PendingRequest:
-    """One queued request: routing key, payload, and the caller's future."""
+    """One queued request: routing key, payload, the caller's future, and
+    an optional trace the worker thread marks scheduler stages on."""
 
     key: Hashable
     payload: object
     future: Future = field(default_factory=Future)
     enqueued_at: float = field(default_factory=time.perf_counter)
+    trace: Optional[Trace] = None
 
 
 _SHUTDOWN = object()
@@ -63,6 +76,9 @@ class MicroBatchScheduler:
         Length-bucket granularity: payloads with ``len()`` in the same
         ``bucket_width``-sized band batch together.  ``0`` disables
         bucketing (one group per key).
+    metrics:
+        Registry to register the ``repro_scheduler_*`` instruments on;
+        a private registry is created when omitted (standalone use).
     """
 
     def __init__(
@@ -71,6 +87,7 @@ class MicroBatchScheduler:
         max_batch_size: int = 32,
         max_wait_ms: float = 2.0,
         bucket_width: int = 16,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
@@ -82,11 +99,29 @@ class MicroBatchScheduler:
         self.bucket_width = int(bucket_width)
         self._queue: Queue = Queue()
         self._stats_lock = threading.Lock()
-        self._requests = 0
-        self._batches = 0
-        self._waves = 0
-        self._batched_items = 0
-        self._max_batch_seen = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._m_requests = self.metrics.counter(
+            "repro_scheduler_requests_total", "Requests accepted by the micro-batcher."
+        )
+        self._m_waves = self.metrics.counter(
+            "repro_scheduler_waves_total", "Coalescing waves executed."
+        )
+        self._m_batches = self.metrics.counter(
+            "repro_scheduler_batches_total", "Batches executed (groups per wave)."
+        )
+        self._m_batched_items = self.metrics.counter(
+            "repro_scheduler_batched_items_total", "Items summed over executed batches."
+        )
+        self._m_largest_batch = self.metrics.gauge(
+            "repro_scheduler_largest_batch",
+            "Largest batch executed since the last reset.",
+            agg="max",
+        )
+        self.metrics.gauge(
+            "repro_scheduler_queue_depth",
+            "Requests waiting in the scheduler queue.",
+            callback=self._queue.qsize,
+        )
         self._closed = False
         self._worker = threading.Thread(
             target=self._run, name="repro-serve-scheduler", daemon=True
@@ -94,17 +129,17 @@ class MicroBatchScheduler:
         self._worker.start()
 
     # ------------------------------------------------------------------
-    def submit(self, key: Hashable, payload) -> Future:
+    def submit(self, key: Hashable, payload, trace: Optional[Trace] = None) -> Future:
         """Enqueue one request; the returned future resolves to its result."""
-        request = _PendingRequest(key, payload)
+        request = _PendingRequest(key, payload, trace=trace)
         # The closed check and the put share one lock with close(), so a
         # request can never land behind the shutdown sentinel (where the
         # worker would no longer resolve its future).
         with self._stats_lock:
             if self._closed:
                 raise RuntimeError("scheduler is closed")
-            self._requests += 1
             self._queue.put(request)
+        self._m_requests.inc()
         return request.future
 
     def close(self, timeout: float = 5.0) -> None:
@@ -156,8 +191,10 @@ class MicroBatchScheduler:
         groups: dict[Hashable, list[_PendingRequest]] = {}
         for request in wave:
             groups.setdefault(self._bucket(request), []).append(request)
-        with self._stats_lock:
-            self._waves += 1
+            if request.trace is not None:
+                # Time spent queued until this wave closed.
+                request.trace.mark("queue_wait")
+        self._m_waves.inc()
         for group in groups.values():
             # Sort by length inside the bucket so padding stays minimal
             # even at bucket boundaries; stable, so FIFO ties hold.
@@ -166,6 +203,10 @@ class MicroBatchScheduler:
             except TypeError:
                 pass
             payloads = [r.payload for r in group]
+            for request in group:
+                if request.trace is not None:
+                    # Grouping/sorting plus any earlier groups' runtime.
+                    request.trace.mark("batch_formation")
             try:
                 results = self.execute_batch(group[0].key, payloads)
                 if len(results) != len(payloads):
@@ -177,11 +218,15 @@ class MicroBatchScheduler:
                 for request in group:
                     request.future.set_exception(exc)
                 continue
-            with self._stats_lock:
-                self._batches += 1
-                self._batched_items += len(group)
-                self._max_batch_seen = max(self._max_batch_seen, len(group))
+            self._m_batches.inc()
+            self._m_batched_items.inc(len(group))
+            if len(group) > self._m_largest_batch.value():
+                # Only this worker thread writes the gauge, so the
+                # read-compare-set needs no extra lock.
+                self._m_largest_batch.set(len(group))
             for request, result in zip(group, results):
+                if request.trace is not None:
+                    request.trace.mark("inference")
                 request.future.set_result(result)
 
     def _run(self) -> None:
@@ -196,27 +241,34 @@ class MicroBatchScheduler:
 
     # ------------------------------------------------------------------
     def reset_stats(self) -> None:
-        """Zero the coalescing counters — for phase-pure benchmark stats."""
-        with self._stats_lock:
-            self._requests = 0
-            self._waves = 0
-            self._batches = 0
-            self._batched_items = 0
-            self._max_batch_seen = 0
+        """Zero the coalescing instruments — for phase-pure bench stats.
+
+        (Superseded by ``MetricsRegistry.reset()`` when the scheduler
+        shares a service registry, but kept for standalone schedulers.)
+        """
+        for instrument in (
+            self._m_requests,
+            self._m_waves,
+            self._m_batches,
+            self._m_batched_items,
+            self._m_largest_batch,
+        ):
+            instrument.reset()
 
     def stats(self) -> dict:
-        """Coalescing counters for ``GET /statz`` and the serve bench."""
-        with self._stats_lock:
-            batches = self._batches
-            return {
-                "requests": self._requests,
-                "waves": self._waves,
-                "batches": batches,
-                "batched_items": self._batched_items,
-                "max_batch_size": self.max_batch_size,
-                "max_wait_ms": self.max_wait_ms,
-                "bucket_width": self.bucket_width,
-                "largest_batch": self._max_batch_seen,
-                "mean_batch_size": round(self._batched_items / batches, 3) if batches else 0.0,
-                "queued": self._queue.qsize(),
-            }
+        """Coalescing counters for ``GET /statz`` and the serve bench —
+        same shape as ever, rendered from the registry instruments."""
+        batches = int(self._m_batches.value())
+        batched_items = int(self._m_batched_items.value())
+        return {
+            "requests": int(self._m_requests.value()),
+            "waves": int(self._m_waves.value()),
+            "batches": batches,
+            "batched_items": batched_items,
+            "max_batch_size": self.max_batch_size,
+            "max_wait_ms": self.max_wait_ms,
+            "bucket_width": self.bucket_width,
+            "largest_batch": int(self._m_largest_batch.value()),
+            "mean_batch_size": round(batched_items / batches, 3) if batches else 0.0,
+            "queued": self._queue.qsize(),
+        }

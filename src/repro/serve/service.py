@@ -17,23 +17,37 @@ embeds its vocabulary); the service
 
 Responses are plain JSON-serializable dicts: predicted label, the binary
 rationale mask, and the selected tokens when the vocabulary is known.
+
+Observability: the service owns the process's
+:class:`repro.obs.MetricsRegistry`.  The scheduler and cache register
+their instruments on it, the backend bridges kernel timings and the
+buffer-pool ledger into it as collectors, and the service itself records
+``repro_requests_total{model,cached}``, per-model request-latency
+histograms and per-(model, batch_size) batch-latency histograms — so
+``GET /metrics`` renders the whole stack from one snapshot and
+``metrics.reset()`` zeroes every subsystem atomically for bench warmup.
+A request carrying ``debug=true`` gets a :class:`repro.obs.Trace`: the
+request id (minted at the HTTP/client edge or here) rides through the
+scheduler wave, and the response carries a span timeline (cache lookup,
+queue wait, batch formation, inference, serialization) whose durations
+tile the measured end-to-end latency; completed traces land in a
+ring-buffered JSONL :class:`repro.obs.TraceLog`.
 """
 
 from __future__ import annotations
 
-import threading
 import time
-from collections import deque
 from concurrent.futures import Future
 from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.backend.core import fusion, kernel_timing, kernel_timings
-from repro.backend.pool import pool_stats
+from repro.backend.core import fusion, kernel_timing
+from repro.backend.obs import register_backend_collectors
 from repro.core.inference import InferenceSession
 from repro.data.batching import Batch
 from repro.data.dataset import ReviewExample
+from repro.obs import MetricsRegistry, Trace, TraceLog, new_request_id
 from repro.serve.cache import RationaleCache, rationale_key
 from repro.serve.registry import ModelArtifact, ModelRegistry
 from repro.serve.scheduler import MicroBatchScheduler
@@ -63,6 +77,8 @@ class RationalizationService:
         while executing batches (the ``--fused`` serving flag).
     request_timeout_s:
         How long a caller waits for its future before giving up.
+    trace_capacity:
+        Ring-buffer size of the JSONL trace log (debug traces kept).
     """
 
     def __init__(
@@ -74,9 +90,12 @@ class RationalizationService:
         cache_size: int = 1024,
         fused: bool = False,
         request_timeout_s: float = 60.0,
+        trace_capacity: int = 256,
     ):
         self.registry = registry
-        self.cache = RationaleCache(cache_size)
+        self.metrics = register_backend_collectors(MetricsRegistry())
+        self.trace_log = TraceLog(capacity=trace_capacity)
+        self.cache = RationaleCache(cache_size, metrics=self.metrics)
         self.fused = bool(fused)
         self.request_timeout_s = float(request_timeout_s)
         self.scheduler = MicroBatchScheduler(
@@ -84,10 +103,29 @@ class RationalizationService:
             max_batch_size=max_batch_size,
             max_wait_ms=max_wait_ms,
             bucket_width=bucket_width,
+            metrics=self.metrics,
+        )
+        self._m_requests = self.metrics.counter(
+            "repro_requests_total",
+            "Rationalization requests served, by model and cache outcome.",
+            ("model", "cached"),
+        )
+        self._m_errors = self.metrics.counter(
+            "repro_request_errors_total",
+            "Requests rejected with a typed error, by HTTP status.",
+            ("status",),
+        )
+        self._m_latency = self.metrics.histogram(
+            "repro_request_latency_seconds",
+            "End-to-end request latency per model.",
+            ("model",),
+        )
+        self._m_batch_latency = self.metrics.histogram(
+            "repro_batch_latency_seconds",
+            "Batch execution latency per (model, batch_size).",
+            ("model", "batch_size"),
         )
         self._started_at = time.time()
-        self._latency_lock = threading.Lock()
-        self._latencies_ms: deque[float] = deque(maxlen=2048)
 
     # ------------------------------------------------------------------
     # Request path
@@ -97,35 +135,63 @@ class RationalizationService:
         model: str,
         token_ids: Optional[Sequence[int]] = None,
         tokens: Optional[Sequence[str]] = None,
+        debug: bool = False,
+        request_id: Optional[str] = None,
     ) -> dict:
         """Serve one sentence: returns label + rationale mask (+ tokens).
 
         Exactly one of ``token_ids`` / ``tokens`` must be given; ``tokens``
-        requires the checkpoint to embed its vocabulary.
+        requires the checkpoint to embed its vocabulary.  With ``debug``
+        the response carries a ``trace`` span timeline whose stage
+        durations tile the measured latency.
         """
         start = time.perf_counter()
-        artifact = self._resolve(model)
-        ids, token_strings = self._encode(artifact, token_ids, tokens)
-        key = rationale_key(artifact.name, ids)
-        cached = self.cache.get(key)
-        if cached is not None:
-            response = dict(cached)
-            response["cached"] = True
-        else:
-            future = self._submit(artifact.name, ids)
-            result = future.result(timeout=self.request_timeout_s)
-            response = dict(result)
-            response["cached"] = False
-            self.cache.put(key, result)
+        request_id = request_id or new_request_id()
+        trace = Trace(request_id, start=start) if debug else None
+        try:
+            artifact = self._resolve(model)
+            ids, token_strings = self._encode(artifact, token_ids, tokens)
+            if trace is not None:
+                trace.mark("validate")
+            key = rationale_key(artifact.name, ids)
+            cached = self.cache.get(key)
+            if trace is not None:
+                trace.mark("cache_lookup")
+            if cached is not None:
+                response = dict(cached)
+                response["cached"] = True
+            else:
+                future = self._submit(artifact.name, ids, trace)
+                result = future.result(timeout=self.request_timeout_s)
+                if trace is not None:
+                    # Gap between the scheduler resolving the future and
+                    # this thread being rescheduled to consume it.
+                    trace.mark("resolve_wait")
+                response = dict(result)
+                response["cached"] = False
+                self.cache.put(key, result)
+        except RequestError as exc:
+            self._m_errors.inc(status=str(exc.status))
+            raise
         response = self._finish(response, artifact, ids, token_strings)
+        response["request_id"] = request_id
+        self._m_requests.inc(model=artifact.name, cached=str(response["cached"]).lower())
+        if trace is not None:
+            trace.mark("serialization")
+            trace_dict = trace.to_dict()
+            self.trace_log.record(trace_dict)
+            response["trace"] = trace_dict
         latency_ms = (time.perf_counter() - start) * 1000.0
         response["latency_ms"] = round(latency_ms, 3)
-        with self._latency_lock:
-            self._latencies_ms.append(latency_ms)
+        self._m_latency.observe(latency_ms / 1000.0, model=artifact.name)
         return response
 
     def rationalize_many(
-        self, model: Optional[str] = None, inputs: Optional[Sequence] = None
+        self,
+        model: Optional[str] = None,
+        inputs: Optional[Sequence] = None,
+        debug: bool = False,
+        request_id: Optional[str] = None,
     ) -> dict:
         """Serve a batched payload: one POST, per-item rationales.
 
@@ -134,53 +200,76 @@ class RationalizationService:
         ``{"tokens": ...}`` dicts.  Every cache miss is submitted to the
         scheduler *before* any result is awaited, so the whole payload
         lands in one wave and batches together; each per-item response
-        carries its own ``cached`` flag.
+        carries its own ``cached`` flag.  With ``debug`` the envelope
+        carries one trace spanning the whole payload.
         """
         start = time.perf_counter()
-        artifact = self._resolve(model)
-        if not isinstance(inputs, (list, tuple)) or not inputs:
-            raise RequestError("'inputs' must be a non-empty list")
-        encoded = []
-        for index, item in enumerate(inputs):
-            token_ids, tokens = self._split_item(item)
-            try:
-                encoded.append(self._encode(artifact, token_ids, tokens))
-            except RequestError as exc:
-                raise RequestError(f"inputs[{index}]: {exc}", status=exc.status)
-        responses: list[Optional[dict]] = [None] * len(encoded)
-        pending: list[tuple[int, tuple, Future]] = []
-        for index, (ids, _) in enumerate(encoded):
-            key = rationale_key(artifact.name, ids)
-            cached = self.cache.get(key)
-            if cached is not None:
-                response = dict(cached)
-                response["cached"] = True
+        request_id = request_id or new_request_id()
+        trace = Trace(request_id, start=start) if debug else None
+        try:
+            artifact = self._resolve(model)
+            if not isinstance(inputs, (list, tuple)) or not inputs:
+                raise RequestError("'inputs' must be a non-empty list")
+            encoded = []
+            for index, item in enumerate(inputs):
+                token_ids, tokens = self._split_item(item)
+                try:
+                    encoded.append(self._encode(artifact, token_ids, tokens))
+                except RequestError as exc:
+                    raise RequestError(f"inputs[{index}]: {exc}", status=exc.status)
+            if trace is not None:
+                trace.mark("validate")
+            responses: list[Optional[dict]] = [None] * len(encoded)
+            pending: list[tuple[int, tuple, Future]] = []
+            for index, (ids, _) in enumerate(encoded):
+                key = rationale_key(artifact.name, ids)
+                cached = self.cache.get(key)
+                if cached is not None:
+                    response = dict(cached)
+                    response["cached"] = True
+                    responses[index] = response
+                else:
+                    pending.append((index, key, self._submit(artifact.name, ids)))
+            if trace is not None:
+                trace.mark("cache_lookup")
+            deadline = start + self.request_timeout_s
+            for index, key, future in pending:
+                result = future.result(timeout=max(deadline - time.perf_counter(), 0.001))
+                response = dict(result)
+                response["cached"] = False
+                self.cache.put(key, result)
                 responses[index] = response
-            else:
-                pending.append((index, key, self._submit(artifact.name, ids)))
-        deadline = start + self.request_timeout_s
-        for index, key, future in pending:
-            result = future.result(timeout=max(deadline - time.perf_counter(), 0.001))
-            response = dict(result)
-            response["cached"] = False
-            self.cache.put(key, result)
-            responses[index] = response
+            if trace is not None:
+                trace.mark("inference")
+        except RequestError as exc:
+            self._m_errors.inc(status=str(exc.status))
+            raise
         for index, (ids, token_strings) in enumerate(encoded):
             responses[index] = self._finish(responses[index], artifact, ids, token_strings)
-        latency_ms = (time.perf_counter() - start) * 1000.0
-        with self._latency_lock:
-            self._latencies_ms.append(latency_ms)
-        return {
+        for response in responses:
+            self._m_requests.inc(
+                model=artifact.name, cached=str(response["cached"]).lower()
+            )
+        envelope = {
             "model": artifact.name,
             "count": len(responses),
             "cached_count": sum(1 for r in responses if r["cached"]),
-            "latency_ms": round(latency_ms, 3),
+            "request_id": request_id,
             "results": responses,
         }
+        if trace is not None:
+            trace.mark("serialization")
+            trace_dict = trace.to_dict()
+            self.trace_log.record(trace_dict)
+            envelope["trace"] = trace_dict
+        latency_ms = (time.perf_counter() - start) * 1000.0
+        envelope["latency_ms"] = round(latency_ms, 3)
+        self._m_latency.observe(latency_ms / 1000.0, model=artifact.name)
+        return envelope
 
-    def _submit(self, model_name: str, ids) -> "Future":
+    def _submit(self, model_name: str, ids, trace: Optional[Trace] = None) -> "Future":
         try:
-            return self.scheduler.submit(model_name, ids)
+            return self.scheduler.submit(model_name, ids, trace=trace)
         except RuntimeError:
             # The scheduler only refuses after close(): drain semantics are
             # "finish accepted work, reject new work" — typed, not a 500.
@@ -301,8 +390,14 @@ class RationalizationService:
 
         # Kernel timing rides along on the worker thread so `GET /statz`
         # can show where serving time goes without an external profiler.
+        batch_started = time.perf_counter()
         with fusion(self.fused), kernel_timing(True):
             per_batch = session.map_batches(run, examples)
+        self._m_batch_latency.observe(
+            time.perf_counter() - batch_started,
+            model=artifact.name,
+            batch_size=len(id_lists),
+        )
         return [result for batch_results in per_batch for result in batch_results]
 
     # ------------------------------------------------------------------
@@ -320,17 +415,23 @@ class RationalizationService:
             "uptime_s": round(time.time() - self._started_at, 1),
         }
 
+    def metrics_snapshot(self) -> dict:
+        """Registry snapshot (instruments + backend collectors) for
+        ``GET /metrics`` and the router's fleet aggregation."""
+        return self.metrics.snapshot()
+
     def stats(self) -> dict:
-        """``GET /statz`` payload: cache, scheduler and latency stats."""
-        with self._latency_lock:
-            latencies = np.asarray(self._latencies_ms, dtype=np.float64)
-        latency = {"count": int(latencies.size)}
-        if latencies.size:
+        """``GET /statz`` payload — same JSON shape as ever, but every
+        section now renders from the metrics registry."""
+        entry = self._m_latency.merged_entry()
+        latency = {"count": int(entry["count"])}
+        if entry["count"]:
             latency.update(
-                p50_ms=round(float(np.percentile(latencies, 50)), 3),
-                p95_ms=round(float(np.percentile(latencies, 95)), 3),
-                mean_ms=round(float(latencies.mean()), 3),
+                p50_ms=round(self._m_latency.percentile(50) * 1000.0, 3),
+                p95_ms=round(self._m_latency.percentile(95) * 1000.0, 3),
+                mean_ms=round(entry["sum"] / entry["count"] * 1000.0, 3),
             )
+        snapshot = self.metrics.snapshot()
         return {
             "uptime_s": round(time.time() - self._started_at, 1),
             "cache": self.cache.stats(),
@@ -340,10 +441,11 @@ class RationalizationService:
             # Backend observability: wall time per dispatched kernel on the
             # worker thread, and buffer-pool hit/miss counters for the
             # pooled session's padded-batch (and any co-resident trainer's
-            # gradient) buffers.
+            # gradient) buffers — reconstructed from the collector families
+            # so /statz and /metrics can never disagree.
             "backend": {
-                "kernel_timings": kernel_timings(),
-                "buffer_pool": pool_stats(),
+                "kernel_timings": _kernel_timings_from(snapshot),
+                "buffer_pool": _pool_stats_from(snapshot),
             },
         }
 
@@ -356,3 +458,43 @@ class RationalizationService:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+def _kernel_timings_from(snapshot: dict) -> dict:
+    """Rebuild the ``{kernel: {calls, total_ms}}`` table from the
+    ``repro_kernel_*`` collector families (busiest kernel first)."""
+    calls = snapshot.get("repro_kernel_calls_total", {}).get("series", {})
+    seconds = snapshot.get("repro_kernel_seconds_total", {}).get("series", {})
+    rows = [
+        (name, int(calls.get(key, 0)), float(seconds.get(key, 0.0)))
+        for key in calls
+        for name in [key[0]]
+    ]
+    rows.sort(key=lambda row: row[2], reverse=True)
+    return {
+        name: {"calls": count, "total_ms": round(total * 1000.0, 3)}
+        for name, count, total in rows
+    }
+
+
+def _pool_stats_from(snapshot: dict) -> dict:
+    """Rebuild the aggregate buffer-pool ledger from ``repro_pool_*``."""
+
+    def value(name: str) -> float:
+        series = snapshot.get(name, {}).get("series", {})
+        return float(series.get((), 0.0))
+
+    hits = int(value("repro_pool_hits_total"))
+    misses = int(value("repro_pool_misses_total"))
+    total = hits + misses
+    return {
+        "pools": int(value("repro_pool_threads")),
+        "hits": hits,
+        "misses": misses,
+        "released": int(value("repro_pool_released_total")),
+        "dropped": int(value("repro_pool_dropped_total")),
+        "evicted": int(value("repro_pool_evicted_total")),
+        "retained": int(value("repro_pool_retained_buffers")),
+        "retained_bytes": int(value("repro_pool_retained_bytes")),
+        "hit_rate": round(hits / total, 4) if total else 0.0,
+    }

@@ -14,9 +14,15 @@ Transport is a pair of ``multiprocessing`` queues per worker carrying
 plain picklable tuples::
 
     router -> worker   (kind, request_id, payload)
-        kind ∈ {"rationalize", "rationalize_many", "stats", "shutdown"}
+        kind ∈ {"rationalize", "rationalize_many", "stats", "metrics", "shutdown"}
     worker -> router   (kind, request_id_or_worker_id, payload)
         kind ∈ {"ready", "result", "error", "fatal", "exit"}
+
+``"metrics"`` returns the shard's picklable
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot`, which the router
+merges bucket-wise into the fleet view served at ``GET /metrics``;
+rationalize payloads may carry ``debug``/``request_id`` so the edge's
+request id and span timeline propagate through the process boundary.
 
 Inside the worker, requests fan out to a small thread pool (sized to the
 router's per-worker admission budget) so concurrent requests block on
@@ -40,6 +46,7 @@ from typing import Optional, Sequence
 MSG_RATIONALIZE = "rationalize"
 MSG_RATIONALIZE_MANY = "rationalize_many"
 MSG_STATS = "stats"
+MSG_METRICS = "metrics"
 MSG_SHUTDOWN = "shutdown"
 
 #: Response kinds the router's collector threads understand.
@@ -132,20 +139,29 @@ def worker_main(config: WorkerConfig, request_q, response_q) -> None:
             model=payload.get("model"),
             token_ids=payload.get("token_ids"),
             tokens=payload.get("tokens"),
+            debug=bool(payload.get("debug", False)),
+            request_id=payload.get("request_id"),
         )
 
     def do_rationalize_many(payload: dict) -> dict:
         return service.rationalize_many(
-            model=payload.get("model"), inputs=payload.get("inputs")
+            model=payload.get("model"),
+            inputs=payload.get("inputs"),
+            debug=bool(payload.get("debug", False)),
+            request_id=payload.get("request_id"),
         )
 
     def do_stats(payload: dict) -> dict:
         return service.stats()
 
+    def do_metrics(payload: dict) -> dict:
+        return service.metrics_snapshot()
+
     calls = {
         MSG_RATIONALIZE: do_rationalize,
         MSG_RATIONALIZE_MANY: do_rationalize_many,
         MSG_STATS: do_stats,
+        MSG_METRICS: do_metrics,
     }
 
     response_q.put((

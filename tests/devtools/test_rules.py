@@ -328,6 +328,120 @@ class TestRegistryCoverage:
         assert findings == []
 
 
+class TestMetricsDiscipline:
+    def test_bad_literal_name_flagged(self, check):
+        findings = check(
+            "metrics-discipline",
+            {
+                "src/repro/obs/extra.py": """\
+                    def setup(metrics):
+                        return metrics.counter("requests_total", "h")
+                    """,
+            },
+        )
+        assert len(findings) == 1
+        assert "naming contract" in findings[0].message
+
+    def test_computed_name_flagged(self, check):
+        findings = check(
+            "metrics-discipline",
+            {
+                "src/repro/obs/extra.py": """\
+                    def setup(registry, key):
+                        return registry.histogram("repro_" + key, "h")
+                    """,
+            },
+        )
+        assert len(findings) == 1
+        assert "string literal" in findings[0].message
+
+    def test_family_helpers_checked(self, check):
+        findings = check(
+            "metrics-discipline",
+            {
+                "src/repro/backend/extra.py": """\
+                    from repro.obs import counter_family
+
+                    def collect():
+                        return [counter_family("Bad-Name", "h", (), {(): 1})]
+                    """,
+            },
+        )
+        assert len(findings) == 1
+
+    def test_good_names_and_non_metric_receivers_pass(self, check):
+        findings = check(
+            "metrics-discipline",
+            {
+                "src/repro/obs/extra.py": """\
+                    def setup(metrics, db):
+                        metrics.counter("repro_requests_total", "h", ("model",))
+                        metrics.gauge("repro_queue_depth", "h")
+                        metrics.histogram("repro_latency_seconds", "h")
+                        db.counter("not-a-metric")  # non-registry receiver
+                    """,
+            },
+        )
+        assert findings == []
+
+    def test_shadow_stats_counter_flagged(self, check):
+        findings = check(
+            "metrics-discipline",
+            {
+                "src/repro/serve/extra.py": """\
+                    class Thing:
+                        def __init__(self):
+                            self._hits = 0
+
+                        def handle(self):
+                            self._hits += 1
+
+                        def stats(self):
+                            return {"hits": self._hits}
+                    """,
+            },
+        )
+        assert len(findings) == 1
+        assert "_hits" in findings[0].message
+
+    def test_functional_state_exempt(self, check):
+        # Read by operational code (admission gating), not just stats()
+        # — and the same class outside src/repro/serve/ is out of scope.
+        files = {
+            "src/repro/serve/extra.py": """\
+                class Handle:
+                    def __init__(self):
+                        self._inflight_weight = 0
+
+                    def admit(self, weight, budget):
+                        if self._inflight_weight + weight > budget:
+                            return False
+                        self._inflight_weight += weight
+                        return True
+
+                    def stats(self):
+                        return {"inflight": self._inflight_weight}
+                """,
+        }
+        assert check("metrics-discipline", files) == []
+
+    def test_shadow_counter_outside_serve_out_of_scope(self, check):
+        files = {
+            "src/repro/backend/extra.py": """\
+                class Thing:
+                    def __init__(self):
+                        self._hits = 0
+
+                    def handle(self):
+                        self._hits += 1
+
+                    def stats(self):
+                        return {"hits": self._hits}
+                """,
+        }
+        assert check("metrics-discipline", files) == []
+
+
 class TestRealRepo:
     def test_checkout_is_clean(self):
         """The shipped tree has zero findings — the baseline stays empty."""

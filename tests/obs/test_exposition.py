@@ -1,0 +1,151 @@
+"""Grammar-validated round trip: render_prometheus → parse_prometheus.
+
+Every exposition test goes *through the parser* (satellite 3): the
+renderer's output is only correct if a strict 0.0.4 consumer accepts it
+and recovers the exact values, labels and histogram structure put in.
+"""
+
+import pytest
+
+from repro.obs import (
+    ExpositionError,
+    MetricsRegistry,
+    family_total,
+    parse_prometheus,
+    render_prometheus,
+    sample_value,
+)
+from repro.obs.exposition import escape_label_value, format_value
+
+
+def _registry():
+    registry = MetricsRegistry()
+    requests = registry.counter("repro_requests_total", "Requests served.", ("model", "cached"))
+    requests.inc(3, model="beer", cached="0")
+    requests.inc(model="beer", cached="1")
+    registry.gauge("repro_queue_depth", "Queued requests.").set(2)
+    hist = registry.histogram(
+        "repro_request_latency_seconds", "Latency.", ("model",), buckets=(0.1, 1.0)
+    )
+    for value in (0.05, 0.5, 0.5, 5.0):
+        hist.observe(value, model="beer")
+    return registry
+
+
+class TestRoundTrip:
+    def test_every_line_parses_and_values_survive(self):
+        families = parse_prometheus(render_prometheus(_registry().snapshot()))
+        assert families["repro_requests_total"]["type"] == "counter"
+        assert families["repro_requests_total"]["help"] == "Requests served."
+        assert sample_value(
+            families, "repro_requests_total", {"model": "beer", "cached": "0"}
+        ) == 3
+        assert family_total(families, "repro_requests_total") == 4
+        assert sample_value(families, "repro_queue_depth", {}) == 2
+
+    def test_histogram_structure(self):
+        families = parse_prometheus(render_prometheus(_registry().snapshot()))
+        hist = families["repro_request_latency_seconds"]
+        assert hist["type"] == "histogram"
+        labels = {"model": "beer"}
+        assert sample_value(
+            families, "repro_request_latency_seconds_bucket", {**labels, "le": "0.1"}
+        ) == 1
+        assert sample_value(
+            families, "repro_request_latency_seconds_bucket", {**labels, "le": "1"}
+        ) == 3  # cumulative
+        assert sample_value(
+            families, "repro_request_latency_seconds_bucket", {**labels, "le": "+Inf"}
+        ) == 4
+        assert sample_value(families, "repro_request_latency_seconds_count", labels) == 4
+        assert sample_value(
+            families, "repro_request_latency_seconds_sum", labels
+        ) == pytest.approx(6.05)
+
+    def test_hostile_label_values_escape_round_trip(self):
+        registry = MetricsRegistry()
+        hostile = 'a\\b"c\nd,e={}'
+        registry.counter("repro_requests_total", "h", ("model",)).inc(model=hostile)
+        families = parse_prometheus(render_prometheus(registry.snapshot()))
+        assert sample_value(families, "repro_requests_total", {"model": hostile}) == 1
+
+    def test_untouched_unlabeled_family_exposes_zero(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_errors_total", "h")
+        families = parse_prometheus(render_prometheus(registry.snapshot()))
+        assert sample_value(families, "repro_errors_total", {}) == 0
+
+    def test_output_sorted_and_newline_terminated(self):
+        text = render_prometheus(_registry().snapshot())
+        assert text.endswith("\n")
+        help_lines = [l for l in text.splitlines() if l.startswith("# HELP")]
+        assert help_lines == sorted(help_lines)
+
+
+class TestParserStrictness:
+    def test_sample_without_type_rejected(self):
+        with pytest.raises(ExpositionError):
+            parse_prometheus("repro_x_total 1\n")
+
+    def test_type_after_samples_rejected(self):
+        text = (
+            "# HELP repro_x_total h\nrepro_x_total 1\n# TYPE repro_x_total counter\n"
+        )
+        with pytest.raises(ExpositionError):
+            parse_prometheus(text)
+
+    def test_missing_help_rejected(self):
+        with pytest.raises(ExpositionError):
+            parse_prometheus("# TYPE repro_x_total counter\nrepro_x_total 1\n")
+
+    def test_bad_escape_rejected(self):
+        text = (
+            "# HELP repro_x_total h\n# TYPE repro_x_total counter\n"
+            'repro_x_total{a="\\q"} 1\n'
+        )
+        with pytest.raises(ExpositionError):
+            parse_prometheus(text)
+
+    def test_non_monotone_histogram_rejected(self):
+        text = (
+            "# HELP repro_h_seconds h\n# TYPE repro_h_seconds histogram\n"
+            'repro_h_seconds_bucket{le="0.1"} 5\n'
+            'repro_h_seconds_bucket{le="+Inf"} 3\n'
+            "repro_h_seconds_sum 1\nrepro_h_seconds_count 3\n"
+        )
+        with pytest.raises(ExpositionError, match="decrease"):
+            parse_prometheus(text)
+
+    def test_inf_bucket_count_mismatch_rejected(self):
+        text = (
+            "# HELP repro_h_seconds h\n# TYPE repro_h_seconds histogram\n"
+            'repro_h_seconds_bucket{le="+Inf"} 3\n'
+            "repro_h_seconds_sum 1\nrepro_h_seconds_count 4\n"
+        )
+        with pytest.raises(ExpositionError, match="_count"):
+            parse_prometheus(text)
+
+    def test_missing_inf_bucket_rejected(self):
+        text = (
+            "# HELP repro_h_seconds h\n# TYPE repro_h_seconds histogram\n"
+            'repro_h_seconds_bucket{le="0.5"} 3\n'
+            "repro_h_seconds_sum 1\nrepro_h_seconds_count 3\n"
+        )
+        with pytest.raises(ExpositionError, match=r"\+Inf"):
+            parse_prometheus(text)
+
+    def test_family_total_rejects_histograms(self):
+        families = parse_prometheus(render_prometheus(_registry().snapshot()))
+        with pytest.raises(ExpositionError):
+            family_total(families, "repro_request_latency_seconds")
+
+
+def test_format_value_canonical():
+    assert format_value(3.0) == "3"
+    assert format_value(0.25) == "0.25"
+    assert format_value(float("inf")) == "+Inf"
+    assert format_value(float("nan")) == "NaN"
+
+
+def test_escape_label_value():
+    assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'

@@ -1,0 +1,222 @@
+"""Instrument semantics, registry get-or-create, merge, and reset."""
+
+import pickle
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    counter_family,
+    gauge_family,
+    merge_snapshots,
+    percentile_from_counts,
+)
+
+
+class TestNaming:
+    def test_bad_names_rejected(self):
+        for name in ("requests_total", "repro_Camel_total", "repro-dash", ""):
+            with pytest.raises(MetricError):
+                Counter(name, "h")
+
+    def test_unit_suffixes_accepted(self):
+        for name in (
+            "repro_requests_total",
+            "repro_latency_seconds",
+            "repro_retained_bytes",
+            "repro_hit_ratio",
+            "repro_queue_depth",
+        ):
+            Counter(name, "h")
+
+
+class TestCounter:
+    def test_labeled_series(self):
+        c = Counter("repro_requests_total", "h", ("model", "cached"))
+        c.inc(model="a", cached="0")
+        c.inc(2, model="a", cached="0")
+        c.inc(model="b", cached="1")
+        assert c.value(model="a", cached="0") == 3
+        assert c.value(model="b", cached="1") == 1
+        assert c.total() == 4
+
+    def test_decrement_rejected(self):
+        c = Counter("repro_requests_total", "h")
+        with pytest.raises(MetricError):
+            c.inc(-1)
+
+    def test_wrong_labels_rejected(self):
+        c = Counter("repro_requests_total", "h", ("model",))
+        with pytest.raises(MetricError):
+            c.inc(worker="1")
+        with pytest.raises(MetricError):
+            c.inc()
+
+
+class TestGauge:
+    def test_set_add(self):
+        g = Gauge("repro_queue_depth", "h")
+        g.set(5)
+        g.add(-2)
+        assert g.value() == 3
+
+    def test_callback_runs_at_snapshot(self):
+        depth = [0]
+        g = Gauge("repro_queue_depth", "h", callback=lambda: depth[0])
+        depth[0] = 7
+        assert g.snapshot()["series"][()] == 7.0
+
+    def test_agg_in_signature(self):
+        assert Gauge("repro_peak_depth", "h", agg="max").signature() != Gauge(
+            "repro_peak_depth", "h", agg="sum"
+        ).signature()
+        with pytest.raises(MetricError):
+            Gauge("repro_queue_depth", "h", agg="mean")
+
+
+class TestHistogram:
+    def test_observe_and_counts(self):
+        h = Histogram("repro_latency_seconds", "h", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(value)
+        entry = h.merged_entry()
+        assert entry["counts"] == [1, 2, 1, 1]
+        assert entry["count"] == 5
+        assert entry["sum"] == pytest.approx(56.05)
+
+    def test_percentile_interpolates(self):
+        h = Histogram("repro_latency_seconds", "h")
+        for i in range(1, 1001):
+            h.observe(i / 1000 * 3.0)  # uniform on (0, 3.0]
+        assert h.percentile(50) == pytest.approx(1.5, rel=0.15)
+        assert h.percentile(95) == pytest.approx(2.85, rel=0.15)
+
+    def test_labeled_percentile_merges_when_unqualified(self):
+        h = Histogram("repro_latency_seconds", "h", ("model",), buckets=(1.0, 2.0))
+        h.observe(0.5, model="a")
+        h.observe(1.5, model="b")
+        assert h.percentile(99) > h.percentile(99, model="a")
+
+    def test_buckets_must_increase(self):
+        with pytest.raises(MetricError):
+            Histogram("repro_latency_seconds", "h", buckets=(1.0, 1.0))
+
+    def test_default_buckets_cover_serving_range(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] <= 1e-4
+        assert DEFAULT_LATENCY_BUCKETS[-1] >= 30.0
+
+
+def test_percentile_from_counts_overflow_clamps():
+    assert percentile_from_counts([0, 0, 3], (0.1, 1.0), 99) == 1.0
+    assert percentile_from_counts([0, 0, 0], (0.1, 1.0), 99) == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_idempotent(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_requests_total", "h", ("model",))
+        b = registry.counter("repro_requests_total", "h", ("model",))
+        assert a is b
+
+    def test_conflicting_registration_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_requests_total", "h", ("model",))
+        with pytest.raises(MetricError):
+            registry.counter("repro_requests_total", "h", ("worker",))
+        with pytest.raises(MetricError):
+            registry.gauge("repro_requests_total", "h", ("model",))
+
+    def test_snapshot_is_picklable(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_requests_total", "h", ("model",)).inc(model="a")
+        registry.histogram("repro_latency_seconds", "h").observe(0.01)
+        snapshot = registry.snapshot()
+        assert pickle.loads(pickle.dumps(snapshot)) == snapshot
+
+    def test_collectors_snapshot_and_reset(self):
+        source = {"hits": 3.0}
+        registry = MetricsRegistry()
+        registry.register_collector(
+            lambda: [counter_family("repro_pool_hits_total", "h", (), {(): source["hits"]})],
+            reset=lambda: source.update(hits=0.0),
+        )
+        assert registry.snapshot()["repro_pool_hits_total"]["series"][()] == 3.0
+        registry.reset()
+        assert registry.snapshot()["repro_pool_hits_total"]["series"][()] == 0.0
+
+    def test_collector_names_validated(self):
+        registry = MetricsRegistry()
+        registry.register_collector(lambda: [counter_family("repro_ok_total", "h", (), {})])
+        registry.snapshot()
+        bad = MetricsRegistry()
+        bad.register_collector(
+            lambda: [{"name": "Bad", "type": "counter", "help": "", "labelnames": (), "series": {}}]
+        )
+        with pytest.raises(MetricError):
+            bad.snapshot()
+
+    def test_reset_zeroes_instruments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_requests_total", "h")
+        hist = registry.histogram("repro_latency_seconds", "h")
+        counter.inc(5)
+        hist.observe(0.5)
+        registry.reset()
+        assert counter.total() == 0
+        assert hist.merged_entry()["count"] == 0
+
+
+class TestMerge:
+    def test_counters_and_histograms_sum(self):
+        snapshots = []
+        for _ in range(2):
+            registry = MetricsRegistry()
+            registry.counter("repro_requests_total", "h", ("model",)).inc(2, model="a")
+            h = registry.histogram("repro_latency_seconds", "h", buckets=(0.1, 1.0))
+            h.observe(0.05)
+            h.observe(0.5)
+            snapshots.append(registry.snapshot())
+        merged = merge_snapshots(snapshots)
+        assert merged["repro_requests_total"]["series"][("a",)] == 4.0
+        entry = merged["repro_latency_seconds"]["series"][()]
+        assert entry["counts"] == [2, 2, 0]
+        assert entry["count"] == 4
+
+    def test_gauge_agg_modes(self):
+        def snap(value):
+            registry = MetricsRegistry()
+            registry.gauge("repro_queue_depth", "h").set(value)
+            registry.gauge("repro_peak_depth", "h", agg="max").set(value)
+            return registry.snapshot()
+
+        merged = merge_snapshots([snap(3), snap(5)])
+        assert merged["repro_queue_depth"]["series"][()] == 8.0
+        assert merged["repro_peak_depth"]["series"][()] == 5.0
+
+    def test_mismatched_buckets_rejected(self):
+        def snap(buckets):
+            registry = MetricsRegistry()
+            registry.histogram("repro_latency_seconds", "h", buckets=buckets).observe(0.01)
+            return registry.snapshot()
+
+        with pytest.raises(MetricError):
+            merge_snapshots([snap((0.1, 1.0)), snap((0.2, 1.0))])
+
+    def test_disjoint_families_union(self):
+        a = MetricsRegistry()
+        a.counter("repro_a_total", "h").inc()
+        b = MetricsRegistry()
+        b.counter("repro_b_total", "h").inc()
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert set(merged) == {"repro_a_total", "repro_b_total"}
+
+
+def test_gauge_family_shape():
+    family = gauge_family("repro_retained_bytes", "h", ("pool",), {"small": 64}, agg="sum")
+    assert family["type"] == "gauge"
+    assert family["series"] == {("small",): 64.0}

@@ -1,0 +1,94 @@
+"""Trace tiling, splicing across the process boundary, and the ring log."""
+
+import json
+import threading
+
+from repro.obs import Trace, TraceLog, new_request_id, splice_spans
+
+
+class TestTrace:
+    def test_request_ids_minted_and_unique(self):
+        ids = {new_request_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(len(i) == 16 for i in ids)
+
+    def test_spans_tile_the_window(self):
+        trace = Trace("req1", start=100.0)
+        trace._marks = [("validate", 100.001), ("inference", 100.011), ("serialize", 100.012)]
+        spans = trace.spans()
+        assert [s["name"] for s in spans] == ["validate", "inference", "serialize"]
+        total = sum(s["ms"] for s in spans)
+        # Tiling: span durations sum exactly to start → last mark.
+        assert abs(total - 12.0) < 1e-6
+        assert trace.to_dict()["total_ms"] == total
+
+    def test_cross_thread_marks_sorted_by_stamp(self):
+        trace = Trace("req2")
+        trace.mark("a")
+
+        def worker():
+            trace.mark("b")
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        trace.mark("c")
+        assert [s["name"] for s in trace.spans()] == ["a", "b", "c"]
+
+    def test_marks_are_thread_safe(self):
+        trace = Trace("req3")
+        threads = [
+            threading.Thread(target=lambda i=i: trace.mark(f"s{i}")) for i in range(16)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(trace.spans()) == 16
+
+
+class TestSplice:
+    def test_residual_preserves_total(self):
+        spans = [
+            {"name": "admission", "ms": 1.0},
+            {"name": "worker", "ms": 10.0},
+        ]
+        children = [{"name": "inference", "ms": 6.0}, {"name": "serialization", "ms": 1.0}]
+        spliced = splice_spans(spans, "worker", children)
+        assert [s["name"] for s in spliced] == [
+            "admission", "inference", "serialization", "transport",
+        ]
+        assert sum(s["ms"] for s in spliced) == sum(s["ms"] for s in spans)
+
+    def test_residual_clamped_at_zero(self):
+        spliced = splice_spans(
+            [{"name": "worker", "ms": 1.0}], "worker", [{"name": "inference", "ms": 2.0}]
+        )
+        assert spliced[-1] == {"name": "transport", "ms": 0.0}
+
+    def test_missing_parent_is_identity(self):
+        spans = [{"name": "validate", "ms": 1.0}]
+        assert splice_spans(spans, "worker", [{"name": "x", "ms": 1.0}]) == spans
+
+
+class TestTraceLog:
+    def test_ring_buffer_keeps_newest(self):
+        log = TraceLog(capacity=2)
+        for i in range(5):
+            log.record({"request_id": f"r{i}", "spans": [], "total_ms": 0.0})
+        assert len(log) == 2
+        assert log.recorded() == 5
+        kept = [json.loads(line)["request_id"] for line in log.lines()]
+        assert kept == ["r3", "r4"]
+
+    def test_lines_are_compact_json(self):
+        log = TraceLog()
+        log.record({"request_id": "r", "spans": [{"name": "a", "ms": 1.5}], "total_ms": 1.5})
+        (line,) = log.lines()
+        assert ": " not in line and json.loads(line)["total_ms"] == 1.5
+
+    def test_clear(self):
+        log = TraceLog()
+        log.record({"request_id": "r"})
+        log.clear()
+        assert log.lines() == [] and log.recorded() == 1
