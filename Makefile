@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint bench bench-compare serve serve-bench artifacts list
+.PHONY: test lint bench bench-compare serve serve-bench experiments experiments-bench artifacts list
 
 # Tier-1 verification: the full unit/integration suite.
 test:
@@ -40,6 +40,23 @@ serve:
 # curve (workers x throughput x p50/p95); records BENCH_serve.json.
 serve-bench:
 	$(PYTHON) -m repro.experiments serve-bench
+
+# Regenerate the full artifact catalog through the process-pool
+# experiment engine (repro.api.executor), landing every completed unit
+# in the durable run store under RESULTS_DIR (run_table.csv + sqlite
+# catalog + result.json provenance).  Interrupt it and rerun: only the
+# missing units execute.  E.g.: make experiments JOBS=4 SEEDS=0,1,2
+JOBS ?= 1
+RESULTS_DIR ?= results
+SEEDS ?=
+experiments:
+	$(PYTHON) -m repro.experiments --all --jobs $(JOBS) --results-dir $(RESULTS_DIR) $(if $(SEEDS),--seeds $(SEEDS))
+
+# Experiment-engine scaling bench: sweeps one representative spec
+# workload over jobs in {1,2,4}, checks parallel rows are identical to
+# serial rows, and records BENCH_experiments.json (including `cores`).
+experiments-bench:
+	$(PYTHON) -m repro.experiments experiments-bench
 
 # List available paper artifacts.
 list:

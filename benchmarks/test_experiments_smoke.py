@@ -1,0 +1,75 @@
+"""Experiment-engine perf smoke: the process-pool executor must produce
+rows identical to the serial engine at every jobs count, and (on ≥4-core
+machines) jobs=4 must actually scale.
+
+Runs the jobs ∈ {1, 2, 4} sweep of :mod:`repro.experiments.expbench` and
+records ``BENCH_experiments.json`` at the repository root — the same
+methodology as ``test_serve_smoke.py``'s worker sweep: the curve (and
+the core count it ran on) is always recorded, the speedup gate only arms
+where the hardware can express one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.expbench import (
+    DEFAULT_EXPBENCH_PATH,
+    DEFAULT_JOBS_SWEEP,
+    run_experiments_bench,
+)
+from repro.utils import render_table
+
+_BENCH_OUT = str(Path(__file__).resolve().parent.parent / DEFAULT_EXPBENCH_PATH)
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    """Run the jobs sweep once; record the artifact."""
+    return run_experiments_bench(out_path=_BENCH_OUT)
+
+
+class TestExperimentsSmoke:
+    def test_sweep_recorded(self, artifact):
+        assert Path(_BENCH_OUT).exists()
+        recorded = json.loads(Path(_BENCH_OUT).read_text())
+        assert recorded["benchmark"] == "experiments_executor"
+        assert recorded["cores"] == os.cpu_count()
+        assert [row["jobs"] for row in recorded["results"]] == list(DEFAULT_JOBS_SWEEP)
+        print(render_table(
+            f"Experiment engine sweep ({recorded['cores']} cores)",
+            recorded["results"], key_column="jobs",
+        ))
+        for row in recorded["results"]:
+            assert row["completed"] == recorded["setup"]["n_units"]
+            assert row["units_per_s"] > 0
+
+    def test_rows_identical_across_jobs(self, artifact):
+        """The engine's core contract — parallel == serial, bit for bit."""
+        assert artifact["rows_identical_across_jobs"] is True
+
+    def test_best_speedup_consistent(self, artifact):
+        assert artifact["best_speedup_vs_1job"] == pytest.approx(
+            max(row["speedup_vs_1job"] for row in artifact["results"])
+        )
+
+    def test_jobs4_scales_on_multicore(self, artifact):
+        """The perf gate: jobs=4 ≥ 1.8× jobs=1 on the unit grid.
+
+        A process pool cannot beat the core count, so the gate only arms
+        on ≥4-core machines; the sweep above still records the (flat)
+        curve elsewhere.
+        """
+        cores = os.cpu_count() or 1
+        if cores < 4:
+            pytest.skip(f"scaling gate needs >=4 cores to be meaningful, have {cores}")
+        by_jobs = {row["jobs"]: row for row in artifact["results"]}
+        speedup = by_jobs[1]["elapsed_s"] / by_jobs[4]["elapsed_s"]
+        assert speedup >= 1.8, (
+            f"jobs=4 only {speedup:.2f}x jobs=1 "
+            f"({by_jobs[4]['elapsed_s']}s vs {by_jobs[1]['elapsed_s']}s)"
+        )

@@ -18,6 +18,12 @@ artifact registry (PR 3) as the third registry-style extension point:
   JSON round-trippable, so a new scenario is a spec file
   (``python -m repro.experiments --spec my_scenario.json``), not a new
   runner function.
+- :mod:`~repro.api.executor` + :mod:`~repro.api.store` — **fleet-scale
+  execution**: ``execute_spec(..., jobs=N, seeds=(...), results_dir=...)``
+  fans a spec's independent work units across a process pool (rows
+  bit-identical to the serial engine), aggregates multi-seed runs to
+  mean±std, and lands every unit in a durable, resumable run store
+  (``run_table.csv`` + cross-run sqlite catalog + spec provenance).
 
 The registry submodule is import-cycle-safe (model modules import it at
 class-definition time); everything heavier is exported lazily.
@@ -51,7 +57,9 @@ __all__ = [
     "register_dataset",
     "register_method",
     "render_spec",
+    "run_experiment",
     "unregister_method",
+    "RunStore",
 ]
 
 _LAZY = {
@@ -64,6 +72,8 @@ _LAZY = {
     "get_dataset_family": ("repro.api.spec", "get_dataset_family"),
     "build_dataset": ("repro.api.spec", "build_dataset"),
     "catalog": ("repro.api.experiments", "catalog"),
+    "run_experiment": ("repro.api.executor", "run_experiment"),
+    "RunStore": ("repro.api.store", "RunStore"),
 }
 
 

@@ -1,0 +1,511 @@
+"""Fleet-scale experiment execution: a process pool over spec work units.
+
+``execute_spec`` runs a variant grid serially in one process; this module
+decomposes the same :class:`~repro.api.spec.ExperimentSpec` into
+independent :class:`WorkUnit` s — one per ``(dataset, variant, method,
+seed)`` training cell — and fans them across N ``multiprocessing``
+workers.  Three properties make the fan-out safe:
+
+- **Units are picklable plain data** (spec/profile as dicts, indices,
+  ints) and the worker entry point :func:`run_unit` is a top-level
+  function — the ``pool-picklable`` devtools rule enforces that nothing
+  un-picklable is ever submitted across the process boundary.
+- **Units are deterministically seeded**: every RNG inside a cell draws
+  from the cell's own profile seed
+  (:func:`repro.api.spec.execute_train_cell`), so parallel rows are
+  bit-identical to the serial engine's — gated by
+  ``tests/api/test_executor.py``.
+- **Units land durably as they finish**: with a ``results_dir`` each
+  completed unit is written atomically to the
+  :class:`~repro.api.store.RunStore` before the run continues, so a
+  killed sweep restarted with the same directory executes only the
+  missing units.
+
+Multi-seed runs (``seeds=(0, 1, 2)``) repeat every cell once per seed
+(the seed drives *both* model init and the training RNG — Estimator
+semantics) and aggregate the repetitions into ``mean±std`` rows.
+
+Executor telemetry is registry-backed (:func:`executor_registry`):
+``repro_experiment_units_total{status}``, a unit-duration histogram
+``repro_experiment_unit_seconds{spec}``, the in-flight gauge
+``repro_experiment_inflight_units`` and per-run outcomes in
+``repro_experiment_runs_total{status}`` — snapshotted into
+``BENCH_experiments.json`` by ``make experiments-bench``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import statistics
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.api.profiles import FAST_PROFILE, ExperimentProfile
+from repro.api.spec import (
+    ExperimentSpec,
+    base_profile,
+    build_dataset,
+    dataset_aspect_value,
+    execute_train_cell,
+)
+from repro.api.store import RunStore
+from repro.obs.metrics import MetricsRegistry
+
+#: Unit-duration histogram buckets: geometric, ~60ms to ~2.5h, so both
+#: tiny-profile smoke units and full-profile training cells resolve.
+UNIT_SECONDS_BUCKETS = tuple(0.06 * 1.6 ** i for i in range(25))
+
+_REGISTRY = MetricsRegistry()
+_UNITS_TOTAL = _REGISTRY.counter(
+    "repro_experiment_units_total",
+    "Experiment work units by terminal status (completed/failed/resumed).",
+    ("status",),
+)
+_UNIT_SECONDS = _REGISTRY.histogram(
+    "repro_experiment_unit_seconds",
+    "Wall time of one (dataset, variant, method, seed) work unit.",
+    ("spec",),
+    buckets=UNIT_SECONDS_BUCKETS,
+)
+_INFLIGHT = _REGISTRY.gauge(
+    "repro_experiment_inflight_units",
+    "Work units currently executing (submitted, not yet landed).",
+)
+_RUNS_TOTAL = _REGISTRY.counter(
+    "repro_experiment_runs_total",
+    "Spec executions through the parallel engine, by outcome.",
+    ("status",),
+)
+
+
+def executor_registry() -> MetricsRegistry:
+    """The process-wide registry holding the executor instruments."""
+    return _REGISTRY
+
+
+class ExperimentExecutionError(RuntimeError):
+    """One or more work units failed; completed units were landed first.
+
+    ``failures`` maps unit keys to the stringified worker exception, so
+    callers (and the CLI) can report exactly which cells to investigate.
+    A rerun with the same ``results_dir`` retries only the failed units.
+    """
+
+    def __init__(self, message: str, failures: dict[str, str]):
+        super().__init__(message)
+        self.failures = dict(failures)
+
+
+# ----------------------------------------------------------------------
+# Work units
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkUnit:
+    """One independent ``(dataset, variant, method, seed)`` cell.
+
+    Plain picklable data: the spec and profile travel as dicts and are
+    rebuilt inside the worker, so the same unit runs identically
+    in-process (``jobs=1``) and across any ``multiprocessing`` start
+    method.
+    """
+
+    spec_payload: dict
+    profile_payload: dict
+    dataset_index: int
+    variant_index: int
+    method: str
+    seed: int
+    repetition: int
+
+    @property
+    def key(self) -> str:
+        """Filename-safe unit identity (the run-store landing key)."""
+        return (
+            f"d{self.dataset_index:02d}_v{self.variant_index:02d}_"
+            f"{self.method}_r{self.repetition:02d}_s{self.seed}"
+        )
+
+
+def plan_units(
+    spec: ExperimentSpec, profile: ExperimentProfile, seeds: Sequence[int]
+) -> list[WorkUnit]:
+    """Decompose a train spec into its independent work units.
+
+    Order is repetition-major over the serial engine's ``datasets ×
+    variants × methods`` loop; the executor reassembles rows by unit
+    identity, so execution order never affects the result.
+    """
+    spec_payload = spec.to_dict()
+    profile_payload = dataclasses.asdict(profile)
+    units = []
+    for repetition, seed in enumerate(seeds):
+        for dataset_index in range(len(spec.datasets)):
+            for variant_index in range(len(spec.variants)):
+                for method in spec.methods:
+                    units.append(
+                        WorkUnit(
+                            spec_payload=spec_payload,
+                            profile_payload=profile_payload,
+                            dataset_index=dataset_index,
+                            variant_index=variant_index,
+                            method=method,
+                            seed=int(seed),
+                            repetition=repetition,
+                        )
+                    )
+    return units
+
+
+@functools.lru_cache(maxsize=4)
+def _cached_dataset(family: str, aspect: str, profile: ExperimentProfile):
+    """Per-process dataset cache: builders are deterministic in (args,
+    profile), so a cached instance is identical to a fresh build — and a
+    pool worker running many units of one sweep builds each dataset once."""
+    return build_dataset(family, aspect, profile)
+
+
+def run_unit(unit: WorkUnit) -> dict:
+    """Execute one work unit; returns its durable record.
+
+    **Top-level by contract** — this function crosses the process
+    boundary (``pool-picklable`` rule).  The record carries the paper row
+    plus the run-table resource stats (epoch timing percentiles, kernel
+    and buffer-pool deltas) documented in :mod:`repro.api.store`.
+    """
+    from repro.backend.core import kernel_timing, kernel_timings
+    from repro.backend.pool import get_pool
+
+    spec = ExperimentSpec.from_dict(unit.spec_payload)
+    profile = ExperimentProfile(**unit.profile_payload)
+    base = base_profile(spec, profile)
+    family, aspect = spec.datasets[unit.dataset_index]
+    dataset = _cached_dataset(family, aspect, base)
+    aspect_value = dataset_aspect_value(spec, family, aspect)
+    variant = spec.variants[unit.variant_index]
+
+    epoch_marks: list[float] = []
+
+    def _mark_epoch(_model, _dataset, _info) -> None:
+        epoch_marks.append(time.perf_counter())
+
+    kernels_before = kernel_timings()
+    pool_before = get_pool().stats()
+    started = time.perf_counter()
+    with kernel_timing(True):
+        train_started = time.perf_counter()
+        row = execute_train_cell(
+            spec, base, dataset, aspect_value, variant, unit.method,
+            seed=unit.seed, callback=_mark_epoch,
+        )
+    finished = time.perf_counter()
+    stats = _unit_stats(
+        started, train_started, finished, epoch_marks,
+        kernels_before, kernel_timings(), pool_before, get_pool().stats(),
+        n_train=len(dataset.train),
+    )
+    return {
+        "unit": {
+            "key": unit.key,
+            "dataset": family,
+            "aspect": aspect,
+            "dataset_index": unit.dataset_index,
+            "variant_index": unit.variant_index,
+            "method": unit.method,
+            "seed": unit.seed,
+            "repetition": unit.repetition,
+        },
+        "status": "completed",
+        "row": row,
+        "stats": stats,
+    }
+
+
+def _unit_stats(
+    started: float,
+    train_started: float,
+    finished: float,
+    epoch_marks: Sequence[float],
+    kernels_before: dict,
+    kernels_after: dict,
+    pool_before: dict,
+    pool_after: dict,
+    n_train: int,
+) -> dict:
+    """The run-table resource columns for one unit (see repro.api.store)."""
+    duration = finished - started
+    epochs = len(epoch_marks)
+    train_s = (epoch_marks[-1] - train_started) if epoch_marks else finished - train_started
+    epoch_durations = [
+        end - start
+        for start, end in zip([train_started, *epoch_marks], epoch_marks)
+    ]
+    kernel_ms = sum(e["total_ms"] for e in kernels_after.values()) - sum(
+        e["total_ms"] for e in kernels_before.values()
+    )
+    kernel_calls = sum(e["calls"] for e in kernels_after.values()) - sum(
+        e["calls"] for e in kernels_before.values()
+    )
+    pool_hits = pool_after["hits"] - pool_before["hits"]
+    pool_misses = pool_after["misses"] - pool_before["misses"]
+    pool_total = pool_hits + pool_misses
+    return {
+        "duration_s": round(duration, 4),
+        "train_s": round(train_s, 4),
+        "epochs": epochs,
+        "ms_per_epoch": round(train_s * 1000.0 / epochs, 3) if epochs else None,
+        "throughput_eps": round(epochs * n_train / train_s, 2) if train_s > 0 else None,
+        "p50_epoch_ms": _percentile_ms(epoch_durations, 50.0),
+        "p95_epoch_ms": _percentile_ms(epoch_durations, 95.0),
+        "kernel_seconds": round(max(kernel_ms, 0.0) / 1000.0, 4),
+        "kernel_calls": max(int(kernel_calls), 0),
+        "pool_hits": max(pool_hits, 0),
+        "pool_misses": max(pool_misses, 0),
+        "pool_hit_rate": round(pool_hits / pool_total, 4) if pool_total > 0 else None,
+    }
+
+
+def _percentile_ms(durations: Sequence[float], q: float) -> Optional[float]:
+    """Nearest-rank percentile of a small duration sample, in ms."""
+    if not durations:
+        return None
+    ordered = sorted(durations)
+    rank = max(int(round(q / 100.0 * len(ordered) + 0.5)) - 1, 0)
+    return round(ordered[min(rank, len(ordered) - 1)] * 1000.0, 3)
+
+
+# ----------------------------------------------------------------------
+# Multi-seed aggregation
+# ----------------------------------------------------------------------
+def aggregate_cell_rows(cell_rows: Sequence[dict]) -> dict:
+    """Fold one cell's per-seed rows into a ``mean±std`` row.
+
+    Numeric columns (present and numeric in every repetition) become
+    ``"mean±std"`` strings; everything else (labels, ``None`` Acc cells)
+    keeps the first repetition's value.  A trailing ``seeds`` column
+    records the repetition count.
+    """
+    if len(cell_rows) == 1:
+        return cell_rows[0]
+    aggregated: dict = {}
+    for column in cell_rows[0]:
+        values = [row.get(column) for row in cell_rows]
+        if all(isinstance(v, (int, float)) and not isinstance(v, bool) for v in values):
+            mean = statistics.fmean(values)
+            std = statistics.stdev(values) if len(values) > 1 else 0.0
+            aggregated[column] = f"{mean:.1f}±{std:.1f}"
+        else:
+            aggregated[column] = values[0]
+    aggregated["seeds"] = len(cell_rows)
+    return aggregated
+
+
+def _assemble_result(
+    spec: ExperimentSpec,
+    units: Sequence[WorkUnit],
+    records: dict[str, dict],
+    n_reps: int,
+) -> Union[list[dict], dict[str, list[dict]]]:
+    """Rows in the serial engine's order/shape, aggregated across seeds."""
+    by_identity = {
+        (u.dataset_index, u.variant_index, u.method, u.repetition): records[u.key]["row"]
+        for u in units
+    }
+    grouped: dict[str, list[dict]] = {}
+    flat: list[dict] = []
+    for dataset_index, (_family, aspect) in enumerate(spec.datasets):
+        rows = grouped.setdefault(aspect, []) if spec.grouped else flat
+        for variant_index in range(len(spec.variants)):
+            for method in spec.methods:
+                cell = [
+                    by_identity[(dataset_index, variant_index, method, rep)]
+                    for rep in range(n_reps)
+                ]
+                rows.append(aggregate_cell_rows(cell))
+    return grouped if spec.grouped else flat
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+def run_experiment(
+    spec: ExperimentSpec,
+    profile: ExperimentProfile = FAST_PROFILE,
+    *,
+    jobs: int = 1,
+    seeds: Optional[Sequence[int]] = None,
+    results_dir: Optional[Union[str, Path]] = None,
+    registry: Optional[MetricsRegistry] = None,
+    mp_context: Optional[str] = None,
+) -> Union[list[dict], dict[str, list[dict]]]:
+    """Execute a spec through the process-pool engine.
+
+    ``jobs`` workers (1 = in-process, still unit-decomposed), ``seeds``
+    repetitions (default: the profile seed once), ``results_dir`` the
+    durable run store to land in and resume from.  Returns the serial
+    engine's row shape; multi-seed runs return ``mean±std`` rows.
+    Raises :class:`ExperimentExecutionError` after landing completed
+    units if any unit failed.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    spec.resolve()
+    seeds = tuple(int(s) for s in seeds) if seeds else (profile.seed,)
+    if len(set(seeds)) != len(seeds):
+        raise ValueError(f"seeds must be unique, got {seeds}")
+    if spec.kind != "train":
+        return _run_untrained(spec, profile, seeds, jobs, results_dir)
+
+    units = plan_units(spec, profile, seeds)
+    run = None
+    records: dict[str, dict] = {}
+    if results_dir is not None:
+        store = RunStore(results_dir)
+        run = store.begin_run(spec, profile, seeds, jobs, len(units))
+        landed = run.completed_units()
+        records = {u.key: landed[u.key] for u in units if u.key in landed}
+    resumed = len(records)
+    if resumed:
+        _UNITS_TOTAL.inc(resumed, status="resumed")
+    pending = [u for u in units if u.key not in records]
+
+    failures: dict[str, str] = {}
+    if jobs == 1 or len(pending) <= 1:
+        for unit in pending:
+            record, error = _execute_one(unit, spec.name)
+            if error is not None:
+                failures[unit.key] = error
+                continue
+            records[unit.key] = record
+            if run is not None:
+                run.land_unit(record)
+    else:
+        _run_pool(spec, pending, jobs, mp_context, records, failures, run)
+
+    if failures:
+        if run is not None:
+            run.mark("interrupted")
+        _RUNS_TOTAL.inc(status="failed")
+        detail = "; ".join(f"{key}: {msg}" for key, msg in sorted(failures.items()))
+        raise ExperimentExecutionError(
+            f"{len(failures)}/{len(units)} work units failed "
+            f"({len(records)} landed durably — rerun with the same "
+            f"results_dir to retry only the failures): {detail}",
+            failures,
+        )
+    result = _assemble_result(spec, units, records, len(seeds))
+    if run is not None:
+        run.finalize(result, jobs=jobs, executed=len(pending), resumed=resumed)
+    _RUNS_TOTAL.inc(status="completed")
+    return result
+
+
+def _execute_one(unit: WorkUnit, spec_name: str) -> tuple[Optional[dict], Optional[str]]:
+    """Run one unit in-process, with telemetry; never raises."""
+    _INFLIGHT.add(1)
+    started = time.perf_counter()
+    try:
+        record = run_unit(unit)
+    except Exception as exc:  # noqa: BLE001 — unit failures are data
+        _UNITS_TOTAL.inc(status="failed")
+        return None, f"{type(exc).__name__}: {exc}"
+    finally:
+        _INFLIGHT.add(-1)
+    _UNITS_TOTAL.inc(status="completed")
+    _UNIT_SECONDS.observe(time.perf_counter() - started, spec=spec_name)
+    return record, None
+
+
+def _run_pool(
+    spec: ExperimentSpec,
+    pending: Sequence[WorkUnit],
+    jobs: int,
+    mp_context: Optional[str],
+    records: dict[str, dict],
+    failures: dict[str, str],
+    run,
+) -> None:
+    """Fan pending units across the process pool, landing as they finish."""
+    import multiprocessing
+
+    context = multiprocessing.get_context(mp_context)
+    submitted: dict = {}
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(pending)), mp_context=context
+    ) as pool:
+        started = {}
+        for unit in pending:
+            future = pool.submit(run_unit, unit)
+            submitted[future] = unit
+            started[unit.key] = time.perf_counter()
+            _INFLIGHT.add(1)
+        outstanding = set(submitted)
+        while outstanding:
+            finished, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+            for future in finished:
+                unit = submitted[future]
+                _INFLIGHT.add(-1)
+                try:
+                    record = future.result()
+                except Exception as exc:  # noqa: BLE001 — incl. BrokenProcessPool
+                    _UNITS_TOTAL.inc(status="failed")
+                    failures[unit.key] = f"{type(exc).__name__}: {exc}"
+                    continue
+                _UNITS_TOTAL.inc(status="completed")
+                _UNIT_SECONDS.observe(
+                    time.perf_counter() - started[unit.key], spec=spec.name
+                )
+                records[unit.key] = record
+                # Land immediately: durability is what makes a SIGKILL
+                # mid-sweep resumable instead of a total loss.
+                if run is not None:
+                    run.land_unit(record)
+
+
+def _run_untrained(
+    spec: ExperimentSpec,
+    profile: ExperimentProfile,
+    seeds: tuple[int, ...],
+    jobs: int,
+    results_dir: Optional[Union[str, Path]],
+):
+    """Complexity/statistics specs: seconds of work — no pool, but the
+    store contract (provenance, resume, run_table) still holds."""
+    from repro.api.spec import execute_spec
+    from repro.experiments.reporting import load_rows_json
+
+    run = None
+    if results_dir is not None:
+        store = RunStore(results_dir)
+        run = store.begin_run(spec, profile, seeds, jobs, n_units=1)
+        if run.result_path().exists():
+            _UNITS_TOTAL.inc(status="resumed")
+            _RUNS_TOTAL.inc(status="completed")
+            rows, _metadata = load_rows_json(run.result_path())
+            return rows
+    result = execute_spec(spec, profile)
+    if run is not None:
+        for index, row in enumerate(result):
+            run.land_unit(
+                {
+                    "unit": {
+                        "key": f"row{index:03d}_r00_s{seeds[0]}",
+                        "dataset": None,
+                        "aspect": None,
+                        "dataset_index": None,
+                        "variant_index": None,
+                        "method": row.get("method"),
+                        "seed": seeds[0],
+                        "repetition": 0,
+                    },
+                    "status": "completed",
+                    "row": row,
+                    "stats": {},
+                }
+            )
+        run.finalize(result, jobs=jobs, executed=len(result), resumed=0)
+    _RUNS_TOTAL.inc(status="completed")
+    return result

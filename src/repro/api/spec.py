@@ -320,44 +320,84 @@ def _extract_fields(
     return row
 
 
+def base_profile(spec: ExperimentSpec, profile: ExperimentProfile) -> ExperimentProfile:
+    """The profile a spec actually runs at (spec-wide overrides applied)."""
+    return profile.scaled(**spec.profile_overrides) if spec.profile_overrides else profile
+
+
+def dataset_aspect_value(spec: ExperimentSpec, family: str, aspect: str) -> str:
+    """The rendered aspect-column value for one ``(family, aspect)`` pair."""
+    display = get_dataset_family(family).display
+    return spec.aspect_label.format(family=display, aspect=aspect)
+
+
+def execute_train_cell(
+    spec: ExperimentSpec,
+    base: ExperimentProfile,
+    dataset: AspectDataset,
+    aspect_value: str,
+    variant: dict,
+    method: str,
+    seed: Optional[int] = None,
+    callback=None,
+) -> dict:
+    """Run one ``(dataset, variant, method)`` training cell; returns its row.
+
+    This is the independent unit of work the process-pool executor
+    (:mod:`repro.api.executor`) fans out: every RNG in the cell is seeded
+    from the cell's own profile, so cells are order-independent and a
+    parallel run is bit-identical to the serial loop below.  ``seed``
+    overrides the profile seed for the whole cell — model init, training
+    RNG, pretrain hooks and generator surgery — matching the
+    :class:`~repro.api.Estimator` semantics where a swept seed resamples
+    model init, not just the batch order.  ``callback`` is forwarded to
+    :func:`~repro.core.trainer.train_rationalizer` (the executor uses it
+    to time epochs).
+    """
+    run_profile = base.scaled(**variant["profile"]) if variant.get("profile") else base
+    if seed is not None and seed != run_profile.seed:
+        run_profile = run_profile.scaled(seed=seed)
+    alpha = variant.get("alpha", spec.alpha)
+    encoder = variant.get("encoder", spec.encoder)
+    model_overrides = {**spec.model_overrides, **variant.get("model", {})}
+    config_overrides = {**spec.config_overrides, **variant.get("config", {})}
+    info = get_method(method)
+    model = build_model(
+        info, dataset, run_profile, alpha=alpha, encoder=encoder, **model_overrides
+    )
+    if variant.get("generator"):
+        _rebuild_generator(model, variant["generator"], run_profile)
+    extra: dict = {}
+    if variant.get("pretrain"):
+        extra = _run_pretrain(model, dataset, variant["pretrain"], run_profile)
+    if variant.get("mark_pretrained"):
+        model.mark_discriminator_pretrained()
+    config = train_config(info, run_profile, **config_overrides)
+    result = train_rationalizer(model, dataset, config, callback=callback)
+    row: dict = {}
+    if spec.aspect_column:
+        row[spec.aspect_column] = aspect_value
+    row.update(variant.get("row", {}))
+    row.update(extra)
+    row.update(_extract_fields(spec.row_fields, info, result))
+    return row
+
+
 def _execute_train(
     spec: ExperimentSpec, profile: ExperimentProfile
 ) -> Union[list[dict], dict[str, list[dict]]]:
-    base = profile.scaled(**spec.profile_overrides) if spec.profile_overrides else profile
+    base = base_profile(spec, profile)
     grouped: dict[str, list[dict]] = {}
     flat: list[dict] = []
     for family, aspect in spec.datasets:
         dataset = build_dataset(family, aspect, base)
-        display = get_dataset_family(family).display
-        aspect_value = spec.aspect_label.format(family=display, aspect=aspect)
+        aspect_value = dataset_aspect_value(spec, family, aspect)
         rows = grouped.setdefault(aspect, []) if spec.grouped else flat
         for variant in spec.variants:
-            run_profile = base.scaled(**variant["profile"]) if variant.get("profile") else base
-            alpha = variant.get("alpha", spec.alpha)
-            encoder = variant.get("encoder", spec.encoder)
-            model_overrides = {**spec.model_overrides, **variant.get("model", {})}
-            config_overrides = {**spec.config_overrides, **variant.get("config", {})}
             for method in spec.methods:
-                info = get_method(method)
-                model = build_model(
-                    info, dataset, run_profile, alpha=alpha, encoder=encoder, **model_overrides
+                rows.append(
+                    execute_train_cell(spec, base, dataset, aspect_value, variant, method)
                 )
-                if variant.get("generator"):
-                    _rebuild_generator(model, variant["generator"], run_profile)
-                extra: dict = {}
-                if variant.get("pretrain"):
-                    extra = _run_pretrain(model, dataset, variant["pretrain"], run_profile)
-                if variant.get("mark_pretrained"):
-                    model.mark_discriminator_pretrained()
-                config = train_config(info, run_profile, **config_overrides)
-                result = train_rationalizer(model, dataset, config)
-                row: dict = {}
-                if spec.aspect_column:
-                    row[spec.aspect_column] = aspect_value
-                row.update(variant.get("row", {}))
-                row.update(extra)
-                row.update(_extract_fields(spec.row_fields, info, result))
-                rows.append(row)
     return grouped if spec.grouped else flat
 
 
@@ -400,14 +440,34 @@ def _execute_statistics(spec: ExperimentSpec, profile: ExperimentProfile) -> lis
 
 
 def execute_spec(
-    spec: ExperimentSpec, profile: ExperimentProfile = FAST_PROFILE
+    spec: ExperimentSpec,
+    profile: ExperimentProfile = FAST_PROFILE,
+    *,
+    jobs: int = 1,
+    seeds: Optional[Sequence[int]] = None,
+    results_dir: Optional[Union[str, Path]] = None,
 ) -> Union[list[dict], dict[str, list[dict]]]:
     """Run a spec at the given profile; returns its rows.
 
     ``grouped`` specs return ``{aspect: rows}``, everything else a flat
     row list — exactly the shapes the runner functions always produced.
+
+    The defaults run the serial in-process engine.  ``jobs > 1`` fans the
+    spec's independent ``(dataset, variant, method, seed)`` cells across a
+    process pool, ``seeds`` repeats every cell once per seed (rows become
+    ``mean±std`` aggregates when more than one seed is given), and
+    ``results_dir`` lands every unit in the durable, resumable run store
+    (:mod:`repro.api.store`) — all three handled by
+    :func:`repro.api.executor.run_experiment`, whose rows are verified
+    identical to this serial path.
     """
     spec.resolve()
+    if jobs != 1 or seeds is not None or results_dir is not None:
+        from repro.api.executor import run_experiment
+
+        return run_experiment(
+            spec, profile, jobs=jobs, seeds=seeds, results_dir=results_dir
+        )
     if spec.kind == "complexity":
         return _execute_complexity(spec, profile)
     if spec.kind == "statistics":
@@ -415,12 +475,19 @@ def execute_spec(
     return _execute_train(spec, profile)
 
 
-def render_spec(spec: ExperimentSpec, profile: ExperimentProfile = FAST_PROFILE) -> str:
+def render_spec(
+    spec: ExperimentSpec,
+    profile: ExperimentProfile = FAST_PROFILE,
+    *,
+    jobs: int = 1,
+    seeds: Optional[Sequence[int]] = None,
+    results_dir: Optional[Union[str, Path]] = None,
+) -> str:
     """Execute a spec and render its paper-style text table(s)."""
     from repro.utils import render_table
 
     title = spec.table_title or spec.name
-    result = execute_spec(spec, profile)
+    result = execute_spec(spec, profile, jobs=jobs, seeds=seeds, results_dir=results_dir)
     if isinstance(result, dict):
         return "\n".join(
             render_table(f"{title} — {key}", rows, key_column=spec.key_column)

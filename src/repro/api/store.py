@@ -1,0 +1,463 @@
+"""Durable, resumable experiment run store (``--results-dir``).
+
+Every spec execution that names a results directory lands in this store:
+one *run* per ``(spec, profile, seeds)`` triple, one *unit file* per
+completed ``(dataset, variant, method, seed)`` training cell, a
+``run_table.csv`` in the style of mubench's replication artifact (one
+row per (run, repetition) carrying throughput/latency/resource columns),
+and a cross-run ``catalog.sqlite`` index for querying runs and units
+across the whole directory.  Completed unit files are the resume source
+of truth: a killed sweep restarted with the same ``--results-dir``
+executes only the missing units (see
+:meth:`RunRecord.completed_units`).
+
+Layout::
+
+    <results_dir>/
+      catalog.sqlite              cross-run index (runs + units tables)
+      runs/<run_id>/
+        spec.json                 executable provenance: spec + profile + seeds
+        units/<unit_key>.json     one atomic file per completed unit
+        run_table.csv             one row per (run, repetition) — see below
+        result.json               final rows + spec provenance
+                                  (reporting.save_spec_result format)
+
+``run_id`` is content-addressed — ``<spec_name>-<sha256 of (spec,
+profile, seeds)>`` — so re-running the same experiment in the same
+directory resumes it, while any change to the recipe starts a fresh run.
+
+``run_table.csv`` columns (the mubench ``run_table.csv`` shape adapted
+to training units):
+
+========================  ==============================================
+column                    meaning
+========================  ==============================================
+run_id                    content-addressed run identity (see above)
+unit                      unit key ``d<dataset>_v<variant>_<method>_r<rep>``
+dataset, aspect           dataset family key and aspect name
+variant                   index into ``spec.variants``
+method                    registered method name trained by the unit
+seed                      the unit's seed (drives model init + training)
+repetition                index of the seed in the run's seed list
+status                    ``completed`` (failed units never land a file)
+duration_s                wall time of the whole unit (dataset build +
+                          model build + pretrain + train + eval)
+train_s                   wall time inside ``train_rationalizer``
+epochs                    training epochs observed (post-pretrain)
+ms_per_epoch              ``train_s * 1000 / epochs`` — the same metric
+                          ``BENCH_backend.json`` gates on
+throughput_eps            training examples consumed per second
+                          (``epochs * n_train / train_s``)
+p50_epoch_ms              median epoch latency (train + eval probes)
+p95_epoch_ms              95th-percentile epoch latency
+kernel_seconds            backend kernel wall time attributed to the unit
+kernel_calls              backend kernel dispatches in the unit
+pool_hits, pool_misses    buffer-pool ledger delta over the unit
+pool_hit_rate             ``hits / (hits + misses)`` for the unit
+<metric columns>          the unit's paper-style row (``S``/``P``/``R``/
+                          ``F1``/``Acc``/``FullAcc``, label columns,
+                          ``Pre_acc`` ...), one CSV column per key
+========================  ==============================================
+
+Concurrency contract: only the coordinating (parent) process writes the
+store — pool workers return results over the executor queue and the
+parent lands them — so sqlite never sees multi-process writers, and unit
+files are written atomically (temp file + ``os.replace``) so a kill at
+any instant leaves either a complete unit or no unit.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import hashlib
+import json
+import os
+import sqlite3
+import time
+from pathlib import Path
+from typing import Iterable, Mapping, Optional, Sequence, Union
+
+from repro.api.profiles import ExperimentProfile
+from repro.api.spec import ExperimentSpec
+
+PathLike = Union[str, Path]
+
+#: Fixed (non-metric) run_table.csv columns, in order; the unit's metric
+#: row contributes the remaining columns (union across units).
+RUN_TABLE_BASE_COLUMNS = (
+    "run_id", "unit", "dataset", "aspect", "variant", "method", "seed",
+    "repetition", "status", "duration_s", "train_s", "epochs",
+    "ms_per_epoch", "throughput_eps", "p50_epoch_ms", "p95_epoch_ms",
+    "kernel_seconds", "kernel_calls", "pool_hits", "pool_misses",
+    "pool_hit_rate",
+)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    run_id      TEXT PRIMARY KEY,
+    spec_name   TEXT NOT NULL,
+    kind        TEXT NOT NULL,
+    status      TEXT NOT NULL,
+    created_utc REAL NOT NULL,
+    updated_utc REAL NOT NULL,
+    jobs        INTEGER,
+    seeds       TEXT NOT NULL,
+    n_units     INTEGER NOT NULL,
+    n_completed INTEGER NOT NULL,
+    path        TEXT NOT NULL,
+    spec_json   TEXT NOT NULL,
+    profile_json TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS units (
+    run_id      TEXT NOT NULL,
+    unit        TEXT NOT NULL,
+    dataset     TEXT,
+    aspect      TEXT,
+    variant     INTEGER,
+    method      TEXT,
+    seed        INTEGER,
+    repetition  INTEGER,
+    status      TEXT NOT NULL,
+    duration_s  REAL,
+    ms_per_epoch REAL,
+    throughput_eps REAL,
+    row_json    TEXT NOT NULL,
+    PRIMARY KEY (run_id, unit)
+);
+"""
+
+
+def run_identity(
+    spec: ExperimentSpec, profile: ExperimentProfile, seeds: Sequence[int]
+) -> str:
+    """Content-addressed run id: same recipe → same run → resumable."""
+    payload = json.dumps(
+        {
+            "spec": spec.to_dict(),
+            "profile": dataclasses.asdict(profile),
+            "seeds": list(seeds),
+        },
+        sort_keys=True,
+    )
+    digest = hashlib.sha256(payload.encode()).hexdigest()[:12]
+    return f"{spec.name}-{digest}"
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write via temp file + rename so readers never see a partial file."""
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+def _jsonify(value):
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return str(value)
+
+
+class RunStore:
+    """A results directory holding runs plus the cross-run sqlite catalog."""
+
+    def __init__(self, root: PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        (self.root / "runs").mkdir(exist_ok=True)
+        self._ensure_schema()
+
+    # -- sqlite catalog -------------------------------------------------
+    @property
+    def catalog_path(self) -> Path:
+        """Path of the cross-run sqlite index."""
+        return self.root / "catalog.sqlite"
+
+    def connect(self) -> sqlite3.Connection:
+        """Open a connection to the catalog (caller closes)."""
+        conn = sqlite3.connect(self.catalog_path)
+        conn.row_factory = sqlite3.Row
+        return conn
+
+    def _ensure_schema(self) -> None:
+        conn = self.connect()
+        try:
+            conn.executescript(_SCHEMA)
+            conn.commit()
+        finally:
+            conn.close()
+
+    def runs(self) -> list[dict]:
+        """Catalog rows of every run, most recent first."""
+        conn = self.connect()
+        try:
+            cursor = conn.execute(
+                "SELECT run_id, spec_name, kind, status, created_utc, "
+                "jobs, seeds, n_units, n_completed, path FROM runs "
+                "ORDER BY created_utc DESC"
+            )
+            return [dict(row) for row in cursor.fetchall()]
+        finally:
+            conn.close()
+
+    def units(self, run_id: Optional[str] = None) -> list[dict]:
+        """Catalog rows of units, optionally restricted to one run."""
+        conn = self.connect()
+        try:
+            if run_id is None:
+                cursor = conn.execute("SELECT * FROM units ORDER BY run_id, unit")
+            else:
+                cursor = conn.execute(
+                    "SELECT * FROM units WHERE run_id = ? ORDER BY unit", (run_id,)
+                )
+            return [dict(row) for row in cursor.fetchall()]
+        finally:
+            conn.close()
+
+    # -- runs -----------------------------------------------------------
+    def run_dir(self, run_id: str) -> Path:
+        """Directory of one run."""
+        return self.root / "runs" / run_id
+
+    def begin_run(
+        self,
+        spec: ExperimentSpec,
+        profile: ExperimentProfile,
+        seeds: Sequence[int],
+        jobs: int,
+        n_units: int,
+    ) -> "RunRecord":
+        """Open (or reopen, for resume) the run for this exact recipe."""
+        run_id = run_identity(spec, profile, seeds)
+        run_dir = self.run_dir(run_id)
+        (run_dir / "units").mkdir(parents=True, exist_ok=True)
+        provenance = {
+            "run_id": run_id,
+            "spec": spec.to_dict(),
+            "profile": dataclasses.asdict(profile),
+            "seeds": list(seeds),
+            "created_utc": time.time(),
+        }
+        spec_path = run_dir / "spec.json"
+        if not spec_path.exists():
+            _atomic_write_text(spec_path, json.dumps(provenance, indent=2))
+        record = RunRecord(self, run_id, spec, profile, tuple(seeds))
+        conn = self.connect()
+        try:
+            existing = conn.execute(
+                "SELECT created_utc FROM runs WHERE run_id = ?", (run_id,)
+            ).fetchone()
+            created = existing["created_utc"] if existing else time.time()
+            conn.execute(
+                "INSERT OR REPLACE INTO runs VALUES "
+                "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    run_id, spec.name, spec.kind, "running", created, time.time(),
+                    jobs, json.dumps(list(seeds)), n_units,
+                    len(record.completed_units()), str(run_dir),
+                    json.dumps(spec.to_dict()),
+                    json.dumps(dataclasses.asdict(profile)),
+                ),
+            )
+            conn.commit()
+        finally:
+            conn.close()
+        return record
+
+    def reindex(self) -> int:
+        """Rebuild the ``units`` catalog table from unit files on disk.
+
+        The files are the source of truth; this recovers the sqlite index
+        after e.g. a deleted/corrupted catalog.  Returns the number of
+        unit rows indexed.
+        """
+        count = 0
+        conn = self.connect()
+        try:
+            conn.execute("DELETE FROM units")
+            for run_dir in sorted((self.root / "runs").iterdir()):
+                units_dir = run_dir / "units"
+                if not units_dir.is_dir():
+                    continue
+                for unit_path in sorted(units_dir.glob("*.json")):
+                    record = json.loads(unit_path.read_text())
+                    conn.execute(
+                        "INSERT OR REPLACE INTO units VALUES "
+                        "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                        _unit_catalog_row(run_dir.name, record),
+                    )
+                    count += 1
+            conn.commit()
+        finally:
+            conn.close()
+        return count
+
+
+def _unit_catalog_row(run_id: str, record: Mapping) -> tuple:
+    unit = record.get("unit", {})
+    stats = record.get("stats", {})
+    return (
+        run_id,
+        unit.get("key", ""),
+        unit.get("dataset"),
+        unit.get("aspect"),
+        unit.get("variant_index"),
+        unit.get("method"),
+        unit.get("seed"),
+        unit.get("repetition"),
+        record.get("status", "completed"),
+        stats.get("duration_s"),
+        stats.get("ms_per_epoch"),
+        stats.get("throughput_eps"),
+        json.dumps(record.get("row", {}), default=_jsonify),
+    )
+
+
+class RunRecord:
+    """One open run: land units durably, then finalize the artifacts."""
+
+    def __init__(
+        self,
+        store: RunStore,
+        run_id: str,
+        spec: ExperimentSpec,
+        profile: ExperimentProfile,
+        seeds: tuple[int, ...],
+    ):
+        self.store = store
+        self.run_id = run_id
+        self.spec = spec
+        self.profile = profile
+        self.seeds = seeds
+        self.dir = store.run_dir(run_id)
+
+    # -- resume ---------------------------------------------------------
+    def completed_units(self) -> dict[str, dict]:
+        """``{unit_key: unit_record}`` for every unit already on disk.
+
+        This is what makes interrupted sweeps resumable: the executor
+        subtracts these keys from its plan and runs only the rest.
+        """
+        completed: dict[str, dict] = {}
+        units_dir = self.dir / "units"
+        if not units_dir.is_dir():
+            return completed
+        for path in sorted(units_dir.glob("*.json")):
+            record = json.loads(path.read_text())
+            key = record.get("unit", {}).get("key") or path.stem
+            completed[key] = record
+        return completed
+
+    def result_path(self) -> Path:
+        """Path of the final ``result.json`` (exists only when finalized)."""
+        return self.dir / "result.json"
+
+    # -- landing --------------------------------------------------------
+    def land_unit(self, record: Mapping) -> Path:
+        """Durably persist one completed unit (atomic file + catalog row)."""
+        key = record["unit"]["key"]
+        path = self.dir / "units" / f"{key}.json"
+        _atomic_write_text(path, json.dumps(dict(record), indent=2, default=_jsonify))
+        conn = self.store.connect()
+        try:
+            conn.execute(
+                "INSERT OR REPLACE INTO units VALUES "
+                "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                _unit_catalog_row(self.run_id, record),
+            )
+            conn.execute(
+                "UPDATE runs SET n_completed = n_completed + 1, updated_utc = ? "
+                "WHERE run_id = ?",
+                (time.time(), self.run_id),
+            )
+            conn.commit()
+        finally:
+            conn.close()
+        return path
+
+    # -- finalize -------------------------------------------------------
+    def write_run_table(self, records: Iterable[Mapping]) -> Path:
+        """Write ``run_table.csv``: one row per (run, repetition) unit."""
+        records = list(records)
+        metric_columns: list[str] = []
+        for record in records:
+            for key in record.get("row", {}):
+                # A row key shadowing a base column (e.g. "method") is the
+                # same value the unit identity already provides — skip it
+                # rather than emit a duplicate CSV header.
+                if key not in metric_columns and key not in RUN_TABLE_BASE_COLUMNS:
+                    metric_columns.append(key)
+        columns = list(RUN_TABLE_BASE_COLUMNS) + metric_columns
+        path = self.dir / "run_table.csv"
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=columns, extrasaction="ignore")
+            writer.writeheader()
+            for record in records:
+                unit = record.get("unit", {})
+                stats = record.get("stats", {})
+                writer.writerow(
+                    {
+                        "run_id": self.run_id,
+                        "unit": unit.get("key"),
+                        "dataset": unit.get("dataset"),
+                        "aspect": unit.get("aspect"),
+                        "variant": unit.get("variant_index"),
+                        "method": unit.get("method"),
+                        "seed": unit.get("seed"),
+                        "repetition": unit.get("repetition"),
+                        "status": record.get("status", "completed"),
+                        **stats,
+                        **record.get("row", {}),
+                    }
+                )
+        os.replace(tmp, path)
+        return path
+
+    def finalize(self, result, jobs: int, executed: int, resumed: int, status: str = "complete") -> None:
+        """Write ``result.json`` + ``run_table.csv`` and close the catalog row.
+
+        ``result`` is the spec-engine result shape (flat rows or grouped
+        ``{aspect: rows}``); ``result.json`` embeds the executed spec as
+        provenance via :func:`repro.experiments.reporting.save_spec_result`.
+        """
+        from repro.experiments.reporting import save_spec_result
+
+        records = list(self.completed_units().values())
+        records.sort(key=lambda r: r.get("unit", {}).get("key", ""))
+        self.write_run_table(records)
+        save_spec_result(
+            self.spec,
+            result,
+            self.result_path(),
+            profile=self.profile,
+            extra_metadata={
+                "run_id": self.run_id,
+                "seeds": list(self.seeds),
+                "jobs": jobs,
+                "executed_units": executed,
+                "resumed_units": resumed,
+            },
+        )
+        conn = self.store.connect()
+        try:
+            conn.execute(
+                "UPDATE runs SET status = ?, n_completed = ?, updated_utc = ? "
+                "WHERE run_id = ?",
+                (status, len(records), time.time(), self.run_id),
+            )
+            conn.commit()
+        finally:
+            conn.close()
+
+    def mark(self, status: str) -> None:
+        """Record a terminal run status (``failed`` / ``interrupted``)."""
+        conn = self.store.connect()
+        try:
+            conn.execute(
+                "UPDATE runs SET status = ?, updated_utc = ? WHERE run_id = ?",
+                (status, time.time(), self.run_id),
+            )
+            conn.commit()
+        finally:
+            conn.close()

@@ -12,5 +12,6 @@ from repro.devtools.rules import (  # noqa: F401  (registration side effect)
     lock_discipline,
     metrics_discipline,
     pool_ledger,
+    pool_picklable,
     registry_coverage,
 )

@@ -1,0 +1,162 @@
+"""pool-picklable: only top-level functions cross the process boundary.
+
+The experiment engine (:mod:`repro.api.executor`) and the sharded serve
+tier submit callables to ``multiprocessing`` pools.  Anything submitted
+is pickled into the worker — and lambdas, closures (functions defined
+inside another function) and bound methods either fail to pickle
+outright or, worse under the ``fork`` start method, *appear* to work
+locally and then break on ``spawn`` platforms.  This rule keeps the
+contract static:
+
+1. Track every name bound to a process-pool constructor
+   (``ProcessPoolExecutor(...)``, ``multiprocessing.Pool(...)`` /
+   ``ctx.Pool(...)``) via assignment or ``with ... as`` — including
+   ``self.<attr>`` bindings.
+2. Flag ``submit`` / ``apply_async`` / ``map`` / ``imap`` /
+   ``starmap``-family calls on a tracked receiver whose callable
+   argument is a lambda, a ``self.``/``cls.``-bound method, or the name
+   of a function nested in the enclosing scope.
+3. Flag the same callables as ``target=`` of a
+   ``multiprocessing.Process(...)`` constructor.
+
+``ThreadPoolExecutor`` submissions are exempt (nothing is pickled), and
+module-attribute references (``module.func``) stay allowed — only
+``self``/``cls`` receivers are provably bound methods statically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.devtools.astutil import call_name
+from repro.devtools.project import Project
+from repro.devtools.registry import Finding, register_rule
+
+#: Constructors whose instances hand callables to worker processes.
+_POOL_CTORS = frozenset({"ProcessPoolExecutor", "Pool"})
+
+#: Pool methods whose first positional argument crosses the boundary.
+_SUBMIT_METHODS = frozenset({
+    "submit", "apply", "apply_async", "map", "map_async",
+    "imap", "imap_unordered", "starmap", "starmap_async",
+})
+
+
+def _is_pool_ctor(node: ast.AST) -> bool:
+    return isinstance(node, ast.Call) and call_name(node) in _POOL_CTORS
+
+
+def _binding_source(target: ast.AST) -> Optional[str]:
+    """The receiver-source string a binding target will be called through."""
+    if isinstance(target, (ast.Name, ast.Attribute)):
+        try:
+            return ast.unparse(target)
+        except Exception:  # pragma: no cover - unparse is total on parsed trees
+            return None
+    return None
+
+
+def _tracked_pools(tree: ast.AST) -> set[str]:
+    """Receiver-source strings bound to a process-pool constructor."""
+    tracked: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and _is_pool_ctor(node.value):
+            for target in node.targets:
+                source = _binding_source(target)
+                if source:
+                    tracked.add(source)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if _is_pool_ctor(item.context_expr) and item.optional_vars is not None:
+                    source = _binding_source(item.optional_vars)
+                    if source:
+                        tracked.add(source)
+    return tracked
+
+
+def _nested_function_names(tree: ast.AST) -> set[str]:
+    """Names of functions defined inside another function (closures)."""
+    nested: set[str] = set()
+
+    def visit(node: ast.AST, inside_function: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if inside_function:
+                    nested.add(child.name)
+                visit(child, True)
+            elif isinstance(child, ast.ClassDef):
+                # Methods are not closures; reset the flag for the body.
+                visit(child, False)
+            else:
+                visit(child, inside_function)
+
+    visit(tree, False)
+    return nested
+
+
+def _unpicklable_reason(node: ast.AST, nested: set[str]) -> Optional[str]:
+    """Why ``node`` cannot safely cross the process boundary (or None)."""
+    if isinstance(node, ast.Lambda):
+        return "a lambda"
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id in ("self", "cls")
+    ):
+        return f"the bound method {node.value.id}.{node.attr}"
+    if isinstance(node, ast.Name) and node.id in nested:
+        return f"the nested function {node.id!r} (a closure)"
+    if isinstance(node, ast.Call) and call_name(node) == "partial":
+        for inner in list(node.args) + [kw.value for kw in node.keywords]:
+            reason = _unpicklable_reason(inner, nested)
+            if reason:
+                return f"a partial over {reason}"
+    return None
+
+
+def _submitted_callable(node: ast.Call, tracked: set[str]) -> Optional[ast.AST]:
+    """The callable argument if ``node`` submits work to a tracked pool."""
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr in _SUBMIT_METHODS
+        and _binding_source(func.value) in tracked
+        and node.args
+    ):
+        return node.args[0]
+    if call_name(node) == "Process":
+        for keyword in node.keywords:
+            if keyword.arg == "target":
+                return keyword.value
+    return None
+
+
+@register_rule(
+    "pool-picklable",
+    "callables submitted to process pools are top-level functions — no "
+    "lambdas, closures, or bound methods cross the process boundary",
+)
+def check_pool_picklable(project: Project) -> Iterator[Finding]:
+    for sf in project.files:
+        if sf.tree is None or not sf.rel.startswith("src/"):
+            continue
+        tracked = _tracked_pools(sf.tree)
+        nested = _nested_function_names(sf.tree)
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            submitted = _submitted_callable(node, tracked)
+            if submitted is None:
+                continue
+            reason = _unpicklable_reason(submitted, nested)
+            if reason:
+                yield Finding(
+                    "pool-picklable",
+                    sf.rel,
+                    node.lineno,
+                    "error",
+                    f"{reason} is submitted across the process boundary — "
+                    "pass a top-level function (workers unpickle the "
+                    "callable by qualified name)",
+                )

@@ -8,6 +8,9 @@ Usage::
     python -m repro.experiments --artifact table2 --dtype float32 --fused
     python -m repro.experiments --artifact table2 --no-bucketing  # seed batching
     python -m repro.experiments --spec my_scenario.json
+    python -m repro.experiments --artifact table2 --jobs 4 --results-dir results
+    python -m repro.experiments --all --jobs 4 --seeds 0,1,2 --results-dir results
+    python -m repro.experiments experiments-bench
     python -m repro.experiments bench
     python -m repro.experiments bench --compare-to BENCH_backend.json
     python -m repro.experiments serve --model-dir ckpt --port 8080 --dtype float32 --fused
@@ -21,7 +24,12 @@ user-authored spec JSON through the same engine — a new scenario is a
 file, not a new runner function.  ``--dtype float32`` and ``--fused``
 select the backend fast path (see :mod:`repro.backend`); length-bucketed
 training batches are the default and ``--no-bucketing`` replays the seed
-batch composition.  The ``bench`` command times the fast path against the
+batch composition.  ``--jobs N`` fans a run's independent work units
+across a process pool, ``--seeds`` repeats them per seed (mean±std
+rows), and ``--results-dir`` lands every unit in the durable, resumable
+run store (:mod:`repro.api.store`); ``--all`` sweeps the whole catalog
+(``make experiments JOBS=N``) and ``experiments-bench`` records the
+engine's jobs ∈ {1,2,4} scaling curve to ``BENCH_experiments.json``.  The ``bench`` command times the fast path against the
 seed configuration, prints the fast path's per-kernel timing breakdown,
 and records ``BENCH_backend.json``; with ``--compare-to`` it instead gates
 against a recorded artifact (exit 1 if any config's ms_per_epoch regressed
@@ -69,12 +77,15 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate tables/figures of the DAR paper (ICDE 2024).",
     )
     parser.add_argument(
-        "command", nargs="?", choices=("bench", "serve", "serve-bench"),
+        "command", nargs="?",
+        choices=("bench", "serve", "serve-bench", "experiments-bench"),
         help="subcommand: 'bench' runs the backend perf smoke benchmark over "
              "its fixed configuration grid (only --seed and --bench-out apply); "
              "'serve' stands saved checkpoints up behind the HTTP JSON API; "
              "'serve-bench' runs the serving load generator and records "
-             "BENCH_serve.json",
+             "BENCH_serve.json; 'experiments-bench' sweeps the process-pool "
+             "experiment engine over jobs in {1,2,4} and records "
+             "BENCH_experiments.json",
     )
     parser.add_argument("--artifact", choices=sorted(ARTIFACTS), help="which artifact to regenerate")
     parser.add_argument(
@@ -83,6 +94,31 @@ def build_parser() -> argparse.ArgumentParser:
              "engine as the catalog artifacts (see repro.api.ExperimentSpec)",
     )
     parser.add_argument("--list", action="store_true", help="list available artifacts")
+    parser.add_argument(
+        "--all", action="store_true",
+        help="regenerate every catalog artifact (make experiments); combines "
+             "with --jobs/--seeds/--results-dir",
+    )
+    executor = parser.add_argument_group("parallel execution (repro.api.executor)")
+    executor.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan independent (dataset, variant, method, seed) work units "
+             "across N worker processes (1 = in-process serial engine; "
+             "parallel rows are bit-identical to serial rows)",
+    )
+    executor.add_argument(
+        "--seeds", default=None, metavar="S,S,...",
+        help="comma-separated seed list: every unit repeats once per seed "
+             "(each seed resamples model init + training RNG) and rows "
+             "aggregate to mean±std",
+    )
+    executor.add_argument(
+        "--results-dir", default=None, metavar="DIR",
+        help="durable run store: land every completed unit (run_table.csv + "
+             "sqlite catalog + result.json provenance); rerunning with the "
+             "same directory resumes an interrupted sweep, executing only "
+             "the missing units",
+    )
     parser.add_argument("--profile", choices=("fast", "full"), default="fast")
     parser.add_argument("--n-train", type=int, default=None)
     parser.add_argument("--epochs", type=int, default=None)
@@ -362,6 +398,78 @@ def run_serve_bench_cli(args: argparse.Namespace) -> int:
     return 0
 
 
+def parse_seeds(text: str | None) -> tuple[int, ...] | None:
+    """Parse ``--seeds "0,1,2"`` into a seed tuple (``None`` passes through)."""
+    if text is None:
+        return None
+    seeds = tuple(int(part) for part in text.split(",") if part.strip())
+    if not seeds:
+        raise ValueError(f"--seeds {text!r} names no seeds")
+    return seeds
+
+
+def _execution_kwargs(args: argparse.Namespace) -> dict:
+    """The executor pass-through (``--jobs/--seeds/--results-dir``)."""
+    return {
+        "jobs": args.jobs,
+        "seeds": parse_seeds(args.seeds),
+        "results_dir": args.results_dir,
+    }
+
+
+def run_experiments_bench_cli(args: argparse.Namespace) -> int:
+    """Sweep the process-pool engine over jobs counts; record the curve."""
+    from repro.experiments import expbench
+
+    ignored = [
+        flag for flag, on in (
+            ("--artifact", args.artifact is not None),
+            ("--jobs", args.jobs != 1), ("--seeds", args.seeds is not None),
+            ("--results-dir", args.results_dir is not None),
+            ("--dtype", args.dtype is not None), ("--fused", args.fused),
+            ("--n-train", args.n_train is not None),
+            ("--epochs", args.epochs is not None),
+        ) if on
+    ]
+    if ignored:
+        print(
+            "# note: experiments-bench sweeps its own fixed workload over "
+            f"jobs in {expbench.DEFAULT_JOBS_SWEEP}; ignoring {', '.join(ignored)}",
+            file=sys.stderr,
+        )
+    out_path = args.bench_out or expbench.DEFAULT_EXPBENCH_PATH
+    seed = args.seed if args.seed is not None else 0
+    start = time.time()
+    artifact = expbench.run_experiments_bench(seed=seed, out_path=out_path)
+    print(render_table(
+        f"Experiment engine scaling curve ({artifact['cores']} cores)",
+        artifact["results"], key_column="jobs",
+    ))
+    identical = artifact["rows_identical_across_jobs"]
+    print(f"# rows identical across jobs counts: {identical}", file=sys.stderr)
+    print(f"# recorded to {out_path} in {time.time() - start:.1f}s", file=sys.stderr)
+    return 0 if identical else 1
+
+
+def run_all_artifacts(args: argparse.Namespace) -> int:
+    """Regenerate every catalog artifact (``make experiments``)."""
+    profile = resolve_profile(args)
+    execution = _execution_kwargs(args)
+    print(f"# profile: {profile}", file=sys.stderr)
+    if execution["jobs"] != 1 or execution["results_dir"]:
+        print(
+            f"# executor: jobs={execution['jobs']} seeds={execution['seeds']} "
+            f"results_dir={execution['results_dir']}",
+            file=sys.stderr,
+        )
+    start = time.time()
+    for name, spec in sorted(catalog().items()):
+        print(f"\n# {name}: {spec.description}", file=sys.stderr)
+        print(render_spec(spec, profile, **execution))
+    print(f"# all artifacts done in {time.time() - start:.1f}s", file=sys.stderr)
+    return 0
+
+
 def run_spec_file(args: argparse.Namespace) -> int:
     """Load a user-authored spec JSON and run it through the engine."""
     try:
@@ -373,7 +481,7 @@ def run_spec_file(args: argparse.Namespace) -> int:
     profile = resolve_profile(args)
     print(f"# {spec.description or spec.name}\n# profile: {profile}\n", file=sys.stderr)
     start = time.time()
-    print(render_spec(spec, profile))
+    print(render_spec(spec, profile, **_execution_kwargs(args)))
     print(f"# done in {time.time() - start:.1f}s", file=sys.stderr)
     return 0
 
@@ -389,19 +497,31 @@ def main(argv: list[str] | None = None) -> int:
         return run_serve(args)
     if args.command == "serve-bench":
         return run_serve_bench_cli(args)
+    if args.command == "experiments-bench":
+        return run_experiments_bench_cli(args)
+    try:
+        parse_seeds(args.seeds)
+    except ValueError as exc:
+        parser.error(str(exc))
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
     if args.spec is not None and args.artifact is not None:
         parser.error("--artifact and --spec are mutually exclusive")
+    if args.all and (args.artifact is not None or args.spec is not None):
+        parser.error("--all and --artifact/--spec are mutually exclusive")
     if args.spec is not None and not args.list:
         return run_spec_file(args)
+    if args.all and not args.list:
+        return run_all_artifacts(args)
     if args.list or not args.artifact:
         for name, spec in sorted(catalog().items()):
             print(f"{name:16s} {spec.description}")
         return 0
-    description, fn = ARTIFACTS[args.artifact]
+    spec = catalog()[args.artifact]
     profile = resolve_profile(args)
-    print(f"# {description}\n# profile: {profile}\n", file=sys.stderr)
+    print(f"# {spec.description}\n# profile: {profile}\n", file=sys.stderr)
     start = time.time()
-    print(fn(profile))
+    print(render_spec(spec, profile, **_execution_kwargs(args)))
     print(f"# done in {time.time() - start:.1f}s", file=sys.stderr)
     return 0
 

@@ -1,0 +1,130 @@
+"""Experiment-engine scaling bench (``make experiments-bench``).
+
+Times one representative spec workload through the process-pool executor
+(:mod:`repro.api.executor`) at each jobs count in the sweep — default
+jobs ∈ {1, 2, 4}, mirroring the serve bench's worker sweep — and records
+``BENCH_experiments.json``: per-jobs wall time, unit throughput, speedup
+vs jobs=1, unit-duration percentiles from the executor histogram, and a
+row-equality check asserting every parallel run produced rows identical
+to the jobs=1 run (the engine's core contract).
+
+Like ``BENCH_serve.json``, the artifact records ``cores``: on 1–2 core
+machines the honest curve is flat-to-negative (process pools cannot beat
+the core count) — the CI smoke gate (``benchmarks/
+test_experiments_smoke.py``) therefore arms its jobs=4 ≥ 1.8× jobs=1
+assertion only on ≥ 4-core machines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.api.executor import executor_registry, plan_units, run_experiment
+from repro.api.experiments import catalog
+from repro.api.profiles import ExperimentProfile
+from repro.api.spec import ExperimentSpec
+
+#: Where ``make experiments-bench`` records its artifact.
+DEFAULT_EXPBENCH_PATH = "BENCH_experiments.json"
+
+#: Default jobs sweep — {1, 2, 4}, the serve-bench worker counts.
+DEFAULT_JOBS_SWEEP = (1, 2, 4)
+
+#: The bench workload profile: small enough that the sweep finishes in
+#: tens of seconds, large enough (~1s+ per unit) that pool fork/IPC
+#: overhead cannot dominate what we are measuring.
+BENCH_PROFILE = ExperimentProfile(
+    n_train=160, n_dev=24, n_test=24, embedding_dim=24, hidden_size=16,
+    epochs=4, batch_size=20, pretrain_epochs=1, seed=0,
+)
+
+
+def bench_spec() -> ExperimentSpec:
+    """The bench workload: Table II restricted to a 2-aspect × 3-method
+    grid — six independent units, enough to occupy a 4-worker pool."""
+    table2 = catalog()["table2"]
+    methods = tuple(m for m in table2.methods if m in ("RNP", "A2R", "DAR")) or table2.methods[:3]
+    return table2.scaled(
+        name="expbench",
+        datasets=(("beer", "Aroma"), ("beer", "Palate")),
+        methods=methods,
+    )
+
+
+def run_experiments_bench(
+    seed: int = 0,
+    out_path: Optional[str] = DEFAULT_EXPBENCH_PATH,
+    jobs_sweep: Sequence[int] = DEFAULT_JOBS_SWEEP,
+) -> dict:
+    """Run the jobs sweep; return (and optionally record) the artifact."""
+    spec = bench_spec()
+    profile = BENCH_PROFILE.scaled(seed=seed) if seed != BENCH_PROFILE.seed else BENCH_PROFILE
+    n_units = len(plan_units(spec, profile, (profile.seed,)))
+    registry = executor_registry()
+
+    results = []
+    reference_rows = None
+    rows_identical = True
+    baseline_elapsed = None
+    for jobs in jobs_sweep:
+        registry.reset()
+        start = time.perf_counter()
+        rows = run_experiment(spec, profile, jobs=jobs)
+        elapsed = time.perf_counter() - start
+        if reference_rows is None:
+            reference_rows = rows
+        elif rows != reference_rows:
+            rows_identical = False
+        if baseline_elapsed is None:
+            baseline_elapsed = elapsed
+        unit_seconds = registry.get("repro_experiment_unit_seconds")
+        results.append(
+            {
+                "jobs": jobs,
+                "units": n_units,
+                "elapsed_s": round(elapsed, 4),
+                "units_per_s": round(n_units / elapsed, 3),
+                "p50_unit_s": round(unit_seconds.percentile(50.0), 4),
+                "p95_unit_s": round(unit_seconds.percentile(95.0), 4),
+                "completed": int(
+                    registry.get("repro_experiment_units_total").value(status="completed")
+                ),
+                "speedup_vs_1job": round(baseline_elapsed / elapsed, 2),
+            }
+        )
+
+    best = max(r["speedup_vs_1job"] for r in results)
+    artifact = {
+        "benchmark": "experiments_executor",
+        "setup": {
+            "spec": spec.name,
+            "datasets": [list(pair) for pair in spec.datasets],
+            "methods": list(spec.methods),
+            "n_units": n_units,
+            "n_train": profile.n_train,
+            "epochs": profile.epochs,
+            "hidden_size": profile.hidden_size,
+            "seed": seed,
+        },
+        # Honest context for the curve: a jobs=4 sweep cannot beat a
+        # 1-core machine, and the smoke gate keys off this field.
+        "cores": os.cpu_count(),
+        "results": results,
+        "rows_identical_across_jobs": rows_identical,
+        "best_speedup_vs_1job": best,
+    }
+    if out_path:
+        Path(out_path).write_text(json.dumps(artifact, indent=2) + "\n")
+    return artifact
+
+
+def load_expbench_artifact(path: str) -> dict:
+    """Load a recorded artifact, validating it is the experiments bench."""
+    artifact = json.loads(Path(path).read_text())
+    if artifact.get("benchmark") != "experiments_executor":
+        raise ValueError(f"{path} is not an experiments bench artifact")
+    return artifact

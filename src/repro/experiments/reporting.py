@@ -30,7 +30,9 @@ def load_rows_json(path: PathLike) -> tuple[list[dict], dict]:
     return payload["rows"], payload.get("metadata", {})
 
 
-def save_spec_result(spec, result, path: PathLike, profile=None) -> list[dict]:
+def save_spec_result(
+    spec, result, path: PathLike, profile=None, extra_metadata: Mapping | None = None
+) -> list[dict]:
     """Persist an executed spec's rows with full regeneration provenance.
 
     ``result`` is whatever :func:`repro.api.execute_spec` returned —
@@ -39,14 +41,18 @@ def save_spec_result(spec, result, path: PathLike, profile=None) -> list[dict]:
     The metadata embeds ``spec.to_dict()`` and the profile, so the file
     alone says how to reproduce itself (load the spec with
     :meth:`~repro.api.ExperimentSpec.from_dict`, re-execute, diff with
-    :func:`diff_rows`).  Returns the flattened rows.
+    :func:`diff_rows`).  ``extra_metadata`` merges additional provenance
+    keys (the run store records ``run_id``/``seeds``/``jobs`` this way —
+    ``spec``/``profile`` stay authoritative and cannot be overridden).
+    Returns the flattened rows.
     """
     if isinstance(result, Mapping):
         column = spec.aspect_column or "aspect"
         rows = [{column: key, **row} for key, group in result.items() for row in group]
     else:
         rows = [dict(r) for r in result]
-    metadata = {"spec": spec.to_dict()}
+    metadata = dict(extra_metadata or {})
+    metadata["spec"] = spec.to_dict()
     if profile is not None:
         metadata["profile"] = dataclasses.asdict(profile)
     save_rows_json(rows, path, metadata=metadata)

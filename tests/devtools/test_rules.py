@@ -442,6 +442,105 @@ class TestMetricsDiscipline:
         assert check("metrics-discipline", files) == []
 
 
+class TestPoolPicklable:
+    VIOLATING = {
+        "src/repro/api/fanout.py": """\
+            from concurrent.futures import ProcessPoolExecutor
+            from functools import partial
+
+            class Engine:
+                def _cell(self, unit):
+                    return unit
+
+                def run(self, units, extra):
+                    def helper(unit):
+                        return unit + extra
+
+                    with ProcessPoolExecutor() as pool:
+                        pool.submit(lambda u: u, units[0])
+                        pool.submit(self._cell, units[1])
+                        pool.map(helper, units)
+                        pool.submit(partial(helper, units[0]))
+            """,
+    }
+    CLEAN = {
+        "src/repro/api/fanout.py": """\
+            from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+            def run_unit(unit):
+                return unit
+
+            def run(units):
+                with ProcessPoolExecutor() as pool:
+                    results = [pool.submit(run_unit, u) for u in units]
+                with ThreadPoolExecutor() as tpool:
+                    # threads share the process: closures are fine here
+                    tpool.submit(lambda: units[0])
+                return results
+            """,
+    }
+
+    def test_unpicklable_submissions_flagged(self, check):
+        findings = check("pool-picklable", self.VIOLATING)
+        messages = [f.message for f in findings]
+        assert len(findings) == 4
+        assert any("lambda" in m for m in messages)
+        assert any("bound method self._cell" in m for m in messages)
+        assert any("nested function 'helper'" in m for m in messages)
+        assert any("partial over" in m for m in messages)
+
+    def test_clean_and_thread_pools_pass(self, check):
+        assert check("pool-picklable", self.CLEAN) == []
+
+    def test_process_target_flagged(self, check):
+        files = {
+            "src/repro/serve/spawn.py": """\
+                import multiprocessing
+
+                class Tier:
+                    def _worker(self):
+                        pass
+
+                    def start(self):
+                        p = multiprocessing.Process(target=self._worker)
+                        p.start()
+                """,
+        }
+        findings = check("pool-picklable", files)
+        assert len(findings) == 1
+        assert "bound method self._worker" in findings[0].message
+
+    def test_mp_pool_ctor_tracked(self, check):
+        files = {
+            "src/repro/api/sweep.py": """\
+                import multiprocessing
+
+                def work(x):
+                    return x
+
+                def run(items):
+                    pool = multiprocessing.Pool(4)
+                    pool.map(work, items)
+                    pool.imap_unordered(lambda x: x, items)
+                """,
+        }
+        findings = check("pool-picklable", files)
+        assert len(findings) == 1
+        assert "lambda" in findings[0].message
+
+    def test_tests_out_of_scope(self, check):
+        files = {
+            "tests/test_fan.py": """\
+                from concurrent.futures import ProcessPoolExecutor
+
+                def test_it():
+                    with ProcessPoolExecutor() as pool:
+                        pool.submit(lambda: 1)
+                """,
+        }
+        assert check("pool-picklable", files) == []
+
+
 class TestRealRepo:
     def test_checkout_is_clean(self):
         """The shipped tree has zero findings — the baseline stays empty."""
