@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint bench bench-compare serve serve-bench experiments experiments-bench artifacts list
+.PHONY: test lint bench bench-compare serve serve-bench deploy-smoke experiments experiments-bench artifacts list
 
 # Tier-1 verification: the full unit/integration suite.
 test:
@@ -40,6 +40,14 @@ serve:
 # curve (workers x throughput x p50/p95); records BENCH_serve.json.
 serve-bench:
 	$(PYTHON) -m repro.experiments serve-bench
+
+# Versioned-deploy lifecycle smoke against a 2-worker fleet: baseline
+# load -> shadow deploy (log-driven cache warm-up, per-worker rationale
+# diff logs) -> zero-downtime promote -> rollback.  Gates dropped
+# requests / served versions / shadow p95 overhead and records
+# BENCH_deploy.json + BENCH_deploy_shadow.w*.jsonl.
+deploy-smoke:
+	$(PYTHON) -m repro.experiments deploy-smoke
 
 # Regenerate the full artifact catalog through the process-pool
 # experiment engine (repro.api.executor), landing every completed unit

@@ -1,0 +1,109 @@
+"""Deploy quickstart: hot-swap a model version with zero downtime.
+
+The lifecycle loop from the README's "Deploying a new model" section:
+serve a champion, stage a challenger with shadow mirroring + cache
+warm-up, read the offline rationale-diff report, promote, then roll
+back — every step over the HTTP admin API through
+:class:`repro.serve.Client`.
+
+Weights are untrained (lifecycle mechanics are architecture-, not
+accuracy-, dependent), so the whole run takes a few seconds.
+
+Run:  python examples/deploy_quickstart.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import RNP
+from repro.serve import (
+    Client,
+    ModelRegistry,
+    RationaleServer,
+    RationalizationService,
+    render_diff_report,
+    save_artifact,
+    shadow_diff_report,
+)
+
+VOCAB_SIZE = 96
+
+
+def build_checkpoint(directory: Path, name: str, seed: int) -> Path:
+    """Save a small RNP artifact; each seed is a distinct "version"."""
+    model = RNP(
+        vocab_size=VOCAB_SIZE,
+        embedding_dim=48,
+        hidden_size=24,
+        rng=np.random.default_rng(seed),
+    )
+    path = directory / name
+    save_artifact(model, path)
+    return path
+
+
+def main() -> None:
+    """Champion -> shadow challenger -> diff report -> promote -> rollback."""
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_dir = Path(tmp)
+        champion = build_checkpoint(tmp_dir, "beer_v1.npz", seed=0)
+        challenger = build_checkpoint(tmp_dir, "beer_v2.npz", seed=1)
+        shadow_log = tmp_dir / "shadow.jsonl"
+
+        # request_log_size opts into the recent-request ring buffer that
+        # warm=True replays through a challenger's cache slice.
+        registry = ModelRegistry(dtype="float32")
+        registry.register_file(champion, name="beer")
+        service = RationalizationService(
+            registry, max_batch_size=8, cache_size=256, request_log_size=128
+        )
+        with RationaleServer(service, port=0) as server:
+            client = Client(base_url=server.url)
+            rng = np.random.default_rng(7)
+            requests = [
+                [int(t) for t in rng.integers(2, VOCAB_SIZE, size=12)]
+                for _ in range(20)
+            ]
+
+            # 1. The champion serves live traffic as version 1.
+            for ids in requests:
+                client.rationalize(model="beer", token_ids=ids)
+            print("live:", [(r["version"], r["state"]) for r in client.deployments()])
+
+            # 2. Stage the challenger: shadow-mirror champion traffic into
+            #    the diff log, and pre-warm its cache from the request log.
+            deployed = client.deploy(
+                "beer", str(challenger), shadow=True,
+                diff_log=str(shadow_log), warm=True,
+            )
+            print("deployed:", deployed)
+
+            # 3. Champion still answers; every response is also replayed
+            #    through the challenger off the hot path.
+            for ids in requests:
+                client.rationalize(model="beer", token_ids=ids)
+            service.lifecycle.drain_shadow("beer", timeout=30.0)
+
+            # 4. The go/no-go artifact: offline rationale agreement.
+            #    (`python -m repro.experiments deploy-diff --shadow-log ...`
+            #    builds the same report from the log files.)
+            print(render_diff_report(shadow_diff_report(str(shadow_log))))
+
+            # 5. Flip-before-drain promote: zero dropped requests, the
+            #    retired version's cache slice invalidated, one rollback
+            #    target retained.
+            print("promote:", client.promote("beer"))
+            print("now serving:",
+                  client.rationalize(model="beer", token_ids=requests[0])["version"])
+
+            # 6. One call undoes it.
+            print("rollback:", client.rollback("beer"))
+            print("back to:",
+                  client.rationalize(model="beer", token_ids=requests[0])["version"])
+            print("states:", [(r["version"], r["state"]) for r in client.deployments()])
+
+
+if __name__ == "__main__":
+    main()

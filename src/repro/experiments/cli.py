@@ -15,6 +15,8 @@ Usage::
     python -m repro.experiments bench --compare-to BENCH_backend.json
     python -m repro.experiments serve --model-dir ckpt --port 8080 --dtype float32 --fused
     python -m repro.experiments serve-bench
+    python -m repro.experiments deploy-smoke
+    python -m repro.experiments deploy-diff --shadow-log 'BENCH_deploy_shadow.w*.jsonl'
 
 Each artifact is a declarative :class:`repro.api.ExperimentSpec` from the
 catalog in :mod:`repro.api.experiments` (this table — including ``--list``
@@ -42,6 +44,14 @@ The ``serve`` command stands saved checkpoints (written by
 ``GET /tracez``); ``serve-bench`` runs the serving
 load-generator (micro-batched vs sequential throughput, latency
 percentiles, cache hit rate) and records ``BENCH_serve.json``.
+
+``deploy-smoke`` scripts the versioned model lifecycle end to end
+against a 2-worker fleet — baseline load, shadow deploy with log-driven
+cache warm-up, zero-downtime promote, rollback — gating shadow-mirror
+p95 overhead and recording ``BENCH_deploy.json`` plus the per-worker
+rationale diff logs; ``deploy-diff`` turns those JSONL logs (paths or
+globs) into a champion/challenger agreement report (label agreement,
+exact-rationale rate, token-level IoU/F1).
 """
 
 from __future__ import annotations
@@ -78,14 +88,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "command", nargs="?",
-        choices=("bench", "serve", "serve-bench", "experiments-bench"),
+        choices=(
+            "bench", "serve", "serve-bench", "experiments-bench",
+            "deploy-smoke", "deploy-diff",
+        ),
         help="subcommand: 'bench' runs the backend perf smoke benchmark over "
              "its fixed configuration grid (only --seed and --bench-out apply); "
              "'serve' stands saved checkpoints up behind the HTTP JSON API; "
              "'serve-bench' runs the serving load generator and records "
              "BENCH_serve.json; 'experiments-bench' sweeps the process-pool "
              "experiment engine over jobs in {1,2,4} and records "
-             "BENCH_experiments.json",
+             "BENCH_experiments.json; 'deploy-smoke' scripts the versioned "
+             "deploy lifecycle (deploy -> warm -> shadow -> promote -> "
+             "rollback) against a small worker fleet and records "
+             "BENCH_deploy.json; 'deploy-diff' summarizes shadow rationale "
+             "diff logs into a champion/challenger agreement report",
     )
     parser.add_argument("--artifact", choices=sorted(ARTIFACTS), help="which artifact to regenerate")
     parser.add_argument(
@@ -193,6 +210,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve-bench: comma-separated worker counts for the scaling "
              "sweep recorded in BENCH_serve.json (default 1,2,4; 0 or an "
              "empty value skips the sweep)",
+    )
+    serving.add_argument(
+        "--request-log", type=int, default=None, metavar="N",
+        help="serve: keep the last N served requests in a ring buffer so "
+             "a deployed challenger can warm its cache from real traffic "
+             "(POST /v1/deploy with \"warm\": true; default 0 = disabled)",
+    )
+    lifecycle = parser.add_argument_group("deploy lifecycle ('deploy-diff' subcommand)")
+    lifecycle.add_argument(
+        "--shadow-log", action="append", default=None, metavar="PATH_OR_GLOB",
+        help="shadow diff log(s) to summarize; repeatable, and each value "
+             "may be a glob — the sharded tier writes one log per worker "
+             "(log.w0.jsonl, log.w1.jsonl, ...), so pass 'log.w*.jsonl'",
+    )
+    lifecycle.add_argument(
+        "--report-out", default=None, metavar="PATH",
+        help="deploy-diff: also record the agreement report as JSON",
     )
     return parser
 
@@ -308,6 +342,7 @@ def run_serve(args: argparse.Namespace) -> int:
     max_batch_size = args.max_batch_size if args.max_batch_size is not None else 32
     max_wait_ms = args.max_wait_ms if args.max_wait_ms is not None else 2.0
     cache_size = args.cache_size if args.cache_size is not None else 1024
+    request_log_size = args.request_log if args.request_log is not None else 0
     try:
         if args.workers == 1:
             registry = ModelRegistry(dtype=args.dtype)
@@ -319,6 +354,7 @@ def run_serve(args: argparse.Namespace) -> int:
                 max_wait_ms=max_wait_ms,
                 cache_size=cache_size,
                 fused=args.fused,
+                request_log_size=request_log_size,
             )
         else:
             service = ShardRouter(
@@ -332,6 +368,7 @@ def run_serve(args: argparse.Namespace) -> int:
                 cache_size=cache_size,
                 fused=args.fused,
                 dtype=args.dtype,
+                request_log_size=request_log_size,
             )
     except (FileNotFoundError, ValueError, RuntimeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -395,6 +432,69 @@ def run_serve_bench_cli(args: argparse.Namespace) -> int:
             scaling["sweep"], key_column="workers",
         ))
     print(f"# recorded to {out_path} in {time.time() - start:.1f}s", file=sys.stderr)
+    return 0
+
+
+def run_deploy_smoke_cli(args: argparse.Namespace) -> int:
+    """Script the deploy lifecycle against a small fleet; gate and record."""
+    from repro.serve import bench as serve_bench
+    from repro.serve.diff import render_diff_report
+
+    # A lifecycle smoke needs a fleet: --workers 1 (the parser default,
+    # sized for 'serve') is bumped to the 2-worker minimum.
+    workers = max(2, args.workers)
+    out_path = args.bench_out or serve_bench.DEFAULT_DEPLOY_BENCH_PATH
+    seed = args.seed if args.seed is not None else 0
+    start = time.time()
+    artifact = serve_bench.run_deploy_smoke(workers=workers, seed=seed, out_path=out_path)
+    print(render_table(
+        f"Deploy lifecycle smoke ({workers} workers)",
+        artifact["phases"], key_column="phase",
+    ))
+    print(render_diff_report(artifact["diff"]))
+    gate = artifact["gate"]
+    armed = "enforced" if gate["enforced"] else f"recorded only on {gate['cores']} core(s)"
+    print(
+        f"# promote served v{artifact['served_version_after_promote']}, "
+        f"rollback served v{artifact['served_version_after_rollback']}; "
+        f"dropped={gate['dropped_requests']} "
+        f"shadow_p95_overhead={gate['shadow_p95_overhead_ratio']} "
+        f"(budget {1.0 + gate['shadow_overhead_budget']:.2f}x, {armed})",
+        file=sys.stderr,
+    )
+    print(f"# recorded to {out_path} in {time.time() - start:.1f}s", file=sys.stderr)
+    if not gate["pass"]:
+        print("# DEPLOY SMOKE GATE FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+def run_deploy_diff_cli(args: argparse.Namespace) -> int:
+    """Summarize shadow diff logs into an agreement report."""
+    from repro.serve.diff import render_diff_report, shadow_diff_report
+
+    if not args.shadow_log:
+        print(
+            "error: deploy-diff needs at least one --shadow-log PATH_OR_GLOB "
+            "(the sharded tier writes log.w0.jsonl, log.w1.jsonl, ... — "
+            "pass 'log.w*.jsonl')",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        report = shadow_diff_report(args.shadow_log)
+    except OSError as exc:
+        print(f"error: cannot read shadow log: {exc}", file=sys.stderr)
+        return 2
+    print(render_diff_report(report))
+    if args.report_out:
+        import json as json_mod
+
+        Path(args.report_out).write_text(json_mod.dumps(report, indent=2) + "\n")
+        print(f"# recorded to {args.report_out}", file=sys.stderr)
+    if report["compared"] == 0:
+        print("# no comparable shadow records found", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -499,6 +599,10 @@ def main(argv: list[str] | None = None) -> int:
         return run_serve_bench_cli(args)
     if args.command == "experiments-bench":
         return run_experiments_bench_cli(args)
+    if args.command == "deploy-smoke":
+        return run_deploy_smoke_cli(args)
+    if args.command == "deploy-diff":
+        return run_deploy_diff_cli(args)
     try:
         parse_seeds(args.seeds)
     except ValueError as exc:

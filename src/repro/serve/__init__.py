@@ -12,8 +12,18 @@ four layers (bottom-up):
   length-bucketed batches (``max_batch_size`` / ``max_wait_ms`` knobs)
   executed by one worker thread.
 - :mod:`~repro.serve.cache` — the **LRU rationale cache** keyed on
-  (model, token ids), with hit/miss stats; rationalization is
-  deterministic at serving time, so repeats are free.
+  (model, version, token ids), with hit/miss stats; rationalization is
+  deterministic at serving time, so repeats are free, and versioned keys
+  make hot-swap deploys stale-proof.
+- :mod:`~repro.serve.lifecycle` + :mod:`~repro.serve.diff` — the
+  **versioned model lifecycle**: ``model@version`` addressing with a
+  ``staged → canary → live → retired`` state machine on the registry,
+  zero-downtime hot-swap deploys (atomic live-pointer flip, in-flight
+  wave drain, versioned cache invalidation), canary/shadow routing with
+  JSONL rationale diff logs (``python -m repro.experiments
+  deploy-diff``), and cache warm-up replayed from an opt-in request
+  log.  Admin surface: ``POST /v1/deploy|promote|rollback|warm``,
+  ``GET /v1/deployments``.
 - :mod:`~repro.serve.http` — the **stdlib threaded HTTP JSON API**
   (``POST /v1/rationalize`` — single or batched ``inputs`` form,
   ``GET /v1/models``, ``GET /healthz``, ``GET /statz``, Prometheus
@@ -48,13 +58,18 @@ Quickstart (see ``examples/serve_quickstart.py`` for the full loop)::
 
 from repro.serve.cache import RationaleCache, rationale_key
 from repro.serve.client import Client, ServeClientError
+from repro.serve.diff import diff_report, render_diff_report, shadow_diff_report
 from repro.serve.http import RationaleServer
+from repro.serve.lifecycle import DeploymentManager, RequestLog, ShadowMirror
 from repro.serve.registry import (
+    ArtifactCompatibilityError,
+    LifecycleError,
     ModelArtifact,
     ModelRegistry,
     build_model,
     export_config,
     model_families,
+    parse_model_ref,
     save_artifact,
 )
 from repro.serve.router import OverloadedError, ShardRouter, WorkerDiedError
@@ -63,7 +78,10 @@ from repro.serve.service import RationalizationService, RequestError
 from repro.serve.shard import WorkerConfig
 
 __all__ = [
+    "ArtifactCompatibilityError",
     "Client",
+    "DeploymentManager",
+    "LifecycleError",
     "MicroBatchScheduler",
     "ModelArtifact",
     "ModelRegistry",
@@ -72,13 +90,19 @@ __all__ = [
     "RationaleServer",
     "RationalizationService",
     "RequestError",
+    "RequestLog",
     "ServeClientError",
+    "ShadowMirror",
     "ShardRouter",
     "WorkerConfig",
     "WorkerDiedError",
     "build_model",
+    "diff_report",
     "export_config",
     "model_families",
+    "parse_model_ref",
     "rationale_key",
+    "render_diff_report",
     "save_artifact",
+    "shadow_diff_report",
 ]

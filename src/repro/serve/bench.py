@@ -25,10 +25,17 @@ Results are printed as tables and recorded to ``BENCH_serve.json``;
 ``benchmarks/test_serve_smoke.py`` asserts micro-batched throughput stays
 ≥ 2× sequential (and, on ≥4-core machines, 4-worker sharding ≥ 1.8× one
 worker) so serving regressions surface in every PR.
+
+:func:`run_deploy_smoke` (``make deploy-smoke`` / ``python -m
+repro.experiments deploy-smoke``) scripts the versioned-lifecycle story
+end to end against a 2-worker fleet — baseline load, shadow deploy with
+warm-up, promote, rollback — gates shadow-mirror p95 overhead, and
+records ``BENCH_deploy.json`` plus the per-worker rationale diff logs.
 """
 
 from __future__ import annotations
 
+import glob
 import json
 import os
 import tempfile
@@ -55,6 +62,14 @@ DEFAULT_SERVE_BENCH_PATH = "BENCH_serve.json"
 #: Prometheus text scraped from the live batched service during the
 #: bench, written next to the JSON artifact (and uploaded by CI).
 SERVE_METRICS_SCRAPE_NAME = "BENCH_serve_metrics.prom"
+
+#: Default output artifact of the deploy lifecycle smoke
+#: (``make deploy-smoke`` / ``python -m repro.experiments deploy-smoke``).
+DEFAULT_DEPLOY_BENCH_PATH = "BENCH_deploy.json"
+
+#: Shadow diff log basename the deploy smoke hands to the fleet; each
+#: worker appends to its own ``.wN``-suffixed file next to the artifact.
+DEPLOY_SHADOW_LOG_NAME = "BENCH_deploy_shadow.jsonl"
 
 
 def make_request_stream(
@@ -427,3 +442,160 @@ def run_serve_bench(
             }
         Path(out_path).write_text(json.dumps(artifact, indent=2) + "\n")
     return rows
+
+
+def run_deploy_smoke(
+    workers: int = 2,
+    n_requests: int = 96,
+    vocab_size: int = 120,
+    min_len: int = 8,
+    max_len: int = 32,
+    client_workers: int = 8,
+    max_outstanding: int = 16,
+    seed: int = 0,
+    out_path: Optional[str] = DEFAULT_DEPLOY_BENCH_PATH,
+    shadow_overhead_budget: float = 0.10,
+) -> dict:
+    """End-to-end lifecycle smoke against a ``workers``-shard fleet.
+
+    One scripted run of the whole deploy story (``make deploy-smoke``):
+
+    1. serve a champion, measure a **baseline** load phase;
+    2. ``deploy`` a challenger with ``shadow=True`` + ``warm=True`` and
+       re-run the same load (**shadow** phase) — the p95 delta between
+       the two phases is the shadow mirror's hot-path overhead, gated at
+       ``shadow_overhead_budget`` on multi-core machines (a 1-core box
+       timeshares the mirror thread with the serving path, so the gate
+       records-but-does-not-enforce there);
+    3. ``promote`` the challenger (closes the mirrors, which flushes the
+       per-worker diff logs), verify the fleet now answers with the new
+       version and a **post-promote** phase drops nothing;
+    4. ``rollback`` and verify the old version answers again;
+    5. summarize the shadow diff logs (``log.w*.jsonl`` glob) with
+       :func:`repro.serve.diff.shadow_diff_report`.
+
+    Records the whole run to ``BENCH_deploy.json``; the diff logs stay
+    next to it for CI artifact upload.
+    """
+    from repro.serve.diff import shadow_diff_report
+
+    # Each phase gets a disjoint stream (different seeds): a repeated
+    # stream would replay the rationale cache in the later phases, and a
+    # cache-hit phase cannot measure shadow-mirror hot-path overhead.
+    streams = {
+        "warmup": make_request_stream(24, vocab_size, min_len, max_len, seed + 1),
+        "baseline": make_request_stream(n_requests, vocab_size, min_len, max_len, seed),
+        "shadow": make_request_stream(n_requests, vocab_size, min_len, max_len, seed + 2),
+        "post-promote": make_request_stream(n_requests, vocab_size, min_len, max_len, seed + 3),
+    }
+    artifact: dict = {
+        "benchmark": "serve_deploy_lifecycle",
+        "setup": {
+            "workers": workers,
+            "n_requests": n_requests,
+            "vocab_size": vocab_size,
+            "client_workers": client_workers,
+            "max_outstanding": max_outstanding,
+            "seed": seed,
+        },
+    }
+    with tempfile.TemporaryDirectory() as tmp_dir:
+        champion = _build_artifact(tmp_dir, vocab_size, seed)
+        challenger_dir = os.path.join(tmp_dir, "challenger")
+        os.makedirs(challenger_dir)
+        # Different seed -> different (untrained) weights: the diff report
+        # has real disagreement to summarize instead of a vacuous 100%.
+        challenger = _build_artifact(challenger_dir, vocab_size, seed + 1)
+
+        base = Path(out_path) if out_path else Path(tmp_dir) / "deploy.json"
+        shadow_log = str(base.with_name(DEPLOY_SHADOW_LOG_NAME))
+        shadow_glob = str(
+            Path(shadow_log).with_name(f"{Path(shadow_log).stem}.w*.jsonl")
+        )
+        # Mirrors append; drop any previous run's logs so the report
+        # describes exactly this run.
+        for stale in glob.glob(shadow_glob):
+            os.unlink(stale)
+
+        with ShardRouter(
+            [("deploy", champion)],
+            workers=workers,
+            max_inflight_per_worker=max_outstanding,
+            cache_size=4 * n_requests,
+            dtype="float32",
+            request_log_size=4 * n_requests,
+        ) as router:
+            client = Client(service=router)
+            generator = LoadGenerator(
+                lambda ids: client.rationalize(model="deploy", token_ids=ids),
+                workers=client_workers,
+                max_outstanding=max_outstanding,
+            )
+            generator.run(streams["warmup"])
+            baseline = {"phase": "baseline", **generator.run(streams["baseline"])}
+
+            deploy_row = client.deploy(
+                "deploy",
+                challenger,
+                shadow=True,
+                diff_log=shadow_log,
+                warm=True,
+            )
+            shadow_phase = {"phase": "shadow", **generator.run(streams["shadow"])}
+
+            promote_row = client.promote("deploy")
+            probe = streams["baseline"][0]
+            probe_promoted = client.rationalize(model="deploy", token_ids=probe)
+            post_promote = {
+                "phase": "post-promote", **generator.run(streams["post-promote"])
+            }
+
+            rollback_row = client.rollback("deploy")
+            probe_rolled_back = client.rationalize(model="deploy", token_ids=probe)
+            deployments = router.deployments()
+
+        phases = [baseline, shadow_phase, post_promote]
+        diff = shadow_diff_report([shadow_glob])
+
+    dropped = sum(
+        row["rejected"] + row["timeouts"] + row["failures"] for row in phases
+    )
+    ratio = None
+    if baseline.get("p95_ms") and shadow_phase.get("p95_ms"):
+        ratio = round(shadow_phase["p95_ms"] / baseline["p95_ms"], 4)
+    cores = os.cpu_count() or 1
+    # The overhead gate only arms when the mirror threads have spare
+    # cores to run on: with `workers` shard processes already pinning
+    # the box, anything under (workers + 2) cores timeshares the mirror
+    # with the serving path and measures the machine, not the design.
+    enforced = cores >= workers + 2
+    gate_ok = (
+        dropped == 0
+        and promote_row["version"] == probe_promoted["version"]
+        and probe_rolled_back["version"] == rollback_row["version"]
+        and (not enforced or ratio is None or ratio <= 1.0 + shadow_overhead_budget)
+    )
+    artifact.update(
+        {
+            "phases": phases,
+            "deploy": deploy_row,
+            "promote": promote_row,
+            "rollback": rollback_row,
+            "served_version_after_promote": probe_promoted["version"],
+            "served_version_after_rollback": probe_rolled_back["version"],
+            "deployments": deployments,
+            "diff": diff,
+            "shadow_diff_glob": shadow_glob if out_path else None,
+            "gate": {
+                "cores": cores,
+                "enforced": enforced,
+                "dropped_requests": dropped,
+                "shadow_p95_overhead_ratio": ratio,
+                "shadow_overhead_budget": shadow_overhead_budget,
+                "pass": gate_ok,
+            },
+        }
+    )
+    if out_path:
+        Path(out_path).write_text(json.dumps(artifact, indent=2) + "\n")
+    return artifact

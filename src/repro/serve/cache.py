@@ -1,4 +1,4 @@
-"""LRU rationale cache keyed on (model, token ids).
+"""LRU rationale cache keyed on (model, version, token ids).
 
 Rationalization is deterministic at serving time (greedy argmax selection,
 no sampling), so identical requests always produce identical responses —
@@ -19,9 +19,17 @@ from typing import Hashable, Optional, Sequence
 from repro.obs import MetricsRegistry
 
 
-def rationale_key(model_name: str, token_ids: Sequence[int]) -> tuple:
-    """Canonical cache key for a (model, token-ids) request."""
-    return (model_name, tuple(int(t) for t in token_ids))
+def rationale_key(
+    model_name: str, token_ids: Sequence[int], version: str = "1"
+) -> tuple:
+    """Canonical cache key for a (model, version, token-ids) request.
+
+    Versioned keys are what make hot-swap deploys safe: two versions of
+    the same model never share entries, so a reload can neither serve
+    stale rationales nor be polluted by straggler ``put``\\ s from
+    requests that resolved the old version just before a promote.
+    """
+    return (model_name, str(version), tuple(int(t) for t in token_ids))
 
 
 class RationaleCache:
@@ -82,6 +90,31 @@ class RationaleCache:
                 evicted += 1
         if evicted:
             self._m_evictions.inc(evicted)
+
+    def invalidate(self, model_name: str, version: Optional[str] = None) -> int:
+        """Drop every entry of ``model_name`` (optionally one version).
+
+        This is the deploy-time path: retiring ``model@version`` calls
+        ``invalidate(model, version)`` so the retired version's entries
+        stop occupying capacity.  Returns the number of entries dropped;
+        the count lands on the existing eviction counter so ``/metrics``
+        eviction totals cover deploy-driven invalidation too.
+        """
+        version = None if version is None else str(version)
+        with self._lock:
+            doomed = [
+                key
+                for key in self._data
+                if isinstance(key, tuple)
+                and len(key) >= 2
+                and key[0] == model_name
+                and (version is None or key[1] == version)
+            ]
+            for key in doomed:
+                del self._data[key]
+        if doomed:
+            self._m_evictions.inc(len(doomed))
+        return len(doomed)
 
     def clear(self) -> None:
         """Drop every entry (stats are kept)."""

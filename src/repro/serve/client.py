@@ -37,11 +37,17 @@ _CONNECT_ERRORS = (ConnectionError, ConnectionRefusedError, ConnectionResetError
 
 
 class ServeClientError(RuntimeError):
-    """A request the service rejected (carries the HTTP status code)."""
+    """A request the service rejected (carries the HTTP status code).
 
-    def __init__(self, message: str, status: int = 500):
+    ``detail`` mirrors the server's machine-readable error context when
+    present — e.g. the ``format_version``/``repro_version`` mismatch a
+    409 deploy rejection reports.
+    """
+
+    def __init__(self, message: str, status: int = 500, detail: Optional[dict] = None):
         super().__init__(message)
         self.status = status
+        self.detail = detail
 
 
 class Client:
@@ -103,22 +109,27 @@ class Client:
         tokens: Optional[Sequence[str]] = None,
         debug: bool = False,
         request_id: Optional[str] = None,
+        version: Optional[str] = None,
     ) -> dict:
         """``POST /v1/rationalize``: label + rationale for one sentence.
 
         ``debug=True`` asks the server for a span-timeline ``trace``;
         ``request_id`` (optional) pins the id minted at this edge so the
-        response and server-side trace log correlate with client logs.
+        response and server-side trace log correlate with client logs;
+        ``version`` (or a ``model@version`` reference) pins an exact
+        artifact version — the way a staged challenger is probed.
         """
         if self._service is not None:
             try:
                 return self._service.rationalize(
                     model=model, token_ids=token_ids, tokens=tokens,
-                    debug=debug, request_id=request_id,
+                    debug=debug, request_id=request_id, version=version,
                 )
             except RequestError as exc:
-                raise ServeClientError(str(exc), status=exc.status) from exc
+                raise ServeClientError(str(exc), status=exc.status, detail=exc.detail) from exc
         body = {"model": model}
+        if version is not None:
+            body["version"] = str(version)
         if debug:
             body["debug"] = True
         if request_id is not None:
@@ -138,6 +149,7 @@ class Client:
         inputs: Optional[Sequence] = None,
         debug: bool = False,
         request_id: Optional[str] = None,
+        version: Optional[str] = None,
     ) -> dict:
         """Batched ``POST /v1/rationalize``: one round trip, one scheduler
         wave; returns ``{"results": [...], "count": ..., "cached_count": ...}``
@@ -145,10 +157,11 @@ class Client:
         if self._service is not None:
             try:
                 return self._service.rationalize_many(
-                    model=model, inputs=inputs, debug=debug, request_id=request_id
+                    model=model, inputs=inputs, debug=debug,
+                    request_id=request_id, version=version,
                 )
             except RequestError as exc:
-                raise ServeClientError(str(exc), status=exc.status) from exc
+                raise ServeClientError(str(exc), status=exc.status, detail=exc.detail) from exc
         items = []
         for item in inputs or ():
             if isinstance(item, dict):
@@ -156,11 +169,75 @@ class Client:
             else:
                 items.append([t.item() if hasattr(t, "item") else t for t in item])
         body = {"model": model, "inputs": items}
+        if version is not None:
+            body["version"] = str(version)
         if debug:
             body["debug"] = True
         if request_id is not None:
             body["request_id"] = request_id
         return self._post("/v1/rationalize", body)
+
+    # ------------------------------------------------------------------
+    # Lifecycle admin helpers (same dual-transport pattern)
+    # ------------------------------------------------------------------
+    def _admin(self, method: str, path: str, body: dict):
+        """Dispatch one admin call on whichever transport is bound."""
+        body = {k: v for k, v in body.items() if v is not None}
+        if self._service is not None:
+            try:
+                return getattr(self._service, method)(**body)
+            except RequestError as exc:
+                raise ServeClientError(str(exc), status=exc.status, detail=exc.detail) from exc
+        return self._post(path, body)
+
+    def deploy(
+        self,
+        model: str,
+        path: str,
+        version: Optional[str] = None,
+        canary_fraction: float = 0.0,
+        shadow: bool = False,
+        diff_log: Optional[str] = None,
+        warm: bool = False,
+    ) -> dict:
+        """``POST /v1/deploy``: stage a challenger version of ``model``.
+
+        ``canary_fraction`` diverts that share of live traffic to it;
+        ``shadow=True`` mirrors champion traffic into ``diff_log`` for
+        the offline ``deploy-diff`` report; ``warm=True`` replays the
+        server's request log through the challenger's cache first.
+        """
+        return self._admin(
+            "deploy",
+            "/v1/deploy",
+            {
+                "model": model,
+                "path": str(path),
+                "version": version,
+                "canary_fraction": canary_fraction or None,
+                "shadow": shadow or None,
+                "diff_log": diff_log,
+                "warm": warm or None,
+            },
+        )
+
+    def promote(self, model: str, version: Optional[str] = None) -> dict:
+        """``POST /v1/promote``: flip the live pointer (zero downtime)."""
+        return self._admin("promote", "/v1/promote", {"model": model, "version": version})
+
+    def rollback(self, model: str) -> dict:
+        """``POST /v1/rollback``: restore the retained previous version."""
+        return self._admin("rollback", "/v1/rollback", {"model": model})
+
+    def warm(self, model: str, version: Optional[str] = None) -> dict:
+        """``POST /v1/warm``: replay the request log through a version."""
+        return self._admin("warm", "/v1/warm", {"model": model, "version": version})
+
+    def deployments(self) -> list[dict]:
+        """``GET /v1/deployments``: per-version lifecycle state rows."""
+        if self._service is not None:
+            return self._service.deployments()
+        return self._get("/v1/deployments")["deployments"]
 
     def models(self) -> list[dict]:
         """``GET /v1/models``: one metadata row per loaded artifact."""
@@ -208,11 +285,14 @@ class Client:
                     return json.loads(response.read().decode("utf-8"))
             except urllib.error.HTTPError as exc:
                 self._m_http_errors.inc()
+                detail = None
                 try:
-                    detail = json.loads(exc.read().decode("utf-8")).get("error", str(exc))
+                    body = json.loads(exc.read().decode("utf-8"))
+                    message = body.get("error", str(exc))
+                    detail = body.get("detail")
                 except Exception:
-                    detail = str(exc)
-                raise ServeClientError(detail, status=exc.code) from exc
+                    message = str(exc)
+                raise ServeClientError(message, status=exc.code, detail=detail) from exc
             except (urllib.error.URLError, ConnectionError, socket.timeout, TimeoutError) as exc:
                 if self._is_timeout(exc):
                     # Never retried: the server may have accepted the work

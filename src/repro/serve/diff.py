@@ -1,0 +1,182 @@
+"""Offline rationale-diff reports from shadow-mode JSONL logs.
+
+Shadow mode (:class:`repro.serve.lifecycle.ShadowMirror`) appends one
+JSON record per mirrored request — the champion's and the challenger's
+label and rationale for the same token ids.  This module turns one or
+more of those logs (the sharded tier writes one per worker) into an
+agreement report, surfaced as ``python -m repro.experiments deploy-diff``
+— the go/no-go artifact an operator reads before promoting.
+
+Agreement metrics per record pair:
+
+- **label agreement** — champion and challenger predict the same class;
+- **rationale exact** — identical selected-token masks;
+- **rationale IoU / F1** — set overlap of the selected positions, the
+  standard rationale-agreement measures (F1 here equals the Dice
+  coefficient on position sets).
+"""
+
+from __future__ import annotations
+
+import glob as _glob
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence, Union
+
+PathsLike = Union[str, Path, Sequence[Union[str, Path]]]
+
+
+def _expand(paths: PathsLike) -> list[str]:
+    """File list from paths/globs, deterministic order, duplicates dropped."""
+    if isinstance(paths, (str, Path)):
+        paths = [paths]
+    files: list[str] = []
+    for item in paths:
+        item = str(item)
+        matches = sorted(_glob.glob(item)) if any(c in item for c in "*?[") else [item]
+        for match in matches:
+            if match not in files:
+                files.append(match)
+    return files
+
+
+def iter_shadow_records(paths: PathsLike) -> Iterator[dict]:
+    """Yield every parseable record from the given log files/globs."""
+    for file in _expand(paths):
+        with open(file, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(record, dict):
+                    yield record
+
+
+def _mask_agreement(champion: Sequence, challenger: Sequence) -> tuple[float, float, bool]:
+    """(IoU, F1, exact) between two selection masks of equal intent.
+
+    Masks are 0/1 sequences over token positions; length mismatches are
+    compared over the shorter prefix (defensive — they should not occur
+    for the same token ids).
+    """
+    a = [i for i, v in enumerate(champion) if v]
+    b = [i for i, v in enumerate(challenger) if v]
+    set_a, set_b = set(a), set(b)
+    inter = len(set_a & set_b)
+    union = len(set_a | set_b)
+    iou = inter / union if union else 1.0
+    denom = len(set_a) + len(set_b)
+    f1 = 2.0 * inter / denom if denom else 1.0
+    exact = list(champion) == list(challenger)
+    return iou, f1, exact
+
+
+def diff_report(records: Iterable[dict]) -> dict:
+    """Aggregate shadow records into the deploy-diff agreement report."""
+    total = 0
+    malformed = 0
+    by_model: dict[str, dict] = {}
+    for record in records:
+        total += 1
+        if not isinstance(record, dict):
+            malformed += 1
+            continue
+        champion = record.get("champion") or {}
+        challenger = record.get("challenger") or {}
+        if (
+            not isinstance(champion, dict)
+            or not isinstance(challenger, dict)
+            or "label" not in champion
+            or "label" not in challenger
+        ):
+            malformed += 1
+            continue
+        model = record.get("model", "?")
+        pair = f"{champion.get('version', '?')}->{challenger.get('version', '?')}"
+        bucket = by_model.setdefault(model, {})
+        stats = bucket.setdefault(
+            pair,
+            {
+                "records": 0,
+                "label_matches": 0,
+                "rationale_exact": 0,
+                "iou_sum": 0.0,
+                "f1_sum": 0.0,
+            },
+        )
+        stats["records"] += 1
+        if champion["label"] == challenger["label"]:
+            stats["label_matches"] += 1
+        iou, f1, exact = _mask_agreement(
+            champion.get("rationale", []), challenger.get("rationale", [])
+        )
+        stats["iou_sum"] += iou
+        stats["f1_sum"] += f1
+        if exact:
+            stats["rationale_exact"] += 1
+
+    models = {}
+    agg = {"records": 0, "label_matches": 0, "rationale_exact": 0, "iou_sum": 0.0, "f1_sum": 0.0}
+    for model, pairs in sorted(by_model.items()):
+        rendered = {}
+        for pair, stats in sorted(pairs.items()):
+            n = stats["records"]
+            rendered[pair] = {
+                "records": n,
+                "label_agreement": round(stats["label_matches"] / n, 4),
+                "rationale_exact": round(stats["rationale_exact"] / n, 4),
+                "rationale_iou": round(stats["iou_sum"] / n, 4),
+                "rationale_f1": round(stats["f1_sum"] / n, 4),
+            }
+            for key in agg:
+                agg[key] += stats[key]
+        models[model] = rendered
+
+    n = agg["records"]
+    return {
+        "records": total,
+        "compared": n,
+        "malformed": malformed,
+        "label_agreement": round(agg["label_matches"] / n, 4) if n else None,
+        "rationale_exact": round(agg["rationale_exact"] / n, 4) if n else None,
+        "rationale_iou": round(agg["iou_sum"] / n, 4) if n else None,
+        "rationale_f1": round(agg["f1_sum"] / n, 4) if n else None,
+        "models": models,
+    }
+
+
+def shadow_diff_report(paths: PathsLike) -> dict:
+    """Load shadow logs (files or globs) and build the agreement report."""
+    return diff_report(iter_shadow_records(paths))
+
+
+def render_diff_report(report: dict) -> str:
+    """Human-readable rendering of :func:`diff_report` for the CLI."""
+    lines = [
+        "deploy-diff: rationale agreement report",
+        f"  records: {report['records']}  compared: {report['compared']}"
+        f"  malformed: {report['malformed']}",
+    ]
+    if not report["compared"]:
+        lines.append("  (no comparable records — is the shadow log empty?)")
+        return "\n".join(lines)
+    lines.append(
+        f"  overall: label {report['label_agreement']:.2%}"
+        f" | exact rationale {report['rationale_exact']:.2%}"
+        f" | IoU {report['rationale_iou']:.4f}"
+        f" | F1 {report['rationale_f1']:.4f}"
+    )
+    for model, pairs in report["models"].items():
+        for pair, stats in pairs.items():
+            lines.append(
+                f"  {model} {pair}: n={stats['records']}"
+                f" label {stats['label_agreement']:.2%}"
+                f" exact {stats['rationale_exact']:.2%}"
+                f" IoU {stats['rationale_iou']:.4f}"
+                f" F1 {stats['rationale_f1']:.4f}"
+            )
+    return "\n".join(lines)

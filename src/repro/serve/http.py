@@ -4,12 +4,23 @@ Endpoints::
 
     POST /v1/rationalize   {"model": "...", "token_ids": [...]} or {"tokens": [...]}
                            or the batched form {"model": "...", "inputs": [item, ...]};
-                           add "debug": true for a span-timeline trace
+                           add "debug": true for a span-timeline trace and
+                           "version": "..." (or "model@version") to pin a version
+    POST /v1/deploy        {"model", "path", "version"?, "canary_fraction"?,
+                            "shadow"?, "diff_log"?, "warm"?} — stage a challenger
+    POST /v1/promote       {"model", "version"?} — flip the live pointer
+    POST /v1/rollback      {"model"} — restore the previous version
+    POST /v1/warm          {"model", "version"?} — replay the request log
+    GET  /v1/deployments   per-version lifecycle state (staged/canary/live/retired)
     GET  /v1/models        loaded artifacts and their metadata
     GET  /healthz          liveness + loaded model names
     GET  /statz            cache / scheduler / latency statistics (JSON)
     GET  /metrics          Prometheus text exposition from the metrics registry
     GET  /tracez           ring-buffered debug traces as JSONL
+
+Admin errors carry machine-readable context: a deploy of an incompatible
+checkpoint answers 409 whose body includes ``detail`` with the artifact's
+``format_version`` / ``repro_version``.
 
 Every POST gets a request id (client-supplied ``request_id`` or minted
 here at the edge) that propagates router → worker → scheduler wave and
@@ -39,6 +50,18 @@ from repro.obs import new_request_id, render_prometheus
 from repro.serve.service import RationalizationService, RequestError
 
 _MAX_BODY_BYTES = 1 << 20  # 1 MiB: single sentences, not documents
+
+#: POST route -> (service method, accepted JSON body keys).  Unknown keys
+#: are ignored rather than 400d so old servers tolerate newer clients.
+_ADMIN_POST_ROUTES = {
+    "/v1/deploy": (
+        "deploy",
+        ("model", "path", "version", "canary_fraction", "shadow", "diff_log", "warm"),
+    ),
+    "/v1/promote": ("promote", ("model", "version")),
+    "/v1/rollback": ("rollback", ("model",)),
+    "/v1/warm": ("warm", ("model", "version")),
+}
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -117,6 +140,8 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             elif route == "/v1/models":
                 self._send_json({"models": self.service.describe_models()})
+            elif route == "/v1/deployments":
+                self._send_json({"deployments": self.service.deployments()})
             else:
                 route = "unknown"
                 self._send_json({"error": f"no route {self.path!r}"}, status=404)
@@ -128,8 +153,9 @@ class _Handler(BaseHTTPRequestHandler):
             self._count(route, 500)
 
     def do_POST(self) -> None:
-        """Dispatch ``POST /v1/rationalize``."""
-        if self.path != "/v1/rationalize":
+        """Dispatch ``POST /v1/rationalize`` and the lifecycle admin routes."""
+        route = self.path
+        if route != "/v1/rationalize" and route not in _ADMIN_POST_ROUTES:
             # The body stays unread: close afterwards so a keep-alive
             # client cannot desync on the leftover bytes.
             self.close_connection = True
@@ -139,6 +165,12 @@ class _Handler(BaseHTTPRequestHandler):
         status = 200
         try:
             payload = self._read_json()
+            if route in _ADMIN_POST_ROUTES:
+                method, allowed = _ADMIN_POST_ROUTES[route]
+                kwargs = {key: payload[key] for key in allowed if key in payload}
+                self._send_json(getattr(self.service, method)(**kwargs))
+                self._count(route, status)
+                return
             # The edge mints the request id (unless the client brought its
             # own) so a trace spans every layer from the first byte in.
             debug = bool(payload.get("debug", False))
@@ -155,6 +187,7 @@ class _Handler(BaseHTTPRequestHandler):
                     inputs=payload.get("inputs"),
                     debug=debug,
                     request_id=request_id,
+                    version=payload.get("version"),
                 )
             else:
                 response = self.service.rationalize(
@@ -163,15 +196,19 @@ class _Handler(BaseHTTPRequestHandler):
                     tokens=payload.get("tokens"),
                     debug=debug,
                     request_id=request_id,
+                    version=payload.get("version"),
                 )
             self._send_json(response)
         except RequestError as exc:
             status = exc.status
-            self._send_json({"error": str(exc)}, status=exc.status)
+            body = {"error": str(exc)}
+            if exc.detail:
+                body["detail"] = exc.detail
+            self._send_json(body, status=exc.status)
         except Exception as exc:
             status = 500
             self._send_json({"error": str(exc)}, status=500)
-        self._count("/v1/rationalize", status)
+        self._count(route, status)
 
 
 class RationaleServer:

@@ -1,4 +1,4 @@
-"""Model artifact registry: discover, rebuild and pin trained checkpoints.
+"""Model artifact registry: discover, rebuild, version and pin checkpoints.
 
 A *serving artifact* is a ``.npz`` checkpoint written by
 :func:`repro.serve.registry.save_artifact` (a thin wrapper over
@@ -17,6 +17,26 @@ Config schema (JSON, embedded in the checkpoint)::
       "hyper": {"alpha": ..., "temperature": ..., ...},   # family-specific
       "vocab": ["token", ...]           # optional, non-reserved tokens
     }
+
+**Versioned addressing and the deployment state machine** (the model
+lifecycle layer, :mod:`repro.serve.lifecycle`): every loaded artifact is
+a ``(model, version)`` pair, and ``registry.get`` accepts either a bare
+model name (resolving the **live** version) or a ``"name@version"``
+reference.  Versions move through::
+
+    staged ──▶ canary ──▶ live ──▶ retired
+       └─────────(promote)──▲         │
+                            └─(rollback)
+
+:meth:`ModelRegistry.promote_version` flips the live pointer atomically
+under the registry lock — a concurrent ``get(name)`` observes either the
+old or the new live artifact, never a torn state — and retains exactly
+one retired version per model as the rollback target (older retired
+versions are dropped and returned to the caller for cache invalidation).
+
+Artifacts that cannot be rebuilt raise :class:`ArtifactCompatibilityError`
+carrying the checkpoint's ``format_version``/``repro_version`` metadata,
+so ``POST /v1/deploy`` can answer a clean 409 naming the mismatch.
 """
 
 from __future__ import annotations
@@ -33,6 +53,61 @@ from repro.backend.core import canonical_dtype, default_dtype, get_backend, use_
 from repro.data.vocabulary import Vocabulary
 from repro.serialization import PathLike, load_checkpoint, save_model, validate_state
 from repro.core.inference import InferenceSession
+
+#: The deployment state machine's states, in lifecycle order.
+DEPLOYMENT_STATES = ("staged", "canary", "live", "retired")
+
+#: Legal deployment state transitions (see the module docstring diagram).
+_ALLOWED_TRANSITIONS = frozenset({
+    ("staged", "canary"),
+    ("canary", "staged"),   # pause a canary without retiring it
+    ("staged", "live"),
+    ("canary", "live"),
+    ("live", "retired"),
+    ("retired", "live"),    # rollback
+    ("staged", "retired"),  # abandon a challenger
+    ("canary", "retired"),
+})
+
+
+class ArtifactCompatibilityError(ValueError):
+    """A checkpoint that cannot be rebuilt/served by this build of repro.
+
+    Carries the ``format_version`` and ``repro_version`` recorded in the
+    checkpoint's ``__meta__`` blob (``None`` when the file was unreadable
+    before metadata could be decoded), so the deploy surface can answer
+    HTTP 409 with the exact mismatch instead of a bare 500.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        format_version: Optional[int] = None,
+        repro_version: Optional[str] = None,
+        path: Optional[str] = None,
+    ):
+        super().__init__(message)
+        self.format_version = format_version
+        self.repro_version = repro_version
+        self.path = path
+
+
+class LifecycleError(ValueError):
+    """An illegal deployment state transition or version reference."""
+
+
+def parse_model_ref(ref: str) -> tuple[str, Optional[str]]:
+    """Split a ``"name"`` / ``"name@version"`` reference into its parts."""
+    if not isinstance(ref, str):
+        raise ValueError(f"model reference must be a string, got {type(ref).__name__}")
+    if "@" not in ref:
+        return ref, None
+    name, _, version = ref.partition("@")
+    if not name or not version or "@" in version:
+        raise ValueError(
+            f"bad model reference {ref!r}; expected 'name' or 'name@version'"
+        )
+    return name, version
 
 
 def model_families() -> dict:
@@ -104,7 +179,7 @@ def save_artifact(model, path: PathLike, vocab: Optional[Vocabulary] = None) -> 
 
 @dataclass
 class ModelArtifact:
-    """One loaded, servable model pinned to a backend and dtype."""
+    """One loaded, servable model version pinned to a backend and dtype."""
 
     name: str
     path: str
@@ -115,14 +190,26 @@ class ModelArtifact:
     backend: str
     dtype: str
     vocab: Optional[Vocabulary] = None
+    #: Version identifier within the model's version set and the
+    #: deployment state this version is in (see DEPLOYMENT_STATES);
+    #: both are written only under the owning registry's lock.
+    version: str = "1"
+    state: str = "live"
     #: Pooled inference session (lazily built, buffers reused across
     #: batches); only the scheduler's single worker thread touches it.
     session: Optional[InferenceSession] = None
+
+    @property
+    def ref(self) -> str:
+        """The canonical ``name@version`` reference for this artifact."""
+        return f"{self.name}@{self.version}"
 
     def describe(self) -> dict:
         """The ``GET /v1/models`` row for this artifact."""
         return {
             "name": self.name,
+            "version": self.version,
+            "state": self.state,
             "family": self.family,
             "path": self.path,
             "backend": self.backend,
@@ -135,7 +222,7 @@ class ModelArtifact:
 
 
 class ModelRegistry:
-    """Loads serving artifacts and hands them out by name.
+    """Loads serving artifacts and hands them out by name (and version).
 
     Parameters
     ----------
@@ -151,22 +238,49 @@ class ModelRegistry:
     def __init__(self, backend: Optional[str] = None, dtype: Optional[str] = None):
         self.backend = backend or get_backend().name
         self.dtype = str(canonical_dtype(dtype)) if dtype is not None else None
-        self._artifacts: dict[str, ModelArtifact] = {}
+        #: name -> version -> artifact; live/previous are per-name version
+        #: pointers (previous = the one retained rollback target).
+        self._artifacts: dict[str, dict[str, ModelArtifact]] = {}
+        self._live: dict[str, str] = {}
+        self._previous: dict[str, Optional[str]] = {}
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
-    def register_file(self, path: PathLike, name: Optional[str] = None) -> ModelArtifact:
-        """Load one checkpoint: rebuild, validate, pin, and register it."""
+    # Loading
+    # ------------------------------------------------------------------
+    def _load(self, path: PathLike, name: Optional[str]) -> ModelArtifact:
+        """Rebuild one checkpoint into an artifact (no registry mutation).
+
+        Raises :class:`ArtifactCompatibilityError` (a ``ValueError``
+        subclass, so :meth:`discover`'s skip-with-warning path still
+        applies) for anything that makes the checkpoint unservable.
+        """
         path = Path(path)
-        state, config, meta = load_checkpoint(path)
+        try:
+            state, config, meta = load_checkpoint(path)
+        except ValueError as exc:
+            raise ArtifactCompatibilityError(str(exc), path=str(path)) from exc
+        format_version = int(meta.get("format_version", 0))
+        repro_version = meta.get("repro_version")
         if "family" not in config:
-            raise ValueError(
-                f"{path} has no serving config; save it with repro.serve.save_artifact"
+            raise ArtifactCompatibilityError(
+                f"{path} has no serving config; save it with repro.serve.save_artifact",
+                format_version=format_version,
+                repro_version=repro_version,
+                path=str(path),
             )
         target_dtype = np.dtype(self.dtype or meta.get("dtype", "float64"))
-        with use_backend(self.backend), default_dtype(target_dtype):
-            model = build_model(config)
-        validate_state(model, state, meta, source=str(path))
+        try:
+            with use_backend(self.backend), default_dtype(target_dtype):
+                model = build_model(config)
+            validate_state(model, state, meta, source=str(path))
+        except (ValueError, KeyError) as exc:
+            raise ArtifactCompatibilityError(
+                str(exc),
+                format_version=format_version,
+                repro_version=repro_version,
+                path=str(path),
+            ) from exc
         model.load_state_dict(state)
         # Pin parameters to the serving dtype: a float64 checkpoint served
         # at float32 must not promote activations back to float64.
@@ -175,7 +289,7 @@ class ModelRegistry:
                 param.data = param.data.astype(target_dtype)
             param.requires_grad = False
         vocab = Vocabulary(config["vocab"]) if config.get("vocab") else None
-        artifact = ModelArtifact(
+        return ModelArtifact(
             name=name or path.stem,
             path=str(path),
             family=config["family"],
@@ -186,14 +300,59 @@ class ModelRegistry:
             dtype=str(target_dtype),
             vocab=vocab,
         )
+
+    def register_file(self, path: PathLike, name: Optional[str] = None) -> ModelArtifact:
+        """Load one checkpoint: rebuild, validate, pin, and register it live.
+
+        This is the startup path — the artifact becomes version ``"1"``
+        and the model's live version.  Deploying *additional* versions of
+        an already-registered model goes through :meth:`stage_file` (the
+        :class:`~repro.serve.lifecycle.DeploymentManager` path).
+        """
+        artifact = self._load(path, name)
         with self._lock:
-            if artifact.name in self._artifacts:
+            entry = self._artifacts.get(artifact.name)
+            if entry:
+                first = next(iter(entry.values()))
                 raise ValueError(
                     f"a model named {artifact.name!r} is already registered "
-                    f"(from {self._artifacts[artifact.name].path}); pass an "
-                    "explicit name= to register both"
+                    f"(from {first.path}); pass an explicit name= to register both"
                 )
-            self._artifacts[artifact.name] = artifact
+            artifact.version = "1"
+            artifact.state = "live"
+            self._artifacts[artifact.name] = {artifact.version: artifact}
+            self._live[artifact.name] = artifact.version
+        return artifact
+
+    def stage_file(
+        self, path: PathLike, name: str, version: Optional[str] = None
+    ) -> ModelArtifact:
+        """Load a challenger checkpoint as a **staged** version of ``name``.
+
+        ``version=None`` mints the next numeric version.  The staged
+        artifact serves no traffic until routed (canary) or promoted —
+        this is what ``POST /v1/deploy`` calls.  ``name`` need not exist
+        yet: deploying a brand-new model stages it with no live version
+        until the first promote.
+        """
+        artifact = self._load(path, name)
+        with self._lock:
+            entry = self._artifacts.setdefault(name, {})
+            if version is None:
+                numeric = [int(v) for v in entry if v.lstrip("-").isdigit()]
+                minted = max(numeric, default=0) + 1
+                while str(minted) in entry:
+                    minted += 1
+                version = str(minted)
+            version = str(version)
+            if version in entry:
+                raise LifecycleError(
+                    f"{name}@{version} is already deployed (from {entry[version].path}); "
+                    "pick a new version or retire it first"
+                )
+            artifact.version = version
+            artifact.state = "staged"
+            entry[version] = artifact
         return artifact
 
     def discover(self, directory: PathLike) -> list[ModelArtifact]:
@@ -216,31 +375,197 @@ class ModelRegistry:
         return loaded
 
     # ------------------------------------------------------------------
-    def get(self, name: str) -> ModelArtifact:
-        """Fetch an artifact by name; ``KeyError`` lists what is loaded."""
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, ref: str) -> ModelArtifact:
+        """Fetch the live artifact of ``name``, or ``name@version`` exactly.
+
+        ``KeyError`` lists what is loaded.  Explicit version references
+        resolve any lifecycle state (staged/canary/retired included) so
+        challengers can be probed before they take live traffic.
+        """
+        name, version = parse_model_ref(ref)
         with self._lock:
             try:
-                return self._artifacts[name]
+                entry = self._artifacts[name]
             except KeyError:
                 raise KeyError(
                     f"no model {name!r} loaded; available: {sorted(self._artifacts)}"
                 ) from None
+            if version is None:
+                version = self._live.get(name)
+                if version is None:
+                    raise KeyError(
+                        f"model {name!r} has no live version; deployed: "
+                        f"{sorted(entry)} — promote one first"
+                    )
+            if version not in entry:
+                raise KeyError(
+                    f"no version {version!r} of model {name!r}; "
+                    f"loaded versions: {sorted(entry)}"
+                )
+            return entry[version]
+
+    def get_version(self, name: str, version: str) -> ModelArtifact:
+        """Fetch one exact ``(name, version)`` artifact (any state)."""
+        return self.get(f"{name}@{version}")
+
+    def live_version(self, name: str) -> Optional[str]:
+        """The version currently serving default traffic for ``name``."""
+        with self._lock:
+            return self._live.get(name)
+
+    def previous_version(self, name: str) -> Optional[str]:
+        """The retained rollback target for ``name`` (if any)."""
+        with self._lock:
+            return self._previous.get(name)
+
+    def versions(self, name: str) -> dict[str, str]:
+        """``version -> state`` for every loaded version of ``name``."""
+        with self._lock:
+            entry = self._artifacts.get(name, {})
+            return {version: artifact.state for version, artifact in entry.items()}
 
     def names(self) -> list[str]:
-        """Names of every loaded artifact."""
+        """Names of every loaded model."""
         with self._lock:
             return sorted(self._artifacts)
 
     def describe(self) -> list[dict]:
-        """``GET /v1/models`` payload: one row per artifact."""
+        """``GET /v1/models`` payload: one row per loaded version."""
         with self._lock:
-            artifacts = list(self._artifacts.values())
-        return [a.describe() for a in sorted(artifacts, key=lambda a: a.name)]
+            artifacts = [a for entry in self._artifacts.values() for a in entry.values()]
+        return [
+            a.describe()
+            for a in sorted(artifacts, key=lambda a: (a.name, a.version))
+        ]
+
+    # ------------------------------------------------------------------
+    # Deployment state machine
+    # ------------------------------------------------------------------
+    def _entry(self, name: str) -> dict[str, ModelArtifact]:
+        """Version map of ``name`` (caller holds the lock)."""
+        try:
+            return self._artifacts[name]
+        except KeyError:
+            raise KeyError(
+                f"no model {name!r} loaded; available: {sorted(self._artifacts)}"
+            ) from None
+
+    def set_state(self, name: str, version: str, state: str) -> ModelArtifact:
+        """Transition ``name@version`` to ``state`` (legal moves only)."""
+        if state not in DEPLOYMENT_STATES:
+            raise LifecycleError(
+                f"unknown deployment state {state!r}; states: {DEPLOYMENT_STATES}"
+            )
+        with self._lock:
+            entry = self._entry(name)
+            version = str(version)
+            if version not in entry:
+                raise KeyError(
+                    f"no version {version!r} of model {name!r}; "
+                    f"loaded versions: {sorted(entry)}"
+                )
+            artifact = entry[version]
+            if artifact.state == state:
+                return artifact
+            if (artifact.state, state) not in _ALLOWED_TRANSITIONS:
+                raise LifecycleError(
+                    f"illegal transition {artifact.state!r} -> {state!r} for "
+                    f"{name}@{version}; legal: staged->canary->live->retired"
+                )
+            if state == "live" or artifact.state == "live":
+                raise LifecycleError(
+                    f"the live pointer of {name!r} moves only through "
+                    "promote_version()/rollback_version()"
+                )
+            artifact.state = state
+            return artifact
+
+    def promote_version(
+        self, name: str, version: str
+    ) -> tuple[Optional[str], Optional[ModelArtifact]]:
+        """Atomically flip the live pointer of ``name`` to ``version``.
+
+        The target must be ``staged`` or ``canary``.  The old live
+        version (returned first) becomes ``retired`` and is retained as
+        the rollback target; an *older* retired version displaced by it
+        is dropped from memory and returned second so the caller can
+        invalidate its cache entries.  Both pointer and states change
+        under one lock acquisition — a concurrent ``get(name)`` sees the
+        old or the new live artifact, never an intermediate.
+        """
+        with self._lock:
+            entry = self._entry(name)
+            version = str(version)
+            if version not in entry:
+                raise KeyError(
+                    f"no version {version!r} of model {name!r}; "
+                    f"loaded versions: {sorted(entry)}"
+                )
+            target = entry[version]
+            if target.state == "live":
+                raise LifecycleError(f"{name}@{version} is already live")
+            if target.state not in ("staged", "canary"):
+                raise LifecycleError(
+                    f"cannot promote {name}@{version} from state {target.state!r}; "
+                    "only staged/canary versions promote"
+                )
+            old = self._live.get(name)
+            dropped: Optional[ModelArtifact] = None
+            if old is not None:
+                entry[old].state = "retired"
+                stale = self._previous.get(name)
+                if stale is not None and stale not in (old, version) and stale in entry:
+                    # One rollback target per model: the displaced retired
+                    # version is unloaded (memory) and handed back so the
+                    # lifecycle layer can invalidate its cache entries.
+                    dropped = entry.pop(stale)
+                self._previous[name] = old
+            target.state = "live"
+            self._live[name] = version
+            return old, dropped
+
+    def rollback_version(self, name: str) -> tuple[str, Optional[str]]:
+        """Restore the retained retired version of ``name`` to live.
+
+        Returns ``(restored_version, retired_version)`` where the second
+        element is the version that just lost live (``None`` only if the
+        model somehow had no live version).  Rolling back twice toggles
+        between the two newest versions.
+        """
+        with self._lock:
+            entry = self._entry(name)
+            target_version = self._previous.get(name)
+            if target_version is None or target_version not in entry:
+                raise LifecycleError(
+                    f"model {name!r} has no retired version to roll back to"
+                )
+            target = entry[target_version]
+            if target.state != "retired":
+                raise LifecycleError(
+                    f"rollback target {name}@{target_version} is in state "
+                    f"{target.state!r}, expected 'retired'"
+                )
+            current = self._live.get(name)
+            if current is not None:
+                entry[current].state = "retired"
+            target.state = "live"
+            self._live[name] = target_version
+            self._previous[name] = current
+            return target_version, current
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._artifacts)
 
-    def __contains__(self, name: str) -> bool:
+    def __contains__(self, ref: str) -> bool:
+        try:
+            name, version = parse_model_ref(ref)
+        except ValueError:
+            return False
         with self._lock:
-            return name in self._artifacts
+            entry = self._artifacts.get(name)
+            if entry is None:
+                return False
+            return version is None or version in entry

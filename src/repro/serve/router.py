@@ -28,6 +28,17 @@ Shutdown is a drain: admission closes first, every shard finishes its
 accepted in-flight requests, schedulers stop, processes are joined — no
 orphans (``tests/serve/test_shard.py`` asserts via
 ``multiprocessing.active_children``).
+
+Model lifecycle: the router also duck-types the admin surface
+(``deploy`` / ``promote`` / ``rollback`` / ``warm`` / ``deployments``).
+Each shard runs its own :class:`~repro.serve.lifecycle.DeploymentManager`,
+so an admin call is a **fleet broadcast**: shard 0 validates first (an
+incompatible artifact answers its 409 before any other shard is
+touched), then the op fans out to the rest.  Every applied op lands in
+an in-memory journal that :meth:`ShardRouter._on_worker_death` replays
+into a respawned worker — a shard killed mid-deploy reconverges with the
+fleet's version state from its ``WorkerConfig`` checkpoints plus the
+journal, which the lifecycle test suite proves with a SIGKILL.
 """
 
 from __future__ import annotations
@@ -51,16 +62,21 @@ from repro.obs import (
 )
 from repro.serve.service import RequestError
 from repro.serve.shard import (
+    MSG_DEPLOY,
+    MSG_DEPLOYMENTS,
     MSG_ERROR,
     MSG_EXIT,
     MSG_FATAL,
     MSG_METRICS,
+    MSG_PROMOTE,
     MSG_RATIONALIZE,
     MSG_RATIONALIZE_MANY,
     MSG_READY,
     MSG_RESULT,
+    MSG_ROLLBACK,
     MSG_SHUTDOWN,
     MSG_STATS,
+    MSG_WARM,
     WorkerConfig,
     spawn_worker,
 )
@@ -262,6 +278,8 @@ class ShardRouter:
         request_timeout_s: float = 60.0,
         mp_context: Optional[str] = None,
         startup_timeout_s: float = 120.0,
+        request_log_size: int = 0,
+        admin_timeout_s: float = 120.0,
     ):
         if workers <= 0:
             raise ValueError("workers must be positive")
@@ -271,6 +289,7 @@ class ShardRouter:
         self.max_inflight_per_worker = int(max_inflight_per_worker)
         self.request_timeout_s = float(request_timeout_s)
         self.startup_timeout_s = float(startup_timeout_s)
+        self.admin_timeout_s = float(admin_timeout_s)
         self.mp_context = mp_context
         self.started_at = time.time()
         self._shard_kwargs = dict(
@@ -283,9 +302,15 @@ class ShardRouter:
             cache_size=cache_size,
             fused=fused,
             max_inflight=max_inflight_per_worker,
+            request_log_size=request_log_size,
         )
         self._lock = threading.Lock()
         self._handles: list[_WorkerHandle] = []
+        # Applied admin ops, in order; a respawned worker replays the
+        # journal before taking traffic so it converges with the fleet's
+        # deployment state (its WorkerConfig only knows the boot-time
+        # checkpoints).
+        self._admin_journal: list[tuple[str, dict]] = []
         self._closed = False
         # Router-side observability: its own counters/gauges live in this
         # registry; GET /metrics merges worker snapshots into it.
@@ -307,6 +332,11 @@ class ShardRouter:
         )
         self._m_respawns = self.metrics.counter(
             "repro_router_respawns_total", "Dead workers successfully respawned."
+        )
+        self._m_admin = self.metrics.counter(
+            "repro_router_admin_total",
+            "Admin (deploy/promote/rollback/warm) ops applied fleet-wide.",
+            ("op",),
         )
         self.metrics.gauge(
             "repro_router_inflight",
@@ -390,7 +420,11 @@ class ShardRouter:
             elif kind == MSG_ERROR:
                 handle.resolve(
                     ident,
-                    error=RequestError(payload["error"], status=payload.get("status", 500)),
+                    error=RequestError(
+                        payload["error"],
+                        status=payload.get("status", 500),
+                        detail=payload.get("detail"),
+                    ),
                 )
             elif kind == MSG_FATAL:
                 handle.fatal_error = payload["error"]
@@ -422,6 +456,7 @@ class ShardRouter:
             replacement.begin_shutdown()
             replacement.reap(5.0)
             return
+        self._replay_journal(replacement)
         adopt = False
         with self._lock:
             if not self._closed and handle.worker_id < len(self._handles):
@@ -432,6 +467,27 @@ class ShardRouter:
         if not adopt:  # close() raced us: the replacement must not leak
             replacement.begin_shutdown()
             replacement.reap(5.0)
+
+    def _replay_journal(self, handle: _WorkerHandle) -> None:
+        """Re-apply every journaled admin op to a freshly spawned worker.
+
+        The replacement booted from the boot-time checkpoints only; the
+        journal carries it through every deploy/promote/rollback the
+        fleet has applied since, so a worker SIGKILLed mid-deploy
+        converges to the same live version as its peers.  Best-effort:
+        a replay failure leaves the shard serving its boot state, which
+        the next admin broadcast surfaces as a partial-apply error.
+        """
+        with self._lock:
+            journal = list(self._admin_journal)
+        for kind, payload in journal:
+            future = handle.try_dispatch(kind, payload, weight=0, force=True)
+            if future is None:
+                return
+            try:
+                future.result(timeout=self.admin_timeout_s)
+            except Exception:
+                continue
 
     # ------------------------------------------------------------------
     # Request path
@@ -494,12 +550,15 @@ class ShardRouter:
         tokens: Optional[Sequence[str]] = None,
         debug: bool = False,
         request_id: Optional[str] = None,
+        version: Optional[str] = None,
     ) -> dict:
         """Route one request to a shard; same contract as the service."""
         start = time.perf_counter()
         request_id = request_id or new_request_id()
         trace = Trace(request_id, start=start) if debug else None
         payload: dict = {"model": model, "request_id": request_id}
+        if version is not None:
+            payload["version"] = str(version)
         if debug:
             payload["debug"] = True
         if token_ids is not None:
@@ -526,6 +585,7 @@ class ShardRouter:
         inputs: Sequence = (),
         debug: bool = False,
         request_id: Optional[str] = None,
+        version: Optional[str] = None,
     ) -> dict:
         """Route one batched payload to a single shard (one wave there)."""
         start = time.perf_counter()
@@ -537,6 +597,8 @@ class ShardRouter:
         first = items[0]
         key = (len(items), tuple(first) if isinstance(first, (list, tuple)) else str(first))
         payload = {"model": model, "inputs": items, "request_id": request_id}
+        if version is not None:
+            payload["version"] = str(version)
         if debug:
             payload["debug"] = True
         future = self._dispatch(
@@ -551,6 +613,130 @@ class ShardRouter:
         response = self._await(future)
         trace.mark("worker")
         return self._stitch(trace, response, start)
+
+    # ------------------------------------------------------------------
+    # Admin surface (fleet broadcast; duck-typed with the service)
+    # ------------------------------------------------------------------
+    def _admin_one(self, handle: _WorkerHandle, kind: str, payload: dict):
+        """Apply one admin op on one shard (control plane: weight 0)."""
+        future = handle.try_dispatch(kind, payload, weight=0, force=True)
+        if future is None:
+            raise WorkerDiedError(
+                f"worker {handle.worker_id} is not accepting control messages"
+            )
+        try:
+            return future.result(timeout=self.admin_timeout_s)
+        except FutureTimeoutError:
+            raise RequestError(
+                f"worker {handle.worker_id} did not apply {kind!r} within "
+                f"{self.admin_timeout_s}s",
+                status=504,
+            ) from None
+
+    def _admin(self, kind: str, payload: dict) -> dict:
+        """Broadcast one admin op: shard 0 validates, then the rest apply.
+
+        Shard 0 acts as the fleet's validator — an op it rejects (409
+        incompatible artifact, illegal transition, unknown version)
+        propagates to the caller with **no other shard touched**.  Once
+        it succeeds the op is journaled (respawn convergence) and fanned
+        out; a straggler failure after that reports 500 with the partial
+        state named, so the operator can re-issue or drop the shard.
+        """
+        with self._lock:
+            if self._closed:
+                raise RequestError("server shutting down", status=503)
+            handles = list(self._handles)
+        result = self._admin_one(handles[0], kind, payload)
+        with self._lock:
+            self._admin_journal.append((kind, dict(payload)))
+        failures = []
+        for handle in handles[1:]:
+            try:
+                self._admin_one(handle, kind, payload)
+            except RequestError as exc:
+                failures.append(f"worker {handle.worker_id}: {exc}")
+        if failures:
+            raise RequestError(
+                f"{kind!r} applied on worker {handles[0].worker_id} but failed on: "
+                + "; ".join(failures),
+                status=500,
+            )
+        self._m_admin.inc(op=kind)
+        if isinstance(result, dict):
+            result = dict(result)
+            result["workers"] = len(handles)
+        return result
+
+    def deploy(
+        self,
+        model: Optional[str] = None,
+        path: Optional[str] = None,
+        version: Optional[str] = None,
+        canary_fraction: float = 0.0,
+        shadow: bool = False,
+        diff_log: Optional[str] = None,
+        warm: bool = False,
+    ) -> dict:
+        """Stage a challenger version on every shard (``POST /v1/deploy``).
+
+        With ``version=None`` each shard mints the next numeric version —
+        deterministic given identical version history, which the journal
+        replay guarantees.  ``diff_log`` is a base path; every shard
+        appends to its own ``.wN``-suffixed file.
+        """
+        payload = {
+            "model": model,
+            "path": path,
+            "version": version,
+            "canary_fraction": canary_fraction,
+            "shadow": shadow,
+            "diff_log": diff_log,
+            "warm": warm,
+        }
+        return self._admin(MSG_DEPLOY, payload)
+
+    def promote(self, model: Optional[str] = None, version: Optional[str] = None) -> dict:
+        """Flip the live pointer fleet-wide (``POST /v1/promote``)."""
+        return self._admin(MSG_PROMOTE, {"model": model, "version": version})
+
+    def rollback(self, model: Optional[str] = None) -> dict:
+        """Restore the previous version fleet-wide (``POST /v1/rollback``)."""
+        return self._admin(MSG_ROLLBACK, {"model": model})
+
+    def warm(self, model: Optional[str] = None, version: Optional[str] = None) -> dict:
+        """Replay each shard's own request log through a version's cache."""
+        return self._admin(MSG_WARM, {"model": model, "version": version})
+
+    def deployments(self, worker_timeout_s: float = 5.0) -> list[dict]:
+        """``GET /v1/deployments`` rows (first shard that answers).
+
+        Shards converge through broadcast + journal replay, so any
+        shard's view is the fleet's; :meth:`fleet_deployments` exposes
+        the unmerged per-shard rows for consistency checks.
+        """
+        for rows in self.fleet_deployments(worker_timeout_s).values():
+            if rows is not None:
+                return rows
+        return []
+
+    def fleet_deployments(self, worker_timeout_s: float = 5.0) -> dict:
+        """Per-shard deployment rows: ``{worker_id: rows_or_None}``."""
+        handles = self._snapshot_handles()
+        probes = [
+            (h, h.try_dispatch(MSG_DEPLOYMENTS, {}, weight=0, force=True))
+            for h in handles
+        ]
+        views: dict[int, Optional[list]] = {}
+        for handle, probe in probes:
+            rows = None
+            if probe is not None:
+                try:
+                    rows = probe.result(timeout=worker_timeout_s)
+                except Exception:
+                    rows = None
+            views[handle.worker_id] = rows
+        return views
 
     # ------------------------------------------------------------------
     # Introspection (same surface the single-process service exposes)

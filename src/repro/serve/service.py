@@ -6,9 +6,12 @@ in-process :class:`repro.serve.Client` both call it directly.  One
 request is one sentence (token ids, or raw tokens when the checkpoint
 embeds its vocabulary); the service
 
-1. resolves the model artifact in the :class:`~repro.serve.registry.ModelRegistry`,
+1. resolves the model artifact in the :class:`~repro.serve.registry.ModelRegistry`
+   — the live version by default, an explicit one for ``name@version``
+   references, or the canary version for the configured traffic fraction
+   when a :class:`~repro.serve.lifecycle.DeploymentManager` route is active,
 2. answers from the :class:`~repro.serve.cache.RationaleCache` when the
-   exact (model, token-ids) pair has been served before,
+   exact (model, version, token-ids) triple has been served before,
 3. otherwise submits to the :class:`~repro.serve.scheduler.MicroBatchScheduler`,
    which coalesces concurrent requests into length-bucketed batches and
    executes them on the scheduler thread through a pooled, graph-free
@@ -32,10 +35,24 @@ scheduler wave, and the response carries a span timeline (cache lookup,
 queue wait, batch formation, inference, serialization) whose durations
 tile the measured end-to-end latency; completed traces land in a
 ring-buffered JSONL :class:`repro.obs.TraceLog`.
+
+Lifecycle: the service owns a
+:class:`~repro.serve.lifecycle.DeploymentManager` (``self.lifecycle``)
+and exposes its admin surface as the duck-typed
+``deploy/promote/rollback/warm/deployments`` methods — the same five the
+sharded :class:`~repro.serve.router.ShardRouter` implements, so the HTTP
+edge and :class:`~repro.serve.Client` drive either tier unchanged.
+Scheduler waves are keyed on ``(model, version)`` and the service tracks
+an in-flight count per version on a condition variable, which is what
+lets a promote wait for the *old* version's waves to drain after the
+live pointer has already flipped (zero dropped requests, no response
+ever mixes versions).
 """
 
 from __future__ import annotations
 
+import random
+import threading
 import time
 from concurrent.futures import Future
 from typing import Optional, Sequence
@@ -49,16 +66,29 @@ from repro.data.batching import Batch
 from repro.data.dataset import ReviewExample
 from repro.obs import MetricsRegistry, Trace, TraceLog, new_request_id
 from repro.serve.cache import RationaleCache, rationale_key
-from repro.serve.registry import ModelArtifact, ModelRegistry
+from repro.serve.lifecycle import DeploymentManager, RequestLog
+from repro.serve.registry import (
+    ArtifactCompatibilityError,
+    LifecycleError,
+    ModelArtifact,
+    ModelRegistry,
+    parse_model_ref,
+)
 from repro.serve.scheduler import MicroBatchScheduler
 
 
 class RequestError(ValueError):
-    """A malformed or unservable request (maps to HTTP 400/404)."""
+    """A malformed or unservable request (maps to HTTP 400/404/409).
 
-    def __init__(self, message: str, status: int = 400):
+    ``detail`` is an optional JSON-serializable dict the HTTP edge
+    includes in the error body — e.g. the ``format_version`` /
+    ``repro_version`` mismatch a failed deploy reports with its 409.
+    """
+
+    def __init__(self, message: str, status: int = 400, detail: Optional[dict] = None):
         super().__init__(message)
         self.status = status
+        self.detail = detail
 
 
 class RationalizationService:
@@ -79,6 +109,12 @@ class RationalizationService:
         How long a caller waits for its future before giving up.
     trace_capacity:
         Ring-buffer size of the JSONL trace log (debug traces kept).
+    request_log_size:
+        Ring-buffer capacity of the warm-up request log; ``0`` (default)
+        disables recording (see :class:`repro.serve.lifecycle.RequestLog`).
+    drain_timeout_s:
+        How long a promote/rollback waits for the outgoing version's
+        in-flight waves before reporting an incomplete drain.
     """
 
     def __init__(
@@ -91,6 +127,8 @@ class RationalizationService:
         fused: bool = False,
         request_timeout_s: float = 60.0,
         trace_capacity: int = 256,
+        request_log_size: int = 0,
+        drain_timeout_s: float = 30.0,
     ):
         self.registry = registry
         self.metrics = register_backend_collectors(MetricsRegistry())
@@ -104,6 +142,21 @@ class RationalizationService:
             max_wait_ms=max_wait_ms,
             bucket_width=bucket_width,
             metrics=self.metrics,
+        )
+        self.request_log = RequestLog(request_log_size)
+        # Per-(model, version) in-flight wave counts; the condition is
+        # what drain_version() blocks on while a promote retires the old
+        # version. Tracked before submit, released by future callback.
+        self._inflight_cond = threading.Condition()
+        self._inflight_versions: dict[tuple[str, str], int] = {}
+        # Canary routing decisions; deterministic seeding is the tests'
+        # hook, production uses the default entropy.
+        self._canary_rng = random.Random()
+        self.lifecycle = DeploymentManager(self, drain_timeout_s=drain_timeout_s)
+        self._m_canary_requests = self.metrics.counter(
+            "repro_canary_requests_total",
+            "Requests routed to a canary version.",
+            ("model", "version"),
         )
         self._m_requests = self.metrics.counter(
             "repro_requests_total",
@@ -137,23 +190,28 @@ class RationalizationService:
         tokens: Optional[Sequence[str]] = None,
         debug: bool = False,
         request_id: Optional[str] = None,
+        version: Optional[str] = None,
     ) -> dict:
         """Serve one sentence: returns label + rationale mask (+ tokens).
 
         Exactly one of ``token_ids`` / ``tokens`` must be given; ``tokens``
-        requires the checkpoint to embed its vocabulary.  With ``debug``
-        the response carries a ``trace`` span timeline whose stage
-        durations tile the measured latency.
+        requires the checkpoint to embed its vocabulary.  ``version`` (or
+        a ``model@version`` reference) pins an exact artifact version —
+        any lifecycle state, which is how challengers are probed before
+        promotion; without it the live version serves, minus the canary
+        fraction.  With ``debug`` the response carries a ``trace`` span
+        timeline whose stage durations tile the measured latency.
         """
         start = time.perf_counter()
         request_id = request_id or new_request_id()
         trace = Trace(request_id, start=start) if debug else None
         try:
-            artifact = self._resolve(model)
+            artifact = self._resolve(model, version)
             ids, token_strings = self._encode(artifact, token_ids, tokens)
             if trace is not None:
                 trace.mark("validate")
-            key = rationale_key(artifact.name, ids)
+            self.request_log.record(artifact.name, ids)
+            key = rationale_key(artifact.name, ids, version=artifact.version)
             cached = self.cache.get(key)
             if trace is not None:
                 trace.mark("cache_lookup")
@@ -161,7 +219,7 @@ class RationalizationService:
                 response = dict(cached)
                 response["cached"] = True
             else:
-                future = self._submit(artifact.name, ids, trace)
+                future = self._submit(artifact, ids, trace)
                 result = future.result(timeout=self.request_timeout_s)
                 if trace is not None:
                     # Gap between the scheduler resolving the future and
@@ -175,6 +233,7 @@ class RationalizationService:
             raise
         response = self._finish(response, artifact, ids, token_strings)
         response["request_id"] = request_id
+        self._mirror(artifact, ids, response, request_id)
         self._m_requests.inc(model=artifact.name, cached=str(response["cached"]).lower())
         if trace is not None:
             trace.mark("serialization")
@@ -192,6 +251,7 @@ class RationalizationService:
         inputs: Optional[Sequence] = None,
         debug: bool = False,
         request_id: Optional[str] = None,
+        version: Optional[str] = None,
     ) -> dict:
         """Serve a batched payload: one POST, per-item rationales.
 
@@ -207,7 +267,7 @@ class RationalizationService:
         request_id = request_id or new_request_id()
         trace = Trace(request_id, start=start) if debug else None
         try:
-            artifact = self._resolve(model)
+            artifact = self._resolve(model, version)
             if not isinstance(inputs, (list, tuple)) or not inputs:
                 raise RequestError("'inputs' must be a non-empty list")
             encoded = []
@@ -222,14 +282,15 @@ class RationalizationService:
             responses: list[Optional[dict]] = [None] * len(encoded)
             pending: list[tuple[int, tuple, Future]] = []
             for index, (ids, _) in enumerate(encoded):
-                key = rationale_key(artifact.name, ids)
+                self.request_log.record(artifact.name, ids)
+                key = rationale_key(artifact.name, ids, version=artifact.version)
                 cached = self.cache.get(key)
                 if cached is not None:
                     response = dict(cached)
                     response["cached"] = True
                     responses[index] = response
                 else:
-                    pending.append((index, key, self._submit(artifact.name, ids)))
+                    pending.append((index, key, self._submit(artifact, ids)))
             if trace is not None:
                 trace.mark("cache_lookup")
             deadline = start + self.request_timeout_s
@@ -246,6 +307,7 @@ class RationalizationService:
             raise
         for index, (ids, token_strings) in enumerate(encoded):
             responses[index] = self._finish(responses[index], artifact, ids, token_strings)
+            self._mirror(artifact, ids, responses[index], request_id)
         for response in responses:
             self._m_requests.inc(
                 model=artifact.name, cached=str(response["cached"]).lower()
@@ -267,13 +329,65 @@ class RationalizationService:
         self._m_latency.observe(latency_ms / 1000.0, model=artifact.name)
         return envelope
 
-    def _submit(self, model_name: str, ids, trace: Optional[Trace] = None) -> "Future":
+    def _submit(self, artifact: ModelArtifact, ids, trace: Optional[Trace] = None) -> "Future":
+        # Track before submitting: drain_version() must never observe a
+        # zero count while a wave for this version is already queued.
+        key = (artifact.name, artifact.version)
+        with self._inflight_cond:
+            self._inflight_versions[key] = self._inflight_versions.get(key, 0) + 1
         try:
-            return self.scheduler.submit(model_name, ids, trace=trace)
+            future = self.scheduler.submit(key, ids, trace=trace)
         except RuntimeError:
+            self._release_inflight(key)
             # The scheduler only refuses after close(): drain semantics are
             # "finish accepted work, reject new work" — typed, not a 500.
             raise RequestError("service is shutting down", status=503) from None
+        future.add_done_callback(lambda _f: self._release_inflight(key))
+        return future
+
+    def _release_inflight(self, key: tuple[str, str]) -> None:
+        with self._inflight_cond:
+            count = self._inflight_versions.get(key, 0) - 1
+            if count <= 0:
+                self._inflight_versions.pop(key, None)
+            else:
+                self._inflight_versions[key] = count
+            self._inflight_cond.notify_all()
+
+    def drain_version(self, model: str, version: str, timeout: float = 30.0) -> bool:
+        """Block until no scheduler wave is in flight for ``model@version``.
+
+        The promote path calls this *after* flipping the live pointer, so
+        the old version's in-flight set only shrinks while we wait.
+        """
+        key = (model, str(version))
+        with self._inflight_cond:
+            return self._inflight_cond.wait_for(
+                lambda: self._inflight_versions.get(key, 0) == 0, timeout
+            )
+
+    def _mirror(self, artifact: ModelArtifact, ids, response: dict, request_id) -> None:
+        """Hand a served champion response to the shadow mirror (if any).
+
+        Off the hot path by construction: ``ShadowMirror.submit`` is a
+        non-blocking enqueue.  Requests the canary itself served are not
+        mirrored back onto it.
+        """
+        route = self.lifecycle.route_for(artifact.name)
+        if route is None:
+            return
+        mirror = route.get("mirror")
+        if mirror is None or artifact.version == route["version"]:
+            return
+        mirror.submit(
+            ids,
+            {
+                "version": artifact.version,
+                "label": response.get("label"),
+                "rationale": list(response.get("rationale", [])),
+            },
+            request_id=request_id,
+        )
 
     @staticmethod
     def _split_item(item) -> tuple[Optional[Sequence], Optional[Sequence]]:
@@ -300,7 +414,9 @@ class RationalizationService:
             ]
         return response
 
-    def _resolve(self, model: Optional[str]) -> ModelArtifact:
+    def _resolve(
+        self, model: Optional[str], version: Optional[str] = None
+    ) -> ModelArtifact:
         names = self.registry.names()
         if model is None:
             if len(names) == 1:
@@ -310,9 +426,42 @@ class RationalizationService:
         if not isinstance(model, str):
             raise RequestError(f"'model' must be a string, got {type(model).__name__}")
         try:
-            return self.registry.get(model)
-        except KeyError:
-            raise RequestError(f"no model {model!r} loaded; available: {names}", status=404)
+            name, ref_version = parse_model_ref(model)
+        except ValueError as exc:
+            raise RequestError(str(exc)) from None
+        if version is not None and ref_version is not None and str(version) != str(ref_version):
+            raise RequestError(
+                f"conflicting version: reference {model!r} vs version={version!r}"
+            )
+        version = ref_version if version is None else str(version)
+        try:
+            if version is not None:
+                return self.registry.get_version(name, version)
+            return self._route(name)
+        except KeyError as exc:
+            raise RequestError(
+                str(exc.args[0]) if exc.args else str(exc), status=404
+            ) from None
+
+    def _route(self, name: str) -> ModelArtifact:
+        """Live artifact of ``name``, minus the configured canary share."""
+        route = self.lifecycle.route_for(name)
+        if (
+            route is not None
+            and route["fraction"] > 0.0
+            and self._canary_rng.random() < route["fraction"]
+        ):
+            try:
+                candidate = self.registry.get_version(name, route["version"])
+            except KeyError:
+                candidate = None
+            # Only a version still in canary state takes the diverted
+            # share — a just-promoted or just-retired one falls through
+            # to the live pointer, so routes can never resurrect it.
+            if candidate is not None and candidate.state == "canary":
+                self._m_canary_requests.inc(model=name, version=candidate.version)
+                return candidate
+        return self.registry.get(name)
 
     def _encode(self, artifact: ModelArtifact, token_ids, tokens) -> tuple[np.ndarray, Optional[list]]:
         if (token_ids is None) == (tokens is None):
@@ -359,8 +508,9 @@ class RationalizationService:
             )
         return artifact.session
 
-    def _execute_batch(self, model_name: str, id_lists: Sequence[np.ndarray]) -> list[dict]:
-        artifact = self.registry.get(model_name)
+    def _execute_batch(self, key: tuple[str, str], id_lists: Sequence[np.ndarray]) -> list[dict]:
+        model_name, version = key
+        artifact = self.registry.get_version(model_name, version)
         examples = [
             ReviewExample(
                 tokens=[""] * len(ids),
@@ -380,6 +530,7 @@ class RationalizationService:
             return [
                 {
                     "model": artifact.name,
+                    "version": artifact.version,
                     "label": int(labels[i]),
                     "rationale": [int(v) for v in mask[i, : len(batch.examples[i])] > 0.5],
                     "n_selected": int((mask[i] > 0.5).sum()),
@@ -399,6 +550,122 @@ class RationalizationService:
             batch_size=len(id_lists),
         )
         return [result for batch_results in per_batch for result in batch_results]
+
+    # ------------------------------------------------------------------
+    # Lifecycle execution hooks (shadow mirror + warm-up)
+    # ------------------------------------------------------------------
+    def submit_version(self, artifact: ModelArtifact, token_ids) -> "Future":
+        """Queue one request against an explicit artifact (warm-up path).
+
+        Bypasses request validation — the ids were served once already —
+        so :meth:`DeploymentManager.warm` can enqueue the whole replay as
+        one scheduler wave before awaiting any result.
+        """
+        return self._submit(artifact, np.asarray(token_ids, dtype=np.int64))
+
+    def execute_version(self, model: str, version: str, token_ids) -> dict:
+        """Run one request synchronously against ``model@version``.
+
+        The shadow mirror's challenger callback: served through the same
+        scheduler (so mirrored traffic batches with itself) and the same
+        versioned cache slice, but with none of the request-path
+        decoration.
+        """
+        artifact = self.registry.get_version(model, str(version))
+        ids = np.asarray([int(t) for t in token_ids], dtype=np.int64)
+        key = rationale_key(artifact.name, ids, version=artifact.version)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return dict(cached)
+        result = self._submit(artifact, ids).result(timeout=self.request_timeout_s)
+        self.cache.put(key, result)
+        return dict(result)
+
+    # ------------------------------------------------------------------
+    # Admin surface (duck-typed with ShardRouter)
+    # ------------------------------------------------------------------
+    def deploy(
+        self,
+        model: Optional[str] = None,
+        path: Optional[str] = None,
+        version: Optional[str] = None,
+        canary_fraction: float = 0.0,
+        shadow: bool = False,
+        diff_log: Optional[str] = None,
+        warm: bool = False,
+    ) -> dict:
+        """``POST /v1/deploy``: stage a challenger version of ``model``.
+
+        Incompatible artifacts answer 409 carrying the checkpoint's
+        ``format_version``/``repro_version`` in ``detail``.
+        """
+        if not model or not path:
+            raise RequestError("'model' and 'path' are required")
+        try:
+            return self.lifecycle.deploy(
+                model,
+                path,
+                version=version,
+                canary_fraction=canary_fraction,
+                shadow=shadow,
+                diff_log=diff_log,
+                warm=warm,
+            )
+        except ArtifactCompatibilityError as exc:
+            raise RequestError(
+                f"incompatible artifact: {exc}",
+                status=409,
+                detail={
+                    "format_version": exc.format_version,
+                    "repro_version": exc.repro_version,
+                    "path": exc.path,
+                },
+            ) from exc
+        except FileNotFoundError as exc:
+            raise RequestError(f"checkpoint not found: {exc}", status=400) from exc
+        except LifecycleError as exc:
+            raise RequestError(str(exc), status=409) from exc
+        except KeyError as exc:
+            raise RequestError(
+                str(exc.args[0]) if exc.args else str(exc), status=404
+            ) from exc
+
+    def promote(self, model: Optional[str] = None, version: Optional[str] = None) -> dict:
+        """``POST /v1/promote``: flip ``model``'s live pointer (zero-drop)."""
+        if not model:
+            raise RequestError("'model' is required")
+        return self._lifecycle_call(self.lifecycle.promote, model, version=version)
+
+    def rollback(self, model: Optional[str] = None) -> dict:
+        """``POST /v1/rollback``: restore the retained previous version."""
+        if not model:
+            raise RequestError("'model' is required")
+        return self._lifecycle_call(self.lifecycle.rollback, model)
+
+    def warm(self, model: Optional[str] = None, version: Optional[str] = None) -> dict:
+        """``POST /v1/warm``: replay the request log through a version."""
+        if not model:
+            raise RequestError("'model' is required")
+        warmed = self._lifecycle_call(self.lifecycle.warm, model, version=version)
+        name, ref_version = parse_model_ref(model)
+        return {"model": name, "version": version or ref_version, "warmed": warmed}
+
+    def deployments(self) -> list[dict]:
+        """``GET /v1/deployments`` payload rows."""
+        return self.lifecycle.describe()
+
+    def _lifecycle_call(self, fn, *args, **kwargs):
+        """Translate lifecycle-layer exceptions to typed request errors."""
+        try:
+            return fn(*args, **kwargs)
+        except LifecycleError as exc:
+            raise RequestError(str(exc), status=409) from exc
+        except KeyError as exc:
+            raise RequestError(
+                str(exc.args[0]) if exc.args else str(exc), status=404
+            ) from exc
+        except ValueError as exc:
+            raise RequestError(str(exc)) from exc
 
     # ------------------------------------------------------------------
     # Introspection
@@ -450,7 +717,8 @@ class RationalizationService:
         }
 
     def close(self) -> None:
-        """Shut the scheduler down (idempotent)."""
+        """Stop lifecycle routes, then the scheduler (idempotent)."""
+        self.lifecycle.close()
         self.scheduler.close()
 
     def __enter__(self) -> "RationalizationService":

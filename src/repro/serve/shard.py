@@ -14,9 +14,19 @@ Transport is a pair of ``multiprocessing`` queues per worker carrying
 plain picklable tuples::
 
     router -> worker   (kind, request_id, payload)
-        kind ∈ {"rationalize", "rationalize_many", "stats", "metrics", "shutdown"}
+        kind ∈ {"rationalize", "rationalize_many", "stats", "metrics",
+                "deploy", "promote", "rollback", "warm", "deployments",
+                "shutdown"}
     worker -> router   (kind, request_id_or_worker_id, payload)
         kind ∈ {"ready", "result", "error", "fatal", "exit"}
+
+The five lifecycle kinds are the admin control plane: the router
+broadcasts each admin call to every worker (each shard runs its own
+:class:`~repro.serve.lifecycle.DeploymentManager`), and journals the op
+so a respawned worker replays the sequence and converges with the fleet.
+Shadow diff logs get a per-worker suffix (``log.w3.jsonl``) so the
+sharded tier never interleaves JSONL writes from different processes —
+``deploy-diff`` accepts a glob.
 
 ``"metrics"`` returns the shard's picklable
 :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`, which the router
@@ -47,6 +57,11 @@ MSG_RATIONALIZE = "rationalize"
 MSG_RATIONALIZE_MANY = "rationalize_many"
 MSG_STATS = "stats"
 MSG_METRICS = "metrics"
+MSG_DEPLOY = "deploy"
+MSG_PROMOTE = "promote"
+MSG_ROLLBACK = "rollback"
+MSG_WARM = "warm"
+MSG_DEPLOYMENTS = "deployments"
 MSG_SHUTDOWN = "shutdown"
 
 #: Response kinds the router's collector threads understand.
@@ -79,6 +94,9 @@ class WorkerConfig:
     #: Thread-pool width: matches the router's per-worker admission
     #: budget so every admitted request has a thread to block on.
     max_inflight: int = 32
+    #: Warm-up request-log ring capacity (0 disables; see
+    #: repro.serve.lifecycle.RequestLog).
+    request_log_size: int = 0
     extra: dict = field(default_factory=dict)
 
 
@@ -99,7 +117,21 @@ def _build_service(config: WorkerConfig):
         bucket_width=config.bucket_width,
         cache_size=config.cache_size,
         fused=config.fused,
+        request_log_size=config.request_log_size,
     )
+
+
+def worker_diff_log(path: str, worker_id: int) -> str:
+    """Per-worker shadow diff-log path: ``log.jsonl`` -> ``log.w3.jsonl``.
+
+    Every shard appends to its own file so concurrent processes never
+    interleave JSONL records; ``deploy-diff`` reads the whole set with a
+    ``log.w*.jsonl`` glob.
+    """
+    from pathlib import Path
+
+    p = Path(path)
+    return str(p.with_name(f"{p.stem}.w{worker_id}{p.suffix or '.jsonl'}"))
 
 
 def worker_main(config: WorkerConfig, request_q, response_q) -> None:
@@ -130,7 +162,10 @@ def worker_main(config: WorkerConfig, request_q, response_q) -> None:
         try:
             response_q.put((MSG_RESULT, request_id, call(payload)))
         except RequestError as exc:
-            response_q.put((MSG_ERROR, request_id, {"error": str(exc), "status": exc.status}))
+            body = {"error": str(exc), "status": exc.status}
+            if exc.detail:
+                body["detail"] = exc.detail
+            response_q.put((MSG_ERROR, request_id, body))
         except Exception as exc:  # never let one request kill the shard
             response_q.put((MSG_ERROR, request_id, {"error": str(exc), "status": 500}))
 
@@ -141,6 +176,7 @@ def worker_main(config: WorkerConfig, request_q, response_q) -> None:
             tokens=payload.get("tokens"),
             debug=bool(payload.get("debug", False)),
             request_id=payload.get("request_id"),
+            version=payload.get("version"),
         )
 
     def do_rationalize_many(payload: dict) -> dict:
@@ -149,6 +185,7 @@ def worker_main(config: WorkerConfig, request_q, response_q) -> None:
             inputs=payload.get("inputs"),
             debug=bool(payload.get("debug", False)),
             request_id=payload.get("request_id"),
+            version=payload.get("version"),
         )
 
     def do_stats(payload: dict) -> dict:
@@ -157,11 +194,44 @@ def worker_main(config: WorkerConfig, request_q, response_q) -> None:
     def do_metrics(payload: dict) -> dict:
         return service.metrics_snapshot()
 
+    def do_deploy(payload: dict) -> dict:
+        diff_log = payload.get("diff_log")
+        return service.deploy(
+            model=payload.get("model"),
+            path=payload.get("path"),
+            version=payload.get("version"),
+            canary_fraction=float(payload.get("canary_fraction") or 0.0),
+            shadow=bool(payload.get("shadow", False)),
+            # Each shard appends to its own suffixed log: concurrent
+            # processes must never interleave writes in one JSONL file.
+            diff_log=worker_diff_log(diff_log, config.worker_id) if diff_log else None,
+            warm=bool(payload.get("warm", False)),
+        )
+
+    def do_promote(payload: dict) -> dict:
+        return service.promote(
+            model=payload.get("model"), version=payload.get("version")
+        )
+
+    def do_rollback(payload: dict) -> dict:
+        return service.rollback(model=payload.get("model"))
+
+    def do_warm(payload: dict) -> dict:
+        return service.warm(model=payload.get("model"), version=payload.get("version"))
+
+    def do_deployments(payload: dict) -> list:
+        return service.deployments()
+
     calls = {
         MSG_RATIONALIZE: do_rationalize,
         MSG_RATIONALIZE_MANY: do_rationalize_many,
         MSG_STATS: do_stats,
         MSG_METRICS: do_metrics,
+        MSG_DEPLOY: do_deploy,
+        MSG_PROMOTE: do_promote,
+        MSG_ROLLBACK: do_rollback,
+        MSG_WARM: do_warm,
+        MSG_DEPLOYMENTS: do_deployments,
     }
 
     response_q.put((

@@ -7,14 +7,20 @@ from repro.serve.cache import RationaleCache, rationale_key
 
 class TestKey:
     def test_key_is_hashable_and_order_sensitive(self):
-        assert rationale_key("m", [1, 2, 3]) == ("m", (1, 2, 3))
+        assert rationale_key("m", [1, 2, 3]) == ("m", "1", (1, 2, 3))
         assert rationale_key("m", [1, 2, 3]) != rationale_key("m", [3, 2, 1])
         assert rationale_key("a", [1]) != rationale_key("b", [1])
+
+    def test_key_is_version_sensitive(self):
+        # Two versions of one model must never share cache entries —
+        # the invariant hot-swap deploys rely on.
+        assert rationale_key("m", [1], version="1") != rationale_key("m", [1], version="2")
+        assert rationale_key("m", [1], version=2) == ("m", "2", (1,))
 
     def test_key_accepts_numpy_ints(self):
         import numpy as np
 
-        assert rationale_key("m", np.array([1, 2])) == ("m", (1, 2))
+        assert rationale_key("m", np.array([1, 2])) == ("m", "1", (1, 2))
 
 
 class TestLRU:
@@ -67,6 +73,28 @@ class TestLRU:
         cache.clear()
         assert len(cache) == 0
         assert cache.stats()["hits"] == 1
+
+    def test_invalidate_one_version_slice(self):
+        cache = RationaleCache(16)
+        for ids in ([1], [2], [3]):
+            cache.put(rationale_key("m", ids, version="1"), {"v": 1})
+            cache.put(rationale_key("m", ids, version="2"), {"v": 2})
+        cache.put(rationale_key("other", [1]), {"v": 0})
+        assert cache.invalidate("m", "1") == 3
+        assert cache.get(rationale_key("m", [1], version="1")) is None
+        assert cache.get(rationale_key("m", [1], version="2")) == {"v": 2}
+        assert cache.get(rationale_key("other", [1])) == {"v": 0}
+
+    def test_invalidate_whole_model_counts_as_evictions(self):
+        cache = RationaleCache(16)
+        cache.put(rationale_key("m", [1], version="1"), {"v": 1})
+        cache.put(rationale_key("m", [1], version="2"), {"v": 2})
+        cache.put("opaque-key", {"v": 9})  # non-tuple keys are untouched
+        before = cache.stats()["evictions"]
+        assert cache.invalidate("m") == 2
+        assert cache.invalidate("m") == 0  # idempotent
+        assert cache.stats()["evictions"] == before + 2
+        assert cache.get("opaque-key") == {"v": 9}
 
     def test_concurrent_mixed_access_is_safe(self):
         cache = RationaleCache(32)

@@ -6,10 +6,13 @@ import pytest
 from repro.core import DAR, RNP
 from repro.data import pad_batch
 from repro.serve.registry import (
+    ArtifactCompatibilityError,
+    LifecycleError,
     ModelRegistry,
     build_model,
     export_config,
     model_families,
+    parse_model_ref,
     save_artifact,
 )
 
@@ -141,3 +144,146 @@ class TestRegistry:
         artifact = registry.register_file(tmp_path / "file.npz", name="prod")
         assert artifact.name == "prod"
         assert "prod" in registry
+
+
+class TestModelRef:
+    def test_parse_bare_name_and_versioned_reference(self):
+        assert parse_model_ref("m") == ("m", None)
+        assert parse_model_ref("m@3") == ("m", "3")
+        assert parse_model_ref("m@2024-beta") == ("m", "2024-beta")
+
+    def test_parse_rejects_malformed_references(self):
+        for bad in ("@2", "m@", "m@1@2", "@"):
+            with pytest.raises(ValueError, match="bad model reference"):
+                parse_model_ref(bad)
+        with pytest.raises(ValueError, match="must be a string"):
+            parse_model_ref(3)
+
+
+class TestVersionLifecycle:
+    """The staged -> canary -> live -> retired deployment state machine."""
+
+    def _registry(self, tiny_beer, tmp_path):
+        save_artifact(make_model(tiny_beer), tmp_path / "m.npz")
+        registry = ModelRegistry()
+        registry.register_file(tmp_path / "m.npz", name="m")
+        return registry, tmp_path / "m.npz"
+
+    def test_register_file_is_version_1_live(self, tiny_beer, tmp_path):
+        registry, _ = self._registry(tiny_beer, tmp_path)
+        artifact = registry.get("m")
+        assert (artifact.version, artifact.state) == ("1", "live")
+        assert artifact.ref == "m@1"
+        assert registry.live_version("m") == "1"
+        assert "m@1" in registry and "m@2" not in registry
+
+    def test_stage_file_mints_versions_and_serves_no_traffic(self, tiny_beer, tmp_path):
+        registry, path = self._registry(tiny_beer, tmp_path)
+        v2 = registry.stage_file(path, name="m")
+        v3 = registry.stage_file(path, name="m")
+        assert (v2.version, v2.state) == ("2", "staged")
+        assert (v3.version, v3.state) == ("3", "staged")
+        # Default traffic still resolves the live version...
+        assert registry.get("m").version == "1"
+        # ...but explicit references reach staged challengers (any state).
+        assert registry.get("m@3") is v3
+        assert registry.get_version("m", "2") is v2
+        rows = registry.describe()
+        assert [(r["version"], r["state"]) for r in rows if r["name"] == "m"] == [
+            ("1", "live"), ("2", "staged"), ("3", "staged"),
+        ]
+
+    def test_stage_duplicate_version_rejected(self, tiny_beer, tmp_path):
+        registry, path = self._registry(tiny_beer, tmp_path)
+        with pytest.raises(LifecycleError, match="already deployed"):
+            registry.stage_file(path, name="m", version="1")
+
+    def test_promote_flips_live_and_retires_old(self, tiny_beer, tmp_path):
+        registry, path = self._registry(tiny_beer, tmp_path)
+        registry.stage_file(path, name="m")
+        old, dropped = registry.promote_version("m", "2")
+        assert (old, dropped) == ("1", None)
+        assert registry.live_version("m") == "2"
+        assert registry.previous_version("m") == "1"
+        assert registry.versions("m") == {"1": "retired", "2": "live"}
+        assert registry.get("m").version == "2"
+
+    def test_promote_retains_exactly_one_rollback_target(self, tiny_beer, tmp_path):
+        registry, path = self._registry(tiny_beer, tmp_path)
+        registry.stage_file(path, name="m")
+        registry.promote_version("m", "2")
+        registry.stage_file(path, name="m")
+        old, dropped = registry.promote_version("m", "3")
+        assert old == "2"
+        # Version 1 (the displaced retired artifact) is unloaded and
+        # handed back for cache invalidation.
+        assert dropped is not None and dropped.version == "1"
+        assert registry.versions("m") == {"2": "retired", "3": "live"}
+
+    def test_rollback_toggles_between_newest_versions(self, tiny_beer, tmp_path):
+        registry, path = self._registry(tiny_beer, tmp_path)
+        registry.stage_file(path, name="m")
+        registry.promote_version("m", "2")
+        restored, retired = registry.rollback_version("m")
+        assert (restored, retired) == ("1", "2")
+        assert registry.versions("m") == {"1": "live", "2": "retired"}
+        restored, retired = registry.rollback_version("m")
+        assert (restored, retired) == ("2", "1")
+
+    def test_rollback_without_target_rejected(self, tiny_beer, tmp_path):
+        registry, _ = self._registry(tiny_beer, tmp_path)
+        with pytest.raises(LifecycleError, match="no retired version"):
+            registry.rollback_version("m")
+
+    def test_set_state_enforces_legal_transitions(self, tiny_beer, tmp_path):
+        registry, path = self._registry(tiny_beer, tmp_path)
+        registry.stage_file(path, name="m")
+        assert registry.set_state("m", "2", "canary").state == "canary"
+        assert registry.set_state("m", "2", "staged").state == "staged"  # pause
+        with pytest.raises(LifecycleError, match="promote_version"):
+            registry.set_state("m", "2", "live")
+        with pytest.raises(LifecycleError, match="promote_version"):
+            registry.set_state("m", "1", "retired")  # live moves via promote only
+        registry.set_state("m", "2", "retired")  # abandon the challenger
+        with pytest.raises(LifecycleError, match="illegal transition"):
+            registry.set_state("m", "2", "canary")
+
+    def test_promote_requires_staged_or_canary(self, tiny_beer, tmp_path):
+        registry, path = self._registry(tiny_beer, tmp_path)
+        with pytest.raises(LifecycleError, match="already live"):
+            registry.promote_version("m", "1")
+        registry.stage_file(path, name="m")
+        registry.promote_version("m", "2")
+        with pytest.raises(LifecycleError, match="only staged/canary"):
+            registry.promote_version("m", "1")  # retired cannot be re-promoted
+
+    def test_brand_new_model_stages_with_no_live_version(self, tiny_beer, tmp_path):
+        save_artifact(make_model(tiny_beer), tmp_path / "new.npz")
+        registry = ModelRegistry()
+        registry.stage_file(tmp_path / "new.npz", name="fresh")
+        with pytest.raises(KeyError, match="no live version"):
+            registry.get("fresh")
+        old, dropped = registry.promote_version("fresh", "1")
+        assert (old, dropped) == (None, None)
+        assert registry.get("fresh").version == "1"
+
+
+class TestCompatibilityError:
+    def test_non_checkpoint_carries_path(self, tmp_path):
+        path = tmp_path / "data.npz"
+        np.savez(path, values=np.arange(4))
+        registry = ModelRegistry()
+        with pytest.raises(ArtifactCompatibilityError) as info:
+            registry.stage_file(path, name="m")
+        assert info.value.path == str(path)
+
+    def test_configless_checkpoint_carries_format_metadata(self, tiny_beer, tmp_path):
+        from repro.serialization import save_model
+
+        path = tmp_path / "raw.npz"
+        save_model(make_model(tiny_beer), path)  # no serving config
+        with pytest.raises(ArtifactCompatibilityError, match="no serving config") as info:
+            ModelRegistry().register_file(path)
+        # The 409 surface reports the exact recorded format metadata.
+        assert info.value.format_version >= 1
+        assert info.value.path == str(path)

@@ -228,6 +228,109 @@ class TestGracefulDrain:
         assert mp.active_children() == []
 
 
+@pytest.fixture(scope="module")
+def challenger_checkpoint(tmp_path_factory):
+    """A second artifact (different weights) to deploy as version 2."""
+    tmp_path = tmp_path_factory.mktemp("shard_ckpt_v2")
+    model = RNP(
+        vocab_size=64, embedding_dim=16, hidden_size=8, rng=np.random.default_rng(1)
+    )
+    path = tmp_path / "tiny_v2.npz"
+    save_artifact(model, path)
+    return str(path)
+
+
+def fleet_states(router):
+    """Per-shard ``[(version, state), ...]`` projections (None = no answer)."""
+    views = router.fleet_deployments(worker_timeout_s=5.0)
+    return [
+        sorted((r["version"], r["state"]) for r in rows) if rows is not None else None
+        for _, rows in sorted(views.items())
+    ]
+
+
+class TestFleetLifecycle:
+    def test_deploy_promote_rollback_converges_fleet_wide(
+        self, checkpoint, challenger_checkpoint
+    ):
+        with ShardRouter([checkpoint], workers=2, request_log_size=16) as router:
+            client = Client(service=router)
+            client.rationalize(model="tiny", token_ids=[1, 2, 3])
+            row = client.deploy("tiny", challenger_checkpoint, warm=True)
+            assert (row["version"], row["state"]) == ("2", "staged")
+            assert row["workers"] == 2  # broadcast reached every shard
+            states = fleet_states(router)
+            assert states[0] == states[1] == [("1", "live"), ("2", "staged")]
+            promoted = client.promote("tiny")
+            assert promoted["version"] == "2" and promoted["workers"] == 2
+            # Every shard now answers with the new version (both shards
+            # get exercised across distinct token-id requests).
+            for i in range(6):
+                response = client.rationalize(model="tiny", token_ids=[1 + i, 9, 3])
+                assert response["version"] == "2"
+            rolled = client.rollback("tiny")
+            assert rolled["version"] == "1" and rolled["workers"] == 2
+            assert (
+                client.rationalize(model="tiny", token_ids=[7, 8])["version"] == "1"
+            )
+        assert mp.active_children() == []
+
+    def test_shadow_diff_logs_are_per_worker_files(
+        self, checkpoint, challenger_checkpoint, tmp_path
+    ):
+        diff_log = tmp_path / "shadow.jsonl"
+        with ShardRouter([checkpoint], workers=2) as router:
+            client = Client(service=router)
+            client.deploy(
+                "tiny", challenger_checkpoint, shadow=True, diff_log=str(diff_log)
+            )
+            for i in range(12):
+                client.rationalize(model="tiny", token_ids=[1 + i, 2 + i, 3])
+            # Promote closes every shard's mirror, which drains + flushes
+            # its private .wN log — concurrent processes never share one.
+            client.promote("tiny")
+            logs = sorted(p.name for p in tmp_path.glob("shadow.w*.jsonl"))
+            assert logs and set(logs) <= {"shadow.w0.jsonl", "shadow.w1.jsonl"}
+            assert not diff_log.exists()  # nothing writes the unsuffixed path
+            from repro.serve.diff import shadow_diff_report
+
+            report = shadow_diff_report([str(tmp_path / "shadow.w*.jsonl")])
+            assert report["compared"] >= 1 and report["malformed"] == 0
+            assert "1->2" in report["models"]["tiny"]
+
+    def test_sigkill_mid_deploy_respawn_converges_via_journal(
+        self, checkpoint, challenger_checkpoint
+    ):
+        """Kill a shard after a deploy broadcast: the respawned worker
+        replays the admin journal and rejoins the fleet consistent."""
+        with ShardRouter([checkpoint], workers=2) as router:
+            client = Client(service=router)
+            client.deploy("tiny", challenger_checkpoint, canary_fraction=0.25)
+            assert fleet_states(router) == [
+                [("1", "live"), ("2", "canary")],
+                [("1", "live"), ("2", "canary")],
+            ]
+            victim_pid = router.stats()["workers"][1]["pid"]
+            os.kill(victim_pid, signal.SIGKILL)
+            assert wait_until(lambda: router.stats()["router"]["respawns"] >= 1)
+            # The replacement replays deploy + canary and converges.
+            assert wait_until(
+                lambda: fleet_states(router)
+                == [
+                    [("1", "live"), ("2", "canary")],
+                    [("1", "live"), ("2", "canary")],
+                ],
+                timeout_s=30.0,
+            )
+            # The converged fleet still promotes atomically.
+            promoted = client.promote("tiny")
+            assert promoted["version"] == "2" and promoted["workers"] == 2
+            for i in range(6):
+                response = client.rationalize(model="tiny", token_ids=[2 + i, 5])
+                assert response["version"] == "2"
+        assert mp.active_children() == []
+
+
 class TestShardedHTTP:
     def test_http_round_trip_and_aggregated_statz(self, checkpoint):
         with ShardRouter([checkpoint], workers=2) as router:
